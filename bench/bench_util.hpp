@@ -1,0 +1,124 @@
+// Shared helpers for the benchmark binaries (no gtest dependency).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "apps/minilibc.hpp"
+#include "core/lazypoline.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/machine.hpp"
+#include "kernel/syscalls.hpp"
+#include "mechanisms/sud_tool.hpp"
+#include "zpoline/zpoline.hpp"
+
+namespace lzp::bench {
+
+inline void die(const std::string& message) {
+  std::fprintf(stderr, "bench: fatal: %s\n", message.c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T unwrap(Result<T> result, const char* what) {
+  if (!result.is_ok()) die(std::string(what) + ": " + result.status().to_string());
+  return std::move(result).value();
+}
+
+inline void check(const Status& status, const char* what) {
+  if (!status.is_ok()) die(std::string(what) + ": " + status.to_string());
+}
+
+// The §V-B microbenchmark program: N invocations of the non-existent
+// syscall 500 in a tight loop.
+inline isa::Program make_micro_loop(std::uint64_t iterations,
+                                    std::uint64_t nr = kern::kSysNonexistent) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  const auto done = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, iterations);
+  a.bind(loop);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jz(done);
+  a.mov(isa::Gpr::rax, nr);
+  a.syscall_();
+  a.sub(isa::Gpr::rbx, 1);
+  a.jmp(loop);
+  a.bind(done);
+  apps::emit_exit(a, 0);
+  return unwrap(isa::make_program("micro-loop", a, entry), "assemble micro loop");
+}
+
+// Runs `program` on a fresh machine after `setup`, returning the main task's
+// cycle count. Dies if the machine does not quiesce.
+inline std::uint64_t run_cycles(
+    const isa::Program& program,
+    const std::function<void(kern::Machine&, kern::Tid)>& setup = nullptr,
+    kern::CostModel costs = {}) {
+  kern::Machine machine(costs);
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  const kern::Tid tid = unwrap(machine.load(program), "load");
+  if (setup) setup(machine, tid);
+  const auto stats = machine.run();
+  if (!stats.all_exited) die("machine did not quiesce: " + machine.last_fatal());
+  return machine.find_task(tid)->cycles;
+}
+
+// Mechanism setups used across benches. Each returns a setup callback.
+using Setup = std::function<void(kern::Machine&, kern::Tid)>;
+
+inline Setup setup_none() { return nullptr; }
+
+inline Setup setup_sud_always_allow() {
+  return [](kern::Machine& machine, kern::Tid tid) {
+    check(mechanisms::SudMechanism::install_always_allow(machine, tid),
+          "sud allow");
+  };
+}
+
+inline Setup setup_sud(std::shared_ptr<interpose::SyscallHandler> handler) {
+  return [handler](kern::Machine& machine, kern::Tid tid) {
+    mechanisms::SudMechanism mechanism;
+    check(mechanism.install(machine, tid, handler), "sud install");
+  };
+}
+
+inline Setup setup_zpoline(const isa::Program& program,
+                           std::shared_ptr<interpose::SyscallHandler> handler) {
+  return [&program, handler](kern::Machine& machine, kern::Tid tid) {
+    machine.register_program(program);
+    zpoline::ZpolineMechanism mechanism;
+    check(mechanism.install(machine, tid, handler), "zpoline install");
+  };
+}
+
+// Steady-state lazypoline: sites pre-rewritten (§V-B methodology), SUD
+// optionally disabled (Figure 4's "without SUD" config).
+inline Setup setup_lazypoline(const isa::Program& program,
+                              std::shared_ptr<interpose::SyscallHandler> handler,
+                              core::XstateMode xstate, bool sud,
+                              bool prerewrite = true) {
+  return [&program, handler, xstate, sud, prerewrite](kern::Machine& machine,
+                                                      kern::Tid tid) {
+    machine.register_program(program);
+    core::LazypolineConfig config;
+    config.xstate = xstate;
+    config.use_sud = sud;
+    auto runtime = core::Lazypoline::create(machine, config);
+    check(runtime->install(machine, tid, handler), "lazypoline install");
+    if (prerewrite) {
+      for (std::uint64_t site : program.true_syscall_addresses()) {
+        check(runtime->rewrite_site_manually(tid, site), "manual rewrite");
+      }
+    }
+    if (!sud) check(runtime->disable_sud(tid), "disable sud");
+  };
+}
+
+}  // namespace lzp::bench

@@ -1,0 +1,142 @@
+// Reproduces Figure 5: throughput impact of interposition on web servers
+// serving static content of different sizes, with 1 and 12 workers.
+//
+// Setup mirrors §V-B: a wrk-style client with 36 keepalive connections
+// continuously requests the same static resource; server and client share
+// the machine ("localhost"), so the workload is maximally syscall-intensive.
+// Mechanisms: baseline (native), zpoline, lazypoline without xstate
+// preservation, lazypoline (full), and a typical SUD deployment. The
+// lazypoline runs include the live slow-path discovery (no pre-rewriting):
+// the macrobenchmark evaluates exactly that aggregated cost.
+//
+// Expected shape (paper): in the worst single-worker case lazypoline w/o
+// xstate keeps ~95% of baseline (within ~2-4pp of zpoline); xstate costs at
+// most ~5pp more; SUD loses roughly half the throughput at small sizes and
+// is still noticeable at 256K; gaps shrink as the file size grows; with 12
+// workers the client/loopback becomes the bottleneck and the fast
+// mechanisms converge.
+#include <cstdio>
+
+#include "apps/webserver.hpp"
+#include "bench_util.hpp"
+#include "base/strings.hpp"
+#include "metrics/report.hpp"
+
+namespace {
+using namespace lzp;
+
+constexpr double kGhz = 2.1;
+constexpr std::uint64_t kRequests = 2400;
+// Peak request rate the 36-thread client + loopback stack can sustain
+// (requests/s); caps multi-worker results like the real testbed.
+constexpr double kClientCapRps = 220'000.0;
+
+enum class Mech { kBaseline, kZpoline, kLazyNoX, kLazyFull, kSud };
+
+double run_one(const apps::ServerProfile& profile, std::uint64_t file_size,
+               int workers, Mech mech) {
+  kern::Machine machine;
+  machine.mmap_min_addr = 0;
+  bench::check(machine.vfs().put_file_of_size("index.html", file_size),
+               "seed file");
+
+  kern::ClientWorkload workload;
+  workload.connections = 36;
+  workload.total_requests = kRequests;
+  workload.response_bytes = profile.header_bytes + file_size;
+  const int listener = machine.net().create_listener(workload);
+
+  const auto program = bench::unwrap(
+      apps::make_webserver(machine, profile, "index.html"), "build server");
+  machine.register_program(program);
+
+  auto dummy = std::make_shared<interpose::DummyHandler>();
+  std::vector<kern::Tid> tids;
+  for (int w = 0; w < workers; ++w) {
+    const kern::Tid tid = bench::unwrap(machine.load(program), "load worker");
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid)->process->install_fd_at(apps::kListenerFd, entry);
+    tids.push_back(tid);
+
+    switch (mech) {
+      case Mech::kBaseline:
+        break;
+      case Mech::kZpoline: {
+        zpoline::ZpolineMechanism mechanism;
+        bench::check(mechanism.install(machine, tid, dummy), "zpoline");
+        break;
+      }
+      case Mech::kLazyNoX:
+      case Mech::kLazyFull: {
+        core::LazypolineConfig config;
+        config.xstate = mech == Mech::kLazyFull ? core::XstateMode::kFull
+                                                : core::XstateMode::kNone;
+        auto runtime = core::Lazypoline::create(machine, config);
+        bench::check(runtime->install(machine, tid, dummy), "lazypoline");
+        break;
+      }
+      case Mech::kSud: {
+        mechanisms::SudMechanism mechanism;
+        bench::check(mechanism.install(machine, tid, dummy), "sud");
+        break;
+      }
+    }
+  }
+
+  const auto stats = machine.run(4'000'000'000ULL);
+  if (!stats.all_exited) bench::die("server hung: " + machine.last_fatal());
+  if (machine.net().completed_requests(listener) != kRequests) {
+    bench::die("dropped requests");
+  }
+
+  // Workers run on dedicated cores: wall time = the slowest worker.
+  std::uint64_t wall_cycles = 0;
+  for (kern::Tid tid : tids) {
+    wall_cycles = std::max(wall_cycles, machine.find_task(tid)->cycles);
+  }
+  const double seconds = static_cast<double>(wall_cycles) / (kGhz * 1e9);
+  const double rps = static_cast<double>(kRequests) / seconds;
+  return std::min(rps, kClientCapRps);
+}
+
+void run_grid(const apps::ServerProfile& profile, int workers) {
+  std::printf("-- %s, %d worker%s (requests/s; %% of baseline) --\n",
+              profile.name.c_str(), workers, workers == 1 ? "" : "s");
+  metrics::Table table({"size", "baseline", "zpoline", "lazyp-nox", "lazypoline",
+                        "SUD"});
+  const std::uint64_t sizes[] = {1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024};
+  for (std::uint64_t size : sizes) {
+    const double base = run_one(profile, size, workers, Mech::kBaseline);
+    auto cell = [&](Mech mech) {
+      const double rps = run_one(profile, size, workers, mech);
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%8.0f (%5.2f%%)", rps,
+                    100.0 * rps / base);
+      return std::string(buffer);
+    };
+    char base_text[32];
+    std::snprintf(base_text, sizeof(base_text), "%8.0f", base);
+    table.add_row({lzp::human_size(size), base_text, cell(Mech::kZpoline),
+                   cell(Mech::kLazyNoX), cell(Mech::kLazyFull),
+                   cell(Mech::kSud)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Figure 5: web server throughput under interposition ==\n\n");
+  const std::string which = argc > 1 ? argv[1] : "";
+  if (which.empty() || which == "--server=nginx" || which == "nginx") {
+    run_grid(apps::nginx_profile(), 1);
+    run_grid(apps::nginx_profile(), 12);
+  }
+  if (which.empty() || which == "--server=lighttpd" || which == "lighttpd") {
+    run_grid(apps::lighttpd_profile(), 1);
+    run_grid(apps::lighttpd_profile(), 12);
+  }
+  return 0;
+}

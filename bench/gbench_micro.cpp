@@ -1,0 +1,143 @@
+// google-benchmark microbenchmarks for the substrate components: how fast
+// the simulator itself is (host-side wall time), plus simulated-cycle
+// counters for the interposition paths. Complements the table/figure
+// harnesses with per-component numbers.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "bpf/seccomp_filter.hpp"
+#include "cpu/execute.hpp"
+#include "disasm/scanner.hpp"
+
+namespace {
+using namespace lzp;
+
+void BM_DecodeSyscall(benchmark::State& state) {
+  const std::uint8_t bytes[] = {isa::kByte0F, isa::kByteSyscall2};
+  for (auto _ : state) {
+    auto insn = isa::decode(bytes);
+    benchmark::DoNotOptimize(insn);
+  }
+}
+BENCHMARK(BM_DecodeSyscall);
+
+void BM_DecodeMovImm64(benchmark::State& state) {
+  const std::uint8_t bytes[] = {0xB8, 0x03, 1, 2, 3, 4, 5, 6, 7, 8};
+  for (auto _ : state) {
+    auto insn = isa::decode(bytes);
+    benchmark::DoNotOptimize(insn);
+  }
+}
+BENCHMARK(BM_DecodeMovImm64);
+
+void BM_CpuStepLoop(benchmark::State& state) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, 0);
+  a.bind(loop);
+  a.add(isa::Gpr::rbx, 1);
+  a.cmp(isa::Gpr::rbx, 0);  // never zero: infinite loop
+  a.jnz(loop);
+  auto code = std::move(a.finish()).value();
+
+  mem::AddressSpace as;
+  (void)as.map(0x1000, mem::page_ceil(code.size()),
+               mem::kProtRead | mem::kProtExec, true);
+  (void)as.write_force(0x1000, code);
+  cpu::CpuContext ctx;
+  ctx.rip = 0x1000;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu::step(ctx, as));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpuStepLoop);
+
+void BM_BpfMonitoringFilter(benchmark::State& state) {
+  const std::uint32_t trapped[] = {101};
+  const auto program =
+      bpf::SeccompFilterBuilder::trap_syscalls(trapped, bpf::SECCOMP_RET_TRAP);
+  bpf::SeccompData data;
+  data.nr = 39;
+  const auto bytes = data.serialize();
+  for (auto _ : state) {
+    auto result = bpf::run(program, bytes);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BpfMonitoringFilter);
+
+void BM_XstateSaveRestore(benchmark::State& state) {
+  cpu::XState xstate;
+  std::vector<std::uint8_t> buffer(cpu::XState::kSaveSize);
+  for (auto _ : state) {
+    xstate.save_to(buffer);
+    xstate.load_from(buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_XstateSaveRestore);
+
+void BM_LinearSweepScan(benchmark::State& state) {
+  const auto program = bench::make_micro_loop(1);
+  for (auto _ : state) {
+    auto result = disasm::scan(program.image, program.base,
+                               disasm::Strategy::kLinearSweep);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LinearSweepScan);
+
+// Simulated-cycle counters for the interposition paths (reported via the
+// "sim_cycles_per_syscall" counter; host time measures simulator speed).
+void interposed_micro(benchmark::State& state,
+                      const std::function<bench::Setup(const isa::Program&)>&
+                          make_setup) {
+  const std::uint64_t iterations = 2'000;
+  const auto program = bench::make_micro_loop(iterations);
+  const auto setup = make_setup(program);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    cycles = bench::run_cycles(program, setup);
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["sim_cycles_per_syscall"] =
+      static_cast<double>(cycles) / static_cast<double>(iterations);
+}
+
+void BM_SimNativeSyscall(benchmark::State& state) {
+  interposed_micro(state, [](const isa::Program&) { return bench::setup_none(); });
+}
+BENCHMARK(BM_SimNativeSyscall);
+
+void BM_SimZpoline(benchmark::State& state) {
+  auto dummy = std::make_shared<interpose::DummyHandler>();
+  interposed_micro(state, [dummy](const isa::Program& program) {
+    return bench::setup_zpoline(program, dummy);
+  });
+}
+BENCHMARK(BM_SimZpoline);
+
+void BM_SimLazypoline(benchmark::State& state) {
+  auto dummy = std::make_shared<interpose::DummyHandler>();
+  interposed_micro(state, [dummy](const isa::Program& program) {
+    return bench::setup_lazypoline(program, dummy, core::XstateMode::kFull,
+                                   true);
+  });
+}
+BENCHMARK(BM_SimLazypoline);
+
+void BM_SimSud(benchmark::State& state) {
+  auto dummy = std::make_shared<interpose::DummyHandler>();
+  interposed_micro(state, [dummy](const isa::Program&) {
+    return bench::setup_sud(dummy);
+  });
+}
+BENCHMARK(BM_SimSud);
+
+}  // namespace
+
+BENCHMARK_MAIN();

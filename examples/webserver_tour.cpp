@@ -1,0 +1,94 @@
+// Web server tour: run the nginx-profile event-loop server against the
+// closed-loop client, natively and under lazypoline, and compare throughput —
+// a miniature of the paper's Figure 5 at a single grid point, with the
+// interposition statistics exposed.
+//
+// Build & run:  cmake --build build && ./build/examples/webserver_tour
+#include <cstdio>
+
+#include "apps/webserver.hpp"
+#include "core/lazypoline.hpp"
+#include "kernel/machine.hpp"
+
+using namespace lzp;
+
+namespace {
+
+struct RunOutcome {
+  double rps = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t slow_path = 0;
+  std::uint64_t fast_path = 0;
+};
+
+RunOutcome serve(bool interposed, std::uint64_t file_size,
+                 std::uint64_t requests) {
+  kern::Machine machine;
+  machine.mmap_min_addr = 0;
+  (void)machine.vfs().put_file_of_size("index.html", file_size);
+
+  const auto profile = apps::nginx_profile();
+  kern::ClientWorkload workload;
+  workload.connections = 36;
+  workload.total_requests = requests;
+  workload.response_bytes = profile.header_bytes + file_size;
+  const int listener = machine.net().create_listener(workload);
+
+  auto program = apps::make_webserver(machine, profile, "index.html").value();
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  kern::FdEntry entry;
+  entry.kind = kern::FdEntry::Kind::kListener;
+  entry.net_id = listener;
+  machine.find_task(tid)->process->install_fd_at(apps::kListenerFd, entry);
+
+  std::shared_ptr<core::Lazypoline> runtime;
+  if (interposed) {
+    runtime = core::Lazypoline::create(machine, {});
+    (void)runtime->install(machine, tid,
+                           std::make_shared<interpose::DummyHandler>());
+  }
+
+  const auto stats = machine.run();
+  RunOutcome outcome;
+  if (!stats.all_exited) {
+    std::fprintf(stderr, "server hung: %s\n", machine.last_fatal().c_str());
+    return outcome;
+  }
+  const kern::Task* task = machine.find_task(tid);
+  outcome.rps = static_cast<double>(requests) /
+                (static_cast<double>(task->cycles) / 2.1e9);
+  outcome.syscalls = task->syscalls_dispatched;
+  if (runtime) {
+    outcome.slow_path = runtime->stats().slow_path_hits;
+    outcome.fast_path = runtime->stats().fast_path_hits();
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kFileSize = 4096;
+  constexpr std::uint64_t kRequests = 1000;
+
+  std::printf("serving %llu requests of a %llu-byte file (nginx profile)\n\n",
+              static_cast<unsigned long long>(kRequests),
+              static_cast<unsigned long long>(kFileSize));
+
+  const RunOutcome native = serve(false, kFileSize, kRequests);
+  const RunOutcome lazy = serve(true, kFileSize, kRequests);
+
+  std::printf("native:     %8.0f req/s  (%llu syscalls)\n", native.rps,
+              static_cast<unsigned long long>(native.syscalls));
+  std::printf("lazypoline: %8.0f req/s  (%.2f%% of native)\n", lazy.rps,
+              100.0 * lazy.rps / native.rps);
+  std::printf("\nlazypoline interposed every one of those syscalls:\n");
+  std::printf("  slow path (first use of each site): %llu\n",
+              static_cast<unsigned long long>(lazy.slow_path));
+  std::printf("  fast path (rewritten sites):        %llu\n",
+              static_cast<unsigned long long>(lazy.fast_path));
+  std::printf("\nThe handful of slow-path hits amortize over the whole run —\n"
+              "that is the paper's hybrid design working as intended.\n");
+  return lazy.rps > 0.85 * native.rps ? 0 : 1;
+}

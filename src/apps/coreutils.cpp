@@ -1,0 +1,175 @@
+#include "apps/coreutils.hpp"
+
+#include <algorithm>
+
+#include "kernel/syscalls.hpp"
+
+namespace lzp::apps {
+namespace {
+
+using isa::Gpr;
+
+void emit_ls(isa::Assembler& a) {
+  const std::uint64_t dir = embed_string(a, "data");
+  a.mov(Gpr::rsi, dir);
+  a.mov(Gpr::rdi, 0);  // AT_FDCWD model
+  a.mov(Gpr::rdx, 0);
+  emit_syscall(a, kern::kSysOpenat);
+  a.mov(Gpr::rbx, Gpr::rax);                 // dir fd
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, kScratchBuf);
+  a.mov(Gpr::rdx, 4096);
+  emit_syscall(a, kern::kSysGetdents64);
+  a.mov(Gpr::rdx, Gpr::rax);                 // byte count
+  a.mov(Gpr::rdi, 1);
+  a.mov(Gpr::rsi, kScratchBuf);
+  emit_syscall(a, kern::kSysWrite);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  emit_syscall(a, kern::kSysClose);
+}
+
+void emit_pwd(isa::Assembler& a) {
+  emit_syscall2(a, kern::kSysGetcwd, kScratchBuf, 256);
+  a.mov(Gpr::rdx, Gpr::rax);
+  a.mov(Gpr::rdi, 1);
+  a.mov(Gpr::rsi, kScratchBuf);
+  emit_syscall(a, kern::kSysWrite);
+}
+
+void emit_chmod(isa::Assembler& a) {
+  const std::uint64_t path = embed_string(a, "data/a.txt");
+  a.mov(Gpr::rdi, path);
+  a.mov(Gpr::rsi, 0644);
+  emit_syscall(a, kern::kSysChmod);
+}
+
+void emit_mkdir(isa::Assembler& a) {
+  const std::uint64_t path = embed_string(a, "newdir");
+  a.mov(Gpr::rdi, path);
+  a.mov(Gpr::rsi, 0755);
+  emit_syscall(a, kern::kSysMkdir);
+}
+
+void emit_mv(isa::Assembler& a) {
+  const std::uint64_t from = embed_string(a, "data/a.txt");
+  const std::uint64_t to = embed_string(a, "data/moved.txt");
+  a.mov(Gpr::rdi, from);
+  a.mov(Gpr::rsi, to);
+  emit_syscall(a, kern::kSysRename);
+}
+
+void emit_cp(isa::Assembler& a) {
+  const std::uint64_t src = embed_string(a, "data/a.txt");
+  const std::uint64_t dst = embed_string(a, "data/copy.txt");
+  a.mov(Gpr::rdi, src);
+  a.mov(Gpr::rsi, 0);
+  emit_syscall(a, kern::kSysOpen);
+  a.mov(Gpr::rbx, Gpr::rax);                 // src fd
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, kStatBuf);
+  emit_syscall(a, kern::kSysFstat);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, kScratchBuf);
+  a.mov(Gpr::rdx, 4096);
+  emit_syscall(a, kern::kSysRead);
+  a.mov(Gpr::r14, Gpr::rax);                 // bytes read
+  a.mov(Gpr::rdi, dst);
+  a.mov(Gpr::rsi, 0x40);                     // O_CREAT
+  emit_syscall(a, kern::kSysOpen);
+  a.mov(Gpr::r15, Gpr::rax);                 // dst fd
+  a.mov(Gpr::rdi, Gpr::r15);
+  a.mov(Gpr::rsi, kScratchBuf);
+  a.mov(Gpr::rdx, Gpr::r14);
+  emit_syscall(a, kern::kSysWrite);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  emit_syscall(a, kern::kSysClose);
+  a.mov(Gpr::rdi, Gpr::r15);
+  emit_syscall(a, kern::kSysClose);
+}
+
+void emit_rm(isa::Assembler& a) {
+  const std::uint64_t path = embed_string(a, "data/b.txt");
+  a.mov(Gpr::rdi, path);
+  emit_syscall(a, kern::kSysUnlink);
+}
+
+void emit_touch(isa::Assembler& a) {
+  const std::uint64_t path = embed_string(a, "newfile");
+  a.mov(Gpr::rdi, 0);
+  a.mov(Gpr::rsi, path);
+  a.mov(Gpr::rdx, 0x40);                     // O_CREAT
+  emit_syscall(a, kern::kSysOpenat);
+  a.mov(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, 0);
+  emit_syscall(a, kern::kSysUtimensat);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  emit_syscall(a, kern::kSysClose);
+}
+
+void emit_cat(isa::Assembler& a) {
+  const std::uint64_t path = embed_string(a, "data/a.txt");
+  a.mov(Gpr::rdi, path);
+  a.mov(Gpr::rsi, 0);
+  emit_syscall(a, kern::kSysOpen);
+  a.mov(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, kScratchBuf);
+  a.mov(Gpr::rdx, 4096);
+  emit_syscall(a, kern::kSysRead);
+  a.mov(Gpr::rdx, Gpr::rax);
+  a.mov(Gpr::rdi, 1);
+  a.mov(Gpr::rsi, kScratchBuf);
+  emit_syscall(a, kern::kSysWrite);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  emit_syscall(a, kern::kSysClose);
+}
+
+void emit_clear(isa::Assembler& a) {
+  emit_print(a, "\x1b[H\x1b[2J\x1b[3J");
+}
+
+}  // namespace
+
+bool ubuntu_build_uses_pthread(const std::string& name) {
+  // Which Ubuntu 20.04 builds run the Listing-1 pthread init: 4 of 10
+  // utilities, reproducing the paper's "40% of the evaluated coreutils are
+  // affected by the same pthread initialization issue".
+  return name == "ls" || name == "mkdir" || name == "mv" || name == "cp";
+}
+
+Result<isa::Program> make_coreutil(const std::string& name, LibcProfile profile) {
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  emit_libc_init(a, profile, ubuntu_build_uses_pthread(name));
+
+  if (name == "ls") emit_ls(a);
+  else if (name == "pwd") emit_pwd(a);
+  else if (name == "chmod") emit_chmod(a);
+  else if (name == "mkdir") emit_mkdir(a);
+  else if (name == "mv") emit_mv(a);
+  else if (name == "cp") emit_cp(a);
+  else if (name == "rm") emit_rm(a);
+  else if (name == "touch") emit_touch(a);
+  else if (name == "cat") emit_cat(a);
+  else if (name == "clear") emit_clear(a);
+  else {
+    return make_error(StatusCode::kNotFound, "unknown coreutil: " + name);
+  }
+
+  emit_exit(a, 0);
+  std::string image_name = name;
+  image_name += profile == LibcProfile::kUbuntu2004 ? "@ubuntu20.04"
+                                                     : "@clearlinux";
+  return isa::make_program(image_name, a, entry);
+}
+
+void populate_coreutil_fixtures(kern::Vfs& vfs) {
+  (void)vfs.mkdir("data");
+  (void)vfs.put_file("data/a.txt", {'h', 'e', 'l', 'l', 'o', '\n'});
+  (void)vfs.put_file("data/b.txt", {'w', 'o', 'r', 'l', 'd', '\n'});
+  (void)vfs.put_file_of_size("data/big.bin", 8192);
+}
+
+}  // namespace lzp::apps

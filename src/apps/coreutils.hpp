@@ -1,0 +1,38 @@
+// Models of the ten coreutils evaluated in the paper's Table III, buildable
+// against either libc profile. Each program performs a realistic syscall
+// sequence for its utility plus the profile's libc startup path; whether a
+// given (utility, profile) pair has a cross-syscall xstate expectation
+// matches the paper's measurements:
+//
+//   Ubuntu 20.04 / glibc 2.31: ls, mkdir, mv, cp link the pthread-enabled
+//   libc init (Listing 1) -> affected (4/10 = the paper's "40%"); the rest
+//   take the plain startup path -> unaffected.
+//   Clear Linux / glibc 2.39: every program runs ptmalloc_init -> affected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/minilibc.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/vfs.hpp"
+
+namespace lzp::apps {
+
+inline const std::vector<std::string>& coreutil_names() {
+  static const std::vector<std::string> kNames = {
+      "ls", "pwd", "chmod", "mkdir", "mv", "cp", "rm", "touch", "cat", "clear"};
+  return kNames;
+}
+
+// Whether this utility's Ubuntu build initializes pthreads (the paper's
+// Listing-1 pattern). On Clear Linux the ptmalloc pattern is unconditional.
+[[nodiscard]] bool ubuntu_build_uses_pthread(const std::string& name);
+
+// Builds the program image for one utility under one libc profile.
+Result<isa::Program> make_coreutil(const std::string& name, LibcProfile profile);
+
+// Seeds the VFS with the files the utilities operate on.
+void populate_coreutil_fixtures(kern::Vfs& vfs);
+
+}  // namespace lzp::apps

@@ -1,0 +1,136 @@
+#include "apps/jitcc.hpp"
+
+#include "apps/minicc.hpp"
+#include "apps/minilibc.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::apps {
+
+using isa::Gpr;
+
+std::string exhaustiveness_test_source() {
+  // "We introduce a singular, non-libc getpid syscall into a C application"
+  // (§V-A). getpid = 39 on x86-64.
+  return R"(
+    int compute() {
+      int acc = 0;
+      int i = 0;
+      while (i < 5) {
+        acc = acc + i * 2;
+        i = i + 1;
+      }
+      return acc;
+    }
+
+    int main() {
+      int pid = syscall1(39, 0);
+      int x = compute();
+      if (pid > 0) {
+        x = x + 1;
+      }
+      return x;
+    }
+  )";
+}
+
+inline constexpr std::uint64_t kJitBufferSize = 65536;
+
+Result<JitRunnerInfo> make_jit_runner(kern::Machine& machine,
+                                      const std::string& source_path) {
+  // The "compiler" host binding stands in for tcc's own native code: it
+  // lexes/parses/lowers the source the runner loaded into its buffer and
+  // emits machine code into the RW pages the runner mmap'ed (r13). All
+  // kernel interactions — reading the source, mmap, the W^X mprotect — are
+  // performed by the runner as ordinary, interposable simulated syscalls.
+  const std::uint64_t compile_fn = machine.bind_host(
+      "jitcc.compile", [](kern::HostFrame& frame) {
+        const std::uint64_t length = frame.ctx.reg(Gpr::rbx);
+        const std::uint64_t code_buf = frame.ctx.reg(Gpr::r13);
+        std::vector<std::uint8_t> source_bytes(length);
+        if (length == 0 ||
+            frame.task.mem->read(kScratchBuf, source_bytes).has_value()) {
+          frame.machine.kill_process(*frame.task.process, 1,
+                                     "jitcc: cannot read source buffer");
+          return;
+        }
+        std::string source(source_bytes.begin(), source_bytes.end());
+
+        auto compiled = minicc::compile(source);
+        if (!compiled) {
+          frame.machine.kill_process(
+              *frame.task.process, 1,
+              "jitcc: compile error: " + compiled.status().to_string());
+          return;
+        }
+        const auto& program = compiled.value();
+        if (program.code.size() > kJitBufferSize) {
+          frame.machine.kill_process(*frame.task.process, 1,
+                                     "jitcc: code buffer too small");
+          return;
+        }
+        // Model the compiler's CPU work: lexing/parsing/lowering.
+        frame.charge(2000 + 40 * program.code.size());
+        if (auto fault = frame.task.mem->write(code_buf, program.code)) {
+          frame.machine.kill_process(*frame.task.process, 1,
+                                     "jitcc: code write failed: " +
+                                         fault->to_string());
+          return;
+        }
+        frame.ctx.set_reg(Gpr::rax, program.entry_offset);
+      });
+
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t path_addr = embed_string(a, source_path);
+
+  // open + read + close: the compiler loading its input (static syscalls).
+  a.mov(Gpr::rdi, path_addr);
+  a.mov(Gpr::rsi, 0);
+  emit_syscall(a, kern::kSysOpen);
+  a.mov(Gpr::r12, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::r12);
+  a.mov(Gpr::rsi, kScratchBuf);
+  a.mov(Gpr::rdx, kJitBufferSize);
+  emit_syscall(a, kern::kSysRead);
+  a.mov(Gpr::rbx, Gpr::rax);  // source length, consumed by the compiler
+  a.mov(Gpr::rdi, Gpr::r12);
+  emit_syscall(a, kern::kSysClose);
+
+  // mmap(NULL, size, RW, anon): fresh pages for the generated code.
+  a.mov(Gpr::rdi, 0);
+  a.mov(Gpr::rsi, kJitBufferSize);
+  a.mov(Gpr::rdx, mem::kProtRead | mem::kProtWrite);
+  a.mov(Gpr::r10, 0);
+  emit_syscall(a, kern::kSysMmap);
+  a.mov(Gpr::r13, Gpr::rax);
+
+  // JIT-compile into [r13]; entry offset lands in rax.
+  a.hostcall(kern::Machine::host_index(compile_fn));
+  a.mov(Gpr::r14, Gpr::rax);
+
+  // mprotect(code, size, R|X): the W^X flip before running the code.
+  a.mov(Gpr::rdi, Gpr::r13);
+  a.mov(Gpr::rsi, kJitBufferSize);
+  a.mov(Gpr::rdx, mem::kProtRead | mem::kProtExec);
+  emit_syscall(a, kern::kSysMprotect);
+
+  // Call the generated main (indirect through rax, like tcc -run).
+  a.mov(Gpr::rax, Gpr::r13);
+  a.add(Gpr::rax, Gpr::r14);
+  a.call_rax();
+
+  // exit_group(main's return value)
+  a.mov(Gpr::rdi, Gpr::rax);
+  emit_syscall(a, kern::kSysExitGroup);
+
+  auto program = isa::make_program("jitcc-runner", a, entry);
+  if (!program) return program.status();
+
+  JitRunnerInfo info;
+  info.program = std::move(program).value();
+  info.static_syscall_sites = info.program.true_syscall_addresses().size();
+  return info;
+}
+
+}  // namespace lzp::apps

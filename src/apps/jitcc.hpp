@@ -1,0 +1,37 @@
+// The `tcc -run` analogue (paper §V-A): a runner program that reads C
+// source, JIT-compiles it with minicc *at run time*, maps the generated code
+// into fresh executable pages, and calls into it.
+//
+// Every syscall instruction inside the generated code is created after any
+// load-time static scan — the exhaustiveness experiment: an interposer that
+// only rewrites load-time code (zpoline) misses them; kernel-assisted
+// interposers (SUD, lazypoline) do not.
+#pragma once
+
+#include <string>
+
+#include "base/status.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/machine.hpp"
+
+namespace lzp::apps {
+
+struct JitRunnerInfo {
+  isa::Program program;
+  // Syscall instructions statically present in the runner binary itself
+  // (source reading, exit, ...), i.e. what a static scanner CAN find.
+  std::size_t static_syscall_sites = 0;
+};
+
+// Builds the runner for `source_path` (a VFS path holding minicc source).
+// The compilation step is a host binding on `machine` standing in for the
+// compiler's own native code; the mmap/mprotect it performs and all of the
+// *generated* code run as ordinary simulated code in the task.
+Result<JitRunnerInfo> make_jit_runner(kern::Machine& machine,
+                                      const std::string& source_path);
+
+// The canonical §V-A source: a C program whose only unusual behaviour is a
+// single non-libc getpid syscall.
+[[nodiscard]] std::string exhaustiveness_test_source();
+
+}  // namespace lzp::apps

@@ -1,0 +1,594 @@
+#include "apps/minicc.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+namespace lzp::apps::minicc {
+namespace {
+
+using isa::Assembler;
+using isa::Gpr;
+
+// Error propagation inside the compiler's Status-returning methods.
+#define LZP_RETURN_IF_ERROR_R(expr)                   \
+  do {                                                \
+    ::lzp::Status lzp_status_r_ = (expr);             \
+    if (!lzp_status_r_.is_ok()) return lzp_status_r_; \
+  } while (false)
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t { kIdent, kNumber, kPunct, kEof };
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  std::int64_t value = 0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (pos_ < source_.size()) {
+      const char c = source_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < source_.size() && source_[pos_ + 1] == '/') {
+        while (pos_ < source_.size() && source_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        const std::size_t start = pos_;
+        while (pos_ < source_.size() &&
+               (std::isalnum(static_cast<unsigned char>(source_[pos_])) != 0 ||
+                source_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back({TokKind::kIdent,
+                          std::string(source_.substr(start, pos_ - start)), 0,
+                          start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        const std::size_t start = pos_;
+        std::int64_t value = 0;
+        while (pos_ < source_.size() &&
+               std::isdigit(static_cast<unsigned char>(source_[pos_])) != 0) {
+          value = value * 10 + (source_[pos_] - '0');
+          ++pos_;
+        }
+        tokens.push_back({TokKind::kNumber, "", value, start});
+        continue;
+      }
+      // Two-char punctuators first.
+      static constexpr std::string_view kTwoChar[] = {"==", "!=", "<=", ">=",
+                                                      "&&", "||"};
+      // (both <= and >= are real operators below)
+      bool matched = false;
+      for (std::string_view two : kTwoChar) {
+        if (source_.substr(pos_, 2) == two) {
+          tokens.push_back({TokKind::kPunct, std::string(two), 0, pos_});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static constexpr std::string_view kOneChar = "(){};,=+-*/%<>";
+      if (kOneChar.find(c) != std::string_view::npos) {
+        tokens.push_back({TokKind::kPunct, std::string(1, c), 0, pos_});
+        ++pos_;
+        continue;
+      }
+      return make_error(StatusCode::kInvalidArgument,
+                        "minicc: stray character '" + std::string(1, c) +
+                            "' at offset " + std::to_string(pos_));
+    }
+    tokens.push_back({TokKind::kEof, "", 0, pos_});
+    return tokens;
+  }
+
+ private:
+  std::string_view source_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parser + single-pass code generator
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kMaxLocals = 32;
+
+class Compiler {
+ public:
+  explicit Compiler(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<CompiledProgram> run() {
+    while (!at_eof()) {
+      LZP_RETURN_IF_ERROR_R(parse_function());
+    }
+    auto main_it = functions_.find("main");
+    if (main_it == functions_.end()) {
+      return make_error(StatusCode::kNotFound, "minicc: no main()");
+    }
+    for (const auto& [name, info] : functions_) {
+      if (!info.defined) {
+        return make_error(StatusCode::kNotFound,
+                          "minicc: call to undefined function " + name);
+      }
+      for (std::size_t arity : info.called_with) {
+        if (static_cast<int>(arity) != info.declared_arity) {
+          return make_error(StatusCode::kInvalidArgument,
+                            "minicc: " + name + " called with " +
+                                std::to_string(arity) + " args, declared " +
+                                std::to_string(info.declared_arity));
+        }
+      }
+    }
+    CompiledProgram program;
+    auto entry = assembler_.label_offset(main_it->second.label);
+    if (!entry) return entry.status();
+    program.entry_offset = entry.value();
+    program.sites = assembler_.sites();
+    auto code = assembler_.finish();
+    if (!code) return code.status();
+    program.code = std::move(code).value();
+    return program;
+  }
+
+ private:
+  struct FunctionInfo {
+    Assembler::Label label = 0;
+    bool defined = false;
+    int declared_arity = -1;          // -1 until the definition is seen
+    std::vector<std::size_t> called_with;  // arities observed at call sites
+  };
+
+  // --- token helpers -------------------------------------------------------
+  [[nodiscard]] const Token& peek() const { return tokens_[index_]; }
+  [[nodiscard]] bool at_eof() const { return peek().kind == TokKind::kEof; }
+  Token advance() { return tokens_[index_++]; }
+
+  [[nodiscard]] bool is_punct(std::string_view text) const {
+    return peek().kind == TokKind::kPunct && peek().text == text;
+  }
+  [[nodiscard]] bool is_ident(std::string_view text) const {
+    return peek().kind == TokKind::kIdent && peek().text == text;
+  }
+  Status expect_punct(std::string_view text) {
+    if (!is_punct(text)) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "minicc: expected '" + std::string(text) + "' near offset " +
+                            std::to_string(peek().pos));
+    }
+    advance();
+    return Status::ok();
+  }
+
+  FunctionInfo& function_entry(const std::string& name) {
+    auto it = functions_.find(name);
+    if (it == functions_.end()) {
+      it = functions_.emplace(name,
+                              FunctionInfo{assembler_.new_label(), false, -1, {}})
+               .first;
+    }
+    return it->second;
+  }
+
+  // --- grammar -------------------------------------------------------------
+  Status parse_function() {
+    if (!is_ident("int")) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "minicc: expected 'int' at top level");
+    }
+    advance();
+    if (peek().kind != TokKind::kIdent) {
+      return make_error(StatusCode::kInvalidArgument, "minicc: expected name");
+    }
+    const std::string name = advance().text;
+    LZP_RETURN_IF_ERROR_R(expect_punct("("));
+    // Parameter list: "int a, int b, ...". Parameters are pushed
+    // left-to-right by the caller, so with the return address and saved rbp
+    // on top, parameter i of n lives at [rbp + 16 + 8*(n-1-i)].
+    std::vector<std::string> params;
+    if (!is_punct(")")) {
+      for (;;) {
+        if (!is_ident("int")) {
+          return make_error(StatusCode::kInvalidArgument,
+                            "minicc: expected parameter type");
+        }
+        advance();
+        if (peek().kind != TokKind::kIdent) {
+          return make_error(StatusCode::kInvalidArgument,
+                            "minicc: expected parameter name");
+        }
+        params.push_back(advance().text);
+        if (is_punct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    LZP_RETURN_IF_ERROR_R(expect_punct(")"));
+
+    FunctionInfo& info = function_entry(name);
+    if (info.defined) {
+      return make_error(StatusCode::kAlreadyExists,
+                        "minicc: redefinition of " + name);
+    }
+    info.defined = true;
+    info.declared_arity = static_cast<int>(params.size());
+    assembler_.bind(info.label);
+
+    // Prologue.
+    locals_.clear();
+    num_locals_ = 0;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (locals_.count(params[i]) != 0) {
+        return make_error(StatusCode::kAlreadyExists,
+                          "minicc: duplicate parameter " + params[i]);
+      }
+      locals_[params[i]] = static_cast<std::int32_t>(
+          16 + 8 * (params.size() - 1 - i));
+    }
+    epilogue_ = assembler_.new_label();
+    assembler_.push(Gpr::rbp);
+    assembler_.mov(Gpr::rbp, Gpr::rsp);
+    assembler_.sub(Gpr::rsp, static_cast<std::int32_t>(8 * kMaxLocals));
+
+    LZP_RETURN_IF_ERROR_R(parse_block());
+
+    // Implicit `return 0`.
+    assembler_.mov(Gpr::rax, 0);
+    assembler_.bind(epilogue_);
+    assembler_.mov(Gpr::rsp, Gpr::rbp);
+    assembler_.pop(Gpr::rbp);
+    assembler_.ret();
+    return Status::ok();
+  }
+
+  Status parse_block() {
+    LZP_RETURN_IF_ERROR_R(expect_punct("{"));
+    while (!is_punct("}")) {
+      if (at_eof()) {
+        return make_error(StatusCode::kInvalidArgument, "minicc: unclosed block");
+      }
+      LZP_RETURN_IF_ERROR_R(parse_statement());
+    }
+    advance();  // '}'
+    return Status::ok();
+  }
+
+  Status parse_statement() {
+    if (is_ident("int")) {
+      advance();
+      if (peek().kind != TokKind::kIdent) {
+        return make_error(StatusCode::kInvalidArgument, "minicc: expected name");
+      }
+      const std::string name = advance().text;
+      if (num_locals_ >= kMaxLocals) {
+        return make_error(StatusCode::kOutOfRange, "minicc: too many locals");
+      }
+      if (locals_.count(name) != 0) {
+        return make_error(StatusCode::kAlreadyExists,
+                          "minicc: redeclaration of " + name);
+      }
+      const std::int32_t disp =
+          -8 * (static_cast<std::int32_t>(num_locals_) + 1);
+      ++num_locals_;
+      locals_[name] = disp;
+      if (is_punct("=")) {
+        advance();
+        LZP_RETURN_IF_ERROR_R(parse_expr());
+        store_local(disp);
+      }
+      return expect_punct(";");
+    }
+    if (is_ident("return")) {
+      advance();
+      LZP_RETURN_IF_ERROR_R(parse_expr());
+      assembler_.jmp(epilogue_);
+      return expect_punct(";");
+    }
+    if (is_ident("if")) {
+      advance();
+      LZP_RETURN_IF_ERROR_R(expect_punct("("));
+      LZP_RETURN_IF_ERROR_R(parse_expr());
+      LZP_RETURN_IF_ERROR_R(expect_punct(")"));
+      const auto else_label = assembler_.new_label();
+      const auto end_label = assembler_.new_label();
+      assembler_.cmp(Gpr::rax, 0);
+      assembler_.jz(else_label);
+      LZP_RETURN_IF_ERROR_R(parse_block());
+      assembler_.jmp(end_label);
+      assembler_.bind(else_label);
+      if (is_ident("else")) {
+        advance();
+        if (is_ident("if")) {
+          // else-if chain: recurse into statement parsing.
+          LZP_RETURN_IF_ERROR_R(parse_statement());
+        } else {
+          LZP_RETURN_IF_ERROR_R(parse_block());
+        }
+      }
+      assembler_.bind(end_label);
+      return Status::ok();
+    }
+    if (is_ident("while")) {
+      advance();
+      const auto head = assembler_.new_label();
+      const auto end = assembler_.new_label();
+      assembler_.bind(head);
+      LZP_RETURN_IF_ERROR_R(expect_punct("("));
+      LZP_RETURN_IF_ERROR_R(parse_expr());
+      LZP_RETURN_IF_ERROR_R(expect_punct(")"));
+      assembler_.cmp(Gpr::rax, 0);
+      assembler_.jz(end);
+      LZP_RETURN_IF_ERROR_R(parse_block());
+      assembler_.jmp(head);
+      assembler_.bind(end);
+      return Status::ok();
+    }
+    // Assignment or expression statement.
+    if (peek().kind == TokKind::kIdent && index_ + 1 < tokens_.size() &&
+        tokens_[index_ + 1].kind == TokKind::kPunct &&
+        tokens_[index_ + 1].text == "=") {
+      const std::string name = advance().text;
+      advance();  // '='
+      auto disp = local_slot(name);
+      if (!disp) return disp.status();
+      LZP_RETURN_IF_ERROR_R(parse_expr());
+      store_local(disp.value());
+      return expect_punct(";");
+    }
+    LZP_RETURN_IF_ERROR_R(parse_expr());
+    return expect_punct(";");
+  }
+
+  // expr := or ; or := and { "||" and } ; and := cmp { "&&" cmp }
+  // Both logical operators short-circuit and normalize to 0/1.
+  Status parse_expr() { return parse_or(); }
+
+  Status parse_or() {
+    LZP_RETURN_IF_ERROR_R(parse_and());
+    if (!is_punct("||")) return Status::ok();
+    const auto truthy = assembler_.new_label();
+    const auto end = assembler_.new_label();
+    assembler_.cmp(Gpr::rax, 0);
+    assembler_.jnz(truthy);
+    while (is_punct("||")) {
+      advance();
+      LZP_RETURN_IF_ERROR_R(parse_and());
+      assembler_.cmp(Gpr::rax, 0);
+      assembler_.jnz(truthy);
+    }
+    assembler_.mov(Gpr::rax, 0);
+    assembler_.jmp(end);
+    assembler_.bind(truthy);
+    assembler_.mov(Gpr::rax, 1);
+    assembler_.bind(end);
+    return Status::ok();
+  }
+
+  Status parse_and() {
+    LZP_RETURN_IF_ERROR_R(parse_cmp());
+    if (!is_punct("&&")) return Status::ok();
+    const auto falsy = assembler_.new_label();
+    const auto end = assembler_.new_label();
+    assembler_.cmp(Gpr::rax, 0);
+    assembler_.jz(falsy);
+    while (is_punct("&&")) {
+      advance();
+      LZP_RETURN_IF_ERROR_R(parse_cmp());
+      assembler_.cmp(Gpr::rax, 0);
+      assembler_.jz(falsy);
+    }
+    assembler_.mov(Gpr::rax, 1);
+    assembler_.jmp(end);
+    assembler_.bind(falsy);
+    assembler_.mov(Gpr::rax, 0);
+    assembler_.bind(end);
+    return Status::ok();
+  }
+
+  // cmp := add (("=="|"!="|"<"|">"|"<="|">=") add)?
+  Status parse_cmp() {
+    LZP_RETURN_IF_ERROR_R(parse_add());
+    if (peek().kind == TokKind::kPunct &&
+        (peek().text == "==" || peek().text == "!=" || peek().text == "<" ||
+         peek().text == ">" || peek().text == "<=" || peek().text == ">=")) {
+      const std::string op = advance().text;
+      assembler_.push(Gpr::rax);
+      LZP_RETURN_IF_ERROR_R(parse_add());
+      assembler_.mov(Gpr::rcx, Gpr::rax);
+      assembler_.pop(Gpr::rax);
+      assembler_.cmp(Gpr::rax, Gpr::rcx);
+      const auto truthy = assembler_.new_label();
+      const auto end = assembler_.new_label();
+      // <= and >= jump to FALSE on the strict inverse and fall through to
+      // the truthy path otherwise.
+      if (op == "==") assembler_.jz(truthy);
+      else if (op == "!=") assembler_.jnz(truthy);
+      else if (op == "<") assembler_.jlt(truthy);
+      else if (op == ">") assembler_.jgt(truthy);
+      else if (op == "<=") {
+        const auto falsy = assembler_.new_label();
+        assembler_.jgt(falsy);
+        assembler_.jmp(truthy);
+        assembler_.bind(falsy);
+      } else {  // ">="
+        const auto falsy = assembler_.new_label();
+        assembler_.jlt(falsy);
+        assembler_.jmp(truthy);
+        assembler_.bind(falsy);
+      }
+      assembler_.mov(Gpr::rax, 0);
+      assembler_.jmp(end);
+      assembler_.bind(truthy);
+      assembler_.mov(Gpr::rax, 1);
+      assembler_.bind(end);
+    }
+    return Status::ok();
+  }
+
+  Status parse_add() {
+    LZP_RETURN_IF_ERROR_R(parse_mul());
+    while (is_punct("+") || is_punct("-")) {
+      const std::string op = advance().text;
+      assembler_.push(Gpr::rax);
+      LZP_RETURN_IF_ERROR_R(parse_mul());
+      assembler_.mov(Gpr::rcx, Gpr::rax);
+      assembler_.pop(Gpr::rax);
+      if (op == "+") assembler_.add(Gpr::rax, Gpr::rcx);
+      else assembler_.sub(Gpr::rax, Gpr::rcx);
+    }
+    return Status::ok();
+  }
+
+  Status parse_mul() {
+    LZP_RETURN_IF_ERROR_R(parse_unary());
+    while (is_punct("*") || is_punct("/") || is_punct("%")) {
+      const std::string op = advance().text;
+      assembler_.push(Gpr::rax);
+      LZP_RETURN_IF_ERROR_R(parse_unary());
+      assembler_.mov(Gpr::rcx, Gpr::rax);
+      assembler_.pop(Gpr::rax);
+      if (op == "*") assembler_.mul(Gpr::rax, Gpr::rcx);
+      else if (op == "/") assembler_.div(Gpr::rax, Gpr::rcx);
+      else assembler_.mod(Gpr::rax, Gpr::rcx);
+    }
+    return Status::ok();
+  }
+
+  Status parse_unary() {
+    if (is_punct("-")) {
+      advance();
+      LZP_RETURN_IF_ERROR_R(parse_unary());
+      assembler_.mov(Gpr::rcx, Gpr::rax);
+      assembler_.mov(Gpr::rax, 0);
+      assembler_.sub(Gpr::rax, Gpr::rcx);
+      return Status::ok();
+    }
+    return parse_primary();
+  }
+
+  Status parse_primary() {
+    if (is_punct("(")) {
+      advance();
+      LZP_RETURN_IF_ERROR_R(parse_expr());
+      return expect_punct(")");
+    }
+    if (peek().kind == TokKind::kNumber) {
+      assembler_.mov(Gpr::rax, static_cast<std::uint64_t>(advance().value));
+      return Status::ok();
+    }
+    if (peek().kind == TokKind::kIdent) {
+      const std::string name = advance().text;
+      if (is_punct("(")) return parse_call(name);
+      auto disp = local_slot(name);
+      if (!disp) return disp.status();
+      load_local(disp.value());
+      return Status::ok();
+    }
+    return make_error(StatusCode::kInvalidArgument,
+                      "minicc: expected expression near offset " +
+                          std::to_string(peek().pos));
+  }
+
+  Status parse_call(const std::string& name) {
+    LZP_RETURN_IF_ERROR_R(expect_punct("("));
+    std::optional<std::size_t> syscall_arity;
+    if (name == "syscall0") syscall_arity = 0;
+    else if (name == "syscall1") syscall_arity = 1;
+    else if (name == "syscall2") syscall_arity = 2;
+    else if (name == "syscall3") syscall_arity = 3;
+
+    std::size_t argc = 0;
+    if (!is_punct(")")) {
+      for (;;) {
+        LZP_RETURN_IF_ERROR_R(parse_expr());
+        assembler_.push(Gpr::rax);
+        ++argc;
+        if (is_punct(",")) {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    LZP_RETURN_IF_ERROR_R(expect_punct(")"));
+
+    if (syscall_arity.has_value()) {
+      if (argc != *syscall_arity + 1) {
+        return make_error(StatusCode::kInvalidArgument,
+                          "minicc: " + name + " expects " +
+                              std::to_string(*syscall_arity + 1) + " args");
+      }
+      // Stack top-down: last arg ... first arg (the syscall number).
+      static constexpr Gpr kArgRegs[3] = {Gpr::rdi, Gpr::rsi, Gpr::rdx};
+      for (std::size_t i = *syscall_arity; i > 0; --i) {
+        assembler_.pop(kArgRegs[i - 1]);
+      }
+      assembler_.pop(Gpr::rax);  // the syscall number
+      assembler_.syscall_();     // THE syscall instruction (JIT-generated!)
+      return Status::ok();
+    }
+
+    // User call: arguments are already pushed left-to-right; the caller
+    // cleans them up after the call (cdecl-style).
+    FunctionInfo& callee = function_entry(name);
+    callee.called_with.push_back(argc);
+    assembler_.call(callee.label);
+    if (argc > 0) {
+      assembler_.add(Gpr::rsp, static_cast<std::int32_t>(8 * argc));
+    }
+    return Status::ok();
+  }
+
+  // --- locals & parameters (rbp-relative displacements) ----------------------
+  Result<std::int32_t> local_slot(const std::string& name) const {
+    auto it = locals_.find(name);
+    if (it == locals_.end()) {
+      return make_error(StatusCode::kNotFound, "minicc: unknown variable " + name);
+    }
+    return it->second;
+  }
+  void load_local(std::int32_t disp) {
+    assembler_.load(Gpr::rax, Gpr::rbp, disp);
+  }
+  void store_local(std::int32_t disp) {
+    assembler_.store(Gpr::rbp, disp, Gpr::rax);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+  Assembler assembler_;
+  std::map<std::string, FunctionInfo> functions_;
+  std::map<std::string, std::int32_t> locals_;  // name -> rbp displacement
+  std::size_t num_locals_ = 0;
+  Assembler::Label epilogue_ = 0;
+};
+
+#undef LZP_RETURN_IF_ERROR_R
+
+}  // namespace
+
+Result<CompiledProgram> compile(std::string_view source) {
+  Lexer lexer(source);
+  auto tokens = lexer.run();
+  if (!tokens) return tokens.status();
+  Compiler compiler(std::move(tokens).value());
+  return compiler.run();
+}
+
+}  // namespace lzp::apps::minicc

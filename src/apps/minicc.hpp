@@ -1,0 +1,50 @@
+// minicc — a miniature C compiler targeting the simulated ISA.
+//
+// Stands in for the Tiny C Compiler in the paper's §V-A exhaustiveness
+// experiment (`tcc -run`): the JIT runner compiles C source *at run time*
+// and executes the generated code, whose syscall instructions did not exist
+// when a static rewriter scanned the binary.
+//
+// The language is a practical C subset:
+//   * functions:       int name() { ... }   (zero-argument user functions)
+//   * declarations:    int x = expr;  int y;
+//   * statements:      assignment, if/else, while, return, expression
+//   * expressions:     + - * == != < >, parentheses, integer literals,
+//                      variables, zero-arg user calls
+//   * builtins:        syscall0(nr) ... syscall3(nr, a, b, c) — emit a real
+//                      SYSCALL instruction with the x86-64 argument registers
+//
+// Code generation is a classic one-pass stack-machine lowering: expression
+// results in rax, temporaries spilled with push/pop, locals in rbp-relative
+// slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+#include "isa/assemble.hpp"
+
+namespace lzp::apps::minicc {
+
+struct CompiledProgram {
+  std::vector<std::uint8_t> code;  // position-independent (rel32 calls only)
+  std::uint64_t entry_offset = 0;  // offset of main()
+  std::vector<isa::AssembledSite> sites;  // ground truth incl. syscall sites
+
+  [[nodiscard]] std::size_t syscall_site_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& site : sites) {
+      if (!site.is_data && site.op == isa::Op::kSyscall) ++count;
+    }
+    return count;
+  }
+};
+
+// Compiles a translation unit. Fails with a diagnostic on syntax/semantic
+// errors (unknown variables, unbound functions, missing main).
+Result<CompiledProgram> compile(std::string_view source);
+
+}  // namespace lzp::apps::minicc

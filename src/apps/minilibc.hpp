@@ -1,0 +1,82 @@
+// A miniature libc model: emitter helpers that generate the startup and
+// syscall-wrapper code sequences real glibc emits — in particular the two
+// extended-state-across-syscall idioms the paper's Table III traces back to
+// real distributions:
+//
+//   * glibc 2.31 (Ubuntu 20.04) pthread initialization (paper Listing 1):
+//     an SSE register is populated with &__stack_user *before* the
+//     set_tid_address and set_robust_list syscalls, and stored with movups
+//     only after both return.
+//   * glibc 2.39 (Intel Clear Linux) ptmalloc_init: an xmm register is
+//     pre-populated to initialize main_arena, and a getrandom syscall
+//     intervenes before the store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/assemble.hpp"
+
+namespace lzp::apps {
+
+// Distro/libc profile a program is "linked against" (Table III columns).
+enum class LibcProfile : std::uint8_t {
+  kUbuntu2004,    // glibc 2.31, x86-64-v1 baseline
+  kClearLinux,    // glibc 2.39, x86-64-v3 paths enabled
+};
+
+[[nodiscard]] constexpr std::string_view to_string(LibcProfile profile) noexcept {
+  switch (profile) {
+    case LibcProfile::kUbuntu2004: return "Ubuntu 20.04 (glibc 2.31)";
+    case LibcProfile::kClearLinux: return "Clear Linux (glibc 2.39)";
+  }
+  return "?";
+}
+
+// Fixed addresses inside the data region used by the libc model.
+inline constexpr std::uint64_t kDataBase = 0x60'0000;
+inline constexpr std::uint64_t kStackUserAddr = kDataBase + 0x100;  // __stack_user
+inline constexpr std::uint64_t kMainArenaAddr = kDataBase + 0x140;  // main_arena
+inline constexpr std::uint64_t kScratchBuf = kDataBase + 0x1000;    // IO buffer
+inline constexpr std::uint64_t kStatBuf = kDataBase + 0x800;
+inline constexpr std::uint64_t kPathBuf = kDataBase + 0x900;
+
+// Emits `syscall` with up to 3 immediate arguments (number in rax).
+void emit_syscall(isa::Assembler& a, std::uint64_t nr);
+void emit_syscall1(isa::Assembler& a, std::uint64_t nr, std::uint64_t arg0);
+void emit_syscall2(isa::Assembler& a, std::uint64_t nr, std::uint64_t arg0,
+                   std::uint64_t arg1);
+void emit_syscall3(isa::Assembler& a, std::uint64_t nr, std::uint64_t arg0,
+                   std::uint64_t arg1, std::uint64_t arg2);
+
+// Paper Listing 1: the glibc 2.31 __pthread_initialize_minimal sequence.
+// xmm0 is live across set_tid_address and set_robust_list.
+void emit_pthread_init_glibc231(isa::Assembler& a);
+
+// Clear Linux glibc 2.39 ptmalloc_init: xmm1 prepopulated to initialize
+// main_arena fields, with an intervening getrandom.
+void emit_ptmalloc_init_glibc239(isa::Assembler& a);
+
+// Startup sequence without any cross-syscall xstate liveness (what the
+// unaffected Ubuntu utilities execute).
+void emit_plain_startup(isa::Assembler& a);
+
+// Full libc initialization for a profile. `uses_pthread` selects whether
+// this binary's init path runs the Listing-1 code (Ubuntu: only some
+// utilities; Clear Linux: the ptmalloc pattern runs unconditionally).
+void emit_libc_init(isa::Assembler& a, LibcProfile profile, bool uses_pthread);
+
+// Embeds a NUL-terminated string in the code stream (jumping over it) and
+// returns its absolute run-time address, assuming the conventional load
+// base. Data interleaved with code is exactly what desyncs linear sweeps.
+std::uint64_t embed_string(isa::Assembler& a, std::string_view text);
+
+// write(1, <text embedded in image>, len). Emits the data inline, jumping
+// over it — a classic data-in-code pattern that also stresses linear-sweep
+// disassembly.
+void emit_print(isa::Assembler& a, std::string_view text);
+
+// exit_group(code).
+void emit_exit(isa::Assembler& a, int code);
+
+}  // namespace lzp::apps

@@ -1,0 +1,218 @@
+#include "apps/webserver.hpp"
+
+#include "apps/minilibc.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::apps {
+
+using isa::Gpr;
+
+namespace {
+
+constexpr std::uint64_t kIovAddr = kScratchBuf + 512;   // struct iovec[1]
+constexpr std::uint64_t kHdrAddr = kScratchBuf + 1024;  // response headers
+// Thread stacks for the threaded variant (within the data region).
+constexpr std::uint64_t kThreadStackBase = kDataBase + 0x20000;
+constexpr std::uint64_t kThreadStackSize = 0x4000;
+
+// Binds the per-request user-space work (request parsing, header building,
+// logging) as a host charge for this profile.
+std::uint64_t bind_applogic(kern::Machine& machine,
+                            const ServerProfile& profile) {
+  const std::uint64_t compute = profile.app_compute_cycles;
+  return machine.bind_host(
+      "webserver.applogic." + profile.name,
+      [compute](kern::HostFrame& frame) { frame.charge(compute); });
+}
+
+// epfd = epoll_create1(0) -> rbx; epoll_ctl(ADD, listener); prebuild the
+// header iovec at kIovAddr.
+void emit_server_setup(isa::Assembler& a, const ServerProfile& profile) {
+  emit_syscall1(a, kern::kSysEpollCreate1, 0);
+  a.mov(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, 1);
+  a.mov(Gpr::rdx, kListenerFd);
+  emit_syscall(a, kern::kSysEpollCtl);
+
+  a.mov(Gpr::r9, kIovAddr);
+  a.mov(Gpr::r8, kHdrAddr);
+  a.store(Gpr::r9, 0, Gpr::r8);
+  a.mov(Gpr::r8, profile.header_bytes);
+  a.store(Gpr::r9, 8, Gpr::r8);
+}
+
+// The event loop. Expects rbx = epfd. `thread_exit` selects exit(0)
+// (per-thread) vs exit_group(0) (whole process).
+void emit_event_loop(isa::Assembler& a, const ServerProfile& profile,
+                     std::uint64_t applogic, std::uint64_t path_addr,
+                     bool thread_exit) {
+  const auto loop = a.new_label();
+  const auto accept_path = a.new_label();
+  const auto close_conn = a.new_label();
+  const auto done = a.new_label();
+
+  a.bind(loop);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, 0);
+  a.mov(Gpr::rdx, 0);
+  emit_syscall(a, kern::kSysEpollWait);  // fd+1, 1 = retry, 0 = done
+  a.cmp(Gpr::rax, 0);
+  a.jz(done);
+  a.cmp(Gpr::rax, 1);
+  a.jz(loop);  // nothing for this worker right now
+  a.mov(Gpr::r12, Gpr::rax);
+  a.sub(Gpr::r12, 1);
+  a.cmp(Gpr::r12, kListenerFd);
+  a.jz(accept_path);
+
+  // Readable connection in r12: read the request.
+  a.mov(Gpr::rdi, Gpr::r12);
+  a.mov(Gpr::rsi, kScratchBuf);
+  a.mov(Gpr::rdx, 4096);
+  emit_syscall(a, kern::kSysRecvfrom);
+  a.cmp(Gpr::rax, 0);
+  a.jz(close_conn);  // orderly close from the client
+
+  // User-space request handling (parse, route, build headers, log).
+  a.hostcall(kern::Machine::host_index(applogic));
+
+  if (profile.stat_before_open) {
+    a.mov(Gpr::rdi, path_addr);
+    a.mov(Gpr::rsi, kStatBuf);
+    emit_syscall(a, kern::kSysStat);
+  }
+
+  // openat(AT_FDCWD, path, O_RDONLY) -> r13
+  a.mov(Gpr::rdi, 0);
+  a.mov(Gpr::rsi, path_addr);
+  a.mov(Gpr::rdx, 0);
+  emit_syscall(a, kern::kSysOpenat);
+  a.mov(Gpr::r13, Gpr::rax);
+
+  // fstat(file) -> r14 = size
+  a.mov(Gpr::rdi, Gpr::r13);
+  a.mov(Gpr::rsi, kStatBuf);
+  emit_syscall(a, kern::kSysFstat);
+  a.mov(Gpr::r9, kStatBuf);
+  a.load(Gpr::r14, Gpr::r9, 0);
+
+  // writev(conn, iov, 1): response headers.
+  a.mov(Gpr::rdi, Gpr::r12);
+  a.mov(Gpr::rsi, kIovAddr);
+  a.mov(Gpr::rdx, 1);
+  emit_syscall(a, kern::kSysWritev);
+
+  // sendfile(conn, file, NULL, size): the body.
+  a.mov(Gpr::rdi, Gpr::r12);
+  a.mov(Gpr::rsi, Gpr::r13);
+  a.mov(Gpr::rdx, 0);
+  a.mov(Gpr::r10, Gpr::r14);
+  emit_syscall(a, kern::kSysSendfile);
+
+  // close(file)
+  a.mov(Gpr::rdi, Gpr::r13);
+  emit_syscall(a, kern::kSysClose);
+  a.jmp(loop);
+
+  a.bind(accept_path);
+  a.mov(Gpr::rdi, kListenerFd);
+  a.mov(Gpr::rsi, 0);
+  a.mov(Gpr::rdx, 0);
+  emit_syscall(a, kern::kSysAccept4);
+  a.jmp(loop);
+
+  a.bind(close_conn);
+  a.mov(Gpr::rdi, Gpr::r12);
+  emit_syscall(a, kern::kSysClose);
+  a.jmp(loop);
+
+  a.bind(done);
+  if (thread_exit) {
+    a.mov(Gpr::rdi, 0);
+    a.mov(Gpr::rax, kern::kSysExit);
+    a.syscall_();
+  } else {
+    emit_exit(a, 0);
+  }
+}
+
+}  // namespace
+
+ServerProfile nginx_profile() {
+  ServerProfile profile;
+  profile.name = "nginx";
+  profile.app_compute_cycles = 72'000;
+  profile.stat_before_open = false;  // nginx opens directly (open_file_cache off)
+  profile.header_bytes = 160;
+  return profile;
+}
+
+ServerProfile lighttpd_profile() {
+  ServerProfile profile;
+  profile.name = "lighttpd";
+  profile.app_compute_cycles = 64'000;
+  profile.stat_before_open = true;  // lighttpd stat()s before opening
+  profile.header_bytes = 128;
+  return profile;
+}
+
+Result<isa::Program> make_webserver(kern::Machine& machine,
+                                    const ServerProfile& profile,
+                                    const std::string& resource_path) {
+  const std::uint64_t applogic = bind_applogic(machine, profile);
+
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t path_addr = embed_string(a, resource_path);
+  emit_server_setup(a, profile);
+  emit_event_loop(a, profile, applogic, path_addr, /*thread_exit=*/false);
+  return isa::make_program(profile.name + "-worker", a, entry);
+}
+
+Result<isa::Program> make_threaded_webserver(kern::Machine& machine,
+                                             const ServerProfile& profile,
+                                             const std::string& resource_path,
+                                             int num_threads) {
+  if (num_threads < 1 || num_threads > 8) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "threaded server supports 1..8 threads");
+  }
+  const std::uint64_t applogic = bind_applogic(machine, profile);
+
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto spawn_loop = a.new_label();
+  const auto serve = a.new_label();
+  a.bind(entry);
+  const std::uint64_t path_addr = embed_string(a, resource_path);
+  emit_server_setup(a, profile);
+
+  // Spawn num_threads-1 CLONE_VM|CLONE_THREAD workers; each child jumps
+  // straight into the (shared) event loop with its own stack carved out of
+  // the data region. rbx (the epfd) is inherited through the clone.
+  a.mov(Gpr::r15, static_cast<std::uint64_t>(num_threads - 1));
+  a.bind(spawn_loop);
+  a.cmp(Gpr::r15, 0);
+  a.jz(serve);
+  a.mov(Gpr::rax, Gpr::r15);
+  a.mov(Gpr::rcx, kThreadStackSize);
+  a.mul(Gpr::rax, Gpr::rcx);
+  a.mov(Gpr::rsi, kThreadStackBase);
+  a.add(Gpr::rsi, Gpr::rax);        // child stack top
+  a.mov(Gpr::rdi, kern::kCloneVm | kern::kCloneThread);
+  a.mov(Gpr::rax, kern::kSysClone);
+  a.syscall_();
+  a.cmp(Gpr::rax, 0);
+  a.jz(serve);                      // child: enter the event loop
+  a.sub(Gpr::r15, 1);
+  a.jmp(spawn_loop);
+
+  a.bind(serve);
+  emit_event_loop(a, profile, applogic, path_addr, /*thread_exit=*/true);
+  return isa::make_program(
+      profile.name + "-threaded-" + std::to_string(num_threads), a, entry);
+}
+
+}  // namespace lzp::apps

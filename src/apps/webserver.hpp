@@ -1,0 +1,75 @@
+// Event-loop web server models for the Figure-5 macrobenchmarks.
+//
+// Two server profiles mirroring the syscall-per-request behaviour of the
+// paper's workloads when serving static content over keepalive connections:
+//
+//   nginx:    epoll_wait, recvfrom, openat, fstat, writev(headers),
+//             sendfile(body), close(file)                          [7/req]
+//   lighttpd: epoll_wait, recvfrom, stat, openat, fstat,
+//             writev(headers), sendfile(body), close(file)         [8/req]
+//
+// Each request also runs the server's user-space work (request parsing,
+// header construction, logging), modeled as a calibrated per-request cycle
+// charge. The server program is genuine simulated code: a real event loop
+// whose every syscall goes through the kernel entry path, so interposition
+// overhead composes exactly as it would in reality.
+//
+// Convention: the benchmark harness installs the listening socket as fd 3
+// before starting the server task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/assemble.hpp"
+#include "kernel/machine.hpp"
+
+namespace lzp::apps {
+
+struct ServerProfile {
+  std::string name;
+  // User-space cycles per request (parsing, headers, logging).
+  std::uint64_t app_compute_cycles = 72'000;
+  // lighttpd stats the path before opening it; nginx does not.
+  bool stat_before_open = true;
+  std::uint64_t header_bytes = 128;
+};
+
+[[nodiscard]] ServerProfile nginx_profile();
+[[nodiscard]] ServerProfile lighttpd_profile();
+
+inline constexpr int kListenerFd = 3;
+
+// Builds the server program (registers nothing; caller registers if needed).
+// `resource_path` is the static file every request fetches. The returned
+// program's image embeds a HOSTCALL that charges the profile's per-request
+// compute; the binding is created on `machine` by this call.
+Result<isa::Program> make_webserver(kern::Machine& machine,
+                                    const ServerProfile& profile,
+                                    const std::string& resource_path);
+
+// Threaded variant: the main thread sets up epoll, clones `num_threads - 1`
+// CLONE_VM|CLONE_THREAD workers, and joins the event loop itself. All
+// threads share the address space (one trampoline, one set of rewritten
+// sites) but each needs its own SUD selector — the paper's §IV-B
+// multithreading scenario. Threads exit individually with exit(0).
+Result<isa::Program> make_threaded_webserver(kern::Machine& machine,
+                                             const ServerProfile& profile,
+                                             const std::string& resource_path,
+                                             int num_threads);
+
+// One measurement: runs `workers` copies of the server program against a
+// closed-loop client. Returns requests served and the wall-clock cycles
+// (max over workers, since workers run on dedicated cores).
+struct WebRunResult {
+  std::uint64_t requests = 0;
+  std::uint64_t wall_cycles = 0;
+  // requests per simulated second at the given clock.
+  [[nodiscard]] double throughput_rps(double ghz = 2.1) const {
+    if (wall_cycles == 0) return 0.0;
+    return static_cast<double>(requests) /
+           (static_cast<double>(wall_cycles) / (ghz * 1e9));
+  }
+};
+
+}  // namespace lzp::apps

@@ -1,0 +1,40 @@
+#include "base/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace lzp {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+LogSink g_sink;  // guarded by g_sink_mutex; empty means "stderr"
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(to_string(level).size()), to_string(level).data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace lzp

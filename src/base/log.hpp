@@ -1,0 +1,69 @@
+// Minimal leveled logger. The simulator is a library, so logging is opt-in
+// and goes through a single process-wide sink configurable by tests/benches.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lzp {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+[[nodiscard]] constexpr std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+// Global minimum level; messages below it are compiled out of the hot path
+// by an early branch.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+// Replace the sink (default writes to stderr). Passing nullptr restores it.
+void set_log_sink(LogSink sink);
+
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace lzp
+
+#define LZP_LOG(level)                          \
+  if (::lzp::log_level() > (level)) {           \
+  } else                                        \
+    ::lzp::detail::LogLine { (level) }
+
+#define LZP_LOG_TRACE LZP_LOG(::lzp::LogLevel::kTrace)
+#define LZP_LOG_DEBUG LZP_LOG(::lzp::LogLevel::kDebug)
+#define LZP_LOG_INFO LZP_LOG(::lzp::LogLevel::kInfo)
+#define LZP_LOG_WARN LZP_LOG(::lzp::LogLevel::kWarn)
+#define LZP_LOG_ERROR LZP_LOG(::lzp::LogLevel::kError)

@@ -1,0 +1,35 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+// All simulated noise (benchmark repeat jitter, workload think time) derives
+// from a seeded xoshiro256** stream so that every bench run is bit-identical.
+#pragma once
+
+#include <cstdint>
+
+namespace lzp {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation
+// re-expressed). Excellent statistical quality, tiny state, fully portable.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Gaussian(0, 1) via Marsaglia polar method (deterministic given the stream).
+  double next_gaussian() noexcept;
+
+ private:
+  std::uint64_t state_[4] = {};
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace lzp

@@ -1,0 +1,75 @@
+#include "base/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lzp {
+
+double mean(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double geomean(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double s : samples) {
+    if (s <= 0.0) return 0.0;  // geomean undefined; report 0 rather than NaN
+    log_sum += std::log(s);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+double stddev(std::span<const double> samples) noexcept {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double acc = 0.0;
+  for (double s : samples) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples.size() - 1));
+}
+
+double stddev_pct(std::span<const double> samples) noexcept {
+  const double m = mean(samples);
+  if (m == 0.0) return 0.0;
+  return 100.0 * stddev(samples) / m;
+}
+
+double min_of(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+double max_of(std::span<const double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  return *std::max_element(samples.begin(), samples.end());
+}
+
+double median(std::vector<double> samples) noexcept {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                   samples.end());
+  if (samples.size() % 2 == 1) return samples[mid];
+  const double hi = samples[mid];
+  const double lo = *std::max_element(samples.begin(),
+                                      samples.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2.0;
+}
+
+void RunningStats::add(double sample) noexcept {
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace lzp

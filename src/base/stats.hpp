@@ -1,0 +1,36 @@
+// Statistics helpers used by the benchmark harnesses: the paper reports
+// geometric means over 10 repeats and maximal standard deviations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lzp {
+
+[[nodiscard]] double mean(std::span<const double> samples) noexcept;
+[[nodiscard]] double geomean(std::span<const double> samples) noexcept;
+// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> samples) noexcept;
+// Standard deviation as a percentage of the mean (the paper's "below X%").
+[[nodiscard]] double stddev_pct(std::span<const double> samples) noexcept;
+[[nodiscard]] double min_of(std::span<const double> samples) noexcept;
+[[nodiscard]] double max_of(std::span<const double> samples) noexcept;
+[[nodiscard]] double median(std::vector<double> samples) noexcept;
+
+// Streaming accumulator for single-pass mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double sample) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace lzp

@@ -1,0 +1,111 @@
+// Lightweight status / result types used across the simulator and the
+// interposition libraries. We avoid exceptions on hot paths (the CPU
+// interpreter and kernel entry are exercised millions of times per benchmark)
+// and instead propagate a small error code plus message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace lzp {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,   // e.g. writing a read-only page
+  kOutOfRange,         // address outside any mapping
+  kFailedPrecondition, // API misuse (e.g. running an exited task)
+  kUnimplemented,
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kPermissionDenied: return "permission-denied";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+// A Status is an error code plus an optional human-readable message.
+// The common success value carries no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string out{lzp::to_string(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(StatusCode code, std::string message) {
+  return Status{code, std::move(message)};
+}
+
+// Result<T>: either a value or a Status error. Minimal expected<>-style type;
+// value access on error aborts (programming error), so callers must check.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& { return std::get<T>(storage_); }
+  [[nodiscard]] T& value() & { return std::get<T>(storage_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  [[nodiscard]] const Status& status() const& { return std::get<Status>(storage_); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace lzp
+
+// Propagate errors without exceptions. Usable in functions returning Status.
+#define LZP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::lzp::Status lzp_status_ = (expr);            \
+    if (!lzp_status_.is_ok()) return lzp_status_;  \
+  } while (false)

@@ -1,0 +1,89 @@
+#include "base/strings.hpp"
+
+#include <cstdio>
+
+namespace lzp {
+
+std::string hex_u64(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string hex_byte(std::uint8_t value) {
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "%02x", value);
+  return buffer;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += hex_byte(bytes[i]);
+  }
+  return out;
+}
+
+std::string human_size(std::uint64_t bytes) {
+  char buffer[32];
+  if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lluM",
+                  static_cast<unsigned long long>(bytes >> 20));
+  } else if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lluK",
+                  static_cast<unsigned long long>(bytes >> 10));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buffer;
+}
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string join(std::span<const std::string> parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  std::string out;
+  if (text.size() < width) out.assign(width - text.size(), ' ');
+  out += text;
+  return out;
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  std::string out{text};
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace lzp

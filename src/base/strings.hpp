@@ -1,0 +1,33 @@
+// Small string/byte formatting helpers shared by the disassembler, tracing
+// interposers, and table renderers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lzp {
+
+[[nodiscard]] std::string hex_u64(std::uint64_t value);
+[[nodiscard]] std::string hex_byte(std::uint8_t value);
+[[nodiscard]] std::string hex_dump(std::span<const std::uint8_t> bytes);
+
+// "1.0K", "64K", "256K", "2M" style size labels used in Figure 5 axes.
+[[nodiscard]] std::string human_size(std::uint64_t bytes);
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+[[nodiscard]] std::string join(std::span<const std::string> parts,
+                               std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+// Fixed-width left/right padding for ASCII table rendering.
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+// printf-style double formatting with a fixed number of decimals.
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+}  // namespace lzp

@@ -1,0 +1,265 @@
+#include "bpf/bpf.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "base/strings.hpp"
+
+namespace lzp::bpf {
+namespace {
+
+constexpr std::uint16_t insn_class(std::uint16_t code) noexcept { return code & 0x07; }
+constexpr std::uint16_t insn_op(std::uint16_t code) noexcept { return code & 0xF0; }
+// ALU/JMP operand source: the BPF_SRC field is the 0x08 bit only (0x10 is
+// part of the opcode space, e.g. BPF_DIV = 0x30).
+constexpr bool src_is_x(std::uint16_t code) noexcept { return (code & 0x08) != 0; }
+// RET value source: the BPF_RVAL field is 0x18 (BPF_A = 0x10).
+constexpr std::uint16_t insn_rval(std::uint16_t code) noexcept { return code & 0x18; }
+constexpr std::uint16_t insn_mode(std::uint16_t code) noexcept { return code & 0xE0; }
+
+}  // namespace
+
+Status validate(std::span<const Insn> program, std::size_t data_len) {
+  if (program.empty()) {
+    return make_error(StatusCode::kInvalidArgument, "bpf: empty program");
+  }
+  if (program.size() > kMaxProgramLength) {
+    return make_error(StatusCode::kInvalidArgument, "bpf: program too long");
+  }
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const Insn& insn = program[pc];
+    switch (insn_class(insn.code)) {
+      case BPF_LD:
+      case BPF_LDX: {
+        const std::uint16_t mode = insn_mode(insn.code);
+        if (mode == BPF_ABS) {
+          // Word loads must fit the data area. seccomp enforces 4-byte
+          // alignment too.
+          if (insn.k % 4 != 0 || insn.k + 4 > data_len) {
+            return make_error(StatusCode::kOutOfRange,
+                              "bpf: LD_ABS outside data at pc " + std::to_string(pc));
+          }
+        } else if (mode == BPF_MEM) {
+          if (insn.k >= kScratchSlots) {
+            return make_error(StatusCode::kOutOfRange, "bpf: bad scratch slot");
+          }
+        } else if (mode != BPF_IMM && mode != BPF_LEN) {
+          return make_error(StatusCode::kInvalidArgument,
+                            "bpf: unsupported load mode (seccomp subset)");
+        }
+        break;
+      }
+      case BPF_ST:
+      case BPF_STX:
+        if (insn.k >= kScratchSlots) {
+          return make_error(StatusCode::kOutOfRange, "bpf: bad scratch slot");
+        }
+        break;
+      case BPF_ALU: {
+        const std::uint16_t op = insn_op(insn.code);
+        if (op != BPF_ADD && op != BPF_SUB && op != BPF_MUL && op != BPF_DIV &&
+            op != BPF_OR && op != BPF_AND && op != BPF_LSH && op != BPF_RSH &&
+            op != BPF_NEG && op != BPF_XOR) {
+          return make_error(StatusCode::kInvalidArgument, "bpf: bad alu op");
+        }
+        if (op == BPF_DIV && !src_is_x(insn.code) && insn.k == 0) {
+          return make_error(StatusCode::kInvalidArgument, "bpf: div by zero");
+        }
+        break;
+      }
+      case BPF_JMP: {
+        const std::uint16_t op = insn_op(insn.code);
+        if (op != BPF_JA && op != BPF_JEQ && op != BPF_JGT && op != BPF_JGE &&
+            op != BPF_JSET) {
+          return make_error(StatusCode::kInvalidArgument, "bpf: bad jmp op");
+        }
+        if (op == BPF_JA) {
+          if (pc + 1 + static_cast<std::size_t>(insn.k) > program.size() - 1) {
+            return make_error(StatusCode::kOutOfRange, "bpf: JA out of range");
+          }
+        } else {
+          if (pc + 1 + insn.jt > program.size() - 1 ||
+              pc + 1 + insn.jf > program.size() - 1) {
+            return make_error(StatusCode::kOutOfRange, "bpf: jump out of range");
+          }
+        }
+        break;
+      }
+      case BPF_RET:
+        break;
+      case BPF_MISC:
+        if (insn_op(insn.code) != BPF_TAX && insn_op(insn.code) != BPF_TXA) {
+          return make_error(StatusCode::kInvalidArgument, "bpf: bad misc op");
+        }
+        break;
+      default:
+        return make_error(StatusCode::kInvalidArgument, "bpf: bad class");
+    }
+  }
+  // The final instruction must be an unconditional return (kernel rule), so
+  // no path can fall off the end.
+  const Insn& last = program.back();
+  if (insn_class(last.code) != BPF_RET) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "bpf: program does not end in RET");
+  }
+  return Status::ok();
+}
+
+Result<RunResult> run(std::span<const Insn> program,
+                      std::span<const std::uint8_t> data) {
+  std::uint32_t a = 0;
+  std::uint32_t x = 0;
+  std::array<std::uint32_t, kScratchSlots> scratch{};
+  RunResult result;
+
+  auto load_word = [&](std::uint32_t offset, std::uint32_t& out) -> bool {
+    if (offset + 4 > data.size()) return false;
+    std::memcpy(&out, data.data() + offset, 4);
+    return true;
+  };
+
+  std::size_t pc = 0;
+  while (pc < program.size()) {
+    const Insn& insn = program[pc];
+    ++result.insns_executed;
+    // A bounded interpreter: cBPF has forward-only jumps, but guard anyway.
+    if (result.insns_executed > kMaxProgramLength * 2) {
+      return make_error(StatusCode::kInternal, "bpf: runaway program");
+    }
+    const std::uint16_t cls = insn_class(insn.code);
+    switch (cls) {
+      case BPF_LD: {
+        const std::uint16_t mode = insn_mode(insn.code);
+        if (mode == BPF_ABS) {
+          if (!load_word(insn.k, a)) {
+            return make_error(StatusCode::kOutOfRange, "bpf: load out of data");
+          }
+        } else if (mode == BPF_IND) {
+          if (!load_word(x + insn.k, a)) {
+            return make_error(StatusCode::kOutOfRange, "bpf: load out of data");
+          }
+        } else if (mode == BPF_MEM) {
+          a = scratch[insn.k];
+        } else if (mode == BPF_IMM) {
+          a = insn.k;
+        } else if (mode == BPF_LEN) {
+          a = static_cast<std::uint32_t>(data.size());
+        }
+        break;
+      }
+      case BPF_LDX: {
+        const std::uint16_t mode = insn_mode(insn.code);
+        if (mode == BPF_MEM) {
+          x = scratch[insn.k];
+        } else if (mode == BPF_IMM) {
+          x = insn.k;
+        } else if (mode == BPF_LEN) {
+          x = static_cast<std::uint32_t>(data.size());
+        } else if (mode == BPF_ABS) {
+          if (!load_word(insn.k, x)) {
+            return make_error(StatusCode::kOutOfRange, "bpf: load out of data");
+          }
+        }
+        break;
+      }
+      case BPF_ST:
+        scratch[insn.k] = a;
+        break;
+      case BPF_STX:
+        scratch[insn.k] = x;
+        break;
+      case BPF_ALU: {
+        const std::uint32_t operand = src_is_x(insn.code) ? x : insn.k;
+        switch (insn_op(insn.code)) {
+          case BPF_ADD: a += operand; break;
+          case BPF_SUB: a -= operand; break;
+          case BPF_MUL: a *= operand; break;
+          case BPF_DIV:
+            if (operand == 0) {
+              return make_error(StatusCode::kInvalidArgument, "bpf: div by 0");
+            }
+            a /= operand;
+            break;
+          case BPF_OR: a |= operand; break;
+          case BPF_AND: a &= operand; break;
+          case BPF_LSH: a <<= (operand & 31); break;
+          case BPF_RSH: a >>= (operand & 31); break;
+          case BPF_XOR: a ^= operand; break;
+          case BPF_NEG: a = static_cast<std::uint32_t>(-static_cast<std::int32_t>(a)); break;
+          default: break;
+        }
+        break;
+      }
+      case BPF_JMP: {
+        const std::uint32_t operand = src_is_x(insn.code) ? x : insn.k;
+        bool taken = false;
+        switch (insn_op(insn.code)) {
+          case BPF_JA: pc += insn.k + 1; continue;
+          case BPF_JEQ: taken = (a == operand); break;
+          case BPF_JGT: taken = (a > operand); break;
+          case BPF_JGE: taken = (a >= operand); break;
+          case BPF_JSET: taken = (a & operand) != 0; break;
+          default: break;
+        }
+        pc += 1 + (taken ? insn.jt : insn.jf);
+        continue;
+      }
+      case BPF_RET:
+        result.value = insn_rval(insn.code) == BPF_A ? a : insn.k;
+        return result;
+      case BPF_MISC:
+        if (insn_op(insn.code) == BPF_TAX) x = a;
+        else a = x;
+        break;
+      default:
+        return make_error(StatusCode::kInvalidArgument, "bpf: bad class");
+    }
+    ++pc;
+  }
+  return make_error(StatusCode::kInternal, "bpf: fell off program end");
+}
+
+std::string disassemble(std::span<const Insn> program) {
+  std::string out;
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const Insn& insn = program[pc];
+    out += std::to_string(pc);
+    out += ": ";
+    switch (insn_class(insn.code)) {
+      case BPF_LD:
+        if (insn_mode(insn.code) == BPF_ABS) out += "ld [" + std::to_string(insn.k) + "]";
+        else if (insn_mode(insn.code) == BPF_IMM) out += "ld #" + std::to_string(insn.k);
+        else if (insn_mode(insn.code) == BPF_MEM) out += "ld M[" + std::to_string(insn.k) + "]";
+        else out += "ld ?";
+        break;
+      case BPF_LDX: out += "ldx #" + std::to_string(insn.k); break;
+      case BPF_ST: out += "st M[" + std::to_string(insn.k) + "]"; break;
+      case BPF_STX: out += "stx M[" + std::to_string(insn.k) + "]"; break;
+      case BPF_ALU: out += "alu"; break;
+      case BPF_JMP: {
+        const char* name = "j?";
+        switch (insn_op(insn.code)) {
+          case BPF_JA: name = "ja"; break;
+          case BPF_JEQ: name = "jeq"; break;
+          case BPF_JGT: name = "jgt"; break;
+          case BPF_JGE: name = "jge"; break;
+          case BPF_JSET: name = "jset"; break;
+        }
+        out += name;
+        out += " #" + std::to_string(insn.k) + " jt=" + std::to_string(insn.jt) +
+               " jf=" + std::to_string(insn.jf);
+        break;
+      }
+      case BPF_RET:
+        out += "ret ";
+        out += insn_rval(insn.code) == BPF_A ? "A" : hex_u64(insn.k);
+        break;
+      case BPF_MISC: out += insn_op(insn.code) == BPF_TAX ? "tax" : "txa"; break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lzp::bpf

@@ -1,0 +1,108 @@
+// Classic BPF (cBPF), as consumed by seccomp(2).
+//
+// This is a from-scratch implementation of the classic BPF virtual machine:
+// the instruction format, a validator equivalent in spirit to the kernel's
+// bpf_check_classic() (bounded programs, forward-only jumps, must end in a
+// return), and an interpreter. seccomp filters are cBPF programs whose input
+// is `struct seccomp_data` and whose return value selects a kernel action.
+//
+// The paper's point about seccomp-bpf (§II-A) is reproduced faithfully by
+// construction: the VM has no stores to task memory and no way to
+// dereference user pointers — filters can only inspect the syscall number,
+// architecture, instruction pointer, and raw argument *values*. That is the
+// expressiveness limitation that rules seccomp-bpf out for deep interposition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace lzp::bpf {
+
+// --- instruction encoding (matches <linux/filter.h>) ------------------------
+
+// Instruction classes.
+inline constexpr std::uint16_t BPF_LD = 0x00;
+inline constexpr std::uint16_t BPF_LDX = 0x01;
+inline constexpr std::uint16_t BPF_ST = 0x02;
+inline constexpr std::uint16_t BPF_STX = 0x03;
+inline constexpr std::uint16_t BPF_ALU = 0x04;
+inline constexpr std::uint16_t BPF_JMP = 0x05;
+inline constexpr std::uint16_t BPF_RET = 0x06;
+inline constexpr std::uint16_t BPF_MISC = 0x07;
+
+// Size / mode for loads.
+inline constexpr std::uint16_t BPF_W = 0x00;
+inline constexpr std::uint16_t BPF_ABS = 0x20;
+inline constexpr std::uint16_t BPF_IND = 0x40;
+inline constexpr std::uint16_t BPF_MEM = 0x60;
+inline constexpr std::uint16_t BPF_IMM = 0x00;
+inline constexpr std::uint16_t BPF_LEN = 0x80;
+
+// ALU / JMP subops.
+inline constexpr std::uint16_t BPF_ADD = 0x00;
+inline constexpr std::uint16_t BPF_SUB = 0x10;
+inline constexpr std::uint16_t BPF_MUL = 0x20;
+inline constexpr std::uint16_t BPF_DIV = 0x30;
+inline constexpr std::uint16_t BPF_OR = 0x40;
+inline constexpr std::uint16_t BPF_AND = 0x50;
+inline constexpr std::uint16_t BPF_LSH = 0x60;
+inline constexpr std::uint16_t BPF_RSH = 0x70;
+inline constexpr std::uint16_t BPF_NEG = 0x80;
+inline constexpr std::uint16_t BPF_XOR = 0xA0;
+inline constexpr std::uint16_t BPF_JA = 0x00;
+inline constexpr std::uint16_t BPF_JEQ = 0x10;
+inline constexpr std::uint16_t BPF_JGT = 0x20;
+inline constexpr std::uint16_t BPF_JGE = 0x30;
+inline constexpr std::uint16_t BPF_JSET = 0x40;
+
+// Operand source.
+inline constexpr std::uint16_t BPF_K = 0x00;
+inline constexpr std::uint16_t BPF_X = 0x08;
+inline constexpr std::uint16_t BPF_A = 0x10;  // for BPF_RET
+
+// Misc.
+inline constexpr std::uint16_t BPF_TAX = 0x00;
+inline constexpr std::uint16_t BPF_TXA = 0x80;
+
+// One cBPF instruction (struct sock_filter).
+struct Insn {
+  std::uint16_t code = 0;
+  std::uint8_t jt = 0;
+  std::uint8_t jf = 0;
+  std::uint32_t k = 0;
+};
+
+[[nodiscard]] constexpr Insn stmt(std::uint16_t code, std::uint32_t k) noexcept {
+  return Insn{code, 0, 0, k};
+}
+[[nodiscard]] constexpr Insn jump(std::uint16_t code, std::uint32_t k,
+                                  std::uint8_t jt, std::uint8_t jf) noexcept {
+  return Insn{code, jt, jf, k};
+}
+
+inline constexpr std::size_t kMaxProgramLength = 4096;  // BPF_MAXINSNS
+inline constexpr std::size_t kScratchSlots = 16;        // BPF_MEMWORDS
+
+// Validates a program the way the kernel does before attaching it: nonempty,
+// bounded length, known opcodes, in-bounds jumps (cBPF jumps are forward-only
+// by encoding), in-bounds scratch slots, division by constant zero rejected,
+// and every path ends in BPF_RET.
+Status validate(std::span<const Insn> program, std::size_t data_len);
+
+struct RunResult {
+  std::uint32_t value = 0;        // A register at BPF_RET, or RET's constant
+  std::uint32_t insns_executed = 0;
+};
+
+// Interprets `program` over `data` (byte-addressed, little-endian 32-bit
+// loads, like seccomp). The program must have been validated.
+Result<RunResult> run(std::span<const Insn> program,
+                      std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::string disassemble(std::span<const Insn> program);
+
+}  // namespace lzp::bpf

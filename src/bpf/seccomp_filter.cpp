@@ -1,0 +1,81 @@
+#include "bpf/seccomp_filter.hpp"
+
+#include <cstring>
+
+namespace lzp::bpf {
+
+std::vector<std::uint8_t> SeccompData::serialize() const {
+  std::vector<std::uint8_t> out(kSize);
+  std::memcpy(out.data() + kOffNr, &nr, 4);
+  std::memcpy(out.data() + kOffArch, &arch, 4);
+  std::memcpy(out.data() + kOffIpLow, &instruction_pointer, 8);
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::memcpy(out.data() + off_arg_low(i), &args[i], 8);
+  }
+  return out;
+}
+
+std::vector<Insn> SeccompFilterBuilder::return_constant(std::uint32_t action) {
+  return {stmt(BPF_RET | BPF_K, action)};
+}
+
+std::vector<Insn> SeccompFilterBuilder::trap_syscalls(
+    std::span<const std::uint32_t> trapped, std::uint32_t trap_action) {
+  std::vector<Insn> program;
+  program.push_back(stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr));
+  // One JEQ per trapped number; fall through to ALLOW. With >255 entries a
+  // real filter would use a jump tree, but interposition filters are short.
+  for (std::size_t i = 0; i < trapped.size(); ++i) {
+    // On match, jump over the remaining compares and the ALLOW to the TRAP.
+    const auto remaining = static_cast<std::uint8_t>(trapped.size() - 1 - i + 1);
+    program.push_back(jump(BPF_JMP | BPF_JEQ | BPF_K, trapped[i], remaining, 0));
+  }
+  program.push_back(stmt(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
+  program.push_back(stmt(BPF_RET | BPF_K, trap_action));
+  return program;
+}
+
+std::vector<Insn> SeccompFilterBuilder::trap_unless_ip_in_range(
+    std::uint64_t allow_start, std::uint64_t allow_len,
+    std::uint32_t trap_action) {
+  const std::uint64_t allow_end = allow_start + allow_len;
+  const auto start_low = static_cast<std::uint32_t>(allow_start);
+  const auto start_high = static_cast<std::uint32_t>(allow_start >> 32);
+  const auto end_low = static_cast<std::uint32_t>(allow_end);
+  const auto end_high = static_cast<std::uint32_t>(allow_end >> 32);
+
+  // Layout (indices):
+  //  0: ld ip_high
+  //  1: jeq start_high ? ->2 : ->TRAP       (assumes range within one 4GiB
+  //  2: jeq end_high ? ->3 : ->TRAP          high-word; true for our stubs)
+  //  3: ld ip_low
+  //  4: jge start_low ? ->5 : ->TRAP
+  //  5: jgt end_low-1 ? ->TRAP : ->ALLOW
+  //  6: ret ALLOW
+  //  7: ret TRAP
+  std::vector<Insn> program;
+  program.push_back(stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffIpHigh));
+  program.push_back(jump(BPF_JMP | BPF_JEQ | BPF_K, start_high, 0, 5));
+  program.push_back(jump(BPF_JMP | BPF_JEQ | BPF_K, end_high, 0, 4));
+  program.push_back(stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffIpLow));
+  program.push_back(jump(BPF_JMP | BPF_JGE | BPF_K, start_low, 0, 2));
+  program.push_back(jump(BPF_JMP | BPF_JGE | BPF_K, end_low, 1, 0));
+  program.push_back(stmt(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
+  program.push_back(stmt(BPF_RET | BPF_K, trap_action));
+  return program;
+}
+
+std::vector<Insn> SeccompFilterBuilder::allowlist(
+    std::span<const std::uint32_t> allowed, std::uint32_t default_action) {
+  std::vector<Insn> program;
+  program.push_back(stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr));
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    const auto remaining = static_cast<std::uint8_t>(allowed.size() - 1 - i + 1);
+    program.push_back(jump(BPF_JMP | BPF_JEQ | BPF_K, allowed[i], remaining, 0));
+  }
+  program.push_back(stmt(BPF_RET | BPF_K, default_action));
+  program.push_back(stmt(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
+  return program;
+}
+
+}  // namespace lzp::bpf

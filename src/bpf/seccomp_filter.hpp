@@ -1,0 +1,77 @@
+// seccomp-specific layer on top of the cBPF VM: the seccomp_data input
+// layout, the kernel action codes, and a small filter builder producing the
+// filter shapes used in practice (allowlists, per-syscall traps, and the
+// instruction-pointer range filters the paper mentions as seccomp's
+// equivalent of SUD's allowlisted region, §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bpf/bpf.hpp"
+
+namespace lzp::bpf {
+
+// Matches struct seccomp_data: nr, arch, instruction_pointer, args[6].
+struct SeccompData {
+  std::int32_t nr = 0;
+  std::uint32_t arch = 0;
+  std::uint64_t instruction_pointer = 0;
+  std::uint64_t args[6] = {};
+
+  static constexpr std::size_t kSize = 4 + 4 + 8 + 6 * 8;
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  // Byte offsets for BPF_ABS loads.
+  static constexpr std::uint32_t kOffNr = 0;
+  static constexpr std::uint32_t kOffArch = 4;
+  static constexpr std::uint32_t kOffIpLow = 8;
+  static constexpr std::uint32_t kOffIpHigh = 12;
+  static constexpr std::uint32_t off_arg_low(std::size_t i) {
+    return 16 + static_cast<std::uint32_t>(i) * 8;
+  }
+  static constexpr std::uint32_t off_arg_high(std::size_t i) {
+    return 20 + static_cast<std::uint32_t>(i) * 8;
+  }
+};
+
+// Kernel action codes (high 16 bits; low 16 bits carry data, e.g. errno).
+inline constexpr std::uint32_t SECCOMP_RET_KILL_PROCESS = 0x80000000;
+inline constexpr std::uint32_t SECCOMP_RET_KILL_THREAD = 0x00000000;
+inline constexpr std::uint32_t SECCOMP_RET_TRAP = 0x00030000;
+inline constexpr std::uint32_t SECCOMP_RET_ERRNO = 0x00050000;
+inline constexpr std::uint32_t SECCOMP_RET_USER_NOTIF = 0x7fc00000;
+inline constexpr std::uint32_t SECCOMP_RET_TRACE = 0x7ff00000;
+inline constexpr std::uint32_t SECCOMP_RET_LOG = 0x7ffc0000;
+inline constexpr std::uint32_t SECCOMP_RET_ALLOW = 0x7fff0000;
+inline constexpr std::uint32_t SECCOMP_RET_ACTION_FULL = 0xffff0000;
+inline constexpr std::uint32_t SECCOMP_RET_DATA = 0x0000ffff;
+
+inline constexpr std::uint32_t kAuditArchX86_64 = 0xC000003E;
+
+// Builds common seccomp filter programs.
+class SeccompFilterBuilder {
+ public:
+  // Every syscall -> `action`.
+  static std::vector<Insn> return_constant(std::uint32_t action);
+
+  // `trapped` syscalls -> `trap_action`; everything else -> ALLOW.
+  // This is the classic interposition filter (seccomp-user in Table I).
+  static std::vector<Insn> trap_syscalls(std::span<const std::uint32_t> trapped,
+                                         std::uint32_t trap_action);
+
+  // Trap *all* syscalls except those whose instruction pointer lies in
+  // [allow_start, allow_start + allow_len): the "filter on the code address
+  // of the syscall invocation" pattern (paper §IV-A). Executes a 64-bit
+  // range compare in cBPF's 32-bit machine.
+  static std::vector<Insn> trap_unless_ip_in_range(std::uint64_t allow_start,
+                                                   std::uint64_t allow_len,
+                                                   std::uint32_t trap_action);
+
+  // Allowlist: listed syscalls ALLOW, everything else -> `default_action`.
+  static std::vector<Insn> allowlist(std::span<const std::uint32_t> allowed,
+                                     std::uint32_t default_action);
+};
+
+}  // namespace lzp::bpf

@@ -1,0 +1,590 @@
+#include "core/lazypoline.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "base/log.hpp"
+#include "isa/assemble.hpp"
+#include "isa/decode.hpp"
+#include "kernel/syscalls.hpp"
+#include "zpoline/zpoline.hpp"
+
+namespace lzp::core {
+
+using kern::HostFrame;
+using kern::Task;
+
+std::shared_ptr<Lazypoline> Lazypoline::create(kern::Machine& machine,
+                                               LazypolineConfig config) {
+  auto self = std::shared_ptr<Lazypoline>(new Lazypoline(machine, config));
+  self->bind_entry_points();
+  return self;
+}
+
+Lazypoline::Lazypoline(kern::Machine& machine, LazypolineConfig config)
+    : machine_(machine), config_(config) {}
+
+void Lazypoline::bind_entry_points() {
+  auto self = shared_from_this();
+  sigsys_addr_ = machine_.bind_host(
+      "lazypoline.sigsys", [self](HostFrame& frame) { self->on_sigsys(frame); });
+  entry_addr_ = machine_.bind_host(
+      "lazypoline.entry", [self](HostFrame& frame) { self->on_entry(frame); });
+  sigret_tramp_addr_ =
+      machine_.bind_host("lazypoline.sigret_trampoline", [self](HostFrame& frame) {
+        self->on_sigret_trampoline(frame);
+      });
+  sig_wrapper_addr_ = machine_.bind_host(
+      "lazypoline.signal_wrapper",
+      [self](HostFrame& frame) { self->on_signal_wrapper(frame); });
+}
+
+// ---------------------------------------------------------------------------
+// Installation / per-task initialization
+// ---------------------------------------------------------------------------
+
+Status Lazypoline::install(kern::Machine& machine, kern::Tid tid,
+                           std::shared_ptr<interpose::SyscallHandler> handler) {
+  if (&machine != &machine_) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "lazypoline runtime is bound to a different machine");
+  }
+  Task* task = machine_.find_task_any(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "lazypoline: no such task");
+  }
+  handler_ = std::move(handler);
+  return init_task(*task, /*install_trampoline=*/true);
+}
+
+void Lazypoline::attach_as_preload() {
+  auto self = shared_from_this();
+  machine_.set_preload([self](kern::Machine&, Task& task, const isa::Program&) {
+    if (!self->handler_) return;  // runtime not activated yet
+    const bool reinit = self->locals_.count(task.tid) != 0;
+    if (Status status = self->init_task(task, /*install_trampoline=*/true);
+        !status.is_ok()) {
+      LZP_LOG_WARN << "lazypoline preload init failed: " << status.to_string();
+      return;
+    }
+    if (reinit) ++self->stats_.execves_reinitialized;
+  });
+}
+
+Status Lazypoline::init_task(Task& task, bool install_trampoline) {
+  TaskLocal local;
+
+  // Per-task %gs-relative region: selector byte, sigreturn selector stack,
+  // scratch sigaction, nested xsave areas (§IV-B). With the §VI security
+  // extension the region is read-only to guest code; the runtime writes it
+  // through its privileged (MPK-modeled) path.
+  const std::uint8_t gs_prot = config_.protect_selector
+                                   ? mem::kProtRead
+                                   : (mem::kProtRead | mem::kProtWrite);
+  auto region = task.mem->map(0, kGsRegionSize, gs_prot, /*fixed=*/false);
+  if (!region) return region.status();
+  local.gs_region = region.value();
+  task.ctx.gs_base = local.gs_region;
+
+  // Signal restorer stub (the libc __restore_rt equivalent): plain sim code
+  // whose syscall instruction is itself discovered and rewritten lazily.
+  {
+    isa::Assembler assembler;
+    assembler.mov(isa::Gpr::rax, kern::kSysRtSigreturn);
+    assembler.syscall_();
+    auto stub = assembler.finish();
+    if (!stub) return stub.status();
+    auto stub_page = task.mem->map(0, mem::kPageSize,
+                                   mem::kProtRead | mem::kProtWrite,
+                                   /*fixed=*/false);
+    if (!stub_page) return stub_page.status();
+    local.restorer_stub = stub_page.value();
+    LZP_RETURN_IF_ERROR(task.mem->write_force(local.restorer_stub, stub.value()));
+    LZP_RETURN_IF_ERROR(task.mem->protect(local.restorer_stub, mem::kPageSize,
+                                          mem::kProtRead | mem::kProtExec));
+  }
+
+  // Own SIGSYS (the application's view of SIGSYS is virtualized).
+  task.process->sigactions[kern::kSigsys] =
+      kern::SigAction{sigsys_addr_, kern::kSaSiginfo, 0};
+
+  // Fast path: the zpoline trampoline at VA 0. A shared or forked address
+  // space may already contain it.
+  if (config_.rewrite_to_fast_path && install_trampoline &&
+      !task.mem->is_mapped(0)) {
+    LZP_RETURN_IF_ERROR(
+        zpoline::ZpolineMechanism::install_trampoline(machine_, task, entry_addr_));
+  }
+
+  // Selector starts BLOCKed: the very first application syscall takes the
+  // slow path. Then arm selector-only SUD (no allowlisted range at all).
+  std::uint8_t block = kern::kSudBlock;
+  LZP_RETURN_IF_ERROR(
+      task.mem->write_force(local.gs_region + kGsSelector, {&block, 1}));
+  if (config_.use_sud) {
+    task.sud.enabled = true;
+    task.sud.selector_addr = local.gs_region + kGsSelector;
+    task.sud.allow_start = 0;
+    task.sud.allow_len = 0;
+  }
+
+  // Init-time work (mmap/mprotect/prctl/sigaction calls of a real library).
+  machine_.charge(task, 5 * machine_.costs().raw_nosys_roundtrip());
+
+  locals_[task.tid] = std::move(local);
+  app_signals_.emplace(task.process->pid, AppSigTable{});
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Selector & xstate plumbing
+// ---------------------------------------------------------------------------
+
+void Lazypoline::set_selector(Task& task, std::uint8_t value) {
+  machine_.charge(task, machine_.costs().gs_selector_flip);
+  const std::uint64_t addr = locals_[task.tid].gs_region + kGsSelector;
+  (void)task.mem->write_force(addr, {&value, 1});
+}
+
+// Privileged write into the %gs region (bypasses guest protections, like
+// a pkey-gated store from the runtime's trusted domain).
+namespace {
+void gs_write_u64(Task& task, std::uint64_t addr, std::uint64_t value) {
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &value, 8);
+  (void)task.mem->write_force(addr, bytes);
+}
+}  // namespace
+
+std::uint8_t Lazypoline::read_selector(Task& task) const {
+  auto it = locals_.find(task.tid);
+  if (it == locals_.end()) return kern::kSudAllow;
+  std::uint8_t value = kern::kSudAllow;
+  (void)task.mem->read_force(it->second.gs_region + kGsSelector, {&value, 1});
+  return value;
+}
+
+std::uint64_t Lazypoline::xstate_cost() const noexcept {
+  const std::uint64_t full = machine_.costs().xsave;
+  switch (config_.xstate) {
+    case XstateMode::kNone: return 0;
+    case XstateMode::kSse: return full * 45 / 100;
+    case XstateMode::kSseAvx: return full * 75 / 100;
+    case XstateMode::kFull: return full;
+  }
+  return full;
+}
+
+void Lazypoline::xstate_push(Task& task, TaskLocal& local) {
+  if (config_.xstate == XstateMode::kNone) return;
+  machine_.charge(task, xstate_cost());
+  local.xstate_stack.push_back(task.ctx.xstate);
+  // Mirror into the %gs-relative xsave area (what the real xsave writes);
+  // nested interposer invocations stack their areas (§IV-B).
+  const std::size_t depth = local.xstate_stack.size() - 1;
+  if (depth < kMaxNesting) {
+    std::vector<std::uint8_t> buffer(cpu::XState::kSaveSize);
+    task.ctx.xstate.save_to(buffer);
+    (void)task.mem->write_force(local.gs_region + kGsXsaveStack +
+                                    depth * cpu::XState::kSaveSize,
+                                buffer);
+    gs_write_u64(task, local.gs_region + kGsXsaveDepth, depth + 1);
+  }
+}
+
+void Lazypoline::xstate_pop(Task& task, TaskLocal& local, bool discard) {
+  if (config_.xstate == XstateMode::kNone) return;
+  if (local.xstate_stack.empty()) return;
+  const cpu::XState saved = local.xstate_stack.back();
+  local.xstate_stack.pop_back();
+  if (discard) return;  // context replaced: its own xstate is authoritative
+  machine_.charge(task, machine_.costs().xrstor * xstate_cost() /
+                            std::max<std::uint64_t>(machine_.costs().xsave, 1));
+  cpu::XState& live = task.ctx.xstate;
+  switch (config_.xstate) {
+    case XstateMode::kFull:
+      live = saved;
+      break;
+    case XstateMode::kSseAvx:
+      live.xmm = saved.xmm;
+      live.ymm_hi = saved.ymm_hi;
+      live.mxcsr = saved.mxcsr;
+      break;
+    case XstateMode::kSse:
+      live.xmm = saved.xmm;
+      live.mxcsr = saved.mxcsr;
+      break;
+    case XstateMode::kNone:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slow path: SUD SIGSYS -> verify site, rewrite, redirect to the entry
+// ---------------------------------------------------------------------------
+
+Status Lazypoline::rewrite_locked(Task& task, std::uint64_t site_addr) {
+  // The spinlock serializes page-permission flipping across threads that
+  // share this address space (§IV-A). The simulator schedules one task at a
+  // time, so the lock can never be observed held; we model its cost and
+  // count acquisitions for the ablation benches.
+  bool& locked = rewrite_locks_[task.mem.get()];
+  assert(!locked);
+  locked = true;
+  ++stats_.rewrite_lock_acquisitions;
+  machine_.charge(task, 30);
+
+  Status status = Status::ok();
+  std::uint8_t bytes[2] = {};
+  if (task.mem->read_force(site_addr, bytes).is_ok() &&
+      isa::is_syscall_bytes(bytes)) {
+    status = zpoline::ZpolineMechanism::rewrite_site(machine_, task, site_addr);
+    if (status.is_ok()) ++stats_.sites_rewritten;
+  }
+  // If the bytes are no longer a syscall, another thread already rewrote
+  // this site between our SIGSYS and taking the lock; nothing to do.
+  locked = false;
+  return status;
+}
+
+void Lazypoline::on_sigsys(HostFrame& frame) {
+  Task& task = frame.task;
+  if (task.signal_frames.empty()) {
+    machine_.kill_process(*task.process, 139, "lazypoline: SIGSYS without frame");
+    return;
+  }
+  kern::SignalFrame& sigframe = task.signal_frames.back();
+  const kern::SigInfo info = sigframe.info;
+
+  if (info.code != kern::kSigsysUserDispatch) {
+    // A SIGSYS not raised by SUD (e.g. kill()): forward to the application's
+    // virtualized handler like any other signal.
+    on_signal_wrapper(frame);
+    return;
+  }
+
+  ++stats_.slow_path_hits;
+
+  // Our own syscalls (mprotect for the rewrite, the final sigreturn) must
+  // bypass interception: selector -> ALLOW.
+  set_selector(task, kern::kSudAllow);
+
+  // The kernel just told us the exact, *verified* address of a real syscall
+  // instruction: ip_after points right past its 2-byte encoding. Rewrite it
+  // so every later execution takes the fast path.
+  const std::uint64_t site = info.ip_after_syscall - 2;
+  if (config_.rewrite_to_fast_path) {
+    if (Status status = rewrite_locked(task, site); !status.is_ok()) {
+      LZP_LOG_WARN << "lazypoline: rewrite failed at site: " << status.to_string();
+    }
+  }
+
+  // Redirect the interrupted context to the generic interposer entry,
+  // emulating the CALL the rewritten site will perform from now on: push
+  // the resume address, point REG_RIP at the entry (§IV-A "selector-only").
+  cpu::CpuContext& saved = sigframe.saved_context;
+  const std::uint64_t new_rsp = saved.rsp() - 8;
+  std::uint8_t addr_bytes[8];
+  std::memcpy(addr_bytes, &info.ip_after_syscall, 8);
+  if (auto fault = task.mem->write(new_rsp, addr_bytes)) {
+    machine_.kill_process(*task.process, 139,
+                          "lazypoline: cannot spill return address: " +
+                              fault->to_string());
+    return;
+  }
+  saved.set_rsp(new_rsp);
+  saved.rip = entry_addr_;
+
+  // sigreturn with the selector still ALLOW; the entry flips it back to
+  // BLOCK when handing control to the application.
+  (void)frame.syscall(kern::kSysRtSigreturn);
+}
+
+// ---------------------------------------------------------------------------
+// Generic interposer entry (shared by fast and slow path)
+// ---------------------------------------------------------------------------
+
+void Lazypoline::on_entry(HostFrame& frame) {
+  Task& task = frame.task;
+  ++stats_.entry_invocations;
+  frame.charge(machine_.costs().trampoline_glue);
+
+  auto local_it = locals_.find(task.tid);
+  if (local_it == locals_.end()) {
+    machine_.kill_process(*task.process, 139,
+                          "lazypoline: entry on uninitialized task");
+    return;
+  }
+  TaskLocal& local = local_it->second;
+
+  set_selector(task, kern::kSudAllow);
+  xstate_push(task, local);
+
+  interpose::SyscallRequest req;
+  req.nr = frame.ctx.syscall_number();
+  for (std::size_t i = 0; i < 6; ++i) req.args[i] = frame.ctx.syscall_arg(i);
+  if (auto ret_addr = task.mem->read_u64(frame.ctx.rsp())) {
+    req.site = ret_addr.value() - 2;
+  }
+
+  bool context_replaced = false;
+  interpose::InterposeContext ictx(
+      machine_, task, req,
+      [this, &frame, &context_replaced](std::uint64_t nr,
+                                        const std::array<std::uint64_t, 6>& args) {
+        return route_syscall(frame, nr, args, &context_replaced);
+      });
+  const std::uint64_t result = handler_->handle(ictx);
+
+  if (!task.runnable()) return;
+  if (context_replaced) {
+    // rt_sigreturn or execve installed a whole new context; its xstate is
+    // authoritative, and the selector has been arranged by that path.
+    xstate_pop(task, local, /*discard=*/true);
+    return;
+  }
+
+  xstate_pop(task, local, /*discard=*/false);
+  frame.ctx.set_syscall_result(result);
+  set_selector(task, kern::kSudBlock);
+  frame.ret();  // back to the instruction after the (rewritten) site
+}
+
+std::uint64_t Lazypoline::route_syscall(HostFrame& frame, std::uint64_t nr,
+                                        const std::array<std::uint64_t, 6>& args,
+                                        bool* context_replaced) {
+  switch (nr) {
+    case kern::kSysRtSigaction:
+      return virtualized_sigaction(frame, args);
+    case kern::kSysRtSigreturn: {
+      const std::uint64_t result = app_sigreturn(frame);
+      *context_replaced = true;
+      return result;
+    }
+    case kern::kSysClone:
+    case kern::kSysFork:
+    case kern::kSysVfork:
+      return clone_with_child_init(frame, nr, args);
+    case kern::kSysExecve: {
+      const std::uint64_t result = frame.syscall(nr, args);
+      if (!kern::is_error_result(result)) *context_replaced = true;
+      return result;
+    }
+    case kern::kSysExit:
+    case kern::kSysExitGroup: {
+      const std::uint64_t result = frame.syscall(nr, args);
+      *context_replaced = true;
+      return result;
+    }
+    default:
+      return frame.syscall(nr, args);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Signal virtualization (Figure 3)
+// ---------------------------------------------------------------------------
+
+std::uint64_t Lazypoline::virtualized_sigaction(
+    HostFrame& frame, const std::array<std::uint64_t, 6>& args) {
+  Task& task = frame.task;
+  const int sig = static_cast<int>(args[0]);
+  if (sig <= 0 || sig >= kern::kNumSignals) {
+    return kern::errno_result(kern::kEINVAL);
+  }
+  AppSigTable& table = app_signals_[task.process->pid];
+
+  if (args[2] != 0) {  // report the *application's* previous action
+    const kern::SigAction& old = table.actions[sig];
+    if (!task.mem->write_u64(args[2], old.handler).is_ok() ||
+        !task.mem->write_u64(args[2] + 8, old.flags).is_ok() ||
+        !task.mem->write_u64(args[2] + 16, old.mask).is_ok()) {
+      return kern::errno_result(kern::kEFAULT);
+    }
+  }
+  if (args[1] == 0) return 0;
+
+  kern::SigAction requested;
+  auto handler_v = task.mem->read_u64(args[1]);
+  auto flags_v = task.mem->read_u64(args[1] + 8);
+  auto mask_v = task.mem->read_u64(args[1] + 16);
+  if (!handler_v || !flags_v || !mask_v) return kern::errno_result(kern::kEFAULT);
+  requested.handler = handler_v.value();
+  requested.flags = flags_v.value();
+  requested.mask = mask_v.value();
+  table.actions[sig] = requested;
+
+  if (sig == kern::kSigsys) {
+    // lazypoline owns the kernel-side SIGSYS registration; the app handler
+    // only lives in the table (forwarded for non-SUD SIGSYS).
+    return 0;
+  }
+
+  // Register our wrapper (or pass DFL/IGN through unchanged) using the
+  // %gs-relative scratch sigaction, via a real rt_sigaction syscall.
+  const std::uint64_t scratch =
+      locals_[task.tid].gs_region + kGsScratchSigaction;
+  kern::SigAction installed = requested;
+  if (requested.handler != kern::kSigDfl && requested.handler != kern::kSigIgn) {
+    installed.handler = sig_wrapper_addr_;
+    installed.flags |= kern::kSaSiginfo;
+  }
+  gs_write_u64(task, scratch, installed.handler);
+  gs_write_u64(task, scratch + 8, installed.flags);
+  gs_write_u64(task, scratch + 16, installed.mask);
+  return frame.syscall(kern::kSysRtSigaction,
+                       {args[0], scratch, 0, args[3], args[4], args[5]});
+}
+
+void Lazypoline::on_signal_wrapper(HostFrame& frame) {
+  Task& task = frame.task;
+  if (task.signal_frames.empty()) {
+    machine_.kill_process(*task.process, 139, "lazypoline: wrapper without frame");
+    return;
+  }
+  ++stats_.signals_wrapped;
+  TaskLocal& local = locals_[task.tid];
+  const kern::SigInfo info = task.signal_frames.back().info;
+
+  // (1) Push the current selector to the %gs-relative sigreturn stack and
+  // block dispatch while the application handler runs (Figure 3, step 1).
+  const std::uint8_t selector = read_selector(task);
+  local.sigreturn_selector_stack.push_back(selector);
+  if (local.sigreturn_selector_stack.size() <= 64) {
+    (void)task.mem->write_force(
+        local.gs_region + kGsSigretStack +
+            (local.sigreturn_selector_stack.size() - 1),
+        {&selector, 1});
+    gs_write_u64(task, local.gs_region + kGsSigretDepth,
+                 local.sigreturn_selector_stack.size());
+  }
+  set_selector(task, kern::kSudBlock);
+
+  const kern::SigAction app = app_signals_[task.process->pid].actions[info.signo];
+  if (app.handler == kern::kSigDfl || app.handler == kern::kSigIgn) {
+    // No live application handler (e.g. it was reset between delivery and
+    // now): unwind immediately through our own sigreturn path.
+    local.sigreturn_selector_stack.pop_back();
+    set_selector(task, kern::kSudAllow);
+    kern::SignalFrame& sigframe = task.signal_frames.back();
+    local.trampoline_stack.emplace_back(selector, sigframe.saved_context.rip);
+    sigframe.saved_context.rip = sigret_tramp_addr_;
+    (void)frame.syscall(kern::kSysRtSigreturn);
+    return;
+  }
+
+  // (2) Invoke the application handler; its return lands in the restorer
+  // stub, whose rt_sigreturn is interposed like any other syscall.
+  const std::uint64_t new_rsp = frame.ctx.rsp() - 8;
+  std::uint8_t addr_bytes[8];
+  std::memcpy(addr_bytes, &local.restorer_stub, 8);
+  if (auto fault = task.mem->write(new_rsp, addr_bytes)) {
+    machine_.kill_process(*task.process, 139,
+                          "lazypoline: cannot push restorer: " + fault->to_string());
+    return;
+  }
+  frame.ctx.set_rsp(new_rsp);
+  frame.ctx.rip = app.handler;
+}
+
+std::uint64_t Lazypoline::app_sigreturn(HostFrame& frame) {
+  Task& task = frame.task;
+  TaskLocal& local = locals_[task.tid];
+  if (task.signal_frames.empty()) {
+    machine_.kill_process(*task.process, 139,
+                          "lazypoline: rt_sigreturn without signal frame");
+    return 0;
+  }
+  ++stats_.sigreturns_trampolined;
+
+  std::uint8_t restore_selector = kern::kSudBlock;
+  if (!local.sigreturn_selector_stack.empty()) {
+    restore_selector = local.sigreturn_selector_stack.back();
+    local.sigreturn_selector_stack.pop_back();
+    gs_write_u64(task, local.gs_region + kGsSigretDepth,
+                 local.sigreturn_selector_stack.size());
+  }
+
+  // (3)+(4): we cannot set the selector to its saved value *before* the
+  // sigreturn (a BLOCK value would re-intercept the sigreturn itself), so
+  // sigreturn with ALLOW and restore through the sigreturn trampoline.
+  kern::SignalFrame& sigframe = task.signal_frames.back();
+  local.trampoline_stack.emplace_back(restore_selector,
+                                      sigframe.saved_context.rip);
+  sigframe.saved_context.rip = sigret_tramp_addr_;
+  set_selector(task, kern::kSudAllow);
+  return frame.syscall(kern::kSysRtSigreturn);
+}
+
+void Lazypoline::on_sigret_trampoline(HostFrame& frame) {
+  Task& task = frame.task;
+  TaskLocal& local = locals_[task.tid];
+  if (local.trampoline_stack.empty()) {
+    machine_.kill_process(*task.process, 139,
+                          "lazypoline: trampoline without pending sigreturn");
+    return;
+  }
+  const auto [selector, resume_rip] = local.trampoline_stack.back();
+  local.trampoline_stack.pop_back();
+  set_selector(task, selector);
+  frame.ctx.rip = resume_rip;
+}
+
+// ---------------------------------------------------------------------------
+// Multiprocessing / multithreading (§IV-B): re-arm SUD in every child
+// ---------------------------------------------------------------------------
+
+std::uint64_t Lazypoline::clone_with_child_init(
+    HostFrame& frame, std::uint64_t nr,
+    const std::array<std::uint64_t, 6>& args) {
+  Task& parent = frame.task;
+  const std::uint64_t parent_rsp = frame.ctx.rsp();
+  const std::uint64_t result = frame.syscall(nr, args);
+  if (kern::is_error_result(result)) return result;
+
+  Task* child = machine_.find_task_any(static_cast<kern::Tid>(result));
+  if (child == nullptr) return result;
+
+  // The child must resume in application code right after the interposed
+  // call site, not inside our native entry.
+  auto ret_addr = parent.mem->read_u64(parent_rsp);
+  if (ret_addr) {
+    child->ctx.rip = ret_addr.value();
+    const std::uint64_t clone_stack = nr == kern::kSysClone ? args[1] : 0;
+    child->ctx.set_rsp(clone_stack != 0 ? clone_stack : parent_rsp + 8);
+    child->ctx.set_reg(isa::Gpr::rax, 0);
+  }
+
+  // SUD was deactivated by the kernel on clone/fork; re-enable it with a
+  // fresh per-task selector so the child's syscalls stay interposed.
+  if (Status status = init_task(*child, /*install_trampoline=*/false);
+      !status.is_ok()) {
+    LZP_LOG_WARN << "lazypoline: child init failed: " << status.to_string();
+    return result;
+  }
+  ++stats_.children_initialized;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark support
+// ---------------------------------------------------------------------------
+
+Status Lazypoline::rewrite_site_manually(kern::Tid tid, std::uint64_t site_addr) {
+  Task* task = machine_.find_task_any(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "no such task");
+  }
+  return rewrite_locked(*task, site_addr);
+}
+
+Status Lazypoline::disable_sud(kern::Tid tid) {
+  Task* task = machine_.find_task_any(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "no such task");
+  }
+  task->sud = kern::SudState{};
+  return Status::ok();
+}
+
+}  // namespace lzp::core

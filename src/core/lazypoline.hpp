@@ -1,0 +1,195 @@
+// lazypoline — the paper's contribution (§III, §IV): hybrid exhaustive +
+// efficient + expressive syscall interposition.
+//
+//   SLOW PATH (exhaustive): Syscall User Dispatch, used "selector-only" —
+//   no allowlisted code range at all. Every not-yet-rewritten syscall
+//   triggers SIGSYS; the handler rewrites the (kernel-verified!) syscall
+//   instruction to CALL RAX, then redirects the interrupted context to the
+//   generic interposer entry by rewriting the saved REG_RIP and sigreturning
+//   with the selector still ALLOW (§IV-A).
+//
+//   FAST PATH (efficient): the zpoline trampoline at VA 0. Rewritten sites
+//   reach the same generic entry directly, with no kernel involvement beyond
+//   the (armed-SUD) entry cost of the real syscall the interposer performs.
+//
+//   The generic entry is shared by both paths, preserves the full syscall
+//   ABI including extended state (configurable, §IV-B), flips the per-task
+//   %gs-relative selector around the interposer, virtualizes application
+//   signal handling (§IV-B, Figure 3), and re-arms SUD in every child task
+//   created by fork/clone and every post-execve image.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/context.hpp"
+#include "interpose/mechanism.hpp"
+
+namespace lzp::core {
+
+// Which extended state components the interposer entry preserves (§IV-B:
+// "a configurable option that controls which extended state components are
+// preserved, if any").
+enum class XstateMode : std::uint8_t {
+  kNone,    // GPRs only — fastest, breaks Listing-1-style code
+  kSse,     // XMM registers
+  kSseAvx,  // XMM + YMM upper lanes
+  kFull,    // XMM + YMM + legacy x87 (default; fully ABI-compliant)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(XstateMode mode) noexcept {
+  switch (mode) {
+    case XstateMode::kNone: return "none";
+    case XstateMode::kSse: return "sse";
+    case XstateMode::kSseAvx: return "sse+avx";
+    case XstateMode::kFull: return "full";
+  }
+  return "?";
+}
+
+struct LazypolineConfig {
+  XstateMode xstate = XstateMode::kFull;
+  // Rewrite discovered sites to CALL RAX (fast path). Off = pure-SUD mode
+  // (every syscall takes the slow path; ablation only).
+  bool rewrite_to_fast_path = true;
+  // Arm SUD. Off = fast-path-only: no discovery of new sites; used together
+  // with rewrite_all_known_sites()/rewrite_site_manually() to measure the
+  // fast path without the SUD-armed kernel entry cost (Figure 4's
+  // "lazypoline without SUD" == zpoline configuration).
+  bool use_sud = true;
+  // §VI security extension: isolate the interposer's sensitive state (the
+  // SUD selector byte, the sigreturn stack, the xsave areas) from the
+  // application. The %gs region is mapped read-only for guest code; only the
+  // runtime's privileged path writes it — modeling MPK-style intra-process
+  // isolation. A guest store to the selector kills the process instead of
+  // silently disarming interposition.
+  bool protect_selector = false;
+};
+
+struct LazypolineStats {
+  std::uint64_t entry_invocations = 0;   // fast+slow, total interpositions
+  std::uint64_t slow_path_hits = 0;      // SIGSYS-mediated (first use of a site)
+  std::uint64_t sites_rewritten = 0;
+  std::uint64_t rewrite_lock_acquisitions = 0;
+  std::uint64_t signals_wrapped = 0;     // app signal deliveries virtualized
+  std::uint64_t sigreturns_trampolined = 0;
+  std::uint64_t children_initialized = 0;
+  std::uint64_t execves_reinitialized = 0;
+
+  [[nodiscard]] std::uint64_t fast_path_hits() const noexcept {
+    return entry_invocations - slow_path_hits;
+  }
+};
+
+class Lazypoline final : public interpose::Mechanism,
+                         public std::enable_shared_from_this<Lazypoline> {
+ public:
+  // The runtime binds its native entry points into `machine` once.
+  static std::shared_ptr<Lazypoline> create(kern::Machine& machine,
+                                            LazypolineConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "lazypoline"; }
+
+  // Initializes the runtime inside the given task (maps the per-task
+  // %gs-region, installs the SIGSYS handler + VA-0 trampoline, arms SUD) and
+  // directs every intercepted syscall to `handler`.
+  Status install(kern::Machine& machine, kern::Tid tid,
+                 std::shared_ptr<interpose::SyscallHandler> handler) override;
+
+  // Registers this runtime as the machine's preload hook so images loaded
+  // by execve are re-initialized automatically (the LD_PRELOAD model).
+  void attach_as_preload();
+
+  [[nodiscard]] interpose::Characteristics characteristics() const override {
+    return {interpose::Level::kFull, /*exhaustive=*/config_.use_sud,
+            interpose::Level::kHigh};
+  }
+
+  [[nodiscard]] const LazypolineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LazypolineConfig& config() const noexcept { return config_; }
+  // The generic interposer entry point's (host) address — exposed for tests
+  // and diagnostics that need to observe execution at the fast/slow joint.
+  [[nodiscard]] std::uint64_t entry_address() const noexcept { return entry_addr_; }
+
+  // Benchmark support (§V-B: "we manually rewrote the syscall instruction up
+  // front, so there is no initial execution of the slow path").
+  Status rewrite_site_manually(kern::Tid tid, std::uint64_t site_addr);
+  // Disarms SUD on a task without tearing down the fast path (Figure 4's
+  // SUD-off configuration).
+  Status disable_sud(kern::Tid tid);
+
+  // Per-task %gs region layout (a 2-page RW mapping).
+  static constexpr std::int32_t kGsSelector = 0;        // the SUD selector byte
+  static constexpr std::int32_t kGsSigretDepth = 8;     // sigreturn-stack depth
+  static constexpr std::int32_t kGsSigretStack = 16;    // 64 selector slots
+  static constexpr std::int32_t kGsScratchSigaction = 96;   // 24-byte scratch
+  static constexpr std::int32_t kGsXsaveDepth = 128;
+  static constexpr std::int32_t kGsXsaveStack = 136;    // nested xsave areas
+  static constexpr std::size_t kGsRegionSize = 2 * 4096;
+  static constexpr std::size_t kMaxNesting = 8;
+
+ private:
+  Lazypoline(kern::Machine& machine, LazypolineConfig config);
+  void bind_entry_points();
+
+  struct TaskLocal {
+    std::uint64_t gs_region = 0;
+    std::uint64_t restorer_stub = 0;  // per-address-space signal restorer
+    std::vector<cpu::XState> xstate_stack;
+    std::vector<std::uint8_t> sigreturn_selector_stack;
+    // (selector to restore, rip to resume at) for the sigreturn trampoline.
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> trampoline_stack;
+  };
+  // Virtualized application signal handlers, per process.
+  struct AppSigTable {
+    std::array<kern::SigAction, kern::kNumSignals> actions{};
+  };
+
+  // --- runtime pieces (host functions) -----------------------------------
+  void on_sigsys(kern::HostFrame& frame);
+  void on_entry(kern::HostFrame& frame);
+  void on_sigret_trampoline(kern::HostFrame& frame);
+  void on_signal_wrapper(kern::HostFrame& frame);
+
+  // The raw-syscall router handed to the user handler: executes most
+  // syscalls directly, applies lazypoline's special handling to
+  // rt_sigaction / rt_sigreturn / clone / fork / vfork / execve.
+  std::uint64_t route_syscall(kern::HostFrame& frame, std::uint64_t nr,
+                              const std::array<std::uint64_t, 6>& args,
+                              bool* context_replaced);
+
+  std::uint64_t virtualized_sigaction(kern::HostFrame& frame,
+                                      const std::array<std::uint64_t, 6>& args);
+  std::uint64_t app_sigreturn(kern::HostFrame& frame);
+  std::uint64_t clone_with_child_init(kern::HostFrame& frame, std::uint64_t nr,
+                                      const std::array<std::uint64_t, 6>& args);
+
+  Status init_task(kern::Task& task, bool install_trampoline);
+  void set_selector(kern::Task& task, std::uint8_t value);
+  [[nodiscard]] std::uint8_t read_selector(kern::Task& task) const;
+
+  void xstate_push(kern::Task& task, TaskLocal& local);
+  // `discard`: pop bookkeeping without writing registers (context replaced).
+  void xstate_pop(kern::Task& task, TaskLocal& local, bool discard);
+  [[nodiscard]] std::uint64_t xstate_cost() const noexcept;
+
+  Status rewrite_locked(kern::Task& task, std::uint64_t site_addr);
+
+  kern::Machine& machine_;
+  LazypolineConfig config_;
+  LazypolineStats stats_;
+  std::shared_ptr<interpose::SyscallHandler> handler_;
+
+  std::uint64_t sigsys_addr_ = 0;
+  std::uint64_t entry_addr_ = 0;
+  std::uint64_t sigret_tramp_addr_ = 0;
+  std::uint64_t sig_wrapper_addr_ = 0;
+
+  std::map<kern::Tid, TaskLocal> locals_;
+  std::map<kern::Pid, AppSigTable> app_signals_;
+  // One rewrite lock per address space (threads share text pages).
+  std::map<const mem::AddressSpace*, bool> rewrite_locks_;
+};
+
+}  // namespace lzp::core

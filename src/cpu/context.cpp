@@ -1,0 +1,62 @@
+#include "cpu/context.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace lzp::cpu {
+namespace {
+
+template <typename T>
+void put(std::span<std::uint8_t>& out, const T& value) noexcept {
+  std::memcpy(out.data(), &value, sizeof(T));
+  out = out.subspan(sizeof(T));
+}
+
+template <typename T>
+void get(std::span<const std::uint8_t>& in, T& value) noexcept {
+  std::memcpy(&value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+}
+
+}  // namespace
+
+void XState::save_to(std::span<std::uint8_t> out) const noexcept {
+  assert(out.size() >= kSaveSize);
+  for (const auto& lanes : xmm) { put(out, lanes[0]); put(out, lanes[1]); }
+  for (const auto& lanes : ymm_hi) { put(out, lanes[0]); put(out, lanes[1]); }
+  for (std::uint64_t v : x87) put(out, v);
+  put(out, x87_top);
+  put(out, x87_depth);
+  put(out, fcw);
+  put(out, mxcsr);
+}
+
+void XState::load_from(std::span<const std::uint8_t> in) noexcept {
+  assert(in.size() >= kSaveSize);
+  for (auto& lanes : xmm) { get(in, lanes[0]); get(in, lanes[1]); }
+  for (auto& lanes : ymm_hi) { get(in, lanes[0]); get(in, lanes[1]); }
+  for (std::uint64_t& v : x87) get(in, v);
+  get(in, x87_top);
+  get(in, x87_depth);
+  get(in, fcw);
+  get(in, mxcsr);
+}
+
+void XState::x87_push(std::uint64_t bits) noexcept {
+  x87_top = static_cast<std::uint8_t>((x87_top + isa::kNumX87 - 1) % isa::kNumX87);
+  x87[x87_top] = bits;
+  if (x87_depth < isa::kNumX87) ++x87_depth;
+}
+
+std::uint64_t XState::x87_pop() noexcept {
+  const std::uint64_t bits = x87[x87_top];
+  x87_top = static_cast<std::uint8_t>((x87_top + 1) % isa::kNumX87);
+  if (x87_depth > 0) --x87_depth;
+  return bits;
+}
+
+std::uint64_t XState::x87_peek(std::uint8_t depth) const noexcept {
+  return x87[(x87_top + depth) % isa::kNumX87];
+}
+
+}  // namespace lzp::cpu

@@ -1,0 +1,85 @@
+// CPU register context: general-purpose registers, flags, %gs base, and the
+// extended state ("xstate": SSE XMM, AVX upper lanes, legacy x87 stack) whose
+// preservation across syscalls is a central compatibility concern of the
+// paper (§IV-B, Listing 1, Table III).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "isa/insn.hpp"
+
+namespace lzp::cpu {
+
+// Extended processor state. Sized and serialized as one block, like the
+// hardware XSAVE area lazypoline saves to its per-task %gs-relative region.
+struct XState {
+  // XMM registers: two 64-bit lanes each.
+  std::array<std::array<std::uint64_t, 2>, isa::kNumXmm> xmm{};
+  // Upper 128 bits of the YMM registers (AVX state component).
+  std::array<std::array<std::uint64_t, 2>, isa::kNumXmm> ymm_hi{};
+  // Legacy x87 FPU: 8-deep register stack (values held as raw 64-bit
+  // patterns; arithmetic interprets them as doubles), top-of-stack index,
+  // and a fill counter.
+  std::array<std::uint64_t, isa::kNumX87> x87{};
+  std::uint8_t x87_top = 0;
+  std::uint8_t x87_depth = 0;
+  std::uint16_t fcw = 0x037F;   // x87 control word reset value
+  std::uint32_t mxcsr = 0x1F80; // SSE control/status reset value
+
+  friend bool operator==(const XState&, const XState&) = default;
+
+  // Size of the serialized form (the simulated XSAVE area).
+  static constexpr std::size_t kSaveSize =
+      16 * isa::kNumXmm + 16 * isa::kNumXmm + 8 * isa::kNumX87 + 2 + 2 + 4;
+
+  void save_to(std::span<std::uint8_t> out) const noexcept;   // xsave
+  void load_from(std::span<const std::uint8_t> in) noexcept;  // xrstor
+
+  // x87 stack helpers (push/pop wrap like the real register stack).
+  void x87_push(std::uint64_t bits) noexcept;
+  std::uint64_t x87_pop() noexcept;
+  [[nodiscard]] std::uint64_t x87_peek(std::uint8_t depth) const noexcept;
+};
+
+// Comparison flags produced by CMP; consumed by conditional jumps.
+struct Flags {
+  bool zf = false;
+  bool lt = false;  // signed less-than
+  bool gt = false;  // signed greater-than
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+struct CpuContext {
+  std::array<std::uint64_t, isa::kNumGprs> gpr{};
+  std::uint64_t rip = 0;
+  std::uint64_t gs_base = 0;
+  Flags flags{};
+  XState xstate{};
+
+  [[nodiscard]] std::uint64_t reg(isa::Gpr r) const noexcept {
+    return gpr[static_cast<std::size_t>(r)];
+  }
+  void set_reg(isa::Gpr r, std::uint64_t value) noexcept {
+    gpr[static_cast<std::size_t>(r)] = value;
+  }
+
+  [[nodiscard]] std::uint64_t rsp() const noexcept { return reg(isa::Gpr::rsp); }
+  void set_rsp(std::uint64_t value) noexcept { set_reg(isa::Gpr::rsp, value); }
+
+  // Syscall ABI accessors.
+  [[nodiscard]] std::uint64_t syscall_number() const noexcept {
+    return reg(isa::Gpr::rax);
+  }
+  [[nodiscard]] std::uint64_t syscall_arg(std::size_t index) const noexcept {
+    return reg(isa::kSyscallArgRegs[index]);
+  }
+  void set_syscall_result(std::uint64_t value) noexcept {
+    set_reg(isa::Gpr::rax, value);
+  }
+
+  friend bool operator==(const CpuContext&, const CpuContext&) = default;
+};
+
+}  // namespace lzp::cpu

@@ -1,0 +1,333 @@
+#include "cpu/execute.hpp"
+
+#include <cstring>
+
+namespace lzp::cpu {
+namespace {
+
+using isa::Gpr;
+using isa::Instruction;
+using isa::Op;
+
+// Fetches up to kMaxInsnLength executable bytes at `addr`. Returns the number
+// of bytes fetched (0 means the first byte itself is not executable).
+std::size_t fetch_window(const mem::AddressSpace& mem, std::uint64_t addr,
+                         std::uint8_t* out, mem::MemFault* first_fault) {
+  for (std::size_t i = 0; i < isa::kMaxInsnLength; ++i) {
+    if (auto fault = mem.fetch(addr + i, {out + i, 1})) {
+      if (i == 0 && first_fault != nullptr) *first_fault = *fault;
+      return i;
+    }
+  }
+  return isa::kMaxInsnLength;
+}
+
+double bits_to_double(std::uint64_t bits) noexcept {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::uint64_t double_to_bits(double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Result<isa::Instruction> fetch_decode(const CpuContext& ctx,
+                                      const mem::AddressSpace& mem) {
+  std::uint8_t window[isa::kMaxInsnLength];
+  mem::MemFault fault;
+  const std::size_t got = fetch_window(mem, ctx.rip, window, &fault);
+  if (got == 0) {
+    return make_error(StatusCode::kOutOfRange, fault.to_string());
+  }
+  return isa::decode({window, got});
+}
+
+ExecResult step(CpuContext& ctx, mem::AddressSpace& mem) {
+  ExecResult result;
+  result.insn_addr = ctx.rip;
+
+  std::uint8_t window[isa::kMaxInsnLength];
+  mem::MemFault fetch_fault;
+  const std::size_t got = fetch_window(mem, ctx.rip, window, &fetch_fault);
+  if (got == 0) {
+    result.kind = ExecKind::kMemFault;
+    result.fault = fetch_fault;
+    return result;
+  }
+
+  auto decoded = isa::decode({window, got});
+  if (!decoded) {
+    // Either an unknown opcode or an instruction running off the end of the
+    // mapped/executable region; both raise SIGILL-style outcomes (the latter
+    // is a fetch fault in real hardware, but the distinction is immaterial
+    // to every consumer in this project).
+    result.kind = ExecKind::kInvalidOpcode;
+    return result;
+  }
+  const Instruction insn = decoded.value();
+  result.insn = insn;
+  const std::uint64_t next_rip = ctx.rip + insn.length;
+
+  auto mem_fault = [&](const mem::MemFault& fault) {
+    result.kind = ExecKind::kMemFault;
+    result.fault = fault;
+    return result;
+  };
+
+  auto push64 = [&](std::uint64_t value) -> std::optional<mem::MemFault> {
+    const std::uint64_t rsp = ctx.rsp() - 8;
+    std::uint8_t bytes[8];
+    std::memcpy(bytes, &value, 8);
+    if (auto fault = mem.write(rsp, bytes)) return fault;
+    ctx.set_rsp(rsp);
+    return std::nullopt;
+  };
+  auto pop64 = [&](std::uint64_t& value) -> std::optional<mem::MemFault> {
+    std::uint8_t bytes[8];
+    if (auto fault = mem.read(ctx.rsp(), bytes)) return fault;
+    std::memcpy(&value, bytes, 8);
+    ctx.set_rsp(ctx.rsp() + 8);
+    return std::nullopt;
+  };
+
+  switch (insn.op) {
+    case Op::kNop:
+      break;
+    case Op::kSyscall:
+    case Op::kSysenter:
+      ctx.rip = next_rip;  // kernel sees the advanced rip, like x86
+      result.kind = ExecKind::kSyscall;
+      return result;
+    case Op::kCallRax: {
+      if (auto fault = push64(next_rip)) return mem_fault(*fault);
+      ctx.rip = ctx.reg(Gpr::rax);
+      return result;
+    }
+    case Op::kCallRel: {
+      if (auto fault = push64(next_rip)) return mem_fault(*fault);
+      ctx.rip = next_rip + static_cast<std::uint64_t>(insn.imm);
+      return result;
+    }
+    case Op::kJmpRel:
+      ctx.rip = next_rip + static_cast<std::uint64_t>(insn.imm);
+      return result;
+    case Op::kJmpReg:
+      ctx.rip = ctx.reg(insn.r1);
+      return result;
+    case Op::kRet: {
+      std::uint64_t target = 0;
+      if (auto fault = pop64(target)) return mem_fault(*fault);
+      ctx.rip = target;
+      return result;
+    }
+    case Op::kHlt:
+      ctx.rip = next_rip;
+      result.kind = ExecKind::kHlt;
+      return result;
+    case Op::kTrap:
+      ctx.rip = next_rip;
+      result.kind = ExecKind::kTrap;
+      return result;
+    case Op::kMovRI:
+      ctx.set_reg(insn.r1, static_cast<std::uint64_t>(insn.imm));
+      break;
+    case Op::kMovRR:
+      ctx.set_reg(insn.r1, ctx.reg(insn.r2));
+      break;
+    case Op::kLoad: {
+      const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
+      std::uint8_t bytes[8];
+      if (auto fault = mem.read(addr, bytes)) return mem_fault(*fault);
+      std::uint64_t value = 0;
+      std::memcpy(&value, bytes, 8);
+      ctx.set_reg(insn.r1, value);
+      break;
+    }
+    case Op::kStore: {
+      const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
+      const std::uint64_t value = ctx.reg(insn.r1);
+      std::uint8_t bytes[8];
+      std::memcpy(bytes, &value, 8);
+      if (auto fault = mem.write(addr, bytes)) return mem_fault(*fault);
+      break;
+    }
+    case Op::kLoad8: {
+      const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
+      std::uint8_t byte = 0;
+      if (auto fault = mem.read(addr, {&byte, 1})) return mem_fault(*fault);
+      ctx.set_reg(insn.r1, byte);
+      break;
+    }
+    case Op::kStore8: {
+      const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
+      const std::uint8_t byte = static_cast<std::uint8_t>(ctx.reg(insn.r1));
+      if (auto fault = mem.write(addr, {&byte, 1})) return mem_fault(*fault);
+      break;
+    }
+    case Op::kLoadGs: {
+      const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
+      std::uint8_t bytes[8];
+      if (auto fault = mem.read(addr, bytes)) return mem_fault(*fault);
+      std::uint64_t value = 0;
+      std::memcpy(&value, bytes, 8);
+      ctx.set_reg(insn.r1, value);
+      break;
+    }
+    case Op::kStoreGs: {
+      const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
+      const std::uint64_t value = ctx.reg(insn.r1);
+      std::uint8_t bytes[8];
+      std::memcpy(bytes, &value, 8);
+      if (auto fault = mem.write(addr, bytes)) return mem_fault(*fault);
+      break;
+    }
+    case Op::kLoadGs8: {
+      const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
+      std::uint8_t byte = 0;
+      if (auto fault = mem.read(addr, {&byte, 1})) return mem_fault(*fault);
+      ctx.set_reg(insn.r1, byte);
+      break;
+    }
+    case Op::kStoreGs8: {
+      const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
+      const std::uint8_t byte = static_cast<std::uint8_t>(ctx.reg(insn.r1));
+      if (auto fault = mem.write(addr, {&byte, 1})) return mem_fault(*fault);
+      break;
+    }
+    case Op::kPush:
+      if (auto fault = push64(ctx.reg(insn.r1))) return mem_fault(*fault);
+      break;
+    case Op::kPop: {
+      std::uint64_t value = 0;
+      if (auto fault = pop64(value)) return mem_fault(*fault);
+      ctx.set_reg(insn.r1, value);
+      break;
+    }
+    case Op::kAddRR:
+      ctx.set_reg(insn.r1, ctx.reg(insn.r1) + ctx.reg(insn.r2));
+      break;
+    case Op::kSubRR:
+      ctx.set_reg(insn.r1, ctx.reg(insn.r1) - ctx.reg(insn.r2));
+      break;
+    case Op::kMulRR:
+      ctx.set_reg(insn.r1, ctx.reg(insn.r1) * ctx.reg(insn.r2));
+      break;
+    case Op::kDivRR:
+    case Op::kModRR: {
+      const auto lhs = static_cast<std::int64_t>(ctx.reg(insn.r1));
+      const auto rhs = static_cast<std::int64_t>(ctx.reg(insn.r2));
+      if (rhs == 0) {
+        // #DE: rip stays at the faulting instruction, like a real divide
+        // error trap.
+        result.kind = ExecKind::kDivideError;
+        return result;
+      }
+      const std::int64_t value = insn.op == Op::kDivRR ? lhs / rhs : lhs % rhs;
+      ctx.set_reg(insn.r1, static_cast<std::uint64_t>(value));
+      break;
+    }
+    case Op::kAddRI:
+      ctx.set_reg(insn.r1, ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm));
+      break;
+    case Op::kSubRI:
+      ctx.set_reg(insn.r1, ctx.reg(insn.r1) - static_cast<std::uint64_t>(insn.imm));
+      break;
+    case Op::kCmpRI: {
+      const auto lhs = static_cast<std::int64_t>(ctx.reg(insn.r1));
+      const auto rhs = static_cast<std::int64_t>(insn.imm);
+      ctx.flags = {lhs == rhs, lhs < rhs, lhs > rhs};
+      break;
+    }
+    case Op::kCmpRR: {
+      const auto lhs = static_cast<std::int64_t>(ctx.reg(insn.r1));
+      const auto rhs = static_cast<std::int64_t>(ctx.reg(insn.r2));
+      ctx.flags = {lhs == rhs, lhs < rhs, lhs > rhs};
+      break;
+    }
+    case Op::kJz:
+      ctx.rip = ctx.flags.zf ? next_rip + static_cast<std::uint64_t>(insn.imm)
+                             : next_rip;
+      return result;
+    case Op::kJnz:
+      ctx.rip = !ctx.flags.zf ? next_rip + static_cast<std::uint64_t>(insn.imm)
+                              : next_rip;
+      return result;
+    case Op::kJlt:
+      ctx.rip = ctx.flags.lt ? next_rip + static_cast<std::uint64_t>(insn.imm)
+                             : next_rip;
+      return result;
+    case Op::kJgt:
+      ctx.rip = ctx.flags.gt ? next_rip + static_cast<std::uint64_t>(insn.imm)
+                             : next_rip;
+      return result;
+    case Op::kXmovXI:
+      ctx.xstate.xmm[insn.xr1] = {static_cast<std::uint64_t>(insn.imm),
+                                  static_cast<std::uint64_t>(insn.imm)};
+      break;
+    case Op::kXmovXR: {
+      const std::uint64_t value = ctx.reg(insn.r1);
+      ctx.xstate.xmm[insn.xr1] = {value, value};
+      break;
+    }
+    case Op::kXmovRX:
+      ctx.set_reg(insn.r1, ctx.xstate.xmm[insn.xr1][0]);
+      break;
+    case Op::kXstore: {
+      const std::uint64_t addr = ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm);
+      std::uint8_t bytes[16];
+      std::memcpy(bytes, ctx.xstate.xmm[insn.xr1].data(), 16);
+      if (auto fault = mem.write(addr, bytes)) return mem_fault(*fault);
+      break;
+    }
+    case Op::kXload: {
+      const std::uint64_t addr = ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm);
+      std::uint8_t bytes[16];
+      if (auto fault = mem.read(addr, bytes)) return mem_fault(*fault);
+      std::memcpy(ctx.xstate.xmm[insn.xr1].data(), bytes, 16);
+      break;
+    }
+    case Op::kXzero:
+      ctx.xstate.xmm[insn.xr1] = {0, 0};
+      break;
+    case Op::kYmovHiYR: {
+      const std::uint64_t value = ctx.reg(insn.r1);
+      ctx.xstate.ymm_hi[insn.xr1] = {value, value};
+      break;
+    }
+    case Op::kYmovRYHi:
+      ctx.set_reg(insn.r1, ctx.xstate.ymm_hi[insn.xr1][0]);
+      break;
+    case Op::kFldI:
+      ctx.xstate.x87_push(static_cast<std::uint64_t>(insn.imm));
+      break;
+    case Op::kFstpR:
+      ctx.set_reg(insn.r1, ctx.xstate.x87_pop());
+      break;
+    case Op::kFaddP: {
+      const double st0 = bits_to_double(ctx.xstate.x87_pop());
+      const double st1 = bits_to_double(ctx.xstate.x87_pop());
+      ctx.xstate.x87_push(double_to_bits(st0 + st1));
+      break;
+    }
+    case Op::kHostCall:
+      ctx.rip = next_rip;
+      result.kind = ExecKind::kHostCall;
+      return result;
+    case Op::kRdGs:
+      ctx.set_reg(insn.r1, ctx.gs_base);
+      break;
+    case Op::kWrGs:
+      ctx.gs_base = ctx.reg(insn.r1);
+      break;
+  }
+
+  ctx.rip = next_rip;
+  return result;
+}
+
+}  // namespace lzp::cpu

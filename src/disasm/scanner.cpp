@@ -1,0 +1,97 @@
+#include "disasm/scanner.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.hpp"
+#include "isa/decode.hpp"
+
+namespace lzp::disasm {
+namespace {
+
+ScanResult raw_byte_scan(std::span<const std::uint8_t> bytes, std::uint64_t base) {
+  ScanResult result;
+  if (bytes.size() < 2) return result;
+  for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+    if (isa::is_syscall_bytes(bytes.subspan(i))) {
+      result.syscall_sites.push_back(base + i);
+    }
+  }
+  return result;
+}
+
+ScanResult linear_sweep(std::span<const std::uint8_t> bytes, std::uint64_t base) {
+  ScanResult result;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    auto decoded = isa::decode(bytes.subspan(offset));
+    if (!decoded) {
+      // Unknown byte: resynchronize one byte later, like linear-sweep
+      // disassemblers skipping over data.
+      ++result.decode_errors;
+      ++offset;
+      continue;
+    }
+    ++result.insns_decoded;
+    const isa::Instruction& insn = decoded.value();
+    if (insn.op == isa::Op::kSyscall || insn.op == isa::Op::kSysenter) {
+      result.syscall_sites.push_back(base + offset);
+    }
+    offset += insn.length;
+  }
+  return result;
+}
+
+}  // namespace
+
+ScanResult scan(std::span<const std::uint8_t> bytes, std::uint64_t base,
+                Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kRawBytes: return raw_byte_scan(bytes, base);
+    case Strategy::kLinearSweep: return linear_sweep(bytes, base);
+  }
+  return {};
+}
+
+std::string listing(std::span<const std::uint8_t> bytes, std::uint64_t base) {
+  std::string out;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    auto decoded = isa::decode(bytes.subspan(offset));
+    const std::size_t length = decoded ? decoded.value().length : 1;
+    out += hex_u64(base + offset);
+    out += ":  ";
+    std::string encoded;
+    for (std::size_t i = 0; i < length && offset + i < bytes.size(); ++i) {
+      if (i != 0) encoded += ' ';
+      encoded += hex_byte(bytes[offset + i]);
+    }
+    out += pad_right(encoded, 30);
+    out += decoded ? decoded.value().to_string()
+                   : std::string(".byte ") + hex_byte(bytes[offset]);
+    out += '\n';
+    offset += length;
+  }
+  return out;
+}
+
+ScanAccuracy evaluate(const ScanResult& result, const isa::Program& program) {
+  ScanAccuracy accuracy;
+  const auto truth_vec = program.true_syscall_addresses();
+  const std::set<std::uint64_t> truth(truth_vec.begin(), truth_vec.end());
+  std::set<std::uint64_t> found(result.syscall_sites.begin(),
+                                result.syscall_sites.end());
+  for (std::uint64_t site : found) {
+    if (truth.count(site) != 0) {
+      accuracy.true_positives.push_back(site);
+    } else {
+      accuracy.false_positives.push_back(site);
+    }
+  }
+  for (std::uint64_t site : truth) {
+    if (found.count(site) == 0) accuracy.missed.push_back(site);
+  }
+  return accuracy;
+}
+
+}  // namespace lzp::disasm

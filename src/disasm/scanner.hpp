@@ -1,0 +1,55 @@
+// Static binary scanning for syscall instructions — the substrate that
+// rewriting-based interposers (zpoline, SaBRe, syscall_intercept) depend on,
+// together with its two classic failure modes (paper §II-B):
+//
+//   * RAW BYTE SCAN finds every 0F 05 / 0F 34 byte pair, including pairs
+//     that are actually *inside* other instructions' immediates — rewriting
+//     those corrupts unrelated code (false positives).
+//   * LINEAR SWEEP decodes from the start of the region and resynchronizes
+//     byte-by-byte after undecodable bytes; data interleaved with code can
+//     desynchronize it so real syscall instructions are skipped (false
+//     negatives) or phantom ones are reported.
+//
+// Neither strategy sees code mapped or generated after the scan. The
+// evaluation compares both against assembler ground truth, and against the
+// lazy kernel-assisted discovery that lazypoline uses instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/assemble.hpp"
+
+namespace lzp::disasm {
+
+enum class Strategy : std::uint8_t {
+  kRawBytes,     // grep for the 2-byte syscall encodings
+  kLinearSweep,  // decode linearly, resync +1 byte on decode failure
+};
+
+struct ScanResult {
+  std::vector<std::uint64_t> syscall_sites;  // absolute addresses
+  std::size_t decode_errors = 0;             // resyncs (linear sweep only)
+  std::size_t insns_decoded = 0;
+};
+
+[[nodiscard]] ScanResult scan(std::span<const std::uint8_t> bytes,
+                              std::uint64_t base, Strategy strategy);
+
+// Classification of a scan against assembler ground truth.
+struct ScanAccuracy {
+  std::vector<std::uint64_t> true_positives;
+  std::vector<std::uint64_t> false_positives;  // would corrupt code if rewritten
+  std::vector<std::uint64_t> missed;           // syscalls that escape interposition
+};
+
+[[nodiscard]] ScanAccuracy evaluate(const ScanResult& result,
+                                    const isa::Program& program);
+
+// objdump-style listing via linear sweep: one line per decoded instruction
+// ("<addr>: <bytes>  <mnemonic>"), with undecodable bytes shown as ".byte".
+[[nodiscard]] std::string listing(std::span<const std::uint8_t> bytes,
+                                  std::uint64_t base);
+
+}  // namespace lzp::disasm

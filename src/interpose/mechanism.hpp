@@ -1,0 +1,51 @@
+// Common interface over interposition mechanisms, and the Table-I
+// characteristics each mechanism reports. Concrete mechanisms live in
+// src/mechanisms (kernel-interface based), src/zpoline (pure rewriting), and
+// src/core (lazypoline, the paper's contribution).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "interpose/handler.hpp"
+#include "kernel/machine.hpp"
+
+namespace lzp::interpose {
+
+enum class Level : std::uint8_t { kLow, kModerate, kHigh, kFull, kLimited };
+
+[[nodiscard]] constexpr std::string_view to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kLow: return "Low";
+    case Level::kModerate: return "Moderate";
+    case Level::kHigh: return "High";
+    case Level::kFull: return "Full";
+    case Level::kLimited: return "Limited";
+  }
+  return "?";
+}
+
+// Table I row.
+struct Characteristics {
+  Level expressiveness = Level::kFull;
+  bool exhaustive = false;
+  Level efficiency = Level::kLow;
+};
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Installs interposition on the given task: every syscall this task (and,
+  // where the mechanism supports it, its future children) performs should
+  // reach `handler`.
+  virtual Status install(kern::Machine& machine, kern::Tid tid,
+                         std::shared_ptr<SyscallHandler> handler) = 0;
+
+  // Static self-description for the Table-I harness. The harness also
+  // *verifies* these claims experimentally (bench/table1_characteristics).
+  [[nodiscard]] virtual Characteristics characteristics() const = 0;
+};
+
+}  // namespace lzp::interpose

@@ -1,0 +1,297 @@
+#include "isa/assemble.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace lzp::isa {
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  const auto old = out.size();
+  out.resize(old + 8);
+  std::memcpy(out.data() + old, &value, 8);
+}
+
+void append_i32(std::vector<std::uint8_t>& out, std::int32_t value) {
+  const auto old = out.size();
+  out.resize(old + 4);
+  std::memcpy(out.data() + old, &value, 4);
+}
+
+std::uint8_t reg_byte(Gpr reg) noexcept { return static_cast<std::uint8_t>(reg); }
+
+}  // namespace
+
+Assembler::Label Assembler::new_label() {
+  labels_.push_back(-1);
+  return labels_.size() - 1;
+}
+
+void Assembler::bind(Label label) {
+  labels_.at(label) = static_cast<std::int64_t>(code_.size());
+}
+
+void Assembler::emit_op(Op op, std::span<const std::uint8_t> bytes) {
+  sites_.push_back({static_cast<std::uint64_t>(code_.size()), op,
+                    static_cast<std::uint8_t>(bytes.size()), /*is_data=*/false});
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+}
+
+void Assembler::emit_op(Op op, std::initializer_list<std::uint8_t> bytes) {
+  emit_op(op, std::span<const std::uint8_t>(bytes.begin(), bytes.size()));
+}
+
+void Assembler::emit_rel32(Op op, std::uint8_t opcode, Label target) {
+  sites_.push_back({static_cast<std::uint64_t>(code_.size()), op, 5, false});
+  code_.push_back(opcode);
+  fixups_.push_back({code_.size(), code_.size() + 4, target});
+  append_i32(code_, 0);
+}
+
+void Assembler::nop() { emit_op(Op::kNop, {{kByteNop}}); }
+
+void Assembler::nops(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) nop();
+}
+
+void Assembler::syscall_() { emit_op(Op::kSyscall, {{kByte0F, kByteSyscall2}}); }
+void Assembler::sysenter_() { emit_op(Op::kSysenter, {{kByte0F, kByteSysenter2}}); }
+void Assembler::call_rax() { emit_op(Op::kCallRax, {{kByteFF, kByteCallRax2}}); }
+
+void Assembler::call(Label target) { emit_rel32(Op::kCallRel, 0xE8, target); }
+void Assembler::jmp(Label target) { emit_rel32(Op::kJmpRel, 0xE9, target); }
+void Assembler::jz(Label target) { emit_rel32(Op::kJz, 0x74, target); }
+void Assembler::jnz(Label target) { emit_rel32(Op::kJnz, 0x75, target); }
+void Assembler::jlt(Label target) { emit_rel32(Op::kJlt, 0x7C, target); }
+void Assembler::jgt(Label target) { emit_rel32(Op::kJgt, 0x7F, target); }
+
+void Assembler::jmp_reg(Gpr reg) { emit_op(Op::kJmpReg, {{0xFE, reg_byte(reg)}}); }
+void Assembler::ret() { emit_op(Op::kRet, {{0xC3}}); }
+void Assembler::hlt() { emit_op(Op::kHlt, {{0xF4}}); }
+void Assembler::trap() { emit_op(Op::kTrap, {{0xCC}}); }
+
+void Assembler::mov(Gpr dst, std::uint64_t imm) {
+  std::vector<std::uint8_t> bytes{0xB8, reg_byte(dst)};
+  append_u64(bytes, imm);
+  emit_op(Op::kMovRI, bytes);
+}
+
+void Assembler::mov(Gpr dst, Gpr src) {
+  emit_op(Op::kMovRR, {{0x89, reg_byte(dst), reg_byte(src)}});
+}
+
+void Assembler::load(Gpr dst, Gpr base, std::int32_t disp) {
+  std::vector<std::uint8_t> bytes{0x8B, reg_byte(dst), reg_byte(base)};
+  append_i32(bytes, disp);
+  emit_op(Op::kLoad, bytes);
+}
+
+void Assembler::store(Gpr base, std::int32_t disp, Gpr src) {
+  std::vector<std::uint8_t> bytes{0x8C, reg_byte(base), reg_byte(src)};
+  append_i32(bytes, disp);
+  emit_op(Op::kStore, bytes);
+}
+
+void Assembler::load8(Gpr dst, Gpr base, std::int32_t disp) {
+  std::vector<std::uint8_t> bytes{0x8D, reg_byte(dst), reg_byte(base)};
+  append_i32(bytes, disp);
+  emit_op(Op::kLoad8, bytes);
+}
+
+void Assembler::store8(Gpr base, std::int32_t disp, Gpr src) {
+  std::vector<std::uint8_t> bytes{0x8E, reg_byte(base), reg_byte(src)};
+  append_i32(bytes, disp);
+  emit_op(Op::kStore8, bytes);
+}
+
+void Assembler::load_gs(Gpr dst, std::int32_t disp) {
+  std::vector<std::uint8_t> bytes{0x60, reg_byte(dst)};
+  append_i32(bytes, disp);
+  emit_op(Op::kLoadGs, bytes);
+}
+
+void Assembler::store_gs(std::int32_t disp, Gpr src) {
+  std::vector<std::uint8_t> bytes{0x61, reg_byte(src)};
+  append_i32(bytes, disp);
+  emit_op(Op::kStoreGs, bytes);
+}
+
+void Assembler::load_gs8(Gpr dst, std::int32_t disp) {
+  std::vector<std::uint8_t> bytes{0x62, reg_byte(dst)};
+  append_i32(bytes, disp);
+  emit_op(Op::kLoadGs8, bytes);
+}
+
+void Assembler::store_gs8(std::int32_t disp, Gpr src) {
+  std::vector<std::uint8_t> bytes{0x63, reg_byte(src)};
+  append_i32(bytes, disp);
+  emit_op(Op::kStoreGs8, bytes);
+}
+
+void Assembler::push(Gpr reg) { emit_op(Op::kPush, {{0x50, reg_byte(reg)}}); }
+void Assembler::pop(Gpr reg) { emit_op(Op::kPop, {{0x58, reg_byte(reg)}}); }
+
+void Assembler::add(Gpr dst, Gpr src) {
+  emit_op(Op::kAddRR, {{0x01, reg_byte(dst), reg_byte(src)}});
+}
+void Assembler::sub(Gpr dst, Gpr src) {
+  emit_op(Op::kSubRR, {{0x29, reg_byte(dst), reg_byte(src)}});
+}
+
+void Assembler::mul(Gpr dst, Gpr src) {
+  emit_op(Op::kMulRR, {{0x6B, reg_byte(dst), reg_byte(src)}});
+}
+
+void Assembler::div(Gpr dst, Gpr src) {
+  emit_op(Op::kDivRR, {{0x6C, reg_byte(dst), reg_byte(src)}});
+}
+
+void Assembler::mod(Gpr dst, Gpr src) {
+  emit_op(Op::kModRR, {{0x6D, reg_byte(dst), reg_byte(src)}});
+}
+
+void Assembler::add(Gpr dst, std::int32_t imm) {
+  std::vector<std::uint8_t> bytes{0x81, reg_byte(dst)};
+  append_i32(bytes, imm);
+  emit_op(Op::kAddRI, bytes);
+}
+
+void Assembler::sub(Gpr dst, std::int32_t imm) {
+  std::vector<std::uint8_t> bytes{0x2D, reg_byte(dst)};
+  append_i32(bytes, imm);
+  emit_op(Op::kSubRI, bytes);
+}
+
+void Assembler::cmp(Gpr reg, std::int32_t imm) {
+  std::vector<std::uint8_t> bytes{0x3D, reg_byte(reg)};
+  append_i32(bytes, imm);
+  emit_op(Op::kCmpRI, bytes);
+}
+
+void Assembler::cmp(Gpr a, Gpr b) {
+  emit_op(Op::kCmpRR, {{0x39, reg_byte(a), reg_byte(b)}});
+}
+
+void Assembler::xmov(std::uint8_t xmm, std::uint64_t imm_both_lanes) {
+  std::vector<std::uint8_t> bytes{0xA0, xmm};
+  append_u64(bytes, imm_both_lanes);
+  emit_op(Op::kXmovXI, bytes);
+}
+
+void Assembler::xmov_from_gpr(std::uint8_t xmm, Gpr src) {
+  emit_op(Op::kXmovXR, {{0xA1, xmm, reg_byte(src)}});
+}
+
+void Assembler::xmov_to_gpr(Gpr dst, std::uint8_t xmm) {
+  emit_op(Op::kXmovRX, {{0xA2, reg_byte(dst), xmm}});
+}
+
+void Assembler::xstore(Gpr base, std::int32_t disp, std::uint8_t xmm) {
+  std::vector<std::uint8_t> bytes{0xA3, reg_byte(base), xmm};
+  append_i32(bytes, disp);
+  emit_op(Op::kXstore, bytes);
+}
+
+void Assembler::xload(std::uint8_t xmm, Gpr base, std::int32_t disp) {
+  std::vector<std::uint8_t> bytes{0xA4, xmm, reg_byte(base)};
+  append_i32(bytes, disp);
+  emit_op(Op::kXload, bytes);
+}
+
+void Assembler::xzero(std::uint8_t xmm) { emit_op(Op::kXzero, {{0xA5, xmm}}); }
+
+void Assembler::ymov_hi(std::uint8_t ymm, Gpr src) {
+  emit_op(Op::kYmovHiYR, {{0xA6, ymm, reg_byte(src)}});
+}
+
+void Assembler::ymov_rd_hi(Gpr dst, std::uint8_t ymm) {
+  emit_op(Op::kYmovRYHi, {{0xA7, reg_byte(dst), ymm}});
+}
+
+void Assembler::fld(std::uint64_t bits) {
+  std::vector<std::uint8_t> bytes{0xA8};
+  append_u64(bytes, bits);
+  emit_op(Op::kFldI, bytes);
+}
+
+void Assembler::fstp(Gpr dst) { emit_op(Op::kFstpR, {{0xA9, reg_byte(dst)}}); }
+void Assembler::faddp() { emit_op(Op::kFaddP, {{0xAA}}); }
+void Assembler::rdgs(Gpr dst) { emit_op(Op::kRdGs, {{0xAB, reg_byte(dst)}}); }
+void Assembler::wrgs(Gpr src) { emit_op(Op::kWrGs, {{0xAC, reg_byte(src)}}); }
+
+void Assembler::hostcall(std::uint32_t index) {
+  std::vector<std::uint8_t> bytes{kByteHostCall};
+  append_i32(bytes, static_cast<std::int32_t>(index));
+  emit_op(Op::kHostCall, bytes);
+}
+
+void Assembler::db(std::span<const std::uint8_t> bytes) {
+  sites_.push_back({static_cast<std::uint64_t>(code_.size()), Op::kNop,
+                    static_cast<std::uint8_t>(
+                        std::min<std::size_t>(bytes.size(), 255)),
+                    /*is_data=*/true});
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+}
+
+void Assembler::db(std::initializer_list<std::uint8_t> bytes) {
+  db(std::span<const std::uint8_t>(bytes.begin(), bytes.size()));
+}
+
+Result<std::vector<std::uint8_t>> Assembler::finish() {
+  if (finished_) {
+    return make_error(StatusCode::kFailedPrecondition, "assembler reused");
+  }
+  for (const Fixup& fixup : fixups_) {
+    const std::int64_t target = labels_.at(fixup.label);
+    if (target < 0) {
+      return make_error(StatusCode::kFailedPrecondition,
+                        "unbound label " + std::to_string(fixup.label));
+    }
+    const std::int64_t rel = target - static_cast<std::int64_t>(fixup.next_insn);
+    if (rel < std::numeric_limits<std::int32_t>::min() ||
+        rel > std::numeric_limits<std::int32_t>::max()) {
+      return make_error(StatusCode::kOutOfRange, "rel32 overflow");
+    }
+    const auto rel32 = static_cast<std::int32_t>(rel);
+    std::memcpy(code_.data() + fixup.patch_offset, &rel32, 4);
+  }
+  finished_ = true;
+  return code_;
+}
+
+Result<std::uint64_t> Assembler::label_offset(Label label) const {
+  const std::int64_t offset = labels_.at(label);
+  if (offset < 0) {
+    return make_error(StatusCode::kFailedPrecondition, "unbound label");
+  }
+  return static_cast<std::uint64_t>(offset);
+}
+
+std::vector<std::uint64_t> Program::true_syscall_addresses() const {
+  std::vector<std::uint64_t> out;
+  for (const AssembledSite& site : ground_truth) {
+    if (!site.is_data && (site.op == Op::kSyscall || site.op == Op::kSysenter)) {
+      out.push_back(base + site.offset);
+    }
+  }
+  return out;
+}
+
+Result<Program> make_program(std::string name, Assembler& assembler,
+                             Assembler::Label entry_label, std::uint64_t base) {
+  auto entry = assembler.label_offset(entry_label);
+  if (!entry) return entry.status();
+  auto sites = assembler.sites();  // copy before finish() for ground truth
+  auto code = assembler.finish();
+  if (!code) return code.status();
+  Program program;
+  program.name = std::move(name);
+  program.base = base;
+  program.entry = base + entry.value();
+  program.image = std::move(code).value();
+  program.ground_truth = std::move(sites);
+  return program;
+}
+
+}  // namespace lzp::isa

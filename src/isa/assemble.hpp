@@ -1,0 +1,143 @@
+// A small two-pass assembler for the simulated ISA, plus the Program image
+// container that the kernel's execve loads.
+//
+// The assembler records ground-truth instruction boundaries and syscall
+// sites, which the disassembler tests and the zpoline/lazypoline evaluation
+// use to check exhaustiveness claims against reality.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "isa/insn.hpp"
+
+namespace lzp::isa {
+
+// Ground truth about one assembled instruction.
+struct AssembledSite {
+  std::uint64_t offset = 0;  // from start of the code blob
+  Op op = Op::kNop;
+  std::uint8_t length = 0;
+  bool is_data = false;  // emitted via db(): not an instruction at all
+};
+
+class Assembler {
+ public:
+  using Label = std::size_t;
+
+  Label new_label();
+  // Binds `label` to the current offset. A label may be bound exactly once.
+  void bind(Label label);
+  [[nodiscard]] std::uint64_t offset() const noexcept {
+    return static_cast<std::uint64_t>(code_.size());
+  }
+
+  // --- instruction emitters ------------------------------------------------
+  void nop();
+  void nops(std::size_t count);
+  void syscall_();
+  void sysenter_();
+  void call_rax();
+  void call(Label target);
+  void jmp(Label target);
+  void jmp_reg(Gpr reg);
+  void jz(Label target);
+  void jnz(Label target);
+  void jlt(Label target);
+  void jgt(Label target);
+  void ret();
+  void hlt();
+  void trap();
+  void mov(Gpr dst, std::uint64_t imm);
+  void mov(Gpr dst, Gpr src);
+  void load(Gpr dst, Gpr base, std::int32_t disp);
+  void store(Gpr base, std::int32_t disp, Gpr src);
+  void load8(Gpr dst, Gpr base, std::int32_t disp);
+  void store8(Gpr base, std::int32_t disp, Gpr src);
+  void load_gs(Gpr dst, std::int32_t disp);
+  void store_gs(std::int32_t disp, Gpr src);
+  void load_gs8(Gpr dst, std::int32_t disp);
+  void store_gs8(std::int32_t disp, Gpr src);
+  void push(Gpr reg);
+  void pop(Gpr reg);
+  void add(Gpr dst, Gpr src);
+  void sub(Gpr dst, Gpr src);
+  void mul(Gpr dst, Gpr src);
+  void div(Gpr dst, Gpr src);
+  void mod(Gpr dst, Gpr src);
+  void add(Gpr dst, std::int32_t imm);
+  void sub(Gpr dst, std::int32_t imm);
+  void cmp(Gpr reg, std::int32_t imm);
+  void cmp(Gpr a, Gpr b);
+  void xmov(std::uint8_t xmm, std::uint64_t imm_both_lanes);
+  void xmov_from_gpr(std::uint8_t xmm, Gpr src);
+  void xmov_to_gpr(Gpr dst, std::uint8_t xmm);
+  void xstore(Gpr base, std::int32_t disp, std::uint8_t xmm);
+  void xload(std::uint8_t xmm, Gpr base, std::int32_t disp);
+  void xzero(std::uint8_t xmm);
+  void ymov_hi(std::uint8_t ymm, Gpr src);
+  void ymov_rd_hi(Gpr dst, std::uint8_t ymm);
+  void fld(std::uint64_t bits);
+  void fstp(Gpr dst);
+  void faddp();
+  void rdgs(Gpr dst);
+  void wrgs(Gpr src);
+  // Transfer to host-bound native code (index = Machine host binding index).
+  void hostcall(std::uint32_t index);
+
+  // Raw data bytes (string tables, jump pads, deliberately confusing bytes).
+  void db(std::span<const std::uint8_t> bytes);
+  void db(std::initializer_list<std::uint8_t> bytes);
+
+  // Resolves all label fixups. Fails if a referenced label is unbound or a
+  // relative displacement does not fit in 32 bits.
+  Result<std::vector<std::uint8_t>> finish();
+
+  [[nodiscard]] const std::vector<AssembledSite>& sites() const noexcept {
+    return sites_;
+  }
+  Result<std::uint64_t> label_offset(Label label) const;
+
+ private:
+  void emit_op(Op op, std::span<const std::uint8_t> bytes);
+  void emit_op(Op op, std::initializer_list<std::uint8_t> bytes);
+  void emit_rel32(Op op, std::uint8_t opcode, Label target);
+
+  struct Fixup {
+    std::size_t patch_offset = 0;  // where the rel32 lives
+    std::size_t next_insn = 0;     // offset of the instruction after
+    Label label = 0;
+  };
+
+  std::vector<std::uint8_t> code_;
+  std::vector<AssembledSite> sites_;
+  std::vector<std::int64_t> labels_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  bool finished_ = false;
+};
+
+// A loadable program image: flat code+data blob mapped at `base`, plus the
+// entry point and the assembler's ground truth (used only by evaluation
+// tooling, never by the interposers themselves — they must discover sites
+// the honest way).
+struct Program {
+  std::string name;
+  std::uint64_t base = 0x0000'0000'0040'0000ULL;  // like a non-PIE ELF
+  std::uint64_t entry = 0;                        // absolute address
+  std::vector<std::uint8_t> image;
+  std::vector<AssembledSite> ground_truth;
+  std::uint64_t stack_size = 64 * 1024;
+
+  [[nodiscard]] std::vector<std::uint64_t> true_syscall_addresses() const;
+};
+
+// Convenience: build a Program from an assembler, entry at `entry_label`.
+Result<Program> make_program(std::string name, Assembler& assembler,
+                             Assembler::Label entry_label,
+                             std::uint64_t base = 0x40'0000);
+
+}  // namespace lzp::isa

@@ -1,0 +1,235 @@
+#include "isa/decode.hpp"
+
+#include <cstring>
+
+namespace lzp::isa {
+namespace {
+
+Status truncated() {
+  return Status{StatusCode::kOutOfRange, "decode: truncated instruction"};
+}
+
+Result<Gpr> reg_operand(std::uint8_t byte) {
+  if (byte >= kNumGprs) {
+    return Status{StatusCode::kInvalidArgument, "decode: bad register operand"};
+  }
+  return static_cast<Gpr>(byte);
+}
+
+Result<std::uint8_t> xreg_operand(std::uint8_t byte) {
+  if (byte >= kNumXmm) {
+    return Status{StatusCode::kInvalidArgument, "decode: bad xmm operand"};
+  }
+  return byte;
+}
+
+std::int64_t read_imm32(const std::uint8_t* p) noexcept {
+  std::int32_t value = 0;
+  std::memcpy(&value, p, sizeof(value));
+  return value;  // sign-extended
+}
+
+std::int64_t read_imm64(const std::uint8_t* p) noexcept {
+  std::int64_t value = 0;
+  std::memcpy(&value, p, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+bool is_syscall_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  return bytes.size() >= 2 && bytes[0] == kByte0F &&
+         (bytes[1] == kByteSyscall2 || bytes[1] == kByteSysenter2);
+}
+
+Result<Instruction> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return truncated();
+  Instruction insn;
+  const std::uint8_t opcode = bytes[0];
+
+  auto need = [&](std::size_t n) { return bytes.size() >= n; };
+
+  // 1-byte forms.
+  switch (opcode) {
+    case kByteNop: insn.op = Op::kNop; insn.length = 1; return insn;
+    case 0xC3: insn.op = Op::kRet; insn.length = 1; return insn;
+    case 0xF4: insn.op = Op::kHlt; insn.length = 1; return insn;
+    case 0xCC: insn.op = Op::kTrap; insn.length = 1; return insn;
+    case 0xAA: insn.op = Op::kFaddP; insn.length = 1; return insn;
+    default: break;
+  }
+
+  // 2-byte fixed forms.
+  if (opcode == kByte0F) {
+    if (!need(2)) return truncated();
+    if (bytes[1] == kByteSyscall2) { insn.op = Op::kSyscall; insn.length = 2; return insn; }
+    if (bytes[1] == kByteSysenter2) { insn.op = Op::kSysenter; insn.length = 2; return insn; }
+    return Status{StatusCode::kInvalidArgument, "decode: unknown 0F escape"};
+  }
+  if (opcode == kByteFF) {
+    if (!need(2)) return truncated();
+    if (bytes[1] == kByteCallRax2) { insn.op = Op::kCallRax; insn.length = 2; return insn; }
+    return Status{StatusCode::kInvalidArgument, "decode: unknown FF form"};
+  }
+
+  auto reg_form = [&](Op op) -> Result<Instruction> {
+    if (!need(2)) return truncated();
+    auto r = reg_operand(bytes[1]);
+    if (!r) return r.status();
+    insn.op = op; insn.length = 2; insn.r1 = r.value();
+    return insn;
+  };
+  auto reg_reg_form = [&](Op op) -> Result<Instruction> {
+    if (!need(3)) return truncated();
+    auto a = reg_operand(bytes[1]);
+    if (!a) return a.status();
+    auto b = reg_operand(bytes[2]);
+    if (!b) return b.status();
+    insn.op = op; insn.length = 3; insn.r1 = a.value(); insn.r2 = b.value();
+    return insn;
+  };
+  auto reg_imm64_form = [&](Op op) -> Result<Instruction> {
+    if (!need(10)) return truncated();
+    auto r = reg_operand(bytes[1]);
+    if (!r) return r.status();
+    insn.op = op; insn.length = 10; insn.r1 = r.value();
+    insn.imm = read_imm64(bytes.data() + 2);
+    return insn;
+  };
+  auto reg_imm32_form = [&](Op op) -> Result<Instruction> {
+    if (!need(6)) return truncated();
+    auto r = reg_operand(bytes[1]);
+    if (!r) return r.status();
+    insn.op = op; insn.length = 6; insn.r1 = r.value();
+    insn.imm = read_imm32(bytes.data() + 2);
+    return insn;
+  };
+  auto rel32_form = [&](Op op) -> Result<Instruction> {
+    if (!need(5)) return truncated();
+    insn.op = op; insn.length = 5; insn.imm = read_imm32(bytes.data() + 1);
+    return insn;
+  };
+  // dst, base, disp32 (LOAD/LOAD8: r1=dst, r2=base) or base, disp32, src
+  // (STORE/STORE8: r1=src, r2=base). Encodings keep both registers adjacent.
+  auto mem_form = [&](Op op, bool dst_first) -> Result<Instruction> {
+    if (!need(7)) return truncated();
+    auto a = reg_operand(bytes[1]);
+    if (!a) return a.status();
+    auto b = reg_operand(bytes[2]);
+    if (!b) return b.status();
+    insn.op = op; insn.length = 7;
+    if (dst_first) { insn.r1 = a.value(); insn.r2 = b.value(); }
+    else { insn.r2 = a.value(); insn.r1 = b.value(); }
+    insn.imm = read_imm32(bytes.data() + 3);
+    return insn;
+  };
+  auto gs_form = [&](Op op) -> Result<Instruction> {
+    if (!need(6)) return truncated();
+    auto r = reg_operand(bytes[1]);
+    if (!r) return r.status();
+    insn.op = op; insn.length = 6; insn.r1 = r.value();
+    insn.imm = read_imm32(bytes.data() + 2);
+    return insn;
+  };
+  auto xmm_imm64_form = [&](Op op) -> Result<Instruction> {
+    if (!need(10)) return truncated();
+    auto x = xreg_operand(bytes[1]);
+    if (!x) return x.status();
+    insn.op = op; insn.length = 10; insn.xr1 = x.value();
+    insn.imm = read_imm64(bytes.data() + 2);
+    return insn;
+  };
+  auto xmm_gpr_form = [&](Op op, bool xmm_first) -> Result<Instruction> {
+    if (!need(3)) return truncated();
+    const std::uint8_t a = bytes[1];
+    const std::uint8_t b = bytes[2];
+    const std::uint8_t xbyte = xmm_first ? a : b;
+    const std::uint8_t gbyte = xmm_first ? b : a;
+    auto x = xreg_operand(xbyte);
+    if (!x) return x.status();
+    auto g = reg_operand(gbyte);
+    if (!g) return g.status();
+    insn.op = op; insn.length = 3; insn.xr1 = x.value(); insn.r1 = g.value();
+    return insn;
+  };
+  // XSTORE: base, disp32, xmm ; XLOAD: xmm, base, disp32.
+  auto xmem_form = [&](Op op, bool xmm_first) -> Result<Instruction> {
+    if (!need(7)) return truncated();
+    const std::uint8_t a = bytes[1];
+    const std::uint8_t b = bytes[2];
+    const std::uint8_t xbyte = xmm_first ? a : b;
+    const std::uint8_t gbyte = xmm_first ? b : a;
+    auto x = xreg_operand(xbyte);
+    if (!x) return x.status();
+    auto g = reg_operand(gbyte);
+    if (!g) return g.status();
+    insn.op = op; insn.length = 7; insn.xr1 = x.value(); insn.r1 = g.value();
+    insn.imm = read_imm32(bytes.data() + 3);
+    return insn;
+  };
+
+  switch (opcode) {
+    case 0xE8: return rel32_form(Op::kCallRel);
+    case 0xE9: return rel32_form(Op::kJmpRel);
+    case 0xFE: return reg_form(Op::kJmpReg);
+    case 0xB8: return reg_imm64_form(Op::kMovRI);
+    case 0x89: return reg_reg_form(Op::kMovRR);
+    case 0x8B: return mem_form(Op::kLoad, /*dst_first=*/true);
+    case 0x8C: return mem_form(Op::kStore, /*dst_first=*/false);
+    case 0x8D: return mem_form(Op::kLoad8, /*dst_first=*/true);
+    case 0x8E: return mem_form(Op::kStore8, /*dst_first=*/false);
+    case 0x60: return gs_form(Op::kLoadGs);
+    case 0x61: return gs_form(Op::kStoreGs);
+    case 0x62: return gs_form(Op::kLoadGs8);
+    case 0x63: return gs_form(Op::kStoreGs8);
+    case 0x50: return reg_form(Op::kPush);
+    case 0x58: return reg_form(Op::kPop);
+    case 0x01: return reg_reg_form(Op::kAddRR);
+    case 0x29: return reg_reg_form(Op::kSubRR);
+    case 0x6B: return reg_reg_form(Op::kMulRR);
+    case 0x6C: return reg_reg_form(Op::kDivRR);
+    case 0x6D: return reg_reg_form(Op::kModRR);
+    case 0x81: return reg_imm32_form(Op::kAddRI);
+    case 0x2D: return reg_imm32_form(Op::kSubRI);
+    case 0x3D: return reg_imm32_form(Op::kCmpRI);
+    case 0x39: return reg_reg_form(Op::kCmpRR);
+    case 0x74: return rel32_form(Op::kJz);
+    case 0x75: return rel32_form(Op::kJnz);
+    case 0x7C: return rel32_form(Op::kJlt);
+    case 0x7F: return rel32_form(Op::kJgt);
+    case 0xA0: return xmm_imm64_form(Op::kXmovXI);
+    case 0xA1: return xmm_gpr_form(Op::kXmovXR, /*xmm_first=*/true);
+    case 0xA2: return xmm_gpr_form(Op::kXmovRX, /*xmm_first=*/false);
+    case 0xA3: return xmem_form(Op::kXstore, /*xmm_first=*/false);
+    case 0xA4: return xmem_form(Op::kXload, /*xmm_first=*/true);
+    case 0xA5: {
+      if (!need(2)) return truncated();
+      auto x = xreg_operand(bytes[1]);
+      if (!x) return x.status();
+      insn.op = Op::kXzero; insn.length = 2; insn.xr1 = x.value();
+      return insn;
+    }
+    case 0xA6: return xmm_gpr_form(Op::kYmovHiYR, /*xmm_first=*/true);
+    case 0xA7: return xmm_gpr_form(Op::kYmovRYHi, /*xmm_first=*/false);
+    case 0xA8: {
+      if (!need(9)) return truncated();
+      insn.op = Op::kFldI; insn.length = 9;
+      insn.imm = read_imm64(bytes.data() + 1);
+      return insn;
+    }
+    case 0xA9: return reg_form(Op::kFstpR);
+    case 0xAB: return reg_form(Op::kRdGs);
+    case 0xAC: return reg_form(Op::kWrGs);
+    case kByteHostCall: {
+      if (!need(5)) return truncated();
+      insn.op = Op::kHostCall;
+      insn.length = 5;
+      insn.imm = read_imm32(bytes.data() + 1);
+      return insn;
+    }
+    default:
+      return Status{StatusCode::kInvalidArgument, "decode: unknown opcode"};
+  }
+}
+
+}  // namespace lzp::isa

@@ -1,0 +1,24 @@
+// Instruction decoder: bytes -> Instruction. Used by the CPU fetch path and
+// by the static disassembler. Decoding is total over a span: invalid or
+// truncated encodings return an error, which the CPU maps to SIGILL.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "base/status.hpp"
+#include "isa/insn.hpp"
+
+namespace lzp::isa {
+
+// Maximum encoded instruction length (MOV_RI / XMOV_XI: 1 + 1 + 8 bytes).
+inline constexpr std::size_t kMaxInsnLength = 10;
+
+[[nodiscard]] Result<Instruction> decode(std::span<const std::uint8_t> bytes);
+
+// True if `bytes` begins with a syscall or sysenter encoding. This is the
+// 2-byte pattern a raw scanner looks for — and exactly what can appear by
+// accident inside immediates (paper §II-B).
+[[nodiscard]] bool is_syscall_bytes(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace lzp::isa

@@ -1,0 +1,244 @@
+#include "isa/insn.hpp"
+
+#include "base/strings.hpp"
+
+namespace lzp::isa {
+
+std::string_view gpr_name(Gpr reg) noexcept {
+  static constexpr std::array<std::string_view, kNumGprs> kNames = {
+      "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+  const auto index = static_cast<std::size_t>(reg);
+  return index < kNames.size() ? kNames[index] : "r?";
+}
+
+std::string_view op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kSyscall: return "syscall";
+    case Op::kSysenter: return "sysenter";
+    case Op::kCallRax: return "call rax";
+    case Op::kCallRel: return "call";
+    case Op::kJmpRel: return "jmp";
+    case Op::kJmpReg: return "jmp reg";
+    case Op::kRet: return "ret";
+    case Op::kHlt: return "hlt";
+    case Op::kTrap: return "int3";
+    case Op::kMovRI: return "mov ri";
+    case Op::kMovRR: return "mov rr";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kLoad8: return "load8";
+    case Op::kStore8: return "store8";
+    case Op::kLoadGs: return "load gs";
+    case Op::kStoreGs: return "store gs";
+    case Op::kLoadGs8: return "load8 gs";
+    case Op::kStoreGs8: return "store8 gs";
+    case Op::kPush: return "push";
+    case Op::kPop: return "pop";
+    case Op::kAddRR: return "add rr";
+    case Op::kSubRR: return "sub rr";
+    case Op::kMulRR: return "mul rr";
+    case Op::kDivRR: return "div rr";
+    case Op::kModRR: return "mod rr";
+    case Op::kAddRI: return "add ri";
+    case Op::kSubRI: return "sub ri";
+    case Op::kCmpRI: return "cmp ri";
+    case Op::kCmpRR: return "cmp rr";
+    case Op::kJz: return "jz";
+    case Op::kJnz: return "jnz";
+    case Op::kJlt: return "jlt";
+    case Op::kJgt: return "jgt";
+    case Op::kXmovXI: return "xmov xi";
+    case Op::kXmovXR: return "xmov xr";
+    case Op::kXmovRX: return "xmov rx";
+    case Op::kXstore: return "movups st";
+    case Op::kXload: return "movups ld";
+    case Op::kXzero: return "xzero";
+    case Op::kYmovHiYR: return "ymov hi";
+    case Op::kYmovRYHi: return "ymov rd";
+    case Op::kFldI: return "fld";
+    case Op::kFstpR: return "fstp";
+    case Op::kFaddP: return "faddp";
+    case Op::kRdGs: return "rdgsbase";
+    case Op::kWrGs: return "wrgsbase";
+    case Op::kHostCall: return "hostcall";
+  }
+  return "?";
+}
+
+std::string Instruction::to_string() const {
+  std::string out{op_name(op)};
+  switch (op) {
+    case Op::kMovRI:
+    case Op::kAddRI:
+    case Op::kSubRI:
+    case Op::kCmpRI:
+      out += " ";
+      out += gpr_name(r1);
+      out += ", ";
+      out += hex_u64(static_cast<std::uint64_t>(imm));
+      break;
+    case Op::kMovRR:
+    case Op::kAddRR:
+    case Op::kSubRR:
+    case Op::kMulRR:
+    case Op::kDivRR:
+    case Op::kModRR:
+    case Op::kCmpRR:
+      out += " ";
+      out += gpr_name(r1);
+      out += ", ";
+      out += gpr_name(r2);
+      break;
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kJmpReg:
+    case Op::kFstpR:
+    case Op::kRdGs:
+    case Op::kWrGs:
+      out += " ";
+      out += gpr_name(r1);
+      break;
+    case Op::kCallRel:
+    case Op::kJmpRel:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kJlt:
+    case Op::kJgt:
+      out += " rel ";
+      out += std::to_string(imm);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+RegEffects reg_effects(const Instruction& insn) noexcept {
+  RegEffects fx;
+  const auto r1 = static_cast<std::uint8_t>(insn.r1);
+  const auto r2 = static_cast<std::uint8_t>(insn.r2);
+  switch (insn.op) {
+    case Op::kSyscall:
+    case Op::kSysenter:
+      // Reads the number + up to 6 args (we record rax; arg reads are
+      // reported by the kernel-side hook which knows the arity).
+      fx.add_read(RegClass::kGpr, static_cast<std::uint8_t>(Gpr::rax));
+      fx.add_write(RegClass::kGpr, static_cast<std::uint8_t>(Gpr::rax));
+      fx.add_write(RegClass::kGpr, static_cast<std::uint8_t>(Gpr::rcx));
+      fx.add_write(RegClass::kGpr, static_cast<std::uint8_t>(Gpr::r11));
+      break;
+    case Op::kCallRax:
+      fx.add_read(RegClass::kGpr, static_cast<std::uint8_t>(Gpr::rax));
+      break;
+    case Op::kJmpReg:
+      fx.add_read(RegClass::kGpr, r1);
+      break;
+    case Op::kMovRI:
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kMovRR:
+      fx.add_read(RegClass::kGpr, r2);
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kLoad:
+    case Op::kLoad8:
+      fx.add_read(RegClass::kGpr, r2);
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kStore:
+    case Op::kStore8:
+      fx.add_read(RegClass::kGpr, r1);
+      fx.add_read(RegClass::kGpr, r2);
+      break;
+    case Op::kLoadGs:
+    case Op::kLoadGs8:
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kStoreGs:
+    case Op::kStoreGs8:
+      fx.add_read(RegClass::kGpr, r1);
+      break;
+    case Op::kPush:
+      fx.add_read(RegClass::kGpr, r1);
+      break;
+    case Op::kPop:
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kAddRR:
+    case Op::kSubRR:
+    case Op::kMulRR:
+    case Op::kDivRR:
+    case Op::kModRR:
+      fx.add_read(RegClass::kGpr, r1);
+      fx.add_read(RegClass::kGpr, r2);
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kAddRI:
+    case Op::kSubRI:
+      fx.add_read(RegClass::kGpr, r1);
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kCmpRI:
+      fx.add_read(RegClass::kGpr, r1);
+      break;
+    case Op::kCmpRR:
+      fx.add_read(RegClass::kGpr, r1);
+      fx.add_read(RegClass::kGpr, r2);
+      break;
+    case Op::kXmovXI:
+      fx.add_write(RegClass::kXmm, insn.xr1);
+      break;
+    case Op::kXmovXR:
+      fx.add_read(RegClass::kGpr, r1);
+      fx.add_write(RegClass::kXmm, insn.xr1);
+      break;
+    case Op::kXmovRX:
+      fx.add_read(RegClass::kXmm, insn.xr1);
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kXstore:
+      fx.add_read(RegClass::kXmm, insn.xr1);
+      fx.add_read(RegClass::kGpr, r1);
+      break;
+    case Op::kXload:
+      fx.add_read(RegClass::kGpr, r1);
+      fx.add_write(RegClass::kXmm, insn.xr1);
+      break;
+    case Op::kXzero:
+      fx.add_write(RegClass::kXmm, insn.xr1);
+      break;
+    case Op::kYmovHiYR:
+      fx.add_read(RegClass::kGpr, r1);
+      fx.add_write(RegClass::kYmmHi, insn.xr1);
+      break;
+    case Op::kYmovRYHi:
+      fx.add_read(RegClass::kYmmHi, insn.xr1);
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kFldI:
+      fx.add_write(RegClass::kX87, 0);
+      break;
+    case Op::kFstpR:
+      fx.add_read(RegClass::kX87, 0);
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kFaddP:
+      fx.add_read(RegClass::kX87, 0);
+      fx.add_read(RegClass::kX87, 1);
+      fx.add_write(RegClass::kX87, 0);
+      break;
+    case Op::kRdGs:
+      fx.add_write(RegClass::kGpr, r1);
+      break;
+    case Op::kWrGs:
+      fx.add_read(RegClass::kGpr, r1);
+      break;
+    default:
+      break;
+  }
+  return fx;
+}
+
+}  // namespace lzp::isa

@@ -1,0 +1,159 @@
+// The simulated instruction set.
+//
+// A byte-encoded, variable-length ISA that preserves the x86-64 properties
+// syscall interposition research cares about:
+//
+//   * SYSCALL and SYSENTER are exactly 2 bytes (0F 05 / 0F 34),
+//   * CALL_RAX is exactly 2 bytes (FF D0) — so a syscall instruction can be
+//     rewritten in place without moving surrounding code (the zpoline trick),
+//   * NOP is 1 byte (90) — so a nop sled is enterable at every offset,
+//   * immediates may contain bytes that look like other instructions, so
+//     naive scanning misidentifies code (the hazard static rewriters face),
+//   * the syscall calling convention matches x86-64 Linux: number in RAX,
+//     args in RDI RSI RDX R10 R8 R9, return in RAX, RCX/R11 clobbered,
+//   * extended ("xstate") registers exist: XMM (SSE), YMM-high (AVX), and an
+//     x87 stack — a syscall must preserve them, and an interposer that fails
+//     to breaks applications (paper §IV-B, Listing 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lzp::isa {
+
+// General purpose registers, numbered like x86-64.
+enum class Gpr : std::uint8_t {
+  rax = 0, rcx, rdx, rbx, rsp, rbp, rsi, rdi,
+  r8, r9, r10, r11, r12, r13, r14, r15,
+};
+inline constexpr std::size_t kNumGprs = 16;
+inline constexpr std::size_t kNumXmm = 16;
+inline constexpr std::size_t kNumX87 = 8;
+
+[[nodiscard]] std::string_view gpr_name(Gpr reg) noexcept;
+
+// Syscall argument registers in ABI order.
+inline constexpr std::array<Gpr, 6> kSyscallArgRegs = {
+    Gpr::rdi, Gpr::rsi, Gpr::rdx, Gpr::r10, Gpr::r8, Gpr::r9};
+
+enum class Op : std::uint8_t {
+  kNop,
+  kSyscall,
+  kSysenter,
+  kCallRax,    // push next-rip; rip = rax  (the zpoline fast-path entry)
+  kCallRel,    // push next-rip; rip += rel32
+  kJmpRel,
+  kJmpReg,
+  kRet,
+  kHlt,        // terminate task
+  kTrap,       // breakpoint: raises SIGTRAP
+  kMovRI,      // reg = imm64
+  kMovRR,
+  kLoad,       // dst = mem64[base + disp32]
+  kStore,      // mem64[base + disp32] = src
+  kLoad8,
+  kStore8,
+  kLoadGs,     // dst = mem64[gs + disp32]
+  kStoreGs,
+  kLoadGs8,
+  kStoreGs8,
+  kPush,
+  kPop,
+  kAddRR,
+  kSubRR,
+  kMulRR,
+  kDivRR,      // signed divide; divisor 0 raises #DE (SIGFPE)
+  kModRR,
+  kAddRI,
+  kSubRI,
+  kCmpRI,
+  kCmpRR,
+  kJz,
+  kJnz,
+  kJlt,
+  kJgt,
+  kXmovXI,     // xmm = {imm64, imm64} (both lanes; models the Listing-1 idiom)
+  kXmovXR,     // xmm = {gpr, gpr}
+  kXmovRX,     // gpr = low 64 bits of xmm
+  kXstore,     // mem128[base + disp32] = xmm   (movups)
+  kXload,
+  kXzero,
+  kYmovHiYR,   // upper 128 bits of ymm = broadcast gpr (AVX state write)
+  kYmovRYHi,   // gpr = low 64 of upper lane (AVX state read)
+  kFldI,       // push imm64-encoded value on the x87 stack
+  kFstpR,      // pop x87 top into gpr
+  kFaddP,      // st1 += st0; pop
+  kRdGs,       // gpr = gs base
+  kWrGs,       // gs base = gpr
+  kHostCall,   // transfer to host-bound native code #imm (modeling primitive:
+               // stands in for a jmp into an interposer's native code page)
+};
+
+[[nodiscard]] std::string_view op_name(Op op) noexcept;
+
+// Raw encoding bytes that other modules must agree on.
+inline constexpr std::uint8_t kByteNop = 0x90;
+inline constexpr std::uint8_t kByte0F = 0x0F;
+inline constexpr std::uint8_t kByteSyscall2 = 0x05;   // 0F 05
+inline constexpr std::uint8_t kByteSysenter2 = 0x34;  // 0F 34
+inline constexpr std::uint8_t kByteFF = 0xFF;
+inline constexpr std::uint8_t kByteCallRax2 = 0xD0;   // FF D0
+inline constexpr std::uint8_t kByteHostCall = 0xF1;   // F1 imm32
+
+// A decoded instruction. `length` is the encoded size in bytes; rip-relative
+// targets are resolved by the CPU using rip + length + imm.
+struct Instruction {
+  Op op = Op::kNop;
+  std::uint8_t length = 1;
+  Gpr r1 = Gpr::rax;
+  Gpr r2 = Gpr::rax;
+  std::uint8_t xr1 = 0;  // xmm/ymm/x87 register index where applicable
+  std::int64_t imm = 0;  // imm64, disp32 (sign-extended) or rel32
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Register classes tracked by the Pin-style liveness tool (paper §IV-B):
+// the kernel preserves GPRs (except rax/rcx/r11) across syscalls, and the
+// question is which *extended* state the application expects preserved too.
+enum class RegClass : std::uint8_t { kGpr, kXmm, kYmmHi, kX87 };
+
+[[nodiscard]] constexpr std::string_view to_string(RegClass cls) noexcept {
+  switch (cls) {
+    case RegClass::kGpr: return "gpr";
+    case RegClass::kXmm: return "xmm";
+    case RegClass::kYmmHi: return "ymm-hi";
+    case RegClass::kX87: return "x87";
+  }
+  return "?";
+}
+
+// Up to 4 register reads/writes per instruction; enough for this ISA.
+struct RegRef {
+  RegClass cls = RegClass::kGpr;
+  std::uint8_t index = 0;
+  friend bool operator==(const RegRef&, const RegRef&) = default;
+};
+
+struct RegEffects {
+  std::array<RegRef, 4> reads{};
+  std::array<RegRef, 4> writes{};
+  std::uint8_t num_reads = 0;
+  std::uint8_t num_writes = 0;
+
+  void add_read(RegClass cls, std::uint8_t index) noexcept {
+    if (num_reads < reads.size()) reads[num_reads++] = {cls, index};
+  }
+  void add_write(RegClass cls, std::uint8_t index) noexcept {
+    if (num_writes < writes.size()) writes[num_writes++] = {cls, index};
+  }
+};
+
+// Architectural register read/write sets for an instruction, used by the
+// pintool instrumentation. Control-flow side effects (rip, rsp pushes) are
+// intentionally excluded: the analysis is about data-register preservation.
+[[nodiscard]] RegEffects reg_effects(const Instruction& insn) noexcept;
+
+}  // namespace lzp::isa

@@ -1,0 +1,108 @@
+#include "isa/objfile.hpp"
+
+#include <cstring>
+
+namespace lzp::isa {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'L', 'Z', 'P', 'F'};
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, const T& value) {
+  const std::size_t old = out.size();
+  out.resize(old + sizeof(T));
+  std::memcpy(out.data() + old, &value, sizeof(T));
+}
+
+template <typename T>
+bool get(std::span<const std::uint8_t>& in, T* value) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_program(const Program& program) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put(out, kObjFileVersion);
+  put(out, program.base);
+  put(out, program.entry);
+  put(out, static_cast<std::uint64_t>(program.image.size()));
+  put(out, static_cast<std::uint64_t>(program.ground_truth.size()));
+  put(out, program.stack_size);
+  put(out, static_cast<std::uint64_t>(program.name.size()));
+  out.insert(out.end(), program.name.begin(), program.name.end());
+  out.insert(out.end(), program.image.begin(), program.image.end());
+  for (const AssembledSite& site : program.ground_truth) {
+    put(out, site.offset);
+    put(out, static_cast<std::uint8_t>(site.op));
+    put(out, site.length);
+    put(out, static_cast<std::uint8_t>(site.is_data ? 1 : 0));
+    put(out, std::uint8_t{0});  // pad
+  }
+  return out;
+}
+
+Result<Program> parse_program(std::span<const std::uint8_t> bytes) {
+  auto bad = [](const char* what) {
+    return make_error(StatusCode::kInvalidArgument,
+                      std::string("objfile: ") + what);
+  };
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return bad("bad magic");
+  }
+  bytes = bytes.subspan(4);
+
+  std::uint32_t version = 0;
+  Program program;
+  std::uint64_t image_size = 0;
+  std::uint64_t site_count = 0;
+  std::uint64_t name_len = 0;
+  if (!get(bytes, &version)) return bad("truncated header");
+  if (version != kObjFileVersion) return bad("unsupported version");
+  if (!get(bytes, &program.base) || !get(bytes, &program.entry) ||
+      !get(bytes, &image_size) || !get(bytes, &site_count) ||
+      !get(bytes, &program.stack_size) || !get(bytes, &name_len)) {
+    return bad("truncated header");
+  }
+  if (name_len > 4096 || bytes.size() < name_len) return bad("bad name");
+  program.name.assign(reinterpret_cast<const char*>(bytes.data()), name_len);
+  bytes = bytes.subspan(name_len);
+
+  if (bytes.size() < image_size) return bad("truncated image");
+  program.image.assign(bytes.begin(), bytes.begin() + static_cast<long>(image_size));
+  bytes = bytes.subspan(image_size);
+
+  constexpr std::size_t kSiteRecord = 8 + 1 + 1 + 1 + 1;
+  if (site_count > (1u << 24) || bytes.size() < site_count * kSiteRecord) {
+    return bad("truncated site table");
+  }
+  program.ground_truth.reserve(site_count);
+  for (std::uint64_t i = 0; i < site_count; ++i) {
+    AssembledSite site;
+    std::uint8_t op = 0;
+    std::uint8_t is_data = 0;
+    std::uint8_t pad = 0;
+    if (!get(bytes, &site.offset) || !get(bytes, &op) ||
+        !get(bytes, &site.length) || !get(bytes, &is_data) || !get(bytes, &pad)) {
+      return bad("truncated site record");
+    }
+    site.op = static_cast<Op>(op);
+    site.is_data = is_data != 0;
+    if (site.offset > image_size) return bad("site offset out of range");
+    program.ground_truth.push_back(site);
+  }
+
+  if (program.entry < program.base ||
+      program.entry >= program.base + image_size) {
+    return bad("entry outside image");
+  }
+  return program;
+}
+
+std::string program_path(const std::string& name) { return "bin/" + name; }
+
+}  // namespace lzp::isa

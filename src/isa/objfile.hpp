@@ -1,0 +1,42 @@
+// LZPF — the simulator's object-file format (a miniature ELF stand-in).
+//
+// Programs are stored in the VFS as flat binaries with a small header so
+// that the pieces of the system that operate on *files* behave like their
+// real counterparts: execve loads the image from the filesystem, and static
+// rewriters (zpoline) scan the on-disk text exactly as they would scan an
+// ELF's executable segments.
+//
+// Layout (little-endian):
+//   0x00  magic      "LZPF"
+//   0x04  version    u32 (currently 1)
+//   0x08  base       u64   load address
+//   0x10  entry      u64   absolute entry point
+//   0x18  image_size u64
+//   0x20  site_count u64   ground-truth records (evaluation metadata only;
+//                          loaders and rewriters must not rely on them)
+//   0x28  stack_size u64
+//   0x30  name_len   u64, then the name bytes
+//   ....  image bytes
+//   ....  site records: {offset u64, op u8, length u8, is_data u8, pad u8}
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.hpp"
+#include "isa/assemble.hpp"
+
+namespace lzp::isa {
+
+inline constexpr std::uint32_t kObjFileVersion = 1;
+
+// Serializes a Program into the LZPF byte format.
+[[nodiscard]] std::vector<std::uint8_t> serialize_program(const Program& program);
+
+// Parses an LZPF blob. Validates magic, version, and internal sizes.
+Result<Program> parse_program(std::span<const std::uint8_t> bytes);
+
+// Conventional VFS path for an installed program image.
+[[nodiscard]] std::string program_path(const std::string& name);
+
+}  // namespace lzp::isa

@@ -1,0 +1,7 @@
+#include "kernel/costs.hpp"
+
+// CostModel is a plain aggregate; this translation unit exists so the target
+// always has at least one object file and to pin the header's ODR home.
+namespace lzp::kern {
+static_assert(sizeof(CostModel) > 0);
+}  // namespace lzp::kern

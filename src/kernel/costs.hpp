@@ -1,0 +1,82 @@
+// The calibrated cycle-cost model.
+//
+// Every kernel-side operation charges a deterministic number of "cycles" to
+// the task that caused it. The constants are calibrated so the relative
+// overheads of the interposition mechanisms land where the paper's Table II
+// measured them on real hardware (see DESIGN.md §4):
+//
+//   raw syscall round trip (non-existent nr)   600 cycles  (1.00x)
+//   + SUD enabled, selector=ALLOW              852         (1.42x)
+//   SUD interception (SIGSYS + handler + sigreturn)        (~20.8x)
+//   signal delivery / sigreturn are the dominant terms.
+//
+// Absolute values are not claims about any CPU; only the ratios matter.
+#pragma once
+
+#include <cstdint>
+
+namespace lzp::kern {
+
+struct CostModel {
+  // --- plain instruction execution ---------------------------------------
+  std::uint64_t insn = 1;               // every retired user instruction
+  // Single-byte NOPs retire several-per-cycle on superscalar cores and are
+  // eliminated at rename; the zpoline sled walk is nearly free in practice,
+  // so NOPs charge nothing (the trampoline_glue term covers the real cost).
+  std::uint64_t insn_nop = 0;
+  std::uint64_t host_glue = 6;          // invoking a host-bound function
+
+  // --- syscall path (Figure 1) --------------------------------------------
+  std::uint64_t kernel_entry = 200;     // SYSCALL microcode + entry asm
+  std::uint64_t kernel_exit = 200;      // sysret path
+  std::uint64_t dispatch_nosys = 200;   // table lookup, -ENOSYS return
+  std::uint64_t dispatch_base = 260;    // table lookup + minimal handler
+
+  // Extra work when *any* interception interface is armed: the entry path
+  // must check for ptrace/seccomp/SUD even for non-intercepted syscalls.
+  std::uint64_t intercept_check = 60;
+  // SUD: read the user-space selector byte (uaccess + fault setup).
+  std::uint64_t sud_selector_read = 192;
+  // SUD: allowlisted-range comparison only.
+  std::uint64_t sud_range_check = 24;
+
+  // --- seccomp -------------------------------------------------------------
+  std::uint64_t seccomp_insn = 12;      // per executed cBPF instruction
+  std::uint64_t seccomp_setup = 40;     // seccomp_data marshalling
+
+  // --- signals -------------------------------------------------------------
+  std::uint64_t signal_deliver = 6200;  // frame setup incl. xstate save
+  std::uint64_t sigreturn = 4600;       // frame restore incl. xstate
+  std::uint64_t sigaction = 180;        // handler (un)registration
+
+  // --- ptrace --------------------------------------------------------------
+  std::uint64_t context_switch = 5200;  // tracee->tracer or back
+  std::uint64_t ptrace_request = 480;   // one PTRACE_* request by the tracer
+  std::uint64_t ptrace_requests_per_stop = 3;
+
+  // --- user-visible "hardware" costs charged via host runtime --------------
+  std::uint64_t xsave = 216;            // save extended state to memory
+  std::uint64_t xrstor = 216;           // restore extended state
+  std::uint64_t trampoline_glue = 80;   // zpoline GPR spill/fill + indirection
+  std::uint64_t gs_selector_flip = 2;   // one %gs-relative selector byte store
+
+  // --- memory & IO work ----------------------------------------------------
+  std::uint64_t mmap_page = 120;        // per page mapped/unmapped/protected
+  std::uint64_t copy_per_byte_num = 5;  // kernel copy + TCP checksum/segmenting:
+  std::uint64_t copy_per_byte_den = 4;  //   num/den cycles per byte
+  std::uint64_t net_per_request = 1200; // TCP/IP + loopback per request
+  std::uint64_t fork_base = 9000;
+  std::uint64_t execve_base = 24000;
+
+  [[nodiscard]] std::uint64_t copy_cost(std::uint64_t bytes) const noexcept {
+    return bytes * copy_per_byte_num / copy_per_byte_den;
+  }
+
+  // Round-trip cost of a syscall that reaches the dispatcher and finds no
+  // handler (the microbenchmark's non-existent syscall 500).
+  [[nodiscard]] std::uint64_t raw_nosys_roundtrip() const noexcept {
+    return kernel_entry + dispatch_nosys + kernel_exit;
+  }
+};
+
+}  // namespace lzp::kern

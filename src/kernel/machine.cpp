@@ -1,0 +1,551 @@
+#include "kernel/machine.hpp"
+
+#include <algorithm>
+
+#include "base/log.hpp"
+#include "bpf/seccomp_filter.hpp"
+#include "cpu/execute.hpp"
+#include "isa/objfile.hpp"
+
+namespace lzp::kern {
+
+Machine::Machine(CostModel costs) : costs_(costs) {}
+
+// ---------------------------------------------------------------------------
+// Host function registry
+// ---------------------------------------------------------------------------
+
+std::uint64_t Machine::bind_host(std::string name, HostFn fn) {
+  const std::uint64_t addr = next_host_addr_;
+  next_host_addr_ += 16;  // host entry points are 16 bytes apart
+  host_fns_.emplace(addr, HostBinding{std::move(name), std::move(fn)});
+  return addr;
+}
+
+bool Machine::is_host_addr(std::uint64_t addr) const noexcept {
+  return addr >= kHostRegionBase;
+}
+
+std::string Machine::host_name(std::uint64_t addr) const {
+  auto it = host_fns_.find(addr);
+  return it == host_fns_.end() ? "<unbound>" : it->second.name;
+}
+
+// ---------------------------------------------------------------------------
+// HostFrame services
+// ---------------------------------------------------------------------------
+
+std::uint64_t HostFrame::syscall(std::uint64_t nr,
+                                 std::array<std::uint64_t, 6> args) {
+  return machine.syscall_from_host(task, nr, args, ctx.rip);
+}
+
+void HostFrame::ret() {
+  auto target = task.mem->read_u64(ctx.rsp());
+  if (!target) {
+    machine.kill_process(*task.process, 139,
+                         "host ret: stack read failed: " + target.status().to_string());
+    return;
+  }
+  ctx.set_rsp(ctx.rsp() + 8);
+  ctx.rip = target.value();
+}
+
+void HostFrame::charge(std::uint64_t cycles) { machine.charge(task, cycles); }
+
+// ---------------------------------------------------------------------------
+// Process management
+// ---------------------------------------------------------------------------
+
+Result<Tid> Machine::load(const isa::Program& program) {
+  auto process = std::make_shared<Process>();
+  process->pid = next_pid_++;
+  process->program_name = program.name;
+
+  auto task = std::make_unique<Task>();
+  task->tid = next_tid_++;
+  task->process = process;
+  task->mem = std::make_shared<mem::AddressSpace>();
+
+  // Text+rodata image, executable (and readable, like a normal ELF segment).
+  auto text = task->mem->map(program.base, program.image.size(),
+                             mem::kProtRead | mem::kProtExec, /*fixed=*/true);
+  if (!text) return text.status();
+  if (Status write = task->mem->write_force(program.base, program.image);
+      !write.is_ok()) {
+    return write;
+  }
+
+  // A fixed scratch data region (programs use it for globals/buffers).
+  auto data = task->mem->map(kDataRegionBase, kDataRegionSize,
+                             mem::kProtRead | mem::kProtWrite, /*fixed=*/true);
+  if (!data) return data.status();
+
+  // Stack.
+  const std::uint64_t stack_size = std::max<std::uint64_t>(program.stack_size, 4096);
+  auto stack = task->mem->map(kStackTop - stack_size, stack_size,
+                              mem::kProtRead | mem::kProtWrite, /*fixed=*/true);
+  if (!stack) return stack.status();
+
+  task->ctx.rip = program.entry;
+  task->ctx.set_rsp(kStackTop - 64);
+
+  Task& ref = *task;
+  tasks_.emplace(ref.tid, std::move(task));
+  if (preload_) preload_(*this, ref, program);
+  return ref.tid;
+}
+
+Task* Machine::find_task(Tid tid) {
+  auto it = tasks_.find(tid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+Task* Machine::find_task_any(Tid tid) {
+  if (Task* task = find_task(tid)) return task;
+  for (auto& task : nursery_) {
+    if (task->tid == tid) return task.get();
+  }
+  return nullptr;
+}
+
+std::vector<Tid> Machine::task_ids() const {
+  std::vector<Tid> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [tid, task] : tasks_) ids.push_back(tid);
+  return ids;
+}
+
+std::size_t Machine::live_task_count() const {
+  std::size_t count = 0;
+  for (const auto& [tid, task] : tasks_) {
+    if (task->runnable()) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+RunStats Machine::run(std::uint64_t max_total_insns) {
+  RunStats stats;
+  const std::uint64_t deadline = total_insns_ + max_total_insns;
+  bool any_runnable = true;
+  while (any_runnable && total_insns_ < deadline) {
+    any_runnable = false;
+    for (auto& [tid, task] : tasks_) {
+      if (!task->runnable()) continue;
+      any_runnable = true;
+      run_slice(*task, kSliceInsns);
+      if (total_insns_ >= deadline) break;
+    }
+    if (!nursery_.empty()) {
+      for (auto& task : nursery_) {
+        Tid tid = task->tid;
+        tasks_.emplace(tid, std::move(task));
+      }
+      nursery_.clear();
+      any_runnable = true;
+    }
+  }
+  stats.insns = total_insns_;
+  stats.all_exited = live_task_count() == 0 && nursery_.empty();
+  return stats;
+}
+
+void Machine::run_slice(Task& task, std::uint64_t max_insns) {
+  for (std::uint64_t i = 0; i < max_insns; ++i) {
+    if (!step_once(task)) return;
+  }
+}
+
+bool Machine::step_once(Task& task) {
+  if (!task.runnable()) return false;
+  ++total_insns_;
+
+  // Deliver one pending, unblocked signal before resuming user code.
+  if (!task.pending_signals.empty()) {
+    for (std::size_t i = 0; i < task.pending_signals.size(); ++i) {
+      const SigInfo info = task.pending_signals[i];
+      if ((task.sigmask >> info.signo) & 1) continue;
+      task.pending_signals.erase(task.pending_signals.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+      deliver_signal(task, info);
+      if (!task.runnable()) return false;
+      break;
+    }
+  }
+
+  // Host-bound code: native runtime (interposer entry points, wrappers).
+  if (is_host_addr(task.ctx.rip)) {
+    auto it = host_fns_.find(task.ctx.rip);
+    if (it == host_fns_.end()) {
+      kill_process(*task.process, 139,
+                   "jump to unbound host address " + std::to_string(task.ctx.rip));
+      return false;
+    }
+    charge(task, costs_.host_glue);
+    const std::uint64_t entry_rip = task.ctx.rip;
+    HostFrame frame{*this, task, task.ctx};
+    it->second.fn(frame);
+    if (!task.runnable()) return false;
+    if (task.ctx.rip == entry_rip) {
+      // Host function did not redirect control: behave like RET.
+      frame.ret();
+    }
+    return task.runnable();
+  }
+
+  const cpu::ExecResult result = cpu::step(task.ctx, *task.mem);
+  switch (result.kind) {
+    case cpu::ExecKind::kContinue:
+    case cpu::ExecKind::kSyscall:
+      charge(task, result.insn && result.insn->op == isa::Op::kNop
+                       ? costs_.insn_nop
+                       : costs_.insn);
+      ++task.insns_retired;
+      if (insn_observer_ && result.insn) insn_observer_(task, *result.insn);
+      if (result.kind == cpu::ExecKind::kSyscall) syscall_entry_from_sim(task);
+      return task.runnable();
+    case cpu::ExecKind::kHostCall: {
+      // A HOSTCALL instruction in simulated code: dispatch to the bound
+      // native function (rip is already past the instruction; the function
+      // may redirect it, e.g. the trampoline's entry performing RET).
+      charge(task, costs_.insn + costs_.host_glue);
+      const std::uint64_t addr =
+          kHostRegionBase + 16 * static_cast<std::uint64_t>(result.insn->imm);
+      auto it = host_fns_.find(addr);
+      if (it == host_fns_.end()) {
+        kill_process(*task.process, 139, "HOSTCALL to unbound index");
+        return false;
+      }
+      HostFrame frame{*this, task, task.ctx};
+      it->second.fn(frame);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kHlt:
+      exit_process(task, 0);
+      return false;
+    case cpu::ExecKind::kTrap: {
+      SigInfo info;
+      info.signo = kSigtrap;
+      handle_fault_signal(task, kSigtrap, info);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kMemFault: {
+      SigInfo info;
+      info.signo = kSigsegv;
+      info.fault_addr = result.fault.address;
+      handle_fault_signal(task, kSigsegv, info);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kInvalidOpcode: {
+      SigInfo info;
+      info.signo = kSigill;
+      info.fault_addr = result.insn_addr;
+      handle_fault_signal(task, kSigill, info);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kDivideError: {
+      SigInfo info;
+      info.signo = kSigfpe;
+      info.fault_addr = result.insn_addr;
+      handle_fault_signal(task, kSigfpe, info);
+      return task.runnable();
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Syscall entry (Figure 1)
+// ---------------------------------------------------------------------------
+
+void Machine::syscall_entry_from_sim(Task& task) {
+  ++task.syscalls_entered;
+  charge(task, costs_.kernel_entry);
+
+  const std::uint64_t nr = task.ctx.syscall_number();
+  std::array<std::uint64_t, 6> args;
+  for (std::size_t i = 0; i < 6; ++i) args[i] = task.ctx.syscall_arg(i);
+  const std::uint64_t ip = task.ctx.rip;  // already advanced past the insn
+
+  std::uint64_t forced_rax = 0;
+  if (!intercept(task, nr, args, ip, /*from_host=*/false, &forced_rax)) {
+    if (task.runnable() && task.ctx.rip == ip) {
+      // Intercepted with a forced result (seccomp ERRNO); SIGSYS delivery
+      // instead redirects rip, and then rax must stay untouched.
+      task.ctx.set_syscall_result(forced_rax);
+    }
+    charge(task, costs_.kernel_exit);
+    return;
+  }
+
+  const std::uint64_t result = dispatch(task, nr, args, SyscallOrigin::kSimCode);
+  if (!task.runnable()) return;
+  // sigreturn replaces the whole context, and so does a *successful* execve;
+  // everything else (including a failed execve) returns a value in rax and
+  // clobbers rcx/r11 like the real SYSCALL ABI.
+  const bool context_replaced =
+      nr == kSysRtSigreturn || (nr == kSysExecve && !is_error_result(result));
+  if (!context_replaced) {
+    task.ctx.set_syscall_result(result);
+    task.ctx.set_reg(isa::Gpr::rcx, ip);
+    task.ctx.set_reg(isa::Gpr::r11, 0x246);
+  }
+  charge(task, costs_.kernel_exit);
+}
+
+std::uint64_t Machine::syscall_from_host(Task& task, std::uint64_t nr,
+                                         const std::array<std::uint64_t, 6>& args,
+                                         std::uint64_t host_ip) {
+  ++task.syscalls_entered;
+  charge(task, costs_.kernel_entry);
+
+  std::uint64_t forced_rax = errno_result(kENOSYS);
+  if (!intercept(task, nr, args, host_ip, /*from_host=*/true, &forced_rax)) {
+    charge(task, costs_.kernel_exit);
+    return forced_rax;
+  }
+  const std::uint64_t result = dispatch(task, nr, args, SyscallOrigin::kHostCode);
+  charge(task, costs_.kernel_exit);
+  return result;
+}
+
+std::uint64_t Machine::supervised_dispatch(Task& task, std::uint64_t nr,
+                                           const std::array<std::uint64_t, 6>& args) {
+  charge(task, costs_.kernel_entry);
+  const std::uint64_t result = dispatch(task, nr, args, SyscallOrigin::kHostCode);
+  charge(task, costs_.kernel_exit);
+  return result;
+}
+
+bool Machine::intercept(Task& task, std::uint64_t nr,
+                        const std::array<std::uint64_t, 6>& args,
+                        std::uint64_t ip, bool from_host,
+                        std::uint64_t* forced_rax) {
+  const bool any_interception =
+      task.ptraced || !task.seccomp.empty() || task.sud.enabled;
+  if (!any_interception) return true;
+  // The entry path slows down as soon as any interception work is armed,
+  // even for syscalls that end up exempt (paper Table II, "baseline with
+  // SUD enabled").
+  charge(task, costs_.intercept_check);
+
+  // 1. ptrace syscall-entry stop.
+  if (task.ptraced) {
+    auto it = tracers_.find(task.tid);
+    if (it != tracers_.end() && it->second.on_syscall_entry) {
+      charge(task, 2 * costs_.context_switch +
+                       costs_.ptrace_requests_per_stop * costs_.ptrace_request);
+      it->second.on_syscall_entry(task, task.ctx);
+    }
+  }
+
+  // 2. seccomp filters (newest first; most restrictive action wins).
+  if (!task.seccomp.empty()) {
+    std::uint32_t decisive = bpf::SECCOMP_RET_ALLOW;
+    auto rank = [](std::uint32_t action) {
+      const std::uint32_t base = action & bpf::SECCOMP_RET_ACTION_FULL;
+      switch (base) {
+        case bpf::SECCOMP_RET_KILL_PROCESS: return 0;
+        case bpf::SECCOMP_RET_KILL_THREAD: return 1;
+        case bpf::SECCOMP_RET_TRAP: return 2;
+        case bpf::SECCOMP_RET_ERRNO: return 3;
+        case bpf::SECCOMP_RET_USER_NOTIF: return 4;
+        case bpf::SECCOMP_RET_TRACE: return 5;
+        case bpf::SECCOMP_RET_LOG: return 6;
+        default: return 7;  // ALLOW
+      }
+    };
+    bpf::SeccompData data;
+    data.nr = static_cast<std::int32_t>(nr);
+    data.arch = bpf::kAuditArchX86_64;
+    data.instruction_pointer = ip;
+    for (std::size_t i = 0; i < 6; ++i) data.args[i] = args[i];
+    const auto bytes = data.serialize();
+    for (const auto& filter : task.seccomp) {
+      charge(task, costs_.seccomp_setup);
+      auto run = bpf::run(*filter, bytes);
+      std::uint32_t action = bpf::SECCOMP_RET_KILL_PROCESS;
+      if (run) {
+        charge(task, run.value().insns_executed * costs_.seccomp_insn);
+        action = run.value().value;
+      }
+      if (rank(action) < rank(decisive)) decisive = action;
+    }
+    const std::uint32_t base = decisive & bpf::SECCOMP_RET_ACTION_FULL;
+    if (base == bpf::SECCOMP_RET_KILL_PROCESS) {
+      kill_process(*task.process, 128 + kSigsys, "seccomp: kill process");
+      return false;
+    }
+    if (base == bpf::SECCOMP_RET_KILL_THREAD) {
+      exit_task(task, 128 + kSigsys);
+      return false;
+    }
+    if (base == bpf::SECCOMP_RET_ERRNO) {
+      *forced_rax = errno_result(
+          static_cast<std::int64_t>(decisive & bpf::SECCOMP_RET_DATA));
+      return false;
+    }
+    if (base == bpf::SECCOMP_RET_TRAP) {
+      if (from_host) {
+        kill_process(*task.process, 128 + kSigsys,
+                     "seccomp TRAP on host interposer syscall (recursion)");
+        return false;
+      }
+      SigInfo info;
+      info.signo = kSigsys;
+      info.code = kSigsysSeccomp;
+      info.syscall_nr = nr;
+      for (std::size_t i = 0; i < 6; ++i) info.syscall_args[i] = args[i];
+      info.ip_after_syscall = ip;
+      deliver_signal(task, info);
+      return false;
+    }
+    if (base == bpf::SECCOMP_RET_USER_NOTIF) {
+      if (user_notif_) {
+        // Supervisor round trip: two context switches plus handling.
+        charge(task, 2 * costs_.context_switch);
+        *forced_rax = user_notif_(task, nr, args);
+        return false;
+      }
+      *forced_rax = errno_result(kENOSYS);
+      return false;
+    }
+    // TRACE/LOG/ALLOW fall through to SUD.
+  }
+
+  // 3. Syscall User Dispatch.
+  if (task.sud.enabled) {
+    charge(task, costs_.sud_range_check);
+    // Linux checks the *instruction pointer at syscall entry* against the
+    // allowlisted range (syscall_user_dispatch.c).
+    if (!task.sud.in_allowed_range(ip)) {
+      charge(task, costs_.sud_selector_read);
+      std::uint8_t selector = kSudAllow;
+      if (auto read = task.mem->read_force(task.sud.selector_addr, {&selector, 1});
+          !read.is_ok()) {
+        kill_process(*task.process, 139, "SUD: selector byte unreadable");
+        return false;
+      }
+      if (selector == kSudBlock) {
+        if (from_host) {
+          kill_process(*task.process, 128 + kSigsys,
+                       "recursive SUD interception of host interposer syscall "
+                       "(selector left as BLOCK)");
+          return false;
+        }
+        ++task.sud_sigsys_count;
+        SigInfo info;
+        info.signo = kSigsys;
+        info.code = kSigsysUserDispatch;
+        info.syscall_nr = nr;
+        for (std::size_t i = 0; i < 6; ++i) info.syscall_args[i] = args[i];
+        info.ip_after_syscall = ip;
+        deliver_signal(task, info);
+        return false;
+      }
+      if (selector != kSudAllow) {
+        // Linux kills the task on an invalid selector value (SIGSYS).
+        kill_process(*task.process, 128 + kSigsys, "SUD: invalid selector value");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t Machine::dispatch(Task& task, std::uint64_t nr,
+                                const std::array<std::uint64_t, 6>& args,
+                                SyscallOrigin origin) {
+  ++task.syscalls_dispatched;
+  if (syscall_observer_) syscall_observer_(task, nr, args, origin);
+  std::uint64_t result = sys_dispatch_table(task, nr, args);
+
+  // ptrace syscall-exit stop.
+  if (task.runnable() && task.ptraced) {
+    auto it = tracers_.find(task.tid);
+    if (it != tracers_.end() && it->second.on_syscall_exit) {
+      charge(task, 2 * costs_.context_switch +
+                       costs_.ptrace_requests_per_stop * costs_.ptrace_request);
+      it->second.on_syscall_exit(task, task.ctx, result);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Misc services
+// ---------------------------------------------------------------------------
+
+void Machine::charge(Task& task, std::uint64_t cycles) noexcept {
+  task.cycles += cycles;
+  total_cycles_ += cycles;
+}
+
+void Machine::attach_tracer(Tid tid, TracerHooks hooks) {
+  if (Task* task = find_task(tid)) {
+    task->ptraced = true;
+    tracers_[tid] = std::move(hooks);
+  }
+}
+
+void Machine::detach_tracer(Tid tid) {
+  if (Task* task = find_task(tid)) task->ptraced = false;
+  tracers_.erase(tid);
+}
+
+void Machine::kill_process(Process& process, int exit_code,
+                           const std::string& reason) {
+  LZP_LOG_DEBUG << "kill_process pid=" << process.pid << ": " << reason;
+  last_fatal_ = reason;
+  process.exited = true;
+  process.exit_code = exit_code;
+  for (auto& [tid, task] : tasks_) {
+    if (task->process.get() == &process) {
+      task->state = TaskState::kExited;
+      task->exit_code = exit_code;
+    }
+  }
+  for (auto& task : nursery_) {
+    if (task->process.get() == &process) {
+      task->state = TaskState::kExited;
+      task->exit_code = exit_code;
+    }
+  }
+}
+
+void Machine::register_program(const isa::Program& program) {
+  programs_[program.name] = program;
+  // Install the on-disk image too (LZPF): execve can load it from the VFS
+  // and file-oriented tools (static rewriters) can scan it like a binary.
+  (void)vfs_.put_file(isa::program_path(program.name),
+                      isa::serialize_program(program));
+}
+
+const isa::Program* Machine::find_program(const std::string& name) const {
+  auto it = programs_.find(name);
+  if (it != programs_.end()) return &it->second;
+  // Fall back to an LZPF image in the VFS (installed without registration).
+  const std::string path = isa::program_path(name);
+  if (!vfs_.exists(path)) return nullptr;
+  std::vector<std::uint8_t> bytes;
+  auto meta = vfs_.stat(path);
+  if (!meta.is_ok()) return nullptr;
+  if (!vfs_.read(path, 0, meta.value().size, &bytes).is_ok()) return nullptr;
+  auto parsed = isa::parse_program(bytes);
+  if (!parsed.is_ok()) return nullptr;
+  auto [inserted, ok] = programs_.emplace(name, std::move(parsed).value());
+  return &inserted->second;
+}
+
+void Machine::adopt_task(std::unique_ptr<Task> task) {
+  nursery_.push_back(std::move(task));
+}
+
+Tid Machine::allocate_tid() { return next_tid_++; }
+Pid Machine::allocate_pid() { return next_pid_++; }
+
+}  // namespace lzp::kern

@@ -1,0 +1,251 @@
+// The Machine: simulated CPU execution + Linux-like kernel.
+//
+// Owns tasks, the VFS, the virtual network, host-function bindings (native
+// C++ code reachable from simulated code — how interposer runtimes are
+// modeled, mirroring real interposers whose handlers are native code inside
+// the process), the syscall entry path of Figure 1 (ptrace -> seccomp ->
+// SUD -> dispatch), signal delivery, and cycle accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/costs.hpp"
+#include "kernel/net.hpp"
+#include "kernel/syscalls.hpp"
+#include "kernel/task.hpp"
+#include "kernel/vfs.hpp"
+
+namespace lzp::kern {
+
+class Machine;
+
+// Execution context handed to host-bound functions. A host function is the
+// simulation's stand-in for native runtime code (interposer entry points,
+// signal handler wrappers): it runs with full access to the task but charges
+// costs explicitly, because its work would be real instructions in reality.
+struct HostFrame {
+  Machine& machine;
+  Task& task;
+  cpu::CpuContext& ctx;
+
+  // Performs a syscall exactly as if the host code executed a SYSCALL
+  // instruction: the full kernel entry path runs, including ptrace, seccomp,
+  // and SUD checks against `task` (the instruction pointer reported to
+  // filters is the host binding's address). Returns the rax result. If SUD
+  // intercepts it (selector == BLOCK), the process is killed with a
+  // diagnostic: in reality this is unbounded SIGSYS recursion, and making it
+  // fatal keeps interposer bugs loud (see MachineTest.RecursiveSudIsFatal).
+  std::uint64_t syscall(std::uint64_t nr, std::array<std::uint64_t, 6> args = {});
+
+  // Pop the 8-byte return address off the stack into rip (native RET).
+  void ret();
+
+  void charge(std::uint64_t cycles);
+};
+
+using HostFn = std::function<void(HostFrame&)>;
+
+// Host-side ptrace tracer. The tracer itself is native code (like a real
+// tracer process); the model charges the context switches and per-stop
+// ptrace requests that dominate ptrace's cost (paper §II-A).
+struct TracerHooks {
+  std::function<void(Task&, cpu::CpuContext&)> on_syscall_entry;
+  // `result` is the value about to be written back to the tracee's rax; the
+  // tracer may rewrite it (PTRACE_SETREGS before resuming).
+  std::function<void(Task&, cpu::CpuContext&, std::uint64_t& result)> on_syscall_exit;
+};
+
+// Outcome classification for a finished run.
+struct RunStats {
+  std::uint64_t insns = 0;
+  bool all_exited = false;
+};
+
+class Machine {
+ public:
+  explicit Machine(CostModel costs = {});
+
+  CostModel& costs() noexcept { return costs_; }
+  const CostModel& costs() const noexcept { return costs_; }
+  Vfs& vfs() noexcept { return vfs_; }
+  Net& net() noexcept { return net_; }
+
+  // Linux vm.mmap_min_addr. zpoline requires this to be 0 so the trampoline
+  // can occupy virtual address 0 (the paper's deployments set it via sysctl).
+  std::uint64_t mmap_min_addr = 0x10000;
+
+  // --- host function registry ---------------------------------------------
+  std::uint64_t bind_host(std::string name, HostFn fn);
+  [[nodiscard]] bool is_host_addr(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::string host_name(std::uint64_t addr) const;
+  static constexpr std::uint64_t kHostRegionBase = 0xFFFF'8000'0000'0000ULL;
+  // Index usable in a HOSTCALL instruction for a bound host address.
+  [[nodiscard]] static constexpr std::uint32_t host_index(std::uint64_t addr) noexcept {
+    return static_cast<std::uint32_t>((addr - kHostRegionBase) / 16);
+  }
+
+  // Fixed layout constants for loaded programs.
+  static constexpr std::uint64_t kDataRegionBase = 0x0000'0000'0060'0000ULL;
+  static constexpr std::uint64_t kDataRegionSize = 256 * 1024;
+  static constexpr std::uint64_t kStackTop = 0x0000'7FFF'FFFF'F000ULL;
+  static constexpr std::uint64_t kSliceInsns = 64;
+
+  // --- process management ---------------------------------------------------
+  // Creates a new process + main task running `program`. Applies the preload
+  // hook (LD_PRELOAD model) before the first instruction.
+  Result<Tid> load(const isa::Program& program);
+  // LD_PRELOAD model: invoked for every load()/execve() image so an
+  // interposer runtime can initialize inside the fresh process.
+  using PreloadHook = std::function<void(Machine&, Task&, const isa::Program&)>;
+  void set_preload(PreloadHook hook) { preload_ = std::move(hook); }
+
+  Task* find_task(Tid tid);
+  // Also searches tasks created by clone/fork that have not been scheduled
+  // yet (interposer runtimes patch up children right after clone returns).
+  Task* find_task_any(Tid tid);
+  [[nodiscard]] std::vector<Tid> task_ids() const;
+  [[nodiscard]] std::size_t live_task_count() const;
+
+  // --- execution -------------------------------------------------------------
+  // Round-robin over runnable tasks until all exit or the instruction budget
+  // is exhausted.
+  RunStats run(std::uint64_t max_total_insns = kDefaultInsnBudget);
+  // Executes at most `max_insns` instruction slots on one task.
+  void run_slice(Task& task, std::uint64_t max_insns);
+  static constexpr std::uint64_t kDefaultInsnBudget = 500'000'000ULL;
+
+  // --- observers --------------------------------------------------------------
+  // Called for every retired *simulated* instruction (pintool attaches here).
+  using InsnObserver =
+      std::function<void(const Task&, const isa::Instruction&)>;
+  void set_insn_observer(InsnObserver observer) { insn_observer_ = std::move(observer); }
+  // Called for every syscall that reaches the dispatcher, with its origin.
+  enum class SyscallOrigin : std::uint8_t { kSimCode, kHostCode };
+  using SyscallObserver = std::function<void(const Task&, std::uint64_t nr,
+                                             const std::array<std::uint64_t, 6>&,
+                                             SyscallOrigin)>;
+  void set_syscall_observer(SyscallObserver observer) {
+    syscall_observer_ = std::move(observer);
+  }
+
+  // --- ptrace (host tracer) ----------------------------------------------------
+  void attach_tracer(Tid tid, TracerHooks hooks);
+  void detach_tracer(Tid tid);
+
+  // --- seccomp user-notification supervisor (host side) -------------------------
+  using UserNotifHandler = std::function<std::uint64_t(
+      Task&, std::uint64_t nr, const std::array<std::uint64_t, 6>&)>;
+  void set_user_notif_handler(UserNotifHandler handler) {
+    user_notif_ = std::move(handler);
+  }
+
+  // --- program registry (execve targets) ----------------------------------------
+  void register_program(const isa::Program& program);
+  [[nodiscard]] const isa::Program* find_program(const std::string& name) const;
+
+  // Internal services used by the clone/fork implementation.
+  void adopt_task(std::unique_ptr<Task> task);
+  Tid allocate_tid();
+  Pid allocate_pid();
+
+  // --- services used by HostFrame and the interposer runtimes -------------------
+  std::uint64_t syscall_from_host(Task& task, std::uint64_t nr,
+                                  const std::array<std::uint64_t, 6>& args,
+                                  std::uint64_t host_ip);
+  // Executes a syscall on behalf of `task` from a supervisor context (the
+  // seccomp USER_NOTIF pattern): no interception pipeline runs, because the
+  // supervisor's own syscalls are not subject to the target's filters.
+  std::uint64_t supervised_dispatch(Task& task, std::uint64_t nr,
+                                    const std::array<std::uint64_t, 6>& args);
+  void charge(Task& task, std::uint64_t cycles) noexcept;
+  [[nodiscard]] std::uint64_t total_cycles() const noexcept { return total_cycles_; }
+
+  // Kill a whole process (uncatchable), e.g. on interposer recursion.
+  void kill_process(Process& process, int exit_code, const std::string& reason);
+
+  // Signal delivery (used internally and by tgkill/tests).
+  void deliver_signal(Task& task, const SigInfo& info);
+
+  // The last fatal diagnostic (empty if none) — surfaced to tests.
+  [[nodiscard]] const std::string& last_fatal() const noexcept { return last_fatal_; }
+
+ private:
+  friend struct HostFrame;
+
+  // One scheduling step: host call or one instruction. Returns false when
+  // the task can no longer run.
+  bool step_once(Task& task);
+
+  // Figure 1: the syscall kernel entry path for a SYSCALL instruction
+  // executed by simulated code.
+  void syscall_entry_from_sim(Task& task);
+
+  // Common path once interception says "dispatch": runs the handler.
+  std::uint64_t dispatch(Task& task, std::uint64_t nr,
+                         const std::array<std::uint64_t, 6>& args,
+                         SyscallOrigin origin);
+
+  // Interception pipeline shared by sim- and host-originated syscalls.
+  // Returns true if the syscall should proceed to dispatch; false if it was
+  // intercepted (SIGSYS delivered / errno forced / task killed). When
+  // intercepted with a forced result, *forced_rax is set.
+  bool intercept(Task& task, std::uint64_t nr,
+                 const std::array<std::uint64_t, 6>& args, std::uint64_t ip,
+                 bool from_host, std::uint64_t* forced_rax);
+
+  // Individual syscall implementations (machine_syscalls.cpp).
+  std::uint64_t sys_dispatch_table(Task& task, std::uint64_t nr,
+                                   const std::array<std::uint64_t, 6>& args);
+  std::uint64_t do_clone(Task& parent, std::uint64_t flags, std::uint64_t stack);
+  std::uint64_t do_execve(Task& task, std::uint64_t path_ptr);
+
+  // Signal helpers (machine_signals.cpp).
+  void handle_fault_signal(Task& task, int sig, const SigInfo& info);
+  std::uint64_t do_rt_sigreturn(Task& task);
+  void exit_task(Task& task, int code);
+  void exit_process(Task& task, int code);
+
+  CostModel costs_;
+  Vfs vfs_;
+  Net net_;
+
+  std::map<Tid, std::unique_ptr<Task>> tasks_;
+  Tid next_tid_ = 100;
+  Pid next_pid_ = 100;
+
+  struct HostBinding {
+    std::string name;
+    HostFn fn;
+  };
+  std::map<std::uint64_t, HostBinding> host_fns_;
+  std::uint64_t next_host_addr_ = kHostRegionBase;
+
+  std::map<Tid, TracerHooks> tracers_;
+
+  PreloadHook preload_;
+  InsnObserver insn_observer_;
+  SyscallObserver syscall_observer_;
+  UserNotifHandler user_notif_;
+  // Program registry; mutable so the find path can cache images parsed from
+  // their on-disk (VFS) LZPF form.
+  mutable std::map<std::string, isa::Program> programs_;
+
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t total_insns_ = 0;
+  std::string last_fatal_;
+
+  // Tasks created during the current scheduling pass (clone/fork) — merged
+  // into tasks_ between slices to keep iteration stable.
+  std::vector<std::unique_ptr<Task>> nursery_;
+};
+
+}  // namespace lzp::kern

@@ -1,0 +1,135 @@
+// Signal delivery, rt_sigreturn, and task/process exit.
+//
+// Delivery mirrors the Linux rt_sigframe flow: the kernel saves the full
+// user context (including extended state), masks the handler's sa_mask,
+// switches to the alternate stack when requested, and materializes handler
+// arguments. Handlers access and *mutate* the saved context exactly the way
+// real handlers mutate their ucontext_t — the mechanism lazypoline uses to
+// resume execution at its interposer entry point instead of the original
+// interruption point (paper §IV-A).
+#include "base/log.hpp"
+#include "kernel/machine.hpp"
+
+namespace lzp::kern {
+namespace {
+
+// Signals whose default disposition terminates the process.
+bool default_fatal(int sig) noexcept {
+  switch (sig) {
+    case kSigchld:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+void Machine::deliver_signal(Task& task, const SigInfo& info) {
+  if (!task.runnable()) return;
+  const SigAction action = task.process->sigactions[info.signo];
+
+  if (action.handler == kSigIgn) {
+    // Kernel-forced signals (faults, SUD/seccomp SIGSYS) cannot be ignored:
+    // the kernel reinstates the default disposition and kills.
+    const bool forced = info.signo == kSigsys || info.signo == kSigsegv ||
+                        info.signo == kSigill || info.signo == kSigbus ||
+                        info.signo == kSigfpe;
+    if (forced) {
+      kill_process(*task.process, 128 + info.signo,
+                   std::string("forced signal ignored: ") +
+                       std::string(signal_name(info.signo)));
+    }
+    return;
+  }
+  if (action.handler == kSigDfl) {
+    if (default_fatal(info.signo)) {
+      kill_process(*task.process, 128 + info.signo,
+                   std::string("unhandled ") + std::string(signal_name(info.signo)));
+    }
+    return;
+  }
+
+  charge(task, costs_.signal_deliver);
+
+  SignalFrame frame;
+  frame.saved_context = task.ctx;  // includes xstate, like the FPU frame
+  frame.saved_sigmask = task.sigmask;
+  frame.info = info;
+  task.signal_frames.push_back(frame);
+
+  // Block the signal itself plus sa_mask for the handler's duration.
+  task.sigmask |= action.mask | (1ULL << info.signo);
+
+  // Handler arguments per SA_SIGINFO convention (adapted to the sim ABI):
+  // rdi = signo, rsi = syscall nr or fault address, rdx = frame depth
+  // (the "ucontext" handle — host handlers use it to find their frame).
+  task.ctx.set_reg(isa::Gpr::rdi, static_cast<std::uint64_t>(info.signo));
+  task.ctx.set_reg(isa::Gpr::rsi,
+                   info.signo == kSigsys ? info.syscall_nr : info.fault_addr);
+  task.ctx.set_reg(isa::Gpr::rdx, task.signal_frames.size() - 1);
+
+  // Stack switch: alternate stack if requested, else the interrupted stack
+  // below a 128-byte red zone plus space for the (real-world) frame.
+  if ((action.flags & kSaOnstack) != 0 && task.altstack.valid()) {
+    task.ctx.set_rsp((task.altstack.base + task.altstack.size) & ~0xFULL);
+  } else {
+    task.ctx.set_rsp((task.ctx.rsp() - 128 - 512) & ~0xFULL);
+  }
+  task.ctx.rip = action.handler;
+}
+
+void Machine::handle_fault_signal(Task& task, int sig, const SigInfo& info_in) {
+  SigInfo info = info_in;
+  info.signo = sig;
+  deliver_signal(task, info);
+}
+
+std::uint64_t Machine::do_rt_sigreturn(Task& task) {
+  if (task.signal_frames.empty()) {
+    kill_process(*task.process, 139, "rt_sigreturn without a signal frame");
+    return errno_result(kEFAULT);
+  }
+  charge(task, costs_.sigreturn);
+  const SignalFrame frame = task.signal_frames.back();
+  task.signal_frames.pop_back();
+  task.ctx = frame.saved_context;
+  task.sigmask = frame.saved_sigmask;
+  return task.ctx.reg(isa::Gpr::rax);  // rax comes from the restored context
+}
+
+void Machine::exit_task(Task& task, int code) {
+  task.state = TaskState::kExited;
+  task.exit_code = code;
+  // Threads: if this was the last task of the process, the process exits.
+  bool any_left = false;
+  for (auto& [tid, other] : tasks_) {
+    if (other->process == task.process && other->runnable()) any_left = true;
+  }
+  for (auto& other : nursery_) {
+    if (other->process == task.process && other->runnable()) any_left = true;
+  }
+  if (!any_left) {
+    task.process->exited = true;
+    task.process->exit_code = code;
+  }
+}
+
+void Machine::exit_process(Task& task, int code) {
+  task.process->exited = true;
+  task.process->exit_code = code;
+  for (auto& [tid, other] : tasks_) {
+    if (other->process == task.process) {
+      other->state = TaskState::kExited;
+      other->exit_code = code;
+    }
+  }
+  for (auto& other : nursery_) {
+    if (other->process == task.process) {
+      other->state = TaskState::kExited;
+      other->exit_code = code;
+    }
+  }
+}
+
+}  // namespace lzp::kern

@@ -1,0 +1,159 @@
+#include "kernel/net.hpp"
+
+namespace lzp::kern {
+
+int Net::create_listener(ClientWorkload workload) {
+  const int id = next_id_++;
+  Listener listener;
+  listener.workload = workload;
+  // Distribute the request budget over the client's keepalive connections;
+  // earlier connections absorb the remainder.
+  const std::uint64_t conns = workload.connections == 0 ? 1 : workload.connections;
+  const std::uint64_t base = workload.total_requests / conns;
+  std::uint64_t remainder = workload.total_requests % conns;
+  for (std::uint64_t i = 0; i < conns; ++i) {
+    std::uint64_t budget = base + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    if (budget > 0) listener.pending_conn_budgets.push_back(budget);
+  }
+  listeners_[id] = std::move(listener);
+  return id;
+}
+
+Net::Event Net::poll_for(int listener_id, const std::set<int>& owned) {
+  auto it = listeners_.find(listener_id);
+  if (it == listeners_.end()) return {EventKind::kFinished, -1};
+  Listener& listener = it->second;
+  for (int conn_id : listener.conns) {
+    if (owned.count(conn_id) == 0) continue;
+    const Conn& conn = conns_.at(conn_id);
+    if (conn.closed) continue;
+    if (conn.state == ConnState::kRequestReady ||
+        conn.state == ConnState::kDrained) {
+      return {EventKind::kReadable, conn_id};
+    }
+  }
+  if (!listener.pending_conn_budgets.empty()) {
+    return {EventKind::kAcceptable, -1};
+  }
+  for (int conn_id : listener.conns) {
+    if (!conns_.at(conn_id).closed) return {EventKind::kNone, conn_id};
+  }
+  return {EventKind::kFinished, -1};
+}
+
+Net::Event Net::poll(int listener_id) {
+  auto it = listeners_.find(listener_id);
+  if (it == listeners_.end()) return {EventKind::kFinished, -1};
+  Listener& listener = it->second;
+  // Prefer serving existing connections over accepting new ones, like an
+  // event loop draining ready events before the listener.
+  for (int conn_id : listener.conns) {
+    const Conn& conn = conns_.at(conn_id);
+    if (conn.closed) continue;
+    if (conn.state == ConnState::kRequestReady ||
+        conn.state == ConnState::kDrained) {
+      return {EventKind::kReadable, conn_id};
+    }
+  }
+  if (!listener.pending_conn_budgets.empty()) {
+    return {EventKind::kAcceptable, -1};
+  }
+  // No pending requests and no pending connections: if every connection is
+  // closed, the run is over. (kResponding cannot linger: servers send whole
+  // responses before polling again.)
+  for (int conn_id : listener.conns) {
+    if (!conns_.at(conn_id).closed) return {EventKind::kNone, conn_id};
+  }
+  return {EventKind::kFinished, -1};
+}
+
+Result<int> Net::accept(int listener_id) {
+  auto it = listeners_.find(listener_id);
+  if (it == listeners_.end()) {
+    return make_error(StatusCode::kNotFound, "accept: bad listener");
+  }
+  Listener& listener = it->second;
+  if (listener.pending_conn_budgets.empty()) {
+    return make_error(StatusCode::kFailedPrecondition, "accept: EAGAIN");
+  }
+  const int conn_id = next_id_++;
+  Conn conn;
+  conn.listener = listener_id;
+  conn.requests_left = listener.pending_conn_budgets.front();
+  listener.pending_conn_budgets.pop_front();
+  conn.state = ConnState::kRequestReady;
+  conns_[conn_id] = conn;
+  listener.conns.push_back(conn_id);
+  return conn_id;
+}
+
+Result<std::uint64_t> Net::recv(int conn_id, std::uint64_t buffer_size) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end() || it->second.closed) {
+    return make_error(StatusCode::kNotFound, "recv: bad conn");
+  }
+  Conn& conn = it->second;
+  if (conn.state == ConnState::kDrained) {
+    return std::uint64_t{0};  // orderly shutdown from the client
+  }
+  if (conn.state != ConnState::kRequestReady) {
+    return make_error(StatusCode::kFailedPrecondition, "recv: EAGAIN");
+  }
+  const Listener& listener = listeners_.at(conn.listener);
+  conn.state = ConnState::kResponding;
+  conn.response_remaining = listener.workload.response_bytes;
+  const std::uint64_t n = listener.workload.request_bytes;
+  return n < buffer_size ? n : buffer_size;
+}
+
+Result<std::uint64_t> Net::send(int conn_id, std::uint64_t bytes) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end() || it->second.closed) {
+    return make_error(StatusCode::kNotFound, "send: bad conn");
+  }
+  Conn& conn = it->second;
+  if (conn.state != ConnState::kResponding) {
+    // Sending outside a request/response cycle: accept the bytes silently
+    // (the client ignores them); keeps buggy servers from wedging the run.
+    return bytes;
+  }
+  Listener& listener = listeners_.at(conn.listener);
+  if (bytes >= conn.response_remaining) {
+    conn.response_remaining = 0;
+    ++listener.completed;
+    if (conn.requests_left > 0) --conn.requests_left;
+    conn.state = conn.requests_left > 0 ? ConnState::kRequestReady
+                                        : ConnState::kDrained;
+  } else {
+    conn.response_remaining -= bytes;
+  }
+  return bytes;
+}
+
+Status Net::close_conn(int conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return make_error(StatusCode::kNotFound, "close: bad conn");
+  }
+  it->second.closed = true;
+  return Status::ok();
+}
+
+std::uint64_t Net::completed_requests(int listener_id) const {
+  auto it = listeners_.find(listener_id);
+  return it == listeners_.end() ? 0 : it->second.completed;
+}
+
+bool Net::workload_done(int listener_id) const {
+  auto it = listeners_.find(listener_id);
+  if (it == listeners_.end()) return true;
+  const Listener& listener = it->second;
+  if (!listener.pending_conn_budgets.empty()) return false;
+  for (int conn_id : listener.conns) {
+    if (!conns_.at(conn_id).closed) return false;
+  }
+  return true;
+}
+
+}  // namespace lzp::kern

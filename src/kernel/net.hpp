@@ -1,0 +1,87 @@
+// Virtual loopback networking with a built-in closed-loop load generator.
+//
+// Models the Figure-5 measurement setup: a wrk-style client with N
+// keepalive connections continuously requesting the same static resource,
+// and one or more server workers accepting/serving those connections over
+// "localhost" (so the workload is maximally syscall-intensive and never
+// throttled by link bandwidth). The client has zero think time: whenever a
+// response completes, the next request on that connection is immediately
+// pending, until the per-run request budget is exhausted.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace lzp::kern {
+
+struct ClientWorkload {
+  std::uint32_t connections = 36;     // wrk -t36 over keepalive conns
+  std::uint64_t total_requests = 0;   // run ends when all are served
+  std::uint64_t request_bytes = 120;  // HTTP GET + headers
+  std::uint64_t response_bytes = 0;   // headers + body the server will send
+};
+
+class Net {
+ public:
+  enum class EventKind : std::uint8_t {
+    kNone,        // nothing ready right now (never happens with zero think time)
+    kAcceptable,  // a new connection is waiting on the listener
+    kReadable,    // a connection has a request pending
+    kFinished,    // the workload is complete and all connections are closed
+  };
+  struct Event {
+    EventKind kind = EventKind::kNone;
+    int conn_id = -1;
+  };
+
+  // Creates a listening socket with an attached client workload.
+  int create_listener(ClientWorkload workload);
+
+  Event poll(int listener_id);
+  // Multi-worker poll: report readable only for connections in `owned`
+  // (the calling process's accepted connections); returns kNone when other
+  // workers' connections are still live but nothing is actionable here.
+  Event poll_for(int listener_id, const std::set<int>& owned);
+  // Accepts one pending connection; kEAGAIN-style error when none pending.
+  Result<int> accept(int listener_id);
+  // Returns request bytes available (0 = orderly close: budget exhausted).
+  Result<std::uint64_t> recv(int conn_id, std::uint64_t buffer_size);
+  // Sends response bytes; the client acknowledges a completed request once
+  // the cumulative bytes reach the workload's response size.
+  Result<std::uint64_t> send(int conn_id, std::uint64_t bytes);
+  Status close_conn(int conn_id);
+
+  [[nodiscard]] std::uint64_t completed_requests(int listener_id) const;
+  [[nodiscard]] bool workload_done(int listener_id) const;
+
+ private:
+  enum class ConnState : std::uint8_t {
+    kRequestReady,  // client sent a request the server has not recv'd yet
+    kResponding,    // server recv'd; response partially sent
+    kDrained,       // request budget exhausted; next recv returns 0
+  };
+  struct Conn {
+    int listener = -1;
+    ConnState state = ConnState::kRequestReady;
+    std::uint64_t requests_left = 0;
+    std::uint64_t response_remaining = 0;
+    bool closed = false;
+  };
+  struct Listener {
+    ClientWorkload workload;
+    std::deque<std::uint64_t> pending_conn_budgets;  // conns not yet accepted
+    std::vector<int> conns;
+    std::uint64_t completed = 0;
+  };
+
+  std::map<int, Listener> listeners_;
+  std::map<int, Conn> conns_;
+  int next_id_ = 1;
+};
+
+}  // namespace lzp::kern

@@ -1,0 +1,99 @@
+// Signal numbers, dispositions, signal frames. Models the slice of Linux
+// signal semantics that SUD-based interposition depends on: SIGSYS delivery
+// with syscall info, handler invocation on the (alt)stack, the saved user
+// context (including extended state, which the kernel preserves on the
+// frame), and rt_sigreturn restoring it — possibly to a *modified* context,
+// which is how lazypoline redirects execution out of its SIGSYS handler
+// (paper §IV-A "selector-only SUD").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "cpu/context.hpp"
+
+namespace lzp::kern {
+
+enum Signal : int {
+  kSigill = 4,
+  kSigfpe = 8,
+  kSigtrap = 5,
+  kSigbus = 7,
+  kSigkill = 9,
+  kSigusr1 = 10,
+  kSigsegv = 11,
+  kSigusr2 = 12,
+  kSigpipe = 13,
+  kSigalrm = 14,
+  kSigterm = 15,
+  kSigchld = 17,
+  kSigsys = 31,
+  kNumSignals = 65,
+};
+
+[[nodiscard]] constexpr std::string_view signal_name(int sig) noexcept {
+  switch (sig) {
+    case kSigill: return "SIGILL";
+    case kSigfpe: return "SIGFPE";
+    case kSigtrap: return "SIGTRAP";
+    case kSigbus: return "SIGBUS";
+    case kSigkill: return "SIGKILL";
+    case kSigusr1: return "SIGUSR1";
+    case kSigsegv: return "SIGSEGV";
+    case kSigusr2: return "SIGUSR2";
+    case kSigpipe: return "SIGPIPE";
+    case kSigalrm: return "SIGALRM";
+    case kSigterm: return "SIGTERM";
+    case kSigchld: return "SIGCHLD";
+    case kSigsys: return "SIGSYS";
+    default: return "SIG?";
+  }
+}
+
+// si_code values we model.
+inline constexpr int kSigsysUserDispatch = 2;  // SYS_USER_DISPATCH
+inline constexpr int kSigsysSeccomp = 1;       // SYS_SECCOMP
+
+struct SigInfo {
+  int signo = 0;
+  int code = 0;
+  // For SIGSYS: the attempted syscall number and argument snapshot.
+  std::uint64_t syscall_nr = 0;
+  std::uint64_t syscall_args[6] = {};
+  // Address *after* the syscall instruction (the saved rip; SUD rewriters
+  // subtract the 2-byte encoding to locate the site).
+  std::uint64_t ip_after_syscall = 0;
+  // For SIGSEGV/SIGBUS: faulting address.
+  std::uint64_t fault_addr = 0;
+};
+
+inline constexpr std::uint64_t kSaSiginfo = 0x4;
+inline constexpr std::uint64_t kSaOnstack = 0x08000000;
+inline constexpr std::uint64_t kSigDfl = 0;
+inline constexpr std::uint64_t kSigIgn = 1;
+
+struct SigAction {
+  std::uint64_t handler = kSigDfl;  // code address (sim or host-bound)
+  std::uint64_t flags = 0;
+  std::uint64_t mask = 0;  // signals blocked while the handler runs
+};
+
+struct AltStack {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  [[nodiscard]] bool valid() const noexcept { return base != 0 && size != 0; }
+};
+
+// A signal frame. The real kernel materializes this on the user stack; we
+// keep it kernel-side per task (a stack of frames for nested signals) and
+// hand the *handler* a mutable reference — equivalent to the handler
+// dereferencing its ucontext_t argument, which is how lazypoline rewrites
+// REG_RIP before sigreturn.
+struct SignalFrame {
+  cpu::CpuContext saved_context;  // full context incl. xstate, like the FPU
+                                  // area of a real rt_sigframe
+  std::uint64_t saved_sigmask = 0;
+  SigInfo info{};
+};
+
+}  // namespace lzp::kern

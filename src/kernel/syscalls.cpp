@@ -1,0 +1,74 @@
+#include "kernel/syscalls.hpp"
+
+namespace lzp::kern {
+
+std::string_view syscall_name(std::uint64_t nr) noexcept {
+  switch (nr) {
+    case kSysRead: return "read";
+    case kSysWrite: return "write";
+    case kSysOpen: return "open";
+    case kSysClose: return "close";
+    case kSysStat: return "stat";
+    case kSysFstat: return "fstat";
+    case kSysLseek: return "lseek";
+    case kSysMmap: return "mmap";
+    case kSysMprotect: return "mprotect";
+    case kSysMunmap: return "munmap";
+    case kSysBrk: return "brk";
+    case kSysRtSigaction: return "rt_sigaction";
+    case kSysRtSigprocmask: return "rt_sigprocmask";
+    case kSysRtSigreturn: return "rt_sigreturn";
+    case kSysIoctl: return "ioctl";
+    case kSysWritev: return "writev";
+    case kSysSchedYield: return "sched_yield";
+    case kSysDup: return "dup";
+    case kSysNanosleep: return "nanosleep";
+    case kSysGetpid: return "getpid";
+    case kSysSendfile: return "sendfile";
+    case kSysSocket: return "socket";
+    case kSysAccept: return "accept";
+    case kSysRecvfrom: return "recvfrom";
+    case kSysShutdown: return "shutdown";
+    case kSysBind: return "bind";
+    case kSysListen: return "listen";
+    case kSysSetsockopt: return "setsockopt";
+    case kSysClone: return "clone";
+    case kSysFork: return "fork";
+    case kSysVfork: return "vfork";
+    case kSysExecve: return "execve";
+    case kSysExit: return "exit";
+    case kSysKill: return "kill";
+    case kSysFcntl: return "fcntl";
+    case kSysGetcwd: return "getcwd";
+    case kSysRename: return "rename";
+    case kSysMkdir: return "mkdir";
+    case kSysUnlink: return "unlink";
+    case kSysChmod: return "chmod";
+    case kSysPtrace: return "ptrace";
+    case kSysSigaltstack: return "sigaltstack";
+    case kSysPrctl: return "prctl";
+    case kSysArchPrctl: return "arch_prctl";
+    case kSysGettid: return "gettid";
+    case kSysFutex: return "futex";
+    case kSysEpollCreate: return "epoll_create";
+    case kSysGetdents64: return "getdents64";
+    case kSysSetTidAddress: return "set_tid_address";
+    case kSysClockGettime: return "clock_gettime";
+    case kSysExitGroup: return "exit_group";
+    case kSysEpollWait: return "epoll_wait";
+    case kSysEpollCtl: return "epoll_ctl";
+    case kSysTgkill: return "tgkill";
+    case kSysOpenat: return "openat";
+    case kSysSetRobustList: return "set_robust_list";
+    case kSysUtimensat: return "utimensat";
+    case kSysAccept4: return "accept4";
+    case kSysEpollCreate1: return "epoll_create1";
+    case kSysPipe2: return "pipe2";
+    case kSysSeccomp: return "seccomp";
+    case kSysGetrandom: return "getrandom";
+    case kSysNonexistent: return "nonexistent(500)";
+    default: return "unknown";
+  }
+}
+
+}  // namespace lzp::kern

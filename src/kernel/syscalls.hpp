@@ -1,0 +1,123 @@
+// Syscall numbers (x86-64 Linux values, for fidelity) and errno codes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lzp::kern {
+
+enum Sys : std::uint64_t {
+  kSysRead = 0,
+  kSysWrite = 1,
+  kSysOpen = 2,
+  kSysClose = 3,
+  kSysStat = 4,
+  kSysFstat = 5,
+  kSysLseek = 8,
+  kSysMmap = 9,
+  kSysMprotect = 10,
+  kSysMunmap = 11,
+  kSysBrk = 12,
+  kSysRtSigaction = 13,
+  kSysRtSigprocmask = 14,
+  kSysRtSigreturn = 15,
+  kSysIoctl = 16,
+  kSysWritev = 20,
+  kSysSchedYield = 24,
+  kSysDup = 32,
+  kSysNanosleep = 35,
+  kSysGetpid = 39,
+  kSysSendfile = 40,
+  kSysSocket = 41,
+  kSysAccept = 43,
+  kSysRecvfrom = 45,
+  kSysShutdown = 48,
+  kSysBind = 49,
+  kSysListen = 50,
+  kSysSetsockopt = 54,
+  kSysClone = 56,
+  kSysFork = 57,
+  kSysVfork = 58,
+  kSysExecve = 59,
+  kSysExit = 60,
+  kSysKill = 62,
+  kSysFcntl = 72,
+  kSysGetcwd = 79,
+  kSysRename = 82,
+  kSysMkdir = 83,
+  kSysUnlink = 87,
+  kSysChmod = 90,
+  kSysPtrace = 101,
+  kSysSigaltstack = 131,
+  kSysPrctl = 157,
+  kSysArchPrctl = 158,
+  kSysGettid = 186,
+  kSysFutex = 202,
+  kSysEpollCreate = 213,
+  kSysGetdents64 = 217,
+  kSysSetTidAddress = 218,
+  kSysClockGettime = 228,
+  kSysExitGroup = 231,
+  kSysEpollWait = 232,
+  kSysEpollCtl = 233,
+  kSysTgkill = 234,
+  kSysOpenat = 257,
+  kSysSetRobustList = 273,
+  kSysUtimensat = 280,
+  kSysAccept4 = 288,
+  kSysEpollCreate1 = 291,
+  kSysPipe2 = 293,
+  kSysSeccomp = 317,
+  kSysGetrandom = 318,
+
+  // The microbenchmark's non-existent syscall (paper §V-B: "a non-existent
+  // syscall (number 500)").
+  kSysNonexistent = 500,
+};
+
+// Highest syscall number the zpoline nop sled must cover ("typically under
+// 500" in the paper; the sled spans [0, kMaxSyscallNumber]).
+inline constexpr std::uint64_t kMaxSyscallNumber = 511;
+
+[[nodiscard]] std::string_view syscall_name(std::uint64_t nr) noexcept;
+
+// Errno values, negated into rax on failure like the real ABI.
+inline constexpr std::int64_t kEPERM = 1;
+inline constexpr std::int64_t kENOENT = 2;
+inline constexpr std::int64_t kEINTR = 4;
+inline constexpr std::int64_t kEBADF = 9;
+inline constexpr std::int64_t kEAGAIN = 11;
+inline constexpr std::int64_t kENOMEM = 12;
+inline constexpr std::int64_t kEACCES = 13;
+inline constexpr std::int64_t kEFAULT = 14;
+inline constexpr std::int64_t kEEXIST = 17;
+inline constexpr std::int64_t kEINVAL = 22;
+inline constexpr std::int64_t kENOSYS = 38;
+
+[[nodiscard]] constexpr std::uint64_t errno_result(std::int64_t err) noexcept {
+  return static_cast<std::uint64_t>(-err);
+}
+[[nodiscard]] constexpr bool is_error_result(std::uint64_t rax) noexcept {
+  return rax > static_cast<std::uint64_t>(-4096L);
+}
+
+// prctl / arch_prctl operation codes used by the interposers.
+inline constexpr std::uint64_t kPrSetSyscallUserDispatch = 59;  // PR_SET_SYSCALL_USER_DISPATCH
+inline constexpr std::uint64_t kPrSysDispatchOff = 0;
+inline constexpr std::uint64_t kPrSysDispatchOn = 1;
+inline constexpr std::uint64_t kArchSetGs = 0x1001;  // ARCH_SET_GS
+inline constexpr std::uint64_t kArchGetGs = 0x1004;  // ARCH_GET_GS
+
+// SUD selector byte values (include/uapi/linux/prctl.h).
+inline constexpr std::uint8_t kSudAllow = 0;  // SYSCALL_DISPATCH_FILTER_ALLOW
+inline constexpr std::uint8_t kSudBlock = 1;  // SYSCALL_DISPATCH_FILTER_BLOCK
+
+// seccomp(2) operation codes.
+inline constexpr std::uint64_t kSeccompSetModeFilter = 1;
+
+// clone flags (subset).
+inline constexpr std::uint64_t kCloneVm = 0x00000100;
+inline constexpr std::uint64_t kCloneThread = 0x00010000;
+inline constexpr std::uint64_t kCloneVfork = 0x00004000;
+
+}  // namespace lzp::kern

@@ -1,0 +1,120 @@
+// Tasks (threads) and processes (thread groups), mirroring the Linux split
+// that matters to SUD: SUD state is *per task*, and is reset on clone, fork,
+// and execve — which is why lazypoline must re-arm it in every new task
+// (paper §IV-B "Multiprocessing and Multithreading").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpf/bpf.hpp"
+#include "cpu/context.hpp"
+#include "kernel/signals.hpp"
+#include "memory/address_space.hpp"
+
+namespace lzp::kern {
+
+using Tid = std::uint32_t;
+using Pid = std::uint32_t;
+
+enum class TaskState : std::uint8_t { kRunnable, kExited };
+
+// Per-task Syscall User Dispatch configuration (prctl
+// PR_SET_SYSCALL_USER_DISPATCH).
+struct SudState {
+  bool enabled = false;
+  std::uint64_t selector_addr = 0;  // user byte: kSudAllow / kSudBlock
+  std::uint64_t allow_start = 0;    // syscalls from this range never dispatch
+  std::uint64_t allow_len = 0;
+
+  [[nodiscard]] bool in_allowed_range(std::uint64_t addr) const noexcept {
+    return addr >= allow_start && addr - allow_start < allow_len;
+  }
+};
+
+// Open file description table entry.
+struct FdEntry {
+  enum class Kind : std::uint8_t { kFile, kListener, kConn, kEpoll, kSpecial };
+  Kind kind = Kind::kFile;
+  std::string path;          // kFile
+  std::uint64_t offset = 0;  // kFile read/seek position
+  int net_id = -1;           // kListener / kConn
+  int epoll_watch = -1;      // kEpoll: listener net id being watched
+};
+
+// Shared state of a thread group. Threads share this; fork deep-copies it.
+struct Process {
+  Pid pid = 0;
+  std::array<SigAction, kNumSignals> sigactions{};
+  std::map<int, FdEntry> fds;
+  std::map<int, int> net_to_fd;  // reverse map for epoll event -> fd
+  int next_fd = 3;
+  bool exited = false;
+  int exit_code = 0;
+  std::string program_name;
+  std::string console;  // bytes written to fd 1/2
+
+  [[nodiscard]] std::shared_ptr<Process> fork_copy(Pid new_pid) const {
+    auto copy = std::make_shared<Process>(*this);
+    copy->pid = new_pid;
+    return copy;
+  }
+
+  int install_fd(FdEntry entry) {
+    const int fd = next_fd++;
+    fds[fd] = std::move(entry);
+    return fd;
+  }
+
+  // Installs at a specific fd (harness convention, e.g. the listening
+  // socket at fd 3) without letting later install_fd() calls collide.
+  void install_fd_at(int fd, FdEntry entry) {
+    fds[fd] = std::move(entry);
+    if (fd >= next_fd) next_fd = fd + 1;
+  }
+};
+
+struct Task {
+  Tid tid = 0;
+  TaskState state = TaskState::kRunnable;
+  std::shared_ptr<Process> process;
+  std::shared_ptr<mem::AddressSpace> mem;
+  cpu::CpuContext ctx;
+
+  SudState sud;
+  // seccomp filters attached to this task (newest last, all run, most
+  // restrictive action wins — matching the kernel). Programs are shared
+  // copy-on-attach across clone/fork.
+  std::vector<std::shared_ptr<const std::vector<bpf::Insn>>> seccomp;
+
+  // Signal machinery.
+  std::uint64_t sigmask = 0;
+  AltStack altstack;
+  std::vector<SignalFrame> signal_frames;  // innermost last
+  std::vector<SigInfo> pending_signals;
+
+  // ptrace: host-side tracer attached (see Machine::attach_tracer).
+  bool ptraced = false;
+
+  // set_tid_address bookkeeping (glibc pthread init uses it).
+  std::uint64_t clear_child_tid = 0;
+  std::uint64_t robust_list_head = 0;
+
+  // Accounting.
+  std::uint64_t cycles = 0;
+  std::uint64_t insns_retired = 0;
+  std::uint64_t syscalls_entered = 0;   // entries into the kernel syscall path
+  std::uint64_t syscalls_dispatched = 0;
+  std::uint64_t sud_sigsys_count = 0;   // SUD interceptions delivered
+  int exit_code = 0;
+
+  [[nodiscard]] bool runnable() const noexcept {
+    return state == TaskState::kRunnable;
+  }
+};
+
+}  // namespace lzp::kern

@@ -1,0 +1,115 @@
+#include "kernel/vfs.hpp"
+
+#include <algorithm>
+
+namespace lzp::kern {
+
+Status Vfs::put_file(const std::string& path, std::vector<std::uint8_t> contents) {
+  Node node;
+  node.meta.size = contents.size();
+  node.meta.is_dir = false;
+  node.contents = std::move(contents);
+  nodes_[path] = std::move(node);
+  return Status::ok();
+}
+
+Status Vfs::put_file_of_size(const std::string& path, std::uint64_t size) {
+  std::vector<std::uint8_t> contents(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    contents[i] = static_cast<std::uint8_t>((i * 131) ^ (i >> 8));
+  }
+  return put_file(path, std::move(contents));
+}
+
+Status Vfs::mkdir(const std::string& path) {
+  if (nodes_.count(path) != 0) {
+    return make_error(StatusCode::kAlreadyExists, "mkdir: " + path);
+  }
+  Node node;
+  node.meta.is_dir = true;
+  node.meta.mode = 0755;
+  nodes_[path] = std::move(node);
+  return Status::ok();
+}
+
+Status Vfs::unlink(const std::string& path) {
+  if (nodes_.erase(path) == 0) {
+    return make_error(StatusCode::kNotFound, "unlink: " + path);
+  }
+  return Status::ok();
+}
+
+Status Vfs::rename(const std::string& from, const std::string& to) {
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) {
+    return make_error(StatusCode::kNotFound, "rename: " + from);
+  }
+  nodes_[to] = std::move(it->second);
+  nodes_.erase(from);
+  return Status::ok();
+}
+
+Status Vfs::chmod(const std::string& path, std::uint32_t mode) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return make_error(StatusCode::kNotFound, "chmod: " + path);
+  }
+  it->second.meta.mode = mode;
+  return Status::ok();
+}
+
+bool Vfs::exists(const std::string& path) const { return nodes_.count(path) != 0; }
+
+Result<FileStat> Vfs::stat(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return make_error(StatusCode::kNotFound, "stat: " + path);
+  }
+  return it->second.meta;
+}
+
+Result<std::uint64_t> Vfs::read(const std::string& path, std::uint64_t offset,
+                                std::uint64_t length,
+                                std::vector<std::uint8_t>* out) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return make_error(StatusCode::kNotFound, "read: " + path);
+  }
+  const auto& contents = it->second.contents;
+  if (offset >= contents.size()) return std::uint64_t{0};
+  const std::uint64_t n = std::min<std::uint64_t>(length, contents.size() - offset);
+  if (out != nullptr) {
+    out->assign(contents.begin() + static_cast<std::ptrdiff_t>(offset),
+                contents.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  }
+  return n;
+}
+
+Result<std::uint64_t> Vfs::write(const std::string& path, std::uint64_t offset,
+                                 const std::vector<std::uint8_t>& data) {
+  auto& node = nodes_[path];  // creates on first write, like O_CREAT
+  node.meta.is_dir = false;
+  if (node.contents.size() < offset + data.size()) {
+    node.contents.resize(offset + data.size());
+  }
+  std::copy(data.begin(), data.end(),
+            node.contents.begin() + static_cast<std::ptrdiff_t>(offset));
+  node.meta.size = node.contents.size();
+  return static_cast<std::uint64_t>(data.size());
+}
+
+std::vector<std::string> Vfs::list(const std::string& dir_path) const {
+  std::vector<std::string> out;
+  const std::string prefix = dir_path.empty() || dir_path.back() == '/'
+                                 ? dir_path
+                                 : dir_path + '/';
+  for (const auto& [path, node] : nodes_) {
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      out.push_back(path.substr(prefix.size()));
+    }
+  }
+  return out;
+}
+
+}  // namespace lzp::kern

@@ -1,0 +1,50 @@
+// A small in-memory filesystem: enough for the workloads the evaluation
+// needs (web servers serving static files of configurable sizes, coreutils
+// reading/writing paths, getdents-style listing).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace lzp::kern {
+
+struct FileStat {
+  std::uint64_t size = 0;
+  std::uint32_t mode = 0644;
+  bool is_dir = false;
+};
+
+class Vfs {
+ public:
+  Status put_file(const std::string& path, std::vector<std::uint8_t> contents);
+  // Convenience: a file of `size` deterministic bytes (web content).
+  Status put_file_of_size(const std::string& path, std::uint64_t size);
+  Status mkdir(const std::string& path);
+  Status unlink(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Status chmod(const std::string& path, std::uint32_t mode);
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+  Result<FileStat> stat(const std::string& path) const;
+  // Reads [offset, offset+length) clamped to file size; returns bytes read.
+  Result<std::uint64_t> read(const std::string& path, std::uint64_t offset,
+                             std::uint64_t length,
+                             std::vector<std::uint8_t>* out) const;
+  Result<std::uint64_t> write(const std::string& path, std::uint64_t offset,
+                              const std::vector<std::uint8_t>& data);
+  // Entries directly under `dir_path` (flat namespace; '/'-separated).
+  [[nodiscard]] std::vector<std::string> list(const std::string& dir_path) const;
+
+ private:
+  struct Node {
+    FileStat meta;
+    std::vector<std::uint8_t> contents;
+  };
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace lzp::kern

@@ -1,0 +1,52 @@
+#include "mechanisms/ptrace_tool.hpp"
+
+namespace lzp::mechanisms {
+
+Status PtraceMechanism::install(kern::Machine& machine, kern::Tid tid,
+                                std::shared_ptr<interpose::SyscallHandler> handler) {
+  kern::Task* task = machine.find_task(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "ptrace: no such task");
+  }
+  kern::TracerHooks hooks;
+  // Entry stop: the tracer wakes, inspects registers, and resumes the
+  // tracee. The interposition decision normally happens at the exit stop,
+  // where the result is known (PTRACE_SYSCALL convention) — except for
+  // syscalls that never return (exit/exit_group), which a tracer like
+  // strace reports at entry.
+  hooks.on_syscall_entry = [&machine, handler](kern::Task& tracee,
+                                               cpu::CpuContext& ctx) {
+    const std::uint64_t nr = ctx.syscall_number();
+    if (nr != kern::kSysExit && nr != kern::kSysExitGroup) return;
+    interpose::SyscallRequest req;
+    req.nr = nr;
+    for (std::size_t i = 0; i < 6; ++i) req.args[i] = ctx.syscall_arg(i);
+    interpose::InterposeContext ictx(
+        machine, tracee, req,
+        [](std::uint64_t, const std::array<std::uint64_t, 6>&) {
+          return std::uint64_t{0};  // does not return; nothing to observe
+        });
+    (void)handler->handle(ictx);
+  };
+  hooks.on_syscall_exit = [&machine, handler](kern::Task& tracee,
+                                              cpu::CpuContext& ctx,
+                                              std::uint64_t& result) {
+    interpose::SyscallRequest req;
+    req.nr = ctx.syscall_number();  // rax still holds the number pre-writeback
+    for (std::size_t i = 0; i < 6; ++i) req.args[i] = ctx.syscall_arg(i);
+    // The kernel already executed the syscall; pass-through observes the
+    // result (PTRACE_GETREGS) instead of re-executing.
+    const std::uint64_t observed = result;
+    interpose::InterposeContext ictx(
+        machine, tracee, req,
+        [observed](std::uint64_t, const std::array<std::uint64_t, 6>&) {
+          return observed;
+        });
+    // The tracer may overwrite the result (PTRACE_SETREGS).
+    result = handler->handle(ictx);
+  };
+  machine.attach_tracer(tid, std::move(hooks));
+  return Status::ok();
+}
+
+}  // namespace lzp::mechanisms

@@ -1,0 +1,27 @@
+// ptrace-based interposition (the strace/gdb model, paper §II-A).
+//
+// A host-side tracer attaches to the task and is notified synchronously at
+// every syscall entry and exit. Each stop costs two context switches (tracee
+// -> tracer -> tracee) plus several PTRACE_* requests to read registers and
+// memory — the cost structure that makes ptrace "Low" efficiency in Table I
+// despite being fully expressive and exhaustive.
+#pragma once
+
+#include "interpose/mechanism.hpp"
+
+namespace lzp::mechanisms {
+
+class PtraceMechanism final : public interpose::Mechanism {
+ public:
+  [[nodiscard]] std::string name() const override { return "ptrace"; }
+
+  Status install(kern::Machine& machine, kern::Tid tid,
+                 std::shared_ptr<interpose::SyscallHandler> handler) override;
+
+  [[nodiscard]] interpose::Characteristics characteristics() const override {
+    return {interpose::Level::kFull, /*exhaustive=*/true,
+            interpose::Level::kLow};
+  }
+};
+
+}  // namespace lzp::mechanisms

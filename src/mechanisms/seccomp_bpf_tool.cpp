@@ -1,0 +1,68 @@
+#include "mechanisms/seccomp_bpf_tool.hpp"
+
+namespace lzp::mechanisms {
+namespace {
+
+Status attach(kern::Machine& machine, kern::Tid tid,
+              std::vector<bpf::Insn> program) {
+  kern::Task* task = machine.find_task(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "seccomp: no such task");
+  }
+  LZP_RETURN_IF_ERROR(bpf::validate(program, bpf::SeccompData::kSize));
+  task->seccomp.push_back(
+      std::make_shared<const std::vector<bpf::Insn>>(std::move(program)));
+  return Status::ok();
+}
+
+}  // namespace
+
+Status SeccompBpfMechanism::install(kern::Machine&, kern::Tid,
+                                    std::shared_ptr<interpose::SyscallHandler>) {
+  return make_error(
+      StatusCode::kUnimplemented,
+      "seccomp-bpf cannot run arbitrary interposer code: BPF filters cannot "
+      "dereference pointers or call user functions (limited expressiveness)");
+}
+
+Status SeccompBpfMechanism::install_filter(kern::Machine& machine, kern::Tid tid,
+                                           std::span<const SeccompRule> rules,
+                                           std::uint32_t default_action) {
+  std::vector<bpf::Insn> program;
+  program.push_back(bpf::stmt(bpf::BPF_LD | bpf::BPF_W | bpf::BPF_ABS,
+                              bpf::SeccompData::kOffNr));
+  // if nr == rule.nr -> ret action. Each rule is a compare + return pair.
+  for (const SeccompRule& rule : rules) {
+    program.push_back(bpf::jump(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K,
+                                rule.nr, 0, 1));
+    program.push_back(bpf::stmt(bpf::BPF_RET | bpf::BPF_K, rule.action));
+  }
+  program.push_back(bpf::stmt(bpf::BPF_RET | bpf::BPF_K, default_action));
+  return attach(machine, tid, std::move(program));
+}
+
+Status SeccompBpfMechanism::install_monitoring_filter(kern::Machine& machine,
+                                                      kern::Tid tid) {
+  // Shape of a realistic monitoring/sandbox filter: validate the arch, load
+  // the number, compare it against a short deny list, allow the rest.
+  std::vector<bpf::Insn> program;
+  program.push_back(bpf::stmt(bpf::BPF_LD | bpf::BPF_W | bpf::BPF_ABS,
+                              bpf::SeccompData::kOffArch));
+  program.push_back(bpf::jump(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K,
+                              bpf::kAuditArchX86_64, 1, 0));
+  program.push_back(
+      bpf::stmt(bpf::BPF_RET | bpf::BPF_K, bpf::SECCOMP_RET_KILL_PROCESS));
+  program.push_back(bpf::stmt(bpf::BPF_LD | bpf::BPF_W | bpf::BPF_ABS,
+                              bpf::SeccompData::kOffNr));
+  const std::uint32_t denied[] = {kern::kSysPtrace};
+  for (std::uint32_t nr : denied) {
+    program.push_back(bpf::jump(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K, nr, 0, 1));
+    program.push_back(bpf::stmt(bpf::BPF_RET | bpf::BPF_K,
+                                bpf::SECCOMP_RET_ERRNO |
+                                    static_cast<std::uint32_t>(kern::kEPERM)));
+  }
+  program.push_back(bpf::stmt(bpf::BPF_RET | bpf::BPF_K, bpf::SECCOMP_RET_ALLOW));
+  return attach(machine, tid, std::move(program));
+}
+
+}  // namespace lzp::mechanisms

@@ -1,0 +1,48 @@
+// seccomp-bpf interposition: kernel-space BPF filters (paper §II-A).
+//
+// Highly efficient (no extra mode switches) but of *limited* expressiveness:
+// the installation API accepts filter RULES over the superficial syscall
+// information BPF can see — number, instruction pointer, raw argument
+// values. It cannot accept a SyscallHandler, because BPF cannot dereference
+// pointers, call back into user code, or mutate anything; install() with a
+// handler therefore fails by design, documenting the Table-I limitation in
+// the type system rather than hiding it.
+#pragma once
+
+#include <vector>
+
+#include "bpf/seccomp_filter.hpp"
+#include "interpose/mechanism.hpp"
+
+namespace lzp::mechanisms {
+
+struct SeccompRule {
+  std::uint32_t nr = 0;
+  std::uint32_t action = bpf::SECCOMP_RET_ALLOW;  // or ERRNO|code, KILL, ...
+};
+
+class SeccompBpfMechanism final : public interpose::Mechanism {
+ public:
+  [[nodiscard]] std::string name() const override { return "seccomp-bpf"; }
+
+  // Arbitrary handlers are not expressible in kernel BPF.
+  Status install(kern::Machine& machine, kern::Tid tid,
+                 std::shared_ptr<interpose::SyscallHandler> handler) override;
+
+  // The API seccomp-bpf actually offers: attach a rule-based filter.
+  // Matching rules apply their action; everything else gets default_action.
+  static Status install_filter(kern::Machine& machine, kern::Tid tid,
+                               std::span<const SeccompRule> rules,
+                               std::uint32_t default_action);
+
+  // The filter used by the efficiency benchmarks: inspects the syscall
+  // number (the typical monitoring filter shape) and allows everything.
+  static Status install_monitoring_filter(kern::Machine& machine, kern::Tid tid);
+
+  [[nodiscard]] interpose::Characteristics characteristics() const override {
+    return {interpose::Level::kLimited, /*exhaustive=*/true,
+            interpose::Level::kHigh};
+  }
+};
+
+}  // namespace lzp::mechanisms

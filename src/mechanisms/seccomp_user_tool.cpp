@@ -1,0 +1,40 @@
+#include "mechanisms/seccomp_user_tool.hpp"
+
+#include "bpf/seccomp_filter.hpp"
+
+namespace lzp::mechanisms {
+
+Status SeccompUserMechanism::install(
+    kern::Machine& machine, kern::Tid tid,
+    std::shared_ptr<interpose::SyscallHandler> handler) {
+  kern::Task* task = machine.find_task(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "seccomp-user: no such task");
+  }
+
+  // Supervisor side: receives each notification, runs the handler, executes
+  // the syscall in its own (unfiltered) context, and replies with the result.
+  machine.set_user_notif_handler(
+      [&machine, handler](kern::Task& target, std::uint64_t nr,
+                          const std::array<std::uint64_t, 6>& args) {
+        interpose::SyscallRequest req;
+        req.nr = nr;
+        req.args = args;
+        interpose::InterposeContext ictx(
+            machine, target, req,
+            [&machine, &target](std::uint64_t n,
+                                const std::array<std::uint64_t, 6>& a) {
+              return machine.supervised_dispatch(target, n, a);
+            });
+        return handler->handle(ictx);
+      });
+
+  // Target side: defer every syscall.
+  auto program = bpf::SeccompFilterBuilder::return_constant(
+      bpf::SECCOMP_RET_USER_NOTIF);
+  task->seccomp.push_back(
+      std::make_shared<const std::vector<bpf::Insn>>(std::move(program)));
+  return Status::ok();
+}
+
+}  // namespace lzp::mechanisms

@@ -1,0 +1,25 @@
+// seccomp-user interposition: a filter defers every syscall to a user-space
+// supervisor (SECCOMP_RET_USER_NOTIF), which runs the fully expressive
+// handler and executes the syscall on the target's behalf. Exhaustive and
+// expressive, but each interposed syscall pays a supervisor round trip —
+// "Moderate" efficiency in Table I.
+#pragma once
+
+#include "interpose/mechanism.hpp"
+
+namespace lzp::mechanisms {
+
+class SeccompUserMechanism final : public interpose::Mechanism {
+ public:
+  [[nodiscard]] std::string name() const override { return "seccomp-user"; }
+
+  Status install(kern::Machine& machine, kern::Tid tid,
+                 std::shared_ptr<interpose::SyscallHandler> handler) override;
+
+  [[nodiscard]] interpose::Characteristics characteristics() const override {
+    return {interpose::Level::kFull, /*exhaustive=*/true,
+            interpose::Level::kModerate};
+  }
+};
+
+}  // namespace lzp::mechanisms

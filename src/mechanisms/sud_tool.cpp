@@ -1,0 +1,126 @@
+#include "mechanisms/sud_tool.hpp"
+
+#include "isa/assemble.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::mechanisms {
+namespace {
+
+// Layout of the runtime page this mechanism maps into the target:
+//   +0   selector byte
+//   +16  sigreturn stub: mov rax, NR_rt_sigreturn ; syscall
+constexpr std::uint64_t kSelectorOffset = 0;
+constexpr std::uint64_t kStubOffset = 16;
+
+struct Runtime {
+  std::uint64_t page = 0;
+  [[nodiscard]] std::uint64_t selector_addr() const { return page + kSelectorOffset; }
+  [[nodiscard]] std::uint64_t stub_addr() const { return page + kStubOffset; }
+};
+
+void set_selector(kern::Machine& machine, kern::Task& task,
+                  std::uint64_t selector_addr, std::uint8_t value) {
+  machine.charge(task, machine.costs().gs_selector_flip);
+  (void)task.mem->write_force(selector_addr, {&value, 1});
+}
+
+}  // namespace
+
+Status SudMechanism::install(kern::Machine& machine, kern::Tid tid,
+                             std::shared_ptr<interpose::SyscallHandler> handler) {
+  kern::Task* task = machine.find_task(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "sud: no such task");
+  }
+
+  // Map the runtime page (selector + allowlisted sigreturn stub). A real
+  // deployment maps this from its preloaded library; RWX because it holds
+  // both the mutable selector and the executable stub.
+  auto page = task->mem->map(0, mem::kPageSize,
+                             mem::kProtRead | mem::kProtWrite | mem::kProtExec,
+                             /*fixed=*/false);
+  if (!page) return page.status();
+  Runtime runtime{page.value()};
+
+  {
+    isa::Assembler assembler;
+    assembler.mov(isa::Gpr::rax, kern::kSysRtSigreturn);
+    assembler.syscall_();
+    auto stub = assembler.finish();
+    if (!stub) return stub.status();
+    LZP_RETURN_IF_ERROR(
+        task->mem->write_force(runtime.stub_addr(), stub.value()));
+  }
+
+  // The SIGSYS handler, running as native code in the target.
+  const std::uint64_t handler_addr = machine.bind_host(
+      "sud.sigsys", [handler, runtime](kern::HostFrame& frame) {
+        kern::Task& task = frame.task;
+        if (task.signal_frames.empty()) {
+          frame.machine.kill_process(*task.process, 139,
+                                     "sud: SIGSYS with no frame");
+          return;
+        }
+        kern::SignalFrame& sigframe = task.signal_frames.back();
+        const kern::SigInfo info = sigframe.info;
+
+        // 1. Selector -> ALLOW so the interposer's own syscalls (and the
+        //    handler's pass-through) are not re-intercepted.
+        set_selector(frame.machine, task, task.sud.selector_addr,
+                     kern::kSudAllow);
+
+        // 2. Run the fully expressive interposer.
+        interpose::SyscallRequest req;
+        req.nr = info.syscall_nr;
+        for (std::size_t i = 0; i < 6; ++i) req.args[i] = info.syscall_args[i];
+        req.site = info.ip_after_syscall - 2;
+        interpose::InterposeContext ictx(
+            frame.machine, task, req,
+            [&frame](std::uint64_t nr, const std::array<std::uint64_t, 6>& args) {
+              return frame.syscall(nr, args);
+            });
+        const std::uint64_t result = handler->handle(ictx);
+
+        // 3. Write the result into the interrupted context (the application
+        //    resumes right after its syscall instruction with rax set).
+        sigframe.saved_context.set_reg(isa::Gpr::rax, result);
+
+        // 4. Selector -> BLOCK again, then sigreturn via the allowlisted
+        //    stub so the sigreturn syscall itself is exempt.
+        set_selector(frame.machine, task, task.sud.selector_addr,
+                     kern::kSudBlock);
+        frame.ctx.rip = runtime.stub_addr();
+      });
+
+  task->process->sigactions[kern::kSigsys] =
+      kern::SigAction{handler_addr, kern::kSaSiginfo, 0};
+
+  // Arm SUD: selector initially BLOCK; only the stub range is allowlisted.
+  std::uint8_t block = kern::kSudBlock;
+  LZP_RETURN_IF_ERROR(
+      task->mem->write_force(runtime.selector_addr(), {&block, 1}));
+  task->sud.enabled = true;
+  task->sud.selector_addr = runtime.selector_addr();
+  task->sud.allow_start = runtime.stub_addr();
+  task->sud.allow_len = 16;
+  return Status::ok();
+}
+
+Status SudMechanism::install_always_allow(kern::Machine& machine, kern::Tid tid) {
+  kern::Task* task = machine.find_task(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "sud: no such task");
+  }
+  auto page = task->mem->map(0, mem::kPageSize,
+                             mem::kProtRead | mem::kProtWrite, /*fixed=*/false);
+  if (!page) return page.status();
+  std::uint8_t allow = kern::kSudAllow;
+  LZP_RETURN_IF_ERROR(task->mem->write_force(page.value(), {&allow, 1}));
+  task->sud.enabled = true;
+  task->sud.selector_addr = page.value();
+  task->sud.allow_start = 0;
+  task->sud.allow_len = 0;
+  return Status::ok();
+}
+
+}  // namespace lzp::mechanisms

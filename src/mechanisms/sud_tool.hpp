@@ -1,0 +1,36 @@
+// Typical Syscall User Dispatch deployment (paper §II-A):
+//
+//   * SUD armed with a user-space selector byte, initially BLOCK,
+//   * every blocked syscall raises SIGSYS; the handler sets the selector to
+//     ALLOW, runs the interposer, writes the result into the saved context,
+//     resets the selector to BLOCK,
+//   * and sigreturns through a syscall instruction inside the allowlisted
+//     code range, so the sigreturn itself is never intercepted.
+//
+// Fully expressive and exhaustive, but every intercepted syscall pays signal
+// delivery + sigreturn: "Moderate" efficiency, ~20x on the microbenchmark.
+#pragma once
+
+#include "interpose/mechanism.hpp"
+
+namespace lzp::mechanisms {
+
+class SudMechanism final : public interpose::Mechanism {
+ public:
+  [[nodiscard]] std::string name() const override { return "sud"; }
+
+  Status install(kern::Machine& machine, kern::Tid tid,
+                 std::shared_ptr<interpose::SyscallHandler> handler) override;
+
+  [[nodiscard]] interpose::Characteristics characteristics() const override {
+    return {interpose::Level::kFull, /*exhaustive=*/true,
+            interpose::Level::kModerate};
+  }
+
+  // Arms SUD with the selector permanently at ALLOW: nothing is intercepted,
+  // but the kernel still checks on every syscall. This is the Table-II
+  // "baseline with SUD enabled" configuration.
+  static Status install_always_allow(kern::Machine& machine, kern::Tid tid);
+};
+
+}  // namespace lzp::mechanisms

@@ -1,0 +1,136 @@
+// Simulated virtual address space.
+//
+// Models the pieces of Linux virtual memory that syscall interposition by
+// binary rewriting depends on:
+//   * page-granular mappings with R/W/X permissions (lazypoline flips a code
+//     page to RW to rewrite a syscall instruction, then restores X),
+//   * mapping *at virtual address 0* (the zpoline trampoline), gated by an
+//     mmap_min_addr policy just like the real kernel,
+//   * fork-style deep copies and CLONE_VM-style sharing.
+//
+// All accesses are bounds- and permission-checked; a failed check returns a
+// MemFault that the kernel turns into the appropriate signal (SIGSEGV).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace lzp::mem {
+
+inline constexpr std::uint64_t kPageSize = 4096;
+inline constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+[[nodiscard]] constexpr std::uint64_t page_floor(std::uint64_t addr) noexcept {
+  return addr & ~kPageMask;
+}
+[[nodiscard]] constexpr std::uint64_t page_ceil(std::uint64_t addr) noexcept {
+  return (addr + kPageMask) & ~kPageMask;
+}
+
+// Page protection bits, mirroring PROT_READ/WRITE/EXEC.
+enum Prot : std::uint8_t {
+  kProtNone = 0,
+  kProtRead = 1 << 0,
+  kProtWrite = 1 << 1,
+  kProtExec = 1 << 2,
+};
+
+[[nodiscard]] std::string prot_to_string(std::uint8_t prot);
+
+// The kind of access being attempted, for fault reporting.
+enum class AccessKind : std::uint8_t { kRead, kWrite, kFetch };
+
+[[nodiscard]] constexpr std::string_view to_string(AccessKind kind) noexcept {
+  switch (kind) {
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kFetch: return "fetch";
+  }
+  return "?";
+}
+
+struct MemFault {
+  std::uint64_t address = 0;
+  AccessKind kind = AccessKind::kRead;
+  bool unmapped = false;  // true: no mapping at all; false: permission denied
+  [[nodiscard]] std::string to_string() const;
+};
+
+// A single mapped page: 4 KiB of backing bytes plus its protection.
+struct Page {
+  std::uint8_t prot = kProtNone;
+  std::vector<std::uint8_t> bytes;  // always kPageSize once allocated
+};
+
+// Statistics the tests and benches can assert on (e.g. lazypoline's rewrite
+// path must flip a page to RW exactly once per discovered syscall site).
+struct AddressSpaceStats {
+  std::uint64_t mmap_calls = 0;
+  std::uint64_t munmap_calls = 0;
+  std::uint64_t mprotect_calls = 0;
+  std::uint64_t faults = 0;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+
+  // Deep copy (fork). Sharing (CLONE_VM) is expressed by sharing the
+  // std::shared_ptr<AddressSpace> itself at the task layer.
+  [[nodiscard]] std::shared_ptr<AddressSpace> clone() const;
+
+  // --- mapping management -------------------------------------------------
+  //
+  // map(): reserve [addr, addr+length) (page-rounded). If `fixed` is false
+  // and the range is occupied, a free range at or above `addr` is chosen.
+  // Returns the chosen base address. Fails for fixed mappings that overlap
+  // existing ones (the simulator is stricter than MAP_FIXED to catch bugs).
+  Result<std::uint64_t> map(std::uint64_t addr, std::uint64_t length,
+                            std::uint8_t prot, bool fixed);
+  Status unmap(std::uint64_t addr, std::uint64_t length);
+  Status protect(std::uint64_t addr, std::uint64_t length, std::uint8_t prot);
+
+  [[nodiscard]] bool is_mapped(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::optional<std::uint8_t> prot_at(std::uint64_t addr) const noexcept;
+
+  // --- checked access -----------------------------------------------------
+  std::optional<MemFault> read(std::uint64_t addr,
+                               std::span<std::uint8_t> out) const noexcept;
+  std::optional<MemFault> write(std::uint64_t addr,
+                                std::span<const std::uint8_t> data) noexcept;
+  // Instruction fetch: requires kProtExec.
+  std::optional<MemFault> fetch(std::uint64_t addr,
+                                std::span<std::uint8_t> out) const noexcept;
+
+  // Convenience typed accessors (little-endian, like x86-64).
+  Result<std::uint64_t> read_u64(std::uint64_t addr) const;
+  Result<std::uint8_t> read_u8(std::uint64_t addr) const;
+  Status write_u64(std::uint64_t addr, std::uint64_t value);
+  Status write_u8(std::uint64_t addr, std::uint8_t value);
+
+  // --- privileged access (kernel / host runtime) --------------------------
+  // The kernel and host-side interposer runtime bypass protections, exactly
+  // like kernel copy_to_user after access_ok, or a debugger via ptrace.
+  Status read_force(std::uint64_t addr, std::span<std::uint8_t> out) const;
+  Status write_force(std::uint64_t addr, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const AddressSpaceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t mapped_page_count() const noexcept { return pages_.size(); }
+
+  // Lowest address considered for non-fixed placement.
+  static constexpr std::uint64_t kDefaultMapBase = 0x0000'7000'0000'0000ULL;
+
+ private:
+  // Keyed by page base address.
+  std::map<std::uint64_t, Page> pages_;
+  mutable AddressSpaceStats stats_;
+};
+
+}  // namespace lzp::mem

@@ -1,0 +1,64 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+
+#include "base/strings.hpp"
+
+namespace lzp::metrics {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      line += " " + pad_right(cells[i], widths[i]) + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (std::size_t width : widths) {
+    rule += std::string(width + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+Series::Series(std::string x_label, std::vector<std::string> series_names)
+    : table_([&] {
+        std::vector<std::string> headers{std::move(x_label)};
+        for (auto& name : series_names) headers.push_back(std::move(name));
+        return headers;
+      }()) {}
+
+void Series::add_point(std::string x, std::vector<double> values, int decimals) {
+  std::vector<std::string> cells{std::move(x)};
+  for (double value : values) cells.push_back(format_double(value, decimals));
+  table_.add_row(std::move(cells));
+}
+
+std::string Series::render() const { return table_.render(); }
+
+std::string ratio(double value, int decimals) {
+  return format_double(value, decimals) + "x";
+}
+
+std::string percent(double value, int decimals) {
+  return format_double(value, decimals) + "%";
+}
+
+}  // namespace lzp::metrics

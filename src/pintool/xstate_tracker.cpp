@@ -1,0 +1,114 @@
+#include "pintool/xstate_tracker.hpp"
+
+#include "base/strings.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::pintool {
+
+std::string Expectation::to_string() const {
+  std::string out{lzp::isa::to_string(cls)};
+  out += std::to_string(reg_index);
+  out += " live across ";
+  out += kern::syscall_name(syscall_nr);
+  out += ", read at ";
+  out += hex_u64(read_rip);
+  return out;
+}
+
+bool Report::any_xstate_expectation() const noexcept {
+  for (const Expectation& e : expectations) {
+    if (e.cls != isa::RegClass::kGpr) return true;
+  }
+  return false;
+}
+
+std::size_t Report::count_for(isa::RegClass cls) const noexcept {
+  std::size_t count = 0;
+  for (const Expectation& e : expectations) {
+    if (e.cls == cls) ++count;
+  }
+  return count;
+}
+
+bool XstateTracker::tracked(isa::RegClass cls, std::uint8_t index) noexcept {
+  if (cls != isa::RegClass::kGpr) return true;
+  // GPRs the syscall ABI explicitly clobbers are not preservation
+  // expectations: rax (result), rcx, r11 (SYSCALL microcode).
+  switch (static_cast<isa::Gpr>(index)) {
+    case isa::Gpr::rax:
+    case isa::Gpr::rcx:
+    case isa::Gpr::r11:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void XstateTracker::attach(kern::Machine& machine) {
+  machine.set_insn_observer(
+      [this](const kern::Task& task, const isa::Instruction& insn) {
+        on_insn(task, insn);
+      });
+  machine.set_syscall_observer(
+      [this](const kern::Task& task, std::uint64_t nr,
+             const std::array<std::uint64_t, 6>&,
+             kern::Machine::SyscallOrigin origin) {
+        // Only application-issued syscalls count; interposer-originated
+        // ones do not exist in the native runs this tool instruments.
+        if (origin == kern::Machine::SyscallOrigin::kSimCode) {
+          on_syscall(task, nr);
+        }
+      });
+}
+
+void XstateTracker::detach(kern::Machine& machine) {
+  machine.set_insn_observer(nullptr);
+  machine.set_syscall_observer(nullptr);
+}
+
+void XstateTracker::reset() {
+  tasks_.clear();
+  last_rip_.clear();
+  report_.expectations.clear();
+}
+
+void XstateTracker::on_insn(const kern::Task& task, const isa::Instruction& insn) {
+  TaskState& state = tasks_[task.tid];
+  last_rip_[task.tid] = task.ctx.rip;
+  const isa::RegEffects fx = isa::reg_effects(insn);
+
+  // Reads first: an instruction that reads and writes the same register
+  // (add r, imm) observes the pre-write value.
+  for (std::uint8_t i = 0; i < fx.num_reads; ++i) {
+    const isa::RegRef ref = fx.reads[i];
+    if (!tracked(ref.cls, ref.index)) continue;
+    RegState& reg = state.regs[static_cast<int>(ref.cls)][ref.index];
+    if (reg.written && reg.syscall_intervened && !reg.reported) {
+      reg.reported = true;
+      report_.expectations.push_back(Expectation{
+          ref.cls, ref.index, reg.syscall_nr, task.ctx.rip, task.tid});
+    }
+  }
+  for (std::uint8_t i = 0; i < fx.num_writes; ++i) {
+    const isa::RegRef ref = fx.writes[i];
+    if (!tracked(ref.cls, ref.index)) continue;
+    RegState& reg = state.regs[static_cast<int>(ref.cls)][ref.index];
+    reg.written = true;
+    reg.syscall_intervened = false;
+    reg.reported = false;
+  }
+}
+
+void XstateTracker::on_syscall(const kern::Task& task, std::uint64_t nr) {
+  TaskState& state = tasks_[task.tid];
+  for (auto& cls : state.regs) {
+    for (RegState& reg : cls) {
+      if (reg.written && !reg.syscall_intervened) {
+        reg.syscall_intervened = true;
+        reg.syscall_nr = nr;
+      }
+    }
+  }
+}
+
+}  // namespace lzp::pintool

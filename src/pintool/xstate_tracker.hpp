@@ -1,0 +1,75 @@
+// Dynamic binary instrumentation analogue of the paper's Intel Pin tool
+// (§IV-B): "tracks at run time whether a syscall is executed between a
+// consecutive write to and read from the same register. This indicates that
+// the application expected the register contents to remain preserved across
+// the syscall."
+//
+// Attached to a Machine, it observes every retired instruction's
+// architectural register reads/writes plus every syscall dispatch, and
+// reports, per register class, the sites where the application relies on
+// cross-syscall preservation. Like Pin, this is a dynamic analysis: it can
+// only underestimate (unexecuted paths are invisible).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/insn.hpp"
+#include "kernel/machine.hpp"
+
+namespace lzp::pintool {
+
+struct Expectation {
+  isa::RegClass cls = isa::RegClass::kGpr;
+  std::uint8_t reg_index = 0;
+  std::uint64_t syscall_nr = 0;   // the intervening syscall
+  std::uint64_t read_rip = 0;     // the instruction that performed the read
+  kern::Tid tid = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const Expectation&, const Expectation&) = default;
+};
+
+struct Report {
+  std::vector<Expectation> expectations;
+
+  // The Table-III question: does the program expect any *extended* state
+  // component (xmm/ymm/x87) to be preserved across at least one syscall?
+  [[nodiscard]] bool any_xstate_expectation() const noexcept;
+  [[nodiscard]] std::size_t count_for(isa::RegClass cls) const noexcept;
+};
+
+class XstateTracker {
+ public:
+  // Replaces the machine's instruction & syscall observers. Only one
+  // tracker can be attached to a machine at a time.
+  void attach(kern::Machine& machine);
+  void detach(kern::Machine& machine);
+
+  [[nodiscard]] const Report& report() const noexcept { return report_; }
+  void reset();
+
+ private:
+  struct RegState {
+    bool written = false;          // a write happened...
+    bool syscall_intervened = false;  // ...and a syscall followed it
+    std::uint64_t syscall_nr = 0;
+    bool reported = false;         // dedupe: first read only
+  };
+  struct TaskState {
+    // [class][index]
+    RegState regs[4][16];
+  };
+
+  void on_insn(const kern::Task& task, const isa::Instruction& insn);
+  void on_syscall(const kern::Task& task, std::uint64_t nr);
+
+  static bool tracked(isa::RegClass cls, std::uint8_t index) noexcept;
+
+  std::map<kern::Tid, TaskState> tasks_;
+  std::map<kern::Tid, std::uint64_t> last_rip_;
+  Report report_;
+};
+
+}  // namespace lzp::pintool

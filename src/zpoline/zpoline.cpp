@@ -1,0 +1,132 @@
+#include "zpoline/zpoline.hpp"
+
+#include "isa/decode.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::zpoline {
+namespace {
+
+// Child-context fixup after a clone/fork performed from inside the
+// interposer entry: the child must resume in *application* code right after
+// the rewritten call site, on the right stack, with rax = 0. (In the real
+// implementation the child simply executes the trampoline's return path;
+// our host-bound entry performs the equivalent explicitly.)
+void fixup_clone_child(kern::Machine& machine, kern::Task& parent,
+                       cpu::CpuContext& parent_ctx, std::uint64_t child_tid,
+                       std::uint64_t clone_stack) {
+  kern::Task* child = machine.find_task_any(static_cast<kern::Tid>(child_tid));
+  if (child == nullptr) return;
+  auto ret_addr = parent.mem->read_u64(parent_ctx.rsp());
+  if (!ret_addr) return;
+  child->ctx.rip = ret_addr.value();
+  child->ctx.set_rsp(clone_stack != 0 ? clone_stack : parent_ctx.rsp() + 8);
+  child->ctx.set_reg(isa::Gpr::rax, 0);
+}
+
+}  // namespace
+
+Status ZpolineMechanism::install_trampoline(kern::Machine& machine,
+                                            kern::Task& task,
+                                            std::uint64_t entry_host_addr) {
+  if (machine.mmap_min_addr != 0) {
+    return make_error(
+        StatusCode::kPermissionDenied,
+        "zpoline trampoline needs VA 0: set vm.mmap_min_addr = 0");
+  }
+  const std::uint64_t length = mem::page_ceil(kSledSize + 8);
+  auto page = task.mem->map(0, length, mem::kProtRead | mem::kProtWrite,
+                            /*fixed=*/true);
+  if (!page) return page.status();
+
+  // One-byte nops for every syscall number, then the jump into native code.
+  std::vector<std::uint8_t> sled(kSledSize, isa::kByteNop);
+  isa::Assembler assembler;
+  assembler.hostcall(kern::Machine::host_index(entry_host_addr));
+  auto tail = assembler.finish();
+  if (!tail) return tail.status();
+  sled.insert(sled.end(), tail.value().begin(), tail.value().end());
+  LZP_RETURN_IF_ERROR(task.mem->write_force(0, sled));
+
+  // W^X: the trampoline becomes execute-only-plus-read once written.
+  return task.mem->protect(0, length, mem::kProtRead | mem::kProtExec);
+}
+
+Status ZpolineMechanism::rewrite_site(kern::Machine& machine, kern::Task& task,
+                                      std::uint64_t site_addr) {
+  // The rewrite itself is performed by in-process runtime code: flip the
+  // page writable, patch 2 bytes, flip it back. Charge what those mprotect
+  // syscalls and the write cost in reality.
+  const std::uint64_t page = mem::page_floor(site_addr);
+  const std::uint64_t span =
+      mem::page_floor(site_addr + 1) == page ? mem::kPageSize : 2 * mem::kPageSize;
+  auto old_prot = task.mem->prot_at(site_addr);
+  if (!old_prot.has_value()) {
+    return make_error(StatusCode::kNotFound, "rewrite: unmapped site");
+  }
+  machine.charge(task, 2 * machine.costs().raw_nosys_roundtrip() +
+                           2 * machine.costs().mmap_page);
+  LZP_RETURN_IF_ERROR(
+      task.mem->protect(page, span, mem::kProtRead | mem::kProtWrite));
+  const std::uint8_t call_rax[2] = {isa::kByteFF, isa::kByteCallRax2};
+  LZP_RETURN_IF_ERROR(task.mem->write_force(site_addr, call_rax));
+  return task.mem->protect(page, span, *old_prot);
+}
+
+Status ZpolineMechanism::install(kern::Machine& machine, kern::Tid tid,
+                                 std::shared_ptr<interpose::SyscallHandler> handler) {
+  kern::Task* task = machine.find_task(tid);
+  if (task == nullptr) {
+    return make_error(StatusCode::kNotFound, "zpoline: no such task");
+  }
+  const isa::Program* program =
+      machine.find_program(task->process->program_name);
+  if (program == nullptr) {
+    return make_error(StatusCode::kNotFound,
+                      "zpoline: program image not registered for scanning");
+  }
+
+  // Native interposer entry: reached from the sled tail with the syscall
+  // number in rax and the return address (site + 2) on the stack.
+  const std::uint64_t entry = machine.bind_host(
+      "zpoline.entry", [handler](kern::HostFrame& frame) {
+        frame.charge(frame.machine.costs().trampoline_glue);
+        interpose::SyscallRequest req;
+        req.nr = frame.ctx.syscall_number();
+        for (std::size_t i = 0; i < 6; ++i) req.args[i] = frame.ctx.syscall_arg(i);
+        auto site = frame.task.mem->read_u64(frame.ctx.rsp());
+        if (site) req.site = site.value() - 2;
+
+        interpose::InterposeContext ictx(
+            frame.machine, frame.task, req,
+            [&frame](std::uint64_t nr, const std::array<std::uint64_t, 6>& args) {
+              const std::uint64_t result = frame.syscall(nr, args);
+              if ((nr == kern::kSysClone || nr == kern::kSysFork ||
+                   nr == kern::kSysVfork) &&
+                  !kern::is_error_result(result)) {
+                fixup_clone_child(frame.machine, frame.task, frame.ctx, result,
+                                  nr == kern::kSysClone ? args[1] : 0);
+              }
+              return result;
+            });
+        const std::uint64_t result = handler->handle(ictx);
+        // zpoline preserves general-purpose registers only: extended state
+        // is deliberately NOT saved/restored (paper §IV-B) — any xstate use
+        // by the handler leaks into the application.
+        frame.ctx.set_syscall_result(result);
+        frame.ret();
+      });
+
+  LZP_RETURN_IF_ERROR(install_trampoline(machine, *task, entry));
+
+  // Static scan of the (load-time) text image, then rewrite what was found.
+  const disasm::ScanResult scan_result =
+      disasm::scan(program->image, program->base, options_.scan_strategy);
+  stats_.scan_decode_errors = scan_result.decode_errors;
+  for (std::uint64_t site : scan_result.syscall_sites) {
+    LZP_RETURN_IF_ERROR(rewrite_site(machine, *task, site));
+    ++stats_.sites_rewritten;
+  }
+  return Status::ok();
+}
+
+}  // namespace lzp::zpoline

@@ -1,0 +1,71 @@
+// zpoline (Yasukata et al., ATC'23): syscall interposition by static binary
+// rewriting, reimplemented as the paper's fast-path baseline (§II-B).
+//
+// At load time it (1) maps a trampoline at virtual address 0 — a one-byte-nop
+// sled covering every syscall number, falling through into the interposer's
+// native entry code — and (2) statically scans the text segment for syscall
+// instructions, rewriting each 2-byte SYSCALL into the 2-byte CALL RAX.
+// Because rax holds the syscall number (< 512) at every real call site, the
+// call lands inside the sled and slides into the handler; the return address
+// pushed by CALL brings execution back to just after the rewritten site.
+//
+// By construction it *cannot fail to rewrite* a site it knows about — but it
+// only knows what static scanning finds: code loaded or JIT-generated later,
+// or code hidden from the disassembler, escapes interposition entirely
+// (the exhaustiveness gap lazypoline closes).
+#pragma once
+
+#include <memory>
+
+#include "disasm/scanner.hpp"
+#include "interpose/mechanism.hpp"
+
+namespace lzp::zpoline {
+
+struct ZpolineOptions {
+  disasm::Strategy scan_strategy = disasm::Strategy::kLinearSweep;
+};
+
+struct ZpolineStats {
+  std::size_t sites_rewritten = 0;
+  std::size_t scan_decode_errors = 0;
+};
+
+class ZpolineMechanism final : public interpose::Mechanism {
+ public:
+  explicit ZpolineMechanism(ZpolineOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "zpoline"; }
+
+  // Requires machine.mmap_min_addr == 0 (the trampoline must own VA 0) and
+  // the task's program to be registered with the machine (the "binary" the
+  // static scan reads).
+  Status install(kern::Machine& machine, kern::Tid tid,
+                 std::shared_ptr<interpose::SyscallHandler> handler) override;
+
+  [[nodiscard]] interpose::Characteristics characteristics() const override {
+    return {interpose::Level::kFull, /*exhaustive=*/false,
+            interpose::Level::kHigh};
+  }
+
+  [[nodiscard]] const ZpolineStats& stats() const noexcept { return stats_; }
+
+  // Size of the nop sled: one slot per possible syscall number.
+  static constexpr std::uint64_t kSledSize = kern::kMaxSyscallNumber + 1;
+
+  // Rewrites one verified syscall site to CALL RAX, flipping the page to
+  // writable and back. Shared with lazypoline, whose slow path performs the
+  // same rewrite lazily on kernel-verified sites.
+  static Status rewrite_site(kern::Machine& machine, kern::Task& task,
+                             std::uint64_t site_addr);
+
+  // Maps and fills the trampoline page at VA 0; returns OK or why not.
+  static Status install_trampoline(kern::Machine& machine, kern::Task& task,
+                                   std::uint64_t entry_host_addr);
+
+ private:
+  ZpolineOptions options_;
+  ZpolineStats stats_;
+};
+
+}  // namespace lzp::zpoline

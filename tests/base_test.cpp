@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "base/log.hpp"
+#include "base/rng.hpp"
+#include "base/stats.hpp"
+#include "base/status.hpp"
+#include "base/strings.hpp"
+
+namespace lzp {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = make_error(StatusCode::kNotFound, "missing thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.to_string(), "not-found: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kInternal); ++code) {
+    EXPECT_NE(to_string(static_cast<StatusCode>(code)), "unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = make_error(StatusCode::kInvalidArgument, "bad");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return make_error(StatusCode::kInternal, "boom"); };
+  auto wrapper = [&]() -> Status {
+    LZP_RETURN_IF_ERROR(fails());
+    return Status::ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowIsBounded) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Xoshiro256 rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.next_gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, ReseedResetsStream) {
+  Xoshiro256 rng(5);
+  const std::uint64_t first = rng.next();
+  rng.next();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next(), first);
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(StatsTest, MeanAndStddev) {
+  const double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(samples), 5.0);
+  EXPECT_NEAR(stddev(samples), 2.138, 0.001);
+  EXPECT_NEAR(stddev_pct(samples), 42.76, 0.01);
+}
+
+TEST(StatsTest, Geomean) {
+  const double samples[] = {1.0, 10.0, 100.0};
+  EXPECT_NEAR(geomean(samples), 10.0, 1e-9);
+  const double with_zero[] = {0.0, 5.0};
+  EXPECT_EQ(geomean(with_zero), 0.0);
+}
+
+TEST(StatsTest, EmptyInputs) {
+  std::span<const double> empty;
+  EXPECT_EQ(mean(empty), 0.0);
+  EXPECT_EQ(geomean(empty), 0.0);
+  EXPECT_EQ(stddev(empty), 0.0);
+  EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, MinMax) {
+  const double samples[] = {3.0, -1.0, 7.5};
+  EXPECT_DOUBLE_EQ(min_of(samples), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(samples), 7.5);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  const double samples[] = {1.5, 2.5, 3.5, 10.0, -4.0};
+  RunningStats running;
+  for (double s : samples) running.add(s);
+  EXPECT_EQ(running.count(), 5u);
+  EXPECT_NEAR(running.mean(), mean(samples), 1e-12);
+  EXPECT_NEAR(running.stddev(), stddev(samples), 1e-12);
+}
+
+// --- strings --------------------------------------------------------------------
+
+TEST(StringsTest, HexFormatting) {
+  EXPECT_EQ(hex_u64(0), "0x0");
+  EXPECT_EQ(hex_u64(0xDEADBEEF), "0xdeadbeef");
+  EXPECT_EQ(hex_byte(0x0F), "0f");
+  const std::uint8_t bytes[] = {0x0F, 0x05};
+  EXPECT_EQ(hex_dump(bytes), "0f 05");
+}
+
+TEST(StringsTest, HumanSize) {
+  EXPECT_EQ(human_size(512), "512B");
+  EXPECT_EQ(human_size(1024), "1K");
+  EXPECT_EQ(human_size(64 * 1024), "64K");
+  EXPECT_EQ(human_size(2 * 1024 * 1024), "2M");
+  EXPECT_EQ(human_size(1536), "1536B");  // non-integral KiB stays in bytes
+}
+
+TEST(StringsTest, SplitJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "-"), "a-b--c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(StringsTest, Padding) {
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("long", 2), "long");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("/etc/passwd", "/etc"));
+  EXPECT_FALSE(starts_with("/etc", "/etc/passwd"));
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(format_double(2.375, 2), "2.38");
+  EXPECT_EQ(format_double(20.8, 1), "20.8");
+}
+
+// --- log -------------------------------------------------------------------------
+
+TEST(LogTest, SinkReceivesMessagesAtOrAboveLevel) {
+  std::vector<std::string> captured;
+  set_log_sink([&](LogLevel level, std::string_view message) {
+    captured.push_back(std::string(to_string(level)) + ":" + std::string(message));
+  });
+  set_log_level(LogLevel::kInfo);
+  LZP_LOG_DEBUG << "hidden";
+  LZP_LOG_INFO << "visible " << 42;
+  LZP_LOG_ERROR << "bad";
+  set_log_sink(nullptr);
+  set_log_level(LogLevel::kWarn);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "INFO:visible 42");
+  EXPECT_EQ(captured[1], "ERROR:bad");
+}
+
+}  // namespace
+}  // namespace lzp

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "bpf/bpf.hpp"
+#include "bpf/seccomp_filter.hpp"
+
+namespace lzp::bpf {
+namespace {
+
+std::uint32_t run_on(const std::vector<Insn>& program, const SeccompData& data) {
+  const auto bytes = data.serialize();
+  EXPECT_TRUE(validate(program, bytes.size()).is_ok());
+  auto result = run(program, bytes);
+  EXPECT_TRUE(result.is_ok()) << (result.is_ok() ? "" : result.status().to_string());
+  return result.is_ok() ? result.value().value : 0xFFFFFFFF;
+}
+
+TEST(BpfValidateTest, EmptyProgramRejected) {
+  EXPECT_FALSE(validate({}, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfValidateTest, MustEndInRet) {
+  std::vector<Insn> program{stmt(BPF_LD | BPF_W | BPF_ABS, 0)};
+  EXPECT_FALSE(validate(program, SeccompData::kSize).is_ok());
+  program.push_back(stmt(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
+  EXPECT_TRUE(validate(program, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfValidateTest, RejectsOutOfBoundsLoad) {
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kSize),  // one past the end
+      stmt(BPF_RET | BPF_K, 0)};
+  EXPECT_FALSE(validate(program, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfValidateTest, RejectsUnalignedLoad) {
+  std::vector<Insn> program{stmt(BPF_LD | BPF_W | BPF_ABS, 2),
+                            stmt(BPF_RET | BPF_K, 0)};
+  EXPECT_FALSE(validate(program, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfValidateTest, RejectsJumpPastEnd) {
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_W | BPF_ABS, 0),
+      jump(BPF_JMP | BPF_JEQ | BPF_K, 1, 5, 0),  // jt lands past the end
+      stmt(BPF_RET | BPF_K, 0)};
+  EXPECT_FALSE(validate(program, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfValidateTest, RejectsDivByConstantZero) {
+  std::vector<Insn> program{stmt(BPF_ALU | BPF_DIV | BPF_K, 0),
+                            stmt(BPF_RET | BPF_K, 0)};
+  EXPECT_FALSE(validate(program, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfValidateTest, RejectsBadScratchSlot) {
+  std::vector<Insn> program{stmt(BPF_ST, kScratchSlots),
+                            stmt(BPF_RET | BPF_K, 0)};
+  EXPECT_FALSE(validate(program, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfValidateTest, RejectsOverlongProgram) {
+  std::vector<Insn> program(kMaxProgramLength + 1, stmt(BPF_RET | BPF_K, 0));
+  EXPECT_FALSE(validate(program, SeccompData::kSize).is_ok());
+}
+
+TEST(BpfRunTest, RetConstant) {
+  std::vector<Insn> program{stmt(BPF_RET | BPF_K, 0x1234)};
+  SeccompData data;
+  EXPECT_EQ(run_on(program, data), 0x1234u);
+}
+
+TEST(BpfRunTest, LoadsSyscallNumber) {
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr),
+      jump(BPF_JMP | BPF_JEQ | BPF_K, 39, 0, 1),
+      stmt(BPF_RET | BPF_K, 1),
+      stmt(BPF_RET | BPF_K, 2)};
+  SeccompData data;
+  data.nr = 39;
+  EXPECT_EQ(run_on(program, data), 1u);
+  data.nr = 40;
+  EXPECT_EQ(run_on(program, data), 2u);
+}
+
+TEST(BpfRunTest, AluOperations) {
+  // A = ((nr + 3) * 2 - 4) ^ 1, via X and scratch memory.
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr),
+      stmt(BPF_ALU | BPF_ADD | BPF_K, 3),
+      stmt(BPF_ALU | BPF_MUL | BPF_K, 2),
+      stmt(BPF_ALU | BPF_SUB | BPF_K, 4),
+      stmt(BPF_ALU | BPF_XOR | BPF_K, 1),
+      stmt(BPF_ST, 0),                      // scratch[0] = A
+      stmt(BPF_LD | BPF_IMM, 0),
+      stmt(BPF_LD | BPF_MEM, 0),            // A = scratch[0]
+      stmt(BPF_RET | BPF_A, 0)};
+  SeccompData data;
+  data.nr = 10;
+  EXPECT_EQ(run_on(program, data), ((10u + 3) * 2 - 4) ^ 1);
+}
+
+TEST(BpfRunTest, ShiftsAndDivision) {
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr),
+      stmt(BPF_ALU | BPF_LSH | BPF_K, 4),
+      stmt(BPF_ALU | BPF_RSH | BPF_K, 2),
+      stmt(BPF_ALU | BPF_DIV | BPF_K, 3),
+      stmt(BPF_RET | BPF_A, 0)};
+  SeccompData data;
+  data.nr = 9;
+  EXPECT_EQ(run_on(program, data), (9u << 4 >> 2) / 3);
+}
+
+TEST(BpfRunTest, TaxTxa) {
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_IMM, 7),
+      stmt(BPF_MISC | BPF_TAX, 0),
+      stmt(BPF_LD | BPF_IMM, 0),
+      stmt(BPF_MISC | BPF_TXA, 0),
+      stmt(BPF_RET | BPF_A, 0)};
+  EXPECT_EQ(run_on(program, SeccompData{}), 7u);
+}
+
+TEST(BpfRunTest, JumpAlways) {
+  std::vector<Insn> program{
+      jump(BPF_JMP | BPF_JA, 1, 0, 0),
+      stmt(BPF_RET | BPF_K, 111),  // skipped
+      stmt(BPF_RET | BPF_K, 222)};
+  EXPECT_EQ(run_on(program, SeccompData{}), 222u);
+}
+
+TEST(BpfRunTest, JsetAndJge) {
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr),
+      jump(BPF_JMP | BPF_JSET | BPF_K, 0x8, 0, 1),
+      stmt(BPF_RET | BPF_K, 1),
+      jump(BPF_JMP | BPF_JGE | BPF_K, 100, 0, 1),
+      stmt(BPF_RET | BPF_K, 2),
+      stmt(BPF_RET | BPF_K, 3)};
+  SeccompData data;
+  data.nr = 9;  // bit 3 set
+  EXPECT_EQ(run_on(program, data), 1u);
+  data.nr = 208;  // bit 3 clear, >= 100
+  EXPECT_EQ(run_on(program, data), 2u);
+  data.nr = 2;
+  EXPECT_EQ(run_on(program, data), 3u);
+}
+
+TEST(BpfRunTest, InsnCountIsReported) {
+  std::vector<Insn> program{
+      stmt(BPF_LD | BPF_IMM, 1),
+      stmt(BPF_ALU | BPF_ADD | BPF_K, 1),
+      stmt(BPF_RET | BPF_A, 0)};
+  SeccompData data;
+  auto bytes = data.serialize();
+  auto result = run(program, bytes);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().insns_executed, 3u);
+}
+
+// --- seccomp filter builders --------------------------------------------------
+
+TEST(SeccompFilterTest, SerializeLayout) {
+  SeccompData data;
+  data.nr = 0x11223344;
+  data.arch = kAuditArchX86_64;
+  data.instruction_pointer = 0xAABBCCDDEEFF0011ULL;
+  data.args[5] = 42;
+  const auto bytes = data.serialize();
+  ASSERT_EQ(bytes.size(), SeccompData::kSize);
+  EXPECT_EQ(bytes[0], 0x44);
+  EXPECT_EQ(bytes[SeccompData::kOffIpLow], 0x11);
+  EXPECT_EQ(bytes[SeccompData::off_arg_low(5)], 42);
+}
+
+TEST(SeccompFilterTest, TrapSyscallsFilter) {
+  const std::uint32_t trapped[] = {39, 57};
+  auto program = SeccompFilterBuilder::trap_syscalls(trapped, SECCOMP_RET_TRAP);
+  SeccompData data;
+  data.nr = 39;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_TRAP);
+  data.nr = 57;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_TRAP);
+  data.nr = 1;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
+}
+
+TEST(SeccompFilterTest, AllowlistFilter) {
+  const std::uint32_t allowed[] = {0, 1, 60};
+  auto program = SeccompFilterBuilder::allowlist(
+      allowed, SECCOMP_RET_ERRNO | 1);
+  SeccompData data;
+  data.nr = 1;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
+  data.nr = 2;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ERRNO | 1);
+}
+
+TEST(SeccompFilterTest, IpRangeFilter) {
+  const std::uint64_t start = 0x7000'1000;
+  auto program = SeccompFilterBuilder::trap_unless_ip_in_range(
+      start, 16, SECCOMP_RET_TRAP);
+  SeccompData data;
+  data.instruction_pointer = start;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
+  data.instruction_pointer = start + 15;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
+  data.instruction_pointer = start + 16;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_TRAP);
+  data.instruction_pointer = start - 1;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_TRAP);
+  data.instruction_pointer = 0xFFFF'0000'7000'1000ULL;  // high word differs
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_TRAP);
+}
+
+TEST(SeccompFilterTest, ReturnConstant) {
+  auto program = SeccompFilterBuilder::return_constant(SECCOMP_RET_USER_NOTIF);
+  EXPECT_EQ(run_on(program, SeccompData{}), SECCOMP_RET_USER_NOTIF);
+}
+
+TEST(BpfDisassembleTest, ProducesOneLinePerInsn) {
+  auto program = SeccompFilterBuilder::return_constant(SECCOMP_RET_ALLOW);
+  const std::string text = disassemble(program);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lzp::bpf

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "cpu/execute.hpp"
+#include "isa/assemble.hpp"
+
+namespace lzp::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::Gpr;
+
+constexpr std::uint64_t kCodeBase = 0x40'0000;
+constexpr std::uint64_t kStackBase = 0x80'0000;
+constexpr std::uint64_t kDataBase = 0x60'0000;
+
+struct Fixture {
+  mem::AddressSpace as;
+  CpuContext ctx;
+
+  explicit Fixture(Assembler& assembler,
+                   std::uint8_t code_prot = mem::kProtRead | mem::kProtExec) {
+    auto code = assembler.finish().value();
+    EXPECT_TRUE(as.map(kCodeBase, code.size(), code_prot, true).is_ok());
+    EXPECT_TRUE(as.write_force(kCodeBase, code).is_ok());
+    EXPECT_TRUE(
+        as.map(kStackBase, 4096, mem::kProtRead | mem::kProtWrite, true).is_ok());
+    EXPECT_TRUE(
+        as.map(kDataBase, 4096, mem::kProtRead | mem::kProtWrite, true).is_ok());
+    ctx.rip = kCodeBase;
+    ctx.set_rsp(kStackBase + 4096 - 64);
+  }
+
+  // Steps until a non-continue outcome or `max` instructions.
+  ExecResult run(std::size_t max = 1000) {
+    ExecResult last;
+    for (std::size_t i = 0; i < max; ++i) {
+      last = step(ctx, as);
+      if (last.kind != ExecKind::kContinue) return last;
+    }
+    return last;
+  }
+};
+
+TEST(CpuTest, MovAndArithmetic) {
+  Assembler a;
+  a.mov(Gpr::rax, 10);
+  a.mov(Gpr::rbx, 3);
+  a.add(Gpr::rax, Gpr::rbx);   // 13
+  a.sub(Gpr::rax, 1);          // 12
+  a.mul(Gpr::rax, Gpr::rbx);   // 36
+  a.hlt();
+  Fixture f(a);
+  EXPECT_EQ(f.run().kind, ExecKind::kHlt);
+  EXPECT_EQ(f.ctx.reg(Gpr::rax), 36u);
+}
+
+TEST(CpuTest, PushPopCallRet) {
+  Assembler a;
+  auto fn = a.new_label();
+  a.mov(Gpr::rcx, 5);
+  a.call(fn);
+  a.hlt();
+  a.bind(fn);
+  a.push(Gpr::rcx);
+  a.mov(Gpr::rcx, 99);
+  a.pop(Gpr::rcx);
+  a.ret();
+  Fixture f(a);
+  EXPECT_EQ(f.run().kind, ExecKind::kHlt);
+  EXPECT_EQ(f.ctx.reg(Gpr::rcx), 5u);
+}
+
+TEST(CpuTest, ConditionalBranches) {
+  Assembler a;
+  auto less = a.new_label();
+  auto end = a.new_label();
+  a.mov(Gpr::rax, 2);
+  a.cmp(Gpr::rax, 5);
+  a.jlt(less);
+  a.mov(Gpr::rbx, 0);
+  a.jmp(end);
+  a.bind(less);
+  a.mov(Gpr::rbx, 1);
+  a.bind(end);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rbx), 1u);
+}
+
+TEST(CpuTest, FlagsSignedComparison) {
+  Assembler a;
+  a.mov(Gpr::rax, static_cast<std::uint64_t>(-3));
+  a.cmp(Gpr::rax, 2);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_TRUE(f.ctx.flags.lt);
+  EXPECT_FALSE(f.ctx.flags.zf);
+  EXPECT_FALSE(f.ctx.flags.gt);
+}
+
+TEST(CpuTest, LoadStoreMemory) {
+  Assembler a;
+  a.mov(Gpr::rbx, kDataBase);
+  a.mov(Gpr::rcx, 0x5555);
+  a.store(Gpr::rbx, 16, Gpr::rcx);
+  a.load(Gpr::rdx, Gpr::rbx, 16);
+  a.mov(Gpr::rcx, 0xAB);
+  a.store8(Gpr::rbx, 100, Gpr::rcx);
+  a.load8(Gpr::rsi, Gpr::rbx, 100);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rdx), 0x5555u);
+  EXPECT_EQ(f.ctx.reg(Gpr::rsi), 0xABu);
+}
+
+TEST(CpuTest, GsRelativeAccess) {
+  Assembler a;
+  a.mov(Gpr::rax, kDataBase);
+  a.wrgs(Gpr::rax);
+  a.mov(Gpr::rbx, 0x77);
+  a.store_gs8(5, Gpr::rbx);
+  a.load_gs8(Gpr::rcx, 5);
+  a.rdgs(Gpr::rdx);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rcx), 0x77u);
+  EXPECT_EQ(f.ctx.reg(Gpr::rdx), kDataBase);
+  EXPECT_EQ(f.as.read_u8(kDataBase + 5).value(), 0x77);
+}
+
+TEST(CpuTest, SyscallStopsWithAdvancedRip) {
+  Assembler a;
+  a.mov(Gpr::rax, 39);
+  a.syscall_();
+  a.hlt();
+  Fixture f(a);
+  const ExecResult result = f.run();
+  EXPECT_EQ(result.kind, ExecKind::kSyscall);
+  // rip points past the 2-byte SYSCALL; the site is rip - 2.
+  EXPECT_EQ(f.ctx.rip, kCodeBase + 10 + 2);
+  EXPECT_EQ(result.insn_addr, kCodeBase + 10);
+  EXPECT_EQ(f.ctx.syscall_number(), 39u);
+}
+
+TEST(CpuTest, CallRaxPushesReturnAddressAndJumps) {
+  Assembler a;
+  a.mov(Gpr::rax, kCodeBase + 100);
+  a.call_rax();
+  Fixture f(a);
+  step(f.ctx, f.as);  // mov
+  const std::uint64_t rsp_before = f.ctx.rsp();
+  step(f.ctx, f.as);  // call rax
+  EXPECT_EQ(f.ctx.rip, kCodeBase + 100);
+  EXPECT_EQ(f.ctx.rsp(), rsp_before - 8);
+  EXPECT_EQ(f.as.read_u64(f.ctx.rsp()).value(), kCodeBase + 12);
+}
+
+TEST(CpuTest, XstateOperations) {
+  Assembler a;
+  a.mov(Gpr::r12, 0xABCD);
+  a.xmov_from_gpr(0, Gpr::r12);        // both lanes = 0xABCD
+  a.xmov_to_gpr(Gpr::rbx, 0);
+  a.mov(Gpr::rsi, kDataBase);
+  a.xstore(Gpr::rsi, 0, 0);            // 16-byte store
+  a.xzero(0);
+  a.xload(1, Gpr::rsi, 0);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rbx), 0xABCDu);
+  EXPECT_EQ(f.ctx.xstate.xmm[0][0], 0u);
+  EXPECT_EQ(f.ctx.xstate.xmm[1][0], 0xABCDu);
+  EXPECT_EQ(f.ctx.xstate.xmm[1][1], 0xABCDu);
+  EXPECT_EQ(f.as.read_u64(kDataBase).value(), 0xABCDu);
+  EXPECT_EQ(f.as.read_u64(kDataBase + 8).value(), 0xABCDu);
+}
+
+TEST(CpuTest, AvxUpperLanes) {
+  Assembler a;
+  a.mov(Gpr::rax, 0x42);
+  a.ymov_hi(3, Gpr::rax);
+  a.ymov_rd_hi(Gpr::rbx, 3);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rbx), 0x42u);
+  EXPECT_EQ(f.ctx.xstate.ymm_hi[3][1], 0x42u);
+}
+
+TEST(CpuTest, X87StackArithmetic) {
+  Assembler a;
+  // 2.0 + 0.5 = 2.5
+  a.fld(0x4000000000000000ULL);  // 2.0
+  a.fld(0x3FE0000000000000ULL);  // 0.5
+  a.faddp();
+  a.fstp(Gpr::rax);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rax), 0x4004000000000000ULL);  // 2.5
+  EXPECT_EQ(f.ctx.xstate.x87_depth, 0);
+}
+
+TEST(CpuTest, FetchFaultOnNonExecutable) {
+  Assembler a;
+  a.nop();
+  Fixture f(a, mem::kProtRead);  // not executable
+  const ExecResult result = f.run();
+  EXPECT_EQ(result.kind, ExecKind::kMemFault);
+  EXPECT_EQ(result.fault.kind, mem::AccessKind::kFetch);
+}
+
+TEST(CpuTest, MemFaultLeavesRipAtFaultingInsn) {
+  Assembler a;
+  a.mov(Gpr::rbx, 0xDEAD'0000);
+  a.load(Gpr::rax, Gpr::rbx, 0);
+  Fixture f(a);
+  const ExecResult result = f.run();
+  EXPECT_EQ(result.kind, ExecKind::kMemFault);
+  EXPECT_TRUE(result.fault.unmapped);
+  EXPECT_EQ(f.ctx.rip, kCodeBase + 10);  // the faulting load itself
+}
+
+TEST(CpuTest, InvalidOpcode) {
+  Assembler a;
+  a.db({0xEE, 0xEE});
+  Fixture f(a);
+  EXPECT_EQ(f.run().kind, ExecKind::kInvalidOpcode);
+}
+
+TEST(CpuTest, TrapInstruction) {
+  Assembler a;
+  a.trap();
+  Fixture f(a);
+  EXPECT_EQ(f.run().kind, ExecKind::kTrap);
+}
+
+TEST(CpuTest, HostCallReportsIndex) {
+  Assembler a;
+  a.hostcall(17);
+  Fixture f(a);
+  const ExecResult result = f.run();
+  EXPECT_EQ(result.kind, ExecKind::kHostCall);
+  ASSERT_TRUE(result.insn.has_value());
+  EXPECT_EQ(result.insn->imm, 17);
+  EXPECT_EQ(f.ctx.rip, kCodeBase + 5);
+}
+
+TEST(CpuTest, XstateSaveRestoreRoundTrip) {
+  XState state;
+  state.xmm[3] = {1, 2};
+  state.ymm_hi[7] = {3, 4};
+  state.x87_push(0x1111);
+  state.x87_push(0x2222);
+  state.mxcsr = 0xAAAA;
+  state.fcw = 0x1234;
+
+  std::vector<std::uint8_t> buffer(XState::kSaveSize);
+  state.save_to(buffer);
+  XState restored;
+  restored.load_from(buffer);
+  EXPECT_EQ(restored, state);
+  EXPECT_EQ(restored.x87_pop(), 0x2222u);
+  EXPECT_EQ(restored.x87_pop(), 0x1111u);
+}
+
+TEST(CpuTest, FetchDecodePeeksWithoutExecuting) {
+  Assembler a;
+  a.mov(Gpr::rax, 1);
+  Fixture f(a);
+  auto insn = fetch_decode(f.ctx, f.as);
+  ASSERT_TRUE(insn.is_ok());
+  EXPECT_EQ(insn.value().op, isa::Op::kMovRI);
+  EXPECT_EQ(f.ctx.rip, kCodeBase);  // unchanged
+  EXPECT_EQ(f.ctx.reg(Gpr::rax), 0u);
+}
+
+TEST(CpuTest, StackUnderflowOnRetFaults) {
+  Assembler a;
+  a.ret();
+  Fixture f(a);
+  f.ctx.set_rsp(0x10);  // unmapped
+  EXPECT_EQ(f.run().kind, ExecKind::kMemFault);
+}
+
+}  // namespace
+}  // namespace lzp::cpu

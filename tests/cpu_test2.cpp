@@ -1,0 +1,233 @@
+// Second CPU suite: indirect control flow, gs-relative faulting, flag
+// persistence, call_rax as a plain indirect call, and decoder/executor
+// agreement at page boundaries.
+#include <gtest/gtest.h>
+
+#include "cpu/execute.hpp"
+#include "isa/assemble.hpp"
+
+namespace lzp::cpu {
+namespace {
+
+using isa::Assembler;
+using isa::Gpr;
+
+constexpr std::uint64_t kCodeBase = 0x40'0000;
+constexpr std::uint64_t kStackBase = 0x80'0000;
+constexpr std::uint64_t kDataBase = 0x60'0000;
+
+struct Fixture {
+  mem::AddressSpace as;
+  CpuContext ctx;
+
+  explicit Fixture(Assembler& assembler) {
+    auto code = assembler.finish().value();
+    EXPECT_TRUE(as.map(kCodeBase, code.size(),
+                       mem::kProtRead | mem::kProtExec, true)
+                    .is_ok());
+    EXPECT_TRUE(as.write_force(kCodeBase, code).is_ok());
+    EXPECT_TRUE(
+        as.map(kStackBase, 4096, mem::kProtRead | mem::kProtWrite, true).is_ok());
+    EXPECT_TRUE(
+        as.map(kDataBase, 4096, mem::kProtRead | mem::kProtWrite, true).is_ok());
+    ctx.rip = kCodeBase;
+    ctx.set_rsp(kStackBase + 4096 - 64);
+  }
+
+  ExecResult run(std::size_t max = 1000) {
+    ExecResult last;
+    for (std::size_t i = 0; i < max; ++i) {
+      last = step(ctx, as);
+      if (last.kind != ExecKind::kContinue) return last;
+    }
+    return last;
+  }
+};
+
+TEST(Cpu2Test, JmpRegTransfersToRegisterTarget) {
+  Assembler a;
+  auto target = a.new_label();
+  a.mov(Gpr::r10, 0);  // patched below
+  a.jmp_reg(Gpr::r10);
+  a.hlt();             // skipped
+  a.bind(target);
+  a.mov(Gpr::rbx, 1);
+  a.trap();
+  const std::uint64_t target_offset = a.label_offset(target).value();
+  Fixture f(a);
+  // Patch the immediate of the first mov with the absolute target.
+  ASSERT_TRUE(f.as.protect(kCodeBase, 4096,
+                           mem::kProtRead | mem::kProtWrite | mem::kProtExec)
+                  .is_ok());
+  ASSERT_TRUE(f.as.write_u64(kCodeBase + 2, kCodeBase + target_offset).is_ok());
+  EXPECT_EQ(f.run().kind, ExecKind::kTrap);
+  EXPECT_EQ(f.ctx.reg(Gpr::rbx), 1u);
+}
+
+TEST(Cpu2Test, CallRaxWorksAsGeneralIndirectCall) {
+  // call rax is not only the rewrite target: with a full address in rax it
+  // is a normal indirect call (how the JIT runner invokes generated code).
+  Assembler a;
+  auto fn = a.new_label();
+  a.mov(Gpr::rax, 0);  // patched to &fn
+  a.call_rax();
+  a.hlt();
+  a.bind(fn);
+  a.mov(Gpr::rbx, 42);
+  a.ret();
+  const std::uint64_t fn_offset = a.label_offset(fn).value();
+  Fixture f(a);
+  ASSERT_TRUE(f.as.protect(kCodeBase, 4096,
+                           mem::kProtRead | mem::kProtWrite | mem::kProtExec)
+                  .is_ok());
+  ASSERT_TRUE(f.as.write_u64(kCodeBase + 2, kCodeBase + fn_offset).is_ok());
+  EXPECT_EQ(f.run().kind, ExecKind::kHlt);
+  EXPECT_EQ(f.ctx.reg(Gpr::rbx), 42u);
+}
+
+TEST(Cpu2Test, FlagsPersistAcrossNonFlagInstructions) {
+  Assembler a;
+  auto taken = a.new_label();
+  a.mov(Gpr::rax, 5);
+  a.cmp(Gpr::rax, 5);   // ZF set
+  a.mov(Gpr::rbx, 7);   // must not disturb flags
+  a.push(Gpr::rbx);
+  a.pop(Gpr::rcx);
+  a.jz(taken);
+  a.hlt();
+  a.bind(taken);
+  a.trap();
+  Fixture f(a);
+  EXPECT_EQ(f.run().kind, ExecKind::kTrap);
+}
+
+TEST(Cpu2Test, GsAccessFaultsWhenBaseUnmapped) {
+  Assembler a;
+  a.load_gs8(Gpr::rax, 0);
+  Fixture f(a);
+  f.ctx.gs_base = 0xDEAD'0000;
+  const ExecResult result = f.run();
+  EXPECT_EQ(result.kind, ExecKind::kMemFault);
+  EXPECT_TRUE(result.fault.unmapped);
+}
+
+TEST(Cpu2Test, StoreGsWritesThroughBase) {
+  Assembler a;
+  a.mov(Gpr::rcx, 0xAB);
+  a.store_gs8(16, Gpr::rcx);
+  a.mov(Gpr::rdx, 0x1122334455667788ULL);
+  a.store_gs(24, Gpr::rdx);
+  a.hlt();
+  Fixture f(a);
+  f.ctx.gs_base = kDataBase;
+  f.run();
+  EXPECT_EQ(f.as.read_u8(kDataBase + 16).value(), 0xAB);
+  EXPECT_EQ(f.as.read_u64(kDataBase + 24).value(), 0x1122334455667788ULL);
+}
+
+TEST(Cpu2Test, NegativeDisplacementAddressing) {
+  Assembler a;
+  a.mov(Gpr::rbx, kDataBase + 128);
+  a.mov(Gpr::rcx, 99);
+  a.store(Gpr::rbx, -64, Gpr::rcx);
+  a.load(Gpr::rdx, Gpr::rbx, -64);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rdx), 99u);
+  EXPECT_EQ(f.as.read_u64(kDataBase + 64).value(), 99u);
+}
+
+TEST(Cpu2Test, X87StackWrapsAtDepthEight) {
+  XState state;
+  for (std::uint64_t i = 0; i < 10; ++i) state.x87_push(i);
+  EXPECT_EQ(state.x87_depth, 8);
+  // Top is the last push; earlier entries wrapped away.
+  EXPECT_EQ(state.x87_pop(), 9u);
+  EXPECT_EQ(state.x87_pop(), 8u);
+}
+
+TEST(Cpu2Test, ExecutionStopsAtPageBoundaryIntoUnmapped) {
+  // Code that runs right up to the end of its (single) executable page and
+  // falls off: the fetch of the next instruction faults.
+  Assembler a;
+  a.nops(4094);
+  a.db({0x90, 0x90});  // exactly fills the page
+  Fixture f(a);
+  ExecResult last;
+  for (int i = 0; i < 5000; ++i) {
+    last = step(f.ctx, f.as);
+    if (last.kind != ExecKind::kContinue) break;
+  }
+  EXPECT_EQ(last.kind, ExecKind::kMemFault);
+  EXPECT_EQ(last.fault.address, kCodeBase + 4096);
+}
+
+TEST(Cpu2Test, InstructionStraddlingPageBoundaryExecutes) {
+  // A 10-byte MOV whose immediate crosses into a second mapped page.
+  Assembler a;
+  a.nops(4090);
+  a.mov(Gpr::rbx, 0xFEEDFACE);  // bytes 4090..4099: straddles the boundary
+  a.trap();
+  Fixture f(a);
+  ExecResult last;
+  for (int i = 0; i < 5000; ++i) {
+    last = step(f.ctx, f.as);
+    if (last.kind != ExecKind::kContinue) break;
+  }
+  EXPECT_EQ(last.kind, ExecKind::kTrap);
+  EXPECT_EQ(f.ctx.reg(Gpr::rbx), 0xFEEDFACEu);
+}
+
+TEST(Cpu2Test, MulWrapsModulo64) {
+  Assembler a;
+  a.mov(Gpr::rax, 0x8000'0000'0000'0000ULL);
+  a.mov(Gpr::rbx, 2);
+  a.mul(Gpr::rax, Gpr::rbx);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(f.ctx.reg(Gpr::rax), 0u);
+}
+
+TEST(Cpu2Test, SignedComparisonAtExtremes) {
+  Assembler a;
+  a.mov(Gpr::rax, 0x8000'0000'0000'0000ULL);  // INT64_MIN
+  a.cmp(Gpr::rax, 0);
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_TRUE(f.ctx.flags.lt);   // INT64_MIN < 0 (signed)
+  EXPECT_FALSE(f.ctx.flags.gt);
+}
+
+
+TEST(Cpu2Test, SignedDivisionAndModulo) {
+  Assembler a;
+  a.mov(Gpr::rax, static_cast<std::uint64_t>(-17));
+  a.mov(Gpr::rbx, 5);
+  a.mov(Gpr::rcx, Gpr::rax);
+  a.div(Gpr::rax, Gpr::rbx);   // -17 / 5 = -3 (truncating)
+  a.mod(Gpr::rcx, Gpr::rbx);   // -17 % 5 = -2
+  a.hlt();
+  Fixture f(a);
+  f.run();
+  EXPECT_EQ(static_cast<std::int64_t>(f.ctx.reg(Gpr::rax)), -3);
+  EXPECT_EQ(static_cast<std::int64_t>(f.ctx.reg(Gpr::rcx)), -2);
+}
+
+TEST(Cpu2Test, DivideByZeroRaisesDivideError) {
+  Assembler a;
+  a.mov(Gpr::rax, 7);
+  a.mov(Gpr::rbx, 0);
+  a.div(Gpr::rax, Gpr::rbx);
+  Fixture f(a);
+  const ExecResult result = f.run();
+  EXPECT_EQ(result.kind, ExecKind::kDivideError);
+  // rip stays at the faulting instruction (trap semantics).
+  EXPECT_EQ(f.ctx.rip, kCodeBase + 20);
+  EXPECT_EQ(f.ctx.reg(Gpr::rax), 7u);  // unmodified
+}
+
+}  // namespace
+}  // namespace lzp::cpu

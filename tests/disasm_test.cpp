@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "apps/minilibc.hpp"
+#include <algorithm>
+
+#include "disasm/scanner.hpp"
+#include "isa/assemble.hpp"
+
+namespace lzp::disasm {
+namespace {
+
+using isa::Assembler;
+using isa::Gpr;
+
+isa::Program clean_program() {
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, 39);
+  a.syscall_();
+  a.mov(Gpr::rax, 60);
+  a.syscall_();
+  a.sysenter_();
+  a.hlt();
+  return isa::make_program("clean", a, entry).value();
+}
+
+TEST(ScannerTest, LinearSweepFindsAllSitesInCleanCode) {
+  const isa::Program program = clean_program();
+  const ScanResult result = scan(program.image, program.base,
+                                 Strategy::kLinearSweep);
+  const ScanAccuracy accuracy = evaluate(result, program);
+  EXPECT_EQ(accuracy.true_positives.size(), 3u);
+  EXPECT_TRUE(accuracy.false_positives.empty());
+  EXPECT_TRUE(accuracy.missed.empty());
+  EXPECT_EQ(result.decode_errors, 0u);
+}
+
+TEST(ScannerTest, RawScanFindsAllSitesInCleanCode) {
+  const isa::Program program = clean_program();
+  const ScanResult result = scan(program.image, program.base, Strategy::kRawBytes);
+  const ScanAccuracy accuracy = evaluate(result, program);
+  EXPECT_EQ(accuracy.true_positives.size(), 3u);
+  EXPECT_TRUE(accuracy.missed.empty());
+}
+
+TEST(ScannerTest, RawScanReportsFalsePositiveInsideImmediate) {
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  // 0F 05 inside the mov immediate — not a real site. Rewriting it would
+  // corrupt the constant.
+  a.mov(Gpr::rbx, 0x0000'1111'0000'050FULL);
+  a.syscall_();
+  a.hlt();
+  auto program = isa::make_program("fp", a, entry).value();
+
+  const ScanResult raw = scan(program.image, program.base, Strategy::kRawBytes);
+  const ScanAccuracy raw_accuracy = evaluate(raw, program);
+  EXPECT_EQ(raw_accuracy.false_positives.size(), 1u);
+  EXPECT_EQ(raw_accuracy.true_positives.size(), 1u);
+
+  // Linear sweep decodes through the immediate correctly.
+  const ScanResult sweep = scan(program.image, program.base,
+                                Strategy::kLinearSweep);
+  const ScanAccuracy sweep_accuracy = evaluate(sweep, program);
+  EXPECT_TRUE(sweep_accuracy.false_positives.empty());
+  EXPECT_TRUE(sweep_accuracy.missed.empty());
+}
+
+TEST(ScannerTest, LinearSweepDesyncsOnDataInCode) {
+  // Two data bytes that decode as the start of a MOV_RI: the phantom MOV
+  // swallows the next 8 bytes as its "immediate" — including a real syscall
+  // instruction, which the desynced sweep never sees.
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.db({0xB8, 0x00});      // phantom "mov rax, imm64" header
+  a.syscall_();            // real site at offset 2, inside the phantom imm
+  a.nops(6);
+  a.hlt();
+  auto program = isa::make_program("desync", a, entry).value();
+  ASSERT_EQ(program.true_syscall_addresses().size(), 1u);
+
+  const ScanResult sweep = scan(program.image, program.base,
+                                Strategy::kLinearSweep);
+  const ScanAccuracy accuracy = evaluate(sweep, program);
+  EXPECT_EQ(accuracy.missed.size(), 1u)
+      << "the desynced sweep must miss the hidden syscall";
+
+  // The raw byte scan still sees it (no decoding to desync).
+  const ScanResult raw = scan(program.image, program.base, Strategy::kRawBytes);
+  const ScanAccuracy raw_acc = evaluate(raw, program);
+  EXPECT_TRUE(raw_acc.missed.empty());
+}
+
+TEST(ScannerTest, EmbeddedStringDataIsHandled) {
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  apps::emit_print(a, "some text with \x0F\x05 bytes inside");
+  a.syscall_();
+  a.hlt();
+  auto program = isa::make_program("strdata", a, entry).value();
+
+  // The raw scan trips over the string contents.
+  const ScanResult raw = scan(program.image, program.base, Strategy::kRawBytes);
+  const ScanAccuracy raw_acc = evaluate(raw, program);
+  EXPECT_FALSE(raw_acc.false_positives.empty());
+}
+
+TEST(ScannerTest, EmptyAndTinyInputs) {
+  EXPECT_TRUE(scan({}, 0, Strategy::kRawBytes).syscall_sites.empty());
+  EXPECT_TRUE(scan({}, 0, Strategy::kLinearSweep).syscall_sites.empty());
+  const std::uint8_t one_byte[] = {0x0F};
+  EXPECT_TRUE(scan(one_byte, 0, Strategy::kRawBytes).syscall_sites.empty());
+}
+
+TEST(ScannerTest, EvaluateClassifiesAgainstGroundTruth) {
+  const isa::Program program = clean_program();
+  ScanResult fake;
+  fake.syscall_sites = {program.base + 10,        // the first real site
+                        program.base + 1};        // bogus
+  const ScanAccuracy accuracy = evaluate(fake, program);
+  EXPECT_EQ(accuracy.true_positives.size(), 1u);
+  EXPECT_EQ(accuracy.false_positives.size(), 1u);
+  EXPECT_EQ(accuracy.missed.size(), 2u);
+}
+
+
+TEST(ScannerTest, ListingRendersInstructionsAndData) {
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, 39);
+  a.syscall_();
+  a.db({0xEE});  // undecodable
+  a.hlt();
+  auto program = isa::make_program("listing", a, entry).value();
+  const std::string text = listing(program.image, program.base);
+  EXPECT_NE(text.find("mov ri rax"), std::string::npos);
+  EXPECT_NE(text.find("syscall"), std::string::npos);
+  EXPECT_NE(text.find(".byte ee"), std::string::npos);
+  EXPECT_NE(text.find("hlt"), std::string::npos);
+  EXPECT_NE(text.find("0x400000:"), std::string::npos);
+  // One line per decoded item.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace lzp::disasm

@@ -1,0 +1,265 @@
+// Cross-module integration tests: the paper's headline claims, asserted
+// end-to-end at small scale (the bench/ binaries run the full-size versions).
+#include <gtest/gtest.h>
+
+#include "apps/jitcc.hpp"
+#include "apps/webserver.hpp"
+#include "core/lazypoline.hpp"
+#include "mechanisms/seccomp_bpf_tool.hpp"
+#include "mechanisms/sud_tool.hpp"
+#include "sim_test_util.hpp"
+#include "zpoline/zpoline.hpp"
+
+namespace lzp {
+namespace {
+
+using interpose::DummyHandler;
+using interpose::TracingHandler;
+using kern::Machine;
+using kern::Tid;
+
+// Cycles per run of a microbench loop under a given setup.
+std::uint64_t micro_cycles(
+    const isa::Program& program,
+    const std::function<void(Machine&, Tid)>& setup) {
+  return testutil::measure_cycles(program, setup);
+}
+
+// Table II ordering: baseline < baseline+SUD < zpoline+eps < lazypoline-no-x
+// < lazypoline < SUD. (Exact ratios are validated by bench/table2_micro.)
+TEST(TableTwoIntegration, OverheadOrderingMatchesPaper) {
+  const std::uint64_t iterations = 400;
+  auto program = testutil::make_syscall_loop(kern::kSysNonexistent, iterations);
+
+  const std::uint64_t baseline = micro_cycles(program, nullptr);
+
+  const std::uint64_t sud_enabled = micro_cycles(
+      program, [](Machine& machine, Tid tid) {
+        ASSERT_TRUE(
+            mechanisms::SudMechanism::install_always_allow(machine, tid).is_ok());
+      });
+
+  const std::uint64_t zpoline = micro_cycles(
+      program, [&](Machine& machine, Tid tid) {
+        machine.register_program(program);
+        zpoline::ZpolineMechanism mechanism;
+        ASSERT_TRUE(
+            mechanism.install(machine, tid, std::make_shared<DummyHandler>())
+                .is_ok());
+      });
+
+  auto lazy_cycles = [&](core::XstateMode mode, bool sud) {
+    return micro_cycles(program, [&](Machine& machine, Tid tid) {
+      machine.register_program(program);
+      core::LazypolineConfig config;
+      config.xstate = mode;
+      config.use_sud = sud;
+      auto runtime = core::Lazypoline::create(machine, config);
+      ASSERT_TRUE(
+          runtime->install(machine, tid, std::make_shared<DummyHandler>())
+              .is_ok());
+      // Steady state: pre-rewrite all sites (paper §V-B methodology).
+      for (std::uint64_t site : program.true_syscall_addresses()) {
+        ASSERT_TRUE(runtime->rewrite_site_manually(tid, site).is_ok());
+      }
+      if (!sud) {
+        ASSERT_TRUE(runtime->disable_sud(tid).is_ok());
+      }
+    });
+  };
+  const std::uint64_t lazy_no_sud = lazy_cycles(core::XstateMode::kNone, false);
+  const std::uint64_t lazy_no_xstate = lazy_cycles(core::XstateMode::kNone, true);
+  const std::uint64_t lazy_full = lazy_cycles(core::XstateMode::kFull, true);
+
+  const std::uint64_t sud = micro_cycles(
+      program, [](Machine& machine, Tid tid) {
+        mechanisms::SudMechanism mechanism;
+        ASSERT_TRUE(
+            mechanism.install(machine, tid, std::make_shared<DummyHandler>())
+                .is_ok());
+      });
+
+  EXPECT_LT(baseline, sud_enabled);
+  EXPECT_LT(sud_enabled, lazy_no_xstate);
+  EXPECT_LT(zpoline, lazy_no_xstate);
+  EXPECT_LT(lazy_no_xstate, lazy_full);
+  EXPECT_LT(lazy_full, sud / 4) << "lazypoline must be far cheaper than SUD";
+
+  // Figure 4: without SUD, lazypoline's fast path == zpoline (within 2%).
+  const double fast_vs_zpoline = static_cast<double>(lazy_no_sud) /
+                                 static_cast<double>(zpoline);
+  EXPECT_NEAR(fast_vs_zpoline, 1.0, 0.02);
+
+  // Rough Table II ratio bands.
+  const auto ratio = [&](std::uint64_t cycles) {
+    return static_cast<double>(cycles) / static_cast<double>(baseline);
+  };
+  EXPECT_NEAR(ratio(sud_enabled), 1.42, 0.15);
+  EXPECT_NEAR(ratio(lazy_no_xstate), 1.66, 0.20);
+  EXPECT_NEAR(ratio(lazy_full), 2.38, 0.30);
+  EXPECT_NEAR(ratio(sud), 20.8, 5.0);
+}
+
+// §V-A: traces under SUD and lazypoline are identical and include the JIT
+// getpid; zpoline's misses it.
+TEST(ExhaustivenessIntegration, JitTraceComparison) {
+  const std::string src = apps::exhaustiveness_test_source();
+
+  auto run_traced = [&](const std::string& which) {
+    Machine machine;
+    machine.mmap_min_addr = 0;
+    EXPECT_TRUE(machine.vfs()
+                    .put_file("prog.c", std::vector<std::uint8_t>(src.begin(),
+                                                                  src.end()))
+                    .is_ok());
+    auto runner = apps::make_jit_runner(machine, "prog.c").value();
+    machine.register_program(runner.program);
+    auto tid = machine.load(runner.program).value();
+    auto handler = std::make_shared<TracingHandler>();
+    if (which == "sud") {
+      mechanisms::SudMechanism mechanism;
+      EXPECT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+    } else if (which == "zpoline") {
+      zpoline::ZpolineMechanism mechanism;
+      EXPECT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+    } else {
+      auto runtime = core::Lazypoline::create(machine, {});
+      EXPECT_TRUE(runtime->install(machine, tid, handler).is_ok());
+    }
+    auto stats = machine.run();
+    EXPECT_TRUE(stats.all_exited) << which << ": " << machine.last_fatal();
+    EXPECT_EQ(machine.find_task(tid)->exit_code, 21) << which;
+    return handler->traced_numbers();
+  };
+
+  const auto sud_trace = run_traced("sud");
+  const auto lazy_trace = run_traced("lazypoline");
+  const auto zpoline_trace = run_traced("zpoline");
+
+  // lazypoline and SUD print the exact same syscalls in the same order.
+  EXPECT_EQ(sud_trace, lazy_trace);
+
+  const auto contains_getpid = [](const std::vector<std::uint64_t>& trace) {
+    return std::find(trace.begin(), trace.end(),
+                     std::uint64_t{kern::kSysGetpid}) != trace.end();
+  };
+  EXPECT_TRUE(contains_getpid(sud_trace));
+  EXPECT_TRUE(contains_getpid(lazy_trace));
+  EXPECT_FALSE(contains_getpid(zpoline_trace));
+  // zpoline still saw the load-time syscalls.
+  EXPECT_FALSE(zpoline_trace.empty());
+}
+
+// Figure 5 shape at one grid point: throughput ordering and dilution.
+TEST(WebServerIntegration, ThroughputOrderingAndDilution) {
+  const std::uint64_t requests = 150;
+
+  auto run_server = [&](std::uint64_t file_size,
+                        const std::string& mechanism) -> double {
+    Machine machine;
+    machine.mmap_min_addr = 0;
+    (void)machine.vfs().put_file_of_size("index.html", file_size);
+    const auto profile = apps::nginx_profile();
+    kern::ClientWorkload workload;
+    workload.total_requests = requests;
+    workload.response_bytes = profile.header_bytes + file_size;
+    const int listener = machine.net().create_listener(workload);
+    auto program = apps::make_webserver(machine, profile, "index.html").value();
+    machine.register_program(program);
+    auto tid = machine.load(program).value();
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid)->process->install_fd_at(apps::kListenerFd, entry);
+
+    auto handler = std::make_shared<DummyHandler>();
+    if (mechanism == "zpoline") {
+      zpoline::ZpolineMechanism zp;
+      EXPECT_TRUE(zp.install(machine, tid, handler).is_ok());
+    } else if (mechanism == "lazypoline") {
+      auto runtime = core::Lazypoline::create(machine, {});
+      EXPECT_TRUE(runtime->install(machine, tid, handler).is_ok());
+    } else if (mechanism == "sud") {
+      mechanisms::SudMechanism sud;
+      EXPECT_TRUE(sud.install(machine, tid, handler).is_ok());
+    }
+    auto stats = machine.run();
+    EXPECT_TRUE(stats.all_exited) << mechanism << ": " << machine.last_fatal();
+    EXPECT_EQ(machine.net().completed_requests(listener), requests);
+    const std::uint64_t cycles = machine.find_task(tid)->cycles;
+    return static_cast<double>(requests) / static_cast<double>(cycles);
+  };
+
+  const double base_1k = run_server(1024, "native");
+  const double zp_1k = run_server(1024, "zpoline");
+  const double lazy_1k = run_server(1024, "lazypoline");
+  const double sud_1k = run_server(1024, "sud");
+
+  // Ordering at 1K: native >= zpoline >= lazypoline > SUD.
+  EXPECT_GT(base_1k, zp_1k);
+  EXPECT_GT(zp_1k, lazy_1k);
+  EXPECT_GT(lazy_1k, sud_1k);
+  // lazypoline keeps >90% of native; SUD loses roughly half.
+  EXPECT_GT(lazy_1k / base_1k, 0.88);
+  EXPECT_LT(sud_1k / base_1k, 0.65);
+
+  // Dilution at 256K: the zpoline/lazypoline gap practically vanishes.
+  const double base_256k = run_server(256 * 1024, "native");
+  const double zp_256k = run_server(256 * 1024, "zpoline");
+  const double lazy_256k = run_server(256 * 1024, "lazypoline");
+  const double sud_256k = run_server(256 * 1024, "sud");
+  // "From 64 KB on, the overhead difference between zpoline and lazypoline
+  // practically vanishes" — within 2 percentage points at 256K.
+  EXPECT_LT(zp_256k / base_256k - lazy_256k / base_256k, 0.02);
+  EXPECT_GT(lazy_256k / base_256k, 0.97);
+  EXPECT_GT(zp_256k / base_256k, 0.985);
+  // SUD's slowdown is still noticeable even at 256K.
+  EXPECT_LT(sud_256k / base_256k, 0.95);
+}
+
+// seccomp filters survive execve; lazypoline's interposition does too (via
+// preload), so both worlds compose.
+TEST(ExecveIntegration, SeccompPersistsAndLazypolineReinitializes) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+
+  isa::Assembler t;
+  auto t_entry = t.new_label();
+  t.bind(t_entry);
+  t.mov(isa::Gpr::rax, kern::kSysGetpid);
+  t.syscall_();
+  apps::emit_exit(t, 5);
+  auto target = isa::make_program("exec-target", t, t_entry).value();
+  machine.register_program(target);
+
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t name = apps::embed_string(a, "exec-target");
+  a.mov(isa::Gpr::rdi, name);
+  apps::emit_syscall(a, kern::kSysExecve);
+  apps::emit_exit(a, 1);
+  auto program = isa::make_program("execer", a, entry).value();
+  machine.register_program(program);
+
+  auto tid = machine.load(program).value();
+  // A monitoring seccomp filter...
+  ASSERT_TRUE(mechanisms::SeccompBpfMechanism::install_monitoring_filter(
+                  machine, tid)
+                  .is_ok());
+  // ...plus lazypoline with preload.
+  auto handler = std::make_shared<TracingHandler>();
+  auto runtime = core::Lazypoline::create(machine, {});
+  runtime->attach_as_preload();
+  ASSERT_TRUE(runtime->install(machine, tid, handler).is_ok());
+
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  kern::Task* task = machine.find_task(tid);
+  EXPECT_EQ(task->exit_code, 5);
+  EXPECT_FALSE(task->seccomp.empty()) << "seccomp filters cannot be removed";
+  EXPECT_TRUE(task->sud.enabled) << "lazypoline re-armed after execve";
+}
+
+}  // namespace
+}  // namespace lzp

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "interpose/handler.hpp"
+#include "interpose/mechanism.hpp"
+#include "sim_test_util.hpp"
+
+namespace lzp::interpose {
+namespace {
+
+// Builds an InterposeContext over a real task with a scripted raw_syscall.
+struct ContextFixture {
+  kern::Machine machine;
+  kern::Tid tid;
+  std::vector<std::pair<std::uint64_t, std::array<std::uint64_t, 6>>> executed;
+
+  ContextFixture() {
+    auto program = testutil::make_getpid_once();
+    tid = machine.load(program).value();
+  }
+
+  InterposeContext make(std::uint64_t nr, std::array<std::uint64_t, 6> args,
+                        std::uint64_t forced_result = 1000) {
+    SyscallRequest req;
+    req.nr = nr;
+    req.args = args;
+    return InterposeContext(
+        machine, *machine.find_task(tid), req,
+        [this, forced_result](std::uint64_t n,
+                              const std::array<std::uint64_t, 6>& a) {
+          executed.emplace_back(n, a);
+          return forced_result;
+        });
+  }
+
+  kern::Task& task() { return *machine.find_task(tid); }
+};
+
+TEST(HandlerTest, DummyPassesThrough) {
+  ContextFixture f;
+  DummyHandler handler;
+  auto ctx = f.make(kern::kSysGetpid, {});
+  EXPECT_EQ(handler.handle(ctx), 1000u);
+  ASSERT_EQ(f.executed.size(), 1u);
+  EXPECT_EQ(f.executed[0].first, kern::kSysGetpid);
+}
+
+TEST(HandlerTest, TracingRecordsEverything) {
+  ContextFixture f;
+  TracingHandler handler;
+  auto ctx1 = f.make(kern::kSysWrite, {1, 0x5000, 10});
+  handler.handle(ctx1);
+  auto ctx2 = f.make(kern::kSysGetpid, {});
+  handler.handle(ctx2);
+
+  ASSERT_EQ(handler.trace().size(), 2u);
+  EXPECT_EQ(handler.trace()[0].nr, kern::kSysWrite);
+  EXPECT_EQ(handler.trace()[0].args[1], 0x5000u);
+  EXPECT_EQ(handler.trace()[0].result, 1000u);
+  EXPECT_EQ(handler.traced_numbers(),
+            (std::vector<std::uint64_t>{kern::kSysWrite, kern::kSysGetpid}));
+
+  const std::string line = handler.trace()[0].to_string();
+  EXPECT_NE(line.find("write"), std::string::npos);
+  EXPECT_NE(line.find("0x5000"), std::string::npos);
+
+  handler.clear();
+  EXPECT_TRUE(handler.trace().empty());
+}
+
+TEST(HandlerTest, PathPolicyDeniesByDeepInspection) {
+  ContextFixture f;
+  // Plant a path string in the task's data region.
+  const std::uint64_t path_addr = kern::Machine::kDataRegionBase + 64;
+  const char* secret = "/etc/shadow";
+  ASSERT_TRUE(f.task()
+                  .mem
+                  ->write_force(path_addr,
+                                {reinterpret_cast<const std::uint8_t*>(secret),
+                                 strlen(secret) + 1})
+                  .is_ok());
+
+  PathPolicyHandler handler({"/etc"});
+  auto denied = f.make(kern::kSysOpen, {path_addr, 0});
+  EXPECT_EQ(handler.handle(denied), kern::errno_result(kern::kEACCES));
+  EXPECT_TRUE(f.executed.empty());  // never reached the kernel
+  EXPECT_EQ(handler.denials(), 1u);
+
+  // A benign path passes through.
+  const std::uint64_t ok_addr = kern::Machine::kDataRegionBase + 128;
+  const char* benign = "/tmp/file";
+  ASSERT_TRUE(f.task()
+                  .mem
+                  ->write_force(ok_addr,
+                                {reinterpret_cast<const std::uint8_t*>(benign),
+                                 strlen(benign) + 1})
+                  .is_ok());
+  auto allowed = f.make(kern::kSysOpen, {ok_addr, 0});
+  EXPECT_EQ(handler.handle(allowed), 1000u);
+  EXPECT_EQ(f.executed.size(), 1u);
+
+  // openat checks args[1] instead of args[0].
+  auto denied_at = f.make(kern::kSysOpenat, {0, path_addr, 0});
+  EXPECT_EQ(handler.handle(denied_at), kern::errno_result(kern::kEACCES));
+  EXPECT_EQ(handler.denials(), 2u);
+}
+
+TEST(HandlerTest, XstateClobberingWrecksExtendedState) {
+  ContextFixture f;
+  f.task().ctx.xstate.xmm[0] = {0x1234, 0x5678};
+  XstateClobberingHandler handler(std::make_shared<DummyHandler>());
+  auto ctx = f.make(kern::kSysGetpid, {});
+  EXPECT_EQ(handler.handle(ctx), 1000u);
+  EXPECT_EQ(f.task().ctx.xstate.xmm[0][0], 0xDEADBEEFDEADBEEFULL);
+  EXPECT_EQ(f.task().ctx.xstate.ymm_hi[5][1], 0xCAFEBABECAFEBABEULL);
+  EXPECT_GT(f.task().ctx.xstate.x87_depth, 0);
+}
+
+TEST(HandlerTest, PidCachingAvoidsKernel) {
+  ContextFixture f;
+  PidCachingHandler handler;
+  auto first = f.make(kern::kSysGetpid, {});
+  EXPECT_EQ(handler.handle(first), 1000u);
+  EXPECT_EQ(f.executed.size(), 1u);
+  auto second = f.make(kern::kSysGetpid, {});
+  EXPECT_EQ(handler.handle(second), 1000u);
+  EXPECT_EQ(f.executed.size(), 1u);  // served from cache
+  EXPECT_EQ(handler.cache_hits(), 1u);
+  auto other = f.make(kern::kSysWrite, {1, 2, 3});
+  handler.handle(other);
+  EXPECT_EQ(f.executed.size(), 2u);
+}
+
+TEST(HandlerTest, ContextMemoryHelpers) {
+  ContextFixture f;
+  auto ctx = f.make(kern::kSysGetpid, {});
+  const std::uint8_t payload[] = {1, 2, 3, 4};
+  ASSERT_TRUE(ctx.write_bytes(kern::Machine::kDataRegionBase, payload).is_ok());
+  auto readback = ctx.read_bytes(kern::Machine::kDataRegionBase, 4);
+  ASSERT_TRUE(readback.is_ok());
+  EXPECT_EQ(readback.value()[2], 3);
+  EXPECT_FALSE(ctx.read_bytes(0xBAD0'0000, 4).is_ok());
+  EXPECT_FALSE(ctx.read_cstring(0xBAD0'0000).is_ok());
+}
+
+TEST(HandlerTest, MutableRequestRewritesArguments) {
+  ContextFixture f;
+  auto ctx = f.make(kern::kSysWrite, {1, 2, 3});
+  ctx.mutable_request().args[0] = 99;
+  ctx.pass_through();
+  ASSERT_EQ(f.executed.size(), 1u);
+  EXPECT_EQ(f.executed[0].second[0], 99u);
+}
+
+
+
+TEST(HandlerTest, FaultInjectionFailsEveryNth) {
+  ContextFixture f;
+  FaultInjectionHandler handler(
+      {kern::kSysRead, /*every_nth=*/3, kern::kEINTR});
+  for (int i = 1; i <= 9; ++i) {
+    auto ctx = f.make(kern::kSysRead, {3, 0, 0});
+    const std::uint64_t result = handler.handle(ctx);
+    if (i % 3 == 0) {
+      EXPECT_EQ(result, kern::errno_result(kern::kEINTR)) << "call " << i;
+    } else {
+      EXPECT_EQ(result, 1000u) << "call " << i;
+    }
+  }
+  EXPECT_EQ(handler.observed(), 9u);
+  EXPECT_EQ(handler.injected(), 3u);
+  // Non-target syscalls are untouched.
+  auto other = f.make(kern::kSysWrite, {1, 2, 3});
+  EXPECT_EQ(handler.handle(other), 1000u);
+  EXPECT_EQ(handler.observed(), 9u);
+}
+
+TEST(HandlerTest, TracingDecodesPathArguments) {
+  ContextFixture f;
+  const std::uint64_t path_addr = kern::Machine::kDataRegionBase + 256;
+  const char* path = "/var/log/app.log";
+  ASSERT_TRUE(f.task()
+                  .mem
+                  ->write_force(path_addr,
+                                {reinterpret_cast<const std::uint8_t*>(path),
+                                 strlen(path) + 1})
+                  .is_ok());
+  TracingHandler handler;
+  auto open_ctx = f.make(kern::kSysOpen, {path_addr, 0});
+  handler.handle(open_ctx);
+  auto openat_ctx = f.make(kern::kSysOpenat, {0, path_addr, 0});
+  handler.handle(openat_ctx);
+
+  ASSERT_EQ(handler.trace().size(), 2u);
+  EXPECT_EQ(handler.trace()[0].detail, "path=\"/var/log/app.log\"");
+  EXPECT_EQ(handler.trace()[1].detail, "path=\"/var/log/app.log\"");
+  EXPECT_NE(handler.trace()[0].to_string().find("/var/log/app.log"),
+            std::string::npos);
+}
+
+TEST(MechanismTest, CharacteristicLevelsRender) {
+  EXPECT_EQ(to_string(Level::kFull), "Full");
+  EXPECT_EQ(to_string(Level::kLimited), "Limited");
+  EXPECT_EQ(to_string(Level::kModerate), "Moderate");
+}
+
+}  // namespace
+}  // namespace lzp::interpose

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "isa/assemble.hpp"
+#include "isa/decode.hpp"
+
+namespace lzp::isa {
+namespace {
+
+Instruction decode_at(const std::vector<std::uint8_t>& code, std::size_t offset) {
+  auto result = decode(std::span<const std::uint8_t>(code).subspan(offset));
+  EXPECT_TRUE(result.is_ok())
+      << (result.is_ok() ? "" : result.status().to_string());
+  return result.value_or(Instruction{});
+}
+
+TEST(IsaTest, SyscallIsTwoBytes) {
+  Assembler a;
+  a.syscall_();
+  auto code = a.finish().value();
+  ASSERT_EQ(code.size(), 2u);
+  EXPECT_EQ(code[0], kByte0F);
+  EXPECT_EQ(code[1], kByteSyscall2);
+  const Instruction insn = decode_at(code, 0);
+  EXPECT_EQ(insn.op, Op::kSyscall);
+  EXPECT_EQ(insn.length, 2);
+}
+
+TEST(IsaTest, CallRaxIsTwoBytes) {
+  // The property that makes in-place rewriting possible at all.
+  Assembler a;
+  a.call_rax();
+  auto code = a.finish().value();
+  ASSERT_EQ(code.size(), 2u);
+  const Instruction insn = decode_at(code, 0);
+  EXPECT_EQ(insn.op, Op::kCallRax);
+}
+
+TEST(IsaTest, NopIsOneByte) {
+  Assembler a;
+  a.nops(3);
+  auto code = a.finish().value();
+  EXPECT_EQ(code.size(), 3u);
+  EXPECT_EQ(code[0], kByteNop);
+}
+
+// Round-trip every emitter through the decoder.
+TEST(IsaTest, EncodeDecodeRoundTrip) {
+  Assembler a;
+  auto label = a.new_label();
+  a.bind(label);
+  a.nop();
+  a.syscall_();
+  a.sysenter_();
+  a.call_rax();
+  a.call(label);
+  a.jmp(label);
+  a.jmp_reg(Gpr::rbx);
+  a.jz(label);
+  a.jnz(label);
+  a.jlt(label);
+  a.jgt(label);
+  a.ret();
+  a.hlt();
+  a.trap();
+  a.mov(Gpr::r9, 0x1122334455667788ULL);
+  a.mov(Gpr::rdx, Gpr::rsi);
+  a.load(Gpr::rax, Gpr::rbx, -16);
+  a.store(Gpr::rbx, 32, Gpr::rcx);
+  a.load8(Gpr::rdi, Gpr::rbp, 1);
+  a.store8(Gpr::rbp, 2, Gpr::r15);
+  a.load_gs(Gpr::r8, 8);
+  a.store_gs(16, Gpr::r9);
+  a.load_gs8(Gpr::r10, 0);
+  a.store_gs8(1, Gpr::r11);
+  a.push(Gpr::r12);
+  a.pop(Gpr::r13);
+  a.add(Gpr::rax, Gpr::rbx);
+  a.sub(Gpr::rcx, Gpr::rdx);
+  a.mul(Gpr::rsi, Gpr::rdi);
+  a.div(Gpr::rsi, Gpr::rdi);
+  a.mod(Gpr::rsi, Gpr::rdi);
+  a.add(Gpr::rax, 100);
+  a.sub(Gpr::rbx, -5);
+  a.cmp(Gpr::rax, 7);
+  a.cmp(Gpr::rax, Gpr::rbx);
+  a.xmov(3, 0xCAFE);
+  a.xmov_from_gpr(4, Gpr::rax);
+  a.xmov_to_gpr(Gpr::rbx, 5);
+  a.xstore(Gpr::r12, 8, 0);
+  a.xload(1, Gpr::r13, -8);
+  a.xzero(15);
+  a.ymov_hi(2, Gpr::rcx);
+  a.ymov_rd_hi(Gpr::rdx, 2);
+  a.fld(0x4000000000000000ULL);
+  a.fstp(Gpr::r14);
+  a.faddp();
+  a.rdgs(Gpr::rax);
+  a.wrgs(Gpr::rbx);
+  a.hostcall(42);
+
+  const auto sites = a.sites();
+  auto code = a.finish().value();
+
+  for (const AssembledSite& site : sites) {
+    if (site.is_data) continue;
+    const Instruction insn = decode_at(code, site.offset);
+    EXPECT_EQ(insn.op, site.op) << "at offset " << site.offset;
+    EXPECT_EQ(insn.length, site.length) << "at offset " << site.offset;
+  }
+  // Instructions must tile the blob exactly.
+  std::uint64_t end = 0;
+  for (const AssembledSite& site : sites) {
+    EXPECT_EQ(site.offset, end);
+    end += site.length;
+  }
+  EXPECT_EQ(end, code.size());
+}
+
+TEST(IsaTest, DecodedOperandsMatch) {
+  Assembler a;
+  a.mov(Gpr::r9, 0xDEAD);
+  a.load(Gpr::rax, Gpr::rbx, -16);
+  a.store(Gpr::rcx, 24, Gpr::rdx);
+  a.xload(7, Gpr::r8, 40);
+  auto code = a.finish().value();
+
+  Instruction mov = decode_at(code, 0);
+  EXPECT_EQ(mov.r1, Gpr::r9);
+  EXPECT_EQ(mov.imm, 0xDEAD);
+
+  Instruction load = decode_at(code, 10);
+  EXPECT_EQ(load.r1, Gpr::rax);
+  EXPECT_EQ(load.r2, Gpr::rbx);
+  EXPECT_EQ(load.imm, -16);
+
+  Instruction store = decode_at(code, 17);
+  EXPECT_EQ(store.op, Op::kStore);
+  EXPECT_EQ(store.r2, Gpr::rcx);  // base
+  EXPECT_EQ(store.r1, Gpr::rdx);  // source
+  EXPECT_EQ(store.imm, 24);
+
+  Instruction xload = decode_at(code, 24);
+  EXPECT_EQ(xload.op, Op::kXload);
+  EXPECT_EQ(xload.xr1, 7);
+  EXPECT_EQ(xload.r1, Gpr::r8);
+  EXPECT_EQ(xload.imm, 40);
+}
+
+TEST(IsaTest, LabelFixupsResolve) {
+  Assembler a;
+  auto entry = a.new_label();
+  auto target = a.new_label();
+  a.bind(entry);
+  a.jmp(target);    // forward
+  a.nops(10);
+  a.bind(target);
+  a.jz(entry);      // backward
+  auto code = a.finish().value();
+
+  const Instruction jmp = decode_at(code, 0);
+  EXPECT_EQ(jmp.imm, 10);  // skips the nops
+  const Instruction jz = decode_at(code, 15);
+  EXPECT_EQ(jz.imm, -20);  // back to offset 0 from offset 20
+}
+
+TEST(IsaTest, UnboundLabelFails) {
+  Assembler a;
+  auto label = a.new_label();
+  a.jmp(label);
+  auto result = a.finish();
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(IsaTest, FinishTwiceFails) {
+  Assembler a;
+  a.nop();
+  EXPECT_TRUE(a.finish().is_ok());
+  EXPECT_FALSE(a.finish().is_ok());
+}
+
+TEST(IsaTest, DecodeRejectsGarbage) {
+  const std::uint8_t bad_opcode[] = {0xEE};
+  EXPECT_FALSE(decode(bad_opcode).is_ok());
+  const std::uint8_t bad_reg[] = {0x50, 0x20};  // push r32? no such register
+  EXPECT_FALSE(decode(bad_reg).is_ok());
+  const std::uint8_t truncated[] = {0xB8, 0x00, 0x01};  // mov cut short
+  EXPECT_FALSE(decode(truncated).is_ok());
+  EXPECT_FALSE(decode({}).is_ok());
+}
+
+TEST(IsaTest, SyscallBytesInsideImmediate) {
+  // mov rax, 0x...0F05... embeds the SYSCALL byte pattern in an immediate:
+  // a raw byte scanner must see it, the decoder must not.
+  Assembler a;
+  a.mov(Gpr::rax, 0x0000'0000'0000'050FULL);  // bytes 0F 05 little-endian
+  auto code = a.finish().value();
+  ASSERT_EQ(code.size(), 10u);
+  EXPECT_TRUE(is_syscall_bytes(std::span<const std::uint8_t>(code).subspan(2)));
+  const Instruction insn = decode_at(code, 0);
+  EXPECT_EQ(insn.op, Op::kMovRI);
+}
+
+TEST(IsaTest, ProgramGroundTruthListsSyscalls) {
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.nop();
+  a.syscall_();
+  a.mov(Gpr::rax, 0x050F);  // fake pattern in an immediate: not a site
+  a.sysenter_();
+  a.hlt();
+  auto program = make_program("p", a, entry, 0x1000).value();
+  const auto sites = program.true_syscall_addresses();
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0], 0x1000 + 1u);
+  EXPECT_EQ(sites[1], 0x1000 + 1 + 2 + 10u);
+  EXPECT_EQ(program.entry, 0x1000u);
+  EXPECT_EQ(program.image.size(), 1 + 2 + 10 + 2 + 1u);
+}
+
+TEST(IsaTest, RegEffectsForXstateInstructions) {
+  Assembler a;
+  a.xmov_from_gpr(0, Gpr::r12);
+  auto code = a.finish().value();
+  const Instruction insn = decode_at(code, 0);
+  const RegEffects fx = reg_effects(insn);
+  ASSERT_EQ(fx.num_writes, 1);
+  EXPECT_EQ(fx.writes[0].cls, RegClass::kXmm);
+  EXPECT_EQ(fx.writes[0].index, 0);
+  ASSERT_EQ(fx.num_reads, 1);
+  EXPECT_EQ(fx.reads[0].cls, RegClass::kGpr);
+}
+
+TEST(IsaTest, OpNamesAreDistinctForCoreOps) {
+  EXPECT_EQ(op_name(Op::kSyscall), "syscall");
+  EXPECT_EQ(op_name(Op::kCallRax), "call rax");
+  EXPECT_EQ(op_name(Op::kHostCall), "hostcall");
+}
+
+TEST(IsaTest, InstructionToStringIsInformative) {
+  Assembler a;
+  a.mov(Gpr::rbx, 0x10);
+  auto code = a.finish().value();
+  const Instruction insn = decode_at(code, 0);
+  const std::string text = insn.to_string();
+  EXPECT_NE(text.find("rbx"), std::string::npos);
+  EXPECT_NE(text.find("0x10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lzp::isa

@@ -1,0 +1,691 @@
+#include <gtest/gtest.h>
+
+#include "bpf/seccomp_filter.hpp"
+#include "sim_test_util.hpp"
+
+namespace lzp::kern {
+namespace {
+
+using isa::Assembler;
+using isa::Gpr;
+using testutil::load_and_run;
+
+TEST(MachineTest, RunsTrivialProgramToExit) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rdi, 7);
+  a.mov(Gpr::rax, kSysExitGroup);
+  a.syscall_();
+  auto program = isa::make_program("trivial", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 7);
+}
+
+TEST(MachineTest, HltExitsCleanly) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.hlt();
+  auto program = isa::make_program("hlt", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 0);
+}
+
+TEST(MachineTest, GetpidGettidReturnIds) {
+  Machine machine;
+  Tid tid = 0;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, kSysGetpid);
+  a.syscall_();
+  a.mov(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rax, kSysGettid);
+  a.syscall_();
+  a.sub(Gpr::rax, Gpr::rbx);  // tid - pid
+  a.mov(Gpr::rdi, Gpr::rax);
+  a.mov(Gpr::rax, kSysExitGroup);
+  a.syscall_();
+  auto program = isa::make_program("ids", a, entry).value();
+  const int code = load_and_run(machine, program, &tid);
+  const Task* task = machine.find_task(tid);
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(code, static_cast<int>(task->tid - task->process->pid));
+}
+
+TEST(MachineTest, SyscallClobbersRcxR11OnlyPlusRax) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rbx, 0x1111);
+  a.mov(Gpr::rcx, 0x2222);
+  a.mov(Gpr::r11, 0x3333);
+  a.mov(Gpr::r12, 0x4444);
+  a.mov(Gpr::rax, kSysGetpid);
+  a.syscall_();
+  a.hlt();
+  auto program = isa::make_program("clobber", a, entry).value();
+  Tid tid = 0;
+  load_and_run(machine, program, &tid);
+  const Task* task = machine.find_task(tid);
+  EXPECT_EQ(task->ctx.reg(Gpr::rbx), 0x1111u);   // preserved
+  EXPECT_EQ(task->ctx.reg(Gpr::r12), 0x4444u);   // preserved
+  EXPECT_NE(task->ctx.reg(Gpr::rcx), 0x2222u);   // clobbered
+  EXPECT_NE(task->ctx.reg(Gpr::r11), 0x3333u);   // clobbered
+}
+
+TEST(MachineTest, NonexistentSyscallReturnsEnosys) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, kSysNonexistent);
+  a.syscall_();
+  // exit code = -rax (ENOSYS = 38)
+  a.mov(Gpr::rbx, 0);
+  a.sub(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rax, kSysExitGroup);
+  a.syscall_();
+  auto program = isa::make_program("nosys", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), kENOSYS);
+}
+
+TEST(MachineTest, WriteToStdoutLandsInConsole) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  apps::emit_print(a, "hello sim\n");
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("hello", a, entry).value();
+  Tid tid = 0;
+  EXPECT_EQ(load_and_run(machine, program, &tid), 0);
+  EXPECT_EQ(machine.find_task(tid)->process->console, "hello sim\n");
+}
+
+TEST(MachineTest, FileReadWriteThroughVfs) {
+  Machine machine;
+  (void)machine.vfs().put_file("input.txt", {'a', 'b', 'c'});
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t path = apps::embed_string(a, "input.txt");
+  a.mov(Gpr::rdi, path);
+  a.mov(Gpr::rsi, 0);
+  apps::emit_syscall(a, kSysOpen);
+  a.mov(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, apps::kScratchBuf);
+  a.mov(Gpr::rdx, 100);
+  apps::emit_syscall(a, kSysRead);
+  a.mov(Gpr::rdi, Gpr::rax);  // exit code = bytes read
+  apps::emit_syscall(a, kSysExitGroup);
+  auto program = isa::make_program("reader", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 3);
+}
+
+TEST(MachineTest, MmapRespectsMinAddr) {
+  Machine machine;  // default mmap_min_addr = 0x10000
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  // mmap(0, 4096, RW, MAP_FIXED) must fail with EPERM
+  a.mov(Gpr::rdi, 0);
+  a.mov(Gpr::rsi, 4096);
+  a.mov(Gpr::rdx, 3);
+  a.mov(Gpr::r10, 0x10);  // MAP_FIXED
+  apps::emit_syscall(a, kSysMmap);
+  a.mov(Gpr::rbx, 0);
+  a.sub(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  apps::emit_syscall(a, kSysExitGroup);
+  auto program = isa::make_program("lowmap", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), kEPERM);
+}
+
+TEST(MachineTest, MmapAtZeroAllowedWhenMinAddrZero) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rdi, 0);
+  a.mov(Gpr::rsi, 4096);
+  a.mov(Gpr::rdx, 3);
+  a.mov(Gpr::r10, 0x10);
+  apps::emit_syscall(a, kSysMmap);
+  a.mov(Gpr::rdi, Gpr::rax);  // 0 on success
+  apps::emit_syscall(a, kSysExitGroup);
+  auto program = isa::make_program("zeromap", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 0);
+}
+
+TEST(MachineTest, SegfaultOnUnmappedAccessKillsProcess) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rbx, 0xDEAD'0000);
+  a.load(Gpr::rax, Gpr::rbx, 0);
+  a.hlt();
+  auto program = isa::make_program("segv", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 128 + kSigsegv);
+}
+
+TEST(MachineTest, SigillOnGarbageBytes) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.db({0xEE});
+  auto program = isa::make_program("ill", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 128 + kSigill);
+}
+
+// --- signals -------------------------------------------------------------------
+
+// Registers a host signal handler for `sig` via direct process-table access.
+std::uint64_t bind_handler(Machine& machine, Tid tid, int sig, HostFn fn) {
+  const std::uint64_t addr = machine.bind_host("test.handler", std::move(fn));
+  machine.find_task(tid)->process->sigactions[sig] = SigAction{addr, 0, 0};
+  return addr;
+}
+
+TEST(MachineTest, SignalDeliveryAndSigreturn) {
+  Machine machine;
+  auto program = testutil::make_syscall_loop(kSysGetpid, 50, "sigloop");
+  auto tid = machine.load(program).value();
+
+  int handler_runs = 0;
+  bind_handler(machine, tid, kSigusr1, [&](HostFrame& frame) {
+    ++handler_runs;
+    EXPECT_FALSE(frame.task.signal_frames.empty());
+    // Resume the interrupted context.
+    (void)frame.syscall(kSysRtSigreturn);
+  });
+
+  Task* task = machine.find_task(tid);
+  SigInfo info;
+  info.signo = kSigusr1;
+  task->pending_signals.push_back(info);
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  EXPECT_EQ(handler_runs, 1);
+  EXPECT_EQ(task->exit_code, 0);
+  EXPECT_TRUE(task->signal_frames.empty());
+}
+
+TEST(MachineTest, SignalHandlerSeesAndMutatesSavedContext) {
+  Machine machine;
+  auto program = testutil::make_syscall_loop(kSysGetpid, 1000, "mutloop");
+  auto tid = machine.load(program).value();
+
+  bind_handler(machine, tid, kSigusr2, [&](HostFrame& frame) {
+    // Force the loop to finish by zeroing its counter (rbx).
+    frame.task.signal_frames.back().saved_context.set_reg(Gpr::rbx, 1);
+    (void)frame.syscall(kSysRtSigreturn);
+  });
+
+  // Let the loop make some progress first, then interrupt it.
+  machine.run(64);
+  Task* task = machine.find_task(tid);
+  ASSERT_TRUE(task->runnable());
+  SigInfo info;
+  info.signo = kSigusr2;
+  task->pending_signals.push_back(info);
+  machine.run();
+  // Far fewer than 1000 getpids happened.
+  EXPECT_LT(task->syscalls_dispatched, 100u);
+  EXPECT_EQ(task->state, TaskState::kExited);
+}
+
+TEST(MachineTest, UnhandledFatalSignalKills) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  Task* task = machine.find_task(tid);
+  SigInfo info;
+  info.signo = kSigterm;
+  task->pending_signals.push_back(info);
+  machine.run();
+  EXPECT_EQ(task->exit_code, 128 + kSigterm);
+}
+
+TEST(MachineTest, SigreturnWithoutFrameKills) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, kSysRtSigreturn);
+  a.syscall_();
+  a.hlt();
+  auto program = isa::make_program("badsigret", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 139);
+}
+
+TEST(MachineTest, RtSigactionSyscallRegistersHandler) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  // Write a fake sigaction {handler=0x1234, flags=0, mask=0} into data
+  // memory, register it for SIGUSR1, read it back via oldact.
+  a.mov(Gpr::rbx, apps::kDataBase);
+  a.mov(Gpr::rcx, 0x1234);
+  a.store(Gpr::rbx, 0, Gpr::rcx);
+  a.mov(Gpr::rcx, 0);
+  a.store(Gpr::rbx, 8, Gpr::rcx);
+  a.store(Gpr::rbx, 16, Gpr::rcx);
+  a.mov(Gpr::rdi, kSigusr1);
+  a.mov(Gpr::rsi, apps::kDataBase);
+  a.mov(Gpr::rdx, 0);
+  apps::emit_syscall(a, kSysRtSigaction);
+  // oldact probe:
+  a.mov(Gpr::rdi, kSigusr1);
+  a.mov(Gpr::rsi, 0);
+  a.mov(Gpr::rdx, apps::kDataBase + 64);
+  apps::emit_syscall(a, kSysRtSigaction);
+  a.mov(Gpr::r9, apps::kDataBase);
+  a.load(Gpr::rdi, Gpr::r9, 64);  // old handler
+  apps::emit_syscall(a, kSysExitGroup);
+  auto program = isa::make_program("sigact", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 0x1234);
+}
+
+TEST(MachineTest, SigprocmaskBlocksDelivery) {
+  Machine machine;
+  auto program = testutil::make_syscall_loop(kSysGetpid, 30, "masked");
+  auto tid = machine.load(program).value();
+  Task* task = machine.find_task(tid);
+  int runs = 0;
+  bind_handler(machine, tid, kSigusr1, [&](HostFrame& frame) {
+    ++runs;
+    (void)frame.syscall(kSysRtSigreturn);
+  });
+  task->sigmask = 1ULL << kSigusr1;
+  SigInfo info;
+  info.signo = kSigusr1;
+  task->pending_signals.push_back(info);
+  machine.run();
+  EXPECT_EQ(runs, 0);  // stayed pending, never delivered
+  EXPECT_EQ(task->exit_code, 0);
+}
+
+// --- SUD semantics ---------------------------------------------------------------
+
+struct SudFixture {
+  Machine machine;
+  Tid tid = 0;
+  std::uint64_t selector_addr = 0;
+  std::vector<std::uint64_t> intercepted;
+
+  explicit SudFixture(isa::Program program, std::uint8_t initial_selector) {
+    tid = machine.load(program).value();
+    Task* task = machine.find_task(tid);
+    selector_addr = task->mem->map(0, 4096, mem::kProtRead | mem::kProtWrite,
+                                   false)
+                        .value();
+    (void)task->mem->write_u8(selector_addr, initial_selector);
+
+    const std::uint64_t handler = machine.bind_host(
+        "test.sigsys", [this](HostFrame& frame) {
+          const SigInfo info = frame.task.signal_frames.back().info;
+          EXPECT_EQ(info.code, kSigsysUserDispatch);
+          intercepted.push_back(info.syscall_nr);
+          // Emulate the syscall as skipped: set result, allow, sigreturn.
+          frame.task.signal_frames.back().saved_context.set_reg(Gpr::rax, 0);
+          (void)frame.task.mem->write_u8(selector_addr, kSudAllow);
+          (void)frame.syscall(kSysRtSigreturn);
+          (void)frame.task.mem->write_u8(selector_addr, kSudBlock);
+        });
+    task->process->sigactions[kSigsys] = SigAction{handler, kSaSiginfo, 0};
+    task->sud.enabled = true;
+    task->sud.selector_addr = selector_addr;
+  }
+};
+
+TEST(SudTest, SelectorAllowPassesThrough) {
+  SudFixture f(testutil::make_syscall_loop(kSysGetpid, 5, "sud-allow"),
+               kSudAllow);
+  f.machine.run();
+  EXPECT_TRUE(f.intercepted.empty());
+  EXPECT_EQ(f.machine.find_task(f.tid)->exit_code, 0);
+}
+
+TEST(SudTest, SelectorBlockRaisesSigsys) {
+  SudFixture f(testutil::make_getpid_once(), kSudBlock);
+  f.machine.run();
+  // getpid intercepted; exit_group then intercepted too (selector reset to
+  // BLOCK after the first sigreturn) — the handler emulates both as no-ops,
+  // so the program "exits" only when the emulated exit_group result lets it
+  // fall through to hlt... exit_group emulated as skipped means the program
+  // runs past its end. To keep this test focused, just verify getpid was
+  // intercepted first.
+  ASSERT_FALSE(f.intercepted.empty());
+  EXPECT_EQ(f.intercepted[0], kSysGetpid);
+  EXPECT_EQ(f.machine.find_task(f.tid)->sud_sigsys_count,
+            f.intercepted.size());
+}
+
+TEST(SudTest, AllowlistedRangeBypassesSelector) {
+  // Program with one syscall; allowlist the whole text so nothing traps.
+  auto program = testutil::make_getpid_once();
+  SudFixture f(program, kSudBlock);
+  Task* task = f.machine.find_task(f.tid);
+  task->sud.allow_start = program.base;
+  task->sud.allow_len = program.image.size() + 16;
+  f.machine.run();
+  EXPECT_TRUE(f.intercepted.empty());
+  EXPECT_EQ(task->state, TaskState::kExited);
+}
+
+TEST(SudTest, InvalidSelectorValueKills) {
+  SudFixture f(testutil::make_getpid_once(), 0x7F);
+  f.machine.run();
+  EXPECT_EQ(f.machine.find_task(f.tid)->exit_code, 128 + kSigsys);
+}
+
+TEST(SudTest, SigsysDefaultDispositionKills) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  Task* task = machine.find_task(tid);
+  auto page = task->mem->map(0, 4096, mem::kProtRead | mem::kProtWrite, false)
+                  .value();
+  (void)task->mem->write_u8(page, kSudBlock);
+  task->sud.enabled = true;
+  task->sud.selector_addr = page;
+  machine.run();
+  EXPECT_EQ(task->exit_code, 128 + kSigsys);
+}
+
+TEST(SudTest, HostSyscallWithBlockedSelectorIsFatalRecursion) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  Task* task = machine.find_task(tid);
+  auto page = task->mem->map(0, 4096, mem::kProtRead | mem::kProtWrite, false)
+                  .value();
+  (void)task->mem->write_u8(page, kSudBlock);
+  const std::uint64_t handler = machine.bind_host(
+      "bad.sigsys", [](HostFrame& frame) {
+        // BUG under test: performing a syscall without flipping the selector.
+        (void)frame.syscall(kSysGetpid);
+      });
+  task->process->sigactions[kSigsys] = SigAction{handler, kSaSiginfo, 0};
+  task->sud.enabled = true;
+  task->sud.selector_addr = page;
+  machine.run();
+  EXPECT_EQ(task->exit_code, 128 + kSigsys);
+  EXPECT_NE(machine.last_fatal().find("recursive"), std::string::npos);
+}
+
+// --- process management -----------------------------------------------------------
+
+TEST(ProcessTest, ForkReturnsZeroInChildAndTidInParent) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  auto child_path = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, kSysFork);
+  a.syscall_();
+  a.cmp(Gpr::rax, 0);
+  a.jz(child_path);
+  apps::emit_exit(a, 1);  // parent
+  a.bind(child_path);
+  apps::emit_exit(a, 2);  // child
+  auto program = isa::make_program("forker", a, entry).value();
+
+  Tid tid = 0;
+  EXPECT_EQ(load_and_run(machine, program, &tid), 1);
+  // Find the child: any other task.
+  int child_codes = 0;
+  for (Tid other : machine.task_ids()) {
+    if (other == tid) continue;
+    child_codes = machine.find_task(other)->exit_code;
+  }
+  EXPECT_EQ(child_codes, 2);
+}
+
+TEST(ProcessTest, ForkCopiesMemory) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  auto child_path = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rbx, apps::kDataBase);
+  a.mov(Gpr::rcx, 10);
+  a.store(Gpr::rbx, 0, Gpr::rcx);
+  a.mov(Gpr::rax, kSysFork);
+  a.syscall_();
+  a.cmp(Gpr::rax, 0);
+  a.jz(child_path);
+  // Parent: overwrite, then exit with the (unchanged-by-child) value.
+  a.mov(Gpr::rcx, 20);
+  a.store(Gpr::rbx, 0, Gpr::rcx);
+  a.load(Gpr::rdi, Gpr::rbx, 0);
+  apps::emit_syscall(a, kSysExitGroup);
+  a.bind(child_path);
+  // Child: spins briefly, then exits with its own copy's value.
+  a.load(Gpr::rdi, Gpr::rbx, 0);
+  apps::emit_syscall(a, kSysExitGroup);
+  auto program = isa::make_program("forkmem", a, entry).value();
+  Tid tid = 0;
+  EXPECT_EQ(load_and_run(machine, program, &tid), 20);
+  for (Tid other : machine.task_ids()) {
+    if (other != tid) {
+      EXPECT_EQ(machine.find_task(other)->exit_code, 10);
+    }
+  }
+}
+
+TEST(ProcessTest, CloneVmSharesMemory) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  auto child_path = a.new_label();
+  auto wait_loop = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rbx, apps::kDataBase);
+  a.mov(Gpr::rcx, 0);
+  a.store(Gpr::rbx, 0, Gpr::rcx);
+  a.mov(Gpr::rdi, kCloneVm | kCloneThread);
+  a.mov(Gpr::rsi, apps::kDataBase + 0x8000);  // child stack
+  a.mov(Gpr::rax, kSysClone);
+  a.syscall_();
+  a.cmp(Gpr::rax, 0);
+  a.jz(child_path);
+  // Parent waits for the child's store to become visible.
+  a.bind(wait_loop);
+  a.load(Gpr::rcx, Gpr::rbx, 0);
+  a.cmp(Gpr::rcx, 42);
+  a.jnz(wait_loop);
+  apps::emit_exit(a, 0);
+  a.bind(child_path);
+  a.mov(Gpr::rcx, 42);
+  a.store(Gpr::rbx, 0, Gpr::rcx);
+  a.mov(Gpr::rdi, 0);
+  a.mov(Gpr::rax, kSysExit);
+  a.syscall_();
+  auto program = isa::make_program("threads", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 0);
+}
+
+TEST(ProcessTest, SudResetOnForkAndClone) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  auto child_path = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, kSysFork);
+  a.syscall_();
+  a.cmp(Gpr::rax, 0);
+  a.jz(child_path);
+  apps::emit_exit(a, 0);
+  a.bind(child_path);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("sudfork", a, entry).value();
+  auto tid = machine.load(program).value();
+  Task* parent = machine.find_task(tid);
+  auto page =
+      parent->mem->map(0, 4096, mem::kProtRead | mem::kProtWrite, false).value();
+  (void)parent->mem->write_u8(page, kSudAllow);
+  parent->sud.enabled = true;
+  parent->sud.selector_addr = page;
+  machine.run();
+  for (Tid other : machine.task_ids()) {
+    if (other == tid) continue;
+    EXPECT_FALSE(machine.find_task(other)->sud.enabled)
+        << "SUD must be deactivated in clone/fork children";
+  }
+  EXPECT_TRUE(parent->sud.enabled);
+}
+
+TEST(ProcessTest, ExecveReplacesImageAndClearsSud) {
+  Machine machine;
+  // Target program: exits 55.
+  Assembler target;
+  auto target_entry = target.new_label();
+  target.bind(target_entry);
+  apps::emit_exit(target, 55);
+  auto target_program =
+      isa::make_program("target-image", target, target_entry).value();
+  machine.register_program(target_program);
+
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t name = apps::embed_string(a, "target-image");
+  a.mov(Gpr::rdi, name);
+  apps::emit_syscall(a, kSysExecve);
+  apps::emit_exit(a, 99);  // unreachable on success
+  auto program = isa::make_program("execer", a, entry).value();
+
+  auto tid = machine.load(program).value();
+  Task* task = machine.find_task(tid);
+  auto page =
+      task->mem->map(0, 4096, mem::kProtRead | mem::kProtWrite, false).value();
+  (void)task->mem->write_u8(page, kSudAllow);
+  task->sud.enabled = true;
+  task->sud.selector_addr = page;
+
+  machine.run();
+  EXPECT_EQ(task->exit_code, 55);
+  EXPECT_FALSE(task->sud.enabled);
+  EXPECT_EQ(task->process->program_name, "target-image");
+}
+
+TEST(ProcessTest, ExecveMissingProgramFails) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t name = apps::embed_string(a, "no-such-image");
+  a.mov(Gpr::rdi, name);
+  apps::emit_syscall(a, kSysExecve);
+  a.mov(Gpr::rbx, 0);
+  a.sub(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  apps::emit_syscall(a, kSysExitGroup);
+  auto program = isa::make_program("execfail", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), kENOENT);
+}
+
+// --- seccomp via the syscall interface ----------------------------------------------
+
+TEST(SeccompSyscallTest, AttachedFilterForcesErrno) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  // Build in data memory: filter = [ld nr; jeq 39,0,1; ret ERRNO|7; ret ALLOW]
+  // Each insn packs as u64: code | jt<<16 | jf<<24 | k<<32.
+  auto pack = [](std::uint16_t code, std::uint8_t jt, std::uint8_t jf,
+                 std::uint32_t k) {
+    return static_cast<std::uint64_t>(code) |
+           (static_cast<std::uint64_t>(jt) << 16) |
+           (static_cast<std::uint64_t>(jf) << 24) |
+           (static_cast<std::uint64_t>(k) << 32);
+  };
+  const std::uint64_t insns = apps::kDataBase + 64;
+  a.mov(Gpr::rbx, insns);
+  a.mov(Gpr::rcx, pack(bpf::BPF_LD | bpf::BPF_W | bpf::BPF_ABS, 0, 0, 0));
+  a.store(Gpr::rbx, 0, Gpr::rcx);
+  a.mov(Gpr::rcx, pack(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K, 0, 1, 39));
+  a.store(Gpr::rbx, 8, Gpr::rcx);
+  a.mov(Gpr::rcx, pack(bpf::BPF_RET | bpf::BPF_K, 0, 0,
+                        bpf::SECCOMP_RET_ERRNO | 7));
+  a.store(Gpr::rbx, 16, Gpr::rcx);
+  a.mov(Gpr::rcx, pack(bpf::BPF_RET | bpf::BPF_K, 0, 0,
+                        bpf::SECCOMP_RET_ALLOW));
+  a.store(Gpr::rbx, 24, Gpr::rcx);
+  // fprog = {len=4, ptr=insns}
+  a.mov(Gpr::r9, apps::kDataBase);
+  a.mov(Gpr::rcx, 4);
+  a.store(Gpr::r9, 0, Gpr::rcx);
+  a.store(Gpr::r9, 8, Gpr::rbx);
+  a.mov(Gpr::rdi, kSeccompSetModeFilter);
+  a.mov(Gpr::rsi, 0);
+  a.mov(Gpr::rdx, apps::kDataBase);
+  apps::emit_syscall(a, kSysSeccomp);
+  // getpid should now fail with -7.
+  a.mov(Gpr::rax, kSysGetpid);
+  a.syscall_();
+  a.mov(Gpr::rbx, 0);
+  a.sub(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  apps::emit_syscall(a, kSysExitGroup);
+  auto program = isa::make_program("seccomped", a, entry).value();
+  EXPECT_EQ(load_and_run(machine, program), 7);
+}
+
+// --- cost accounting ---------------------------------------------------------------
+
+TEST(CostTest, SudEnabledAddsEntryOverhead) {
+  const std::uint64_t iterations = 200;
+  auto program = testutil::make_syscall_loop(kSysNonexistent, iterations);
+
+  const std::uint64_t baseline = testutil::measure_cycles(program);
+  const std::uint64_t with_sud = testutil::measure_cycles(
+      program, [](Machine& machine, Tid tid) {
+        Task* task = machine.find_task(tid);
+        auto page = task->mem->map(0, 4096,
+                                   mem::kProtRead | mem::kProtWrite, false)
+                        .value();
+        (void)task->mem->write_u8(page, kSudAllow);
+        task->sud.enabled = true;
+        task->sud.selector_addr = page;
+      });
+  EXPECT_GT(with_sud, baseline);
+  const double ratio = static_cast<double>(with_sud - baseline) /
+                       static_cast<double>(iterations);
+  CostModel costs;
+  EXPECT_NEAR(ratio,
+              static_cast<double>(costs.intercept_check + costs.sud_range_check +
+                                  costs.sud_selector_read),
+              3.0);
+}
+
+TEST(CostTest, ClockGettimeReflectsCycles) {
+  Machine machine;
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rdi, 0);
+  a.mov(Gpr::rsi, apps::kDataBase);
+  apps::emit_syscall(a, kSysClockGettime);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("clock", a, entry).value();
+  Tid tid = 0;
+  load_and_run(machine, program, &tid);
+  auto nsec = machine.find_task(tid)->mem->read_u64(apps::kDataBase + 8);
+  ASSERT_TRUE(nsec.is_ok());
+  EXPECT_GT(nsec.value(), 0u);
+}
+
+}  // namespace
+}  // namespace lzp::kern

@@ -1,0 +1,600 @@
+#include <gtest/gtest.h>
+
+#include "apps/jitcc.hpp"
+#include "core/lazypoline.hpp"
+#include "mechanisms/sud_tool.hpp"
+#include "sim_test_util.hpp"
+
+namespace lzp::core {
+namespace {
+
+using interpose::TracingHandler;
+using kern::Machine;
+using kern::Tid;
+
+struct LazyFixture {
+  Machine machine;
+  Tid tid = 0;
+  std::shared_ptr<TracingHandler> handler = std::make_shared<TracingHandler>();
+  std::shared_ptr<Lazypoline> runtime;
+
+  explicit LazyFixture(const isa::Program& program, LazypolineConfig config = {}) {
+    machine.mmap_min_addr = 0;
+    machine.register_program(program);
+    tid = machine.load(program).value();
+    runtime = Lazypoline::create(machine, config);
+    auto status = runtime->install(machine, tid, handler);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+  }
+
+  kern::Task* task() { return machine.find_task(tid); }
+};
+
+TEST(LazypolineTest, InterposesEverythingWithCorrectResults) {
+  auto program = testutil::make_getpid_once();
+  LazyFixture f(program);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+
+  EXPECT_EQ(f.handler->traced_numbers(),
+            (std::vector<std::uint64_t>{kern::kSysGetpid, kern::kSysExitGroup}));
+  EXPECT_EQ(f.handler->trace()[0].result, f.task()->process->pid);
+  EXPECT_EQ(f.task()->exit_code, static_cast<int>(f.task()->process->pid));
+}
+
+TEST(LazypolineTest, FirstUseSlowPathThenFastPath) {
+  const std::uint64_t iterations = 40;
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
+  LazyFixture f(program);
+  f.machine.run();
+
+  const LazypolineStats& stats = f.runtime->stats();
+  // One loop site + one exit site discovered via SIGSYS...
+  EXPECT_EQ(stats.slow_path_hits, 2u);
+  EXPECT_EQ(stats.sites_rewritten, 2u);
+  // ...and every invocation (including the first, after redirection) went
+  // through the shared entry.
+  EXPECT_EQ(stats.entry_invocations, iterations + 1);
+  EXPECT_EQ(stats.fast_path_hits(), iterations + 1 - 2);
+  EXPECT_EQ(f.handler->trace().size(), iterations + 1);
+  // The kernel delivered exactly 2 SIGSYS signals.
+  EXPECT_EQ(f.task()->sud_sigsys_count, 2u);
+}
+
+TEST(LazypolineTest, RewrittenSiteBytesAreCallRax) {
+  auto program = testutil::make_getpid_once();
+  LazyFixture f(program);
+  f.machine.run();
+  for (std::uint64_t site : program.true_syscall_addresses()) {
+    std::uint8_t bytes[2];
+    ASSERT_TRUE(f.task()->mem->read_force(site, bytes).is_ok());
+    EXPECT_EQ(bytes[0], isa::kByteFF);
+    EXPECT_EQ(bytes[1], isa::kByteCallRax2);
+  }
+  // Page permissions were restored to R|X after each rewrite.
+  EXPECT_EQ(f.task()->mem->prot_at(program.base).value(),
+            mem::kProtRead | mem::kProtExec);
+}
+
+TEST(LazypolineTest, SelectorOnlySudNoAllowlistedRange) {
+  auto program = testutil::make_getpid_once();
+  LazyFixture f(program);
+  EXPECT_TRUE(f.task()->sud.enabled);
+  EXPECT_EQ(f.task()->sud.allow_len, 0u)
+      << "selector-only SUD: no code range is exempt (paper IV-A)";
+  f.machine.run();
+  EXPECT_EQ(f.task()->sud.allow_len, 0u);
+}
+
+TEST(LazypolineTest, SelectorIsBlockWhileAppCodeRuns) {
+  // The application itself reads its %gs-relative selector byte right after
+  // an interposed syscall returns: the entry must have flipped it back to
+  // BLOCK before handing control back (otherwise later syscalls escape).
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.load_gs8(isa::Gpr::rdi, Lazypoline::kGsSelector);  // selector byte
+  apps::emit_syscall(a, kern::kSysExitGroup);
+  auto program = isa::make_program("selector-probe", a, entry).value();
+
+  LazyFixture f(program);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.task()->exit_code, kern::kSudBlock);
+}
+
+TEST(LazypolineTest, PreservesXstateAgainstClobberingInterposer) {
+  // Listing-1 pattern + clobbering handler: lazypoline (full xstate mode)
+  // must hide the interposer's xmm/x87 usage from the application.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::r12, 0x1234);
+  a.xmov_from_gpr(0, isa::Gpr::r12);
+  a.fld(0x4000000000000000ULL);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.xmov_to_gpr(isa::Gpr::rbx, 0);
+  a.fstp(isa::Gpr::r14);  // x87 value checked host-side after exit
+  a.cmp(isa::Gpr::rbx, 0x1234);
+  auto ok = a.new_label();
+  a.jz(ok);
+  apps::emit_exit(a, 1);
+  a.bind(ok);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("xstate-dep", a, entry).value();
+
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto runtime = Lazypoline::create(machine, {});
+  auto clobbering = std::make_shared<interpose::XstateClobberingHandler>(
+      std::make_shared<interpose::DummyHandler>());
+  ASSERT_TRUE(runtime->install(machine, tid, clobbering).is_ok());
+  machine.run();
+  kern::Task* task = machine.find_task(tid);
+  EXPECT_EQ(task->exit_code, 0) << "xstate must be preserved in full mode";
+  // And the x87 value survived too.
+  EXPECT_EQ(task->ctx.reg(isa::Gpr::r14), 0x4000000000000000ULL);
+}
+
+TEST(LazypolineTest, XstateModeNoneLeaksClobber) {
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::r12, 0x1234);
+  a.xmov_from_gpr(0, isa::Gpr::r12);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.xmov_to_gpr(isa::Gpr::rbx, 0);
+  a.cmp(isa::Gpr::rbx, 0x1234);
+  auto ok = a.new_label();
+  a.jz(ok);
+  apps::emit_exit(a, 1);
+  a.bind(ok);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("xstate-dep2", a, entry).value();
+
+  LazypolineConfig config;
+  config.xstate = XstateMode::kNone;
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto runtime = Lazypoline::create(machine, config);
+  auto clobbering = std::make_shared<interpose::XstateClobberingHandler>(
+      std::make_shared<interpose::DummyHandler>());
+  ASSERT_TRUE(runtime->install(machine, tid, clobbering).is_ok());
+  machine.run();
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 1)
+      << "without xstate preservation the clobber reaches the app";
+}
+
+TEST(LazypolineTest, SseModePreservesXmmButNotX87) {
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::r12, 0x77);
+  a.xmov_from_gpr(2, isa::Gpr::r12);
+  a.fld(0x4000000000000000ULL);  // x87 value, NOT covered by kSse mode
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.xmov_to_gpr(isa::Gpr::rdi, 2);  // exit code = xmm2 low lane
+  a.fstp(isa::Gpr::r14);            // checked host-side
+  apps::emit_syscall(a, kern::kSysExitGroup);
+  auto program = isa::make_program("sse-dep", a, entry).value();
+
+  LazypolineConfig config;
+  config.xstate = XstateMode::kSse;
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto runtime = Lazypoline::create(machine, config);
+  auto clobbering = std::make_shared<interpose::XstateClobberingHandler>(
+      std::make_shared<interpose::DummyHandler>());
+  ASSERT_TRUE(runtime->install(machine, tid, clobbering).is_ok());
+  machine.run();
+  kern::Task* task = machine.find_task(tid);
+  // XMM was preserved by kSse mode...
+  EXPECT_EQ(task->exit_code, 0x77);
+  // ...but the x87 stack was not: the clobberer's push leaked through, so
+  // the app's fstp pops the wrong value.
+  EXPECT_NE(task->ctx.reg(isa::Gpr::r14), 0x4000000000000000ULL);
+}
+
+TEST(LazypolineTest, MatchesSudTraceExactly) {
+  // The exhaustiveness bar: lazypoline must see the same syscalls, in the
+  // same order, as a pure-SUD deployment (paper §V-A).
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, 10);
+
+  std::vector<std::uint64_t> sud_trace;
+  {
+    Machine machine;
+    auto tid = machine.load(program).value();
+    auto handler = std::make_shared<TracingHandler>();
+    mechanisms::SudMechanism mechanism;
+    ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+    machine.run();
+    sud_trace = handler->traced_numbers();
+  }
+  std::vector<std::uint64_t> lazy_trace;
+  {
+    LazyFixture f(program);
+    f.machine.run();
+    lazy_trace = f.handler->traced_numbers();
+  }
+  EXPECT_EQ(sud_trace, lazy_trace);
+}
+
+TEST(LazypolineTest, InterposesJitGeneratedSyscalls) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  const std::string src = apps::exhaustiveness_test_source();
+  (void)machine.vfs().put_file(
+      "prog.c", std::vector<std::uint8_t>(src.begin(), src.end()));
+  auto runner = apps::make_jit_runner(machine, "prog.c").value();
+  machine.register_program(runner.program);
+  auto tid = machine.load(runner.program).value();
+
+  auto handler = std::make_shared<TracingHandler>();
+  auto runtime = Lazypoline::create(machine, {});
+  ASSERT_TRUE(runtime->install(machine, tid, handler).is_ok());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+
+  const auto numbers = handler->traced_numbers();
+  // The JIT-generated getpid IS in the trace (unlike zpoline).
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGetpid}) != numbers.end());
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 21);
+}
+
+TEST(LazypolineTest, ForkChildIsReinterposed) {
+  isa::Assembler a;
+  auto entry = a.new_label();
+  auto child_path = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rax, kern::kSysFork);
+  a.syscall_();
+  a.cmp(isa::Gpr::rax, 0);
+  a.jz(child_path);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);  // parent: getpid then exit 3
+  a.syscall_();
+  apps::emit_exit(a, 3);
+  a.bind(child_path);
+  a.mov(isa::Gpr::rax, kern::kSysGettid);  // child: gettid then exit 4
+  a.syscall_();
+  apps::emit_exit(a, 4);
+  auto program = isa::make_program("forker", a, entry).value();
+
+  LazyFixture f(program);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+
+  EXPECT_EQ(f.runtime->stats().children_initialized, 1u);
+  // Child task: SUD re-enabled with its own selector.
+  kern::Task* child = nullptr;
+  for (Tid other : f.machine.task_ids()) {
+    if (other != f.tid) child = f.machine.find_task(other);
+  }
+  ASSERT_NE(child, nullptr);
+  EXPECT_TRUE(child->sud.enabled);
+  EXPECT_NE(child->sud.selector_addr, f.task()->sud.selector_addr);
+  EXPECT_EQ(child->exit_code, 4);
+  EXPECT_EQ(f.task()->exit_code, 3);
+
+  // The child's gettid was interposed.
+  const auto numbers = f.handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGettid}) != numbers.end());
+}
+
+TEST(LazypolineTest, CloneThreadGetsOwnSelector) {
+  isa::Assembler a;
+  auto entry = a.new_label();
+  auto child_path = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rdi, kern::kCloneVm | kern::kCloneThread);
+  a.mov(isa::Gpr::rsi, apps::kDataBase + 0x8000);
+  a.mov(isa::Gpr::rax, kern::kSysClone);
+  a.syscall_();
+  a.cmp(isa::Gpr::rax, 0);
+  a.jz(child_path);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  a.bind(child_path);
+  a.mov(isa::Gpr::rax, kern::kSysGettid);
+  a.syscall_();
+  a.mov(isa::Gpr::rdi, 0);
+  a.mov(isa::Gpr::rax, kern::kSysExit);
+  a.syscall_();
+  auto program = isa::make_program("threads", a, entry).value();
+
+  LazyFixture f(program);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.runtime->stats().children_initialized, 1u);
+
+  kern::Task* child = nullptr;
+  for (Tid other : f.machine.task_ids()) {
+    if (other != f.tid) child = f.machine.find_task(other);
+  }
+  ASSERT_NE(child, nullptr);
+  EXPECT_TRUE(child->sud.enabled);
+  // Threads share memory but must have distinct selectors (paper §IV-B).
+  EXPECT_EQ(child->mem.get(), f.task()->mem.get());
+  EXPECT_NE(child->sud.selector_addr, f.task()->sud.selector_addr);
+}
+
+TEST(LazypolineTest, ExecveReinitializesViaPreload) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+
+  // Target image: getpid (must be interposed post-execve) then exit 9.
+  isa::Assembler t;
+  auto t_entry = t.new_label();
+  t.bind(t_entry);
+  t.mov(isa::Gpr::rax, kern::kSysGetpid);
+  t.syscall_();
+  apps::emit_exit(t, 9);
+  auto target = isa::make_program("exec-target", t, t_entry).value();
+  machine.register_program(target);
+
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t name = apps::embed_string(a, "exec-target");
+  a.mov(isa::Gpr::rdi, name);
+  apps::emit_syscall(a, kern::kSysExecve);
+  apps::emit_exit(a, 1);  // unreachable
+  auto program = isa::make_program("execer", a, entry).value();
+  machine.register_program(program);
+
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<TracingHandler>();
+  auto runtime = Lazypoline::create(machine, {});
+  runtime->attach_as_preload();
+  ASSERT_TRUE(runtime->install(machine, tid, handler).is_ok());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 9);
+  EXPECT_GE(runtime->stats().execves_reinitialized, 1u);
+  // The post-execve getpid was interposed.
+  const auto numbers = handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGetpid}) != numbers.end());
+}
+
+// --- application signal handling (Figure 3) ----------------------------------
+
+TEST(LazypolineTest, VirtualizedSignalHandlerRunsAndSyscallsAreInterposed) {
+  // Program: registers a sim-code SIGUSR1 handler that performs getpid and
+  // increments a counter, then loops on nanosleep until the counter is set,
+  // then exits 0.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  auto handler_code = a.new_label();
+  auto wait_loop = a.new_label();
+  auto done = a.new_label();
+
+  a.bind(entry);
+  // sigaction(SIGUSR1, {handler=handler_code, flags=0, mask=0}, NULL)
+  a.mov(isa::Gpr::rbx, apps::kDataBase);
+  // We need the absolute address of handler_code: the program is loaded at
+  // a fixed base, and the label offset is patched at link time via a mov
+  // trick: lea-like sequence using a call-free idiom is unavailable, so we
+  // assemble the handler first at a known offset instead.
+  a.jmp(wait_loop);  // placeholder flow; real registration below
+
+  a.bind(handler_code);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  // The completion flag must live in MEMORY: sigreturn restores every
+  // register, so a register write inside a handler is invisible outside.
+  a.mov(isa::Gpr::rcx, 1);
+  a.store(isa::Gpr::rbx, 0x300, isa::Gpr::rcx);
+  a.ret();
+
+  a.bind(wait_loop);
+  // Register the handler now that its offset is fixed: we cheat slightly by
+  // having the harness patch the address into data memory (see below); the
+  // program reads it from a fixed slot.
+  a.load(isa::Gpr::rcx, isa::Gpr::rbx, 0x200);  // handler address slot
+  a.store(isa::Gpr::rbx, 0, isa::Gpr::rcx);
+  a.mov(isa::Gpr::rcx, 0);
+  a.store(isa::Gpr::rbx, 8, isa::Gpr::rcx);
+  a.store(isa::Gpr::rbx, 16, isa::Gpr::rcx);
+  a.mov(isa::Gpr::rdi, kern::kSigusr1);
+  a.mov(isa::Gpr::rsi, apps::kDataBase);
+  a.mov(isa::Gpr::rdx, 0);
+  apps::emit_syscall(a, kern::kSysRtSigaction);
+  a.bind(done);
+  a.mov(isa::Gpr::rax, kern::kSysSchedYield);
+  a.syscall_();
+  a.load(isa::Gpr::rcx, isa::Gpr::rbx, 0x300);  // flag set by the handler
+  a.cmp(isa::Gpr::rcx, 1);
+  auto exit_ok = a.new_label();
+  a.jz(exit_ok);
+  a.jmp(done);
+  a.bind(exit_ok);
+  apps::emit_exit(a, 0);
+
+  const std::uint64_t handler_offset = a.label_offset(handler_code).value();
+  auto program = isa::make_program("sighandler", a, entry).value();
+
+  LazyFixture f(program);
+  // Plant the handler's absolute address for the program to read.
+  ASSERT_TRUE(f.task()
+                  ->mem
+                  ->write_u64(apps::kDataBase + 0x200,
+                              program.base + handler_offset)
+                  .is_ok());
+  // Let it register the handler and start looping, then signal it.
+  f.machine.run(3000);
+  ASSERT_TRUE(f.task()->runnable()) << f.machine.last_fatal();
+  kern::SigInfo info;
+  info.signo = kern::kSigusr1;
+  f.task()->pending_signals.push_back(info);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+
+  EXPECT_EQ(f.task()->exit_code, 0);
+  EXPECT_GE(f.runtime->stats().signals_wrapped, 1u);
+  EXPECT_GE(f.runtime->stats().sigreturns_trampolined, 1u);
+  // The handler's getpid was interposed (selector was BLOCK inside it).
+  const auto numbers = f.handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGetpid}) != numbers.end());
+  // Signal frames fully unwound.
+  EXPECT_TRUE(f.task()->signal_frames.empty());
+}
+
+TEST(LazypolineTest, SigactionOldactReportsAppHandlerNotWrapper) {
+  // The application registers 0x1234 as its SIGUSR1 handler, then queries
+  // it back via oldact. Lazypoline installs its own wrapper kernel-side,
+  // but the app must see only its own handler value (Figure 3 fidelity).
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, apps::kDataBase);
+  a.mov(isa::Gpr::rcx, 0x1234);
+  a.store(isa::Gpr::rbx, 0, isa::Gpr::rcx);
+  a.mov(isa::Gpr::rcx, 0);
+  a.store(isa::Gpr::rbx, 8, isa::Gpr::rcx);
+  a.store(isa::Gpr::rbx, 16, isa::Gpr::rcx);
+  a.mov(isa::Gpr::rdi, kern::kSigusr1);
+  a.mov(isa::Gpr::rsi, apps::kDataBase);
+  a.mov(isa::Gpr::rdx, 0);
+  apps::emit_syscall(a, kern::kSysRtSigaction);
+  // Query: rt_sigaction(SIGUSR1, NULL, dataBase+64)
+  a.mov(isa::Gpr::rdi, kern::kSigusr1);
+  a.mov(isa::Gpr::rsi, 0);
+  a.mov(isa::Gpr::rdx, apps::kDataBase + 64);
+  apps::emit_syscall(a, kern::kSysRtSigaction);
+  a.mov(isa::Gpr::r9, apps::kDataBase);
+  a.load(isa::Gpr::rdi, isa::Gpr::r9, 64);
+  apps::emit_syscall(a, kern::kSysExitGroup);
+  auto program = isa::make_program("sigact-query", a, entry).value();
+
+  LazyFixture f(program);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.task()->exit_code, 0x1234);
+  // Kernel-side, the registered handler is lazypoline's wrapper — a host
+  // address, not the app's 0x1234.
+  const kern::SigAction kernel_side =
+      f.task()->process->sigactions[kern::kSigusr1];
+  EXPECT_NE(kernel_side.handler, 0x1234u);
+  EXPECT_TRUE(f.machine.is_host_addr(kernel_side.handler));
+}
+
+TEST(LazypolineTest, ManualRewritePlusDisabledSudIsPureFastPath) {
+  const std::uint64_t iterations = 60;
+  auto program = testutil::make_syscall_loop(kern::kSysNonexistent, iterations);
+  LazyFixture f(program);
+  // Rewrite both sites up front (paper §V-B microbenchmark methodology),
+  // then disarm SUD entirely: no slow path, no SUD entry cost.
+  for (std::uint64_t site : program.true_syscall_addresses()) {
+    ASSERT_TRUE(f.runtime->rewrite_site_manually(f.tid, site).is_ok());
+  }
+  ASSERT_TRUE(f.runtime->disable_sud(f.tid).is_ok());
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.runtime->stats().slow_path_hits, 0u);
+  EXPECT_EQ(f.runtime->stats().entry_invocations, iterations + 1);
+  EXPECT_EQ(f.task()->sud_sigsys_count, 0u);
+}
+
+TEST(LazypolineTest, PureSudModeNeverRewrites) {
+  LazypolineConfig config;
+  config.rewrite_to_fast_path = false;
+  const std::uint64_t iterations = 15;
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
+  LazyFixture f(program, config);
+  f.machine.run();
+  EXPECT_EQ(f.runtime->stats().sites_rewritten, 0u);
+  EXPECT_EQ(f.runtime->stats().slow_path_hits, iterations + 1);
+  EXPECT_EQ(f.handler->trace().size(), iterations + 1);
+}
+
+TEST(LazypolineTest, RewriteLockStatsCount) {
+  auto program = testutil::make_getpid_once();
+  LazyFixture f(program);
+  f.machine.run();
+  EXPECT_EQ(f.runtime->stats().rewrite_lock_acquisitions,
+            f.runtime->stats().sites_rewritten);
+}
+
+
+TEST(LazypolineSecurityTest, ProtectedSelectorSurvivesNormalOperation) {
+  LazypolineConfig config;
+  config.protect_selector = true;
+  const std::uint64_t iterations = 20;
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
+  LazyFixture f(program, config);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.task()->exit_code, 0);
+  EXPECT_EQ(f.handler->trace().size(), iterations + 1);
+  // The gs region really is read-only to guest code.
+  EXPECT_EQ(f.task()->mem->prot_at(f.task()->sud.selector_addr).value(),
+            mem::kProtRead);
+}
+
+TEST(LazypolineSecurityTest, AttackerSelectorOverwriteIsFatal) {
+  // The paper's SS VI threat: an attacker flips the selector to ALLOW so
+  // later syscalls bypass interposition. With protect_selector, the store
+  // faults and the process dies instead.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rcx, kern::kSudAllow);
+  a.store_gs8(Lazypoline::kGsSelector, isa::Gpr::rcx);  // the attack
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);               // would be unmonitored
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("selector-attack", a, entry).value();
+
+  LazypolineConfig config;
+  config.protect_selector = true;
+  LazyFixture f(program, config);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited);
+  EXPECT_EQ(f.task()->exit_code, 128 + kern::kSigsegv);
+  // Nothing after the attack executed: no getpid in the trace.
+  const auto numbers = f.handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGetpid}) == numbers.end());
+}
+
+TEST(LazypolineSecurityTest, UnprotectedSelectorCanBeDisarmed) {
+  // Without the extension the same attack silently succeeds: the following
+  // getpid escapes interposition entirely (the motivation for SS VI).
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rcx, kern::kSudAllow);
+  a.store_gs8(Lazypoline::kGsSelector, isa::Gpr::rcx);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("selector-attack2", a, entry).value();
+
+  LazyFixture f(program);  // default: unprotected
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.task()->exit_code, 0);
+  const auto numbers = f.handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGetpid}) == numbers.end())
+      << "the disarmed getpid must have bypassed interposition";
+}
+
+}  // namespace
+}  // namespace lzp::core

@@ -1,0 +1,500 @@
+// Second lazypoline suite: SYSENTER rewriting, nested signal handling,
+// emulation/argument-rewriting handlers end-to-end, repeated JIT
+// generations, SIGSYS forwarding, and interposer-visible site addresses.
+#include <gtest/gtest.h>
+
+#include "apps/jitcc.hpp"
+#include "core/lazypoline.hpp"
+#include "sim_test_util.hpp"
+
+namespace lzp::core {
+namespace {
+
+using interpose::TracingHandler;
+using kern::Machine;
+using kern::Tid;
+
+struct LazyFixture {
+  Machine machine;
+  Tid tid = 0;
+  std::shared_ptr<TracingHandler> handler = std::make_shared<TracingHandler>();
+  std::shared_ptr<Lazypoline> runtime;
+
+  explicit LazyFixture(const isa::Program& program,
+                       LazypolineConfig config = {}) {
+    machine.mmap_min_addr = 0;
+    machine.register_program(program);
+    tid = machine.load(program).value();
+    runtime = Lazypoline::create(machine, config);
+    auto status = runtime->install(machine, tid, handler);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+  }
+  kern::Task* task() { return machine.find_task(tid); }
+};
+
+TEST(Lazypoline2Test, SysenterSitesAreDiscoveredAndRewritten) {
+  // The paper's "syscall instruction" covers SYSCALL and SYSENTER — both
+  // 2-byte encodings, both rewritable to CALL RAX.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  auto loop = a.new_label();
+  auto done = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, 10);
+  a.bind(loop);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jz(done);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.sysenter_();  // legacy entry instruction
+  a.sub(isa::Gpr::rbx, 1);
+  a.jmp(loop);
+  a.bind(done);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("sysenter-loop", a, entry).value();
+
+  LazyFixture f(program);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.handler->trace().size(), 11u);
+  EXPECT_EQ(f.runtime->stats().slow_path_hits, 2u);  // sysenter site + exit
+  // The sysenter bytes were rewritten in place.
+  std::uint8_t bytes[2];
+  const std::uint64_t site = program.true_syscall_addresses()[0];
+  ASSERT_TRUE(f.task()->mem->read_force(site, bytes).is_ok());
+  EXPECT_EQ(bytes[0], isa::kByteFF);
+  EXPECT_EQ(bytes[1], isa::kByteCallRax2);
+}
+
+TEST(Lazypoline2Test, NestedApplicationSignals) {
+  // A SIGUSR1 handler that is itself interrupted by SIGUSR2: the selector
+  // sigreturn stack must nest and unwind in order (Figure 3, generalized).
+  isa::Assembler a;
+  auto entry = a.new_label();
+  auto usr1_code = a.new_label();
+  auto usr2_code = a.new_label();
+  auto wait_loop = a.new_label();
+
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, apps::kDataBase);
+  a.jmp(wait_loop);
+
+  // SIGUSR2 handler: one syscall, mark flag2.
+  a.bind(usr2_code);
+  a.mov(isa::Gpr::rax, kern::kSysGettid);
+  a.syscall_();
+  a.mov(isa::Gpr::rcx, 1);
+  a.store(isa::Gpr::rbx, 0x310, isa::Gpr::rcx);
+  a.ret();
+
+  // SIGUSR1 handler: spins until flag2 is set (SIGUSR2 arrives meanwhile),
+  // then marks flag1.
+  a.bind(usr1_code);
+  auto inner_wait = a.new_label();
+  a.bind(inner_wait);
+  a.mov(isa::Gpr::rax, kern::kSysSchedYield);
+  a.syscall_();
+  a.load(isa::Gpr::rcx, isa::Gpr::rbx, 0x310);
+  a.cmp(isa::Gpr::rcx, 1);
+  a.jnz(inner_wait);
+  a.mov(isa::Gpr::rcx, 1);
+  a.store(isa::Gpr::rbx, 0x300, isa::Gpr::rcx);
+  a.ret();
+
+  a.bind(wait_loop);
+  // Register both handlers (addresses patched in by the harness).
+  for (int which = 0; which < 2; ++which) {
+    const std::int32_t slot = which == 0 ? 0x200 : 0x208;
+    const int sig = which == 0 ? kern::kSigusr1 : kern::kSigusr2;
+    a.load(isa::Gpr::rcx, isa::Gpr::rbx, slot);
+    a.store(isa::Gpr::rbx, 0, isa::Gpr::rcx);
+    a.mov(isa::Gpr::rcx, 0);
+    a.store(isa::Gpr::rbx, 8, isa::Gpr::rcx);
+    a.store(isa::Gpr::rbx, 16, isa::Gpr::rcx);
+    a.mov(isa::Gpr::rdi, static_cast<std::uint64_t>(sig));
+    a.mov(isa::Gpr::rsi, apps::kDataBase);
+    a.mov(isa::Gpr::rdx, 0);
+    apps::emit_syscall(a, kern::kSysRtSigaction);
+  }
+  auto outer_wait = a.new_label();
+  a.bind(outer_wait);
+  a.mov(isa::Gpr::rax, kern::kSysSchedYield);
+  a.syscall_();
+  a.load(isa::Gpr::rcx, isa::Gpr::rbx, 0x300);
+  a.cmp(isa::Gpr::rcx, 1);
+  a.jnz(outer_wait);
+  apps::emit_exit(a, 0);
+
+  const std::uint64_t usr1_offset = a.label_offset(usr1_code).value();
+  const std::uint64_t usr2_offset = a.label_offset(usr2_code).value();
+  auto program = isa::make_program("nested-signals", a, entry).value();
+
+  LazyFixture f(program);
+  ASSERT_TRUE(f.task()
+                  ->mem
+                  ->write_u64(apps::kDataBase + 0x200,
+                              program.base + usr1_offset)
+                  .is_ok());
+  ASSERT_TRUE(f.task()
+                  ->mem
+                  ->write_u64(apps::kDataBase + 0x208,
+                              program.base + usr2_offset)
+                  .is_ok());
+
+  // Let registration complete, deliver SIGUSR1, let the handler start
+  // spinning, then deliver SIGUSR2 on top of it.
+  f.machine.run(6000);
+  ASSERT_TRUE(f.task()->runnable()) << f.machine.last_fatal();
+  kern::SigInfo usr1;
+  usr1.signo = kern::kSigusr1;
+  f.task()->pending_signals.push_back(usr1);
+  f.machine.run(6000);
+  ASSERT_TRUE(f.task()->runnable()) << f.machine.last_fatal();
+  kern::SigInfo usr2;
+  usr2.signo = kern::kSigusr2;
+  f.task()->pending_signals.push_back(usr2);
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+
+  EXPECT_EQ(f.task()->exit_code, 0);
+  EXPECT_GE(f.runtime->stats().signals_wrapped, 2u);
+  EXPECT_GE(f.runtime->stats().sigreturns_trampolined, 2u);
+  EXPECT_TRUE(f.task()->signal_frames.empty());
+  // Both handlers' syscalls were interposed.
+  const auto numbers = f.handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGettid}) != numbers.end());
+}
+
+TEST(Lazypoline2Test, PidCachingEmulationEndToEnd) {
+  // Use case (iii): emulate getpid from a cache — only the first invocation
+  // reaches the kernel.
+  const std::uint64_t iterations = 25;
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<interpose::PidCachingHandler>();
+  auto runtime = Lazypoline::create(machine, {});
+  ASSERT_TRUE(runtime->install(machine, tid, handler).is_ok());
+  machine.run();
+
+  EXPECT_EQ(handler->cache_hits(), iterations - 1);
+  // Kernel saw 1 getpid + lazypoline's own work + exit, not 25 getpids.
+  EXPECT_EQ(runtime->stats().entry_invocations, iterations + 1);
+}
+
+TEST(Lazypoline2Test, ArgumentRewritingHandler) {
+  // An interposer that redirects open("prod.conf") to open("test.conf") —
+  // argument rewriting with deep inspection.
+  class RedirectHandler final : public interpose::SyscallHandler {
+   public:
+    std::uint64_t handle(interpose::InterposeContext& ctx) override {
+      if (ctx.request().nr == kern::kSysOpen) {
+        auto path = ctx.read_cstring(ctx.request().args[0]);
+        if (path.is_ok() && path.value() == "prod.conf") {
+          // Plant the replacement path in guest memory and point arg0 at it.
+          static constexpr char kReplacement[] = "test.conf";
+          const std::uint64_t scratch = kern::Machine::kDataRegionBase + 0x900;
+          (void)ctx.write_bytes(
+              scratch, {reinterpret_cast<const std::uint8_t*>(kReplacement),
+                        sizeof(kReplacement)});
+          ctx.mutable_request().args[0] = scratch;
+        }
+      }
+      return ctx.pass_through();
+    }
+    std::string name() const override { return "redirect"; }
+  };
+
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t path = apps::embed_string(a, "prod.conf");
+  a.mov(isa::Gpr::rdi, path);
+  a.mov(isa::Gpr::rsi, 0);
+  apps::emit_syscall(a, kern::kSysOpen);
+  a.mov(isa::Gpr::rbx, isa::Gpr::rax);
+  a.mov(isa::Gpr::rdi, isa::Gpr::rbx);
+  a.mov(isa::Gpr::rsi, apps::kScratchBuf);
+  a.mov(isa::Gpr::rdx, 10);
+  apps::emit_syscall(a, kern::kSysRead);
+  a.mov(isa::Gpr::rdi, isa::Gpr::rax);  // exit code = bytes read
+  apps::emit_syscall(a, kern::kSysExitGroup);
+  auto program = isa::make_program("redirected", a, entry).value();
+
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  (void)machine.vfs().put_file("test.conf", {'T', 'E', 'S', 'T'});
+  // prod.conf deliberately absent: without redirection the open fails.
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto runtime = Lazypoline::create(machine, {});
+  ASSERT_TRUE(
+      runtime->install(machine, tid, std::make_shared<RedirectHandler>())
+          .is_ok());
+  machine.run();
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 4);  // read "TEST"
+}
+
+TEST(Lazypoline2Test, RepeatedJitGenerationsAllDiscovered) {
+  // Two separate JIT "generations" in one process: a runner that compiles
+  // and calls generated code twice would exercise re-discovery. We model it
+  // with two sequential jit runners chained via execve.
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  const std::string src1 = "int main() { return syscall1(39, 0); }";
+  const std::string src2 = "int main() { return syscall1(186, 0); }";
+  (void)machine.vfs().put_file(
+      "one.c", std::vector<std::uint8_t>(src1.begin(), src1.end()));
+  (void)machine.vfs().put_file(
+      "two.c", std::vector<std::uint8_t>(src2.begin(), src2.end()));
+  auto runner2 = apps::make_jit_runner(machine, "two.c").value();
+  runner2.program.name = "runner-two";
+  machine.register_program(runner2.program);
+
+  // Runner one, modified to exec runner-two instead of exiting... simpler:
+  // run them back-to-back in two processes under one runtime.
+  auto runner1 = apps::make_jit_runner(machine, "one.c").value();
+  machine.register_program(runner1.program);
+
+  auto handler = std::make_shared<TracingHandler>();
+  auto runtime = Lazypoline::create(machine, {});
+
+  auto tid1 = machine.load(runner1.program).value();
+  ASSERT_TRUE(runtime->install(machine, tid1, handler).is_ok());
+  machine.run();
+  auto tid2 = machine.load(runner2.program).value();
+  ASSERT_TRUE(runtime->install(machine, tid2, handler).is_ok());
+  machine.run();
+
+  const auto numbers = handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGetpid}) != numbers.end());
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGettid}) != numbers.end());
+  EXPECT_EQ(machine.find_task(tid1)->exit_code, 100);  // pid
+  EXPECT_EQ(machine.find_task(tid2)->exit_code,
+            static_cast<int>(machine.find_task(tid2)->tid));
+}
+
+TEST(Lazypoline2Test, SiteAddressIsReportedToHandler) {
+  // The handler sees the address of the invoking syscall instruction (site),
+  // both via the slow path (first use) and the fast path (later uses).
+  class SiteCollector final : public interpose::SyscallHandler {
+   public:
+    std::uint64_t handle(interpose::InterposeContext& ctx) override {
+      sites.push_back(ctx.request().site);
+      return ctx.pass_through();
+    }
+    std::string name() const override { return "sites"; }
+    std::vector<std::uint64_t> sites;
+  };
+
+  const std::uint64_t iterations = 5;
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<SiteCollector>();
+  auto runtime = Lazypoline::create(machine, {});
+  ASSERT_TRUE(runtime->install(machine, tid, handler).is_ok());
+  machine.run();
+
+  const auto truth = program.true_syscall_addresses();
+  ASSERT_EQ(handler->sites.size(), iterations + 1);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    EXPECT_EQ(handler->sites[i], truth[0]) << "iteration " << i;
+  }
+  EXPECT_EQ(handler->sites.back(), truth[1]);  // the exit_group site
+}
+
+
+TEST(Lazypoline2Test, SignalArrivingAtInterposerEntryPreservesAllowSelector) {
+  // Figure-3 corner case: the slow path (or the trampoline) has set rip to
+  // the interposer entry and the selector is ALLOW, but a signal lands
+  // BEFORE the entry executes. The wrapper must push the *current* (ALLOW)
+  // selector, run the application handler under BLOCK, and the sigreturn
+  // trampoline must restore ALLOW so the pending interposition proceeds.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  auto handler_code = a.new_label();
+  auto loop = a.new_label();
+  auto done = a.new_label();
+
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, apps::kDataBase);
+  // Register the SIGUSR1 handler (absolute address patched in by the test).
+  a.load(isa::Gpr::rcx, isa::Gpr::rbx, 0x200);
+  a.store(isa::Gpr::rbx, 0, isa::Gpr::rcx);
+  a.mov(isa::Gpr::rcx, 0);
+  a.store(isa::Gpr::rbx, 8, isa::Gpr::rcx);
+  a.store(isa::Gpr::rbx, 16, isa::Gpr::rcx);
+  a.mov(isa::Gpr::rdi, kern::kSigusr1);
+  a.mov(isa::Gpr::rsi, apps::kDataBase);
+  a.mov(isa::Gpr::rdx, 0);
+  apps::emit_syscall(a, kern::kSysRtSigaction);
+  // A getpid loop long enough to catch rip at the entry mid-run.
+  a.mov(isa::Gpr::r12, 50);
+  a.bind(loop);
+  a.cmp(isa::Gpr::r12, 0);
+  a.jz(done);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.sub(isa::Gpr::r12, 1);
+  a.jmp(loop);
+  a.bind(done);
+  a.load(isa::Gpr::rdi, isa::Gpr::rbx, 0x300);  // exit code = handler flag
+  apps::emit_syscall(a, kern::kSysExitGroup);
+
+  a.bind(handler_code);
+  a.mov(isa::Gpr::rax, kern::kSysGettid);  // interposed inside the handler
+  a.syscall_();
+  a.mov(isa::Gpr::rcx, 1);
+  a.store(isa::Gpr::rbx, 0x300, isa::Gpr::rcx);
+  a.ret();
+
+  const std::uint64_t handler_offset = a.label_offset(handler_code).value();
+  auto program = isa::make_program("entry-interrupt", a, entry).value();
+
+  LazyFixture f(program);
+  kern::Task* task = f.task();
+  ASSERT_TRUE(task->mem
+                  ->write_u64(apps::kDataBase + 0x200,
+                              program.base + handler_offset)
+                  .is_ok());
+
+  // rip only parks at the entry's host address on slow-path redirects (the
+  // fast path dispatches through HOSTCALL within a single step). Hit 1 is
+  // the rt_sigaction registration; hit 2 is the getpid site's first use —
+  // registration is complete there, so inject SIGUSR1 at that boundary.
+  int entry_hits = 0;
+  bool injected = false;
+  for (int i = 0; i < 200000 && task->runnable(); ++i) {
+    if (!injected && task->ctx.rip == f.runtime->entry_address()) {
+      if (++entry_hits == 2) {
+        kern::SigInfo info;
+        info.signo = kern::kSigusr1;
+        task->pending_signals.push_back(info);
+        injected = true;
+      }
+    }
+    f.machine.run_slice(*task, 1);
+  }
+  ASSERT_TRUE(injected) << "never observed rip at the interposer entry";
+  EXPECT_FALSE(task->runnable());
+
+  // The handler ran (exit code carries its flag), its gettid was interposed,
+  // the interrupted getpid interposition still completed, and everything
+  // unwound.
+  EXPECT_EQ(task->exit_code, 1);
+  const auto numbers = f.handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGettid}) != numbers.end());
+  EXPECT_EQ(std::count(numbers.begin(), numbers.end(),
+                       std::uint64_t{kern::kSysGetpid}),
+            50);
+  EXPECT_TRUE(task->signal_frames.empty());
+  EXPECT_GE(f.runtime->stats().signals_wrapped, 1u);
+  EXPECT_GE(f.runtime->stats().sigreturns_trampolined, 1u);
+}
+
+
+TEST(Lazypoline2Test, FaultInjectionCampaignEndToEnd) {
+  // Reliability testing (paper intro use case i/ii): getpid fails with
+  // EINTR on every attempt; the guest retries up to 3 times and reports how
+  // it gave up. Under an exhaustive interposer no attempt escapes the
+  // campaign.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  auto again = a.new_label();
+  auto success = a.new_label();
+  auto giveup = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, 0);  // EINTR counter
+  a.bind(again);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.cmp(isa::Gpr::rax, 0);
+  a.jgt(success);           // positive pid: not injected
+  a.add(isa::Gpr::rbx, 1);
+  a.cmp(isa::Gpr::rbx, 3);
+  a.jz(giveup);
+  a.jmp(again);
+  a.bind(success);
+  apps::emit_exit(a, 0);
+  a.bind(giveup);
+  apps::emit_exit(a, 77);
+  auto program = isa::make_program("giveup-loop", a, entry).value();
+
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto always_fail = std::make_shared<interpose::FaultInjectionHandler>(
+      interpose::FaultInjectionHandler::Config{kern::kSysGetpid,
+                                               /*every_nth=*/1, kern::kEINTR});
+  auto runtime = Lazypoline::create(machine, {});
+  ASSERT_TRUE(runtime->install(machine, tid, always_fail).is_ok());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 77) << "gave up after 3 EINTRs";
+  EXPECT_EQ(always_fail->injected(), 3u);
+  EXPECT_EQ(always_fail->observed(), 3u);
+
+  // Sparse campaign: every 2nd getpid fails; a 6-attempt loop sees exactly
+  // 3 injections and 3 real results.
+  auto loop = testutil::make_syscall_loop(kern::kSysGetpid, 6);
+  Machine machine2;
+  machine2.mmap_min_addr = 0;
+  machine2.register_program(loop);
+  auto tid2 = machine2.load(loop).value();
+  auto sparse = std::make_shared<interpose::FaultInjectionHandler>(
+      interpose::FaultInjectionHandler::Config{kern::kSysGetpid,
+                                               /*every_nth=*/2, kern::kEINTR});
+  auto runtime2 = Lazypoline::create(machine2, {});
+  ASSERT_TRUE(runtime2->install(machine2, tid2, sparse).is_ok());
+  machine2.run();
+  EXPECT_EQ(sparse->observed(), 6u);
+  EXPECT_EQ(sparse->injected(), 3u);
+}
+
+TEST(Lazypoline2Test, InstallOnWrongMachineIsRejected) {
+  Machine machine_a;
+  Machine machine_b;
+  machine_a.mmap_min_addr = 0;
+  machine_b.mmap_min_addr = 0;
+  auto program = testutil::make_getpid_once();
+  machine_a.register_program(program);
+  auto tid = machine_a.load(program).value();
+  auto runtime = Lazypoline::create(machine_b, {});
+  auto status = runtime->install(machine_a, tid,
+                                 std::make_shared<TracingHandler>());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Lazypoline2Test, FastPathRequiresMmapMinAddrZero) {
+  Machine machine;  // default min addr (trampoline impossible)
+  auto program = testutil::make_getpid_once();
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  auto runtime = Lazypoline::create(machine, {});
+  auto status =
+      runtime->install(machine, tid, std::make_shared<TracingHandler>());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+
+  // Pure-SUD mode works without VA 0.
+  LazypolineConfig config;
+  config.rewrite_to_fast_path = false;
+  auto handler = std::make_shared<TracingHandler>();
+  auto sud_only = Lazypoline::create(machine, config);
+  ASSERT_TRUE(sud_only->install(machine, tid, handler).is_ok());
+  machine.run();
+  EXPECT_EQ(handler->trace().size(), 2u);
+}
+
+}  // namespace
+}  // namespace lzp::core

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "mechanisms/ptrace_tool.hpp"
+#include "mechanisms/seccomp_bpf_tool.hpp"
+#include "mechanisms/seccomp_user_tool.hpp"
+#include "mechanisms/sud_tool.hpp"
+#include "sim_test_util.hpp"
+
+namespace lzp::mechanisms {
+namespace {
+
+using interpose::TracingHandler;
+using kern::Machine;
+using kern::Tid;
+
+// Expected application syscall sequence of make_getpid_once.
+const std::vector<std::uint64_t> kGetpidExitTrace = {kern::kSysGetpid,
+                                                     kern::kSysExitGroup};
+
+TEST(PtraceTest, TracesAllSyscallsWithResults) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<TracingHandler>();
+  PtraceMechanism mechanism;
+  ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+  machine.run();
+
+  EXPECT_EQ(handler->traced_numbers(), kGetpidExitTrace);
+  // ptrace observes the real result at the exit stop.
+  EXPECT_EQ(handler->trace()[0].result,
+            machine.find_task(tid)->process->pid);
+}
+
+TEST(PtraceTest, CostsDominateViaContextSwitches) {
+  const std::uint64_t iterations = 100;
+  auto program = testutil::make_syscall_loop(kern::kSysNonexistent, iterations);
+  const std::uint64_t baseline = testutil::measure_cycles(program);
+  const std::uint64_t traced = testutil::measure_cycles(
+      program, [](Machine& machine, Tid tid) {
+        PtraceMechanism mechanism;
+        ASSERT_TRUE(mechanism
+                        .install(machine, tid,
+                                 std::make_shared<interpose::DummyHandler>())
+                        .is_ok());
+      });
+  // Two stops per syscall, two context switches each: >> 10x slowdown.
+  EXPECT_GT(traced, 10 * baseline);
+}
+
+TEST(PtraceTest, TracerCanRewriteResult) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();  // exits with getpid result
+  auto tid = machine.load(program).value();
+
+  class Spoofer final : public interpose::SyscallHandler {
+   public:
+    std::uint64_t handle(interpose::InterposeContext& ctx) override {
+      const std::uint64_t real = ctx.pass_through();
+      return ctx.request().nr == kern::kSysGetpid ? 77 : real;
+    }
+    std::string name() const override { return "spoofer"; }
+  };
+  PtraceMechanism mechanism;
+  ASSERT_TRUE(mechanism.install(machine, tid, std::make_shared<Spoofer>()).is_ok());
+  machine.run();
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 77);
+}
+
+TEST(SeccompBpfTest, RefusesArbitraryHandlers) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  SeccompBpfMechanism mechanism;
+  auto status = mechanism.install(machine, tid,
+                                  std::make_shared<TracingHandler>());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+}
+
+TEST(SeccompBpfTest, RuleFilterForcesErrno) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  const SeccompRule rules[] = {
+      {static_cast<std::uint32_t>(kern::kSysGetpid),
+       bpf::SECCOMP_RET_ERRNO | static_cast<std::uint32_t>(kern::kEACCES)}};
+  ASSERT_TRUE(SeccompBpfMechanism::install_filter(machine, tid, rules,
+                                                  bpf::SECCOMP_RET_ALLOW)
+                  .is_ok());
+  machine.run();
+  // getpid returned -EACCES; the program exits with that (truncated) value.
+  EXPECT_EQ(machine.find_task(tid)->exit_code,
+            static_cast<int>(kern::errno_result(kern::kEACCES)));
+}
+
+TEST(SeccompBpfTest, MonitoringFilterAllowsNormalOperation) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  ASSERT_TRUE(SeccompBpfMechanism::install_monitoring_filter(machine, tid).is_ok());
+  machine.run();
+  EXPECT_EQ(machine.find_task(tid)->exit_code,
+            static_cast<int>(machine.find_task(tid)->process->pid) & 0xFF);
+}
+
+TEST(SeccompBpfTest, FilterCostIsSmall) {
+  const std::uint64_t iterations = 100;
+  auto program = testutil::make_syscall_loop(kern::kSysNonexistent, iterations);
+  const std::uint64_t baseline = testutil::measure_cycles(program);
+  const std::uint64_t filtered = testutil::measure_cycles(
+      program, [](Machine& machine, Tid tid) {
+        ASSERT_TRUE(
+            SeccompBpfMechanism::install_monitoring_filter(machine, tid).is_ok());
+      });
+  EXPECT_GT(filtered, baseline);
+  EXPECT_LT(filtered, baseline * 15 / 10);  // well under 1.5x
+}
+
+TEST(SeccompUserTest, HandlerRunsInSupervisorAndSuppliesResult) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<TracingHandler>();
+  SeccompUserMechanism mechanism;
+  ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+  machine.run();
+  EXPECT_EQ(handler->traced_numbers(), kGetpidExitTrace);
+  EXPECT_EQ(handler->trace()[0].result, machine.find_task(tid)->process->pid);
+  EXPECT_EQ(machine.find_task(tid)->exit_code,
+            static_cast<int>(machine.find_task(tid)->process->pid) & 0xFF);
+}
+
+TEST(SeccompUserTest, ModerateOverhead) {
+  const std::uint64_t iterations = 100;
+  auto program = testutil::make_syscall_loop(kern::kSysNonexistent, iterations);
+  const std::uint64_t baseline = testutil::measure_cycles(program);
+  const std::uint64_t deferred = testutil::measure_cycles(
+      program, [](Machine& machine, Tid tid) {
+        SeccompUserMechanism mechanism;
+        ASSERT_TRUE(mechanism
+                        .install(machine, tid,
+                                 std::make_shared<interpose::DummyHandler>())
+                        .is_ok());
+      });
+  EXPECT_GT(deferred, 5 * baseline);    // supervisor round trips are costly
+  EXPECT_LT(deferred, 40 * baseline);   // but cheaper than ptrace
+}
+
+TEST(SudTest, InterposesAllSyscallsWithCorrectResults) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<TracingHandler>();
+  SudMechanism mechanism;
+  ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+
+  EXPECT_EQ(handler->traced_numbers(), kGetpidExitTrace);
+  EXPECT_EQ(handler->trace()[0].result, machine.find_task(tid)->process->pid);
+  EXPECT_EQ(machine.find_task(tid)->exit_code,
+            static_cast<int>(machine.find_task(tid)->process->pid) & 0xFF);
+  EXPECT_EQ(machine.find_task(tid)->sud_sigsys_count, 2u);
+}
+
+TEST(SudTest, LoopIsFullyInterposed) {
+  Machine machine;
+  const std::uint64_t iterations = 25;
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<TracingHandler>();
+  SudMechanism mechanism;
+  ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  // iterations getpids + 1 exit_group, every one via SIGSYS.
+  EXPECT_EQ(handler->trace().size(), iterations + 1);
+  EXPECT_EQ(machine.find_task(tid)->sud_sigsys_count, iterations + 1);
+}
+
+TEST(SudTest, OverheadIsRoughly20x) {
+  const std::uint64_t iterations = 200;
+  auto program = testutil::make_syscall_loop(kern::kSysNonexistent, iterations);
+  const std::uint64_t baseline = testutil::measure_cycles(program);
+  const std::uint64_t interposed = testutil::measure_cycles(
+      program, [](Machine& machine, Tid tid) {
+        SudMechanism mechanism;
+        ASSERT_TRUE(mechanism
+                        .install(machine, tid,
+                                 std::make_shared<interpose::DummyHandler>())
+                        .is_ok());
+      });
+  const double ratio = static_cast<double>(interposed) /
+                       static_cast<double>(baseline);
+  EXPECT_GT(ratio, 12.0);
+  EXPECT_LT(ratio, 30.0);
+}
+
+TEST(SudTest, AlwaysAllowConfigurationNeverIntercepts) {
+  Machine machine;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();
+  ASSERT_TRUE(SudMechanism::install_always_allow(machine, tid).is_ok());
+  machine.run();
+  EXPECT_EQ(machine.find_task(tid)->sud_sigsys_count, 0u);
+  EXPECT_EQ(machine.find_task(tid)->exit_code,
+            static_cast<int>(machine.find_task(tid)->process->pid) & 0xFF);
+}
+
+TEST(TableOneTest, CharacteristicsMatchThePaper) {
+  PtraceMechanism ptrace_tool;
+  EXPECT_EQ(ptrace_tool.characteristics().expressiveness,
+            interpose::Level::kFull);
+  EXPECT_TRUE(ptrace_tool.characteristics().exhaustive);
+  EXPECT_EQ(ptrace_tool.characteristics().efficiency, interpose::Level::kLow);
+
+  SeccompBpfMechanism bpf_tool;
+  EXPECT_EQ(bpf_tool.characteristics().expressiveness,
+            interpose::Level::kLimited);
+  EXPECT_EQ(bpf_tool.characteristics().efficiency, interpose::Level::kHigh);
+
+  SudMechanism sud_tool;
+  EXPECT_EQ(sud_tool.characteristics().efficiency, interpose::Level::kModerate);
+  SeccompUserMechanism user_tool;
+  EXPECT_EQ(user_tool.characteristics().efficiency,
+            interpose::Level::kModerate);
+}
+
+}  // namespace
+}  // namespace lzp::mechanisms

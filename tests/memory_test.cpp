@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "memory/address_space.hpp"
+
+namespace lzp::mem {
+namespace {
+
+TEST(AddressSpaceTest, FixedMapAndRoundTrip) {
+  AddressSpace as;
+  auto base = as.map(0x40'0000, 100, kProtRead | kProtWrite, /*fixed=*/true);
+  ASSERT_TRUE(base.is_ok());
+  EXPECT_EQ(base.value(), 0x40'0000u);
+  EXPECT_TRUE(as.is_mapped(0x40'0000));
+  EXPECT_TRUE(as.is_mapped(0x40'0000 + 4095));  // length page-rounded
+  EXPECT_FALSE(as.is_mapped(0x40'1000));
+
+  ASSERT_TRUE(as.write_u64(0x40'0010, 0xABCDEF).is_ok());
+  auto value = as.read_u64(0x40'0010);
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), 0xABCDEFu);
+}
+
+TEST(AddressSpaceTest, FixedMapRejectsOverlap) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x1000, 4096, kProtRead, true).is_ok());
+  auto overlap = as.map(0x1000, 8, kProtRead, true);
+  EXPECT_FALSE(overlap.is_ok());
+  EXPECT_EQ(overlap.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AddressSpaceTest, HintSearchSkipsOccupied) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(AddressSpace::kDefaultMapBase, 4096, kProtRead, true).is_ok());
+  auto second = as.map(AddressSpace::kDefaultMapBase, 4096, kProtRead, false);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value(), AddressSpace::kDefaultMapBase + kPageSize);
+}
+
+TEST(AddressSpaceTest, ZeroHintUsesDefaultBase) {
+  AddressSpace as;
+  auto base = as.map(0, 4096, kProtRead, false);
+  ASSERT_TRUE(base.is_ok());
+  EXPECT_EQ(base.value(), AddressSpace::kDefaultMapBase);
+}
+
+TEST(AddressSpaceTest, MapAtZeroFixedWorks) {
+  // The zpoline trampoline page: only the kernel-policy layer forbids it,
+  // the address space itself must support VA 0.
+  AddressSpace as;
+  auto base = as.map(0, 600, kProtRead | kProtWrite, true);
+  ASSERT_TRUE(base.is_ok());
+  EXPECT_EQ(base.value(), 0u);
+  EXPECT_TRUE(as.write_u8(0, 0x90).is_ok());
+}
+
+TEST(AddressSpaceTest, ZeroLengthMapFails) {
+  AddressSpace as;
+  EXPECT_FALSE(as.map(0x1000, 0, kProtRead, true).is_ok());
+}
+
+TEST(AddressSpaceTest, UnmapRemovesPages) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x2000, 2 * kPageSize, kProtRead, true).is_ok());
+  ASSERT_TRUE(as.unmap(0x2000, kPageSize).is_ok());
+  EXPECT_FALSE(as.is_mapped(0x2000));
+  EXPECT_TRUE(as.is_mapped(0x3000));
+  EXPECT_FALSE(as.unmap(0x2001, 10).is_ok());  // unaligned
+}
+
+TEST(AddressSpaceTest, ProtectChangesPermissions) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x4000, kPageSize, kProtRead | kProtWrite, true).is_ok());
+  ASSERT_TRUE(as.protect(0x4000, kPageSize, kProtRead).is_ok());
+  EXPECT_EQ(as.prot_at(0x4000).value(), kProtRead);
+  std::uint8_t byte = 1;
+  EXPECT_TRUE(as.write(0x4000, {&byte, 1}).has_value());  // now read-only
+}
+
+TEST(AddressSpaceTest, ProtectFailsOnUnmappedRange) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x4000, kPageSize, kProtRead, true).is_ok());
+  EXPECT_FALSE(as.protect(0x4000, 2 * kPageSize, kProtRead).is_ok());
+  // And it must not have partially applied.
+  EXPECT_EQ(as.prot_at(0x4000).value(), kProtRead);
+}
+
+TEST(AddressSpaceTest, PermissionFaults) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x5000, kPageSize, kProtRead, true).is_ok());
+  std::uint8_t buffer[4] = {};
+
+  EXPECT_FALSE(as.read(0x5000, buffer).has_value());
+
+  auto write_fault = as.write(0x5000, buffer);
+  ASSERT_TRUE(write_fault.has_value());
+  EXPECT_FALSE(write_fault->unmapped);
+  EXPECT_EQ(write_fault->kind, AccessKind::kWrite);
+  EXPECT_EQ(write_fault->address, 0x5000u);
+
+  auto fetch_fault = as.fetch(0x5000, buffer);
+  ASSERT_TRUE(fetch_fault.has_value());
+  EXPECT_EQ(fetch_fault->kind, AccessKind::kFetch);
+
+  auto unmapped = as.read(0x9999'0000, buffer);
+  ASSERT_TRUE(unmapped.has_value());
+  EXPECT_TRUE(unmapped->unmapped);
+}
+
+TEST(AddressSpaceTest, ExecOnlyFetch) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x6000, kPageSize, kProtExec, true).is_ok());
+  std::uint8_t buffer[1] = {};
+  EXPECT_FALSE(as.fetch(0x6000, buffer).has_value());
+  EXPECT_TRUE(as.read(0x6000, buffer).has_value());
+}
+
+TEST(AddressSpaceTest, CrossPageAccess) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x7000, 2 * kPageSize, kProtRead | kProtWrite, true).is_ok());
+  const std::uint64_t boundary = 0x7000 + kPageSize - 4;
+  ASSERT_TRUE(as.write_u64(boundary, 0x1122334455667788ULL).is_ok());
+  auto value = as.read_u64(boundary);
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), 0x1122334455667788ULL);
+}
+
+TEST(AddressSpaceTest, CrossPageFaultsAtFirstBadPage) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x7000, kPageSize, kProtRead | kProtWrite, true).is_ok());
+  std::uint8_t buffer[8] = {};
+  auto fault = as.read(0x7000 + kPageSize - 4, buffer);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->address, 0x7000 + kPageSize);
+  EXPECT_TRUE(fault->unmapped);
+}
+
+TEST(AddressSpaceTest, ForceAccessIgnoresProtections) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x8000, kPageSize, kProtNone, true).is_ok());
+  const std::uint8_t data[2] = {0x0F, 0x05};
+  ASSERT_TRUE(as.write_force(0x8000, data).is_ok());
+  std::uint8_t readback[2] = {};
+  ASSERT_TRUE(as.read_force(0x8000, readback).is_ok());
+  EXPECT_EQ(readback[0], 0x0F);
+  EXPECT_EQ(readback[1], 0x05);
+  EXPECT_FALSE(as.write_force(0xBAD0'0000, data).is_ok());
+}
+
+TEST(AddressSpaceTest, CloneIsDeepCopy) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x9000, kPageSize, kProtRead | kProtWrite, true).is_ok());
+  ASSERT_TRUE(as.write_u64(0x9000, 111).is_ok());
+  auto copy = as.clone();
+  ASSERT_TRUE(copy->write_u64(0x9000, 222).is_ok());
+  EXPECT_EQ(as.read_u64(0x9000).value(), 111u);
+  EXPECT_EQ(copy->read_u64(0x9000).value(), 222u);
+}
+
+TEST(AddressSpaceTest, StatsAreCounted) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0xA000, kPageSize, kProtRead, true).is_ok());
+  ASSERT_TRUE(as.protect(0xA000, kPageSize, kProtRead | kProtWrite).is_ok());
+  ASSERT_TRUE(as.unmap(0xA000, kPageSize).is_ok());
+  EXPECT_EQ(as.stats().mmap_calls, 1u);
+  EXPECT_EQ(as.stats().mprotect_calls, 1u);
+  EXPECT_EQ(as.stats().munmap_calls, 1u);
+}
+
+TEST(AddressSpaceTest, FaultToStringMentionsKindAndAddress) {
+  MemFault fault{0x1234, AccessKind::kWrite, false};
+  const std::string text = fault.to_string();
+  EXPECT_NE(text.find("write"), std::string::npos);
+  EXPECT_NE(text.find("0x1234"), std::string::npos);
+  EXPECT_NE(text.find("permission"), std::string::npos);
+}
+
+TEST(AddressSpaceTest, ProtToString) {
+  EXPECT_EQ(prot_to_string(kProtRead | kProtExec), "r-x");
+  EXPECT_EQ(prot_to_string(kProtNone), "---");
+  EXPECT_EQ(prot_to_string(kProtRead | kProtWrite | kProtExec), "rwx");
+}
+
+}  // namespace
+}  // namespace lzp::mem

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "metrics/report.hpp"
+
+namespace lzp::metrics {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"Mechanism", "Overhead"});
+  table.add_row({"zpoline", "1.2x"});
+  table.add_row({"lazypoline", "2.38x"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| Mechanism "), std::string::npos);
+  EXPECT_NE(out.find("| lazypoline | 2.38x"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // All lines equally wide.
+  std::size_t width = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t line_width = end - start;
+    if (width == 0) width = line_width;
+    EXPECT_EQ(line_width, width);
+    start = end + 1;
+  }
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(SeriesTest, RendersXThenSeries) {
+  Series series("size", {"baseline", "sud"});
+  series.add_point("1K", {100.0, 48.25}, 2);
+  series.add_point("64K", {50.0, 47.0}, 2);
+  const std::string out = series.render();
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("48.25"), std::string::npos);
+  EXPECT_NE(out.find("64K"), std::string::npos);
+}
+
+TEST(FormattersTest, RatioAndPercent) {
+  EXPECT_EQ(ratio(2.375), "2.38x");
+  EXPECT_EQ(ratio(20.8, 1), "20.8x");
+  EXPECT_EQ(percent(94.716), "94.72%");
+}
+
+}  // namespace
+}  // namespace lzp::metrics

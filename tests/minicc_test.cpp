@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "apps/minicc.hpp"
+#include "sim_test_util.hpp"
+
+namespace lzp::apps::minicc {
+namespace {
+
+// Compiles `source` and runs its main() on a fresh machine, returning main's
+// return value (via the exit code of a thin launcher).
+int compile_and_run(const std::string& source) {
+  auto compiled = compile(source);
+  EXPECT_TRUE(compiled.is_ok())
+      << (compiled.is_ok() ? "" : compiled.status().to_string());
+  if (!compiled.is_ok()) return -999;
+
+  // Launcher: call the compiled code mapped at a fixed address, then exit
+  // with its return value.
+  const std::uint64_t code_base = 0x50'0000;
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rax, code_base + compiled.value().entry_offset);
+  a.call_rax();
+  a.mov(isa::Gpr::rdi, isa::Gpr::rax);
+  emit_syscall(a, kern::kSysExitGroup);
+  auto launcher = isa::make_program("launcher", a, entry).value();
+
+  kern::Machine machine;
+  auto tid = machine.load(launcher).value();
+  kern::Task* task = machine.find_task(tid);
+  EXPECT_TRUE(task->mem
+                  ->map(code_base, compiled.value().code.size(),
+                        mem::kProtRead | mem::kProtExec, true)
+                  .is_ok());
+  EXPECT_TRUE(task->mem->write_force(code_base, compiled.value().code).is_ok());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  return task->exit_code;
+}
+
+TEST(MiniccTest, ReturnsConstant) {
+  EXPECT_EQ(compile_and_run("int main() { return 42; }"), 42);
+}
+
+TEST(MiniccTest, ImplicitReturnZero) {
+  EXPECT_EQ(compile_and_run("int main() { int x = 5; }"), 0);
+}
+
+TEST(MiniccTest, Arithmetic) {
+  EXPECT_EQ(compile_and_run("int main() { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(compile_and_run("int main() { return (2 + 3) * 4; }"), 20);
+  EXPECT_EQ(compile_and_run("int main() { return 10 - 3 - 2; }"), 5);
+  EXPECT_EQ(compile_and_run("int main() { return -7 + 10; }"), 3);
+}
+
+TEST(MiniccTest, VariablesAndAssignment) {
+  EXPECT_EQ(compile_and_run(R"(
+    int main() {
+      int a = 6;
+      int b = 7;
+      int c = a * b;
+      c = c + 1;
+      return c;
+    })"),
+            43);
+}
+
+TEST(MiniccTest, Comparisons) {
+  EXPECT_EQ(compile_and_run("int main() { return 3 < 4; }"), 1);
+  EXPECT_EQ(compile_and_run("int main() { return 4 < 3; }"), 0);
+  EXPECT_EQ(compile_and_run("int main() { return 5 == 5; }"), 1);
+  EXPECT_EQ(compile_and_run("int main() { return 5 != 5; }"), 0);
+  EXPECT_EQ(compile_and_run("int main() { return 9 > 2; }"), 1);
+}
+
+TEST(MiniccTest, IfElse) {
+  EXPECT_EQ(compile_and_run(R"(
+    int main() {
+      int x = 10;
+      if (x > 5) { return 1; } else { return 2; }
+    })"),
+            1);
+  EXPECT_EQ(compile_and_run(R"(
+    int main() {
+      int x = 3;
+      if (x > 5) { return 1; } else { return 2; }
+    })"),
+            2);
+  EXPECT_EQ(compile_and_run(R"(
+    int main() {
+      int r = 0;
+      if (1) { r = 7; }
+      return r;
+    })"),
+            7);
+}
+
+TEST(MiniccTest, WhileLoop) {
+  EXPECT_EQ(compile_and_run(R"(
+    int main() {
+      int sum = 0;
+      int i = 1;
+      while (i < 11) {
+        sum = sum + i;
+        i = i + 1;
+      }
+      return sum;
+    })"),
+            55);
+}
+
+TEST(MiniccTest, NestedControlFlow) {
+  EXPECT_EQ(compile_and_run(R"(
+    int main() {
+      int count = 0;
+      int i = 0;
+      while (i < 10) {
+        if (i * 2 > 8) {
+          count = count + 1;
+        }
+        i = i + 1;
+      }
+      return count;
+    })"),
+            5);  // i in {5..9}
+}
+
+TEST(MiniccTest, UserFunctionCalls) {
+  EXPECT_EQ(compile_and_run(R"(
+    int five() { return 5; }
+    int six() { return five() + 1; }
+    int main() { return five() * six(); }
+  )"),
+            30);
+}
+
+TEST(MiniccTest, ForwardFunctionReference) {
+  EXPECT_EQ(compile_and_run(R"(
+    int main() { return later(); }
+    int later() { return 99; }
+  )"),
+            99);
+}
+
+TEST(MiniccTest, SyscallBuiltinEmitsRealSyscall) {
+  auto compiled = compile("int main() { return syscall1(39, 0); }");
+  ASSERT_TRUE(compiled.is_ok());
+  EXPECT_EQ(compiled.value().syscall_site_count(), 1u);
+  // Running it returns the pid.
+  EXPECT_EQ(compile_and_run("int main() { return syscall1(39, 0); }"), 100);
+}
+
+TEST(MiniccTest, SyscallWithThreeArgs) {
+  // write(1, <unmapped>, 0) returns 0 (zero-length write short-circuits the
+  // buffer read).
+  EXPECT_EQ(compile_and_run("int main() { return syscall3(1, 1, 0, 0); }"), 0);
+}
+
+TEST(MiniccTest, Comments) {
+  EXPECT_EQ(compile_and_run(R"(
+    // leading comment
+    int main() {
+      // inner comment
+      return 8; // trailing
+    })"),
+            8);
+}
+
+
+TEST(MiniccTest, DivisionAndModulo) {
+  EXPECT_EQ(compile_and_run("int main() { return 17 / 5; }"), 3);
+  EXPECT_EQ(compile_and_run("int main() { return 17 % 5; }"), 2);
+  EXPECT_EQ(compile_and_run("int main() { return 100 / 5 / 2; }"), 10);
+  EXPECT_EQ(compile_and_run("int main() { return 2 + 9 % 4; }"), 3);
+  EXPECT_EQ(compile_and_run("int main() { return -9 / 2; }"), -4);
+}
+
+TEST(MiniccTest, DivisionByZeroRaisesSigfpe) {
+  // #DE -> SIGFPE -> default disposition kills the process.
+  EXPECT_EQ(compile_and_run("int main() { int z = 0; return 5 / z; }"),
+            128 + kern::kSigfpe);
+}
+
+TEST(MiniccTest, LessEqualGreaterEqual) {
+  EXPECT_EQ(compile_and_run("int main() { return 3 <= 3; }"), 1);
+  EXPECT_EQ(compile_and_run("int main() { return 4 <= 3; }"), 0);
+  EXPECT_EQ(compile_and_run("int main() { return 3 >= 3; }"), 1);
+  EXPECT_EQ(compile_and_run("int main() { return 2 >= 3; }"), 0);
+  EXPECT_EQ(compile_and_run(R"(
+    int main() {
+      int count = 0;
+      int i = 1;
+      while (i <= 10) {
+        count = count + i;
+        i = i + 1;
+      }
+      return count;
+    })"),
+            55);
+}
+
+
+TEST(MiniccTest, FunctionParameters) {
+  EXPECT_EQ(compile_and_run(R"(
+    int add(int a, int b) { return a + b; }
+    int main() { return add(40, 2); }
+  )"),
+            42);
+  EXPECT_EQ(compile_and_run(R"(
+    int weigh(int a, int b, int c) { return a * 100 + b * 10 + c; }
+    int main() { return weigh(1, 2, 3); }
+  )"),
+            123);
+  // Arguments are full expressions, including nested calls.
+  EXPECT_EQ(compile_and_run(R"(
+    int dbl(int x) { return x * 2; }
+    int main() { return dbl(dbl(5) + 1); }
+  )"),
+            22);
+}
+
+TEST(MiniccTest, RecursionWorksThroughTheStack) {
+  EXPECT_EQ(compile_and_run(R"(
+    int fib(int n) {
+      if (n <= 1) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(10); }
+  )"),
+            55);
+  EXPECT_EQ(compile_and_run(R"(
+    int fact(int n) {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+    int main() { return fact(6); }
+  )"),
+            720);
+}
+
+TEST(MiniccTest, ParametersShadowableByLocals) {
+  EXPECT_EQ(compile_and_run(R"(
+    int f(int a) {
+      int b = a + 1;
+      a = a * 10;
+      return a + b;
+    }
+    int main() { return f(3); }
+  )"),
+            34);
+}
+
+TEST(MiniccTest, ArityMismatchIsDiagnosed) {
+  EXPECT_FALSE(compile(R"(
+    int add(int a, int b) { return a + b; }
+    int main() { return add(1); }
+  )").is_ok());
+  EXPECT_FALSE(compile(R"(
+    int zero() { return 0; }
+    int main() { return zero(7); }
+  )").is_ok());
+  EXPECT_FALSE(compile(R"(
+    int f(int a, int a) { return a; }
+    int main() { return f(1, 2); }
+  )").is_ok());
+}
+
+
+TEST(MiniccTest, LogicalOperatorsShortCircuit) {
+  EXPECT_EQ(compile_and_run("int main() { return 1 && 1; }"), 1);
+  EXPECT_EQ(compile_and_run("int main() { return 1 && 0; }"), 0);
+  EXPECT_EQ(compile_and_run("int main() { return 0 || 3; }"), 1);
+  EXPECT_EQ(compile_and_run("int main() { return 0 || 0; }"), 0);
+  EXPECT_EQ(compile_and_run("int main() { return 1 && 2 && 3; }"), 1);
+  EXPECT_EQ(compile_and_run("int main() { return 0 || 0 || 5; }"), 1);
+  // Precedence: && binds tighter than ||.
+  EXPECT_EQ(compile_and_run("int main() { return 1 || 0 && 0; }"), 1);
+  // Short-circuit: the divide-by-zero on the right is never evaluated.
+  EXPECT_EQ(compile_and_run(R"(
+    int boom() { int z = 0; return 1 / z; }
+    int main() {
+      if (0 && boom()) { return 1; }
+      if (1 || boom()) { return 2; }
+      return 3;
+    })"),
+            2);
+}
+
+TEST(MiniccTest, ElseIfChains) {
+  const char* source = R"(
+    int grade(int score) {
+      if (score >= 90) { return 4; }
+      else if (score >= 80) { return 3; }
+      else if (score >= 70) { return 2; }
+      else { return 1; }
+    }
+    int main() {
+      return grade(95) * 1000 + grade(85) * 100 + grade(75) * 10 + grade(10);
+    })";
+  EXPECT_EQ(compile_and_run(source), 4321);
+}
+
+TEST(MiniccTest, ErrorsAreDiagnosed) {
+  EXPECT_FALSE(compile("").is_ok());                       // no main
+  EXPECT_FALSE(compile("int main() { return x; }").is_ok());  // unknown var
+  EXPECT_FALSE(compile("int main() { return 1 }").is_ok());   // missing ';'
+  EXPECT_FALSE(compile("int main() { @ }").is_ok());          // stray char
+  EXPECT_FALSE(compile("int f() {} int f() {}").is_ok());     // redefinition
+  EXPECT_FALSE(compile("int main() { return nosuch(); }").is_ok());
+  EXPECT_FALSE(compile("int main() { int a = 1; int a = 2; }").is_ok());
+  EXPECT_FALSE(compile("int main() { return syscall1(39); }").is_ok());
+}
+
+TEST(MiniccTest, GroundTruthSitesAreAccurate) {
+  auto compiled = compile(R"(
+    int main() {
+      int a = syscall0(39);
+      int b = syscall0(186);
+      return a + b;
+    })");
+  ASSERT_TRUE(compiled.is_ok());
+  EXPECT_EQ(compiled.value().syscall_site_count(), 2u);
+}
+
+}  // namespace
+}  // namespace lzp::apps::minicc

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "apps/minilibc.hpp"
+#include "isa/objfile.hpp"
+#include "sim_test_util.hpp"
+
+namespace lzp::isa {
+namespace {
+
+Program sample_program() {
+  Assembler a;
+  auto entry = a.new_label();
+  a.nops(3);
+  a.bind(entry);
+  a.mov(Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  return make_program("sample", a, entry).value();
+}
+
+TEST(ObjFileTest, SerializeParseRoundTrip) {
+  const Program original = sample_program();
+  const auto bytes = serialize_program(original);
+  auto parsed = parse_program(bytes);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const Program& restored = parsed.value();
+  EXPECT_EQ(restored.name, original.name);
+  EXPECT_EQ(restored.base, original.base);
+  EXPECT_EQ(restored.entry, original.entry);
+  EXPECT_EQ(restored.stack_size, original.stack_size);
+  EXPECT_EQ(restored.image, original.image);
+  ASSERT_EQ(restored.ground_truth.size(), original.ground_truth.size());
+  for (std::size_t i = 0; i < restored.ground_truth.size(); ++i) {
+    EXPECT_EQ(restored.ground_truth[i].offset, original.ground_truth[i].offset);
+    EXPECT_EQ(restored.ground_truth[i].op, original.ground_truth[i].op);
+    EXPECT_EQ(restored.ground_truth[i].length, original.ground_truth[i].length);
+    EXPECT_EQ(restored.ground_truth[i].is_data, original.ground_truth[i].is_data);
+  }
+  EXPECT_EQ(restored.true_syscall_addresses(),
+            original.true_syscall_addresses());
+}
+
+TEST(ObjFileTest, RejectsCorruptInputs) {
+  const auto bytes = serialize_program(sample_program());
+
+  EXPECT_FALSE(parse_program({}).is_ok());
+  const std::uint8_t junk[] = {'E', 'L', 'F', 0};
+  EXPECT_FALSE(parse_program(junk).is_ok());
+
+  // Truncations at every boundary.
+  for (std::size_t cut : {std::size_t{3}, std::size_t{7}, std::size_t{40},
+                          bytes.size() - 1}) {
+    EXPECT_FALSE(
+        parse_program(std::span<const std::uint8_t>(bytes).first(cut)).is_ok())
+        << "cut at " << cut;
+  }
+
+  // Corrupt version.
+  auto bad_version = bytes;
+  bad_version[4] = 0x7F;
+  EXPECT_FALSE(parse_program(bad_version).is_ok());
+
+  // Entry outside the image.
+  auto bad_entry = bytes;
+  bad_entry[0x10] = 0x00;  // entry low byte -> before base
+  bad_entry[0x11] = 0x00;
+  bad_entry[0x12] = 0x00;
+  EXPECT_FALSE(parse_program(bad_entry).is_ok());
+}
+
+TEST(ObjFileTest, ProgramPathConvention) {
+  EXPECT_EQ(program_path("nginx-worker"), "bin/nginx-worker");
+}
+
+TEST(ObjFileTest, RegisterProgramInstallsVfsImage) {
+  kern::Machine machine;
+  const Program program = sample_program();
+  machine.register_program(program);
+  ASSERT_TRUE(machine.vfs().exists("bin/sample"));
+
+  std::vector<std::uint8_t> bytes;
+  auto meta = machine.vfs().stat("bin/sample");
+  ASSERT_TRUE(meta.is_ok());
+  ASSERT_TRUE(
+      machine.vfs().read("bin/sample", 0, meta.value().size, &bytes).is_ok());
+  auto parsed = parse_program(bytes);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().image, program.image);
+}
+
+TEST(ObjFileTest, ExecveLoadsFromVfsWithoutRegistryEntry) {
+  kern::Machine machine;
+
+  // Target installed ONLY as an on-disk LZPF image.
+  Assembler t;
+  auto t_entry = t.new_label();
+  t.bind(t_entry);
+  apps::emit_exit(t, 33);
+  const Program target = make_program("disk-only", t, t_entry).value();
+  ASSERT_TRUE(machine.vfs()
+                  .put_file(program_path("disk-only"),
+                            serialize_program(target))
+                  .is_ok());
+
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t name = apps::embed_string(a, "disk-only");
+  a.mov(Gpr::rdi, name);
+  apps::emit_syscall(a, kern::kSysExecve);
+  apps::emit_exit(a, 1);
+  const Program execer = make_program("execer", a, entry).value();
+  EXPECT_EQ(testutil::load_and_run(machine, execer), 33);
+}
+
+TEST(ObjFileTest, CorruptVfsImageFailsExecve) {
+  kern::Machine machine;
+  ASSERT_TRUE(machine.vfs()
+                  .put_file(program_path("broken"), {1, 2, 3, 4})
+                  .is_ok());
+  Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  const std::uint64_t name = apps::embed_string(a, "broken");
+  a.mov(Gpr::rdi, name);
+  apps::emit_syscall(a, kern::kSysExecve);
+  a.mov(Gpr::rbx, 0);
+  a.sub(Gpr::rbx, Gpr::rax);
+  a.mov(Gpr::rdi, Gpr::rbx);
+  apps::emit_syscall(a, kern::kSysExitGroup);
+  const Program execer = make_program("execer2", a, entry).value();
+  EXPECT_EQ(testutil::load_and_run(machine, execer), kern::kENOENT);
+}
+
+}  // namespace
+}  // namespace lzp::isa

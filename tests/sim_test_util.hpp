@@ -1,0 +1,85 @@
+// Shared helpers for the test suites: canned programs and run utilities.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "apps/minilibc.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/machine.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::testutil {
+
+// A program that performs `iterations` syscalls of number `nr` in a loop,
+// then exits cleanly. The workhorse of the microbenchmark-shaped tests.
+inline isa::Program make_syscall_loop(std::uint64_t nr, std::uint64_t iterations,
+                                      std::string name = "syscall-loop") {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  const auto done = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, iterations);
+  a.bind(loop);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jz(done);
+  a.mov(isa::Gpr::rax, nr);
+  a.syscall_();
+  a.sub(isa::Gpr::rbx, 1);
+  a.jmp(loop);
+  a.bind(done);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program(std::move(name), a, entry);
+  EXPECT_TRUE(program.is_ok())
+      << (program.is_ok() ? "" : program.status().to_string());
+  return std::move(program).value();
+}
+
+// A one-shot program: getpid once, exit with its result's low byte.
+inline isa::Program make_getpid_once() {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.mov(isa::Gpr::rdi, isa::Gpr::rax);
+  a.mov(isa::Gpr::rax, kern::kSysExitGroup);
+  a.syscall_();
+  auto program = isa::make_program("getpid-once", a, entry);
+  EXPECT_TRUE(program.is_ok());
+  return std::move(program).value();
+}
+
+// Loads `program`, runs to completion, returns the task's exit code.
+// Fails the test if the machine does not quiesce.
+inline int load_and_run(kern::Machine& machine, const isa::Program& program,
+                        kern::Tid* tid_out = nullptr) {
+  auto tid = machine.load(program);
+  EXPECT_TRUE(tid.is_ok()) << (tid.is_ok() ? "" : tid.status().to_string());
+  if (!tid.is_ok()) return -1;
+  if (tid_out != nullptr) *tid_out = tid.value();
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << "machine did not quiesce; fatal: "
+                                << machine.last_fatal();
+  kern::Task* task = machine.find_task(tid.value());
+  EXPECT_NE(task, nullptr);
+  return task == nullptr ? -1 : task->exit_code;
+}
+
+// Cycles charged to a task across a full run of `program` on a fresh
+// machine configured by `setup` (may be null).
+inline std::uint64_t measure_cycles(
+    const isa::Program& program,
+    const std::function<void(kern::Machine&, kern::Tid)>& setup = nullptr,
+    kern::CostModel costs = {}) {
+  kern::Machine machine(costs);
+  machine.mmap_min_addr = 0;
+  auto tid = machine.load(program);
+  EXPECT_TRUE(tid.is_ok());
+  if (setup) setup(machine, tid.value());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  return machine.find_task(tid.value())->cycles;
+}
+
+}  // namespace lzp::testutil

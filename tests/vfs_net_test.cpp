@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "kernel/net.hpp"
+#include "kernel/vfs.hpp"
+
+namespace lzp::kern {
+namespace {
+
+// --- Vfs ----------------------------------------------------------------------
+
+TEST(VfsTest, PutStatReadRoundTrip) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.put_file("a/b.txt", {1, 2, 3, 4, 5}).is_ok());
+  ASSERT_TRUE(vfs.exists("a/b.txt"));
+  auto meta = vfs.stat("a/b.txt");
+  ASSERT_TRUE(meta.is_ok());
+  EXPECT_EQ(meta.value().size, 5u);
+  EXPECT_FALSE(meta.value().is_dir);
+
+  std::vector<std::uint8_t> out;
+  auto n = vfs.read("a/b.txt", 1, 3, &out);
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 3u);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{2, 3, 4}));
+}
+
+TEST(VfsTest, ReadPastEndClamps) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.put_file("f", {9, 9}).is_ok());
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(vfs.read("f", 1, 100, &out).value(), 1u);
+  EXPECT_EQ(vfs.read("f", 2, 100, &out).value(), 0u);
+  EXPECT_EQ(vfs.read("f", 50, 100, &out).value(), 0u);
+}
+
+TEST(VfsTest, WriteExtendsAndOverwrites) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.put_file("f", {1, 2, 3}).is_ok());
+  ASSERT_TRUE(vfs.write("f", 2, {7, 8, 9}).is_ok());
+  EXPECT_EQ(vfs.stat("f").value().size, 5u);
+  std::vector<std::uint8_t> out;
+  (void)vfs.read("f", 0, 5, &out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 2, 7, 8, 9}));
+  // Writing a missing path creates it (O_CREAT model).
+  ASSERT_TRUE(vfs.write("new", 0, {5}).is_ok());
+  EXPECT_TRUE(vfs.exists("new"));
+}
+
+TEST(VfsTest, MkdirRenameUnlinkChmod) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.mkdir("dir").is_ok());
+  EXPECT_FALSE(vfs.mkdir("dir").is_ok());  // EEXIST
+  EXPECT_TRUE(vfs.stat("dir").value().is_dir);
+
+  ASSERT_TRUE(vfs.put_file("dir/x", {1}).is_ok());
+  ASSERT_TRUE(vfs.rename("dir/x", "dir/y").is_ok());
+  EXPECT_FALSE(vfs.exists("dir/x"));
+  EXPECT_TRUE(vfs.exists("dir/y"));
+  EXPECT_FALSE(vfs.rename("nope", "other").is_ok());
+
+  ASSERT_TRUE(vfs.chmod("dir/y", 0600).is_ok());
+  EXPECT_EQ(vfs.stat("dir/y").value().mode, 0600u);
+  EXPECT_FALSE(vfs.chmod("nope", 0600).is_ok());
+
+  ASSERT_TRUE(vfs.unlink("dir/y").is_ok());
+  EXPECT_FALSE(vfs.unlink("dir/y").is_ok());
+}
+
+TEST(VfsTest, ListIsDirectChildrenOnly) {
+  Vfs vfs;
+  ASSERT_TRUE(vfs.put_file("d/one", {1}).is_ok());
+  ASSERT_TRUE(vfs.put_file("d/two", {2}).is_ok());
+  ASSERT_TRUE(vfs.put_file("d/sub/three", {3}).is_ok());
+  ASSERT_TRUE(vfs.put_file("other", {4}).is_ok());
+  const auto names = vfs.list("d");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "one");
+  EXPECT_EQ(names[1], "two");
+}
+
+TEST(VfsTest, FileOfSizeIsDeterministic) {
+  Vfs a;
+  Vfs b;
+  ASSERT_TRUE(a.put_file_of_size("f", 4096).is_ok());
+  ASSERT_TRUE(b.put_file_of_size("f", 4096).is_ok());
+  std::vector<std::uint8_t> ca;
+  std::vector<std::uint8_t> cb;
+  (void)a.read("f", 0, 4096, &ca);
+  (void)b.read("f", 0, 4096, &cb);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(ca.size(), 4096u);
+}
+
+// --- Net -----------------------------------------------------------------------
+
+ClientWorkload small_workload(std::uint64_t requests, std::uint32_t conns = 2,
+                              std::uint64_t response = 100) {
+  ClientWorkload workload;
+  workload.connections = conns;
+  workload.total_requests = requests;
+  workload.request_bytes = 50;
+  workload.response_bytes = response;
+  return workload;
+}
+
+TEST(NetTest, FullRequestLifecycle) {
+  Net net;
+  const int listener = net.create_listener(small_workload(3, 1));
+
+  // New connection pending.
+  auto event = net.poll(listener);
+  EXPECT_EQ(event.kind, Net::EventKind::kAcceptable);
+  auto conn = net.accept(listener);
+  ASSERT_TRUE(conn.is_ok());
+
+  for (int i = 0; i < 3; ++i) {
+    event = net.poll(listener);
+    ASSERT_EQ(event.kind, Net::EventKind::kReadable);
+    auto n = net.recv(conn.value(), 4096);
+    ASSERT_TRUE(n.is_ok());
+    EXPECT_EQ(n.value(), 50u);
+    // Partial sends accumulate until the response size is reached.
+    ASSERT_TRUE(net.send(conn.value(), 60).is_ok());
+    EXPECT_EQ(net.completed_requests(listener), static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(net.send(conn.value(), 40).is_ok());
+    EXPECT_EQ(net.completed_requests(listener),
+              static_cast<std::uint64_t>(i + 1));
+  }
+
+  // Budget exhausted: conn drains (readable, recv -> 0), close, finished.
+  event = net.poll(listener);
+  EXPECT_EQ(event.kind, Net::EventKind::kReadable);
+  EXPECT_EQ(net.recv(conn.value(), 4096).value(), 0u);
+  ASSERT_TRUE(net.close_conn(conn.value()).is_ok());
+  EXPECT_EQ(net.poll(listener).kind, Net::EventKind::kFinished);
+  EXPECT_TRUE(net.workload_done(listener));
+}
+
+TEST(NetTest, BudgetSplitsAcrossConnections) {
+  Net net;
+  const int listener = net.create_listener(small_workload(5, 2));
+  auto c1 = net.accept(listener);
+  auto c2 = net.accept(listener);
+  ASSERT_TRUE(c1.is_ok());
+  ASSERT_TRUE(c2.is_ok());
+  EXPECT_FALSE(net.accept(listener).is_ok());  // only 2 connections
+
+  // 5 requests over 2 conns: 3 + 2.
+  std::uint64_t served = 0;
+  for (int conn : {c1.value(), c2.value()}) {
+    for (;;) {
+      auto n = net.recv(conn, 4096);
+      ASSERT_TRUE(n.is_ok());
+      if (n.value() == 0) break;
+      ASSERT_TRUE(net.send(conn, 100).is_ok());
+      ++served;
+    }
+    ASSERT_TRUE(net.close_conn(conn).is_ok());
+  }
+  EXPECT_EQ(served, 5u);
+  EXPECT_EQ(net.completed_requests(listener), 5u);
+}
+
+TEST(NetTest, RecvWithoutRequestIsEagain) {
+  Net net;
+  const int listener = net.create_listener(small_workload(1, 1));
+  auto conn = net.accept(listener);
+  ASSERT_TRUE(net.recv(conn.value(), 100).is_ok());
+  // Request consumed, response not complete: a second recv is EAGAIN.
+  EXPECT_FALSE(net.recv(conn.value(), 100).is_ok());
+}
+
+TEST(NetTest, RecvClampsToBuffer) {
+  Net net;
+  const int listener = net.create_listener(small_workload(1, 1));
+  auto conn = net.accept(listener);
+  EXPECT_EQ(net.recv(conn.value(), 10).value(), 10u);
+}
+
+TEST(NetTest, PollForFiltersByOwnership) {
+  Net net;
+  const int listener = net.create_listener(small_workload(4, 2));
+  auto mine = net.accept(listener);
+  auto theirs = net.accept(listener);
+  ASSERT_TRUE(mine.is_ok());
+  ASSERT_TRUE(theirs.is_ok());
+
+  std::set<int> owned{mine.value()};
+  auto event = net.poll_for(listener, owned);
+  EXPECT_EQ(event.kind, Net::EventKind::kReadable);
+  EXPECT_EQ(event.conn_id, mine.value());
+
+  // Drain my connection fully; afterwards only the other worker's conn is
+  // live: poll_for reports kNone (retry), not finished.
+  for (;;) {
+    auto n = net.recv(mine.value(), 100);
+    ASSERT_TRUE(n.is_ok());
+    if (n.value() == 0) break;
+    ASSERT_TRUE(net.send(mine.value(), 100).is_ok());
+  }
+  ASSERT_TRUE(net.close_conn(mine.value()).is_ok());
+  event = net.poll_for(listener, owned);
+  EXPECT_EQ(event.kind, Net::EventKind::kNone);
+  EXPECT_FALSE(net.workload_done(listener));
+}
+
+TEST(NetTest, BadIdsAreErrors) {
+  Net net;
+  EXPECT_FALSE(net.accept(999).is_ok());
+  EXPECT_FALSE(net.recv(999, 10).is_ok());
+  EXPECT_FALSE(net.send(999, 10).is_ok());
+  EXPECT_FALSE(net.close_conn(999).is_ok());
+  EXPECT_EQ(net.completed_requests(999), 0u);
+  EXPECT_TRUE(net.workload_done(999));
+  EXPECT_EQ(net.poll(999).kind, Net::EventKind::kFinished);
+}
+
+TEST(NetTest, ZeroRequestWorkloadIsImmediatelyDone) {
+  Net net;
+  const int listener = net.create_listener(small_workload(0, 4));
+  EXPECT_EQ(net.poll(listener).kind, Net::EventKind::kFinished);
+  EXPECT_TRUE(net.workload_done(listener));
+}
+
+}  // namespace
+}  // namespace lzp::kern

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "apps/jitcc.hpp"
+#include "isa/objfile.hpp"
+#include "sim_test_util.hpp"
+#include "zpoline/zpoline.hpp"
+
+namespace lzp::zpoline {
+namespace {
+
+using interpose::TracingHandler;
+using kern::Machine;
+using kern::Tid;
+
+TEST(ZpolineTest, RequiresMmapMinAddrZero) {
+  Machine machine;  // default min addr is 0x10000
+  auto program = testutil::make_getpid_once();
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  ZpolineMechanism mechanism;
+  auto status = mechanism.install(machine, tid,
+                                  std::make_shared<TracingHandler>());
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(ZpolineTest, RequiresRegisteredProgramImage) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  auto program = testutil::make_getpid_once();
+  auto tid = machine.load(program).value();  // not registered
+  ZpolineMechanism mechanism;
+  EXPECT_FALSE(
+      mechanism.install(machine, tid, std::make_shared<TracingHandler>())
+          .is_ok());
+}
+
+struct ZpolineFixture {
+  Machine machine;
+  Tid tid = 0;
+  std::shared_ptr<TracingHandler> handler = std::make_shared<TracingHandler>();
+  ZpolineMechanism mechanism;
+
+  explicit ZpolineFixture(const isa::Program& program) {
+    machine.mmap_min_addr = 0;
+    machine.register_program(program);
+    tid = machine.load(program).value();
+    auto status = mechanism.install(machine, tid, handler);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+  }
+};
+
+TEST(ZpolineTest, RewritesAllStaticSitesAndInterposesThem) {
+  auto program = testutil::make_getpid_once();
+  ZpolineFixture f(program);
+  EXPECT_EQ(f.mechanism.stats().sites_rewritten, 2u);
+
+  // The rewritten bytes are CALL RAX now.
+  kern::Task* task = f.machine.find_task(f.tid);
+  for (std::uint64_t site : program.true_syscall_addresses()) {
+    std::uint8_t bytes[2];
+    ASSERT_TRUE(task->mem->read_force(site, bytes).is_ok());
+    EXPECT_EQ(bytes[0], isa::kByteFF);
+    EXPECT_EQ(bytes[1], isa::kByteCallRax2);
+  }
+
+  auto stats = f.machine.run();
+  EXPECT_TRUE(stats.all_exited) << f.machine.last_fatal();
+  EXPECT_EQ(f.handler->traced_numbers(),
+            (std::vector<std::uint64_t>{kern::kSysGetpid, kern::kSysExitGroup}));
+  EXPECT_EQ(f.handler->trace()[0].result, task->process->pid);
+  EXPECT_EQ(task->exit_code, static_cast<int>(task->process->pid));
+  // Nothing ever entered the kernel from the original syscall sites: the
+  // kernel saw only the interposer's pass-through syscalls.
+  EXPECT_EQ(task->sud_sigsys_count, 0u);
+}
+
+TEST(ZpolineTest, TrampolinePageIsNopSledIntoHostCall) {
+  auto program = testutil::make_getpid_once();
+  ZpolineFixture f(program);
+  kern::Task* task = f.machine.find_task(f.tid);
+  ASSERT_TRUE(task->mem->is_mapped(0));
+  // Every byte of the sled is the 1-byte NOP.
+  for (std::uint64_t addr = 0; addr < ZpolineMechanism::kSledSize; ++addr) {
+    EXPECT_EQ(task->mem->read_u8(addr).value(), isa::kByteNop);
+  }
+  EXPECT_EQ(task->mem->read_u8(ZpolineMechanism::kSledSize).value(),
+            isa::kByteHostCall);
+  // W^X: the sled is not writable after setup.
+  EXPECT_EQ(task->mem->prot_at(0).value(), mem::kProtRead | mem::kProtExec);
+}
+
+TEST(ZpolineTest, LoopInterposedEveryIteration) {
+  const std::uint64_t iterations = 50;
+  auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
+  ZpolineFixture f(program);
+  f.machine.run();
+  EXPECT_EQ(f.handler->trace().size(), iterations + 1);
+}
+
+TEST(ZpolineTest, OverheadIsLow) {
+  const std::uint64_t iterations = 200;
+  auto program = testutil::make_syscall_loop(kern::kSysNonexistent, iterations);
+  const std::uint64_t baseline = testutil::measure_cycles(program);
+  const std::uint64_t interposed = testutil::measure_cycles(
+      program, [&program](Machine& machine, Tid tid) {
+        machine.register_program(program);
+        // The mechanism object may go out of scope after install: the bound
+        // entry point owns (shares) the handler, not the mechanism.
+        ZpolineMechanism mechanism;
+        ASSERT_TRUE(mechanism
+                        .install(machine, tid,
+                                 std::make_shared<interpose::DummyHandler>())
+                        .is_ok());
+      });
+  const double ratio =
+      static_cast<double>(interposed) / static_cast<double>(baseline);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.6);  // "High" efficiency
+}
+
+TEST(ZpolineTest, MissesJitGeneratedSyscalls) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  (void)machine.vfs().put_file(
+      "prog.c", [] {
+        const std::string src = apps::exhaustiveness_test_source();
+        return std::vector<std::uint8_t>(src.begin(), src.end());
+      }());
+  auto runner = apps::make_jit_runner(machine, "prog.c").value();
+  machine.register_program(runner.program);
+  auto tid = machine.load(runner.program).value();
+
+  auto handler = std::make_shared<TracingHandler>();
+  ZpolineMechanism mechanism;
+  ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+  auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+
+  // The statically present syscalls were traced...
+  const auto numbers = handler->traced_numbers();
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysMmap}) != numbers.end());
+  // ...but the JIT-ed getpid escaped interposition entirely (§V-A).
+  EXPECT_TRUE(std::find(numbers.begin(), numbers.end(),
+                        std::uint64_t{kern::kSysGetpid}) == numbers.end());
+  // It still executed: the program's exit code embeds pid > 0 evidence
+  // (main returns acc+1 only when getpid returned > 0).
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 21);  // 0+2+4+6+8 = 20, +1
+}
+
+TEST(ZpolineTest, RawScanStrategyCorruptsImmediateFalsePositive) {
+  // A program whose mov immediate contains the syscall byte pattern. With
+  // the raw-bytes strategy, zpoline rewrites it and corrupts the constant.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, 0x0000'0000'0000'050FULL);
+  // Build the expected value without re-embedding the 0F 05 pattern (the
+  // raw scanner would find it in the cmp immediate too and "fix" both).
+  a.mov(isa::Gpr::rcx, 0x050E);
+  a.add(isa::Gpr::rcx, 1);
+  a.cmp(isa::Gpr::rbx, isa::Gpr::rcx);
+  auto ok = a.new_label();
+  a.jz(ok);
+  apps::emit_exit(a, 1);  // constant was corrupted
+  a.bind(ok);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("fragile", a, entry).value();
+
+  // Linear sweep: correct (no false positives), program exits 0.
+  {
+    Machine machine;
+    machine.mmap_min_addr = 0;
+    machine.register_program(program);
+    auto tid = machine.load(program).value();
+    ZpolineMechanism mechanism({disasm::Strategy::kLinearSweep});
+    ASSERT_TRUE(mechanism
+                    .install(machine, tid,
+                             std::make_shared<interpose::DummyHandler>())
+                    .is_ok());
+    machine.run();
+    EXPECT_EQ(machine.find_task(tid)->exit_code, 0);
+  }
+  // Raw bytes: rewrites inside the immediate; the constant comparison fails.
+  {
+    Machine machine;
+    machine.mmap_min_addr = 0;
+    machine.register_program(program);
+    auto tid = machine.load(program).value();
+    ZpolineMechanism mechanism({disasm::Strategy::kRawBytes});
+    ASSERT_TRUE(mechanism
+                    .install(machine, tid,
+                             std::make_shared<interpose::DummyHandler>())
+                    .is_ok());
+    machine.run();
+    EXPECT_EQ(machine.find_task(tid)->exit_code, 1);
+  }
+}
+
+TEST(ZpolineTest, DoesNotPreserveXstate) {
+  // An application with a Listing-1-style cross-syscall xmm dependency breaks
+  // under zpoline when the interposer clobbers extended state.
+  isa::Assembler a;
+  auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::r12, 0x1234);
+  a.xmov_from_gpr(0, isa::Gpr::r12);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.xmov_to_gpr(isa::Gpr::rbx, 0);
+  a.cmp(isa::Gpr::rbx, 0x1234);
+  auto ok = a.new_label();
+  a.jz(ok);
+  apps::emit_exit(a, 1);  // xmm0 corrupted across the "syscall"
+  a.bind(ok);
+  apps::emit_exit(a, 0);
+  auto program = isa::make_program("xstate-dep", a, entry).value();
+
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program).value();
+  ZpolineMechanism mechanism;
+  auto clobbering = std::make_shared<interpose::XstateClobberingHandler>(
+      std::make_shared<interpose::DummyHandler>());
+  ASSERT_TRUE(mechanism.install(machine, tid, clobbering).is_ok());
+  machine.run();
+  EXPECT_EQ(machine.find_task(tid)->exit_code, 1)
+      << "zpoline does not preserve xstate; the clobber must leak through";
+}
+
+
+TEST(ZpolineTest, ScansOnDiskImageWhenNotRegistered) {
+  // The program is installed only as an LZPF image in the VFS — the registry
+  // fallback parses it from "disk", exactly how a real static rewriter reads
+  // the binary it is about to patch.
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  auto program = testutil::make_getpid_once();
+  ASSERT_TRUE(machine.vfs()
+                  .put_file(isa::program_path(program.name),
+                            isa::serialize_program(program))
+                  .is_ok());
+  auto tid = machine.load(program).value();
+  auto handler = std::make_shared<TracingHandler>();
+  ZpolineMechanism mechanism;
+  ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+  machine.run();
+  EXPECT_EQ(handler->traced_numbers(),
+            (std::vector<std::uint64_t>{kern::kSysGetpid, kern::kSysExitGroup}));
+}
+
+}  // namespace
+}  // namespace lzp::zpoline
