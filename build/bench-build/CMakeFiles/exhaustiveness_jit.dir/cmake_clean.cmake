@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exhaustiveness_jit"
+  "../bench/exhaustiveness_jit.pdb"
+  "CMakeFiles/exhaustiveness_jit.dir/exhaustiveness_jit.cpp.o"
+  "CMakeFiles/exhaustiveness_jit.dir/exhaustiveness_jit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustiveness_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_breakdown"
+  "../bench/fig4_breakdown.pdb"
+  "CMakeFiles/fig4_breakdown.dir/fig4_breakdown.cpp.o"
+  "CMakeFiles/fig4_breakdown.dir/fig4_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

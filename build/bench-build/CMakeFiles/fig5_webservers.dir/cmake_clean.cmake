@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_webservers"
+  "../bench/fig5_webservers.pdb"
+  "CMakeFiles/fig5_webservers.dir/fig5_webservers.cpp.o"
+  "CMakeFiles/fig5_webservers.dir/fig5_webservers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_webservers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

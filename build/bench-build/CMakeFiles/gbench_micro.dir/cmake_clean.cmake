@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gbench_micro"
+  "../bench/gbench_micro.pdb"
+  "CMakeFiles/gbench_micro.dir/gbench_micro.cpp.o"
+  "CMakeFiles/gbench_micro.dir/gbench_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

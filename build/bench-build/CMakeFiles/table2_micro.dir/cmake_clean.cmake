@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_micro"
+  "../bench/table2_micro.pdb"
+  "CMakeFiles/table2_micro.dir/table2_micro.cpp.o"
+  "CMakeFiles/table2_micro.dir/table2_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

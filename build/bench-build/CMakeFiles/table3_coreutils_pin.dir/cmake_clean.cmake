@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_coreutils_pin"
+  "../bench/table3_coreutils_pin.pdb"
+  "CMakeFiles/table3_coreutils_pin.dir/table3_coreutils_pin.cpp.o"
+  "CMakeFiles/table3_coreutils_pin.dir/table3_coreutils_pin.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_coreutils_pin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

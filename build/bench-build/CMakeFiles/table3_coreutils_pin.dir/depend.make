@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_coreutils_pin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_tracing.dir/jit_tracing.cpp.o"
+  "CMakeFiles/jit_tracing.dir/jit_tracing.cpp.o.d"
+  "jit_tracing"
+  "jit_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minitrace.dir/minitrace.cpp.o"
+  "CMakeFiles/minitrace.dir/minitrace.cpp.o.d"
+  "minitrace"
+  "minitrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minitrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

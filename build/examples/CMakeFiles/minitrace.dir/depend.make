@@ -1,0 +1,2 @@
+# Empty dependencies file for minitrace.
+# This may be replaced when dependencies are built.

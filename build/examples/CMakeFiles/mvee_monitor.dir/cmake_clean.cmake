@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvee_monitor.dir/mvee_monitor.cpp.o"
+  "CMakeFiles/mvee_monitor.dir/mvee_monitor.cpp.o.d"
+  "mvee_monitor"
+  "mvee_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvee_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

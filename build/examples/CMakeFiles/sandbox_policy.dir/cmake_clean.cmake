@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_policy.dir/sandbox_policy.cpp.o"
+  "CMakeFiles/sandbox_policy.dir/sandbox_policy.cpp.o.d"
+  "sandbox_policy"
+  "sandbox_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

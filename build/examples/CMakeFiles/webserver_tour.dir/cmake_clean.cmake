@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_tour.dir/webserver_tour.cpp.o"
+  "CMakeFiles/webserver_tour.dir/webserver_tour.cpp.o.d"
+  "webserver_tour"
+  "webserver_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("memory")
+subdirs("isa")
+subdirs("cpu")
+subdirs("bpf")
+subdirs("kernel")
+subdirs("disasm")
+subdirs("interpose")
+subdirs("mechanisms")
+subdirs("zpoline")
+subdirs("core")
+subdirs("pintool")
+subdirs("apps")
+subdirs("metrics")

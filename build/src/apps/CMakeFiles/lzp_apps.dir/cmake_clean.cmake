@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_apps.dir/coreutils.cpp.o"
+  "CMakeFiles/lzp_apps.dir/coreutils.cpp.o.d"
+  "CMakeFiles/lzp_apps.dir/jitcc.cpp.o"
+  "CMakeFiles/lzp_apps.dir/jitcc.cpp.o.d"
+  "CMakeFiles/lzp_apps.dir/minicc.cpp.o"
+  "CMakeFiles/lzp_apps.dir/minicc.cpp.o.d"
+  "CMakeFiles/lzp_apps.dir/minilibc.cpp.o"
+  "CMakeFiles/lzp_apps.dir/minilibc.cpp.o.d"
+  "CMakeFiles/lzp_apps.dir/webserver.cpp.o"
+  "CMakeFiles/lzp_apps.dir/webserver.cpp.o.d"
+  "liblzp_apps.a"
+  "liblzp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_base.dir/log.cpp.o"
+  "CMakeFiles/lzp_base.dir/log.cpp.o.d"
+  "CMakeFiles/lzp_base.dir/rng.cpp.o"
+  "CMakeFiles/lzp_base.dir/rng.cpp.o.d"
+  "CMakeFiles/lzp_base.dir/stats.cpp.o"
+  "CMakeFiles/lzp_base.dir/stats.cpp.o.d"
+  "CMakeFiles/lzp_base.dir/strings.cpp.o"
+  "CMakeFiles/lzp_base.dir/strings.cpp.o.d"
+  "liblzp_base.a"
+  "liblzp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_bpf.dir/bpf.cpp.o"
+  "CMakeFiles/lzp_bpf.dir/bpf.cpp.o.d"
+  "CMakeFiles/lzp_bpf.dir/seccomp_filter.cpp.o"
+  "CMakeFiles/lzp_bpf.dir/seccomp_filter.cpp.o.d"
+  "liblzp_bpf.a"
+  "liblzp_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

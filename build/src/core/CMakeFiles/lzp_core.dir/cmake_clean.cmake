@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_core.dir/lazypoline.cpp.o"
+  "CMakeFiles/lzp_core.dir/lazypoline.cpp.o.d"
+  "liblzp_core.a"
+  "liblzp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_cpu.dir/context.cpp.o"
+  "CMakeFiles/lzp_cpu.dir/context.cpp.o.d"
+  "CMakeFiles/lzp_cpu.dir/execute.cpp.o"
+  "CMakeFiles/lzp_cpu.dir/execute.cpp.o.d"
+  "liblzp_cpu.a"
+  "liblzp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_disasm.dir/scanner.cpp.o"
+  "CMakeFiles/lzp_disasm.dir/scanner.cpp.o.d"
+  "liblzp_disasm.a"
+  "liblzp_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interpose/handler.cpp" "src/interpose/CMakeFiles/lzp_interpose.dir/handler.cpp.o" "gcc" "src/interpose/CMakeFiles/lzp_interpose.dir/handler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lzp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lzp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lzp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lzp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lzp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/lzp_bpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_interpose.dir/handler.cpp.o"
+  "CMakeFiles/lzp_interpose.dir/handler.cpp.o.d"
+  "liblzp_interpose.a"
+  "liblzp_interpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

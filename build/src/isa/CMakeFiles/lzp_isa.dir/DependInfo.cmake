@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assemble.cpp" "src/isa/CMakeFiles/lzp_isa.dir/assemble.cpp.o" "gcc" "src/isa/CMakeFiles/lzp_isa.dir/assemble.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/isa/CMakeFiles/lzp_isa.dir/decode.cpp.o" "gcc" "src/isa/CMakeFiles/lzp_isa.dir/decode.cpp.o.d"
+  "/root/repo/src/isa/insn.cpp" "src/isa/CMakeFiles/lzp_isa.dir/insn.cpp.o" "gcc" "src/isa/CMakeFiles/lzp_isa.dir/insn.cpp.o.d"
+  "/root/repo/src/isa/objfile.cpp" "src/isa/CMakeFiles/lzp_isa.dir/objfile.cpp.o" "gcc" "src/isa/CMakeFiles/lzp_isa.dir/objfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lzp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lzp_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

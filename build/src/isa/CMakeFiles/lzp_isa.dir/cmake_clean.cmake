@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_isa.dir/assemble.cpp.o"
+  "CMakeFiles/lzp_isa.dir/assemble.cpp.o.d"
+  "CMakeFiles/lzp_isa.dir/decode.cpp.o"
+  "CMakeFiles/lzp_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/lzp_isa.dir/insn.cpp.o"
+  "CMakeFiles/lzp_isa.dir/insn.cpp.o.d"
+  "CMakeFiles/lzp_isa.dir/objfile.cpp.o"
+  "CMakeFiles/lzp_isa.dir/objfile.cpp.o.d"
+  "liblzp_isa.a"
+  "liblzp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblzp_isa.a"
+)

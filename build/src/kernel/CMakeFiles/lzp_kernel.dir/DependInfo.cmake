@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/costs.cpp" "src/kernel/CMakeFiles/lzp_kernel.dir/costs.cpp.o" "gcc" "src/kernel/CMakeFiles/lzp_kernel.dir/costs.cpp.o.d"
+  "/root/repo/src/kernel/machine.cpp" "src/kernel/CMakeFiles/lzp_kernel.dir/machine.cpp.o" "gcc" "src/kernel/CMakeFiles/lzp_kernel.dir/machine.cpp.o.d"
+  "/root/repo/src/kernel/machine_signals.cpp" "src/kernel/CMakeFiles/lzp_kernel.dir/machine_signals.cpp.o" "gcc" "src/kernel/CMakeFiles/lzp_kernel.dir/machine_signals.cpp.o.d"
+  "/root/repo/src/kernel/machine_syscalls.cpp" "src/kernel/CMakeFiles/lzp_kernel.dir/machine_syscalls.cpp.o" "gcc" "src/kernel/CMakeFiles/lzp_kernel.dir/machine_syscalls.cpp.o.d"
+  "/root/repo/src/kernel/net.cpp" "src/kernel/CMakeFiles/lzp_kernel.dir/net.cpp.o" "gcc" "src/kernel/CMakeFiles/lzp_kernel.dir/net.cpp.o.d"
+  "/root/repo/src/kernel/syscalls.cpp" "src/kernel/CMakeFiles/lzp_kernel.dir/syscalls.cpp.o" "gcc" "src/kernel/CMakeFiles/lzp_kernel.dir/syscalls.cpp.o.d"
+  "/root/repo/src/kernel/vfs.cpp" "src/kernel/CMakeFiles/lzp_kernel.dir/vfs.cpp.o" "gcc" "src/kernel/CMakeFiles/lzp_kernel.dir/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lzp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lzp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lzp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lzp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/lzp_bpf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

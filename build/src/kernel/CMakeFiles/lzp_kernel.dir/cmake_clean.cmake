@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_kernel.dir/costs.cpp.o"
+  "CMakeFiles/lzp_kernel.dir/costs.cpp.o.d"
+  "CMakeFiles/lzp_kernel.dir/machine.cpp.o"
+  "CMakeFiles/lzp_kernel.dir/machine.cpp.o.d"
+  "CMakeFiles/lzp_kernel.dir/machine_signals.cpp.o"
+  "CMakeFiles/lzp_kernel.dir/machine_signals.cpp.o.d"
+  "CMakeFiles/lzp_kernel.dir/machine_syscalls.cpp.o"
+  "CMakeFiles/lzp_kernel.dir/machine_syscalls.cpp.o.d"
+  "CMakeFiles/lzp_kernel.dir/net.cpp.o"
+  "CMakeFiles/lzp_kernel.dir/net.cpp.o.d"
+  "CMakeFiles/lzp_kernel.dir/syscalls.cpp.o"
+  "CMakeFiles/lzp_kernel.dir/syscalls.cpp.o.d"
+  "CMakeFiles/lzp_kernel.dir/vfs.cpp.o"
+  "CMakeFiles/lzp_kernel.dir/vfs.cpp.o.d"
+  "liblzp_kernel.a"
+  "liblzp_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

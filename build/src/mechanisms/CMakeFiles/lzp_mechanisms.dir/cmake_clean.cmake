@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_mechanisms.dir/ptrace_tool.cpp.o"
+  "CMakeFiles/lzp_mechanisms.dir/ptrace_tool.cpp.o.d"
+  "CMakeFiles/lzp_mechanisms.dir/seccomp_bpf_tool.cpp.o"
+  "CMakeFiles/lzp_mechanisms.dir/seccomp_bpf_tool.cpp.o.d"
+  "CMakeFiles/lzp_mechanisms.dir/seccomp_user_tool.cpp.o"
+  "CMakeFiles/lzp_mechanisms.dir/seccomp_user_tool.cpp.o.d"
+  "CMakeFiles/lzp_mechanisms.dir/sud_tool.cpp.o"
+  "CMakeFiles/lzp_mechanisms.dir/sud_tool.cpp.o.d"
+  "liblzp_mechanisms.a"
+  "liblzp_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_memory.dir/address_space.cpp.o"
+  "CMakeFiles/lzp_memory.dir/address_space.cpp.o.d"
+  "liblzp_memory.a"
+  "liblzp_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_metrics.dir/report.cpp.o"
+  "CMakeFiles/lzp_metrics.dir/report.cpp.o.d"
+  "liblzp_metrics.a"
+  "liblzp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_pintool.dir/xstate_tracker.cpp.o"
+  "CMakeFiles/lzp_pintool.dir/xstate_tracker.cpp.o.d"
+  "liblzp_pintool.a"
+  "liblzp_pintool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_pintool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lzp_zpoline.dir/zpoline.cpp.o"
+  "CMakeFiles/lzp_zpoline.dir/zpoline.cpp.o.d"
+  "liblzp_zpoline.a"
+  "liblzp_zpoline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lzp_zpoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_transparency_test.dir/apps_transparency_test.cpp.o"
+  "CMakeFiles/apps_transparency_test.dir/apps_transparency_test.cpp.o.d"
+  "apps_transparency_test"
+  "apps_transparency_test.pdb"
+  "apps_transparency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_transparency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_test.dir/bpf_test.cpp.o"
+  "CMakeFiles/bpf_test.dir/bpf_test.cpp.o.d"
+  "bpf_test"
+  "bpf_test.pdb"
+  "bpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_test2.dir/cpu_test2.cpp.o"
+  "CMakeFiles/cpu_test2.dir/cpu_test2.cpp.o.d"
+  "cpu_test2"
+  "cpu_test2.pdb"
+  "cpu_test2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_test2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

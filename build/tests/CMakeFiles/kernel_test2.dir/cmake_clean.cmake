@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_test2.dir/kernel_test2.cpp.o"
+  "CMakeFiles/kernel_test2.dir/kernel_test2.cpp.o.d"
+  "kernel_test2"
+  "kernel_test2.pdb"
+  "kernel_test2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_test2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

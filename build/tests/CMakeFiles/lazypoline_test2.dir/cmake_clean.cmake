@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazypoline_test2.dir/lazypoline_test2.cpp.o"
+  "CMakeFiles/lazypoline_test2.dir/lazypoline_test2.cpp.o.d"
+  "lazypoline_test2"
+  "lazypoline_test2.pdb"
+  "lazypoline_test2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazypoline_test2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pintool_test.dir/pintool_test.cpp.o"
+  "CMakeFiles/pintool_test.dir/pintool_test.cpp.o.d"
+  "pintool_test"
+  "pintool_test.pdb"
+  "pintool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pintool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_server_test.dir/threaded_server_test.cpp.o"
+  "CMakeFiles/threaded_server_test.dir/threaded_server_test.cpp.o.d"
+  "threaded_server_test"
+  "threaded_server_test.pdb"
+  "threaded_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/objfile_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test2[1]_include.cmake")
+include("/root/repo/build/tests/bpf_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test2[1]_include.cmake")
+include("/root/repo/build/tests/vfs_net_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_test[1]_include.cmake")
+include("/root/repo/build/tests/interpose_test[1]_include.cmake")
+include("/root/repo/build/tests/mechanisms_test[1]_include.cmake")
+include("/root/repo/build/tests/zpoline_test[1]_include.cmake")
+include("/root/repo/build/tests/lazypoline_test[1]_include.cmake")
+include("/root/repo/build/tests/lazypoline_test2[1]_include.cmake")
+include("/root/repo/build/tests/pintool_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_transparency_test[1]_include.cmake")
+include("/root/repo/build/tests/threaded_server_test[1]_include.cmake")
+include("/root/repo/build/tests/minicc_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
