@@ -33,6 +33,20 @@ constexpr double kClientCapRps = 220'000.0;
 
 enum class Mech { kBaseline, kZpoline, kLazyNoX, kLazyFull, kSud };
 
+// Decode-cache counters accumulated across every simulated run, reported at
+// the end so the figure's wall-clock cost is attributable (hit rate of the
+// simulator hot loop, and how often the lazypoline/zpoline rewrites
+// invalidated cached decodes).
+cpu::DecodeCacheStats g_dcache_totals;
+
+void accumulate_dcache(const kern::Machine& machine) {
+  const cpu::DecodeCacheStats totals = machine.decode_cache_totals();
+  g_dcache_totals.hits += totals.hits;
+  g_dcache_totals.misses += totals.misses;
+  g_dcache_totals.invalidations += totals.invalidations;
+  g_dcache_totals.flushes += totals.flushes;
+}
+
 double run_one(const apps::ServerProfile& profile, std::uint64_t file_size,
                int workers, Mech mech) {
   kern::Machine machine;
@@ -91,6 +105,8 @@ double run_one(const apps::ServerProfile& profile, std::uint64_t file_size,
     bench::die("dropped requests");
   }
 
+  accumulate_dcache(machine);
+
   // Workers run on dedicated cores: wall time = the slowest worker.
   std::uint64_t wall_cycles = 0;
   for (kern::Tid tid : tids) {
@@ -138,5 +154,15 @@ int main(int argc, char** argv) {
     run_grid(apps::lighttpd_profile(), 1);
     run_grid(apps::lighttpd_profile(), 12);
   }
+
+  std::printf("-- simulator decode cache (all runs) --\n");
+  std::printf("%s", metrics::counters_table(
+                        {{"hits", g_dcache_totals.hits},
+                         {"misses", g_dcache_totals.misses},
+                         {"invalidations", g_dcache_totals.invalidations},
+                         {"flushes", g_dcache_totals.flushes}})
+                        .c_str());
+  std::printf("hit rate: %s\n",
+              metrics::percent(100.0 * g_dcache_totals.hit_rate()).c_str());
   return 0;
 }

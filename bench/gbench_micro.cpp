@@ -30,31 +30,109 @@ void BM_DecodeMovImm64(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeMovImm64);
 
-void BM_CpuStepLoop(benchmark::State& state) {
-  isa::Assembler a;
-  const auto entry = a.new_label();
-  const auto loop = a.new_label();
-  a.bind(entry);
-  a.mov(isa::Gpr::rbx, 0);
-  a.bind(loop);
-  a.add(isa::Gpr::rbx, 1);
-  a.cmp(isa::Gpr::rbx, 0);  // never zero: infinite loop
-  a.jnz(loop);
-  auto code = std::move(a.finish()).value();
-
+// Shared setup for the step-loop benches: an infinite compute loop mapped
+// executable, with the context parked at its entry.
+struct StepLoopFixture {
   mem::AddressSpace as;
-  (void)as.map(0x1000, mem::page_ceil(code.size()),
-               mem::kProtRead | mem::kProtExec, true);
-  (void)as.write_force(0x1000, code);
   cpu::CpuContext ctx;
-  ctx.rip = 0x1000;
 
+  StepLoopFixture() {
+    isa::Assembler a;
+    const auto entry = a.new_label();
+    const auto loop = a.new_label();
+    a.bind(entry);
+    a.mov(isa::Gpr::rbx, 0);
+    a.bind(loop);
+    a.add(isa::Gpr::rbx, 1);
+    a.cmp(isa::Gpr::rbx, 0);  // never zero: infinite loop
+    a.jnz(loop);
+    auto code = std::move(a.finish()).value();
+    (void)as.map(0x1000, mem::page_ceil(code.size()),
+                 mem::kProtRead | mem::kProtExec, true);
+    (void)as.write_force(0x1000, code);
+    ctx.rip = 0x1000;
+  }
+};
+
+// The fetch/decode hot loop with the decode cache force-disabled vs enabled.
+// The pair is the headline simulator-throughput number: items_per_second is
+// host-side instructions retired per second, and the cached run exports its
+// hit/miss/invalidation counters into the bench JSON
+// (--benchmark_format=json) alongside.
+void BM_CpuStepLoop(benchmark::State& state) {
+  StepLoopFixture f;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cpu::step(ctx, as));
+    benchmark::DoNotOptimize(cpu::step(f.ctx, f.as));
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CpuStepLoop);
+
+void BM_CpuStepLoopCached(benchmark::State& state) {
+  StepLoopFixture f;
+  cpu::DecodeCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu::step(f.ctx, f.as, &cache));
+  }
+  state.SetItemsProcessed(state.iterations());
+  const cpu::DecodeCacheStats& stats = cache.stats();
+  state.counters["decode_hit_rate"] = stats.hit_rate();
+  state.counters["decode_hits"] = static_cast<double>(stats.hits);
+  state.counters["decode_misses"] = static_cast<double>(stats.misses);
+  state.counters["decode_invalidations"] =
+      static_cast<double>(stats.invalidations);
+}
+BENCHMARK(BM_CpuStepLoopCached);
+
+// Same comparison end-to-end through Machine::run on straight-line compute
+// (no syscalls), so kernel-layer overheads are included.
+void machine_straight_line(benchmark::State& state, bool cache_enabled) {
+  constexpr std::uint64_t kIterations = 50'000;
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  const auto done = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, kIterations);
+  a.bind(loop);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jz(done);
+  a.add(isa::Gpr::rcx, 3);
+  a.sub(isa::Gpr::rbx, 1);
+  a.jmp(loop);
+  a.bind(done);
+  apps::emit_exit(a, 0);
+  const auto program =
+      bench::unwrap(isa::make_program("straight-line", a, entry), "assemble");
+
+  std::uint64_t insns = 0;
+  cpu::DecodeCacheStats totals;
+  for (auto _ : state) {
+    kern::Machine machine;
+    machine.decode_cache_enabled = cache_enabled;
+    const kern::Tid tid = bench::unwrap(machine.load(program), "load");
+    const auto stats = machine.run();
+    if (!stats.all_exited) bench::die("machine did not quiesce");
+    insns += machine.find_task(tid)->insns_retired;
+    totals = machine.decode_cache_totals();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(insns));
+  state.counters["decode_hit_rate"] = totals.hit_rate();
+  state.counters["decode_hits"] = static_cast<double>(totals.hits);
+  state.counters["decode_misses"] = static_cast<double>(totals.misses);
+  state.counters["decode_invalidations"] =
+      static_cast<double>(totals.invalidations);
+}
+
+void BM_MachineStraightLineUncached(benchmark::State& state) {
+  machine_straight_line(state, /*cache_enabled=*/false);
+}
+BENCHMARK(BM_MachineStraightLineUncached);
+
+void BM_MachineStraightLineCached(benchmark::State& state) {
+  machine_straight_line(state, /*cache_enabled=*/true);
+}
+BENCHMARK(BM_MachineStraightLineCached);
 
 void BM_BpfMonitoringFilter(benchmark::State& state) {
   const std::uint32_t trapped[] = {101};

@@ -227,8 +227,9 @@ bench-build/CMakeFiles/exhaustiveness_jit.dir/exhaustiveness_jit.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
  /root/repo/src/bpf/bpf.hpp /root/repo/src/cpu/context.hpp \
- /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp \
+ /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp \
  /root/repo/bench/bench_util.hpp /root/repo/src/apps/minilibc.hpp \
  /root/repo/src/core/lazypoline.hpp \
  /root/repo/src/interpose/mechanism.hpp \

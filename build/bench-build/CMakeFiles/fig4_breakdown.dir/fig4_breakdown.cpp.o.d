@@ -224,8 +224,9 @@ bench-build/CMakeFiles/fig4_breakdown.dir/fig4_breakdown.cpp.o: \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
- /root/repo/src/bpf/bpf.hpp /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp \
+ /root/repo/src/bpf/bpf.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp \
  /root/repo/src/mechanisms/sud_tool.hpp \
  /root/repo/src/zpoline/zpoline.hpp /root/repo/src/disasm/scanner.hpp \
  /root/repo/src/metrics/report.hpp

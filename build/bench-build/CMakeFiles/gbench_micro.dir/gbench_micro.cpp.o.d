@@ -228,8 +228,9 @@ bench-build/CMakeFiles/gbench_micro.dir/gbench_micro.cpp.o: \
  /root/repo/src/kernel/net.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
- /root/repo/src/bpf/bpf.hpp /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp \
+ /root/repo/src/bpf/bpf.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp \
  /root/repo/src/mechanisms/sud_tool.hpp \
  /root/repo/src/zpoline/zpoline.hpp /root/repo/src/disasm/scanner.hpp \
  /root/repo/src/bpf/seccomp_filter.hpp /root/repo/src/cpu/execute.hpp \

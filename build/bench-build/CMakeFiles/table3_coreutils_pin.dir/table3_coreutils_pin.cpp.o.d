@@ -228,9 +228,9 @@ bench-build/CMakeFiles/table3_coreutils_pin.dir/table3_coreutils_pin.cpp.o: \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
- /root/repo/src/bpf/bpf.hpp /root/repo/src/kernel/signals.hpp \
+ /root/repo/src/bpf/bpf.hpp /root/repo/src/cpu/decode_cache.hpp \
  /root/repo/src/memory/address_space.hpp \
- /root/repo/src/mechanisms/sud_tool.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/mechanisms/sud_tool.hpp \
  /root/repo/src/zpoline/zpoline.hpp /root/repo/src/disasm/scanner.hpp \
  /root/repo/src/metrics/report.hpp \
  /root/repo/src/pintool/xstate_tracker.hpp

@@ -227,7 +227,8 @@ examples/CMakeFiles/sandbox_policy.dir/sandbox_policy.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
- /root/repo/src/bpf/bpf.hpp /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp \
+ /root/repo/src/bpf/bpf.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp \
  /root/repo/src/mechanisms/seccomp_bpf_tool.hpp \
  /root/repo/src/bpf/seccomp_filter.hpp

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/cpu/context.cpp" "src/cpu/CMakeFiles/lzp_cpu.dir/context.cpp.o" "gcc" "src/cpu/CMakeFiles/lzp_cpu.dir/context.cpp.o.d"
+  "/root/repo/src/cpu/decode_cache.cpp" "src/cpu/CMakeFiles/lzp_cpu.dir/decode_cache.cpp.o" "gcc" "src/cpu/CMakeFiles/lzp_cpu.dir/decode_cache.cpp.o.d"
   "/root/repo/src/cpu/execute.cpp" "src/cpu/CMakeFiles/lzp_cpu.dir/execute.cpp.o" "gcc" "src/cpu/CMakeFiles/lzp_cpu.dir/execute.cpp.o.d"
   )
 

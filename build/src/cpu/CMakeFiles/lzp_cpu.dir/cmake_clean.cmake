@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/lzp_cpu.dir/context.cpp.o"
   "CMakeFiles/lzp_cpu.dir/context.cpp.o.d"
+  "CMakeFiles/lzp_cpu.dir/decode_cache.cpp.o"
+  "CMakeFiles/lzp_cpu.dir/decode_cache.cpp.o.d"
   "CMakeFiles/lzp_cpu.dir/execute.cpp.o"
   "CMakeFiles/lzp_cpu.dir/execute.cpp.o.d"
   "liblzp_cpu.a"

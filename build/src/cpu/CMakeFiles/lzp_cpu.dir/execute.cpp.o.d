@@ -127,15 +127,19 @@ src/cpu/CMakeFiles/lzp_cpu.dir/execute.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/cpu/context.hpp \
  /usr/include/c++/12/array /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/isa/insn.hpp \
- /root/repo/src/isa/decode.hpp /root/repo/src/memory/address_space.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /root/repo/src/cpu/decode_cache.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/memory/address_space.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -205,8 +209,5 @@ src/cpu/CMakeFiles/lzp_cpu.dir/execute.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/isa/decode.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

@@ -224,5 +224,6 @@ src/kernel/CMakeFiles/lzp_kernel.dir/machine_signals.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
  /root/repo/src/bpf/bpf.hpp /root/repo/src/cpu/context.hpp \
- /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp
+ /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp

@@ -225,5 +225,6 @@ src/mechanisms/CMakeFiles/lzp_mechanisms.dir/sud_tool.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
  /root/repo/src/bpf/bpf.hpp /root/repo/src/cpu/context.hpp \
- /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp
+ /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp

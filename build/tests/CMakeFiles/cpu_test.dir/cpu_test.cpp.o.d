@@ -295,5 +295,6 @@ tests/CMakeFiles/cpu_test.dir/cpu_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cpu/execute.hpp /root/repo/src/base/status.hpp \
  /root/repo/src/cpu/context.hpp /usr/include/c++/12/span \
- /root/repo/src/isa/insn.hpp /root/repo/src/isa/decode.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/isa/assemble.hpp
+ /root/repo/src/isa/insn.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp /root/repo/src/isa/decode.hpp \
+ /root/repo/src/isa/assemble.hpp

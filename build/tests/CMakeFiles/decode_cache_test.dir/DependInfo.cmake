@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decode_cache_test.cpp" "tests/CMakeFiles/decode_cache_test.dir/decode_cache_test.cpp.o" "gcc" "tests/CMakeFiles/decode_cache_test.dir/decode_cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lzp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/lzp_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lzp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/lzp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/lzp_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/lzp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/lzp_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interpose/CMakeFiles/lzp_interpose.dir/DependInfo.cmake"
+  "/root/repo/build/src/mechanisms/CMakeFiles/lzp_mechanisms.dir/DependInfo.cmake"
+  "/root/repo/build/src/zpoline/CMakeFiles/lzp_zpoline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lzp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pintool/CMakeFiles/lzp_pintool.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lzp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/lzp_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_cache_test.dir/decode_cache_test.cpp.o"
+  "CMakeFiles/decode_cache_test.dir/decode_cache_test.cpp.o.d"
+  "decode_cache_test"
+  "decode_cache_test.pdb"
+  "decode_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

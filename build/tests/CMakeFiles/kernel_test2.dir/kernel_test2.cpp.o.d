@@ -301,5 +301,6 @@ tests/CMakeFiles/kernel_test2.dir/kernel_test2.cpp.o: \
  /root/repo/src/kernel/net.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
- /root/repo/src/cpu/context.hpp /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp
+ /root/repo/src/cpu/context.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp

@@ -302,8 +302,9 @@ tests/CMakeFiles/mechanisms_test.dir/mechanisms_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/kernel/syscalls.hpp \
  /root/repo/src/kernel/task.hpp /root/repo/src/bpf/bpf.hpp \
- /root/repo/src/cpu/context.hpp /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp \
+ /root/repo/src/cpu/context.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp \
  /root/repo/src/mechanisms/seccomp_bpf_tool.hpp \
  /root/repo/src/bpf/seccomp_filter.hpp \
  /root/repo/src/mechanisms/seccomp_user_tool.hpp \

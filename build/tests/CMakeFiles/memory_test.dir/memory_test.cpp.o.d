@@ -293,5 +293,5 @@ tests/CMakeFiles/memory_test.dir/memory_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/memory/address_space.hpp /usr/include/c++/12/span \
- /root/repo/src/base/status.hpp
+ /usr/include/c++/12/cstring /root/repo/src/memory/address_space.hpp \
+ /usr/include/c++/12/span /root/repo/src/base/status.hpp

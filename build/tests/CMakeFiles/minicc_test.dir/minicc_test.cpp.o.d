@@ -301,5 +301,6 @@ tests/CMakeFiles/minicc_test.dir/minicc_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/kernel/syscalls.hpp \
  /root/repo/src/kernel/task.hpp /root/repo/src/bpf/bpf.hpp \
- /root/repo/src/cpu/context.hpp /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp
+ /root/repo/src/cpu/context.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp

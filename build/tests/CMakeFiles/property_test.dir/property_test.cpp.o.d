@@ -303,7 +303,8 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /root/repo/src/kernel/net.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/kernel/syscalls.hpp /root/repo/src/kernel/task.hpp \
- /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp \
+ /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp \
  /root/repo/src/isa/decode.hpp /root/repo/tests/sim_test_util.hpp \
  /root/repo/src/apps/minilibc.hpp

@@ -300,8 +300,9 @@ tests/CMakeFiles/zpoline_test.dir/zpoline_test.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/kernel/syscalls.hpp \
  /root/repo/src/kernel/task.hpp /root/repo/src/bpf/bpf.hpp \
- /root/repo/src/cpu/context.hpp /root/repo/src/kernel/signals.hpp \
- /root/repo/src/memory/address_space.hpp /root/repo/src/kernel/vfs.hpp \
+ /root/repo/src/cpu/context.hpp /root/repo/src/cpu/decode_cache.hpp \
+ /root/repo/src/memory/address_space.hpp \
+ /root/repo/src/kernel/signals.hpp /root/repo/src/kernel/vfs.hpp \
  /root/repo/src/isa/objfile.hpp /root/repo/tests/sim_test_util.hpp \
  /root/repo/src/apps/minilibc.hpp /root/repo/src/zpoline/zpoline.hpp \
  /root/repo/src/disasm/scanner.hpp /root/repo/src/interpose/mechanism.hpp \

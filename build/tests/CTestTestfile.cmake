@@ -10,6 +10,7 @@ include("/root/repo/build/tests/isa_test[1]_include.cmake")
 include("/root/repo/build/tests/objfile_test[1]_include.cmake")
 include("/root/repo/build/tests/cpu_test[1]_include.cmake")
 include("/root/repo/build/tests/cpu_test2[1]_include.cmake")
+include("/root/repo/build/tests/decode_cache_test[1]_include.cmake")
 include("/root/repo/build/tests/bpf_test[1]_include.cmake")
 include("/root/repo/build/tests/kernel_test[1]_include.cmake")
 include("/root/repo/build/tests/kernel_test2[1]_include.cmake")

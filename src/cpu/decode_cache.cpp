@@ -1,0 +1,104 @@
+#include "cpu/decode_cache.hpp"
+
+namespace lzp::cpu {
+
+const mem::Page* DecodeCache::translate(const mem::AddressSpace& as,
+                                        std::uint64_t page_base) noexcept {
+  if (tlb_base_ == page_base && tlb_layout_gen_ == as.layout_gen()) {
+    return tlb_page_;
+  }
+  const mem::Page* page = as.page_at(page_base);
+  if (page != nullptr) {
+    tlb_base_ = page_base;
+    tlb_layout_gen_ = as.layout_gen();
+    tlb_page_ = page;
+  }
+  return page;
+}
+
+const isa::Instruction* DecodeCache::lookup(const mem::AddressSpace& as,
+                                            std::uint64_t rip) noexcept {
+  if (!enabled_) return nullptr;
+  if (as_id_ != as.asid()) {
+    // Different address space than the entries were built against (execve
+    // installed a fresh one, or the cache is stepping a new task): flush.
+    if (as_id_ != 0) ++stats_.flushes;
+    flush();
+    as_id_ = as.asid();
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  Entry& entry = entries_[index_of(rip)];
+  if (entry.rip != rip) {
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  const std::uint64_t page_base = mem::page_floor(rip);
+  const mem::Page* page = translate(as, page_base);
+  if (page == nullptr || (page->prot & mem::kProtExec) == 0) {
+    // The page vanished or lost exec: drop the entry and let the slow path
+    // raise the architectural fetch fault.
+    entry.rip = kNoAddr;
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  bool valid = page->gen == entry.gen;
+  if (valid) {
+    const std::uint64_t last = rip + entry.insn.length - 1;
+    const std::uint64_t last_base = mem::page_floor(last);
+    if (last_base != page_base) {
+      // Crossing instruction: the tail page must still be executable and at
+      // the generation it was decoded under. Resolved without touching the
+      // TLB so the head page stays hot for the next sequential fetch.
+      const mem::Page* tail = as.page_at(last_base);
+      valid = tail != nullptr && (tail->prot & mem::kProtExec) != 0 &&
+              tail->gen == entry.gen2;
+    }
+  }
+  if (!valid) {
+    entry.rip = kNoAddr;
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &entry.insn;
+}
+
+void DecodeCache::insert(const mem::AddressSpace& as, std::uint64_t rip,
+                         const isa::Instruction& insn) noexcept {
+  if (!enabled_) return;
+  if (as_id_ != as.asid()) {
+    flush();  // never mix entries from two address spaces
+    as_id_ = as.asid();
+  }
+  const std::uint64_t page_base = mem::page_floor(rip);
+  const mem::Page* page = translate(as, page_base);
+  if (page == nullptr) return;
+  Entry& entry = entries_[index_of(rip)];
+  entry.rip = rip;
+  entry.gen = page->gen;
+  entry.gen2 = 0;
+  entry.insn = insn;
+  const std::uint64_t last_base = mem::page_floor(rip + insn.length - 1);
+  if (last_base != page_base) {
+    const mem::Page* tail = as.page_at(last_base);
+    if (tail == nullptr) {  // cannot validate the tail: do not cache
+      entry.rip = kNoAddr;
+      return;
+    }
+    entry.gen2 = tail->gen;
+  }
+}
+
+void DecodeCache::flush() noexcept {
+  for (Entry& entry : entries_) entry.rip = kNoAddr;
+  tlb_base_ = kNoAddr;
+  tlb_page_ = nullptr;
+  as_id_ = 0;
+}
+
+}  // namespace lzp::cpu

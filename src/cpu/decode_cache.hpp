@@ -1,0 +1,108 @@
+// Decoded-instruction cache for the simulator hot loop.
+//
+// step() retires the same instructions millions of times; without a cache
+// every retirement re-walks the page map and re-decodes from raw bytes. The
+// cache is direct-mapped, keyed by rip, and stores the decoded instruction
+// together with the code generation(s) of the page(s) the encoding lives on
+// (see Page::gen in memory/address_space.hpp). A one-entry page-translation
+// TLB skips the std::map walk on sequential fetches within a page.
+//
+// Correctness is the interesting part: the interposers this project
+// reproduces rewrite *executing* code at runtime (syscall -> call rax), so a
+// stale decode would silently break the paper's central mechanism. The
+// invalidation scheme is entirely generation-based:
+//
+//   * writes to an executable page bump that page's generation,
+//   * mprotect that touches the exec bit (either direction) bumps it too —
+//     covering the flip-RW / patch / flip-back rewrite idiom, where the
+//     patching write itself lands on a momentarily non-executable page,
+//   * unmapping an exec page retires its generation globally, so a later
+//     mapping at the same address can never satisfy an old entry,
+//   * each AddressSpace instance has a unique asid; fork's deep copy and
+//     execve's fresh address space both change it, flushing implicitly.
+//
+// CLONE_VM needs no extra work: sibling tasks share the AddressSpace, so a
+// sibling's rewrite bumps the same page generation every cache validates
+// against. Fork needs none either: the child task gets a fresh cache, and
+// the parent's entries stay valid against its unchanged address space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/insn.hpp"
+#include "memory/address_space.hpp"
+
+namespace lzp::cpu {
+
+struct DecodeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;         // includes invalidations
+  std::uint64_t invalidations = 0;  // entry matched rip but its gen was stale
+  std::uint64_t flushes = 0;        // whole-cache flushes (execve / AS swap)
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class DecodeCache {
+ public:
+  static constexpr std::size_t kNumEntries = 4096;  // power of two
+
+  DecodeCache() : entries_(kNumEntries) {}
+
+  // Returns the cached decode for `rip` if it is still valid against `as`,
+  // else nullptr. The pointer is valid until the next insert()/flush().
+  [[nodiscard]] const isa::Instruction* lookup(const mem::AddressSpace& as,
+                                              std::uint64_t rip) noexcept;
+
+  // Records a successful decode at `rip`. No-op if the backing page cannot
+  // be resolved (never the case right after a successful fetch).
+  void insert(const mem::AddressSpace& as, std::uint64_t rip,
+              const isa::Instruction& insn) noexcept;
+
+  // Drops every entry and the TLB. Bound to execve and address-space swaps.
+  void flush() noexcept;
+
+  // Force-disable (bench ablation): lookup always misses, insert is a no-op,
+  // and no statistics are recorded.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  [[nodiscard]] const DecodeCacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::uint64_t kNoAddr = ~0ULL;
+
+  struct Entry {
+    std::uint64_t rip = kNoAddr;
+    std::uint64_t gen = 0;   // generation of the page holding the first byte
+    std::uint64_t gen2 = 0;  // generation of the second page when crossing
+    isa::Instruction insn;
+  };
+
+  [[nodiscard]] static std::size_t index_of(std::uint64_t rip) noexcept {
+    // Mix the page number in so straight-line code in different pages does
+    // not collide on low bits alone.
+    return static_cast<std::size_t>((rip ^ (rip >> 12)) & (kNumEntries - 1));
+  }
+
+  // Page translation through the one-entry TLB; re-walks the page map when
+  // the layout generation moved (map/unmap invalidates raw page pointers).
+  [[nodiscard]] const mem::Page* translate(const mem::AddressSpace& as,
+                                           std::uint64_t page_base) noexcept;
+
+  std::vector<Entry> entries_;
+  std::uint64_t as_id_ = 0;  // asid the entries were built against
+
+  std::uint64_t tlb_base_ = kNoAddr;
+  std::uint64_t tlb_layout_gen_ = 0;
+  const mem::Page* tlb_page_ = nullptr;
+
+  bool enabled_ = true;
+  DecodeCacheStats stats_;
+};
+
+}  // namespace lzp::cpu

@@ -9,17 +9,38 @@ using isa::Gpr;
 using isa::Instruction;
 using isa::Op;
 
-// Fetches up to kMaxInsnLength executable bytes at `addr`. Returns the number
-// of bytes fetched (0 means the first byte itself is not executable).
+// Fetches up to kMaxInsnLength executable bytes at `addr` via one (or, at a
+// page boundary, two) span-based page copies. Returns the number of bytes
+// fetched (0 means the first byte itself is not executable).
 std::size_t fetch_window(const mem::AddressSpace& mem, std::uint64_t addr,
                          std::uint8_t* out, mem::MemFault* first_fault) {
-  for (std::size_t i = 0; i < isa::kMaxInsnLength; ++i) {
-    if (auto fault = mem.fetch(addr + i, {out + i, 1})) {
-      if (i == 0 && first_fault != nullptr) *first_fault = *fault;
-      return i;
+  return mem.fetch_window(addr, {out, isa::kMaxInsnLength}, first_fault);
+}
+
+// Fetch + decode at `rip`, consulting `cache` when given. Writes the decoded
+// instruction to *insn and returns true; on failure returns false with
+// *fetch_faulted / *fault describing a fetch fault (else: invalid opcode).
+bool fetch_decode_cached(const mem::AddressSpace& mem, DecodeCache* cache,
+                         std::uint64_t rip, Instruction* insn,
+                         bool* fetch_faulted, mem::MemFault* fault) {
+  *fetch_faulted = false;
+  if (cache != nullptr) {
+    if (const Instruction* hit = cache->lookup(mem, rip)) {
+      *insn = *hit;
+      return true;
     }
   }
-  return isa::kMaxInsnLength;
+  std::uint8_t window[isa::kMaxInsnLength];
+  const std::size_t got = fetch_window(mem, rip, window, fault);
+  if (got == 0) {
+    *fetch_faulted = true;
+    return false;
+  }
+  auto decoded = isa::decode({window, got});
+  if (!decoded) return false;
+  *insn = decoded.value();
+  if (cache != nullptr) cache->insert(mem, rip, *insn);
+  return true;
 }
 
 double bits_to_double(std::uint64_t bits) noexcept {
@@ -37,31 +58,34 @@ std::uint64_t double_to_bits(double value) noexcept {
 }  // namespace
 
 Result<isa::Instruction> fetch_decode(const CpuContext& ctx,
-                                      const mem::AddressSpace& mem) {
-  std::uint8_t window[isa::kMaxInsnLength];
+                                      const mem::AddressSpace& mem,
+                                      DecodeCache* cache) {
+  Instruction insn;
+  bool fetch_faulted = false;
   mem::MemFault fault;
-  const std::size_t got = fetch_window(mem, ctx.rip, window, &fault);
-  if (got == 0) {
-    return make_error(StatusCode::kOutOfRange, fault.to_string());
+  if (!fetch_decode_cached(mem, cache, ctx.rip, &insn, &fetch_faulted, &fault)) {
+    if (fetch_faulted) {
+      return make_error(StatusCode::kOutOfRange, fault.to_string());
+    }
+    return make_error(StatusCode::kInvalidArgument, "invalid opcode");
   }
-  return isa::decode({window, got});
+  return insn;
 }
 
-ExecResult step(CpuContext& ctx, mem::AddressSpace& mem) {
+ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
   ExecResult result;
   result.insn_addr = ctx.rip;
 
-  std::uint8_t window[isa::kMaxInsnLength];
+  Instruction insn;
+  bool fetch_faulted = false;
   mem::MemFault fetch_fault;
-  const std::size_t got = fetch_window(mem, ctx.rip, window, &fetch_fault);
-  if (got == 0) {
-    result.kind = ExecKind::kMemFault;
-    result.fault = fetch_fault;
-    return result;
-  }
-
-  auto decoded = isa::decode({window, got});
-  if (!decoded) {
+  if (!fetch_decode_cached(mem, cache, ctx.rip, &insn, &fetch_faulted,
+                           &fetch_fault)) {
+    if (fetch_faulted) {
+      result.kind = ExecKind::kMemFault;
+      result.fault = fetch_fault;
+      return result;
+    }
     // Either an unknown opcode or an instruction running off the end of the
     // mapped/executable region; both raise SIGILL-style outcomes (the latter
     // is a fetch fault in real hardware, but the distinction is immaterial
@@ -69,7 +93,6 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem) {
     result.kind = ExecKind::kInvalidOpcode;
     return result;
   }
-  const Instruction insn = decoded.value();
   result.insn = insn;
   const std::uint64_t next_rip = ctx.rip + insn.length;
 

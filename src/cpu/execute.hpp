@@ -9,6 +9,7 @@
 
 #include "base/status.hpp"
 #include "cpu/context.hpp"
+#include "cpu/decode_cache.hpp"
 #include "isa/decode.hpp"
 #include "memory/address_space.hpp"
 
@@ -36,14 +37,21 @@ struct ExecResult {
 };
 
 // Fetch + decode at ctx.rip without executing (used by tracers/pintool).
+// With a cache the decode is served from / recorded into it.
 [[nodiscard]] Result<isa::Instruction> fetch_decode(const CpuContext& ctx,
-                                                    const mem::AddressSpace& mem);
+                                                    const mem::AddressSpace& mem,
+                                                    DecodeCache* cache = nullptr);
 
 // Executes exactly one instruction. On kContinue the context is fully
 // updated; on kSyscall the context holds the post-syscall-instruction rip
 // (matching x86, where the kernel sees the advanced rip and SUD's rewriter
 // subtracts the 2-byte encoding to find the site); on faults the context is
 // unchanged except that no partial memory writes occur.
-ExecResult step(CpuContext& ctx, mem::AddressSpace& mem);
+//
+// `cache` (optional) is the task's decoded-instruction cache; hits skip the
+// fetch window and re-decode entirely. Invalidation against self-modifying
+// code is generation-based — see decode_cache.hpp.
+ExecResult step(CpuContext& ctx, mem::AddressSpace& mem,
+                DecodeCache* cache = nullptr);
 
 }  // namespace lzp::cpu

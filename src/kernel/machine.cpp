@@ -197,7 +197,8 @@ bool Machine::step_once(Task& task) {
     return task.runnable();
   }
 
-  const cpu::ExecResult result = cpu::step(task.ctx, *task.mem);
+  const cpu::ExecResult result = cpu::step(
+      task.ctx, *task.mem, decode_cache_enabled ? &task.dcache : nullptr);
   switch (result.kind) {
     case cpu::ExecKind::kContinue:
     case cpu::ExecKind::kSyscall:
@@ -483,6 +484,20 @@ std::uint64_t Machine::dispatch(Task& task, std::uint64_t nr,
 void Machine::charge(Task& task, std::uint64_t cycles) noexcept {
   task.cycles += cycles;
   total_cycles_ += cycles;
+}
+
+cpu::DecodeCacheStats Machine::decode_cache_totals() const {
+  cpu::DecodeCacheStats totals;
+  auto add = [&totals](const Task& task) {
+    const cpu::DecodeCacheStats& stats = task.dcache.stats();
+    totals.hits += stats.hits;
+    totals.misses += stats.misses;
+    totals.invalidations += stats.invalidations;
+    totals.flushes += stats.flushes;
+  };
+  for (const auto& [tid, task] : tasks_) add(*task);
+  for (const auto& task : nursery_) add(*task);
+  return totals;
 }
 
 void Machine::attach_tracer(Tid tid, TracerHooks hooks) {

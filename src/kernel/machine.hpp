@@ -83,6 +83,13 @@ class Machine {
   // can occupy virtual address 0 (the paper's deployments set it via sysctl).
   std::uint64_t mmap_min_addr = 0x10000;
 
+  // Decoded-instruction cache for the step() hot loop (see
+  // cpu/decode_cache.hpp). On by default; benches flip it off to measure
+  // the uncached fetch/decode path.
+  bool decode_cache_enabled = true;
+  // Decode-cache counters summed over every task (including exited ones).
+  [[nodiscard]] cpu::DecodeCacheStats decode_cache_totals() const;
+
   // --- host function registry ---------------------------------------------
   std::uint64_t bind_host(std::string name, HostFn fn);
   [[nodiscard]] bool is_host_addr(std::uint64_t addr) const noexcept;

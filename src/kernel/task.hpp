@@ -13,6 +13,7 @@
 
 #include "bpf/bpf.hpp"
 #include "cpu/context.hpp"
+#include "cpu/decode_cache.hpp"
 #include "kernel/signals.hpp"
 #include "memory/address_space.hpp"
 
@@ -84,6 +85,13 @@ struct Task {
   std::shared_ptr<Process> process;
   std::shared_ptr<mem::AddressSpace> mem;
   cpu::CpuContext ctx;
+
+  // Per-task decoded-instruction cache for the step() hot loop. Per-task —
+  // not per-address-space — so CLONE_VM siblings each keep their own cache
+  // over the shared space (invalidated through the shared page generations
+  // when a sibling rewrites code), fork children start cold against their
+  // deep-copied space, and execve's fresh space flushes via its new asid.
+  cpu::DecodeCache dcache;
 
   SudState sud;
   // seccomp filters attached to this task (newest last, all run, most

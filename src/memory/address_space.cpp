@@ -23,10 +23,42 @@ std::string MemFault::to_string() const {
   return out;
 }
 
+std::uint64_t AddressSpace::next_asid() noexcept {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+
 std::shared_ptr<AddressSpace> AddressSpace::clone() const {
   auto copy = std::make_shared<AddressSpace>();
   copy->pages_ = pages_;  // deep copy: Page holds its bytes by value
+  // The copy keeps the generation counters (so per-page gens stay monotone
+  // within the lineage) but gets its own asid from the default constructor:
+  // decode caches keyed by asid treat the child as a brand-new code space.
+  copy->code_gen_ = code_gen_;
+  copy->layout_gen_ = layout_gen_;
   return copy;
+}
+
+const Page* AddressSpace::page_at(std::uint64_t page_base) const noexcept {
+  auto it = pages_.find(page_base);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+void AddressSpace::touch_page_gen(Page& page) noexcept {
+  page.gen = ++code_gen_;
+  ++stats_.exec_invalidations;
+}
+
+void AddressSpace::touch_exec_range(std::uint64_t addr, std::size_t size) noexcept {
+  if (size == 0) return;
+  const std::uint64_t last = page_floor(addr + size - 1);
+  for (std::uint64_t base = page_floor(addr);; base += kPageSize) {
+    auto it = pages_.find(base);
+    if (it != pages_.end() && (it->second.prot & kProtExec) != 0) {
+      touch_page_gen(it->second);
+    }
+    if (base == last) break;
+  }
 }
 
 Result<std::uint64_t> AddressSpace::map(std::uint64_t addr, std::uint64_t length,
@@ -61,9 +93,14 @@ Result<std::uint64_t> AddressSpace::map(std::uint64_t addr, std::uint64_t length
     }
   }
 
+  ++layout_gen_;
   for (std::uint64_t i = 0; i < num_pages; ++i) {
     Page page;
     page.prot = prot;
+    // Fresh pages start at the current global code generation: any cached
+    // decode of a previously unmapped-then-remapped page at this address
+    // recorded a strictly older generation (unmap bumps the counter).
+    page.gen = code_gen_;
     page.bytes.assign(kPageSize, 0);
     pages_.emplace(base + i * kPageSize, std::move(page));
   }
@@ -76,8 +113,17 @@ Status AddressSpace::unmap(std::uint64_t addr, std::uint64_t length) {
     return make_error(StatusCode::kInvalidArgument, "munmap: unaligned address");
   }
   const std::uint64_t end = page_ceil(addr + length);
+  ++layout_gen_;
   for (std::uint64_t page = addr; page < end; page += kPageSize) {
-    pages_.erase(page);  // munmap on unmapped pages succeeds, like Linux
+    auto it = pages_.find(page);
+    if (it == pages_.end()) continue;  // munmap on unmapped succeeds, like Linux
+    if ((it->second.prot & kProtExec) != 0) {
+      // Retire the exec page's generation so a later mapping at the same
+      // address can never satisfy a stale cached decode.
+      ++code_gen_;
+      ++stats_.exec_invalidations;
+    }
+    pages_.erase(it);
   }
   return Status::ok();
 }
@@ -97,7 +143,15 @@ Status AddressSpace::protect(std::uint64_t addr, std::uint64_t length,
     }
   }
   for (std::uint64_t page = addr; page < end; page += kPageSize) {
-    pages_[page].prot = prot;
+    Page& entry = pages_[page];
+    // Any protection change that involves executability — in either
+    // direction — retires the page's code generation. This is what makes
+    // the rewrite idiom safe for decode caches: flip RX->RW (bump), patch
+    // the bytes while the page is not executable, flip RW->RX (bump again).
+    if (((entry.prot | prot) & kProtExec) != 0 && entry.prot != prot) {
+      touch_page_gen(entry);
+    }
+    entry.prot = prot;
   }
   return Status::ok();
 }
@@ -158,6 +212,7 @@ std::optional<MemFault> AddressSpace::read(std::uint64_t addr,
 
 std::optional<MemFault> AddressSpace::write(std::uint64_t addr,
                                             std::span<const std::uint8_t> data) noexcept {
+  touch_exec_range(addr, data.size());
   auto fault = copy_checked(pages_, addr, nullptr, data.data(), data.size(),
                             kProtWrite, AccessKind::kWrite, /*enforce_prot=*/true);
   if (fault) ++stats_.faults;
@@ -166,10 +221,43 @@ std::optional<MemFault> AddressSpace::write(std::uint64_t addr,
 
 std::optional<MemFault> AddressSpace::fetch(std::uint64_t addr,
                                             std::span<std::uint8_t> out) const noexcept {
+  ++stats_.fetches;
   auto fault = copy_checked(pages_, addr, out.data(), nullptr, out.size(),
                             kProtExec, AccessKind::kFetch, /*enforce_prot=*/true);
   if (fault) ++stats_.faults;
   return fault;
+}
+
+std::size_t AddressSpace::fetch_window(std::uint64_t addr,
+                                       std::span<std::uint8_t> out,
+                                       MemFault* fault) const noexcept {
+  ++stats_.fetches;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t current = addr + done;
+    const std::uint64_t page_base = page_floor(current);
+    const Page* page = page_at(page_base);
+    if (page == nullptr || (page->prot & kProtExec) == 0) {
+      if (done == 0) {
+        // The first byte itself is unfetchable: an architectural fault.
+        ++stats_.faults;
+        if (fault != nullptr) {
+          *fault = MemFault{current, AccessKind::kFetch,
+                            /*unmapped=*/page == nullptr};
+        }
+      }
+      // A short window at an executability boundary is benign: the decoder
+      // sees exactly the bytes that exist, and raises SIGILL itself if an
+      // instruction is truncated by the boundary.
+      return done;
+    }
+    const std::size_t offset = current - page_base;
+    const std::size_t chunk =
+        std::min<std::size_t>(out.size() - done, kPageSize - offset);
+    std::memcpy(out.data() + done, page->bytes.data() + offset, chunk);
+    done += chunk;
+  }
+  return done;
 }
 
 Result<std::uint64_t> AddressSpace::read_u64(std::uint64_t addr) const {
@@ -218,6 +306,7 @@ Status AddressSpace::read_force(std::uint64_t addr,
 
 Status AddressSpace::write_force(std::uint64_t addr,
                                  std::span<const std::uint8_t> data) {
+  touch_exec_range(addr, data.size());
   auto fault = copy_checked(pages_, addr, nullptr, data.data(), data.size(),
                             kProtNone, AccessKind::kWrite, /*enforce_prot=*/false);
   if (fault) {

@@ -64,18 +64,33 @@ struct MemFault {
 };
 
 // A single mapped page: 4 KiB of backing bytes plus its protection.
+//
+// `gen` is the page's code generation: it changes whenever the page's
+// contents or executability may have changed in a way that invalidates a
+// cached decode of its bytes (writes while executable, and any mprotect
+// touching the exec bit in either direction — the latter covers the
+// rewrite idiom of flipping a page RW, patching it, and flipping it back).
+// Generations are allocated from the address space's global code-generation
+// counter, so they are monotone across unmap/remap of the same address and
+// an old cached generation can never collide with a fresh page.
 struct Page {
   std::uint8_t prot = kProtNone;
+  std::uint64_t gen = 0;
   std::vector<std::uint8_t> bytes;  // always kPageSize once allocated
 };
 
 // Statistics the tests and benches can assert on (e.g. lazypoline's rewrite
 // path must flip a page to RW exactly once per discovered syscall site).
+// `faults` counts *architectural* faults only — accesses that returned a
+// MemFault to the caller. Speculative shortfall while completing a fetch
+// window across a page boundary is not a fault and is not counted.
 struct AddressSpaceStats {
   std::uint64_t mmap_calls = 0;
   std::uint64_t munmap_calls = 0;
   std::uint64_t mprotect_calls = 0;
   std::uint64_t faults = 0;
+  std::uint64_t fetches = 0;            // fetch() + fetch_window() calls
+  std::uint64_t exec_invalidations = 0; // per-page code-generation bumps
 };
 
 class AddressSpace {
@@ -109,6 +124,16 @@ class AddressSpace {
   std::optional<MemFault> fetch(std::uint64_t addr,
                                 std::span<std::uint8_t> out) const noexcept;
 
+  // Fetches up to out.size() executable bytes at `addr` with one page-span
+  // copy per page touched (at most two for an instruction window), stopping
+  // early at the first unmapped or non-executable byte. Returns the number
+  // of bytes fetched. A zero return is an architectural fetch fault
+  // (recorded in stats().faults, reported via *fault when non-null); a
+  // short-but-nonzero return is the normal shape of a window ending at an
+  // executability boundary and does NOT count as a fault.
+  std::size_t fetch_window(std::uint64_t addr, std::span<std::uint8_t> out,
+                           MemFault* fault = nullptr) const noexcept;
+
   // Convenience typed accessors (little-endian, like x86-64).
   Result<std::uint64_t> read_u64(std::uint64_t addr) const;
   Result<std::uint8_t> read_u8(std::uint64_t addr) const;
@@ -124,12 +149,42 @@ class AddressSpace {
   [[nodiscard]] const AddressSpaceStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t mapped_page_count() const noexcept { return pages_.size(); }
 
+  // --- decode-cache support ------------------------------------------------
+  //
+  // Raw page view for the CPU's decode cache and fetch TLB: the page at
+  // `page_base` (which must be page-aligned), or nullptr if unmapped. The
+  // returned pointer stays valid until layout_gen() changes; callers must
+  // re-check prot and gen through it on every use.
+  [[nodiscard]] const Page* page_at(std::uint64_t page_base) const noexcept;
+
+  // Monotone counter bumped whenever any mutation may invalidate a cached
+  // decode of executable bytes anywhere in this address space. Per-page
+  // `Page::gen` values are allocated from it.
+  [[nodiscard]] std::uint64_t code_gen() const noexcept { return code_gen_; }
+  // Monotone counter bumped by map()/unmap(): raw Page pointers obtained
+  // while it was stable remain valid while it stays unchanged.
+  [[nodiscard]] std::uint64_t layout_gen() const noexcept { return layout_gen_; }
+  // Process-global unique id of this address space instance. clone() and a
+  // fresh construction both produce a new id, so a decode cache keyed by it
+  // can never leak entries across fork or execve.
+  [[nodiscard]] std::uint64_t asid() const noexcept { return asid_; }
+
   // Lowest address considered for non-fixed placement.
   static constexpr std::uint64_t kDefaultMapBase = 0x0000'7000'0000'0000ULL;
 
  private:
+  // Bumps the code generation of every mapped executable page intersecting
+  // [addr, addr+size) — called before contents change under that range.
+  void touch_exec_range(std::uint64_t addr, std::size_t size) noexcept;
+  void touch_page_gen(Page& page) noexcept;
+
+  static std::uint64_t next_asid() noexcept;
+
   // Keyed by page base address.
   std::map<std::uint64_t, Page> pages_;
+  std::uint64_t code_gen_ = 0;
+  std::uint64_t layout_gen_ = 0;
+  std::uint64_t asid_ = next_asid();
   mutable AddressSpaceStats stats_;
 };
 

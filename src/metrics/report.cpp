@@ -61,4 +61,13 @@ std::string percent(double value, int decimals) {
   return format_double(value, decimals) + "%";
 }
 
+std::string counters_table(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  Table table({"counter", "value"});
+  for (const auto& [name, value] : counters) {
+    table.add_row({name, std::to_string(value)});
+  }
+  return table.render();
+}
+
 }  // namespace lzp::metrics

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lzp::metrics {
@@ -37,5 +38,10 @@ class Series {
 [[nodiscard]] std::string ratio(double value, int decimals = 2);
 // "94.72%" style.
 [[nodiscard]] std::string percent(double value, int decimals = 2);
+
+// A two-column counter table ("counter | value") for cache/stat reports —
+// the shape the benches use for decode-cache hit/miss/invalidation counts.
+[[nodiscard]] std::string counters_table(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters);
 
 }  // namespace lzp::metrics

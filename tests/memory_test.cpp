@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "memory/address_space.hpp"
 
 namespace lzp::mem {
@@ -178,6 +180,125 @@ TEST(AddressSpaceTest, ProtToString) {
   EXPECT_EQ(prot_to_string(kProtRead | kProtExec), "r-x");
   EXPECT_EQ(prot_to_string(kProtNone), "---");
   EXPECT_EQ(prot_to_string(kProtRead | kProtWrite | kProtExec), "rwx");
+}
+
+TEST(AddressSpaceTest, MultiByteFaultMidSpanCountsExactlyOnce) {
+  // An 8-byte read whose tail page is unmapped: one architectural fault,
+  // one stats_.faults increment — not one per attempted page.
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0xB000, kPageSize, kProtRead, true).is_ok());
+  std::uint8_t buffer[8] = {};
+  auto fault = as.read(0xB000 + kPageSize - 4, buffer);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_TRUE(fault->unmapped);
+  EXPECT_EQ(fault->address, 0xB000 + kPageSize);
+  EXPECT_EQ(as.stats().faults, 1u);
+}
+
+TEST(AddressSpaceTest, FetchWindowSpansPages) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0xC000, 2 * kPageSize, kProtRead | kProtExec, true).is_ok());
+  std::uint8_t expected[10];
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    expected[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const std::uint64_t addr = 0xC000 + kPageSize - 4;
+  ASSERT_TRUE(as.write_force(addr, expected).is_ok());
+
+  std::uint8_t window[10] = {};
+  EXPECT_EQ(as.fetch_window(addr, window), 10u);
+  EXPECT_EQ(std::memcmp(window, expected, sizeof(expected)), 0);
+  EXPECT_EQ(as.stats().faults, 0u);
+  EXPECT_GE(as.stats().fetches, 1u);
+}
+
+TEST(AddressSpaceTest, FetchWindowShortAtExecBoundaryIsNotAFault) {
+  // A window that runs off the end of the executable region returns the
+  // bytes that exist; the speculative shortfall is not an architectural
+  // fault and must not pollute the fault counter.
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0xD000, kPageSize, kProtRead | kProtExec, true).is_ok());
+  std::uint8_t window[10] = {};
+  EXPECT_EQ(as.fetch_window(0xD000 + kPageSize - 3, window), 3u);
+  EXPECT_EQ(as.stats().faults, 0u);
+}
+
+TEST(AddressSpaceTest, FetchWindowZeroBytesIsAFault) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0xE000, kPageSize, kProtRead, true).is_ok());  // no exec
+  std::uint8_t window[10] = {};
+  MemFault fault;
+  EXPECT_EQ(as.fetch_window(0xE000, window, &fault), 0u);
+  EXPECT_EQ(fault.kind, AccessKind::kFetch);
+  EXPECT_FALSE(fault.unmapped);
+  EXPECT_EQ(as.stats().faults, 1u);
+
+  EXPECT_EQ(as.fetch_window(0x9999'0000, window, &fault), 0u);
+  EXPECT_TRUE(fault.unmapped);
+  EXPECT_EQ(as.stats().faults, 2u);
+}
+
+TEST(AddressSpaceTest, CodeGenerationsTrackExecMutations) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0xF000, kPageSize, kProtRead | kProtExec, true).is_ok());
+  const Page* page = as.page_at(0xF000);
+  ASSERT_NE(page, nullptr);
+  const std::uint64_t gen0 = page->gen;
+
+  // Writing an executable page bumps its generation and the global counter.
+  std::uint8_t byte = 0x90;
+  ASSERT_TRUE(as.write_force(0xF000, {&byte, 1}).is_ok());
+  EXPECT_GT(page->gen, gen0);
+  EXPECT_EQ(as.stats().exec_invalidations, 1u);
+
+  // Writing a non-exec page does not.
+  ASSERT_TRUE(as.map(0x1'0000, kPageSize, kProtRead | kProtWrite, true).is_ok());
+  const std::uint64_t code_gen = as.code_gen();
+  ASSERT_TRUE(as.write_u8(0x1'0000, 7).is_ok());
+  EXPECT_EQ(as.code_gen(), code_gen);
+  EXPECT_EQ(as.stats().exec_invalidations, 1u);
+}
+
+TEST(AddressSpaceTest, RewriteIdiomBumpsGenerationAcrossProtectFlips) {
+  // The lazypoline/zpoline rewrite: RX -> RW, patch, RW -> RX. The patching
+  // write lands on a momentarily non-executable page, so the protect calls
+  // themselves must retire the generation.
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x2'0000, kPageSize, kProtRead | kProtExec, true).is_ok());
+  const std::uint64_t gen0 = as.page_at(0x2'0000)->gen;
+
+  ASSERT_TRUE(as.protect(0x2'0000, kPageSize, kProtRead | kProtWrite).is_ok());
+  std::uint8_t patch[2] = {0xFF, 0xD0};
+  ASSERT_TRUE(as.write_force(0x2'0000, patch).is_ok());
+  ASSERT_TRUE(as.protect(0x2'0000, kPageSize, kProtRead | kProtExec).is_ok());
+  EXPECT_GT(as.page_at(0x2'0000)->gen, gen0);
+}
+
+TEST(AddressSpaceTest, UnmapRetiresExecGenerationGlobally) {
+  // Unmap + remap at the same address must not produce a page whose gen
+  // equals one a cache could have recorded before the unmap.
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x3'0000, kPageSize, kProtRead | kProtExec, true).is_ok());
+  const std::uint64_t old_gen = as.page_at(0x3'0000)->gen;
+  ASSERT_TRUE(as.unmap(0x3'0000, kPageSize).is_ok());
+  ASSERT_TRUE(as.map(0x3'0000, kPageSize, kProtRead | kProtExec, true).is_ok());
+  EXPECT_GT(as.page_at(0x3'0000)->gen, old_gen);
+}
+
+TEST(AddressSpaceTest, CloneGetsFreshAsidAndKeepsGenerations) {
+  AddressSpace as;
+  ASSERT_TRUE(as.map(0x4'0000, kPageSize, kProtRead | kProtExec, true).is_ok());
+  std::uint8_t byte = 0x90;
+  ASSERT_TRUE(as.write_force(0x4'0000, {&byte, 1}).is_ok());
+
+  auto copy = as.clone();
+  EXPECT_NE(copy->asid(), as.asid());
+  EXPECT_EQ(copy->page_at(0x4'0000)->gen, as.page_at(0x4'0000)->gen);
+  EXPECT_EQ(copy->code_gen(), as.code_gen());
+
+  // Diverging after the fork: the copy's writes do not touch the parent.
+  ASSERT_TRUE(copy->write_force(0x4'0000, {&byte, 1}).is_ok());
+  EXPECT_GT(copy->page_at(0x4'0000)->gen, as.page_at(0x4'0000)->gen);
 }
 
 }  // namespace
