@@ -1,0 +1,255 @@
+// Record-mode overhead of the src/replay Recorder across the four
+// interposition mechanisms, on the two application workloads (webserver,
+// coreutils). rr's authors report that recording cost is dominated by the
+// price of intercepting syscalls and nondeterministic inputs; this bench
+// turns the Table-I mechanism comparison into exactly that end-to-end
+// application number: the same Recorder driven by ptrace, SUD, zpoline, and
+// lazypoline.
+//
+// Expected shape: the recorder itself adds a small per-event cost (trace
+// framing + out-buffer copies), so record-mode overhead tracks the
+// mechanism's interposition cost — ptrace-based recording costs multiples of
+// native, lazypoline-based recording stays within a few percent.
+//
+//   ./build/bench/record_overhead [out.json]
+//
+// Emits an ASCII table per workload plus a JSON summary (default
+// BENCH_record_overhead.json) for the perf trajectory.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/coreutils.hpp"
+#include "apps/webserver.hpp"
+#include "bench_util.hpp"
+#include "mechanisms/ptrace_tool.hpp"
+#include "metrics/report.hpp"
+#include "replay/recorder.hpp"
+
+namespace {
+using namespace lzp;
+
+constexpr std::uint64_t kSeed = 0x1A5F'9E37ULL;
+constexpr std::uint64_t kRequests = 600;
+constexpr std::uint64_t kFileSize = 4096;
+
+enum class Mech { kNative, kPtrace, kSud, kZpoline, kLazypoline };
+const char* mech_name(Mech mech) {
+  switch (mech) {
+    case Mech::kNative: return "native";
+    case Mech::kPtrace: return "ptrace";
+    case Mech::kSud: return "sud";
+    case Mech::kZpoline: return "zpoline";
+    case Mech::kLazypoline: return "lazypoline";
+  }
+  return "?";
+}
+
+void install(kern::Machine& machine, kern::Tid tid,
+             const std::shared_ptr<interpose::SyscallHandler>& handler,
+             Mech mech) {
+  switch (mech) {
+    case Mech::kNative:
+      break;
+    case Mech::kPtrace:
+      bench::check(mechanisms::PtraceMechanism().install(machine, tid, handler),
+                   "ptrace install");
+      break;
+    case Mech::kSud:
+      bench::check(mechanisms::SudMechanism().install(machine, tid, handler),
+                   "sud install");
+      break;
+    case Mech::kZpoline:
+      bench::check(zpoline::ZpolineMechanism().install(machine, tid, handler),
+                   "zpoline install");
+      break;
+    case Mech::kLazypoline: {
+      auto runtime = core::Lazypoline::create(machine, {});
+      bench::check(runtime->install(machine, tid, handler), "lazypoline install");
+      break;
+    }
+  }
+}
+
+struct RunResult {
+  std::uint64_t wall_cycles = 0;
+  std::size_t trace_events = 0;  // 0 when not recording
+};
+
+// One webserver run (2 workers); wall time = the slowest worker, as in fig5.
+RunResult run_webserver(Mech mech, bool record) {
+  kern::Machine machine;
+  machine.mmap_min_addr = 0;
+  auto recorder = std::make_shared<replay::Recorder>();
+  if (record) recorder->attach(machine, kSeed, mech_name(mech), "webserver");
+  const std::shared_ptr<interpose::SyscallHandler> handler =
+      record ? std::static_pointer_cast<interpose::SyscallHandler>(recorder)
+             : std::make_shared<interpose::DummyHandler>();
+
+  const apps::ServerProfile profile = apps::nginx_profile();
+  bench::check(machine.vfs().put_file_of_size("index.html", kFileSize),
+               "seed file");
+  kern::ClientWorkload workload;
+  workload.connections = 8;
+  workload.total_requests = kRequests;
+  workload.response_bytes = profile.header_bytes + kFileSize;
+  const int listener = machine.net().create_listener(workload);
+
+  const auto program = bench::unwrap(
+      apps::make_webserver(machine, profile, "index.html"), "build server");
+  machine.register_program(program);
+  std::vector<kern::Tid> tids;
+  for (int worker = 0; worker < 2; ++worker) {
+    const kern::Tid tid = bench::unwrap(machine.load(program), "load worker");
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid)->process->install_fd_at(apps::kListenerFd, entry);
+    install(machine, tid, handler, mech);
+    tids.push_back(tid);
+  }
+
+  const auto stats = machine.run(2'000'000'000ULL);
+  if (!stats.all_exited) bench::die("webserver hung: " + machine.last_fatal());
+  if (machine.net().completed_requests(listener) != kRequests) {
+    bench::die("webserver served wrong request count");
+  }
+  if (record && recorder->uncaptured_nondeterminism()) {
+    bench::die("record audit: " + recorder->audit_report().front());
+  }
+
+  RunResult result;
+  for (kern::Tid tid : tids) {
+    result.wall_cycles =
+        std::max(result.wall_cycles, machine.find_task(tid)->cycles);
+  }
+  if (record) result.trace_events = recorder->trace().events.size();
+  return result;
+}
+
+// All ten coreutils (Ubuntu profile) back to back; cycles summed.
+RunResult run_coreutils(Mech mech, bool record) {
+  RunResult result;
+  for (const std::string& name : apps::coreutil_names()) {
+    kern::Machine machine;
+    machine.mmap_min_addr = 0;
+    auto recorder = std::make_shared<replay::Recorder>();
+    if (record) recorder->attach(machine, kSeed, mech_name(mech), name);
+    const std::shared_ptr<interpose::SyscallHandler> handler =
+        record ? std::static_pointer_cast<interpose::SyscallHandler>(recorder)
+               : std::make_shared<interpose::DummyHandler>();
+
+    apps::populate_coreutil_fixtures(machine.vfs());
+    const auto program = bench::unwrap(
+        apps::make_coreutil(name, apps::LibcProfile::kUbuntu2004),
+        "build coreutil");
+    machine.register_program(program);
+    const kern::Tid tid = bench::unwrap(machine.load(program), "load coreutil");
+    install(machine, tid, handler, mech);
+
+    const auto stats = machine.run();
+    if (!stats.all_exited) bench::die(name + " hung: " + machine.last_fatal());
+    if (record && recorder->uncaptured_nondeterminism()) {
+      bench::die("record audit: " + recorder->audit_report().front());
+    }
+    result.wall_cycles += machine.find_task(tid)->cycles;
+    if (record) result.trace_events += recorder->trace().events.size();
+  }
+  return result;
+}
+
+struct Row {
+  std::string workload;
+  std::string mechanism;
+  std::uint64_t plain_cycles = 0;
+  std::uint64_t record_cycles = 0;
+  std::size_t trace_events = 0;
+  double plain_x_native = 0.0;
+  double record_x_native = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_record_overhead.json";
+  const std::vector<Mech> mechs = {Mech::kPtrace, Mech::kSud, Mech::kZpoline,
+                                   Mech::kLazypoline};
+  std::vector<Row> rows;
+  double ptrace_x = 0.0, lazypoline_x = 0.0;
+
+  struct Workload {
+    const char* name;
+    RunResult (*run)(Mech, bool);
+  };
+  const Workload workloads[] = {{"webserver", run_webserver},
+                                {"coreutils", run_coreutils}};
+
+  std::printf("== Record-mode overhead: the same Recorder over four "
+              "mechanisms ==\n\n");
+  for (const auto& workload : workloads) {
+    const std::uint64_t native = workload.run(Mech::kNative, false).wall_cycles;
+    metrics::Table table({"mechanism", "plain cycles", "record cycles",
+                          "plain x native", "record x native", "events"});
+    for (Mech mech : mechs) {
+      Row row;
+      row.workload = workload.name;
+      row.mechanism = mech_name(mech);
+      row.plain_cycles = workload.run(mech, false).wall_cycles;
+      const RunResult rec = workload.run(mech, true);
+      row.record_cycles = rec.wall_cycles;
+      row.trace_events = rec.trace_events;
+      row.plain_x_native =
+          static_cast<double>(row.plain_cycles) / static_cast<double>(native);
+      row.record_x_native =
+          static_cast<double>(row.record_cycles) / static_cast<double>(native);
+      table.add_row({row.mechanism, std::to_string(row.plain_cycles),
+                     std::to_string(row.record_cycles),
+                     metrics::ratio(row.plain_x_native),
+                     metrics::ratio(row.record_x_native),
+                     std::to_string(row.trace_events)});
+      if (mech == Mech::kPtrace) ptrace_x += row.record_x_native;
+      if (mech == Mech::kLazypoline) lazypoline_x += row.record_x_native;
+      rows.push_back(std::move(row));
+    }
+    std::printf("-- %s (native baseline: %llu cycles) --\n%s\n", workload.name,
+                static_cast<unsigned long long>(native),
+                table.render().c_str());
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"benchmark\": \"record_overhead\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    char buffer[384];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"workload\": \"%s\", \"mechanism\": \"%s\", "
+                  "\"plain_cycles\": %llu, \"record_cycles\": %llu, "
+                  "\"plain_x_native\": %.4f, \"record_x_native\": %.4f, "
+                  "\"trace_events\": %zu}%s\n",
+                  row.workload.c_str(), row.mechanism.c_str(),
+                  static_cast<unsigned long long>(row.plain_cycles),
+                  static_cast<unsigned long long>(row.record_cycles),
+                  row.plain_x_native, row.record_x_native, row.trace_events,
+                  i + 1 < rows.size() ? "," : "");
+    json << buffer;
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("json -> %s\n", json_path.c_str());
+
+  // Acceptance: lazypoline-based recording must beat the ptrace recorder.
+  if (lazypoline_x >= ptrace_x) {
+    std::fprintf(stderr,
+                 "FAIL: lazypoline record overhead (%.2fx summed) not below "
+                 "ptrace (%.2fx summed)\n",
+                 lazypoline_x, ptrace_x);
+    return 1;
+  }
+  std::printf("lazypoline record overhead %.2fx vs ptrace %.2fx (summed over "
+              "workloads): OK\n",
+              lazypoline_x / 2.0, ptrace_x / 2.0);
+  return 0;
+}

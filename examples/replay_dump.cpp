@@ -1,0 +1,255 @@
+// replay_dump — record/replay front-end for the deterministic-replay
+// subsystem (src/replay). Three modes:
+//
+//   ./build/examples/replay_dump --record out.trace [mechanism] [workload]
+//       Record a workload under an interposition mechanism and save the
+//       binary trace. mechanism: lazypoline (default) | sud | zpoline |
+//       ptrace; workload: webserver (default) | getpid-loop.
+//
+//   ./build/examples/replay_dump out.trace
+//       Dump a saved trace strace-style: one line per recorded syscall,
+//       schedule slice, signal delivery, and nondeterministic input.
+//
+//   ./build/examples/replay_dump --replay out.trace
+//       Re-execute the recording on a fresh machine (same mechanism, no
+//       live network client) and report the replay verdict: every syscall
+//       result injected or verified, every signal re-delivered at its
+//       recorded instruction boundary — or the first divergence.
+//
+// Build & run:  cmake --build build && ./build/examples/replay_dump --record /tmp/ws.trace
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/minilibc.hpp"
+#include "apps/webserver.hpp"
+#include "core/lazypoline.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/machine.hpp"
+#include "kernel/syscalls.hpp"
+#include "mechanisms/ptrace_tool.hpp"
+#include "mechanisms/sud_tool.hpp"
+#include "replay/recorder.hpp"
+#include "replay/replayer.hpp"
+#include "zpoline/zpoline.hpp"
+
+using namespace lzp;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x1A5F'9E37ULL;
+
+bool install(kern::Machine& machine, kern::Tid tid,
+             const std::shared_ptr<interpose::SyscallHandler>& handler,
+             const std::string& mechanism) {
+  Status status;
+  if (mechanism == "ptrace") {
+    status = mechanisms::PtraceMechanism().install(machine, tid, handler);
+  } else if (mechanism == "sud") {
+    status = mechanisms::SudMechanism().install(machine, tid, handler);
+  } else if (mechanism == "zpoline") {
+    status = zpoline::ZpolineMechanism().install(machine, tid, handler);
+  } else if (mechanism == "lazypoline") {
+    auto runtime = core::Lazypoline::create(machine, {});
+    status = runtime->install(machine, tid, handler);
+  } else {
+    std::fprintf(stderr, "unknown mechanism '%s'\n", mechanism.c_str());
+    return false;
+  }
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "install %s: %s\n", mechanism.c_str(),
+                 status.to_string().c_str());
+    return false;
+  }
+  return true;
+}
+
+isa::Program make_getpid_loop() {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  const auto done = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, 50);
+  a.bind(loop);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jz(done);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.sub(isa::Gpr::rbx, 1);
+  a.jmp(loop);
+  a.bind(done);
+  apps::emit_exit(a, 0);
+  return std::move(isa::make_program("getpid-loop", a, entry)).value();
+}
+
+// Builds the recorded workload on `machine`. `live_client` drives real
+// traffic at record time; at replay the trace supplies every payload.
+bool setup_workload(kern::Machine& machine, const std::string& workload,
+                    const std::string& mechanism,
+                    const std::shared_ptr<interpose::SyscallHandler>& handler,
+                    bool live_client) {
+  machine.mmap_min_addr = 0;
+  if (workload == "getpid-loop") {
+    const auto program = make_getpid_loop();
+    machine.register_program(program);
+    auto tid = machine.load(program);
+    if (!tid.is_ok()) return false;
+    return install(machine, tid.value(), handler, mechanism);
+  }
+  if (workload != "webserver") {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return false;
+  }
+
+  const apps::ServerProfile profile = apps::nginx_profile();
+  constexpr std::uint64_t kFileSize = 1024;
+  if (!machine.vfs().put_file_of_size("index.html", kFileSize).is_ok()) {
+    return false;
+  }
+  kern::ClientWorkload client;
+  client.connections = 4;
+  client.total_requests = live_client ? 60 : 0;
+  client.response_bytes = profile.header_bytes + kFileSize;
+  const int listener = machine.net().create_listener(client);
+
+  auto program = apps::make_webserver(machine, profile, "index.html");
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "webserver: %s\n", program.status().to_string().c_str());
+    return false;
+  }
+  machine.register_program(program.value());
+  for (int worker = 0; worker < 2; ++worker) {
+    auto tid = machine.load(program.value());
+    if (!tid.is_ok()) return false;
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid.value())->process->install_fd_at(apps::kListenerFd,
+                                                           entry);
+    if (!install(machine, tid.value(), handler, mechanism)) return false;
+  }
+  return true;
+}
+
+int record(const std::string& path, const std::string& mechanism,
+           const std::string& workload) {
+  auto recorder = std::make_shared<replay::Recorder>();
+  kern::Machine machine;
+  recorder->attach(machine, kSeed, mechanism, workload);
+  if (!setup_workload(machine, workload, mechanism, recorder,
+                      /*live_client=*/true)) {
+    return 1;
+  }
+  const auto stats = machine.run(400'000'000ULL);
+  if (!stats.all_exited) {
+    std::fprintf(stderr, "workload hung: %s\n", machine.last_fatal().c_str());
+    return 1;
+  }
+  if (recorder->uncaptured_nondeterminism()) {
+    for (const auto& line : recorder->audit_report()) {
+      std::fprintf(stderr, "audit: %s\n", line.c_str());
+    }
+    return 1;
+  }
+
+  const replay::Trace& trace = recorder->trace();
+  if (Status saved = trace.save(path); !saved.is_ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.to_string().c_str());
+    return 1;
+  }
+  std::printf("recorded %s under %s: %zu events (%zu syscalls, %zu slices, "
+              "%zu signals) in %llu machine steps -> %s\n",
+              workload.c_str(), mechanism.c_str(), trace.events.size(),
+              trace.syscall_count(),
+              trace.count(replay::EventKind::kSchedule),
+              trace.count(replay::EventKind::kSignal),
+              static_cast<unsigned long long>(stats.insns), path.c_str());
+  return 0;
+}
+
+int dump(const std::string& path) {
+  auto trace = replay::Trace::load(path);
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "load: %s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("# trace v%u  mechanism=%s  workload=%s  rng_seed=%#llx  "
+              "events=%zu\n",
+              trace.value().header.version,
+              trace.value().header.mechanism.c_str(),
+              trace.value().header.workload.c_str(),
+              static_cast<unsigned long long>(trace.value().header.rng_seed),
+              trace.value().events.size());
+  for (const auto& event : trace.value().events) {
+    std::printf("%s\n", replay::event_to_string(event).c_str());
+  }
+  return 0;
+}
+
+int replay_trace(const std::string& path) {
+  auto trace = replay::Trace::load(path);
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "load: %s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  const std::string mechanism = trace.value().header.mechanism;
+  const std::string workload = trace.value().header.workload;
+
+  auto replayer =
+      std::make_shared<replay::Replayer>(std::move(trace).value());
+  kern::Machine machine;
+  replayer->attach(machine);
+  if (!setup_workload(machine, workload, mechanism, replayer,
+                      /*live_client=*/false)) {
+    return 1;
+  }
+  const auto stats = machine.run(400'000'000ULL);
+
+  const auto& rs = replayer->stats();
+  std::printf("replayed %s under %s: %llu syscalls injected, %llu executed "
+              "+ verified, %llu signals re-delivered at recorded boundaries, "
+              "%llu schedule slices, %llu bytes patched\n",
+              workload.c_str(), mechanism.c_str(),
+              static_cast<unsigned long long>(rs.syscalls_injected),
+              static_cast<unsigned long long>(rs.syscalls_executed),
+              static_cast<unsigned long long>(rs.signals_verified),
+              static_cast<unsigned long long>(rs.slices_replayed),
+              static_cast<unsigned long long>(rs.bytes_patched));
+  if (replayer->diverged()) {
+    std::printf("DIVERGED: %s\n", replayer->status().to_string().c_str());
+    return 2;
+  }
+  if (!stats.all_exited || !replayer->finished()) {
+    std::printf("INCOMPLETE: machine %s, trace %s\n",
+                stats.all_exited ? "quiesced" : "did not quiesce",
+                replayer->finished() ? "fully consumed" : "has unconsumed events");
+    return 2;
+  }
+  std::printf("OK: deterministic replay, trace fully consumed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--record") == 0) {
+    const std::string mechanism = argc > 3 ? argv[3] : "lazypoline";
+    const std::string workload = argc > 4 ? argv[4] : "webserver";
+    return record(argv[2], mechanism, workload);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "--replay") == 0) {
+    return replay_trace(argv[2]);
+  }
+  if (argc == 2 && argv[1][0] != '-') {
+    return dump(argv[1]);
+  }
+  std::fprintf(stderr,
+               "usage: %s --record <out.trace> [mechanism] [workload]\n"
+               "       %s --replay <trace>\n"
+               "       %s <trace>\n",
+               argv[0], argv[0], argv[0]);
+  return 1;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure + build + ctest, then an LZP_SANITIZE=ON build, then
+# the record-overhead bench (emits BENCH_record_overhead.json at the repo
+# root and fails if lazypoline-based recording is not cheaper than ptrace's).
+#
+#   scripts/check.sh [--no-sanitize] [--no-bench]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+run_sanitize=1
+run_bench=1
+for arg in "$@"; do
+  case "${arg}" in
+    --no-sanitize) run_sanitize=0 ;;
+    --no-bench) run_bench=0 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+if [[ "${run_sanitize}" == 1 ]]; then
+  echo "== sanitizer build (LZP_SANITIZE=ON) =="
+  cmake -B build-asan -S . -DLZP_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
+fi
+
+if [[ "${run_bench}" == 1 ]]; then
+  echo "== record-overhead bench =="
+  ./build/bench/record_overhead BENCH_record_overhead.json
+fi
+
+echo "check.sh: all gates passed"

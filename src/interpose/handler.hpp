@@ -75,6 +75,16 @@ class SyscallHandler {
   virtual ~SyscallHandler() = default;
   // Must return the value to place in the application's rax.
   virtual std::uint64_t handle(InterposeContext& ctx) = 0;
+  // Entry-stop interposition. Mechanisms that stop the tracee BEFORE kernel
+  // execution (ptrace) call this first; returning true suppresses execution
+  // entirely and places *result in rax (rr's orig_rax = -1 injection
+  // pattern). `handle` is not called for a suppressed syscall. Handlers that
+  // only observe (the default) return false and are invoked at exit stop.
+  virtual bool pre_execute(InterposeContext& ctx, std::uint64_t* result) {
+    (void)ctx;
+    (void)result;
+    return false;
+  }
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

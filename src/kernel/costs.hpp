@@ -60,6 +60,12 @@ struct CostModel {
   std::uint64_t trampoline_glue = 80;   // zpoline GPR spill/fill + indirection
   std::uint64_t gs_selector_flip = 2;   // one %gs-relative selector byte store
 
+  // --- record mode (src/replay Recorder) -----------------------------------
+  // Framing + appending one event to the in-memory trace log.
+  std::uint64_t record_event = 90;
+  // Copying a captured out-buffer into the trace, per 8 bytes.
+  std::uint64_t record_capture_qword = 1;
+
   // --- memory & IO work ----------------------------------------------------
   std::uint64_t mmap_page = 120;        // per page mapped/unmapped/protected
   std::uint64_t copy_per_byte_num = 5;  // kernel copy + TCP checksum/segmenting:

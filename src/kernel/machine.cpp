@@ -124,28 +124,70 @@ std::size_t Machine::live_task_count() const {
   return count;
 }
 
+Status Machine::post_signal(Tid tid, SigInfo info) {
+  Task* task = find_task_any(tid);
+  if (task == nullptr) {
+    return Status{StatusCode::kNotFound,
+                  "post_signal: no task " + std::to_string(tid)};
+  }
+  if (!task->runnable()) {
+    return Status{StatusCode::kFailedPrecondition,
+                  "post_signal: task " + std::to_string(tid) + " not runnable"};
+  }
+  info.external = true;
+  task->pending_signals.push_back(info);
+  return Status::ok();
+}
+
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
 
+void Machine::merge_nursery() {
+  for (auto& task : nursery_) {
+    Tid tid = task->tid;
+    tasks_.emplace(tid, std::move(task));
+  }
+  nursery_.clear();
+}
+
 RunStats Machine::run(std::uint64_t max_total_insns) {
   RunStats stats;
   const std::uint64_t deadline = total_insns_ + max_total_insns;
+
+  if (schedule_hook_) {
+    // Externally driven scheduling (trace replay): the hook dictates which
+    // task runs next and for how many steps; clone children are merged
+    // before every decision so the hook can schedule them immediately.
+    while (total_insns_ < deadline) {
+      merge_nursery();
+      const auto slice = schedule_hook_(*this);
+      if (!slice) break;
+      Task* task = find_task(slice->tid);
+      if (task == nullptr || !task->runnable()) continue;
+      run_slice(*task, slice->max_steps);
+    }
+    merge_nursery();
+    stats.insns = total_insns_;
+    stats.all_exited = live_task_count() == 0;
+    return stats;
+  }
+
   bool any_runnable = true;
   while (any_runnable && total_insns_ < deadline) {
     any_runnable = false;
     for (auto& [tid, task] : tasks_) {
       if (!task->runnable()) continue;
       any_runnable = true;
+      const std::uint64_t steps_before = total_insns_;
       run_slice(*task, kSliceInsns);
+      if (slice_observer_ && total_insns_ > steps_before) {
+        slice_observer_(*task, total_insns_ - steps_before);
+      }
       if (total_insns_ >= deadline) break;
     }
     if (!nursery_.empty()) {
-      for (auto& task : nursery_) {
-        Tid tid = task->tid;
-        tasks_.emplace(tid, std::move(task));
-      }
-      nursery_.clear();
+      merge_nursery();
       any_runnable = true;
     }
   }
@@ -275,9 +317,13 @@ void Machine::syscall_entry_from_sim(Task& task) {
   std::uint64_t forced_rax = 0;
   if (!intercept(task, nr, args, ip, /*from_host=*/false, &forced_rax)) {
     if (task.runnable() && task.ctx.rip == ip) {
-      // Intercepted with a forced result (seccomp ERRNO); SIGSYS delivery
-      // instead redirects rip, and then rax must stay untouched.
+      // Intercepted with a forced result (seccomp ERRNO / tracer-suppressed);
+      // SIGSYS delivery instead redirects rip, and then rax must stay
+      // untouched. The SYSCALL instruction itself already executed, so the
+      // rcx/r11 clobber happens exactly as on the dispatch path.
       task.ctx.set_syscall_result(forced_rax);
+      task.ctx.set_reg(isa::Gpr::rcx, ip);
+      task.ctx.set_reg(isa::Gpr::r11, 0x246);
     }
     charge(task, costs_.kernel_exit);
     return;
@@ -341,6 +387,15 @@ bool Machine::intercept(Task& task, std::uint64_t nr,
       charge(task, 2 * costs_.context_switch +
                        costs_.ptrace_requests_per_stop * costs_.ptrace_request);
       it->second.on_syscall_entry(task, task.ctx);
+    }
+    if (it != tracers_.end() && it->second.on_syscall_suppress) {
+      std::uint64_t forced = errno_result(kENOSYS);
+      if (it->second.on_syscall_suppress(task, task.ctx, nr, args, &forced)) {
+        // The tracer rewrote orig_rax to -1: the kernel skips execution and
+        // the tracer's chosen rax is materialized. No exit stop runs.
+        *forced_rax = forced;
+        return false;
+      }
     }
   }
 
@@ -471,7 +526,7 @@ std::uint64_t Machine::dispatch(Task& task, std::uint64_t nr,
     if (it != tracers_.end() && it->second.on_syscall_exit) {
       charge(task, 2 * costs_.context_switch +
                        costs_.ptrace_requests_per_stop * costs_.ptrace_request);
-      it->second.on_syscall_exit(task, task.ctx, result);
+      it->second.on_syscall_exit(task, task.ctx, nr, args, result);
     }
   }
   return result;

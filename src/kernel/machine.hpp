@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "base/rng.hpp"
 #include "base/status.hpp"
 #include "isa/assemble.hpp"
 #include "kernel/costs.hpp"
@@ -59,9 +60,23 @@ using HostFn = std::function<void(HostFrame&)>;
 // ptrace requests that dominate ptrace's cost (paper §II-A).
 struct TracerHooks {
   std::function<void(Task&, cpu::CpuContext&)> on_syscall_entry;
-  // `result` is the value about to be written back to the tracee's rax; the
-  // tracer may rewrite it (PTRACE_SETREGS before resuming).
-  std::function<void(Task&, cpu::CpuContext&, std::uint64_t& result)> on_syscall_exit;
+  // Entry-stop suppression: returning true skips kernel-side execution and
+  // forces *result into the tracee's rax — the tracer rewrote orig_rax to -1
+  // and will materialize the result itself (rr's injection pattern). The
+  // exit-stop hook does not run for a suppressed syscall.
+  std::function<bool(Task&, cpu::CpuContext&, std::uint64_t nr,
+                     const std::array<std::uint64_t, 6>& args,
+                     std::uint64_t* result)>
+      on_syscall_suppress;
+  // `nr`/`args` are the dispatched syscall (real ptrace exposes them as
+  // orig_rax + entry registers — the post-execution context is NOT a valid
+  // source: rt_sigreturn and execve replace it wholesale). `result` is the
+  // value about to be written back to the tracee's rax; the tracer may
+  // rewrite it (PTRACE_SETREGS before resuming).
+  std::function<void(Task&, cpu::CpuContext&, std::uint64_t nr,
+                     const std::array<std::uint64_t, 6>& args,
+                     std::uint64_t& result)>
+      on_syscall_exit;
 };
 
 // Outcome classification for a finished run.
@@ -129,6 +144,9 @@ class Machine {
   // Executes at most `max_insns` instruction slots on one task.
   void run_slice(Task& task, std::uint64_t max_insns);
   static constexpr std::uint64_t kDefaultInsnBudget = 500'000'000ULL;
+  // Machine-global step count (simulated instructions + host-fn steps): the
+  // time base scheduling and signal-delivery points are recorded against.
+  [[nodiscard]] std::uint64_t total_insns() const noexcept { return total_insns_; }
 
   // --- observers --------------------------------------------------------------
   // Called for every retired *simulated* instruction (pintool attaches here).
@@ -143,6 +161,55 @@ class Machine {
   void set_syscall_observer(SyscallObserver observer) {
     syscall_observer_ = std::move(observer);
   }
+
+  // --- record/replay hooks (src/replay) ---------------------------------------
+  // Called after every scheduling slice run() executes, with the number of
+  // machine steps (total_insns_ delta) the slice consumed — the recorder's
+  // view of the scheduler's decisions.
+  using SliceObserver = std::function<void(const Task&, std::uint64_t steps)>;
+  void set_slice_observer(SliceObserver observer) {
+    slice_observer_ = std::move(observer);
+  }
+  // Replaces run()'s round-robin scheduler: run() repeatedly asks the hook
+  // which task to run next and for how many steps, until it returns nullopt
+  // (or the instruction budget is exhausted). Newly cloned tasks are merged
+  // before every decision so the hook can schedule them immediately.
+  struct SchedSlice {
+    Tid tid = 0;
+    std::uint64_t max_steps = kSliceInsns;
+  };
+  using ScheduleHook = std::function<std::optional<SchedSlice>(Machine&)>;
+  void set_schedule_hook(ScheduleHook hook) { schedule_hook_ = std::move(hook); }
+  // Called at every signal delivery attempt against a runnable task, before
+  // disposition is applied. `info.external` distinguishes signals queued via
+  // post_signal() from ones the simulation generated itself.
+  using SignalObserver = std::function<void(const Task&, const SigInfo&)>;
+  void set_signal_observer(SignalObserver observer) {
+    signal_observer_ = std::move(observer);
+  }
+  // Queues an asynchronous signal from outside the simulation (a timer, an
+  // operator, an unmodeled process). Marked external so a recorder knows the
+  // delivery point must be re-forced on replay rather than re-derived.
+  Status post_signal(Tid tid, SigInfo info);
+
+  // Sources of nondeterministic input a syscall can consume. Everything else
+  // the kernel does is a pure function of task + machine state.
+  enum class NondetSource : std::uint8_t { kRng, kTime, kNet };
+  // Audit hook: called whenever a dispatched syscall consumes one of the
+  // sources above. A recorder installs this to flag nondeterministic input
+  // flowing into the simulation outside its capture window (satellite:
+  // "flags uncaptured nondeterminism in record mode").
+  using NondetObserver =
+      std::function<void(const Task&, std::uint64_t nr, NondetSource)>;
+  void set_nondet_observer(NondetObserver observer) {
+    nondet_observer_ = std::move(observer);
+  }
+
+  // The machine-owned deterministic entropy stream: every kernel-side random
+  // draw (sys_getrandom) comes from here, so "nondeterminism" is a seeded,
+  // recordable input rather than ambient host state.
+  Xoshiro256& rng() noexcept { return rng_; }
+  void reseed_rng(std::uint64_t seed) noexcept { rng_.reseed(seed); }
 
   // --- ptrace (host tracer) ----------------------------------------------------
   void attach_tracer(Tid tid, TracerHooks hooks);
@@ -241,7 +308,12 @@ class Machine {
   PreloadHook preload_;
   InsnObserver insn_observer_;
   SyscallObserver syscall_observer_;
+  SliceObserver slice_observer_;
+  ScheduleHook schedule_hook_;
+  SignalObserver signal_observer_;
+  NondetObserver nondet_observer_;
   UserNotifHandler user_notif_;
+  Xoshiro256 rng_{0x1A5F'9E37ULL};
   // Program registry; mutable so the find path can cache images parsed from
   // their on-disk (VFS) LZPF form.
   mutable std::map<std::string, isa::Program> programs_;
@@ -253,6 +325,10 @@ class Machine {
   // Tasks created during the current scheduling pass (clone/fork) — merged
   // into tasks_ between slices to keep iteration stable.
   std::vector<std::unique_ptr<Task>> nursery_;
+  void merge_nursery();
+  void notify_nondet(const Task& task, std::uint64_t nr, NondetSource source) {
+    if (nondet_observer_) nondet_observer_(task, nr, source);
+  }
 };
 
 }  // namespace lzp::kern

@@ -27,6 +27,7 @@ bool default_fatal(int sig) noexcept {
 
 void Machine::deliver_signal(Task& task, const SigInfo& info) {
   if (!task.runnable()) return;
+  if (signal_observer_) signal_observer_(task, info);
   const SigAction action = task.process->sigactions[info.signo];
 
   if (action.handler == kSigIgn) {

@@ -332,6 +332,7 @@ std::uint64_t Machine::sys_dispatch_table(Task& task, std::uint64_t nr,
     }
     case kSysEpollWait: {
       charge(task, costs_.dispatch_base);
+      notify_nondet(task, kSysEpollWait, NondetSource::kNet);
       FdEntry* epoll = fd_entry(static_cast<int>(args[0]));
       if (epoll == nullptr || epoll->kind != FdEntry::Kind::kEpoll) {
         return errno_result(kEBADF);
@@ -369,6 +370,7 @@ std::uint64_t Machine::sys_dispatch_table(Task& task, std::uint64_t nr,
     case kSysAccept:
     case kSysAccept4: {
       charge(task, costs_.dispatch_base);
+      notify_nondet(task, nr, NondetSource::kNet);
       FdEntry* listener = fd_entry(static_cast<int>(args[0]));
       if (listener == nullptr || listener->kind != FdEntry::Kind::kListener) {
         return errno_result(kEBADF);
@@ -383,6 +385,7 @@ std::uint64_t Machine::sys_dispatch_table(Task& task, std::uint64_t nr,
       return static_cast<std::uint64_t>(fd);
     }
     case kSysRecvfrom: {
+      notify_nondet(task, kSysRecvfrom, NondetSource::kNet);
       FdEntry* entry = fd_entry(static_cast<int>(args[0]));
       if (entry == nullptr || entry->kind != FdEntry::Kind::kConn) {
         return errno_result(kEBADF);
@@ -630,11 +633,13 @@ std::uint64_t Machine::sys_dispatch_table(Task& task, std::uint64_t nr,
     case kSysGetrandom: {
       const std::uint64_t len = std::min<std::uint64_t>(args[1], 4096);
       charge(task, costs_.dispatch_base + costs_.copy_cost(len));
+      notify_nondet(task, kSysGetrandom, NondetSource::kRng);
       std::vector<std::uint8_t> data(len);
-      std::uint64_t state = 0x9E3779B97F4A7C15ULL ^ (task.cycles + 1);
-      for (auto& byte : data) {
-        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
-        byte = static_cast<std::uint8_t>(state >> 56);
+      for (std::size_t i = 0; i < data.size(); i += 8) {
+        const std::uint64_t word = rng_.next();
+        for (std::size_t j = 0; j < 8 && i + j < data.size(); ++j) {
+          data[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+        }
       }
       if (len > 0 && task.mem->write(args[0], data).has_value()) {
         return errno_result(kEFAULT);
@@ -651,6 +656,7 @@ std::uint64_t Machine::sys_dispatch_table(Task& task, std::uint64_t nr,
       return 0;
     case kSysClockGettime: {
       charge(task, costs_.dispatch_base);
+      notify_nondet(task, kSysClockGettime, NondetSource::kTime);
       const std::uint64_t ns = task.cycles;  // 1 cycle == 1 ns at "1 GHz"
       if (!write_user_u64(task, args[1], ns / 1'000'000'000ULL) ||
           !write_user_u64(task, args[1] + 8, ns % 1'000'000'000ULL)) {

@@ -65,6 +65,10 @@ struct SigInfo {
   std::uint64_t ip_after_syscall = 0;
   // For SIGSEGV/SIGBUS: faulting address.
   std::uint64_t fault_addr = 0;
+  // True for signals injected from outside the simulation (Machine::post_signal).
+  // Internal signals (SIGSYS, faults, kill) recur naturally during replay;
+  // external ones must be re-posted by the replayer at the recorded point.
+  bool external = false;
 };
 
 inline constexpr std::uint64_t kSaSiginfo = 0x4;

@@ -28,12 +28,34 @@ Status PtraceMechanism::install(kern::Machine& machine, kern::Tid tid,
         });
     (void)handler->handle(ictx);
   };
+  // Still at the entry stop: an injecting handler (replay) may rewrite
+  // orig_rax to -1 so the kernel skips execution, then materialize the
+  // recorded result via PTRACE_SETREGS. Observers return false here and the
+  // exit stop runs as usual.
+  hooks.on_syscall_suppress =
+      [&machine, handler](kern::Task& tracee, cpu::CpuContext& /*ctx*/,
+                          std::uint64_t nr,
+                          const std::array<std::uint64_t, 6>& args,
+                          std::uint64_t* result) {
+        interpose::SyscallRequest req;
+        req.nr = nr;
+        req.args = args;
+        interpose::InterposeContext ictx(
+            machine, tracee, req,
+            [](std::uint64_t, const std::array<std::uint64_t, 6>&) {
+              // Suppression decision precedes execution: nothing to run.
+              return std::uint64_t{0};
+            });
+        return handler->pre_execute(ictx, result);
+      };
   hooks.on_syscall_exit = [&machine, handler](kern::Task& tracee,
-                                              cpu::CpuContext& ctx,
+                                              cpu::CpuContext& /*ctx*/,
+                                              std::uint64_t nr,
+                                              const std::array<std::uint64_t, 6>& args,
                                               std::uint64_t& result) {
     interpose::SyscallRequest req;
-    req.nr = ctx.syscall_number();  // rax still holds the number pre-writeback
-    for (std::size_t i = 0; i < 6; ++i) req.args[i] = ctx.syscall_arg(i);
+    req.nr = nr;  // orig_rax: survives context-replacing syscalls (sigreturn)
+    req.args = args;
     // The kernel already executed the syscall; pass-through observes the
     // result (PTRACE_GETREGS) instead of re-executing.
     const std::uint64_t observed = result;

@@ -1,0 +1,202 @@
+#include "replay/recorder.hpp"
+
+#include <algorithm>
+
+#include "kernel/syscalls.hpp"
+
+namespace lzp::replay {
+
+std::uint64_t hash_registers(const cpu::CpuContext& ctx) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto reg : ctx.gpr) mix(reg);
+  mix(ctx.rip);
+  return h;
+}
+
+bool must_execute_on_replay(std::uint64_t nr) noexcept {
+  using namespace kern;  // NOLINT(google-build-using-namespace)
+  switch (nr) {
+    // Address-space state later instructions depend on.
+    case kSysMmap:
+    case kSysMprotect:
+    case kSysMunmap:
+    case kSysBrk:
+    // Task lifecycle.
+    case kSysClone:
+    case kSysFork:
+    case kSysVfork:
+    case kSysExecve:
+    case kSysExit:
+    case kSysExitGroup:
+    case kSysSetTidAddress:
+    case kSysSetRobustList:
+    // Signal state: dispositions, masks, frames, and intra-machine kills
+    // (these recur deterministically during replay and must take effect).
+    case kSysRtSigaction:
+    case kSysRtSigprocmask:
+    case kSysRtSigreturn:
+    case kSysSigaltstack:
+    case kSysKill:
+    case kSysTgkill:
+    // Interception control (the mechanism under replay re-arms itself).
+    case kSysPrctl:
+    case kSysArchPrctl:
+    case kSysSeccomp:
+    // Pure-no-op waits (cheap, and futex wakes matter for threads).
+    case kSysSchedYield:
+    case kSysFutex:
+    case kSysNanosleep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<MemPatch> capture_out_buffers(
+    interpose::InterposeContext& ctx, std::uint64_t nr,
+    const std::array<std::uint64_t, 6>& args, std::uint64_t result) {
+  std::vector<MemPatch> patches;
+  if (kern::is_error_result(result) || must_execute_on_replay(nr)) {
+    return patches;
+  }
+
+  auto capture = [&](std::uint64_t addr, std::uint64_t len) {
+    if (len == 0) return;
+    auto bytes = ctx.read_bytes(addr, len);
+    if (!bytes) return;  // kernel write must have failed too; nothing to save
+    patches.push_back(MemPatch{addr, std::move(bytes).value()});
+  };
+
+  using namespace kern;  // NOLINT(google-build-using-namespace)
+  switch (nr) {
+    case kSysRead:        // file or conn payload
+    case kSysRecvfrom:
+    case kSysGetdents64:
+      capture(args[1], result);
+      break;
+    case kSysGetrandom:
+    case kSysGetcwd:
+      capture(args[0], result);
+      break;
+    case kSysStat:
+    case kSysFstat:
+      capture(args[1], 16);  // size u64 + mode/is_dir u64
+      break;
+    case kSysClockGettime:
+      capture(args[1], 16);  // sec u64 + nsec u64
+      break;
+    case kSysPipe2:
+      capture(args[0], 8);  // rfd u32 | wfd u32
+      break;
+    default:
+      break;  // no out-buffers modeled for this syscall
+  }
+  return patches;
+}
+
+void Recorder::attach(kern::Machine& machine, std::uint64_t rng_seed,
+                      std::string mechanism, std::string workload) {
+  machine.reseed_rng(rng_seed);
+  trace_.header.rng_seed = rng_seed;
+  trace_.header.mechanism = std::move(mechanism);
+  trace_.header.workload = std::move(workload);
+
+  machine.set_slice_observer([this](const kern::Task& task, std::uint64_t steps) {
+    trace_.events.push_back(ScheduleEvent{task.tid, steps});
+  });
+  machine.set_signal_observer(
+      [this, &machine](const kern::Task& task, const kern::SigInfo& info) {
+        SignalEvent event;
+        event.tid = task.tid;
+        event.signo = info.signo;
+        event.code = info.code;
+        event.syscall_nr = info.syscall_nr;
+        std::copy(std::begin(info.syscall_args), std::end(info.syscall_args),
+                  event.syscall_args.begin());
+        event.ip_after_syscall = info.ip_after_syscall;
+        event.fault_addr = info.fault_addr;
+        event.external = info.external;
+        event.insns_retired = task.insns_retired;
+        event.machine_insns = machine.total_insns();
+        trace_.events.push_back(event);
+      });
+  machine.set_nondet_observer([this](const kern::Task& task, std::uint64_t nr,
+                                     kern::Machine::NondetSource source) {
+    NondetEvent event{task.tid, nr, static_cast<std::uint8_t>(source)};
+    trace_.events.push_back(event);
+    unclaimed_nondet_.push_back(event);
+  });
+}
+
+void Recorder::detach(kern::Machine& machine) {
+  machine.set_slice_observer({});
+  machine.set_signal_observer({});
+  machine.set_nondet_observer({});
+}
+
+bool Recorder::pre_execute(interpose::InterposeContext& ctx, std::uint64_t*) {
+  // ptrace entry stop: registers and counters still hold pre-execution state;
+  // remember them for the exit stop, where handle() records the event.
+  pending_entry_.valid = true;
+  pending_entry_.tid = ctx.task().tid;
+  pending_entry_.insns_retired = ctx.task().insns_retired;
+  pending_entry_.reg_hash = hash_registers(ctx.task().ctx);
+  return false;
+}
+
+std::uint64_t Recorder::handle(interpose::InterposeContext& ctx) {
+  const auto req = ctx.request();  // snapshot before inner handler mutates it
+
+  SyscallEvent event;
+  event.tid = ctx.task().tid;
+  event.nr = req.nr;
+  event.args = req.args;
+  if (pending_entry_.valid && pending_entry_.tid == event.tid) {
+    event.insns_retired = pending_entry_.insns_retired;
+    event.reg_hash = pending_entry_.reg_hash;
+  } else {
+    event.insns_retired = ctx.task().insns_retired;
+    event.reg_hash = hash_registers(ctx.task().ctx);
+  }
+  pending_entry_.valid = false;
+
+  event.result = inner_->handle(ctx);
+  event.patches = capture_out_buffers(ctx, req.nr, req.args, event.result);
+
+  // Record-mode cost: event framing plus copying the captured buffers.
+  std::uint64_t captured_bytes = 0;
+  for (const auto& patch : event.patches) captured_bytes += patch.bytes.size();
+  const auto& costs = ctx.machine().costs();
+  ctx.machine().charge(ctx.task(),
+                       costs.record_event +
+                           (captured_bytes + 7) / 8 * costs.record_capture_qword);
+
+  // Any nondeterministic input this task consumed since its previous event
+  // flowed through the syscall just captured: claim it.
+  std::erase_if(unclaimed_nondet_, [&event](const NondetEvent& nd) {
+    return nd.tid == event.tid;
+  });
+
+  const std::uint64_t result = event.result;
+  trace_.events.push_back(std::move(event));
+  return result;
+}
+
+std::vector<std::string> Recorder::audit_report() const {
+  std::vector<std::string> report;
+  report.reserve(unclaimed_nondet_.size());
+  for (const auto& nd : unclaimed_nondet_) {
+    report.push_back("uncaptured nondeterminism: tid " + std::to_string(nd.tid) +
+                     " consumed source " + std::to_string(int{nd.source}) +
+                     " via " + std::string(kern::syscall_name(nd.nr)));
+  }
+  return report;
+}
+
+}  // namespace lzp::replay

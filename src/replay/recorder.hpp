@@ -1,0 +1,84 @@
+// Record side of the record/replay subsystem.
+//
+// The Recorder is a SyscallHandler decorator (rr as an interposition client):
+// installed under any mechanism, it lets the wrapped handler service each
+// syscall, then captures the result plus every byte the kernel wrote into the
+// tracee so the Replayer can reproduce the run without a kernel. Machine-level
+// nondeterminism — scheduling decisions, signal delivery points, RNG/time/net
+// consumption — is captured through the Machine's observer hooks, which
+// attach() wires up.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interpose/handler.hpp"
+#include "kernel/machine.hpp"
+#include "replay/trace.hpp"
+
+namespace lzp::replay {
+
+// FNV-1a over all GPRs + rip: the entry-state fingerprint both sides compute.
+[[nodiscard]] std::uint64_t hash_registers(const cpu::CpuContext& ctx) noexcept;
+
+// The out-buffer capture table: which (addr, len) ranges syscall `nr` wrote,
+// given its arguments and (non-error) result. Mirrors machine_syscalls.cpp.
+[[nodiscard]] std::vector<MemPatch> capture_out_buffers(
+    interpose::InterposeContext& ctx, std::uint64_t nr,
+    const std::array<std::uint64_t, 6>& args, std::uint64_t result);
+
+// Syscalls replay must genuinely execute because later execution depends on
+// their kernel-side effects (memory mappings, task creation, signal state).
+// Everything else is injected from the trace.
+[[nodiscard]] bool must_execute_on_replay(std::uint64_t nr) noexcept;
+
+class Recorder final : public interpose::SyscallHandler {
+ public:
+  explicit Recorder(std::shared_ptr<interpose::SyscallHandler> inner =
+                        std::make_shared<interpose::DummyHandler>())
+      : inner_(std::move(inner)) {}
+
+  // Wires the Machine's observer hooks to this recorder and reseeds the
+  // machine RNG so the entropy stream is part of the trace. Call before
+  // loading the workload; install *this as the mechanism's handler.
+  void attach(kern::Machine& machine, std::uint64_t rng_seed,
+              std::string mechanism, std::string workload);
+  // Unhooks the observers (the trace stays).
+  void detach(kern::Machine& machine);
+
+  std::uint64_t handle(interpose::InterposeContext& ctx) override;
+  // ptrace entry stop: capture the pre-execution fingerprint (the exit stop
+  // only sees post-kernel state). Never suppresses.
+  bool pre_execute(interpose::InterposeContext& ctx, std::uint64_t* result) override;
+  [[nodiscard]] std::string name() const override {
+    return "recorder(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+  Trace take_trace() { return std::move(trace_); }
+
+  // Nondeterminism audit (record mode assertion hook): true if a
+  // nondeterministic input reached the kernel without a matching captured
+  // syscall event — i.e. the interposition mechanism missed it.
+  [[nodiscard]] bool uncaptured_nondeterminism() const noexcept {
+    return !unclaimed_nondet_.empty();
+  }
+  [[nodiscard]] std::vector<std::string> audit_report() const;
+
+ private:
+  struct EntryCapture {
+    bool valid = false;
+    kern::Tid tid = 0;
+    std::uint64_t insns_retired = 0;
+    std::uint64_t reg_hash = 0;
+  };
+
+  std::shared_ptr<interpose::SyscallHandler> inner_;
+  Trace trace_;
+  EntryCapture pending_entry_;  // ptrace: set at entry stop, used at exit stop
+  // Nondet notifications not yet claimed by a captured syscall event.
+  std::vector<NondetEvent> unclaimed_nondet_;
+};
+
+}  // namespace lzp::replay

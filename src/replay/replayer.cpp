@@ -1,0 +1,274 @@
+#include "replay/replayer.hpp"
+
+#include <sstream>
+
+#include "kernel/syscalls.hpp"
+#include "replay/recorder.hpp"
+
+namespace lzp::replay {
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << v;
+  return out.str();
+}
+
+}  // namespace
+
+Replayer::Replayer(Trace trace) : trace_(std::move(trace)) {
+  for (std::size_t i = 0; i < trace_.events.size(); ++i) {
+    switch (event_kind(trace_.events[i])) {
+      case EventKind::kSyscall:
+        syscall_idx_.push_back(i);
+        break;
+      case EventKind::kSchedule:
+        sched_idx_.push_back(i);
+        break;
+      case EventKind::kSignal:
+        signal_idx_.push_back(i);
+        if (std::get<SignalEvent>(trace_.events[i]).external) {
+          external_idx_.push_back(i);
+        }
+        break;
+      case EventKind::kNondet:
+        break;  // audit-only; the syscall events carry the injected values
+    }
+  }
+}
+
+void Replayer::attach(kern::Machine& machine) {
+  machine.reseed_rng(trace_.header.rng_seed);
+  machine.set_schedule_hook(
+      [this](kern::Machine& m) { return next_slice(m); });
+  machine.set_signal_observer(
+      [this](const kern::Task& task, const kern::SigInfo& info) {
+        on_signal(task, info);
+      });
+}
+
+void Replayer::detach(kern::Machine& machine) {
+  machine.set_schedule_hook({});
+  machine.set_signal_observer({});
+}
+
+void Replayer::diverge(std::string message) {
+  if (diverged()) return;  // keep the FIRST mismatch
+  status_ = Status{StatusCode::kInternal, "replay divergence: " + std::move(message)};
+}
+
+const SyscallEvent* Replayer::next_syscall_event() {
+  if (syscall_cursor_ >= syscall_idx_.size()) {
+    diverge("trace exhausted: execution performed more syscalls than recorded");
+    return nullptr;
+  }
+  return &std::get<SyscallEvent>(trace_.events[syscall_idx_[syscall_cursor_++]]);
+}
+
+std::uint64_t Replayer::handle(interpose::InterposeContext& ctx) {
+  const auto& req = ctx.request();
+  kern::Task& task = ctx.task();
+
+  // ptrace exit stop of an execute-class syscall verified at the entry stop:
+  // only the observed result remains to be checked.
+  if (exit_check_pending_ && !diverged()) {
+    exit_check_pending_ = false;
+    const auto& event =
+        std::get<SyscallEvent>(trace_.events[exit_check_event_]);
+    const std::uint64_t observed = ctx.pass_through();
+    if (observed != event.result) {
+      diverge("executed " + std::string(kern::syscall_name(req.nr)) +
+              " returned " + hex(observed) + ", trace has " + hex(event.result));
+    }
+    return observed;
+  }
+  exit_check_pending_ = false;
+
+  if (diverged()) return kern::errno_result(kern::kENOSYS);
+
+  const SyscallEvent* event = next_syscall_event();
+  if (event == nullptr) return kern::errno_result(kern::kENOSYS);
+
+  if (event->tid != task.tid) {
+    diverge("syscall from tid " + std::to_string(task.tid) + ", trace has tid " +
+            std::to_string(event->tid));
+  } else if (event->nr != req.nr) {
+    diverge("tid " + std::to_string(task.tid) + " invoked " +
+            std::string(kern::syscall_name(req.nr)) + ", trace has " +
+            std::string(kern::syscall_name(event->nr)));
+  } else if (event->args != req.args) {
+    diverge("argument mismatch on " + std::string(kern::syscall_name(req.nr)));
+  } else if (event->insns_retired != task.insns_retired) {
+    diverge("instruction-count mismatch on " +
+            std::string(kern::syscall_name(req.nr)) + ": at " +
+            std::to_string(task.insns_retired) + ", trace has " +
+            std::to_string(event->insns_retired));
+  } else if (verify_registers_ &&
+             event->reg_hash != hash_registers(task.ctx)) {
+    diverge("register-hash mismatch on " +
+            std::string(kern::syscall_name(req.nr)) + " at rip " +
+            hex(task.ctx.rip));
+  }
+  if (diverged()) return kern::errno_result(kern::kENOSYS);
+
+  if (must_execute_on_replay(req.nr)) {
+    ++stats_.syscalls_executed;
+    const std::uint64_t result = ctx.pass_through();
+    if (result != event->result) {
+      diverge("executed " + std::string(kern::syscall_name(req.nr)) +
+              " returned " + hex(result) + ", trace has " + hex(event->result));
+    }
+    return result;
+  }
+
+  // Inject: the kernel never runs this syscall; reproduce its effects.
+  ++stats_.syscalls_injected;
+  for (const auto& patch : event->patches) {
+    const Status written = ctx.write_bytes(patch.addr, patch.bytes);
+    if (!written.is_ok()) {
+      diverge("cannot re-apply memory record at " + hex(patch.addr) + ": " +
+              written.to_string());
+      return kern::errno_result(kern::kENOSYS);
+    }
+    stats_.bytes_patched += patch.bytes.size();
+  }
+  return event->result;
+}
+
+bool Replayer::pre_execute(interpose::InterposeContext& ctx, std::uint64_t* result) {
+  const auto& req = ctx.request();
+  // exit/exit_group are reported at the ptrace ENTRY hook, which already ran
+  // handle(); consuming another event here would desynchronize the stream.
+  if (req.nr == kern::kSysExit || req.nr == kern::kSysExitGroup) return false;
+  if (diverged()) return false;  // free-run once diverged
+
+  const std::size_t event_index =
+      syscall_cursor_ < syscall_idx_.size() ? syscall_idx_[syscall_cursor_] : 0;
+  const SyscallEvent* event = next_syscall_event();
+  if (event == nullptr) return false;
+
+  kern::Task& task = ctx.task();
+  if (event->tid != task.tid || event->nr != req.nr ||
+      event->args != req.args) {
+    diverge("entry-stop mismatch: tid " + std::to_string(task.tid) + " " +
+            std::string(kern::syscall_name(req.nr)) + ", trace has tid " +
+            std::to_string(event->tid) + " " +
+            std::string(kern::syscall_name(event->nr)));
+    return false;
+  }
+  if (event->insns_retired != task.insns_retired) {
+    diverge("instruction-count mismatch on " +
+            std::string(kern::syscall_name(req.nr)) + ": at " +
+            std::to_string(task.insns_retired) + ", trace has " +
+            std::to_string(event->insns_retired));
+    return false;
+  }
+  if (verify_registers_ && event->reg_hash != hash_registers(task.ctx)) {
+    diverge("register-hash mismatch on " +
+            std::string(kern::syscall_name(req.nr)) + " at rip " +
+            hex(task.ctx.rip));
+    return false;
+  }
+
+  if (must_execute_on_replay(req.nr)) {
+    // Let the kernel run it; the exit stop (handle) verifies the result.
+    exit_check_pending_ = true;
+    exit_check_event_ = event_index;
+    ++stats_.syscalls_executed;
+    return false;
+  }
+
+  ++stats_.syscalls_injected;
+  for (const auto& patch : event->patches) {
+    const Status written = ctx.write_bytes(patch.addr, patch.bytes);
+    if (!written.is_ok()) {
+      diverge("cannot re-apply memory record at " + hex(patch.addr) + ": " +
+              written.to_string());
+      return false;
+    }
+    stats_.bytes_patched += patch.bytes.size();
+  }
+  *result = event->result;
+  return true;  // orig_rax = -1: kernel execution suppressed
+}
+
+std::optional<kern::Machine::SchedSlice> Replayer::next_slice(
+    kern::Machine& machine) {
+  if (diverged()) return std::nullopt;
+
+  // Re-post every external signal whose recorded delivery step is due: a
+  // signal posted now is delivered at the target task's next step, i.e. at
+  // machine step total_insns()+1 or later.
+  while (external_cursor_ < external_idx_.size()) {
+    const auto& sig =
+        std::get<SignalEvent>(trace_.events[external_idx_[external_cursor_]]);
+    if (sig.machine_insns > machine.total_insns() + 1) break;
+    kern::SigInfo info;
+    info.signo = sig.signo;
+    info.code = sig.code;
+    info.syscall_nr = sig.syscall_nr;
+    for (std::size_t i = 0; i < 6; ++i) info.syscall_args[i] = sig.syscall_args[i];
+    info.ip_after_syscall = sig.ip_after_syscall;
+    info.fault_addr = sig.fault_addr;
+    const Status posted = machine.post_signal(sig.tid, info);
+    if (!posted.is_ok()) {
+      diverge("cannot re-post " + std::string(kern::signal_name(sig.signo)) +
+              " to tid " + std::to_string(sig.tid) + ": " + posted.to_string());
+      return std::nullopt;
+    }
+    ++external_cursor_;
+    ++stats_.signals_posted;
+  }
+
+  if (sched_cursor_ >= sched_idx_.size()) return std::nullopt;
+  const auto& slice =
+      std::get<ScheduleEvent>(trace_.events[sched_idx_[sched_cursor_]]);
+  const std::uint64_t remaining = slice.steps - slice_consumed_;
+
+  // Mid-slice external delivery point: split the slice so the signal is
+  // posted exactly one step before its recorded delivery.
+  if (external_cursor_ < external_idx_.size()) {
+    const auto& sig =
+        std::get<SignalEvent>(trace_.events[external_idx_[external_cursor_]]);
+    const std::uint64_t now = machine.total_insns();
+    if (sig.machine_insns > now + 1 && sig.machine_insns <= now + remaining) {
+      const std::uint64_t take = sig.machine_insns - 1 - now;
+      slice_consumed_ += take;
+      return kern::Machine::SchedSlice{slice.tid, take};
+    }
+  }
+
+  slice_consumed_ = 0;
+  ++sched_cursor_;
+  ++stats_.slices_replayed;
+  return kern::Machine::SchedSlice{slice.tid, remaining};
+}
+
+void Replayer::on_signal(const kern::Task& task, const kern::SigInfo& info) {
+  if (diverged()) return;
+  if (signal_cursor_ >= signal_idx_.size()) {
+    diverge("unexpected " + std::string(kern::signal_name(info.signo)) +
+            " delivery to tid " + std::to_string(task.tid));
+    return;
+  }
+  const auto& event =
+      std::get<SignalEvent>(trace_.events[signal_idx_[signal_cursor_]]);
+  if (event.tid != task.tid || event.signo != info.signo) {
+    diverge("signal mismatch: " + std::string(kern::signal_name(info.signo)) +
+            " to tid " + std::to_string(task.tid) + ", trace has " +
+            std::string(kern::signal_name(event.signo)) + " to tid " +
+            std::to_string(event.tid));
+    return;
+  }
+  if (event.insns_retired != task.insns_retired) {
+    diverge("signal boundary mismatch: " +
+            std::string(kern::signal_name(info.signo)) + " delivered at " +
+            std::to_string(task.insns_retired) + " insns, trace has " +
+            std::to_string(event.insns_retired));
+    return;
+  }
+  ++signal_cursor_;
+  ++stats_.signals_verified;
+}
+
+}  // namespace lzp::replay

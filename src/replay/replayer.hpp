@@ -1,0 +1,98 @@
+// Replay side of the record/replay subsystem.
+//
+// The Replayer is a SyscallHandler that re-installs over any interposition
+// mechanism and substitutes the recorded execution for the kernel's: syscalls
+// whose effects are pure data (reads, network payloads, random bytes, time)
+// are suppressed and their recorded results + out-buffer writes injected;
+// syscalls with kernel-side state replay depends on (mmap, clone, signal
+// state, exits) are executed for real and their results verified against the
+// trace. The recorded schedule is forced through Machine's schedule hook and
+// external signals are re-posted at the exact recorded machine step, so the
+// replayed run retires the same instructions in the same order as the
+// recording. Any mismatch — task, syscall number, arguments, instruction
+// count, register hash, or result — is divergence: the replayer latches a
+// structured Status describing the first one and stops consuming the trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interpose/handler.hpp"
+#include "kernel/machine.hpp"
+#include "replay/trace.hpp"
+
+namespace lzp::replay {
+
+class Replayer final : public interpose::SyscallHandler {
+ public:
+  explicit Replayer(Trace trace);
+
+  // Wires the schedule hook + signal observer and reseeds the machine RNG
+  // from the trace header. Call before loading the workload; install *this
+  // as the mechanism's handler; then machine.run() replays the recording.
+  void attach(kern::Machine& machine);
+  void detach(kern::Machine& machine);
+
+  std::uint64_t handle(interpose::InterposeContext& ctx) override;
+  // ptrace entry stop: verify here and suppress injected syscalls (orig_rax
+  // = -1); execute-class syscalls fall through to the exit stop for result
+  // verification.
+  bool pre_execute(interpose::InterposeContext& ctx, std::uint64_t* result) override;
+  [[nodiscard]] std::string name() const override { return "replayer"; }
+
+  // Divergence state: ok() until the replayed execution contradicts the
+  // trace; afterwards holds a description of the first mismatch.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+  [[nodiscard]] bool diverged() const noexcept { return !status_.is_ok(); }
+  // True when every recorded syscall event has been consumed.
+  [[nodiscard]] bool finished() const noexcept {
+    return syscall_cursor_ >= syscall_idx_.size();
+  }
+
+  struct Stats {
+    std::uint64_t syscalls_injected = 0;
+    std::uint64_t syscalls_executed = 0;
+    std::uint64_t signals_verified = 0;
+    std::uint64_t signals_posted = 0;
+    std::uint64_t slices_replayed = 0;
+    std::uint64_t bytes_patched = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  // Skip register-hash comparison (needed when replaying under a different
+  // mechanism than the recording: interposer-frame registers differ even
+  // though the application-visible execution matches).
+  void set_verify_registers(bool verify) noexcept { verify_registers_ = verify; }
+
+ private:
+  const SyscallEvent* next_syscall_event();
+  void diverge(std::string message);
+  std::optional<kern::Machine::SchedSlice> next_slice(kern::Machine& machine);
+  void on_signal(const kern::Task& task, const kern::SigInfo& info);
+
+  Trace trace_;
+  // Per-kind index vectors into trace_.events (the trace stays in recorded
+  // global order; cursors advance independently per kind).
+  std::vector<std::size_t> syscall_idx_;
+  std::vector<std::size_t> sched_idx_;
+  std::vector<std::size_t> signal_idx_;    // all signal events (verification)
+  std::vector<std::size_t> external_idx_;  // external subset (re-posting)
+  std::size_t syscall_cursor_ = 0;
+  std::size_t sched_cursor_ = 0;
+  std::size_t signal_cursor_ = 0;
+  std::size_t external_cursor_ = 0;
+  // Steps of the current recorded slice already dispatched (slice splitting
+  // around mid-slice external-signal delivery points).
+  std::uint64_t slice_consumed_ = 0;
+
+  // ptrace: event verified at entry stop, result check pending at exit stop.
+  bool exit_check_pending_ = false;
+  std::size_t exit_check_event_ = 0;
+
+  bool verify_registers_ = true;
+  Status status_;
+  Stats stats_;
+};
+
+}  // namespace lzp::replay

@@ -1,0 +1,141 @@
+// The record/replay trace format.
+//
+// A Trace is the complete description of one nondeterministic execution: the
+// RNG seed, every interposed syscall (result + out-buffer writes), every
+// scheduling decision Machine::run made, every signal delivery point (keyed
+// by retired-instruction counts), and an audit stream of nondeterministic
+// inputs the kernel consumed. Replaying the trace against the same initial
+// program images reproduces the run instruction-for-instruction.
+//
+// On disk the trace is a compact little-endian binary stream: a versioned
+// header followed by per-event frames (1-byte kind + u32 payload length +
+// payload), so unknown event kinds can be skipped by older readers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/status.hpp"
+#include "kernel/signals.hpp"
+#include "kernel/task.hpp"
+
+namespace lzp::replay {
+
+inline constexpr std::uint32_t kTraceMagic = 0x4C5A5052;  // "LZPR"
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+// One contiguous range of tracee memory the kernel wrote while servicing a
+// syscall (rr's "memory record"). Replay re-applies these instead of
+// executing the syscall.
+struct MemPatch {
+  std::uint64_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+
+  friend bool operator==(const MemPatch&, const MemPatch&) = default;
+};
+
+// An interposed syscall: entry-state fingerprint, result, out-buffer writes.
+struct SyscallEvent {
+  kern::Tid tid = 0;
+  std::uint64_t nr = 0;
+  std::array<std::uint64_t, 6> args{};
+  std::uint64_t result = 0;
+  // Per-task retired simulated instructions at the interposition point.
+  std::uint64_t insns_retired = 0;
+  // FNV-1a over all GPRs + rip at the interposition point (divergence probe).
+  std::uint64_t reg_hash = 0;
+  std::vector<MemPatch> patches;
+
+  friend bool operator==(const SyscallEvent&, const SyscallEvent&) = default;
+};
+
+// One scheduler decision: `tid` ran for `steps` machine steps.
+struct ScheduleEvent {
+  kern::Tid tid = 0;
+  std::uint64_t steps = 0;
+
+  friend bool operator==(const ScheduleEvent&, const ScheduleEvent&) = default;
+};
+
+// One signal delivery, pinned to the exact machine step it happened at.
+struct SignalEvent {
+  kern::Tid tid = 0;
+  std::int32_t signo = 0;
+  std::int32_t code = 0;
+  std::uint64_t syscall_nr = 0;
+  std::array<std::uint64_t, 6> syscall_args{};
+  std::uint64_t ip_after_syscall = 0;
+  std::uint64_t fault_addr = 0;
+  // External signals (Machine::post_signal) do not recur by themselves: the
+  // replayer must re-post them at the recorded machine step. Internal ones
+  // (SIGSYS, faults, kill) recur naturally and are only verified.
+  bool external = false;
+  // Per-task retired instructions at delivery (boundary check).
+  std::uint64_t insns_retired = 0;
+  // Machine-global step count at delivery (replay re-posting coordinate).
+  std::uint64_t machine_insns = 0;
+
+  friend bool operator==(const SignalEvent&, const SignalEvent&) = default;
+};
+
+// Audit record: the kernel consumed a nondeterministic input while servicing
+// `nr` for `tid`. The recorder matches these against captured syscall events
+// to flag nondeterminism that leaked past the interposition layer.
+struct NondetEvent {
+  kern::Tid tid = 0;
+  std::uint64_t nr = 0;
+  std::uint8_t source = 0;  // kern::Machine::NondetSource
+
+  friend bool operator==(const NondetEvent&, const NondetEvent&) = default;
+};
+
+using Event = std::variant<SyscallEvent, ScheduleEvent, SignalEvent, NondetEvent>;
+
+// Frame kind tags (never reorder: they are the on-disk format).
+enum class EventKind : std::uint8_t {
+  kSyscall = 1,
+  kSchedule = 2,
+  kSignal = 3,
+  kNondet = 4,
+};
+
+[[nodiscard]] EventKind event_kind(const Event& event) noexcept;
+[[nodiscard]] std::string_view event_kind_name(EventKind kind) noexcept;
+
+struct TraceHeader {
+  std::uint32_t version = kTraceVersion;
+  std::uint64_t rng_seed = 0;
+  std::string mechanism;  // interposition mechanism the trace was made with
+  std::string workload;   // free-form workload label
+
+  friend bool operator==(const TraceHeader&, const TraceHeader&) = default;
+};
+
+class Trace {
+ public:
+  TraceHeader header;
+  std::vector<Event> events;
+
+  [[nodiscard]] std::size_t count(EventKind kind) const noexcept;
+  [[nodiscard]] std::size_t syscall_count() const noexcept {
+    return count(EventKind::kSyscall);
+  }
+
+  // Binary round trip.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<Trace> deserialize(const std::vector<std::uint8_t>& bytes);
+
+  // File round trip.
+  Status save(const std::string& path) const;
+  static Result<Trace> load(const std::string& path);
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+// Human-readable one-line rendering (strace style) used by replay_dump.
+[[nodiscard]] std::string event_to_string(const Event& event);
+
+}  // namespace lzp::replay
