@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/minilibc.hpp"
 #include "core/lazypoline.hpp"
@@ -13,6 +15,7 @@
 #include "kernel/machine.hpp"
 #include "kernel/syscalls.hpp"
 #include "mechanisms/sud_tool.hpp"
+#include "metrics/json.hpp"
 #include "zpoline/zpoline.hpp"
 
 namespace lzp::bench {
@@ -30,6 +33,21 @@ T unwrap(Result<T> result, const char* what) {
 
 inline void check(const Status& status, const char* what) {
   if (!status.is_ok()) die(std::string(what) + ": " + status.to_string());
+}
+
+// The one way bench binaries emit their BENCH_*.json artifact: a top-level
+// {"benchmark": ..., "results": [...]} object built from metrics::JsonObject
+// rows, so every artifact the CI gates parse shares one escaper.
+inline void write_json_report(const std::string& path,
+                              const std::string& benchmark,
+                              const std::vector<std::string>& result_objects) {
+  metrics::JsonObject root;
+  root.add("benchmark", benchmark);
+  root.add_raw("results", metrics::json_array(result_objects));
+  std::ofstream out(path);
+  out << root.render() << "\n";
+  if (!out) die("cannot write " + path);
+  std::printf("json -> %s\n", path.c_str());
 }
 
 // The §V-B microbenchmark program: N invocations of the non-existent

@@ -8,6 +8,9 @@
 #include "bpf/seccomp_filter.hpp"
 #include "cpu/execute.hpp"
 #include "disasm/scanner.hpp"
+#ifndef LZP_TRACE_DISABLED
+#include "trace/tracer.hpp"
+#endif
 
 namespace {
 using namespace lzp;
@@ -215,6 +218,76 @@ void BM_SimSud(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_SimSud);
+
+#ifndef LZP_TRACE_DISABLED
+// Tracing overhead on the hottest interposed path: the same lazypoline micro
+// loop with a Tracer attached-but-disabled vs enabled. Compare against
+// BM_SimLazypoline (no sink at all) for the three-way off/disabled/enabled
+// split the trace-overhead gate checks.
+void lazypoline_traced(benchmark::State& state, bool enabled) {
+  auto dummy = std::make_shared<interpose::DummyHandler>();
+  auto tracer = std::make_shared<trace::Tracer>();
+  tracer->set_enabled(enabled);
+  interposed_micro(state, [dummy, tracer](const isa::Program& program) {
+    auto inner = bench::setup_lazypoline(program, dummy, core::XstateMode::kFull,
+                                         true);
+    return [inner, tracer](kern::Machine& machine, kern::Tid tid) {
+      tracer->attach(machine);
+      inner(machine, tid);
+    };
+  });
+  // Cumulative across iterations (each run re-attaches the same tracer).
+  state.counters["trace_events"] = static_cast<double>(
+      tracer->ring().size() + tracer->ring().dropped());
+}
+
+void BM_SimLazypolineTracedDisabled(benchmark::State& state) {
+  lazypoline_traced(state, /*enabled=*/false);
+}
+BENCHMARK(BM_SimLazypolineTracedDisabled);
+
+void BM_SimLazypolineTracedEnabled(benchmark::State& state) {
+  lazypoline_traced(state, /*enabled=*/true);
+}
+BENCHMARK(BM_SimLazypolineTracedEnabled);
+
+// Straight-line throughput with the trace probes compiled in and a sink
+// attached but disabled — the acceptance bar for "always-on" tracing: the
+// non-syscall hot loop must not notice the probe layer.
+void BM_MachineStraightLineTracedDisabled(benchmark::State& state) {
+  trace::Tracer tracer;
+  tracer.set_enabled(false);
+  constexpr std::uint64_t kIterations = 50'000;
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  const auto done = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, kIterations);
+  a.bind(loop);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jz(done);
+  a.add(isa::Gpr::rcx, 3);
+  a.sub(isa::Gpr::rbx, 1);
+  a.jmp(loop);
+  a.bind(done);
+  apps::emit_exit(a, 0);
+  const auto program =
+      bench::unwrap(isa::make_program("straight-line", a, entry), "assemble");
+
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    kern::Machine machine;
+    tracer.attach(machine);
+    const kern::Tid tid = bench::unwrap(machine.load(program), "load");
+    const auto stats = machine.run();
+    if (!stats.all_exited) bench::die("machine did not quiesce");
+    insns += machine.find_task(tid)->insns_retired;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(insns));
+}
+BENCHMARK(BM_MachineStraightLineTracedDisabled);
+#endif  // LZP_TRACE_DISABLED
 
 }  // namespace
 

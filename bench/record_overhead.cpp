@@ -30,6 +30,7 @@
 
 namespace {
 using namespace lzp;
+using bench::write_json_report;
 
 constexpr std::uint64_t kSeed = 0x1A5F'9E37ULL;
 constexpr std::uint64_t kRequests = 600;
@@ -219,26 +220,21 @@ int main(int argc, char** argv) {
                 table.render().c_str());
   }
 
-  std::ofstream json(json_path);
-  json << "{\n  \"benchmark\": \"record_overhead\",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    char buffer[384];
-    std::snprintf(buffer, sizeof(buffer),
-                  "    {\"workload\": \"%s\", \"mechanism\": \"%s\", "
-                  "\"plain_cycles\": %llu, \"record_cycles\": %llu, "
-                  "\"plain_x_native\": %.4f, \"record_x_native\": %.4f, "
-                  "\"trace_events\": %zu}%s\n",
-                  row.workload.c_str(), row.mechanism.c_str(),
-                  static_cast<unsigned long long>(row.plain_cycles),
-                  static_cast<unsigned long long>(row.record_cycles),
-                  row.plain_x_native, row.record_x_native, row.trace_events,
-                  i + 1 < rows.size() ? "," : "");
-    json << buffer;
+  std::vector<std::string> results;
+  results.reserve(rows.size());
+  for (const Row& row : rows) {
+    results.push_back(metrics::JsonObject()
+                          .add("workload", row.workload)
+                          .add("mechanism", row.mechanism)
+                          .add("plain_cycles", row.plain_cycles)
+                          .add("record_cycles", row.record_cycles)
+                          .add("plain_x_native", row.plain_x_native)
+                          .add("record_x_native", row.record_x_native)
+                          .add("trace_events",
+                               static_cast<std::uint64_t>(row.trace_events))
+                          .render());
   }
-  json << "  ]\n}\n";
-  json.close();
-  std::printf("json -> %s\n", json_path.c_str());
+  write_json_report(json_path, "record_overhead", results);
 
   // Acceptance: lazypoline-based recording must beat the ptrace recorder.
   if (lazypoline_x >= ptrace_x) {

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest, then an LZP_SANITIZE=ON build, then
 # the record-overhead bench (emits BENCH_record_overhead.json at the repo
-# root and fails if lazypoline-based recording is not cheaper than ptrace's).
+# root and fails if lazypoline-based recording is not cheaper than ptrace's),
+# then the trace-overhead bench (emits BENCH_trace_overhead.json and fails if
+# an attached-but-disabled Tracer costs >2% wall time or an enabled one >15%,
+# or if tracing perturbs simulated cycles at all).
 #
 #   scripts/check.sh [--no-sanitize] [--no-bench]
 set -euo pipefail
@@ -34,6 +37,13 @@ fi
 if [[ "${run_bench}" == 1 ]]; then
   echo "== record-overhead bench =="
   ./build/bench/record_overhead BENCH_record_overhead.json
+
+  if [[ -x build/bench/trace_overhead ]]; then
+    echo "== trace-overhead bench =="
+    ./build/bench/trace_overhead BENCH_trace_overhead.json
+  else
+    echo "== trace-overhead bench skipped (LZP_TRACE=OFF) =="
+  fi
 fi
 
 echo "check.sh: all gates passed"

@@ -32,8 +32,11 @@ double stddev(std::span<const double> samples) noexcept {
 
 double stddev_pct(std::span<const double> samples) noexcept {
   const double m = mean(samples);
-  if (m == 0.0) return 0.0;
-  return 100.0 * stddev(samples) / m;
+  // Guard both the zero mean (division by zero -> inf/NaN) and a negative
+  // mean (which would report a negative "percentage"): the spread relative
+  // to the magnitude is what callers tabulate.
+  if (m == 0.0 || !std::isfinite(m)) return 0.0;
+  return 100.0 * stddev(samples) / std::abs(m);
 }
 
 double min_of(std::span<const double> samples) noexcept {

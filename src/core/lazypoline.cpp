@@ -133,6 +133,11 @@ Status Lazypoline::init_task(Task& task, bool install_trampoline) {
 
   locals_[task.tid] = std::move(local);
   app_signals_.emplace(task.process->pid, AppSigTable{});
+  if (auto* sink = machine_.trace_sink()) {
+    // Arming is reported under the fast-path label; the first syscall's
+    // SIGSYS discovery shows up as kLazypolineSlow spans on its own.
+    sink->on_mechanism_install(task, kern::InterposeMechanism::kLazypolineFast);
+  }
   return Status::ok();
 }
 
@@ -144,6 +149,7 @@ void Lazypoline::set_selector(Task& task, std::uint8_t value) {
   machine_.charge(task, machine_.costs().gs_selector_flip);
   const std::uint64_t addr = locals_[task.tid].gs_region + kGsSelector;
   (void)task.mem->write_force(addr, {&value, 1});
+  if (auto* sink = machine_.trace_sink()) sink->on_selector_flip(task, value);
 }
 
 // Privileged write into the %gs region (bypasses guest protections, like
@@ -264,6 +270,7 @@ void Lazypoline::on_sigsys(HostFrame& frame) {
   }
 
   ++stats_.slow_path_hits;
+  locals_[task.tid].pending_slow = true;
 
   // Our own syscalls (mprotect for the rewrite, the final sigreturn) must
   // bypass interception: selector -> ALLOW.
@@ -316,6 +323,13 @@ void Lazypoline::on_entry(HostFrame& frame) {
     return;
   }
   TaskLocal& local = local_it->second;
+  // Whether this entry was reached through SIGSYS discovery (on_sigsys set
+  // the flag just before redirecting here) or a rewritten CALL-RAX site.
+  const bool slow = local.pending_slow;
+  local.pending_slow = false;
+  const kern::InterposeMechanism mech =
+      slow ? kern::InterposeMechanism::kLazypolineSlow
+           : kern::InterposeMechanism::kLazypolineFast;
 
   set_selector(task, kern::kSudAllow);
   xstate_push(task, local);
@@ -334,7 +348,13 @@ void Lazypoline::on_entry(HostFrame& frame) {
                                         const std::array<std::uint64_t, 6>& args) {
         return route_syscall(frame, nr, args, &context_replaced);
       });
+  if (auto* sink = machine_.trace_sink()) {
+    sink->on_interpose_enter(task, req.nr, mech);
+  }
   const std::uint64_t result = handler_->handle(ictx);
+  if (auto* sink = machine_.trace_sink()) {
+    sink->on_interpose_exit(task, req.nr, mech, result);
+  }
 
   if (!task.runnable()) return;
   if (context_replaced) {

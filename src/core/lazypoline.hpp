@@ -140,6 +140,9 @@ class Lazypoline final : public interpose::Mechanism,
     std::vector<std::uint8_t> sigreturn_selector_stack;
     // (selector to restore, rip to resume at) for the sigreturn trampoline.
     std::vector<std::pair<std::uint8_t, std::uint64_t>> trampoline_stack;
+    // Set by on_sigsys, consumed by on_entry: distinguishes the SIGSYS
+    // discovery path from the rewritten-site fast path in the trace.
+    bool pending_slow = false;
   };
   // Virtualized application signal handlers, per process.
   struct AppSigTable {

@@ -43,6 +43,7 @@ const isa::Instruction* DecodeCache::lookup(const mem::AddressSpace& as,
     entry.rip = kNoAddr;
     ++stats_.invalidations;
     ++stats_.misses;
+    if (invalidation_listener_) invalidation_listener_(rip);
     return nullptr;
   }
   bool valid = page->gen == entry.gen;
@@ -62,6 +63,7 @@ const isa::Instruction* DecodeCache::lookup(const mem::AddressSpace& as,
     entry.rip = kNoAddr;
     ++stats_.invalidations;
     ++stats_.misses;
+    if (invalidation_listener_) invalidation_listener_(rip);
     return nullptr;
   }
   ++stats_.hits;

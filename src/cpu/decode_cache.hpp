@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "isa/insn.hpp"
@@ -73,6 +74,15 @@ class DecodeCache {
 
   [[nodiscard]] const DecodeCacheStats& stats() const noexcept { return stats_; }
 
+  // Observability probe: fires on the cold invalidation paths only (entry
+  // matched rip but the backing page vanished, lost exec, or its generation
+  // moved — the SMC signature of a runtime rewrite landing on cached code).
+  // Never fires on plain misses or flushes, so the hot loop stays branch-free
+  // apart from one predictable null check on an already-cold path.
+  void set_invalidation_listener(std::function<void(std::uint64_t rip)> fn) {
+    invalidation_listener_ = std::move(fn);
+  }
+
  private:
   static constexpr std::uint64_t kNoAddr = ~0ULL;
 
@@ -103,6 +113,7 @@ class DecodeCache {
 
   bool enabled_ = true;
   DecodeCacheStats stats_;
+  std::function<void(std::uint64_t rip)> invalidation_listener_;
 };
 
 }  // namespace lzp::cpu

@@ -92,6 +92,10 @@ Result<Tid> Machine::load(const isa::Program& program) {
 
   Task& ref = *task;
   tasks_.emplace(ref.tid, std::move(task));
+  attach_dcache_probe(ref);
+  if (auto* sink = trace_sink()) {
+    sink->on_task_event(ref, TraceSink::TaskEvent::kStart, program.entry);
+  }
   if (preload_) preload_(*this, ref, program);
   return ref.tid;
 }
@@ -165,6 +169,7 @@ RunStats Machine::run(std::uint64_t max_total_insns) {
       if (!slice) break;
       Task* task = find_task(slice->tid);
       if (task == nullptr || !task->runnable()) continue;
+      note_task_switch(*task);
       run_slice(*task, slice->max_steps);
     }
     merge_nursery();
@@ -180,9 +185,10 @@ RunStats Machine::run(std::uint64_t max_total_insns) {
       if (!task->runnable()) continue;
       any_runnable = true;
       const std::uint64_t steps_before = total_insns_;
+      note_task_switch(*task);
       run_slice(*task, kSliceInsns);
-      if (slice_observer_ && total_insns_ > steps_before) {
-        slice_observer_(*task, total_insns_ - steps_before);
+      if (total_insns_ > steps_before) {
+        slice_observers_.notify(*task, total_insns_ - steps_before);
       }
       if (total_insns_ >= deadline) break;
     }
@@ -248,7 +254,9 @@ bool Machine::step_once(Task& task) {
                        ? costs_.insn_nop
                        : costs_.insn);
       ++task.insns_retired;
-      if (insn_observer_ && result.insn) insn_observer_(task, *result.insn);
+      if (!insn_observers_.empty() && result.insn) {
+        insn_observers_.notify(task, *result.insn);
+      }
       if (result.kind == cpu::ExecKind::kSyscall) syscall_entry_from_sim(task);
       return task.runnable();
     case cpu::ExecKind::kHostCall: {
@@ -431,6 +439,9 @@ bool Machine::intercept(Task& task, std::uint64_t nr,
       }
       if (rank(action) < rank(decisive)) decisive = action;
     }
+    if (auto* sink = trace_sink()) {
+      sink->on_seccomp_decision(task, nr, decisive);
+    }
     const std::uint32_t base = decisive & bpf::SECCOMP_RET_ACTION_FULL;
     if (base == bpf::SECCOMP_RET_KILL_PROCESS) {
       kill_process(*task.process, 128 + kSigsys, "seccomp: kill process");
@@ -517,7 +528,7 @@ std::uint64_t Machine::dispatch(Task& task, std::uint64_t nr,
                                 const std::array<std::uint64_t, 6>& args,
                                 SyscallOrigin origin) {
   ++task.syscalls_dispatched;
-  if (syscall_observer_) syscall_observer_(task, nr, args, origin);
+  syscall_observers_.notify(task, nr, args, origin);
   std::uint64_t result = sys_dispatch_table(task, nr, args);
 
   // ptrace syscall-exit stop.
@@ -612,7 +623,34 @@ const isa::Program* Machine::find_program(const std::string& name) const {
 }
 
 void Machine::adopt_task(std::unique_ptr<Task> task) {
+  attach_dcache_probe(*task);
   nursery_.push_back(std::move(task));
+}
+
+void Machine::attach_dcache_probe(Task& task) {
+#ifndef LZP_TRACE_DISABLED
+  // The Task is owned by a unique_ptr in tasks_/nursery_, so its address is
+  // stable for the listener's whole lifetime.
+  Task* t = &task;
+  task.dcache.set_invalidation_listener([this, t](std::uint64_t rip) {
+    if (auto* sink = trace_sink()) sink->on_decode_invalidation(*t, rip);
+  });
+#else
+  (void)task;
+#endif
+}
+
+void Machine::note_task_switch(const Task& task) {
+#ifndef LZP_TRACE_DISABLED
+  if (task.tid != last_sliced_tid_) {
+    if (auto* sink = trace_sink()) {
+      sink->on_task_event(task, TraceSink::TaskEvent::kSwitch, 0);
+    }
+  }
+  last_sliced_tid_ = task.tid;
+#else
+  (void)task;
+#endif
 }
 
 Tid Machine::allocate_tid() { return next_tid_++; }

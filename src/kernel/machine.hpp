@@ -23,6 +23,7 @@
 #include "kernel/net.hpp"
 #include "kernel/syscalls.hpp"
 #include "kernel/task.hpp"
+#include "kernel/trace_sink.hpp"
 #include "kernel/vfs.hpp"
 
 namespace lzp::kern {
@@ -149,31 +150,43 @@ class Machine {
   [[nodiscard]] std::uint64_t total_insns() const noexcept { return total_insns_; }
 
   // --- observers --------------------------------------------------------------
+  // Every observer kind is a multicast list: add_* registers a callback and
+  // returns a token; remove_* unregisters it. Multiple clients (replay's
+  // Recorder, the trace subsystem, pintool, user code) compose freely —
+  // callbacks fire in registration order.
+  using ObserverId = std::uint64_t;  // 0 is never a valid id
+
   // Called for every retired *simulated* instruction (pintool attaches here).
   using InsnObserver =
       std::function<void(const Task&, const isa::Instruction&)>;
-  void set_insn_observer(InsnObserver observer) { insn_observer_ = std::move(observer); }
+  ObserverId add_insn_observer(InsnObserver observer) {
+    return insn_observers_.add(std::move(observer), &next_observer_id_);
+  }
+  void remove_insn_observer(ObserverId id) { insn_observers_.remove(id); }
   // Called for every syscall that reaches the dispatcher, with its origin.
   enum class SyscallOrigin : std::uint8_t { kSimCode, kHostCode };
   using SyscallObserver = std::function<void(const Task&, std::uint64_t nr,
                                              const std::array<std::uint64_t, 6>&,
                                              SyscallOrigin)>;
-  void set_syscall_observer(SyscallObserver observer) {
-    syscall_observer_ = std::move(observer);
+  ObserverId add_syscall_observer(SyscallObserver observer) {
+    return syscall_observers_.add(std::move(observer), &next_observer_id_);
   }
+  void remove_syscall_observer(ObserverId id) { syscall_observers_.remove(id); }
 
   // --- record/replay hooks (src/replay) ---------------------------------------
   // Called after every scheduling slice run() executes, with the number of
   // machine steps (total_insns_ delta) the slice consumed — the recorder's
   // view of the scheduler's decisions.
   using SliceObserver = std::function<void(const Task&, std::uint64_t steps)>;
-  void set_slice_observer(SliceObserver observer) {
-    slice_observer_ = std::move(observer);
+  ObserverId add_slice_observer(SliceObserver observer) {
+    return slice_observers_.add(std::move(observer), &next_observer_id_);
   }
+  void remove_slice_observer(ObserverId id) { slice_observers_.remove(id); }
   // Replaces run()'s round-robin scheduler: run() repeatedly asks the hook
   // which task to run next and for how many steps, until it returns nullopt
   // (or the instruction budget is exhausted). Newly cloned tasks are merged
   // before every decision so the hook can schedule them immediately.
+  // Deliberately single-slot: two schedulers cannot both be in charge.
   struct SchedSlice {
     Tid tid = 0;
     std::uint64_t max_steps = kSliceInsns;
@@ -184,9 +197,10 @@ class Machine {
   // disposition is applied. `info.external` distinguishes signals queued via
   // post_signal() from ones the simulation generated itself.
   using SignalObserver = std::function<void(const Task&, const SigInfo&)>;
-  void set_signal_observer(SignalObserver observer) {
-    signal_observer_ = std::move(observer);
+  ObserverId add_signal_observer(SignalObserver observer) {
+    return signal_observers_.add(std::move(observer), &next_observer_id_);
   }
+  void remove_signal_observer(ObserverId id) { signal_observers_.remove(id); }
   // Queues an asynchronous signal from outside the simulation (a timer, an
   // operator, an unmodeled process). Marked external so a recorder knows the
   // delivery point must be re-forced on replay rather than re-derived.
@@ -201,9 +215,28 @@ class Machine {
   // "flags uncaptured nondeterminism in record mode").
   using NondetObserver =
       std::function<void(const Task&, std::uint64_t nr, NondetSource)>;
-  void set_nondet_observer(NondetObserver observer) {
-    nondet_observer_ = std::move(observer);
+  ObserverId add_nondet_observer(NondetObserver observer) {
+    return nondet_observers_.add(std::move(observer), &next_observer_id_);
   }
+  void remove_nondet_observer(ObserverId id) { nondet_observers_.remove(id); }
+
+  // --- trace probe (kernel/trace_sink.hpp) -------------------------------------
+  // The low-level observability sink the Machine and the interposer runtimes
+  // report into. One sink at a time (the sink itself may fan out); not owned.
+  // With LZP_TRACE_DISABLED the accessor is a constant nullptr and every
+  // probe call site compiles away.
+#ifdef LZP_TRACE_DISABLED
+  static constexpr TraceSink* trace_sink() noexcept { return nullptr; }
+  void set_trace_sink(TraceSink* /*sink*/) noexcept {}
+#else
+  // Filters out a disabled sink here, so call sites pay one load + branch
+  // instead of a virtual probe call that immediately returns.
+  [[nodiscard]] TraceSink* trace_sink() const noexcept {
+    return (trace_sink_ != nullptr && trace_sink_->enabled()) ? trace_sink_
+                                                              : nullptr;
+  }
+  void set_trace_sink(TraceSink* sink) noexcept { trace_sink_ = sink; }
+#endif
 
   // The machine-owned deterministic entropy stream: every kernel-side random
   // draw (sys_getrandom) comes from here, so "nondeterminism" is a seeded,
@@ -305,14 +338,48 @@ class Machine {
 
   std::map<Tid, TracerHooks> tracers_;
 
+  // Multicast observer list: ordered (registration order), id-addressed.
+  template <typename Fn>
+  struct ObserverList {
+    struct Slot {
+      ObserverId id;
+      Fn fn;
+    };
+    std::vector<Slot> slots;
+
+    ObserverId add(Fn fn, ObserverId* next_id) {
+      const ObserverId id = (*next_id)++;
+      slots.push_back(Slot{id, std::move(fn)});
+      return id;
+    }
+    void remove(ObserverId id) {
+      std::erase_if(slots, [id](const Slot& slot) { return slot.id == id; });
+    }
+    [[nodiscard]] bool empty() const noexcept { return slots.empty(); }
+    template <typename... Args>
+    void notify(Args&&... args) const {
+      for (const auto& slot : slots) slot.fn(args...);
+    }
+  };
+
   PreloadHook preload_;
-  InsnObserver insn_observer_;
-  SyscallObserver syscall_observer_;
-  SliceObserver slice_observer_;
+  ObserverId next_observer_id_ = 1;
+  ObserverList<InsnObserver> insn_observers_;
+  ObserverList<SyscallObserver> syscall_observers_;
+  ObserverList<SliceObserver> slice_observers_;
   ScheduleHook schedule_hook_;
-  SignalObserver signal_observer_;
-  NondetObserver nondet_observer_;
+  ObserverList<SignalObserver> signal_observers_;
+  ObserverList<NondetObserver> nondet_observers_;
   UserNotifHandler user_notif_;
+#ifndef LZP_TRACE_DISABLED
+  TraceSink* trace_sink_ = nullptr;
+  // Last tid handed a slice by run(), for task-switch trace events.
+  Tid last_sliced_tid_ = 0;
+#endif
+  // Installs the decode-cache invalidation probe on a freshly created task.
+  void attach_dcache_probe(Task& task);
+  // Emits a kSwitch trace event when the scheduler picks a different task.
+  void note_task_switch(const Task& task);
   Xoshiro256 rng_{0x1A5F'9E37ULL};
   // Program registry; mutable so the find path can cache images parsed from
   // their on-disk (VFS) LZPF form.
@@ -327,7 +394,7 @@ class Machine {
   std::vector<std::unique_ptr<Task>> nursery_;
   void merge_nursery();
   void notify_nondet(const Task& task, std::uint64_t nr, NondetSource source) {
-    if (nondet_observer_) nondet_observer_(task, nr, source);
+    nondet_observers_.notify(task, nr, source);
   }
 };
 

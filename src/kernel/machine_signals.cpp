@@ -27,7 +27,8 @@ bool default_fatal(int sig) noexcept {
 
 void Machine::deliver_signal(Task& task, const SigInfo& info) {
   if (!task.runnable()) return;
-  if (signal_observer_) signal_observer_(task, info);
+  signal_observers_.notify(task, info);
+  if (auto* sink = trace_sink()) sink->on_signal_delivery(task, info);
   const SigAction action = task.process->sigactions[info.signo];
 
   if (action.handler == kSigIgn) {
@@ -100,6 +101,10 @@ std::uint64_t Machine::do_rt_sigreturn(Task& task) {
 }
 
 void Machine::exit_task(Task& task, int code) {
+  if (auto* sink = trace_sink()) {
+    sink->on_task_event(task, TraceSink::TaskEvent::kExit,
+                        static_cast<std::uint64_t>(code));
+  }
   task.state = TaskState::kExited;
   task.exit_code = code;
   // Threads: if this was the last task of the process, the process exits.
@@ -117,6 +122,10 @@ void Machine::exit_task(Task& task, int code) {
 }
 
 void Machine::exit_process(Task& task, int code) {
+  if (auto* sink = trace_sink()) {
+    sink->on_task_event(task, TraceSink::TaskEvent::kExit,
+                        static_cast<std::uint64_t>(code));
+  }
   task.process->exited = true;
   task.process->exit_code = code;
   for (auto& [tid, other] : tasks_) {

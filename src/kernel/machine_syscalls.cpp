@@ -711,6 +711,9 @@ std::uint64_t Machine::do_clone(Task& parent, std::uint64_t flags,
 
   const Tid child_tid = child->tid;
   adopt_task(std::move(child));
+  if (auto* sink = trace_sink()) {
+    sink->on_task_event(parent, TraceSink::TaskEvent::kClone, child_tid);
+  }
   return child_tid;
 }
 
@@ -749,6 +752,9 @@ std::uint64_t Machine::do_execve(Task& task, std::uint64_t path_ptr) {
   task.altstack = AltStack{};
   task.sud = SudState{};
 
+  if (auto* sink = trace_sink()) {
+    sink->on_task_event(task, TraceSink::TaskEvent::kExecve, 0);
+  }
   if (preload_) preload_(*this, task, *program);
   return 0;
 }

@@ -26,7 +26,15 @@ Status PtraceMechanism::install(kern::Machine& machine, kern::Tid tid,
         [](std::uint64_t, const std::array<std::uint64_t, 6>&) {
           return std::uint64_t{0};  // does not return; nothing to observe
         });
+    // exit/exit_group never reach the exit stop, so the trace span closes
+    // here (zero result by convention).
+    if (auto* sink = machine.trace_sink()) {
+      sink->on_interpose_enter(tracee, nr, kern::InterposeMechanism::kPtrace);
+    }
     (void)handler->handle(ictx);
+    if (auto* sink = machine.trace_sink()) {
+      sink->on_interpose_exit(tracee, nr, kern::InterposeMechanism::kPtrace, 0);
+    }
   };
   // Still at the entry stop: an injecting handler (replay) may rewrite
   // orig_rax to -1 so the kernel skips execution, then materialize the
@@ -65,9 +73,19 @@ Status PtraceMechanism::install(kern::Machine& machine, kern::Tid tid,
           return observed;
         });
     // The tracer may overwrite the result (PTRACE_SETREGS).
+    if (auto* sink = machine.trace_sink()) {
+      sink->on_interpose_enter(tracee, nr, kern::InterposeMechanism::kPtrace);
+    }
     result = handler->handle(ictx);
+    if (auto* sink = machine.trace_sink()) {
+      sink->on_interpose_exit(tracee, nr, kern::InterposeMechanism::kPtrace,
+                              result);
+    }
   };
   machine.attach_tracer(tid, std::move(hooks));
+  if (auto* sink = machine.trace_sink()) {
+    sink->on_mechanism_install(*task, kern::InterposeMechanism::kPtrace);
+  }
   return Status::ok();
 }
 

@@ -12,6 +12,11 @@ Status attach(kern::Machine& machine, kern::Tid tid,
   LZP_RETURN_IF_ERROR(bpf::validate(program, bpf::SeccompData::kSize));
   task->seccomp.push_back(
       std::make_shared<const std::vector<bpf::Insn>>(std::move(program)));
+  // Per-syscall decisions are traced kernel-side (Machine::intercept emits
+  // on_seccomp_decision); only the arming is reported from here.
+  if (auto* sink = machine.trace_sink()) {
+    sink->on_mechanism_install(*task, kern::InterposeMechanism::kSeccompBpf);
+  }
   return Status::ok();
 }
 

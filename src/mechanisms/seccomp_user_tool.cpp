@@ -26,7 +26,17 @@ Status SeccompUserMechanism::install(
                                 const std::array<std::uint64_t, 6>& a) {
               return machine.supervised_dispatch(target, n, a);
             });
-        return handler->handle(ictx);
+        if (auto* sink = machine.trace_sink()) {
+          sink->on_interpose_enter(target, nr,
+                                   kern::InterposeMechanism::kSeccompUser);
+        }
+        const std::uint64_t result = handler->handle(ictx);
+        if (auto* sink = machine.trace_sink()) {
+          sink->on_interpose_exit(target, nr,
+                                  kern::InterposeMechanism::kSeccompUser,
+                                  result);
+        }
+        return result;
       });
 
   // Target side: defer every syscall.
@@ -34,6 +44,9 @@ Status SeccompUserMechanism::install(
       bpf::SECCOMP_RET_USER_NOTIF);
   task->seccomp.push_back(
       std::make_shared<const std::vector<bpf::Insn>>(std::move(program)));
+  if (auto* sink = machine.trace_sink()) {
+    sink->on_mechanism_install(*task, kern::InterposeMechanism::kSeccompUser);
+  }
   return Status::ok();
 }
 

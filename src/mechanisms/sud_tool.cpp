@@ -22,6 +22,7 @@ void set_selector(kern::Machine& machine, kern::Task& task,
                   std::uint64_t selector_addr, std::uint8_t value) {
   machine.charge(task, machine.costs().gs_selector_flip);
   (void)task.mem->write_force(selector_addr, {&value, 1});
+  if (auto* sink = machine.trace_sink()) sink->on_selector_flip(task, value);
 }
 
 }  // namespace
@@ -79,7 +80,15 @@ Status SudMechanism::install(kern::Machine& machine, kern::Tid tid,
             [&frame](std::uint64_t nr, const std::array<std::uint64_t, 6>& args) {
               return frame.syscall(nr, args);
             });
+        if (auto* sink = frame.machine.trace_sink()) {
+          sink->on_interpose_enter(task, req.nr,
+                                   kern::InterposeMechanism::kSud);
+        }
         const std::uint64_t result = handler->handle(ictx);
+        if (auto* sink = frame.machine.trace_sink()) {
+          sink->on_interpose_exit(task, req.nr,
+                                  kern::InterposeMechanism::kSud, result);
+        }
 
         // 3. Write the result into the interrupted context (the application
         //    resumes right after its syscall instruction with rax set).
@@ -103,6 +112,9 @@ Status SudMechanism::install(kern::Machine& machine, kern::Tid tid,
   task->sud.selector_addr = runtime.selector_addr();
   task->sud.allow_start = runtime.stub_addr();
   task->sud.allow_len = 16;
+  if (auto* sink = machine.trace_sink()) {
+    sink->on_mechanism_install(*task, kern::InterposeMechanism::kSud);
+  }
   return Status::ok();
 }
 

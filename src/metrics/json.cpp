@@ -1,0 +1,86 @@
+#include "metrics/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lzp::metrics {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::add(std::string_view key, std::string_view value) {
+  fields_.emplace_back(std::string(key), "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::add(std::string_view key, std::uint64_t value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::add(std::string_view key, std::int64_t value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::add(std::string_view key, double value) {
+  // JSON has no inf/NaN literals; null is the conventional stand-in.
+  if (!std::isfinite(value)) {
+    fields_.emplace_back(std::string(key), "null");
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  fields_.emplace_back(std::string(key), buf);
+  return *this;
+}
+
+JsonObject& JsonObject::add(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::add_raw(std::string_view key, std::string_view json) {
+  fields_.emplace_back(std::string(key), std::string(json));
+  return *this;
+}
+
+std::string JsonObject::render() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  return out + "}";
+}
+
+std::string json_array(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += elements[i];
+  }
+  return out + "]";
+}
+
+}  // namespace lzp::metrics

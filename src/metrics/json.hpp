@@ -1,0 +1,51 @@
+// Minimal JSON emission shared by the bench binaries and the trace exporter.
+//
+// Every BENCH_*.json artifact and the Chrome trace-event export used to be
+// hand-rolled snprintf strings scattered across bench/; JsonObject centralizes
+// escaping and comma placement so a malformed key can't silently corrupt an
+// artifact the CI gate parses. Emission only — parsing (tests only) lives in
+// the tests that need it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lzp::metrics {
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included): backslash, quote, and control characters.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+// Order-preserving JSON object builder. Values added via add() are escaped /
+// formatted; add_raw() splices pre-rendered JSON (a nested object or array).
+class JsonObject {
+ public:
+  JsonObject& add(std::string_view key, std::string_view value);
+  JsonObject& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  JsonObject& add(std::string_view key, std::uint64_t value);
+  JsonObject& add(std::string_view key, std::int64_t value);
+  JsonObject& add(std::string_view key, int value) {
+    return add(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& add(std::string_view key, unsigned value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  JsonObject& add(std::string_view key, double value);
+  JsonObject& add(std::string_view key, bool value);
+  // Splices `json` verbatim as the value (caller guarantees validity).
+  JsonObject& add_raw(std::string_view key, std::string_view json);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Renders a JSON array from pre-rendered element strings.
+[[nodiscard]] std::string json_array(const std::vector<std::string>& elements);
+
+}  // namespace lzp::metrics

@@ -1,6 +1,7 @@
 #include "metrics/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/strings.hpp"
 
@@ -54,6 +55,10 @@ void Series::add_point(std::string x, std::vector<double> values, int decimals) 
 std::string Series::render() const { return table_.render(); }
 
 std::string ratio(double value, int decimals) {
+  // A ratio of a cycle/time measurement is only meaningful when positive and
+  // finite; a zero or failed baseline otherwise renders as "inf x" / "-0.5x"
+  // in tables the benches publish.
+  if (!std::isfinite(value) || value <= 0.0) return "n/a";
   return format_double(value, decimals) + "x";
 }
 

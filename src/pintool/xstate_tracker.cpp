@@ -45,11 +45,11 @@ bool XstateTracker::tracked(isa::RegClass cls, std::uint8_t index) noexcept {
 }
 
 void XstateTracker::attach(kern::Machine& machine) {
-  machine.set_insn_observer(
+  insn_obs_id_ = machine.add_insn_observer(
       [this](const kern::Task& task, const isa::Instruction& insn) {
         on_insn(task, insn);
       });
-  machine.set_syscall_observer(
+  syscall_obs_id_ = machine.add_syscall_observer(
       [this](const kern::Task& task, std::uint64_t nr,
              const std::array<std::uint64_t, 6>&,
              kern::Machine::SyscallOrigin origin) {
@@ -62,8 +62,9 @@ void XstateTracker::attach(kern::Machine& machine) {
 }
 
 void XstateTracker::detach(kern::Machine& machine) {
-  machine.set_insn_observer(nullptr);
-  machine.set_syscall_observer(nullptr);
+  machine.remove_insn_observer(insn_obs_id_);
+  machine.remove_syscall_observer(syscall_obs_id_);
+  insn_obs_id_ = syscall_obs_id_ = 0;
 }
 
 void XstateTracker::reset() {

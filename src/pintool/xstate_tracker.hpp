@@ -42,8 +42,8 @@ struct Report {
 
 class XstateTracker {
  public:
-  // Replaces the machine's instruction & syscall observers. Only one
-  // tracker can be attached to a machine at a time.
+  // Registers instruction & syscall observers on the machine's multicast
+  // lists; composes with other observers (replay, tracing).
   void attach(kern::Machine& machine);
   void detach(kern::Machine& machine);
 
@@ -70,6 +70,8 @@ class XstateTracker {
   std::map<kern::Tid, TaskState> tasks_;
   std::map<kern::Tid, std::uint64_t> last_rip_;
   Report report_;
+  kern::Machine::ObserverId insn_obs_id_ = 0;
+  kern::Machine::ObserverId syscall_obs_id_ = 0;
 };
 
 }  // namespace lzp::pintool

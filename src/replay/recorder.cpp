@@ -107,10 +107,11 @@ void Recorder::attach(kern::Machine& machine, std::uint64_t rng_seed,
   trace_.header.mechanism = std::move(mechanism);
   trace_.header.workload = std::move(workload);
 
-  machine.set_slice_observer([this](const kern::Task& task, std::uint64_t steps) {
-    trace_.events.push_back(ScheduleEvent{task.tid, steps});
-  });
-  machine.set_signal_observer(
+  slice_obs_id_ = machine.add_slice_observer(
+      [this](const kern::Task& task, std::uint64_t steps) {
+        trace_.events.push_back(ScheduleEvent{task.tid, steps});
+      });
+  signal_obs_id_ = machine.add_signal_observer(
       [this, &machine](const kern::Task& task, const kern::SigInfo& info) {
         SignalEvent event;
         event.tid = task.tid;
@@ -126,18 +127,20 @@ void Recorder::attach(kern::Machine& machine, std::uint64_t rng_seed,
         event.machine_insns = machine.total_insns();
         trace_.events.push_back(event);
       });
-  machine.set_nondet_observer([this](const kern::Task& task, std::uint64_t nr,
-                                     kern::Machine::NondetSource source) {
-    NondetEvent event{task.tid, nr, static_cast<std::uint8_t>(source)};
-    trace_.events.push_back(event);
-    unclaimed_nondet_.push_back(event);
-  });
+  nondet_obs_id_ = machine.add_nondet_observer(
+      [this](const kern::Task& task, std::uint64_t nr,
+             kern::Machine::NondetSource source) {
+        NondetEvent event{task.tid, nr, static_cast<std::uint8_t>(source)};
+        trace_.events.push_back(event);
+        unclaimed_nondet_.push_back(event);
+      });
 }
 
 void Recorder::detach(kern::Machine& machine) {
-  machine.set_slice_observer({});
-  machine.set_signal_observer({});
-  machine.set_nondet_observer({});
+  machine.remove_slice_observer(slice_obs_id_);
+  machine.remove_signal_observer(signal_obs_id_);
+  machine.remove_nondet_observer(nondet_obs_id_);
+  slice_obs_id_ = signal_obs_id_ = nondet_obs_id_ = 0;
 }
 
 bool Recorder::pre_execute(interpose::InterposeContext& ctx, std::uint64_t*) {

@@ -76,6 +76,9 @@ class Recorder final : public interpose::SyscallHandler {
 
   std::shared_ptr<interpose::SyscallHandler> inner_;
   Trace trace_;
+  kern::Machine::ObserverId slice_obs_id_ = 0;
+  kern::Machine::ObserverId signal_obs_id_ = 0;
+  kern::Machine::ObserverId nondet_obs_id_ = 0;
   EntryCapture pending_entry_;  // ptrace: set at entry stop, used at exit stop
   // Nondet notifications not yet claimed by a captured syscall event.
   std::vector<NondetEvent> unclaimed_nondet_;

@@ -41,7 +41,7 @@ void Replayer::attach(kern::Machine& machine) {
   machine.reseed_rng(trace_.header.rng_seed);
   machine.set_schedule_hook(
       [this](kern::Machine& m) { return next_slice(m); });
-  machine.set_signal_observer(
+  signal_obs_id_ = machine.add_signal_observer(
       [this](const kern::Task& task, const kern::SigInfo& info) {
         on_signal(task, info);
       });
@@ -49,7 +49,8 @@ void Replayer::attach(kern::Machine& machine) {
 
 void Replayer::detach(kern::Machine& machine) {
   machine.set_schedule_hook({});
-  machine.set_signal_observer({});
+  machine.remove_signal_observer(signal_obs_id_);
+  signal_obs_id_ = 0;
 }
 
 void Replayer::diverge(std::string message) {

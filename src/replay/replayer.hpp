@@ -71,6 +71,7 @@ class Replayer final : public interpose::SyscallHandler {
   std::optional<kern::Machine::SchedSlice> next_slice(kern::Machine& machine);
   void on_signal(const kern::Task& task, const kern::SigInfo& info);
 
+  kern::Machine::ObserverId signal_obs_id_ = 0;
   Trace trace_;
   // Per-kind index vectors into trace_.events (the trace stays in recorded
   // global order; cursors advance independently per kind).

@@ -1,0 +1,152 @@
+#include "trace/export.hpp"
+
+#include <string>
+#include <vector>
+
+#include "base/strings.hpp"
+#include "kernel/syscalls.hpp"
+#include "metrics/json.hpp"
+#include "metrics/report.hpp"
+
+namespace lzp::trace {
+namespace {
+
+using metrics::JsonObject;
+
+std::string event_name(const Event& event) {
+  switch (event.type) {
+    case EventType::kSyscallEnter:
+    case EventType::kSyscallExit:
+      return std::string(kern::syscall_name(event.a));
+    case EventType::kSignal:
+      return "signal " + std::string(kern::signal_name(static_cast<int>(event.a)));
+    case EventType::kSeccompDecision:
+      return "seccomp " + std::string(kern::syscall_name(event.a));
+    default:
+      return std::string(to_string(event.type));
+  }
+}
+
+std::string instant_args(const Event& event) {
+  JsonObject args;
+  switch (event.type) {
+    case EventType::kSelectorFlip:
+      args.add("selector", event.a);
+      break;
+    case EventType::kSignal:
+      args.add("signo", event.a).add("code", event.b).add("syscall_nr", event.c);
+      break;
+    case EventType::kSiteRewrite:
+    case EventType::kDecodeInvalidation:
+      args.add("addr", hex_u64(event.a));
+      break;
+    case EventType::kSeccompDecision:
+      args.add("nr", event.a).add("action", event.b);
+      break;
+    case EventType::kTaskStart:
+      args.add("entry", hex_u64(event.a));
+      break;
+    case EventType::kClone:
+      args.add("child_tid", event.a);
+      break;
+    case EventType::kTaskExit:
+      args.add("exit_code", event.a);
+      break;
+    default:
+      break;
+  }
+  return args.render();
+}
+
+}  // namespace
+
+std::string export_chrome_json(const FlightRecorder& ring,
+                               std::uint64_t dropped) {
+  std::vector<std::string> events;
+  events.reserve(ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const Event& event = ring.at(i);
+    JsonObject obj;
+    if (event.type == EventType::kSyscallExit) {
+      // A completed interposition: one "X" span covering enter..exit.
+      obj.add("name", event_name(event))
+          .add("cat", kern::to_string(event.mech))
+          .add("ph", "X")
+          .add("ts", event.cycles - event.c)
+          .add("dur", event.c)
+          .add("pid", 1)
+          .add("tid", static_cast<std::uint64_t>(event.tid));
+      obj.add_raw("args", JsonObject()
+                              .add("nr", event.a)
+                              .add("result", static_cast<std::int64_t>(event.b))
+                              .render());
+    } else if (event.type == EventType::kSyscallEnter) {
+      // The matching exit carries the span; skip to avoid double-drawing.
+      continue;
+    } else {
+      obj.add("name", event_name(event))
+          .add("cat", event.mech == kern::InterposeMechanism::kNone
+                          ? std::string_view("kernel")
+                          : kern::to_string(event.mech))
+          .add("ph", "i")
+          .add("ts", event.cycles)
+          .add("pid", 1)
+          .add("tid", static_cast<std::uint64_t>(event.tid))
+          .add("s", "t");  // thread-scoped instant
+      obj.add_raw("args", instant_args(event));
+    }
+    events.push_back(obj.render());
+  }
+
+  JsonObject root;
+  root.add_raw("traceEvents", metrics::json_array(events));
+  root.add("displayTimeUnit", "ns");
+  root.add_raw("otherData", JsonObject()
+                                .add("clock", "simulated-cycles")
+                                .add("droppedEvents", dropped)
+                                .render());
+  return root.render();
+}
+
+std::string export_chrome_json(const Tracer& tracer) {
+  return export_chrome_json(tracer.ring(), tracer.ring().dropped());
+}
+
+std::string render_summary(const MetricsRegistry& registry,
+                           const FlightRecorder& ring) {
+  std::string out;
+
+  out += "== counters ==\n";
+  std::vector<std::pair<std::string, std::uint64_t>> counters(
+      registry.counters().begin(), registry.counters().end());
+  counters.emplace_back("ring.events", ring.size());
+  counters.emplace_back("ring.dropped", ring.dropped());
+  out += metrics::counters_table(counters);
+
+  out += "\n== interposition latency (cycles) ==\n";
+  metrics::Table table(
+      {"syscall", "mechanism", "count", "mean", "stddev", "p-bucket"});
+  for (const auto& [key, hist] : registry.histograms()) {
+    // The widest populated log2 bucket: "[512, 1024)" style.
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      if (hist.buckets[i] != 0) top = i;
+    }
+    const std::uint64_t lo = top == 0 ? 0 : (1ULL << top);
+    table.add_row({std::string(kern::syscall_name(key.nr)),
+                   std::string(kern::to_string(key.mech)),
+                   std::to_string(hist.total()),
+                   format_double(hist.stats.mean(), 1),
+                   format_double(hist.stats.stddev(), 1),
+                   "[" + std::to_string(lo) + ", " +
+                       std::to_string(1ULL << (top + 1)) + ")"});
+  }
+  out += table.render();
+  return out;
+}
+
+std::string render_summary(const Tracer& tracer) {
+  return render_summary(tracer.metrics(), tracer.ring());
+}
+
+}  // namespace lzp::trace

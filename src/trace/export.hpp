@@ -1,0 +1,36 @@
+// Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and a
+// human-readable summary.
+//
+// The JSON follows the Trace Event Format's JSON-object flavor:
+//   {"traceEvents": [...], "displayTimeUnit": "ns", ...}
+// One track per task (pid 1, tid = sim tid). Completed interpositions become
+// "X" (complete) events reconstructed from kSyscallExit — ts is the enter
+// stamp (exit cycles minus latency), dur the cycle latency, cat the
+// mechanism — so Perfetto renders each syscall as a span whose category
+// filter isolates one mechanism. Everything else (rewrites, SIGSYS, selector
+// flips, task lifecycle) becomes "i" (instant) events. Cycle stamps are
+// emitted as microseconds 1:1; the unit label is cosmetic, relative spans
+// are what the view is for.
+#pragma once
+
+#include <string>
+
+#include "trace/flight_recorder.hpp"
+#include "trace/metrics_registry.hpp"
+#include "trace/tracer.hpp"
+
+namespace lzp::trace {
+
+// Chrome trace-event / Perfetto JSON for the ring's surviving events.
+// `dropped` events (ring overflow) are recorded in the top-level metadata.
+[[nodiscard]] std::string export_chrome_json(const FlightRecorder& ring,
+                                             std::uint64_t dropped);
+[[nodiscard]] std::string export_chrome_json(const Tracer& tracer);
+
+// Human-readable rollup: counter table plus a per-(syscall, mechanism)
+// latency table with count/mean/stddev/min-bucket/max-bucket columns.
+[[nodiscard]] std::string render_summary(const MetricsRegistry& metrics,
+                                         const FlightRecorder& ring);
+[[nodiscard]] std::string render_summary(const Tracer& tracer);
+
+}  // namespace lzp::trace

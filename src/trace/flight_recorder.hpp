@@ -1,0 +1,57 @@
+// Fixed-capacity ring buffer of trace events.
+//
+// The recorder is "flight data" style: always writing, bounded memory, the
+// newest `capacity` events survive. When full it overwrites the oldest event
+// and counts the casualty in dropped() — consumers can tell a complete trace
+// (dropped() == 0) from a truncated one, and the exporter stamps the count
+// into the JSON so a truncated Perfetto view is never mistaken for the whole
+// run.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/events.hpp"
+
+namespace lzp::trace {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : buf_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const Event& event) noexcept {
+    buf_[write_] = event;
+    write_ = (write_ + 1) % buf_.size();
+    if (count_ < buf_.size()) {
+      ++count_;
+    } else {
+      ++dropped_;  // overwrote the oldest event
+    }
+  }
+
+  // Oldest-first access: at(0) is the oldest surviving event.
+  [[nodiscard]] const Event& at(std::size_t i) const noexcept {
+    return buf_[(write_ + buf_.size() - count_ + i) % buf_.size()];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  void clear() noexcept {
+    write_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t write_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lzp::trace

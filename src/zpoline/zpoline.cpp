@@ -69,6 +69,7 @@ Status ZpolineMechanism::rewrite_site(kern::Machine& machine, kern::Task& task,
       task.mem->protect(page, span, mem::kProtRead | mem::kProtWrite));
   const std::uint8_t call_rax[2] = {isa::kByteFF, isa::kByteCallRax2};
   LZP_RETURN_IF_ERROR(task.mem->write_force(site_addr, call_rax));
+  if (auto* sink = machine.trace_sink()) sink->on_site_rewrite(task, site_addr);
   return task.mem->protect(page, span, *old_prot);
 }
 
@@ -108,7 +109,15 @@ Status ZpolineMechanism::install(kern::Machine& machine, kern::Tid tid,
               }
               return result;
             });
+        if (auto* sink = frame.machine.trace_sink()) {
+          sink->on_interpose_enter(frame.task, req.nr,
+                                   kern::InterposeMechanism::kZpoline);
+        }
         const std::uint64_t result = handler->handle(ictx);
+        if (auto* sink = frame.machine.trace_sink()) {
+          sink->on_interpose_exit(frame.task, req.nr,
+                                  kern::InterposeMechanism::kZpoline, result);
+        }
         // zpoline preserves general-purpose registers only: extended state
         // is deliberately NOT saved/restored (paper §IV-B) — any xstate use
         // by the handler leaks into the application.
@@ -125,6 +134,9 @@ Status ZpolineMechanism::install(kern::Machine& machine, kern::Tid tid,
   for (std::uint64_t site : scan_result.syscall_sites) {
     LZP_RETURN_IF_ERROR(rewrite_site(machine, *task, site));
     ++stats_.sites_rewritten;
+  }
+  if (auto* sink = machine.trace_sink()) {
+    sink->on_mechanism_install(*task, kern::InterposeMechanism::kZpoline);
   }
   return Status::ok();
 }

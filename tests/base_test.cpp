@@ -141,6 +141,18 @@ TEST(StatsTest, EmptyInputs) {
   EXPECT_EQ(median({}), 0.0);
 }
 
+TEST(StatsTest, StddevPctEdgeCases) {
+  // Zero mean must not divide by zero.
+  const double zero_mean[] = {-1.0, 1.0};
+  EXPECT_EQ(stddev_pct(zero_mean), 0.0);
+  std::span<const double> empty;
+  EXPECT_EQ(stddev_pct(empty), 0.0);
+  // Negative mean: spread relative to magnitude, never a negative percent.
+  const double negative[] = {-4.0, -6.0};
+  EXPECT_GT(stddev_pct(negative), 0.0);
+  EXPECT_NEAR(stddev_pct(negative), 100.0 * stddev(negative) / 5.0, 1e-9);
+}
+
 TEST(StatsTest, MedianOddEven) {
   EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);

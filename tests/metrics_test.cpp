@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "metrics/json.hpp"
 #include "metrics/report.hpp"
 
 namespace lzp::metrics {
@@ -46,6 +49,38 @@ TEST(FormattersTest, RatioAndPercent) {
   EXPECT_EQ(ratio(2.375), "2.38x");
   EXPECT_EQ(ratio(20.8, 1), "20.8x");
   EXPECT_EQ(percent(94.716), "94.72%");
+}
+
+TEST(FormattersTest, RatioRejectsDegenerateValues) {
+  // A ratio against a zero/failed baseline is meaningless, not "infx".
+  EXPECT_EQ(ratio(0.0), "n/a");
+  EXPECT_EQ(ratio(-1.5), "n/a");
+  EXPECT_EQ(ratio(std::numeric_limits<double>::infinity()), "n/a");
+  EXPECT_EQ(ratio(std::numeric_limits<double>::quiet_NaN()), "n/a");
+}
+
+TEST(JsonTest, EscapesAndRenders) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  JsonObject obj;
+  obj.add("name", "web\"server");
+  obj.add("count", std::uint64_t{42});
+  obj.add("delta", std::int64_t{-7});
+  obj.add("ratio", 2.5);
+  obj.add("ok", true);
+  obj.add("bad", std::numeric_limits<double>::quiet_NaN());
+  const std::string out = obj.render();
+  EXPECT_EQ(out,
+            "{\"name\": \"web\\\"server\", \"count\": 42, \"delta\": -7, "
+            "\"ratio\": 2.5, \"ok\": true, \"bad\": null}");
+}
+
+TEST(JsonTest, ArrayAndRaw) {
+  JsonObject inner;
+  inner.add("x", std::uint64_t{1});
+  JsonObject root;
+  root.add_raw("items", json_array({inner.render(), inner.render()}));
+  EXPECT_EQ(root.render(), "{\"items\": [{\"x\": 1}, {\"x\": 1}]}");
+  EXPECT_EQ(json_array({}), "[]");
 }
 
 }  // namespace
