@@ -1,0 +1,216 @@
+// Superblock-engine throughput gate.
+//
+// Every workload here runs twice on otherwise-identical machines, differing
+// only in `block_exec_enabled`: the per-instruction reference path (decode
+// cache on — the baseline the speedup is measured against) vs the superblock
+// engine. Two claims are enforced:
+//   (1) determinism — simulated cycles, retired instructions, machine steps
+//       and exit codes are bit-identical between the two configurations, for
+//       the straight-line workload and for each interposition mechanism's
+//       micro loop (native / SUD / zpoline / lazypoline);
+//   (2) throughput — the engine runs the straight-line workload at least
+//       kSpeedupGate x faster in host wall time (min-of-N to shed scheduler
+//       noise).
+// Results land in BENCH_block_exec.json for scripts/check.sh.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/strings.hpp"
+#include "bench_util.hpp"
+#include "metrics/report.hpp"
+
+namespace {
+using namespace lzp;
+
+constexpr std::uint64_t kStraightLineIters = 20'000;
+constexpr int kUnroll = 24;  // arithmetic ops per loop body → long blocks
+constexpr std::uint64_t kMicroIters = 2'000;
+constexpr int kReps = 7;
+constexpr double kSpeedupGate = 1.5;
+
+// The throughput workload: a hot loop whose body is a long straight-line run
+// of arithmetic, so nearly every retired instruction is eligible for batched
+// dispatch (the loop branch ends each block).
+isa::Program make_straight_line(std::uint64_t iterations) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, iterations);
+  a.mov(isa::Gpr::rcx, 0);
+  a.bind(loop);
+  for (int i = 0; i < kUnroll; ++i) {
+    a.add(isa::Gpr::rcx, static_cast<std::uint64_t>(i + 1));
+  }
+  a.sub(isa::Gpr::rbx, 1);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jnz(loop);
+  apps::emit_exit(a, 0);
+  return bench::unwrap(isa::make_program("block-straight-line", a, entry),
+                       "assemble straight-line");
+}
+
+struct RunResult {
+  double wall_ms = 1e18;  // min over kReps
+  std::uint64_t cycles = 0;
+  std::uint64_t insns = 0;
+  std::uint64_t steps = 0;
+  int exit_code = -1;
+  cpu::BlockCacheStats bcache;
+  cpu::DataTlbStats dtlb;
+};
+
+RunResult run_config(const isa::Program& program, bool engine_on,
+                     const bench::Setup& setup) {
+  RunResult result;
+  for (int rep = 0; rep < kReps; ++rep) {
+    kern::Machine machine;
+    machine.mmap_min_addr = 0;
+    machine.block_exec_enabled = engine_on;
+    machine.register_program(program);
+    const kern::Tid tid = bench::unwrap(machine.load(program), "load");
+    if (setup) setup(machine, tid);
+    const auto start = std::chrono::steady_clock::now();
+    const auto stats = machine.run();
+    const auto end = std::chrono::steady_clock::now();
+    if (!stats.all_exited) {
+      bench::die("machine did not quiesce: " + machine.last_fatal());
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    result.wall_ms = std::min(result.wall_ms, ms);
+    if (rep > 0 && result.cycles != machine.total_cycles()) {
+      bench::die("simulated cycles varied between repetitions");
+    }
+    result.cycles = machine.total_cycles();
+    result.insns = machine.total_insns();
+    result.steps = machine.total_steps();
+    result.exit_code = machine.find_task(tid)->exit_code;
+    result.bcache = machine.block_cache_totals();
+    result.dtlb = machine.data_tlb_totals();
+  }
+  return result;
+}
+
+// Dies unless the two configurations agree on every simulated observable.
+void require_identical(const std::string& workload, const RunResult& ref,
+                       const RunResult& block) {
+  if (ref.cycles != block.cycles || ref.insns != block.insns ||
+      ref.steps != block.steps || ref.exit_code != block.exit_code) {
+    std::fprintf(stderr,
+                 "FAIL: %s diverged between engines:\n"
+                 "  reference: cycles=%llu insns=%llu steps=%llu exit=%d\n"
+                 "  block:     cycles=%llu insns=%llu steps=%llu exit=%d\n",
+                 workload.c_str(),
+                 static_cast<unsigned long long>(ref.cycles),
+                 static_cast<unsigned long long>(ref.insns),
+                 static_cast<unsigned long long>(ref.steps), ref.exit_code,
+                 static_cast<unsigned long long>(block.cycles),
+                 static_cast<unsigned long long>(block.insns),
+                 static_cast<unsigned long long>(block.steps),
+                 block.exit_code);
+    std::exit(1);
+  }
+}
+
+std::string result_json(const std::string& workload, const std::string& config,
+                        const RunResult& r, double speedup) {
+  return metrics::JsonObject()
+      .add("workload", workload)
+      .add("config", config)
+      .add("wall_ms", r.wall_ms)
+      .add("speedup_x", speedup)
+      .add("sim_cycles", r.cycles)
+      .add("insns_retired", r.insns)
+      .add("machine_steps", r.steps)
+      .add("bcache_hits", r.bcache.hits)
+      .add("bcache_misses", r.bcache.misses)
+      .add("bcache_blocks_built", r.bcache.blocks_built)
+      .add("bcache_invalidations", r.bcache.invalidations)
+      .add("dtlb_read_hits", r.dtlb.read_hits)
+      .add("dtlb_write_hits", r.dtlb.write_hits)
+      .render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_block_exec.json";
+  std::vector<std::string> results;
+
+  // --- straight-line throughput + gate --------------------------------------
+  const auto program = make_straight_line(kStraightLineIters);
+  const RunResult ref = run_config(program, /*engine_on=*/false, nullptr);
+  const RunResult blk = run_config(program, /*engine_on=*/true, nullptr);
+  require_identical("straight-line", ref, blk);
+  if (blk.bcache.hits == 0) {
+    std::fprintf(stderr, "FAIL: engine-on run recorded no block-cache hits\n");
+    return 1;
+  }
+  const double speedup = ref.wall_ms / blk.wall_ms;
+
+  metrics::Table table(
+      {"workload", "config", "wall ms (min)", "speedup", "sim cycles",
+       "insns", "steps", "bcache hits"});
+  table.add_row({"straight-line", "reference", format_double(ref.wall_ms, 3),
+                 metrics::ratio(1.0), std::to_string(ref.cycles),
+                 std::to_string(ref.insns), std::to_string(ref.steps),
+                 std::to_string(ref.bcache.hits)});
+  table.add_row({"straight-line", "block", format_double(blk.wall_ms, 3),
+                 metrics::ratio(speedup), std::to_string(blk.cycles),
+                 std::to_string(blk.insns), std::to_string(blk.steps),
+                 std::to_string(blk.bcache.hits)});
+  results.push_back(result_json("straight-line", "reference", ref, 1.0));
+  results.push_back(result_json("straight-line", "block", blk, speedup));
+
+  // --- per-mechanism micro-loop determinism ---------------------------------
+  // The interposed paths bounce through host code and signals, exercising the
+  // engine's fallback edges; each must be cycle-identical engine on vs off.
+  const auto micro = bench::make_micro_loop(kMicroIters);
+  auto dummy = std::make_shared<interpose::DummyHandler>();
+  const struct {
+    const char* name;
+    bench::Setup setup;
+  } mechanisms[] = {
+      {"native", bench::setup_none()},
+      {"sud", bench::setup_sud(dummy)},
+      {"zpoline", bench::setup_zpoline(micro, dummy)},
+      {"lazypoline",
+       bench::setup_lazypoline(micro, dummy, core::XstateMode::kFull, true)},
+  };
+  for (const auto& mechanism : mechanisms) {
+    const RunResult m_ref =
+        run_config(micro, /*engine_on=*/false, mechanism.setup);
+    const RunResult m_blk =
+        run_config(micro, /*engine_on=*/true, mechanism.setup);
+    require_identical(mechanism.name, m_ref, m_blk);
+    const double mech_speedup = m_ref.wall_ms / m_blk.wall_ms;
+    table.add_row({mechanism.name, "block", format_double(m_blk.wall_ms, 3),
+                   metrics::ratio(mech_speedup), std::to_string(m_blk.cycles),
+                   std::to_string(m_blk.insns), std::to_string(m_blk.steps),
+                   std::to_string(m_blk.bcache.hits)});
+    results.push_back(result_json(mechanism.name, "reference", m_ref, 1.0));
+    results.push_back(
+        result_json(mechanism.name, "block", m_blk, mech_speedup));
+  }
+
+  std::printf(
+      "== Superblock engine (straight-line %llu iters x %d ops, min of %d) "
+      "==\n%s\n",
+      static_cast<unsigned long long>(kStraightLineIters), kUnroll, kReps,
+      table.render().c_str());
+  bench::write_json_report(json_path, "block_exec", results);
+
+  if (speedup < kSpeedupGate) {
+    std::fprintf(stderr,
+                 "FAIL: superblock engine speedup %.3fx < %.2fx gate\n",
+                 speedup, kSpeedupGate);
+    return 1;
+  }
+  std::printf("PASS: straight-line speedup %.3fx >= %.2fx, all workloads "
+              "cycle/step-identical across engines\n",
+              speedup, kSpeedupGate);
+  return 0;
+}

@@ -88,8 +88,11 @@ void BM_CpuStepLoopCached(benchmark::State& state) {
 BENCHMARK(BM_CpuStepLoopCached);
 
 // Same comparison end-to-end through Machine::run on straight-line compute
-// (no syscalls), so kernel-layer overheads are included.
-void machine_straight_line(benchmark::State& state, bool cache_enabled) {
+// (no syscalls), so kernel-layer overheads are included. The block-engine
+// variant additionally exports the superblock-cache counters so the bench
+// JSON shows how much of the run was batch-dispatched.
+void machine_straight_line(benchmark::State& state, bool cache_enabled,
+                           bool block_enabled = false) {
   constexpr std::uint64_t kIterations = 50'000;
   isa::Assembler a;
   const auto entry = a.new_label();
@@ -110,14 +113,17 @@ void machine_straight_line(benchmark::State& state, bool cache_enabled) {
 
   std::uint64_t insns = 0;
   cpu::DecodeCacheStats totals;
+  cpu::BlockCacheStats block_totals;
   for (auto _ : state) {
     kern::Machine machine;
     machine.decode_cache_enabled = cache_enabled;
+    machine.block_exec_enabled = block_enabled;
     const kern::Tid tid = bench::unwrap(machine.load(program), "load");
     const auto stats = machine.run();
     if (!stats.all_exited) bench::die("machine did not quiesce");
     insns += machine.find_task(tid)->insns_retired;
     totals = machine.decode_cache_totals();
+    block_totals = machine.block_cache_totals();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(insns));
   state.counters["decode_hit_rate"] = totals.hit_rate();
@@ -125,6 +131,15 @@ void machine_straight_line(benchmark::State& state, bool cache_enabled) {
   state.counters["decode_misses"] = static_cast<double>(totals.misses);
   state.counters["decode_invalidations"] =
       static_cast<double>(totals.invalidations);
+  if (block_enabled) {
+    state.counters["block_hit_rate"] = block_totals.hit_rate();
+    state.counters["block_hits"] = static_cast<double>(block_totals.hits);
+    state.counters["block_misses"] = static_cast<double>(block_totals.misses);
+    state.counters["block_blocks_built"] =
+        static_cast<double>(block_totals.blocks_built);
+    state.counters["block_invalidations"] =
+        static_cast<double>(block_totals.invalidations);
+  }
 }
 
 void BM_MachineStraightLineUncached(benchmark::State& state) {
@@ -136,6 +151,13 @@ void BM_MachineStraightLineCached(benchmark::State& state) {
   machine_straight_line(state, /*cache_enabled=*/true);
 }
 BENCHMARK(BM_MachineStraightLineCached);
+
+#ifndef LZP_BLOCK_EXEC_DISABLED
+void BM_MachineStraightLineBlock(benchmark::State& state) {
+  machine_straight_line(state, /*cache_enabled=*/true, /*block_enabled=*/true);
+}
+BENCHMARK(BM_MachineStraightLineBlock);
+#endif
 
 void BM_BpfMonitoringFilter(benchmark::State& state) {
   const std::uint32_t trapped[] = {101};

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure + build + ctest, then an LZP_SANITIZE=ON build, then
-# the record-overhead bench (emits BENCH_record_overhead.json at the repo
-# root and fails if lazypoline-based recording is not cheaper than ptrace's),
-# then the trace-overhead bench (emits BENCH_trace_overhead.json and fails if
-# an attached-but-disabled Tracer costs >2% wall time or an enabled one >15%,
-# or if tracing perturbs simulated cycles at all).
+# an LZP_BLOCK_EXEC=OFF + LZP_SANITIZE=ON build (proves the superblock engine
+# compiles out cleanly and the per-instruction reference path still passes the
+# whole suite under ASan), then the record-overhead bench (emits
+# BENCH_record_overhead.json at the repo root and fails if lazypoline-based
+# recording is not cheaper than ptrace's), then the trace-overhead bench
+# (emits BENCH_trace_overhead.json and fails if an attached-but-disabled
+# Tracer costs >2% wall time or an enabled one >15%, or if tracing perturbs
+# simulated cycles at all), then the block-exec bench (emits
+# BENCH_block_exec.json and fails if the superblock engine is <1.5x the
+# decode-cache baseline on straight-line code or perturbs simulated
+# cycles/steps on any workload).
 #
 #   scripts/check.sh [--no-sanitize] [--no-bench]
 set -euo pipefail
@@ -32,6 +38,11 @@ if [[ "${run_sanitize}" == 1 ]]; then
   cmake -B build-asan -S . -DLZP_SANITIZE=ON >/dev/null
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
+
+  echo "== no-block-engine build (LZP_BLOCK_EXEC=OFF, LZP_SANITIZE=ON) =="
+  cmake -B build-noblock -S . -DLZP_BLOCK_EXEC=OFF -DLZP_SANITIZE=ON >/dev/null
+  cmake --build build-noblock -j"$(nproc)"
+  ctest --test-dir build-noblock -j"$(nproc)" --output-on-failure
 fi
 
 if [[ "${run_bench}" == 1 ]]; then
@@ -43,6 +54,13 @@ if [[ "${run_bench}" == 1 ]]; then
     ./build/bench/trace_overhead BENCH_trace_overhead.json
   else
     echo "== trace-overhead bench skipped (LZP_TRACE=OFF) =="
+  fi
+
+  if [[ -x build/bench/block_exec ]]; then
+    echo "== block-exec bench =="
+    ./build/bench/block_exec BENCH_block_exec.json
+  else
+    echo "== block-exec bench skipped (LZP_BLOCK_EXEC=OFF) =="
   fi
 fi
 

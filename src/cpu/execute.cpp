@@ -55,6 +55,49 @@ std::uint64_t double_to_bits(double value) noexcept {
   return bits;
 }
 
+// Data access through the D-TLB with fallback to the checked accessors.
+// The TLB only ever answers accesses the slow path would have satisfied
+// (single page, prot allows, non-exec for writes), so fault behavior and
+// fault accounting are identical with and without it.
+std::optional<mem::MemFault> data_read(mem::AddressSpace& mem, DataTlb* tlb,
+                                       std::uint64_t addr,
+                                       std::span<std::uint8_t> out) noexcept {
+  if (tlb != nullptr && tlb->read(mem, addr, out.data(), out.size())) {
+    return std::nullopt;
+  }
+  return mem.read(addr, out);
+}
+
+std::optional<mem::MemFault> data_write(
+    mem::AddressSpace& mem, DataTlb* tlb, std::uint64_t addr,
+    std::span<const std::uint8_t> data) noexcept {
+  if (tlb != nullptr && tlb->write(mem, addr, data.data(), data.size())) {
+    return std::nullopt;
+  }
+  return mem.write(addr, data);
+}
+
+// Stack helpers, hoisted out of the per-step path (they used to be lambdas
+// constructed on every step()).
+std::optional<mem::MemFault> push64(CpuContext& ctx, mem::AddressSpace& mem,
+                                    DataTlb* tlb, std::uint64_t value) noexcept {
+  const std::uint64_t rsp = ctx.rsp() - 8;
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &value, 8);
+  if (auto fault = data_write(mem, tlb, rsp, bytes)) return fault;
+  ctx.set_rsp(rsp);
+  return std::nullopt;
+}
+
+std::optional<mem::MemFault> pop64(CpuContext& ctx, mem::AddressSpace& mem,
+                                   DataTlb* tlb, std::uint64_t& value) noexcept {
+  std::uint8_t bytes[8];
+  if (auto fault = data_read(mem, tlb, ctx.rsp(), bytes)) return fault;
+  std::memcpy(&value, bytes, 8);
+  ctx.set_rsp(ctx.rsp() + 8);
+  return std::nullopt;
+}
+
 }  // namespace
 
 Result<isa::Instruction> fetch_decode(const CpuContext& ctx,
@@ -72,15 +115,15 @@ Result<isa::Instruction> fetch_decode(const CpuContext& ctx,
   return insn;
 }
 
-ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
-  ExecResult result;
-  result.insn_addr = ctx.rip;
-
+ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache,
+                DataTlb* tlb) {
   Instruction insn;
   bool fetch_faulted = false;
   mem::MemFault fetch_fault;
   if (!fetch_decode_cached(mem, cache, ctx.rip, &insn, &fetch_faulted,
                            &fetch_fault)) {
+    ExecResult result;
+    result.insn_addr = ctx.rip;
     if (fetch_faulted) {
       result.kind = ExecKind::kMemFault;
       result.fault = fetch_fault;
@@ -93,29 +136,21 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
     result.kind = ExecKind::kInvalidOpcode;
     return result;
   }
+  ExecResult result = exec_decoded(ctx, mem, insn, tlb);
   result.insn = insn;
+  return result;
+}
+
+ExecResult exec_decoded(CpuContext& ctx, mem::AddressSpace& mem,
+                        const Instruction& insn, DataTlb* tlb) {
+  ExecResult result;
+  result.insn_addr = ctx.rip;
   const std::uint64_t next_rip = ctx.rip + insn.length;
 
   auto mem_fault = [&](const mem::MemFault& fault) {
     result.kind = ExecKind::kMemFault;
     result.fault = fault;
     return result;
-  };
-
-  auto push64 = [&](std::uint64_t value) -> std::optional<mem::MemFault> {
-    const std::uint64_t rsp = ctx.rsp() - 8;
-    std::uint8_t bytes[8];
-    std::memcpy(bytes, &value, 8);
-    if (auto fault = mem.write(rsp, bytes)) return fault;
-    ctx.set_rsp(rsp);
-    return std::nullopt;
-  };
-  auto pop64 = [&](std::uint64_t& value) -> std::optional<mem::MemFault> {
-    std::uint8_t bytes[8];
-    if (auto fault = mem.read(ctx.rsp(), bytes)) return fault;
-    std::memcpy(&value, bytes, 8);
-    ctx.set_rsp(ctx.rsp() + 8);
-    return std::nullopt;
   };
 
   switch (insn.op) {
@@ -127,12 +162,12 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
       result.kind = ExecKind::kSyscall;
       return result;
     case Op::kCallRax: {
-      if (auto fault = push64(next_rip)) return mem_fault(*fault);
+      if (auto fault = push64(ctx, mem, tlb, next_rip)) return mem_fault(*fault);
       ctx.rip = ctx.reg(Gpr::rax);
       return result;
     }
     case Op::kCallRel: {
-      if (auto fault = push64(next_rip)) return mem_fault(*fault);
+      if (auto fault = push64(ctx, mem, tlb, next_rip)) return mem_fault(*fault);
       ctx.rip = next_rip + static_cast<std::uint64_t>(insn.imm);
       return result;
     }
@@ -144,7 +179,7 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
       return result;
     case Op::kRet: {
       std::uint64_t target = 0;
-      if (auto fault = pop64(target)) return mem_fault(*fault);
+      if (auto fault = pop64(ctx, mem, tlb, target)) return mem_fault(*fault);
       ctx.rip = target;
       return result;
     }
@@ -165,7 +200,7 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
     case Op::kLoad: {
       const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[8];
-      if (auto fault = mem.read(addr, bytes)) return mem_fault(*fault);
+      if (auto fault = data_read(mem, tlb, addr, bytes)) return mem_fault(*fault);
       std::uint64_t value = 0;
       std::memcpy(&value, bytes, 8);
       ctx.set_reg(insn.r1, value);
@@ -176,26 +211,26 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
       const std::uint64_t value = ctx.reg(insn.r1);
       std::uint8_t bytes[8];
       std::memcpy(bytes, &value, 8);
-      if (auto fault = mem.write(addr, bytes)) return mem_fault(*fault);
+      if (auto fault = data_write(mem, tlb, addr, bytes)) return mem_fault(*fault);
       break;
     }
     case Op::kLoad8: {
       const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t byte = 0;
-      if (auto fault = mem.read(addr, {&byte, 1})) return mem_fault(*fault);
+      if (auto fault = data_read(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
       ctx.set_reg(insn.r1, byte);
       break;
     }
     case Op::kStore8: {
       const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
       const std::uint8_t byte = static_cast<std::uint8_t>(ctx.reg(insn.r1));
-      if (auto fault = mem.write(addr, {&byte, 1})) return mem_fault(*fault);
+      if (auto fault = data_write(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
       break;
     }
     case Op::kLoadGs: {
       const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[8];
-      if (auto fault = mem.read(addr, bytes)) return mem_fault(*fault);
+      if (auto fault = data_read(mem, tlb, addr, bytes)) return mem_fault(*fault);
       std::uint64_t value = 0;
       std::memcpy(&value, bytes, 8);
       ctx.set_reg(insn.r1, value);
@@ -206,28 +241,28 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
       const std::uint64_t value = ctx.reg(insn.r1);
       std::uint8_t bytes[8];
       std::memcpy(bytes, &value, 8);
-      if (auto fault = mem.write(addr, bytes)) return mem_fault(*fault);
+      if (auto fault = data_write(mem, tlb, addr, bytes)) return mem_fault(*fault);
       break;
     }
     case Op::kLoadGs8: {
       const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t byte = 0;
-      if (auto fault = mem.read(addr, {&byte, 1})) return mem_fault(*fault);
+      if (auto fault = data_read(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
       ctx.set_reg(insn.r1, byte);
       break;
     }
     case Op::kStoreGs8: {
       const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
       const std::uint8_t byte = static_cast<std::uint8_t>(ctx.reg(insn.r1));
-      if (auto fault = mem.write(addr, {&byte, 1})) return mem_fault(*fault);
+      if (auto fault = data_write(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
       break;
     }
     case Op::kPush:
-      if (auto fault = push64(ctx.reg(insn.r1))) return mem_fault(*fault);
+      if (auto fault = push64(ctx, mem, tlb, ctx.reg(insn.r1))) return mem_fault(*fault);
       break;
     case Op::kPop: {
       std::uint64_t value = 0;
-      if (auto fault = pop64(value)) return mem_fault(*fault);
+      if (auto fault = pop64(ctx, mem, tlb, value)) return mem_fault(*fault);
       ctx.set_reg(insn.r1, value);
       break;
     }
@@ -304,13 +339,13 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache) {
       const std::uint64_t addr = ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[16];
       std::memcpy(bytes, ctx.xstate.xmm[insn.xr1].data(), 16);
-      if (auto fault = mem.write(addr, bytes)) return mem_fault(*fault);
+      if (auto fault = data_write(mem, tlb, addr, bytes)) return mem_fault(*fault);
       break;
     }
     case Op::kXload: {
       const std::uint64_t addr = ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[16];
-      if (auto fault = mem.read(addr, bytes)) return mem_fault(*fault);
+      if (auto fault = data_read(mem, tlb, addr, bytes)) return mem_fault(*fault);
       std::memcpy(ctx.xstate.xmm[insn.xr1].data(), bytes, 16);
       break;
     }

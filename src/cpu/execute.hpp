@@ -9,6 +9,7 @@
 
 #include "base/status.hpp"
 #include "cpu/context.hpp"
+#include "cpu/data_tlb.hpp"
 #include "cpu/decode_cache.hpp"
 #include "isa/decode.hpp"
 #include "memory/address_space.hpp"
@@ -50,8 +51,21 @@ struct ExecResult {
 //
 // `cache` (optional) is the task's decoded-instruction cache; hits skip the
 // fetch window and re-decode entirely. Invalidation against self-modifying
-// code is generation-based — see decode_cache.hpp.
+// code is generation-based — see decode_cache.hpp. `tlb` (optional) is the
+// task's data-side TLB; loads/stores/push/pop that it cannot serve fall back
+// to the checked AddressSpace accessors, so faults are identical with and
+// without it.
 ExecResult step(CpuContext& ctx, mem::AddressSpace& mem,
-                DecodeCache* cache = nullptr);
+                DecodeCache* cache = nullptr, DataTlb* tlb = nullptr);
+
+// Executes one *already decoded* instruction whose first byte sits at
+// ctx.rip. This is step() minus fetch/decode: the superblock engine
+// (block_cache.hpp) runs a cached straight-line decode through it one
+// instruction at a time, so mid-block faults land at the architecturally
+// correct rip with the context exactly as a per-instruction run would leave
+// it. The returned result has insn_addr filled in but NOT `insn` (the caller
+// already holds the decoded instruction).
+ExecResult exec_decoded(CpuContext& ctx, mem::AddressSpace& mem,
+                        const isa::Instruction& insn, DataTlb* tlb = nullptr);
 
 }  // namespace lzp::cpu

@@ -31,6 +31,15 @@ std::string Machine::host_name(std::uint64_t addr) const {
   return it == host_fns_.end() ? "<unbound>" : it->second.name;
 }
 
+Machine::HostBinding* Machine::find_host_binding(std::uint64_t addr) noexcept {
+  if (addr == host_cache_addr_) return host_cache_;
+  auto it = host_fns_.find(addr);
+  if (it == host_fns_.end()) return nullptr;  // misses are not cached
+  host_cache_addr_ = addr;
+  host_cache_ = &it->second;
+  return host_cache_;
+}
+
 // ---------------------------------------------------------------------------
 // HostFrame services
 // ---------------------------------------------------------------------------
@@ -157,13 +166,18 @@ void Machine::merge_nursery() {
 
 RunStats Machine::run(std::uint64_t max_total_insns) {
   RunStats stats;
-  const std::uint64_t deadline = total_insns_ + max_total_insns;
+  // The budget and the per-slice bookkeeping are in *steps* (total_steps_),
+  // not retirements: a step always advances it, so host-fn loops and fault
+  // storms hit the deadline instead of spinning forever, and every slice —
+  // even one that only runs host code or delivers a killing signal — is
+  // visible to slice observers with a non-zero width.
+  const std::uint64_t deadline = total_steps_ + max_total_insns;
 
   if (schedule_hook_) {
     // Externally driven scheduling (trace replay): the hook dictates which
     // task runs next and for how many steps; clone children are merged
     // before every decision so the hook can schedule them immediately.
-    while (total_insns_ < deadline) {
+    while (total_steps_ < deadline) {
       merge_nursery();
       const auto slice = schedule_hook_(*this);
       if (!slice) break;
@@ -179,18 +193,18 @@ RunStats Machine::run(std::uint64_t max_total_insns) {
   }
 
   bool any_runnable = true;
-  while (any_runnable && total_insns_ < deadline) {
+  while (any_runnable && total_steps_ < deadline) {
     any_runnable = false;
     for (auto& [tid, task] : tasks_) {
       if (!task->runnable()) continue;
       any_runnable = true;
-      const std::uint64_t steps_before = total_insns_;
+      const std::uint64_t steps_before = total_steps_;
       note_task_switch(*task);
       run_slice(*task, kSliceInsns);
-      if (total_insns_ > steps_before) {
-        slice_observers_.notify(*task, total_insns_ - steps_before);
+      if (total_steps_ > steps_before) {
+        slice_observers_.notify(*task, total_steps_ - steps_before);
       }
-      if (total_insns_ >= deadline) break;
+      if (total_steps_ >= deadline) break;
     }
     if (!nursery_.empty()) {
       merge_nursery();
@@ -203,17 +217,123 @@ RunStats Machine::run(std::uint64_t max_total_insns) {
 }
 
 void Machine::run_slice(Task& task, std::uint64_t max_insns) {
-  for (std::uint64_t i = 0; i < max_insns; ++i) {
+  // The budget is in steps: the slice ends after max_insns total_steps_
+  // advances (or when the task stops running). The block path consumes
+  // exactly as many steps as a per-instruction run of the same instructions
+  // would, so slice boundaries are identical with the engine on or off.
+  const std::uint64_t start = total_steps_;
+  while (total_steps_ - start < max_insns) {
+#ifndef LZP_BLOCK_EXEC_DISABLED
+    if (can_batch_execute(task)) {
+      if (const cpu::DecodedBlock* block =
+              task.bcache.lookup_or_build(*task.mem, task.ctx.rip)) {
+        if (!block_step(task, *block, max_insns - (total_steps_ - start))) {
+          return;
+        }
+        continue;
+      }
+    }
+#endif
     if (!step_once(task)) return;
   }
 }
 
+bool Machine::deliverable_signal_pending(const Task& task) noexcept {
+  if (task.pending_signals.empty()) return false;
+  std::uint64_t bits = 0;
+  for (const SigInfo& info : task.pending_signals) {
+    bits |= 1ULL << (info.signo & 63);
+  }
+  return (bits & ~task.sigmask) != 0;
+}
+
+#ifndef LZP_BLOCK_EXEC_DISABLED
+bool Machine::can_batch_execute(const Task& task) const noexcept {
+  // Every condition here names a client that needs per-instruction
+  // precision; the per-step path is the reference semantics and anything
+  // that observes or perturbs individual steps gets it.
+  return block_exec_enabled && insn_observers_.empty() &&
+         slice_observers_.empty() && !schedule_hook_ && !task.ptraced &&
+         !is_host_addr(task.ctx.rip) && !deliverable_signal_pending(task);
+}
+
+bool Machine::block_step(Task& task, const cpu::DecodedBlock& block,
+                         std::uint64_t budget) {
+  const cpu::BlockRun run =
+      cpu::run_block(task.ctx, *task.mem, block, budget, &task.dtlb);
+
+  // Batched accounting. Identical totals to per-instruction stepping: cost
+  // is linear in (retired, nops), the counters are plain sums, and every
+  // executed instruction is one machine step whether it retired or not.
+  total_steps_ += run.executed;
+  if (run.retired > 0) {
+    total_insns_ += run.retired;
+    task.insns_retired += run.retired;
+    charge(task, (run.retired - run.nops) * costs_.insn +
+                     run.nops * costs_.insn_nop);
+  }
+
+  // The block's exit reproduces exactly what step_once would have done for
+  // the instruction at run.insn_addr.
+  switch (run.kind) {
+    case cpu::ExecKind::kContinue:
+      return task.runnable();
+    case cpu::ExecKind::kSyscall:
+      syscall_entry_from_sim(task);
+      return task.runnable();
+    case cpu::ExecKind::kHostCall: {
+      charge(task, costs_.insn + costs_.host_glue);
+      const std::uint64_t addr =
+          kHostRegionBase + 16 * static_cast<std::uint64_t>(run.last->imm);
+      HostBinding* binding = find_host_binding(addr);
+      if (binding == nullptr) {
+        kill_process(*task.process, 139, "HOSTCALL to unbound index");
+        return false;
+      }
+      HostFrame frame{*this, task, task.ctx};
+      binding->fn(frame);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kHlt:
+      exit_process(task, 0);
+      return false;
+    case cpu::ExecKind::kTrap: {
+      SigInfo info;
+      info.signo = kSigtrap;
+      handle_fault_signal(task, kSigtrap, info);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kMemFault: {
+      SigInfo info;
+      info.signo = kSigsegv;
+      info.fault_addr = run.fault.address;
+      handle_fault_signal(task, kSigsegv, info);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kDivideError: {
+      SigInfo info;
+      info.signo = kSigfpe;
+      info.fault_addr = run.insn_addr;
+      handle_fault_signal(task, kSigfpe, info);
+      return task.runnable();
+    }
+    case cpu::ExecKind::kInvalidOpcode:
+      // Unreachable: blocks only hold successfully decoded instructions.
+      kill_process(*task.process, 139, "invalid opcode inside decoded block");
+      return false;
+  }
+  return false;
+}
+#endif  // LZP_BLOCK_EXEC_DISABLED
+
 bool Machine::step_once(Task& task) {
   if (!task.runnable()) return false;
-  ++total_insns_;
+  ++total_steps_;
 
-  // Deliver one pending, unblocked signal before resuming user code.
-  if (!task.pending_signals.empty()) {
+  // Deliver one pending, unblocked signal before resuming user code. The
+  // deliverable_signal_pending pre-check makes this skip-free for a task
+  // whose sigmask blocks everything currently queued.
+  if (deliverable_signal_pending(task)) {
     for (std::size_t i = 0; i < task.pending_signals.size(); ++i) {
       const SigInfo info = task.pending_signals[i];
       if ((task.sigmask >> info.signo) & 1) continue;
@@ -226,9 +346,11 @@ bool Machine::step_once(Task& task) {
   }
 
   // Host-bound code: native runtime (interposer entry points, wrappers).
+  // Host steps retire no simulated instruction and do not advance
+  // total_insns_.
   if (is_host_addr(task.ctx.rip)) {
-    auto it = host_fns_.find(task.ctx.rip);
-    if (it == host_fns_.end()) {
+    HostBinding* binding = find_host_binding(task.ctx.rip);
+    if (binding == nullptr) {
       kill_process(*task.process, 139,
                    "jump to unbound host address " + std::to_string(task.ctx.rip));
       return false;
@@ -236,7 +358,7 @@ bool Machine::step_once(Task& task) {
     charge(task, costs_.host_glue);
     const std::uint64_t entry_rip = task.ctx.rip;
     HostFrame frame{*this, task, task.ctx};
-    it->second.fn(frame);
+    binding->fn(frame);
     if (!task.runnable()) return false;
     if (task.ctx.rip == entry_rip) {
       // Host function did not redirect control: behave like RET.
@@ -245,14 +367,16 @@ bool Machine::step_once(Task& task) {
     return task.runnable();
   }
 
-  const cpu::ExecResult result = cpu::step(
-      task.ctx, *task.mem, decode_cache_enabled ? &task.dcache : nullptr);
+  const cpu::ExecResult result =
+      cpu::step(task.ctx, *task.mem,
+                decode_cache_enabled ? &task.dcache : nullptr, &task.dtlb);
   switch (result.kind) {
     case cpu::ExecKind::kContinue:
     case cpu::ExecKind::kSyscall:
       charge(task, result.insn && result.insn->op == isa::Op::kNop
                        ? costs_.insn_nop
                        : costs_.insn);
+      ++total_insns_;
       ++task.insns_retired;
       if (!insn_observers_.empty() && result.insn) {
         insn_observers_.notify(task, *result.insn);
@@ -266,13 +390,13 @@ bool Machine::step_once(Task& task) {
       charge(task, costs_.insn + costs_.host_glue);
       const std::uint64_t addr =
           kHostRegionBase + 16 * static_cast<std::uint64_t>(result.insn->imm);
-      auto it = host_fns_.find(addr);
-      if (it == host_fns_.end()) {
+      HostBinding* binding = find_host_binding(addr);
+      if (binding == nullptr) {
         kill_process(*task.process, 139, "HOSTCALL to unbound index");
         return false;
       }
       HostFrame frame{*this, task, task.ctx};
-      it->second.fn(frame);
+      binding->fn(frame);
       return task.runnable();
     }
     case cpu::ExecKind::kHlt:
@@ -566,6 +690,35 @@ cpu::DecodeCacheStats Machine::decode_cache_totals() const {
   return totals;
 }
 
+cpu::BlockCacheStats Machine::block_cache_totals() const {
+  cpu::BlockCacheStats totals;
+  auto add = [&totals](const Task& task) {
+    const cpu::BlockCacheStats& stats = task.bcache.stats();
+    totals.hits += stats.hits;
+    totals.misses += stats.misses;
+    totals.invalidations += stats.invalidations;
+    totals.flushes += stats.flushes;
+    totals.blocks_built += stats.blocks_built;
+  };
+  for (const auto& [tid, task] : tasks_) add(*task);
+  for (const auto& task : nursery_) add(*task);
+  return totals;
+}
+
+cpu::DataTlbStats Machine::data_tlb_totals() const {
+  cpu::DataTlbStats totals;
+  auto add = [&totals](const Task& task) {
+    const cpu::DataTlbStats& stats = task.dtlb.stats();
+    totals.read_hits += stats.read_hits;
+    totals.read_fallbacks += stats.read_fallbacks;
+    totals.write_hits += stats.write_hits;
+    totals.write_fallbacks += stats.write_fallbacks;
+  };
+  for (const auto& [tid, task] : tasks_) add(*task);
+  for (const auto& task : nursery_) add(*task);
+  return totals;
+}
+
 void Machine::attach_tracer(Tid tid, TracerHooks hooks) {
   if (Task* task = find_task(tid)) {
     task->ptraced = true;
@@ -634,6 +787,9 @@ void Machine::attach_dcache_probe(Task& task) {
   Task* t = &task;
   task.dcache.set_invalidation_listener([this, t](std::uint64_t rip) {
     if (auto* sink = trace_sink()) sink->on_decode_invalidation(*t, rip);
+  });
+  task.bcache.set_invalidation_listener([this, t](std::uint64_t rip) {
+    if (auto* sink = trace_sink()) sink->on_block_invalidation(*t, rip);
   });
 #else
   (void)task;

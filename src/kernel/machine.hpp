@@ -106,6 +106,18 @@ class Machine {
   // Decode-cache counters summed over every task (including exited ones).
   [[nodiscard]] cpu::DecodeCacheStats decode_cache_totals() const;
 
+  // Superblock execution engine (cpu/block_cache.hpp): run_slice executes
+  // cached straight-line decodes as batches — accounting hoisted to block
+  // boundaries — whenever exactness permits, and falls back to step_once
+  // when it does not: per-instruction observers, record/replay hooks,
+  // ptrace, host code at rip, or a deliverable pending signal. On by
+  // default; compiled out wholesale with -DLZP_BLOCK_EXEC=OFF (the flag
+  // remains so toggling code builds either way).
+  bool block_exec_enabled = true;
+  // Block-cache / data-TLB counters summed over every task.
+  [[nodiscard]] cpu::BlockCacheStats block_cache_totals() const;
+  [[nodiscard]] cpu::DataTlbStats data_tlb_totals() const;
+
   // --- host function registry ---------------------------------------------
   std::uint64_t bind_host(std::string name, HostFn fn);
   [[nodiscard]] bool is_host_addr(std::uint64_t addr) const noexcept;
@@ -142,12 +154,24 @@ class Machine {
   // Round-robin over runnable tasks until all exit or the instruction budget
   // is exhausted.
   RunStats run(std::uint64_t max_total_insns = kDefaultInsnBudget);
-  // Executes at most `max_insns` instruction slots on one task.
+  // Executes at most `max_insns` machine steps (see total_steps()) on one
+  // task.
   void run_slice(Task& task, std::uint64_t max_insns);
   static constexpr std::uint64_t kDefaultInsnBudget = 500'000'000ULL;
-  // Machine-global step count (simulated instructions + host-fn steps): the
-  // time base scheduling and signal-delivery points are recorded against.
+  // Machine-global count of *retired* simulated instructions — always equal
+  // to the sum of every task's insns_retired. Host-fn steps, faulting
+  // execution attempts, and signal-kill steps do not advance it (they retire
+  // nothing).
   [[nodiscard]] std::uint64_t total_insns() const noexcept { return total_insns_; }
+  // Machine-global count of scheduling *steps*: every step_once iteration —
+  // retired instruction, host-fn dispatch, fault attempt, or signal-kill —
+  // advances it by one (the superblock path advances it by the number of
+  // instructions a per-step run would have used, so the counter is identical
+  // with the engine on or off). This is the time base scheduling slices and
+  // signal-delivery points are recorded against: unlike total_insns() it
+  // never stalls, so "step N" names a unique point even across work that
+  // retires nothing.
+  [[nodiscard]] std::uint64_t total_steps() const noexcept { return total_steps_; }
 
   // --- observers --------------------------------------------------------------
   // Every observer kind is a multicast list: add_* registers a callback and
@@ -175,7 +199,7 @@ class Machine {
 
   // --- record/replay hooks (src/replay) ---------------------------------------
   // Called after every scheduling slice run() executes, with the number of
-  // machine steps (total_insns_ delta) the slice consumed — the recorder's
+  // machine steps (total_steps_ delta) the slice consumed — the recorder's
   // view of the scheduler's decisions.
   using SliceObserver = std::function<void(const Task&, std::uint64_t steps)>;
   ObserverId add_slice_observer(SliceObserver observer) {
@@ -292,6 +316,23 @@ class Machine {
   // the task can no longer run.
   bool step_once(Task& task);
 
+  // True when a pending signal exists that the task's sigmask does not
+  // block — the only case where the delivery scan in step_once can do
+  // anything. A single OR-reduction over the pending list, so a task whose
+  // mask blocks everything pays no per-signal branch in the hot loop.
+  [[nodiscard]] static bool deliverable_signal_pending(const Task& task) noexcept;
+
+#ifndef LZP_BLOCK_EXEC_DISABLED
+  // True when run_slice may execute `task` through the superblock engine
+  // without observable divergence from per-instruction stepping.
+  [[nodiscard]] bool can_batch_execute(const Task& task) const noexcept;
+  // Executes one block (bounded by `budget` steps), batch-charges
+  // cost/counters and total_steps_, and handles the block's exit exactly as
+  // step_once would. Returns false when the task can no longer run.
+  bool block_step(Task& task, const cpu::DecodedBlock& block,
+                  std::uint64_t budget);
+#endif
+
   // Figure 1: the syscall kernel entry path for a SYSCALL instruction
   // executed by simulated code.
   void syscall_entry_from_sim(Task& task);
@@ -336,6 +377,14 @@ class Machine {
   std::map<std::uint64_t, HostBinding> host_fns_;
   std::uint64_t next_host_addr_ = kHostRegionBase;
 
+  // Last-hit host-binding cache: interposer-heavy workloads dispatch the
+  // same entry point back to back, so one compare replaces a map lookup on
+  // nearly every host step. Safe to cache raw pointers: host_fns_ is
+  // insert-only and std::map nodes never move.
+  [[nodiscard]] HostBinding* find_host_binding(std::uint64_t addr) noexcept;
+  std::uint64_t host_cache_addr_ = ~0ULL;
+  HostBinding* host_cache_ = nullptr;
+
   std::map<Tid, TracerHooks> tracers_;
 
   // Multicast observer list: ordered (registration order), id-addressed.
@@ -376,7 +425,8 @@ class Machine {
   // Last tid handed a slice by run(), for task-switch trace events.
   Tid last_sliced_tid_ = 0;
 #endif
-  // Installs the decode-cache invalidation probe on a freshly created task.
+  // Installs the decode- and block-cache invalidation probes on a freshly
+  // created task.
   void attach_dcache_probe(Task& task);
   // Emits a kSwitch trace event when the scheduler picks a different task.
   void note_task_switch(const Task& task);
@@ -387,6 +437,7 @@ class Machine {
 
   std::uint64_t total_cycles_ = 0;
   std::uint64_t total_insns_ = 0;
+  std::uint64_t total_steps_ = 0;
   std::string last_fatal_;
 
   // Tasks created during the current scheduling pass (clone/fork) — merged

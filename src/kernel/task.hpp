@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "bpf/bpf.hpp"
+#include "cpu/block_cache.hpp"
 #include "cpu/context.hpp"
+#include "cpu/data_tlb.hpp"
 #include "cpu/decode_cache.hpp"
 #include "kernel/signals.hpp"
 #include "memory/address_space.hpp"
@@ -92,6 +94,14 @@ struct Task {
   // when a sibling rewrites code), fork children start cold against their
   // deep-copied space, and execve's fresh space flushes via its new asid.
   cpu::DecodeCache dcache;
+
+  // Superblock cache for the batched execution fast path, and the data-side
+  // TLB for its loads/stores. Per-task for the same reasons as dcache: the
+  // block cache invalidates through shared page generations, and the D-TLB
+  // through layout generations + asid (see cpu/block_cache.hpp,
+  // cpu/data_tlb.hpp).
+  cpu::BlockCache bcache;
+  cpu::DataTlb dtlb;
 
   SudState sud;
   // seccomp filters attached to this task (newest last, all run, most

@@ -91,6 +91,9 @@ class TraceSink {
   // The decode cache dropped an entry whose page generation went stale (the
   // SMC signature of a runtime rewrite landing on cached code).
   virtual void on_decode_invalidation(const Task&, std::uint64_t /*rip*/) {}
+  // Same event for the superblock cache (cpu/block_cache.hpp): a cached
+  // straight-line decode was dropped because its page generation went stale.
+  virtual void on_block_invalidation(const Task&, std::uint64_t /*rip*/) {}
   // An interposition mechanism finished arming itself on a task.
   virtual void on_mechanism_install(const Task&, InterposeMechanism) {}
   // Task lifecycle: start/switch/clone/execve/exit.

@@ -44,6 +44,11 @@ const Page* AddressSpace::page_at(std::uint64_t page_base) const noexcept {
   return it == pages_.end() ? nullptr : &it->second;
 }
 
+Page* AddressSpace::page_at_mut(std::uint64_t page_base) noexcept {
+  auto it = pages_.find(page_base);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
 void AddressSpace::touch_page_gen(Page& page) noexcept {
   page.gen = ++code_gen_;
   ++stats_.exec_invalidations;

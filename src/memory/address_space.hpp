@@ -149,13 +149,18 @@ class AddressSpace {
   [[nodiscard]] const AddressSpaceStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t mapped_page_count() const noexcept { return pages_.size(); }
 
-  // --- decode-cache support ------------------------------------------------
+  // --- decode-cache / D-TLB support ----------------------------------------
   //
-  // Raw page view for the CPU's decode cache and fetch TLB: the page at
-  // `page_base` (which must be page-aligned), or nullptr if unmapped. The
-  // returned pointer stays valid until layout_gen() changes; callers must
+  // Raw page view for the CPU's decode cache, fetch TLB, and data TLB: the
+  // page at `page_base` (which must be page-aligned), or nullptr if unmapped.
+  // The returned pointer stays valid until layout_gen() changes; callers must
   // re-check prot and gen through it on every use.
   [[nodiscard]] const Page* page_at(std::uint64_t page_base) const noexcept;
+  // Mutable variant for the data-side TLB's write path. The same validity
+  // rules apply; writers that can touch executable bytes must NOT use this
+  // (they would bypass the code-generation bump) — the D-TLB refuses to
+  // fast-path writes to pages with the exec bit set for exactly that reason.
+  [[nodiscard]] Page* page_at_mut(std::uint64_t page_base) noexcept;
 
   // Monotone counter bumped whenever any mutation may invalidate a cached
   // decode of executable bytes anywhere in this address space. Per-page

@@ -124,7 +124,7 @@ void Recorder::attach(kern::Machine& machine, std::uint64_t rng_seed,
         event.fault_addr = info.fault_addr;
         event.external = info.external;
         event.insns_retired = task.insns_retired;
-        event.machine_insns = machine.total_insns();
+        event.machine_insns = machine.total_steps();
         trace_.events.push_back(event);
       });
   nondet_obs_id_ = machine.add_nondet_observer(

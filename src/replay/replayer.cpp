@@ -197,13 +197,15 @@ std::optional<kern::Machine::SchedSlice> Replayer::next_slice(
     kern::Machine& machine) {
   if (diverged()) return std::nullopt;
 
-  // Re-post every external signal whose recorded delivery step is due: a
-  // signal posted now is delivered at the target task's next step, i.e. at
-  // machine step total_insns()+1 or later.
+  // Re-post every external signal whose recorded delivery point is due.
+  // machine_insns is the machine step count observed inside the recorded
+  // delivery, and a signal posted now is delivered at the target task's next
+  // step — machine step total_steps() + 1 or later — so a signal recorded at
+  // step T is posted once total_steps() has reached T - 1.
   while (external_cursor_ < external_idx_.size()) {
     const auto& sig =
         std::get<SignalEvent>(trace_.events[external_idx_[external_cursor_]]);
-    if (sig.machine_insns > machine.total_insns() + 1) break;
+    if (sig.machine_insns > machine.total_steps() + 1) break;
     kern::SigInfo info;
     info.signo = sig.signo;
     info.code = sig.code;
@@ -226,12 +228,12 @@ std::optional<kern::Machine::SchedSlice> Replayer::next_slice(
       std::get<ScheduleEvent>(trace_.events[sched_idx_[sched_cursor_]]);
   const std::uint64_t remaining = slice.steps - slice_consumed_;
 
-  // Mid-slice external delivery point: split the slice so the signal is
-  // posted exactly one step before its recorded delivery.
+  // Mid-slice external delivery point: split the slice so the posting loop
+  // above runs again exactly one step before the recorded delivery.
   if (external_cursor_ < external_idx_.size()) {
     const auto& sig =
         std::get<SignalEvent>(trace_.events[external_idx_[external_cursor_]]);
-    const std::uint64_t now = machine.total_insns();
+    const std::uint64_t now = machine.total_steps();
     if (sig.machine_insns > now + 1 && sig.machine_insns <= now + remaining) {
       const std::uint64_t take = sig.machine_insns - 1 - now;
       slice_consumed_ += take;

@@ -23,6 +23,7 @@ enum class EventType : std::uint8_t {
   kSiteRewrite,         // a = rewritten site address
   kSeccompDecision,     // a = nr, b = decisive action word
   kDecodeInvalidation,  // a = rip whose cached decode went stale
+  kBlockInvalidation,   // a = rip whose cached superblock went stale
   kMechanismInstall,    // mech = the mechanism that finished arming
   kTaskStart,           // a = entry rip
   kTaskSwitch,
@@ -40,6 +41,7 @@ enum class EventType : std::uint8_t {
     case EventType::kSiteRewrite: return "site-rewrite";
     case EventType::kSeccompDecision: return "seccomp-decision";
     case EventType::kDecodeInvalidation: return "decode-invalidation";
+    case EventType::kBlockInvalidation: return "block-invalidation";
     case EventType::kMechanismInstall: return "mechanism-install";
     case EventType::kTaskStart: return "task-start";
     case EventType::kTaskSwitch: return "task-switch";

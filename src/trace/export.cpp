@@ -38,6 +38,7 @@ std::string instant_args(const Event& event) {
       break;
     case EventType::kSiteRewrite:
     case EventType::kDecodeInvalidation:
+    case EventType::kBlockInvalidation:
       args.add("addr", hex_u64(event.a));
       break;
     case EventType::kSeccompDecision:

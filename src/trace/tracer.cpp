@@ -167,6 +167,15 @@ void Tracer::on_decode_invalidation(const kern::Task& task, std::uint64_t rip) {
   push_event(task, event);
 }
 
+void Tracer::on_block_invalidation(const kern::Task& task, std::uint64_t rip) {
+  if (!enabled()) return;
+  metrics_.bump("bcache.invalidations");
+  Event event;
+  event.type = EventType::kBlockInvalidation;
+  event.a = rip;
+  push_event(task, event);
+}
+
 void Tracer::on_mechanism_install(const kern::Task& task,
                                   kern::InterposeMechanism mech) {
   if (!enabled()) return;

@@ -256,6 +256,9 @@ TEST(DecodeCacheMachineTest, LazypolineRewriteTakesEffectWithWarmCache) {
   const std::uint64_t iterations = 50;
   auto program = testutil::make_syscall_loop(kern::kSysGetpid, iterations);
   kern::Machine machine;
+  // This test pins the *per-instruction* decode cache; the superblock engine
+  // would satisfy the hot loop from its own block cache instead.
+  machine.block_exec_enabled = false;
   machine.mmap_min_addr = 0;
   machine.register_program(program);
   const kern::Tid tid = machine.load(program).value();
