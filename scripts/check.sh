@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure + build + ctest, then an LZP_SANITIZE=ON build, then
-# an LZP_BLOCK_EXEC=OFF + LZP_SANITIZE=ON build (proves the superblock engine
-# compiles out cleanly and the per-instruction reference path still passes the
-# whole suite under ASan), then the record-overhead bench (emits
+# Tier-1 gate: configure + build + ctest (with LZP_WERROR=ON so the tree must
+# be warning-clean), then an LZP_SANITIZE=ON build, then an LZP_BLOCK_EXEC=OFF
+# + LZP_SANITIZE=ON build (proves the superblock engine compiles out cleanly
+# and the per-instruction reference path still passes the whole suite under
+# ASan), then a clang-tidy leg (skipped when clang-tidy is not installed)
+# failing on findings not in scripts/clang_tidy_baseline.txt, then the
+# static-analysis gate (examples/analyze --gate on the webserver workload:
+# fails if any verified-eager-rewritten site was not statically SAFE, or if
+# the runtime cross-checker observed a kernel-verified syscall disagreeing
+# with a SAFE verdict), then the record-overhead bench (emits
 # BENCH_record_overhead.json at the repo root and fails if lazypoline-based
 # recording is not cheaper than ptrace's), then the trace-overhead bench
 # (emits BENCH_trace_overhead.json and fails if an attached-but-disabled
@@ -10,9 +16,11 @@
 # simulated cycles at all), then the block-exec bench (emits
 # BENCH_block_exec.json and fails if the superblock engine is <1.5x the
 # decode-cache baseline on straight-line code or perturbs simulated
-# cycles/steps on any workload).
+# cycles/steps on any workload), then the analysis-accuracy bench (emits
+# BENCH_analysis.json and fails on any SAFE false positive or if the analyzer
+# is not strictly more precise than the raw byte scan).
 #
-#   scripts/check.sh [--no-sanitize] [--no-bench]
+#   scripts/check.sh [--no-sanitize] [--no-bench] [--regen-tidy-baseline]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,30 +28,73 @@ cd "${repo_root}"
 
 run_sanitize=1
 run_bench=1
+regen_tidy=0
 for arg in "$@"; do
   case "${arg}" in
     --no-sanitize) run_sanitize=0 ;;
     --no-bench) run_bench=0 ;;
+    --regen-tidy-baseline) regen_tidy=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B build -S . >/dev/null
+echo "== tier-1: configure + build + ctest (LZP_WERROR=ON) =="
+cmake -B build -S . -DLZP_WERROR=ON >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
 if [[ "${run_sanitize}" == 1 ]]; then
   echo "== sanitizer build (LZP_SANITIZE=ON) =="
-  cmake -B build-asan -S . -DLZP_SANITIZE=ON >/dev/null
+  cmake -B build-asan -S . -DLZP_SANITIZE=ON -DLZP_WERROR=ON >/dev/null
   cmake --build build-asan -j"$(nproc)"
   ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
 
   echo "== no-block-engine build (LZP_BLOCK_EXEC=OFF, LZP_SANITIZE=ON) =="
-  cmake -B build-noblock -S . -DLZP_BLOCK_EXEC=OFF -DLZP_SANITIZE=ON >/dev/null
+  cmake -B build-noblock -S . -DLZP_BLOCK_EXEC=OFF -DLZP_SANITIZE=ON \
+    -DLZP_WERROR=ON >/dev/null
   cmake --build build-noblock -j"$(nproc)"
   ctest --test-dir build-noblock -j"$(nproc)" --output-on-failure
 fi
+
+# clang-tidy leg: compare normalized findings (<file>:<check>) against the
+# tracked baseline; new findings fail, fixed findings are reported. Skipped
+# gracefully when clang-tidy is not installed (e.g. minimal CI containers).
+tidy_baseline="scripts/clang_tidy_baseline.txt"
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (baseline: ${tidy_baseline}) =="
+  tidy_raw="$(mktemp)"
+  tidy_now="$(mktemp)"
+  trap 'rm -f "${tidy_raw}" "${tidy_now}"' EXIT
+  # All first-party translation units; compile_commands.json comes from the
+  # tier-1 configure above (CMAKE_EXPORT_COMPILE_COMMANDS is always ON).
+  find src -name '*.cpp' -print0 \
+    | xargs -0 clang-tidy -p build --quiet >"${tidy_raw}" 2>/dev/null || true
+  # Normalize "/abs/path/file.cpp:12:3: warning: ... [check-name]" to
+  # "file.cpp-relative-path:check-name"; drop line numbers so unrelated edits
+  # don't churn the baseline.
+  sed -n "s|^${repo_root}/\([^:]*\):[0-9]*:[0-9]*: warning: .*\[\(.*\)\]$|\1:\2|p" \
+    "${tidy_raw}" | sort -u >"${tidy_now}"
+  if [[ "${regen_tidy}" == 1 ]]; then
+    { grep '^#' "${tidy_baseline}"; cat "${tidy_now}"; } >"${tidy_baseline}.new"
+    mv "${tidy_baseline}.new" "${tidy_baseline}"
+    echo "clang-tidy baseline regenerated ($(wc -l <"${tidy_now}") findings)"
+  else
+    new_findings="$(grep -vxF -f <(grep -v '^#' "${tidy_baseline}") \
+      "${tidy_now}" || true)"
+    if [[ -n "${new_findings}" ]]; then
+      echo "clang-tidy: NEW findings not in ${tidy_baseline}:" >&2
+      echo "${new_findings}" >&2
+      echo "(fix them, or accept intentionally with --regen-tidy-baseline)" >&2
+      exit 1
+    fi
+    echo "clang-tidy: no new findings"
+  fi
+else
+  echo "== clang-tidy skipped (not installed) =="
+fi
+
+echo "== static-analysis gate (examples/analyze --gate webserver) =="
+./build/examples/analyze --workload=webserver --gate
 
 if [[ "${run_bench}" == 1 ]]; then
   echo "== record-overhead bench =="
@@ -62,6 +113,9 @@ if [[ "${run_bench}" == 1 ]]; then
   else
     echo "== block-exec bench skipped (LZP_BLOCK_EXEC=OFF) =="
   fi
+
+  echo "== analysis-accuracy bench =="
+  ./build/bench/analysis_accuracy BENCH_analysis.json
 fi
 
 echo "check.sh: all gates passed"

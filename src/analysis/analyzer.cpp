@@ -1,0 +1,65 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+
+namespace lzp::analysis {
+
+std::size_t Analysis::count(Verdict verdict) const {
+  return static_cast<std::size_t>(
+      std::count_if(sites.begin(), sites.end(), [&](const SiteVerdict& site) {
+        return site.verdict == verdict;
+      }));
+}
+
+std::vector<std::uint64_t> Analysis::sites_with(Verdict verdict) const {
+  std::vector<std::uint64_t> out;
+  for (const SiteVerdict& site : sites) {
+    if (site.verdict == verdict) out.push_back(site.addr);
+  }
+  return out;
+}
+
+const SiteVerdict* Analysis::find_site(std::uint64_t addr) const {
+  const auto it = std::lower_bound(
+      sites.begin(), sites.end(), addr,
+      [](const SiteVerdict& site, std::uint64_t a) { return site.addr < a; });
+  return it != sites.end() && it->addr == addr ? &*it : nullptr;
+}
+
+Analysis analyze(std::span<const std::uint8_t> bytes, std::uint64_t base,
+                 std::uint64_t entry,
+                 std::span<const std::uint64_t> extra_roots) {
+  Analysis analysis;
+  analysis.cfg = build_cfg(bytes, base, entry, extra_roots);
+  analysis.superset = build_superset(bytes, base);
+
+  for (std::size_t offset = 0; offset + 1 < bytes.size(); ++offset) {
+    if (!isa::is_syscall_bytes(bytes.subspan(offset))) continue;
+    SiteVerdict site;
+    site.addr = base + offset;
+    site.is_sysenter = bytes[offset + 1] == isa::kByteSysenter2;
+    site.superset_overlaps =
+        analysis.superset.overlapping_starts(site.addr, kRewriteWindow).size();
+
+    // Precedence: overlap beats everything (the window's bytes belong to
+    // another statically known instruction, so any patch corrupts it), then
+    // reachability, then mid-window branch targets.
+    std::vector<std::uint64_t> overlap =
+        analysis.cfg.insns_overlapping_window(site.addr, kRewriteWindow);
+    if (!overlap.empty()) {
+      site.verdict = Verdict::kUnsafeOverlap;
+      site.evidence = std::move(overlap);
+    } else if (!analysis.cfg.is_reachable_insn(site.addr)) {
+      site.verdict = Verdict::kUnknown;
+    } else if (analysis.cfg.jump_targets.count(site.addr + 1) != 0) {
+      site.verdict = Verdict::kUnsafeJumpIntoWindow;
+      site.evidence.push_back(site.addr + 1);
+    } else {
+      site.verdict = Verdict::kSafe;
+    }
+    analysis.sites.push_back(std::move(site));
+  }
+  return analysis;
+}
+
+}  // namespace lzp::analysis

@@ -1,0 +1,86 @@
+// The static rewrite-safety analyzer: classifies every candidate syscall
+// site in a text region with a verdict that an eager rewriter can act on.
+//
+// A *candidate* is any offset whose two bytes encode SYSCALL/SYSENTER (the
+// raw-scan superset — by construction no real site can be missing from it).
+// The verdict lattice, ordered from provably patchable to unknowable:
+//
+//   SAFE                      proven-reachable instruction, window untouched
+//                             by any other reachable instruction or branch
+//   UNSAFE_JUMP_INTO_WINDOW   reachable, but a direct branch targets the
+//                             middle of the 2-byte patch window
+//   UNSAFE_OVERLAP            the 0F 05 pair lies inside (or across) another
+//                             reachable instruction — rewriting corrupts it
+//   UNKNOWN                   not proven reachable by direct control flow:
+//                             data, dead code, or code reached only through
+//                             computed jumps (the §II-B gap; lazy/SUD
+//                             discovery is the only sound interposer here)
+//
+// SAFE is sound under the CFG's two assumptions (computed transfers land on
+// instruction boundaries; returns follow call discipline): a SAFE site is a
+// genuine syscall instruction whose in-place 2-byte rewrite cannot be
+// observed by any other statically known execution path. The randomized
+// differential suite (tests/analysis_test.cpp) checks this against assembler
+// ground truth, and the runtime cross-checker (analysis/crosscheck.hpp)
+// checks it against kernel-assisted discovery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace lzp::analysis {
+
+enum class Verdict : std::uint8_t {
+  kSafe = 0,
+  kUnsafeJumpIntoWindow,
+  kUnsafeOverlap,
+  kUnknown,
+};
+inline constexpr std::size_t kNumVerdicts = 4;
+
+[[nodiscard]] constexpr std::string_view to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kSafe: return "SAFE";
+    case Verdict::kUnsafeJumpIntoWindow: return "UNSAFE_JUMP_INTO_WINDOW";
+    case Verdict::kUnsafeOverlap: return "UNSAFE_OVERLAP";
+    case Verdict::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+// The syscall/sysenter encoding is 2 bytes, and so is its CALL RAX patch.
+inline constexpr std::uint64_t kRewriteWindow = 2;
+
+struct SiteVerdict {
+  std::uint64_t addr = 0;
+  Verdict verdict = Verdict::kUnknown;
+  bool is_sysenter = false;
+  // Supporting evidence (absolute addresses), filled per verdict:
+  // UNSAFE_OVERLAP: the reachable instruction(s) whose span hits the window.
+  // UNSAFE_JUMP_INTO_WINDOW: the mid-window target address.
+  std::vector<std::uint64_t> evidence;
+  // Superset decodings that read through this window (reporting only; a
+  // desynchronized sweep would tokenize the site this many other ways).
+  std::size_t superset_overlaps = 0;
+};
+
+struct Analysis {
+  Cfg cfg;
+  Superset superset;
+  std::vector<SiteVerdict> sites;  // sorted by addr, one per candidate
+
+  [[nodiscard]] std::size_t count(Verdict verdict) const;
+  [[nodiscard]] std::vector<std::uint64_t> sites_with(Verdict verdict) const;
+  [[nodiscard]] const SiteVerdict* find_site(std::uint64_t addr) const;
+};
+
+// Runs superset disassembly + recursive descent over `bytes` and classifies
+// every candidate window. `entry` is the program's absolute entry point.
+[[nodiscard]] Analysis analyze(std::span<const std::uint8_t> bytes,
+                               std::uint64_t base, std::uint64_t entry,
+                               std::span<const std::uint64_t> extra_roots = {});
+
+}  // namespace lzp::analysis

@@ -1,0 +1,238 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace lzp::analysis {
+namespace {
+
+// Direct (statically resolvable) successor model for one instruction.
+struct Succ {
+  bool fallthrough = false;
+  bool has_target = false;
+  std::uint64_t target = 0;   // absolute, valid when has_target
+  bool computed = false;      // JMP_REG / CALL_RAX
+  bool block_end = false;     // ends a basic block
+};
+
+Succ successors(const isa::Instruction& insn, std::uint64_t addr) {
+  const std::uint64_t next = addr + insn.length;
+  Succ s;
+  switch (insn.op) {
+    case isa::Op::kJmpRel:
+      s.has_target = true;
+      s.target = next + static_cast<std::uint64_t>(insn.imm);
+      s.block_end = true;
+      break;
+    case isa::Op::kJz:
+    case isa::Op::kJnz:
+    case isa::Op::kJlt:
+    case isa::Op::kJgt:
+      s.fallthrough = true;
+      s.has_target = true;
+      s.target = next + static_cast<std::uint64_t>(insn.imm);
+      s.block_end = true;
+      break;
+    case isa::Op::kCallRel:
+      // Call discipline: the callee returns to the fallthrough.
+      s.fallthrough = true;
+      s.has_target = true;
+      s.target = next + static_cast<std::uint64_t>(insn.imm);
+      break;
+    case isa::Op::kCallRax:
+      // Computed call target; execution resumes at the fallthrough.
+      s.fallthrough = true;
+      s.computed = true;
+      break;
+    case isa::Op::kJmpReg:
+      s.computed = true;
+      s.block_end = true;
+      break;
+    case isa::Op::kRet:
+    case isa::Op::kHlt:
+      s.block_end = true;
+      break;
+    case isa::Op::kTrap:
+      // A SIGTRAP handler may resume past the breakpoint.
+      s.fallthrough = true;
+      s.block_end = true;
+      break;
+    default:
+      s.fallthrough = true;
+      break;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> Cfg::insns_overlapping_window(
+    std::uint64_t addr, std::uint64_t window) const {
+  std::vector<std::uint64_t> out;
+  const std::uint64_t lo =
+      addr > isa::kMaxInsnLength ? addr - isa::kMaxInsnLength : 0;
+  for (auto it = reachable.lower_bound(lo);
+       it != reachable.end() && it->first < addr + window; ++it) {
+    const std::uint64_t start = it->first;
+    const std::uint64_t end = start + it->second.insn.length;
+    if (start == addr) continue;
+    if (end > addr) out.push_back(start);
+  }
+  return out;
+}
+
+const BasicBlock* Cfg::block_containing(std::uint64_t addr) const {
+  for (const BasicBlock& block : blocks) {
+    if (addr >= block.start && addr < block.end) return &block;
+  }
+  return nullptr;
+}
+
+std::size_t Cfg::reachable_bytes() const {
+  return static_cast<std::size_t>(
+      std::count(byte_reachable.begin(), byte_reachable.end(), true));
+}
+
+Cfg build_cfg(std::span<const std::uint8_t> bytes, std::uint64_t base,
+              std::uint64_t entry, std::span<const std::uint64_t> extra_roots) {
+  Cfg cfg;
+  cfg.base = base;
+  cfg.size = bytes.size();
+  cfg.byte_reachable.assign(bytes.size(), false);
+
+  const auto in_range = [&](std::uint64_t addr) {
+    return addr >= base && addr < base + bytes.size();
+  };
+
+  std::vector<std::uint64_t> worklist;
+  std::set<std::uint64_t> decode_errors;
+  if (in_range(entry)) worklist.push_back(entry);
+  for (std::uint64_t root : extra_roots) {
+    if (in_range(root)) worklist.push_back(root);
+  }
+
+  while (!worklist.empty()) {
+    const std::uint64_t addr = worklist.back();
+    worklist.pop_back();
+    if (cfg.reachable.count(addr) != 0) continue;
+    auto decoded = isa::decode(bytes.subspan(addr - base));
+    if (!decoded) {
+      decode_errors.insert(addr);
+      continue;
+    }
+    const isa::Instruction insn = decoded.value();
+    cfg.reachable.emplace(addr, ReachableInsn{addr, insn});
+    for (std::uint64_t i = 0; i < insn.length; ++i) {
+      cfg.byte_reachable[addr - base + i] = true;
+    }
+
+    const Succ succ = successors(insn, addr);
+    if (succ.computed) cfg.computed_transfers.push_back(addr);
+    if (succ.has_target) {
+      cfg.jump_targets.insert(succ.target);
+      if (in_range(succ.target)) worklist.push_back(succ.target);
+    }
+    if (succ.fallthrough && in_range(addr + insn.length)) {
+      worklist.push_back(addr + insn.length);
+    }
+  }
+  cfg.decode_error_addrs.assign(decode_errors.begin(), decode_errors.end());
+  std::sort(cfg.computed_transfers.begin(), cfg.computed_transfers.end());
+
+  // Basic blocks: walk the reachable instructions in address order, starting
+  // a new block at jump targets and after block-ending instructions, and
+  // closing on discontinuities (which include overlapping decodings — two
+  // reachable streams through the same bytes never share a block).
+  BasicBlock current;
+  bool open = false;
+  auto close = [&] {
+    if (open) cfg.blocks.push_back(current);
+    open = false;
+  };
+  for (const auto& [addr, reach] : cfg.reachable) {
+    const bool is_leader = cfg.jump_targets.count(addr) != 0;
+    if (open && (addr != current.end || is_leader)) close();
+    if (!open) {
+      current = BasicBlock{};
+      current.start = addr;
+      current.end = addr;
+      open = true;
+    }
+    current.insns.push_back(addr);
+    current.end = addr + reach.insn.length;
+
+    const Succ succ = successors(reach.insn, addr);
+    if (succ.computed) current.computed_successor = true;
+    if (succ.block_end) {
+      if (succ.has_target && cfg.reachable.count(succ.target) != 0) {
+        current.succs.push_back(succ.target);
+      }
+      if (succ.fallthrough && cfg.reachable.count(current.end) != 0) {
+        current.succs.push_back(current.end);
+      }
+      if (succ.fallthrough && decode_errors.count(current.end) != 0) {
+        current.ends_in_decode_error = true;
+      }
+      close();
+    } else if (decode_errors.count(current.end) != 0) {
+      current.ends_in_decode_error = true;
+      close();
+    }
+  }
+  close();
+
+  // Fallthrough edges between adjacent blocks split by a leader boundary.
+  for (BasicBlock& block : cfg.blocks) {
+    if (block.succs.empty() && !block.computed_successor &&
+        !block.ends_in_decode_error) {
+      const auto it = cfg.reachable.find(block.end);
+      const bool last_falls_through =
+          !block.insns.empty() &&
+          successors(cfg.reachable.at(block.insns.back()).insn,
+                     block.insns.back())
+              .fallthrough;
+      if (it != cfg.reachable.end() && last_falls_through) {
+        block.succs.push_back(block.end);
+      }
+    }
+  }
+  return cfg;
+}
+
+std::vector<std::uint64_t> Superset::overlapping_starts(
+    std::uint64_t addr, std::size_t window) const {
+  std::vector<std::uint64_t> out;
+  if (addr < base) return out;
+  const std::uint64_t offset = addr - base;
+  const std::uint64_t lo =
+      offset > isa::kMaxInsnLength ? offset - isa::kMaxInsnLength : 0;
+  for (std::uint64_t start = lo;
+       start < offset + window && start < at.size(); ++start) {
+    if (start == offset) continue;
+    const SupersetInsn& insn = at[start];
+    if (insn.valid && start + insn.length > offset) {
+      out.push_back(base + start);
+    }
+  }
+  return out;
+}
+
+std::size_t Superset::valid_decodings() const {
+  return static_cast<std::size_t>(
+      std::count_if(at.begin(), at.end(),
+                    [](const SupersetInsn& insn) { return insn.valid; }));
+}
+
+Superset build_superset(std::span<const std::uint8_t> bytes,
+                        std::uint64_t base) {
+  Superset superset;
+  superset.base = base;
+  superset.at.resize(bytes.size());
+  for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
+    auto decoded = isa::decode(bytes.subspan(offset));
+    if (!decoded) continue;
+    superset.at[offset] = {true, decoded.value().length, decoded.value().op};
+  }
+  return superset;
+}
+
+}  // namespace lzp::analysis

@@ -1,0 +1,113 @@
+// Control-flow-graph construction over a guest text region, the substrate of
+// the rewrite-safety analyzer (analysis/analyzer.hpp).
+//
+// Two complementary decodings of the same bytes:
+//
+//   * RECURSIVE DESCENT from the entry point follows direct control flow
+//     only (fallthrough, rel32 branches and calls, call-return discipline).
+//     Every instruction it reaches is *proven reachable* under two stated
+//     assumptions: (1) computed transfers (JMP_REG / CALL_RAX) target
+//     instruction boundaries, and (2) returns follow call discipline. What
+//     it cannot reach is not "data" — it is merely unproven, which is
+//     exactly the gap the paper's §II-B argues dooms eager rewriting.
+//
+//   * SUPERSET DISASSEMBLY decodes at *every* byte offset, recording which
+//     decodings exist at all. The analyzer uses it to enumerate candidate
+//     syscall windows and to report how a candidate's bytes could be read
+//     by a desynchronized instruction stream.
+//
+// The CFG proper (basic blocks, direct-jump-target set, computed-transfer
+// marks, reachable-byte coverage) is derived from the descent pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "isa/decode.hpp"
+#include "isa/insn.hpp"
+
+namespace lzp::analysis {
+
+// One instruction proven reachable by recursive descent.
+struct ReachableInsn {
+  std::uint64_t addr = 0;
+  isa::Instruction insn;
+};
+
+struct BasicBlock {
+  std::uint64_t start = 0;             // address of the leader instruction
+  std::uint64_t end = 0;               // one past the last instruction's bytes
+  std::vector<std::uint64_t> insns;    // instruction start addresses, in order
+  std::vector<std::uint64_t> succs;    // successor block leaders (direct flow)
+  // The block ends in JMP_REG or CALL_RAX: its real successor set is
+  // unknowable statically.
+  bool computed_successor = false;
+  // Descent stopped here because the bytes do not decode; at run time this
+  // path would fault (SIGILL), so nothing past the failure is proven.
+  bool ends_in_decode_error = false;
+};
+
+struct Cfg {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+
+  // Descent results, keyed by absolute address.
+  std::map<std::uint64_t, ReachableInsn> reachable;
+  std::vector<BasicBlock> blocks;
+
+  // Absolute targets of direct branches/calls from reachable instructions.
+  std::set<std::uint64_t> jump_targets;
+  // Addresses of reachable JMP_REG / CALL_RAX instructions. Non-empty means
+  // unproven regions may still execute (they stay UNKNOWN, never data).
+  std::vector<std::uint64_t> computed_transfers;
+  // Descent decode failures (address where decoding stopped a path).
+  std::vector<std::uint64_t> decode_error_addrs;
+
+  // Per-byte mark: covered by at least one reachable instruction.
+  std::vector<bool> byte_reachable;
+
+  [[nodiscard]] bool is_reachable_insn(std::uint64_t addr) const {
+    return reachable.count(addr) != 0;
+  }
+  // Reachable instructions whose byte span intersects the window
+  // [addr, addr + window) without starting exactly at `addr` — the overlap
+  // test for a candidate rewrite window.
+  [[nodiscard]] std::vector<std::uint64_t> insns_overlapping_window(
+      std::uint64_t addr, std::uint64_t window) const;
+  [[nodiscard]] const BasicBlock* block_containing(std::uint64_t addr) const;
+  [[nodiscard]] std::size_t reachable_bytes() const;
+};
+
+// Builds the CFG by recursive descent from `entry` (an absolute address
+// inside [base, base + bytes.size())). Extra roots (e.g. exported symbols)
+// may be supplied; out-of-range roots are ignored.
+[[nodiscard]] Cfg build_cfg(std::span<const std::uint8_t> bytes,
+                            std::uint64_t base, std::uint64_t entry,
+                            std::span<const std::uint64_t> extra_roots = {});
+
+// Superset disassembly: the decoding attempt at every offset.
+struct SupersetInsn {
+  bool valid = false;
+  std::uint8_t length = 0;
+  isa::Op op = isa::Op::kNop;
+};
+
+struct Superset {
+  std::uint64_t base = 0;
+  std::vector<SupersetInsn> at;  // index = offset into the region
+
+  // Offsets (absolute addresses) whose superset decoding *contains* `addr`
+  // strictly inside its byte span (start < addr < start + length). These are
+  // the desynchronized readings that would mis-tokenize the candidate.
+  [[nodiscard]] std::vector<std::uint64_t> overlapping_starts(
+      std::uint64_t addr, std::size_t window = 1) const;
+  [[nodiscard]] std::size_t valid_decodings() const;
+};
+
+[[nodiscard]] Superset build_superset(std::span<const std::uint8_t> bytes,
+                                      std::uint64_t base);
+
+}  // namespace lzp::analysis

@@ -1,0 +1,121 @@
+#include "analysis/crosscheck.hpp"
+
+#include "base/strings.hpp"
+#include "metrics/json.hpp"
+#include "metrics/report.hpp"
+
+namespace lzp::analysis {
+
+void CrossChecker::add_region(const Analysis& analysis) {
+  for (const SiteVerdict& site : analysis.sites) {
+    SiteRecord& record = sites_[site.addr];
+    record.verdict = site.verdict;
+    record.analyzed = true;
+    if (site.verdict == Verdict::kSafe) safe_sites_.insert(site.addr);
+  }
+}
+
+void CrossChecker::record(kern::Machine& machine, const kern::Task& task,
+                          std::uint64_t site, Verdict verdict,
+                          CrosscheckOutcome outcome) {
+  ++counts_[static_cast<std::size_t>(outcome)];
+  if (auto* sink = machine.trace_sink()) {
+    sink->on_crosscheck(task, site, static_cast<std::uint8_t>(verdict),
+                        static_cast<std::uint8_t>(outcome));
+  }
+}
+
+void CrossChecker::observe_kernel_verified(kern::Machine& machine,
+                                           const kern::Task& task,
+                                           std::uint64_t site) {
+  ++kernel_verified_total_;
+
+  // Execution strictly inside a SAFE window: the 2-byte patch would have
+  // been observed mid-instruction. This must never happen — it falsifies
+  // the verdict the eager rewriter acted on.
+  if (site != 0 && safe_sites_.count(site - 1) != 0) {
+    SiteRecord& inside = sites_[site];
+    ++inside.kernel_verified_hits;
+    record(machine, task, site, Verdict::kSafe,
+           CrosscheckOutcome::kSafeWindowViolation);
+    return;
+  }
+
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.analyzed) {
+    SiteRecord& fresh = sites_[site];
+    ++fresh.kernel_verified_hits;
+    record(machine, task, site, Verdict::kUnknown,
+           CrosscheckOutcome::kUnanalyzedRegion);
+    return;
+  }
+
+  SiteRecord& known = it->second;
+  ++known.kernel_verified_hits;
+  CrosscheckOutcome outcome = CrosscheckOutcome::kConfirmedUnknown;
+  switch (known.verdict) {
+    case Verdict::kSafe: outcome = CrosscheckOutcome::kAgreeSafe; break;
+    case Verdict::kUnknown: outcome = CrosscheckOutcome::kConfirmedUnknown; break;
+    case Verdict::kUnsafeOverlap:
+      outcome = CrosscheckOutcome::kOverlapExecuted;
+      break;
+    case Verdict::kUnsafeJumpIntoWindow:
+      outcome = CrosscheckOutcome::kJumpWindowExecuted;
+      break;
+  }
+  record(machine, task, site, known.verdict, outcome);
+}
+
+void CrossChecker::observe_fast_entry(kern::Machine& machine,
+                                      const kern::Task& task,
+                                      std::uint64_t site) {
+  SiteRecord& rec = sites_[site];
+  ++rec.fast_hits;
+  // A rewritten site reached without any prior kernel verification must be
+  // an eager rewrite, which is only sound for SAFE verdicts.
+  if (rec.kernel_verified_hits == 0 &&
+      (!rec.analyzed || rec.verdict != Verdict::kSafe)) {
+    record(machine, task, site, rec.analyzed ? rec.verdict : Verdict::kUnknown,
+           CrosscheckOutcome::kEagerUnsafeFast);
+  }
+}
+
+std::string CrossChecker::summary() const {
+  std::vector<std::pair<std::string, std::uint64_t>> rows;
+  rows.emplace_back("kernel-verified sites (total hits)",
+                    kernel_verified_total_);
+  for (std::size_t i = 0; i < kNumCrosscheckOutcomes; ++i) {
+    rows.emplace_back(
+        std::string(to_string(static_cast<CrosscheckOutcome>(i))), counts_[i]);
+  }
+  return metrics::counters_table(rows);
+}
+
+std::string CrossChecker::json() const {
+  using metrics::JsonObject;
+  JsonObject outcomes;
+  for (std::size_t i = 0; i < kNumCrosscheckOutcomes; ++i) {
+    outcomes.add(to_string(static_cast<CrosscheckOutcome>(i)), counts_[i]);
+  }
+
+  std::vector<std::string> site_objs;
+  for (const auto& [addr, record] : sites_) {
+    if (record.kernel_verified_hits == 0 && record.fast_hits == 0) continue;
+    JsonObject obj;
+    obj.add("addr", hex_u64(addr))
+        .add("verdict",
+             record.analyzed ? to_string(record.verdict) : "UNANALYZED")
+        .add("kernel_verified_hits", record.kernel_verified_hits)
+        .add("fast_hits", record.fast_hits);
+    site_objs.push_back(obj.render());
+  }
+
+  JsonObject root;
+  root.add("kernel_verified_total", kernel_verified_total_)
+      .add("safe_disagreements", safe_disagreements())
+      .add_raw("outcomes", outcomes.render())
+      .add_raw("observed_sites", metrics::json_array(site_objs));
+  return root.render();
+}
+
+}  // namespace lzp::analysis

@@ -1,0 +1,109 @@
+// Runtime cross-checker: static verdicts vs kernel-assisted ground truth.
+//
+// lazypoline's slow path is an oracle the static analyzer can be scored
+// against: every SUD SIGSYS names the exact address of a syscall instruction
+// that *really executed* — the kernel cannot be desynchronized. A
+// CrossChecker is loaded with one or more Analysis results and then observes
+// the runtime:
+//
+//   * every kernel-verified discovery is matched against the static verdict
+//     at that address (agreement for SAFE, measured §II-B disagreement for
+//     UNSAFE_OVERLAP, the expected gap for UNKNOWN, exhaustiveness escape
+//     for addresses outside every analyzed region — JIT pages, stubs);
+//   * a kernel-verified execution *inside* a SAFE window, or a fast-path
+//     entry from a never-verified non-SAFE site, is a soundness violation —
+//     the verified-eager rewriter patched something it should not have.
+//
+// Each observation is also forwarded to the machine's trace sink
+// (TraceSink::on_crosscheck), so the flight recorder and metrics registry
+// carry the per-site agreement record the EXPERIMENTS table is built from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "kernel/machine.hpp"
+
+namespace lzp::analysis {
+
+enum class CrosscheckOutcome : std::uint8_t {
+  kAgreeSafe = 0,        // kernel verified a SAFE-classified site
+  kConfirmedUnknown,     // kernel verified an UNKNOWN site (the static gap)
+  kOverlapExecuted,      // kernel verified a site classified UNSAFE_OVERLAP
+  kJumpWindowExecuted,   // kernel verified an UNSAFE_JUMP_INTO_WINDOW site
+  kUnanalyzedRegion,     // site outside every analyzed region (JIT, stubs)
+  kSafeWindowViolation,  // execution landed strictly inside a SAFE window
+  kEagerUnsafeFast,      // fast entry from a non-SAFE, never-verified site
+};
+inline constexpr std::size_t kNumCrosscheckOutcomes = 7;
+
+[[nodiscard]] constexpr std::string_view to_string(
+    CrosscheckOutcome outcome) noexcept {
+  switch (outcome) {
+    case CrosscheckOutcome::kAgreeSafe: return "agree-safe";
+    case CrosscheckOutcome::kConfirmedUnknown: return "confirmed-unknown";
+    case CrosscheckOutcome::kOverlapExecuted: return "overlap-executed";
+    case CrosscheckOutcome::kJumpWindowExecuted: return "jump-window-executed";
+    case CrosscheckOutcome::kUnanalyzedRegion: return "unanalyzed-region";
+    case CrosscheckOutcome::kSafeWindowViolation: return "safe-window-violation";
+    case CrosscheckOutcome::kEagerUnsafeFast: return "eager-unsafe-fast";
+  }
+  return "?";
+}
+
+class CrossChecker {
+ public:
+  // Loads the static verdicts of one analyzed region. Regions may be added
+  // before or between runs; overlapping re-registration overwrites.
+  void add_region(const Analysis& analysis);
+
+  // The SUD slow path verified a syscall instruction at `site` (SIGSYS
+  // ip_after - 2). Classifies, records, and emits the trace probe.
+  void observe_kernel_verified(kern::Machine& machine, const kern::Task& task,
+                               std::uint64_t site);
+  // The generic entry was reached from an already-rewritten site (fast
+  // path). Only violations emit trace probes — SAFE fast entries are the
+  // normal case and would swamp the ring.
+  void observe_fast_entry(kern::Machine& machine, const kern::Task& task,
+                          std::uint64_t site);
+
+  struct SiteRecord {
+    Verdict verdict = Verdict::kUnknown;
+    bool analyzed = false;  // false: address outside every loaded region
+    std::uint64_t kernel_verified_hits = 0;
+    std::uint64_t fast_hits = 0;
+  };
+
+  [[nodiscard]] const std::map<std::uint64_t, SiteRecord>& sites() const {
+    return sites_;
+  }
+  [[nodiscard]] std::uint64_t outcome_count(CrosscheckOutcome outcome) const {
+    return counts_[static_cast<std::size_t>(outcome)];
+  }
+  [[nodiscard]] std::uint64_t kernel_verified_total() const {
+    return kernel_verified_total_;
+  }
+  // The gate the verified-eager mode must keep at zero: any dynamic
+  // observation contradicting a SAFE verdict.
+  [[nodiscard]] std::uint64_t safe_disagreements() const {
+    return outcome_count(CrosscheckOutcome::kSafeWindowViolation) +
+           outcome_count(CrosscheckOutcome::kEagerUnsafeFast);
+  }
+
+  // Two-column outcome table (metrics::counters_table shape).
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  void record(kern::Machine& machine, const kern::Task& task,
+              std::uint64_t site, Verdict verdict, CrosscheckOutcome outcome);
+
+  std::map<std::uint64_t, SiteRecord> sites_;
+  std::set<std::uint64_t> safe_sites_;  // for the inside-window check
+  std::uint64_t counts_[kNumCrosscheckOutcomes] = {};
+  std::uint64_t kernel_verified_total_ = 0;
+};
+
+}  // namespace lzp::analysis

@@ -1,0 +1,111 @@
+// Randomized adversarial program generator for the analyzer's soundness
+// evaluation (bench/analysis_accuracy, tests/analysis_test). Header-only
+// evaluation tooling — consumers link lzp_apps for the minilibc emitters;
+// the analysis library itself does not depend on it.
+//
+// Each generated program is runnable (the straight-line shape of the
+// block_exec fuzz programs) and seeded with every classic disassembly trap:
+//
+//   * genuine syscalls sprinkled through reachable code (must end up SAFE);
+//   * 0F 05 pairs inside mov immediates (raw-scan false positives that the
+//     CFG must classify UNSAFE_OVERLAP);
+//   * data islands behind jmp carrying syscall-looking pairs and desync
+//     headers hiding genuine-but-unreachable syscall code (UNKNOWN);
+//   * a never-executed, descent-reachable jump-into-window gadget.
+//
+// Determinism: everything derives from the seed, so a failing seed printed
+// by a gate reproduces the exact program.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/minilibc.hpp"
+#include "base/rng.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::analysis {
+
+inline isa::Program make_adversarial_program(std::uint64_t seed) {
+  using isa::Gpr;
+  Xoshiro256 rng(seed);
+  const Gpr pool[] = {Gpr::rax, Gpr::rbx, Gpr::rdx, Gpr::rbp, Gpr::rsi,
+                      Gpr::rdi, Gpr::r8,  Gpr::r10, Gpr::r12, Gpr::r13,
+                      Gpr::r14, Gpr::r15};
+  auto reg = [&] { return pool[rng.next_below(std::size(pool))]; };
+  auto disp = [&] { return static_cast<std::int32_t>(rng.next_below(64) * 8); };
+
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto gadget = a.new_label();
+  const bool with_gadget = rng.next_below(2) == 0;
+  a.bind(entry);
+  a.mov(Gpr::r9, apps::kDataBase);
+  // r11 is the always-zero guard steering descent into never-executed arms;
+  // it is deliberately outside the random register pool.
+  a.mov(Gpr::r11, 0);
+  for (Gpr r : pool) a.mov(r, rng.next_below(0xFFFF));
+  if (with_gadget) {
+    a.cmp(Gpr::r11, 1);
+    a.jz(gadget);
+  }
+  const std::uint64_t length = 30 + rng.next_below(50);
+  for (std::uint64_t i = 0; i < length; ++i) {
+    switch (rng.next_below(10)) {
+      case 0: a.mov(reg(), rng.next_below(1 << 20)); break;
+      case 1: a.add(reg(), reg()); break;
+      case 2: a.sub(reg(), reg()); break;
+      case 3: a.store(Gpr::r9, disp(), reg()); break;
+      case 4: a.load(reg(), Gpr::r9, disp()); break;
+      case 5: {
+        const Gpr r1 = reg();
+        const Gpr r2 = reg();
+        a.push(r1);
+        a.pop(r2);
+        break;
+      }
+      case 6:  // genuine syscall — the analyzer must prove these SAFE
+        a.mov(Gpr::rax, std::uint64_t{kern::kSysGetpid});
+        a.syscall_();
+        break;
+      case 7:  // overlap bait: immediate whose low bytes read 0F 05
+        a.mov(reg(), 0x050FULL | (rng.next_below(0xFFFF) << 16));
+        break;
+      case 8: {  // data island behind a jmp: syscall-looking pairs in data
+        const auto over = a.new_label();
+        a.jmp(over);
+        a.db({static_cast<std::uint8_t>(rng.next_below(256)), 0x0F,
+              rng.next_below(2) == 0 ? std::uint8_t{0x05} : std::uint8_t{0x34},
+              static_cast<std::uint8_t>(rng.next_below(256))});
+        a.bind(over);
+        break;
+      }
+      case 9: {  // desync header hiding a genuine-but-unreachable syscall
+        const auto over = a.new_label();
+        a.jmp(over);
+        a.db({0xB8});
+        a.mov(Gpr::rax, std::uint64_t{kern::kSysGetpid});
+        a.syscall_();
+        a.bind(over);
+        break;
+      }
+    }
+  }
+  a.mov(Gpr::rdi, Gpr::rbx);
+  apps::emit_syscall(a, kern::kSysExitGroup);
+  if (with_gadget) {
+    // Reachable by descent (via the never-true jz above), never executed:
+    // the 0F 05 window is both a fallthrough instruction and a direct branch
+    // target at its second byte -> UNSAFE_JUMP_INTO_WINDOW.
+    const auto mid = a.new_label();
+    a.bind(gadget);
+    a.jz(mid);
+    a.db({0x0F});
+    a.bind(mid);
+    a.db({0x05});
+    a.ret();
+  }
+  return isa::make_program("advfuzz-" + std::to_string(seed), a, entry).value();
+}
+
+}  // namespace lzp::analysis

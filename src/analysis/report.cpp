@@ -1,0 +1,141 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.hpp"
+#include "isa/decode.hpp"
+#include "metrics/json.hpp"
+
+namespace lzp::analysis {
+
+Accuracy evaluate(const Analysis& analysis, const isa::Program& program) {
+  Accuracy accuracy;
+  const auto truth_vec = program.true_syscall_addresses();
+  const std::set<std::uint64_t> truth(truth_vec.begin(), truth_vec.end());
+
+  std::set<std::uint64_t> safe;
+  for (const SiteVerdict& site : analysis.sites) {
+    if (site.verdict == Verdict::kSafe) safe.insert(site.addr);
+  }
+  for (std::uint64_t addr : safe) {
+    (truth.count(addr) != 0 ? accuracy.safe_true : accuracy.safe_false)
+        .push_back(addr);
+  }
+  for (std::uint64_t addr : truth) {
+    if (safe.count(addr) == 0) accuracy.not_eager.push_back(addr);
+  }
+  return accuracy;
+}
+
+std::string annotated_listing(const Analysis& analysis,
+                              std::span<const std::uint8_t> bytes) {
+  std::string out;
+  const std::uint64_t base = analysis.cfg.base;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const std::uint64_t addr = base + offset;
+    auto decoded = isa::decode(bytes.subspan(offset));
+    // Follow the descent's reading where one exists so the listing shows the
+    // stream the analyzer reasoned about; fall back to linear decode.
+    const auto reach_it = analysis.cfg.reachable.find(addr);
+    const bool reachable = reach_it != analysis.cfg.reachable.end();
+    const std::size_t length =
+        reachable ? reach_it->second.insn.length : (decoded ? decoded.value().length : 1);
+
+    out += reachable ? "* " : "  ";
+    out += hex_u64(addr);
+    out += ":  ";
+    std::string encoded;
+    for (std::size_t i = 0; i < length && offset + i < bytes.size(); ++i) {
+      if (i != 0) encoded += ' ';
+      encoded += hex_byte(bytes[offset + i]);
+    }
+    out += pad_right(encoded, 30);
+    out += decoded ? decoded.value().to_string()
+                   : std::string(".byte ") + hex_byte(bytes[offset]);
+    // Verdicts for every candidate window beginning inside this line.
+    for (std::size_t i = 0; i < length && offset + i < bytes.size(); ++i) {
+      if (const SiteVerdict* site = analysis.find_site(addr + i)) {
+        out += "    <- ";
+        out += to_string(site->verdict);
+        if (i != 0) {
+          out += " @+";
+          out += std::to_string(i);
+        }
+      }
+    }
+    out += '\n';
+    offset += length;
+  }
+  return out;
+}
+
+std::string json_report(const Analysis& analysis,
+                        const std::string& region_name) {
+  using metrics::JsonObject;
+
+  std::vector<std::string> site_objs;
+  site_objs.reserve(analysis.sites.size());
+  for (const SiteVerdict& site : analysis.sites) {
+    JsonObject obj;
+    obj.add("addr", hex_u64(site.addr))
+        .add("insn", site.is_sysenter ? "sysenter" : "syscall")
+        .add("verdict", to_string(site.verdict))
+        .add("superset_overlaps",
+             static_cast<std::uint64_t>(site.superset_overlaps));
+    std::vector<std::string> evidence;
+    evidence.reserve(site.evidence.size());
+    for (std::uint64_t addr : site.evidence) {
+      evidence.push_back('"' + hex_u64(addr) + '"');
+    }
+    obj.add_raw("evidence", metrics::json_array(evidence));
+    site_objs.push_back(obj.render());
+  }
+
+  JsonObject cfg_obj;
+  cfg_obj.add("reachable_insns",
+              static_cast<std::uint64_t>(analysis.cfg.reachable.size()))
+      .add("basic_blocks", static_cast<std::uint64_t>(analysis.cfg.blocks.size()))
+      .add("jump_targets",
+           static_cast<std::uint64_t>(analysis.cfg.jump_targets.size()))
+      .add("computed_transfers",
+           static_cast<std::uint64_t>(analysis.cfg.computed_transfers.size()))
+      .add("decode_error_paths",
+           static_cast<std::uint64_t>(analysis.cfg.decode_error_addrs.size()))
+      .add("reachable_bytes",
+           static_cast<std::uint64_t>(analysis.cfg.reachable_bytes()))
+      .add("region_bytes", analysis.cfg.size)
+      .add("superset_decodings",
+           static_cast<std::uint64_t>(analysis.superset.valid_decodings()));
+
+  JsonObject verdicts;
+  verdicts.add("safe", static_cast<std::uint64_t>(analysis.count(Verdict::kSafe)))
+      .add("unsafe_overlap",
+           static_cast<std::uint64_t>(analysis.count(Verdict::kUnsafeOverlap)))
+      .add("unsafe_jump_into_window",
+           static_cast<std::uint64_t>(
+               analysis.count(Verdict::kUnsafeJumpIntoWindow)))
+      .add("unknown",
+           static_cast<std::uint64_t>(analysis.count(Verdict::kUnknown)));
+
+  JsonObject root;
+  root.add("region", region_name)
+      .add("base", hex_u64(analysis.cfg.base))
+      .add_raw("cfg", cfg_obj.render())
+      .add_raw("verdicts", verdicts.render())
+      .add_raw("sites", metrics::json_array(site_objs));
+  return root.render();
+}
+
+std::string verdict_summary(const Analysis& analysis) {
+  std::string out;
+  out += "safe=" + std::to_string(analysis.count(Verdict::kSafe));
+  out += " overlap=" + std::to_string(analysis.count(Verdict::kUnsafeOverlap));
+  out += " jump=" +
+         std::to_string(analysis.count(Verdict::kUnsafeJumpIntoWindow));
+  out += " unknown=" + std::to_string(analysis.count(Verdict::kUnknown));
+  return out;
+}
+
+}  // namespace lzp::analysis

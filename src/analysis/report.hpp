@@ -1,0 +1,42 @@
+// Reporting over an Analysis: machine-readable JSON (the examples/analyze
+// artifact), an annotated objdump-style listing, and the accuracy evaluation
+// against assembler ground truth that backs the EXPERIMENTS.md §II-B table.
+#pragma once
+
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "isa/assemble.hpp"
+
+namespace lzp::analysis {
+
+// How the analyzer's SAFE set fares as an *eager rewrite list* against the
+// assembler's ground truth (the same contract disasm::evaluate applies to
+// the raw/sweep scanners, so the four columns are directly comparable).
+struct Accuracy {
+  std::vector<std::uint64_t> safe_true;     // SAFE and a genuine site
+  std::vector<std::uint64_t> safe_false;    // SAFE but NOT a site: unsound!
+  std::vector<std::uint64_t> not_eager;     // genuine sites left to lazy/SUD
+                                            // (UNKNOWN / UNSAFE verdicts)
+
+  [[nodiscard]] bool sound() const noexcept { return safe_false.empty(); }
+};
+
+[[nodiscard]] Accuracy evaluate(const Analysis& analysis,
+                                const isa::Program& program);
+
+// One-line-per-instruction listing of the analyzed region. Each line carries
+// the reachability mark ('*' descended, ' ' unproven) and candidate windows
+// are annotated with their verdict.
+[[nodiscard]] std::string annotated_listing(
+    const Analysis& analysis, std::span<const std::uint8_t> bytes);
+
+// Full JSON report: region stats, CFG summary, per-site verdicts with
+// evidence. Rendered with metrics::JsonObject (stable key order).
+[[nodiscard]] std::string json_report(const Analysis& analysis,
+                                      const std::string& region_name);
+
+// Compact per-verdict histogram, e.g. "safe=12 overlap=3 jump=0 unknown=2".
+[[nodiscard]] std::string verdict_summary(const Analysis& analysis);
+
+}  // namespace lzp::analysis

@@ -131,6 +131,15 @@ Status Lazypoline::init_task(Task& task, bool install_trampoline) {
   // Init-time work (mmap/mprotect/prctl/sigaction calls of a real library).
   machine_.charge(task, 5 * machine_.costs().raw_nosys_roundtrip());
 
+  // Verified-eager hybrid: patch statically proven-SAFE sites up front so
+  // they never take the one-shot SIGSYS path. Runs after the trampoline is
+  // in place (the patched CALL RAX must have somewhere to land) and again on
+  // every execve re-init, against the freshly loaded image.
+  if (config_.eager_verified_rewrite && config_.rewrite_to_fast_path &&
+      install_trampoline) {
+    eager_rewrite_safe_sites(task);
+  }
+
   locals_[task.tid] = std::move(local);
   app_signals_.emplace(task.process->pid, AppSigTable{});
   if (auto* sink = machine_.trace_sink()) {
@@ -225,6 +234,33 @@ void Lazypoline::xstate_pop(Task& task, TaskLocal& local, bool discard) {
   }
 }
 
+void Lazypoline::eager_rewrite_safe_sites(Task& task) {
+  const isa::Program* program =
+      machine_.find_program(task.process->program_name);
+  if (program == nullptr) return;  // unregistered image: lazy covers it all
+
+  const analysis::Analysis result =
+      analysis::analyze(program->image, program->base, program->entry);
+  if (cross_checker_) cross_checker_->add_region(result);
+  for (const analysis::SiteVerdict& site : result.sites) {
+    if (site.verdict != analysis::Verdict::kSafe) {
+      ++stats_.eager_sites_deferred;
+      continue;
+    }
+    // A thread or forked child sharing already-patched text: rewrite_locked
+    // finds CALL RAX instead of SYSCALL and returns without touching it.
+    std::uint8_t bytes[2] = {};
+    const bool already =
+        task.mem->read_force(site.addr, bytes).is_ok() &&
+        !isa::is_syscall_bytes(bytes);
+    if (Status status = rewrite_locked(task, site.addr); !status.is_ok()) {
+      LZP_LOG_WARN << "lazypoline: eager rewrite failed: " << status.to_string();
+    } else if (!already) {
+      ++stats_.eager_sites_rewritten;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Slow path: SUD SIGSYS -> verify site, rewrite, redirect to the entry
 // ---------------------------------------------------------------------------
@@ -280,6 +316,9 @@ void Lazypoline::on_sigsys(HostFrame& frame) {
   // instruction: ip_after points right past its 2-byte encoding. Rewrite it
   // so every later execution takes the fast path.
   const std::uint64_t site = info.ip_after_syscall - 2;
+  if (cross_checker_) {
+    cross_checker_->observe_kernel_verified(machine_, task, site);
+  }
   if (config_.rewrite_to_fast_path) {
     if (Status status = rewrite_locked(task, site); !status.is_ok()) {
       LZP_LOG_WARN << "lazypoline: rewrite failed at site: " << status.to_string();
@@ -339,6 +378,9 @@ void Lazypoline::on_entry(HostFrame& frame) {
   for (std::size_t i = 0; i < 6; ++i) req.args[i] = frame.ctx.syscall_arg(i);
   if (auto ret_addr = task.mem->read_u64(frame.ctx.rsp())) {
     req.site = ret_addr.value() - 2;
+    if (!slow && cross_checker_) {
+      cross_checker_->observe_fast_entry(machine_, task, req.site);
+    }
   }
 
   bool context_replaced = false;

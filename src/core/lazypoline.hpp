@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/crosscheck.hpp"
 #include "cpu/context.hpp"
 #include "interpose/mechanism.hpp"
 
@@ -58,6 +59,13 @@ struct LazypolineConfig {
   // fast path without the SUD-armed kernel entry cost (Figure 4's
   // "lazypoline without SUD" == zpoline configuration).
   bool use_sud = true;
+  // Verified-eager hybrid: at init (and after every execve re-init), run the
+  // static rewrite-safety analyzer (src/analysis) over the task's program
+  // image and patch the sites it proves SAFE ahead of time, so they never
+  // pay the one-shot SIGSYS discovery. Everything the analyzer cannot prove
+  // (UNSAFE_*, UNKNOWN, JIT-generated code, runtime stubs) still reaches the
+  // lazy/SUD slow path — exhaustiveness is unchanged.
+  bool eager_verified_rewrite = false;
   // §VI security extension: isolate the interposer's sensitive state (the
   // SUD selector byte, the sigreturn stack, the xsave areas) from the
   // application. The %gs region is mapped read-only for guest code; only the
@@ -71,6 +79,8 @@ struct LazypolineStats {
   std::uint64_t entry_invocations = 0;   // fast+slow, total interpositions
   std::uint64_t slow_path_hits = 0;      // SIGSYS-mediated (first use of a site)
   std::uint64_t sites_rewritten = 0;
+  std::uint64_t eager_sites_rewritten = 0;  // subset patched ahead of time
+  std::uint64_t eager_sites_deferred = 0;   // non-SAFE candidates left lazy
   std::uint64_t rewrite_lock_acquisitions = 0;
   std::uint64_t signals_wrapped = 0;     // app signal deliveries virtualized
   std::uint64_t sigreturns_trampolined = 0;
@@ -111,6 +121,18 @@ class Lazypoline final : public interpose::Mechanism,
   // The generic interposer entry point's (host) address — exposed for tests
   // and diagnostics that need to observe execution at the fast/slow joint.
   [[nodiscard]] std::uint64_t entry_address() const noexcept { return entry_addr_; }
+
+  // Attaches the static/dynamic cross-checker: SIGSYS discoveries (kernel
+  // ground truth) and fast-path entries are reported against the static
+  // verdicts it holds. With eager_verified_rewrite the runtime registers its
+  // own analysis of each program image; callers may add further regions.
+  void set_cross_checker(std::shared_ptr<analysis::CrossChecker> checker) {
+    cross_checker_ = std::move(checker);
+  }
+  [[nodiscard]] const std::shared_ptr<analysis::CrossChecker>& cross_checker()
+      const noexcept {
+    return cross_checker_;
+  }
 
   // Benchmark support (§V-B: "we manually rewrote the syscall instruction up
   // front, so there is no initial execution of the slow path").
@@ -178,11 +200,13 @@ class Lazypoline final : public interpose::Mechanism,
   [[nodiscard]] std::uint64_t xstate_cost() const noexcept;
 
   Status rewrite_locked(kern::Task& task, std::uint64_t site_addr);
+  void eager_rewrite_safe_sites(kern::Task& task);
 
   kern::Machine& machine_;
   LazypolineConfig config_;
   LazypolineStats stats_;
   std::shared_ptr<interpose::SyscallHandler> handler_;
+  std::shared_ptr<analysis::CrossChecker> cross_checker_;
 
   std::uint64_t sigsys_addr_ = 0;
   std::uint64_t entry_addr_ = 0;

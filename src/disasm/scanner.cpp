@@ -42,15 +42,39 @@ ScanResult linear_sweep(std::span<const std::uint8_t> bytes, std::uint64_t base)
   return result;
 }
 
+// Establishes the ScanResult invariant: sites sorted ascending, unique.
+void normalize(ScanResult& result) {
+  std::sort(result.syscall_sites.begin(), result.syscall_sites.end());
+  result.syscall_sites.erase(
+      std::unique(result.syscall_sites.begin(), result.syscall_sites.end()),
+      result.syscall_sites.end());
+}
+
 }  // namespace
 
 ScanResult scan(std::span<const std::uint8_t> bytes, std::uint64_t base,
                 Strategy strategy) {
+  ScanResult result;
   switch (strategy) {
-    case Strategy::kRawBytes: return raw_byte_scan(bytes, base);
-    case Strategy::kLinearSweep: return linear_sweep(bytes, base);
+    case Strategy::kRawBytes:
+      result = raw_byte_scan(bytes, base);
+      break;
+    case Strategy::kLinearSweep:
+      result = linear_sweep(bytes, base);
+      break;
+    case Strategy::kUnion: {
+      result = raw_byte_scan(bytes, base);
+      ScanResult sweep = linear_sweep(bytes, base);
+      result.syscall_sites.insert(result.syscall_sites.end(),
+                                  sweep.syscall_sites.begin(),
+                                  sweep.syscall_sites.end());
+      result.decode_errors = sweep.decode_errors;
+      result.insns_decoded = sweep.insns_decoded;
+      break;
+    }
   }
-  return {};
+  normalize(result);
+  return result;
 }
 
 std::string listing(std::span<const std::uint8_t> bytes, std::uint64_t base) {

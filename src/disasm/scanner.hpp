@@ -26,10 +26,14 @@ namespace lzp::disasm {
 enum class Strategy : std::uint8_t {
   kRawBytes,     // grep for the 2-byte syscall encodings
   kLinearSweep,  // decode linearly, resync +1 byte on decode failure
+  kUnion,        // merge of both: everything either strategy reports
 };
 
 struct ScanResult {
-  std::vector<std::uint64_t> syscall_sites;  // absolute addresses
+  // Absolute addresses, always sorted ascending with no duplicates — the
+  // invariant holds for every strategy, including kUnion, so consumers can
+  // merge or diff results without re-normalizing.
+  std::vector<std::uint64_t> syscall_sites;
   std::size_t decode_errors = 0;             // resyncs (linear sweep only)
   std::size_t insns_decoded = 0;
 };

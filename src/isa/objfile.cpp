@@ -25,8 +25,14 @@ bool get(std::span<const std::uint8_t>& in, T* value) {
 }  // namespace
 
 std::vector<std::uint8_t> serialize_program(const Program& program) {
-  std::vector<std::uint8_t> out;
-  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  // Constructed from the magic rather than insert()ed into an empty vector:
+  // GCC 12's -Wstringop-overflow misfires on the range-insert reallocation
+  // path here under -O2.
+  std::vector<std::uint8_t> out(std::begin(kMagic), std::end(kMagic));
+  constexpr std::size_t kSiteRecordSize = 8 + 1 + 1 + 1 + 1;
+  out.reserve(sizeof(kMagic) + sizeof(kObjFileVersion) + 5 * sizeof(std::uint64_t) +
+              program.name.size() + program.image.size() +
+              program.ground_truth.size() * kSiteRecordSize);
   put(out, kObjFileVersion);
   put(out, program.base);
   put(out, program.entry);

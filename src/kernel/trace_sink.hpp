@@ -96,6 +96,14 @@ class TraceSink {
   virtual void on_block_invalidation(const Task&, std::uint64_t /*rip*/) {}
   // An interposition mechanism finished arming itself on a task.
   virtual void on_mechanism_install(const Task&, InterposeMechanism) {}
+  // The static/dynamic cross-checker (analysis/crosscheck.hpp) matched a
+  // runtime observation at `site` against the static rewrite-safety verdict.
+  // `verdict` is an analysis::Verdict and `outcome` an
+  // analysis::CrosscheckOutcome, passed as raw bytes so the kernel probe
+  // layer stays independent of the analysis library.
+  virtual void on_crosscheck(const Task&, std::uint64_t /*site*/,
+                             std::uint8_t /*verdict*/,
+                             std::uint8_t /*outcome*/) {}
   // Task lifecycle: start/switch/clone/execve/exit.
   virtual void on_task_event(const Task&, TaskEvent, std::uint64_t /*detail*/) {}
 

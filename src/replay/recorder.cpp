@@ -4,6 +4,15 @@
 
 #include "kernel/syscalls.hpp"
 
+// GCC 12's -Wmaybe-uninitialized misfires on the std::variant move path of
+// vector reallocation when an alternative holds a std::vector (here the
+// MemPatch list inside SyscallEvent): it models the moved-from element's
+// vector pointers as possibly uninitialized even though the variant's
+// discriminant guarantees the active alternative was constructed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace lzp::replay {
 
 std::uint64_t hash_registers(const cpu::CpuContext& ctx) noexcept {

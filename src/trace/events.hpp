@@ -25,6 +25,7 @@ enum class EventType : std::uint8_t {
   kDecodeInvalidation,  // a = rip whose cached decode went stale
   kBlockInvalidation,   // a = rip whose cached superblock went stale
   kMechanismInstall,    // mech = the mechanism that finished arming
+  kCrosscheck,          // a = site, b = static verdict, c = outcome
   kTaskStart,           // a = entry rip
   kTaskSwitch,
   kClone,               // a = child tid
@@ -43,6 +44,7 @@ enum class EventType : std::uint8_t {
     case EventType::kDecodeInvalidation: return "decode-invalidation";
     case EventType::kBlockInvalidation: return "block-invalidation";
     case EventType::kMechanismInstall: return "mechanism-install";
+    case EventType::kCrosscheck: return "crosscheck";
     case EventType::kTaskStart: return "task-start";
     case EventType::kTaskSwitch: return "task-switch";
     case EventType::kClone: return "clone";

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/crosscheck.hpp"
 #include "base/strings.hpp"
 #include "kernel/syscalls.hpp"
 #include "metrics/json.hpp"
@@ -43,6 +44,12 @@ std::string instant_args(const Event& event) {
       break;
     case EventType::kSeccompDecision:
       args.add("nr", event.a).add("action", event.b);
+      break;
+    case EventType::kCrosscheck:
+      args.add("site", hex_u64(event.a))
+          .add("verdict", to_string(static_cast<analysis::Verdict>(event.b)))
+          .add("outcome",
+               to_string(static_cast<analysis::CrosscheckOutcome>(event.c)));
       break;
     case EventType::kTaskStart:
       args.add("entry", hex_u64(event.a));

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "analysis/crosscheck.hpp"
+
 namespace lzp::trace {
 namespace {
 
@@ -183,6 +185,20 @@ void Tracer::on_mechanism_install(const kern::Task& task,
   Event event;
   event.type = EventType::kMechanismInstall;
   event.mech = mech;
+  push_event(task, event);
+}
+
+void Tracer::on_crosscheck(const kern::Task& task, std::uint64_t site,
+                           std::uint8_t verdict, std::uint8_t outcome) {
+  if (!enabled()) return;
+  metrics_.bump("crosscheck." +
+                std::string(to_string(
+                    static_cast<analysis::CrosscheckOutcome>(outcome))));
+  Event event;
+  event.type = EventType::kCrosscheck;
+  event.a = site;
+  event.b = verdict;
+  event.c = outcome;
   push_event(task, event);
 }
 

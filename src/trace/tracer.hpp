@@ -59,6 +59,8 @@ class Tracer final : public kern::TraceSink {
   void on_block_invalidation(const kern::Task& task, std::uint64_t rip) override;
   void on_mechanism_install(const kern::Task& task,
                             kern::InterposeMechanism mech) override;
+  void on_crosscheck(const kern::Task& task, std::uint64_t site,
+                     std::uint8_t verdict, std::uint8_t outcome) override;
   void on_task_event(const kern::Task& task, TaskEvent event,
                      std::uint64_t detail) override;
 

@@ -1,5 +1,6 @@
 #include "zpoline/zpoline.hpp"
 
+#include "analysis/analyzer.hpp"
 #include "isa/decode.hpp"
 #include "kernel/syscalls.hpp"
 
@@ -127,13 +128,34 @@ Status ZpolineMechanism::install(kern::Machine& machine, kern::Tid tid,
 
   LZP_RETURN_IF_ERROR(install_trampoline(machine, *task, entry));
 
-  // Static scan of the (load-time) text image, then rewrite what was found.
-  const disasm::ScanResult scan_result =
-      disasm::scan(program->image, program->base, options_.scan_strategy);
-  stats_.scan_decode_errors = scan_result.decode_errors;
-  for (std::uint64_t site : scan_result.syscall_sites) {
-    LZP_RETURN_IF_ERROR(rewrite_site(machine, *task, site));
-    ++stats_.sites_rewritten;
+  if (options_.verified_only) {
+    // Verified-eager mode: CFG + superset analysis over the load-time text
+    // image; only sites with a SAFE rewrite-safety verdict are patched.
+    const analysis::Analysis result =
+        analysis::analyze(program->image, program->base, program->entry);
+    for (const analysis::SiteVerdict& site : result.sites) {
+      switch (site.verdict) {
+        case analysis::Verdict::kSafe:
+          LZP_RETURN_IF_ERROR(rewrite_site(machine, *task, site.addr));
+          ++stats_.sites_rewritten;
+          break;
+        case analysis::Verdict::kUnknown:
+          ++stats_.sites_skipped_unknown;
+          break;
+        default:
+          ++stats_.sites_skipped_unsafe;
+          break;
+      }
+    }
+  } else {
+    // Static scan of the (load-time) text image, then rewrite what was found.
+    const disasm::ScanResult scan_result =
+        disasm::scan(program->image, program->base, options_.scan_strategy);
+    stats_.scan_decode_errors = scan_result.decode_errors;
+    for (std::uint64_t site : scan_result.syscall_sites) {
+      LZP_RETURN_IF_ERROR(rewrite_site(machine, *task, site));
+      ++stats_.sites_rewritten;
+    }
   }
   if (auto* sink = machine.trace_sink()) {
     sink->on_mechanism_install(*task, kern::InterposeMechanism::kZpoline);

@@ -24,11 +24,20 @@ namespace lzp::zpoline {
 
 struct ZpolineOptions {
   disasm::Strategy scan_strategy = disasm::Strategy::kLinearSweep;
+  // Verified-eager mode: replace the scanner with the CFG rewrite-safety
+  // analyzer (src/analysis) and patch only sites it proves SAFE. Unsafe and
+  // unknown candidates are left untouched — under pure zpoline they escape
+  // interposition (honestly reported in stats); under lazypoline the SUD
+  // slow path still catches them.
+  bool verified_only = false;
 };
 
 struct ZpolineStats {
   std::size_t sites_rewritten = 0;
   std::size_t scan_decode_errors = 0;
+  // Verified-eager mode: candidates the analyzer refused to patch.
+  std::size_t sites_skipped_unsafe = 0;
+  std::size_t sites_skipped_unknown = 0;
 };
 
 class ZpolineMechanism final : public interpose::Mechanism {

@@ -1,0 +1,393 @@
+// The static rewrite-safety analyzer: CFG construction, the verdict lattice,
+// the randomized soundness suite (zero SAFE false positives vs assembler
+// ground truth), the verified-eager lazypoline differential, and the runtime
+// cross-checker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/cfg.hpp"
+#include "analysis/crosscheck.hpp"
+#include "analysis/fuzz_programs.hpp"
+#include "analysis/report.hpp"
+#include "apps/minilibc.hpp"
+#include "core/lazypoline.hpp"
+#include "interpose/handler.hpp"
+#include "kernel/machine.hpp"
+#include "kernel/syscalls.hpp"
+#include "sim_test_util.hpp"
+#include "zpoline/zpoline.hpp"
+
+namespace lzp {
+namespace {
+
+using isa::Gpr;
+
+// One program exercising all four verdicts (the same traps as the
+// examples/analyze adversarial workload):
+//   * a reachable, clean syscall                      -> SAFE
+//   * 0F 05 inside a reachable mov immediate          -> UNSAFE_OVERLAP
+//   * a data island behind jmp with a 0F 05 pair      -> UNKNOWN
+//   * a desync header hiding a genuine syscall        -> UNKNOWN (true site)
+//   * a window that is also a direct branch target    -> UNSAFE_JUMP_INTO_WINDOW
+// Runnable: the gadget arm is descent-reachable but guarded by a never-true
+// branch, so execution takes only the clean path and exits 0.
+struct FourVerdicts {
+  isa::Program program;
+  std::uint64_t safe_site = 0;      // the clean getpid syscall
+  std::uint64_t overlap_site = 0;   // candidate inside the mov immediate
+  std::uint64_t overlap_insn = 0;   // the mov that owns those bytes
+  std::uint64_t island_site = 0;    // candidate in the data island
+  std::uint64_t hidden_site = 0;    // genuine syscall behind the desync header
+  std::uint64_t gadget_site = 0;    // the jump-into-window candidate
+};
+
+FourVerdicts make_four_verdicts() {
+  FourVerdicts out;
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto gadget = a.new_label();
+  const auto mid = a.new_label();
+  const auto after = a.new_label();
+  const std::uint64_t base = 0x40'0000;
+  a.bind(entry);
+  a.mov(Gpr::rbx, 1);
+  a.cmp(Gpr::rbx, 0x7777);
+  a.jz(gadget);
+  a.mov(Gpr::rax, kern::kSysGetpid);
+  out.safe_site = base + a.offset();
+  a.syscall_();
+  out.overlap_insn = base + a.offset();
+  a.mov(Gpr::rcx, 0x050FULL);
+  out.overlap_site = out.overlap_insn + 2;  // imm bytes follow op+reg
+  a.jmp(after);
+  out.island_site = base + a.offset() + 2;
+  a.db({0x68, 0x69, 0x0F, 0x05, 0x0A, 0x00});
+  a.db({0xB8});
+  a.mov(Gpr::rax, kern::kSysGetpid);
+  out.hidden_site = base + a.offset();
+  a.syscall_();
+  a.bind(after);
+  apps::emit_exit(a, 0);
+  a.bind(gadget);
+  a.jz(mid);
+  out.gadget_site = base + a.offset();
+  a.db({0x0F});
+  a.bind(mid);
+  a.db({0x05});
+  a.ret();
+  out.program = isa::make_program("four-verdicts", a, entry, base).value();
+  return out;
+}
+
+analysis::Analysis analyze(const isa::Program& program) {
+  return analysis::analyze(program.image, program.base, program.entry);
+}
+
+// --- CFG construction --------------------------------------------------------
+
+TEST(CfgTest, LoopProgramHasBlocksAndJumpTargets) {
+  const auto program = testutil::make_syscall_loop(kern::kSysGetpid, 5);
+  const auto cfg = analysis::build_cfg(program.image, program.base,
+                                       program.entry);
+  EXPECT_TRUE(cfg.is_reachable_insn(program.entry));
+  EXPECT_FALSE(cfg.blocks.empty());
+  EXPECT_FALSE(cfg.jump_targets.empty());
+  // Every ground-truth instruction of this fully-connected program is
+  // reachable, at exactly its real boundary.
+  for (const auto& site : program.ground_truth) {
+    if (site.is_data) continue;
+    EXPECT_TRUE(cfg.is_reachable_insn(program.base + site.offset))
+        << "offset " << site.offset;
+  }
+  // Blocks partition the reachable set: every reachable insn is in exactly
+  // one block.
+  std::size_t in_blocks = 0;
+  for (const auto& block : cfg.blocks) in_blocks += block.insns.size();
+  EXPECT_EQ(in_blocks, cfg.reachable.size());
+}
+
+TEST(CfgTest, DataIslandBehindJmpIsNotReachable) {
+  const auto four = make_four_verdicts();
+  const auto cfg = analysis::build_cfg(four.program.image, four.program.base,
+                                       four.program.entry);
+  EXPECT_FALSE(cfg.is_reachable_insn(four.island_site));
+  EXPECT_FALSE(cfg.is_reachable_insn(four.hidden_site));
+  // The gadget arm IS reachable (via the never-true jz).
+  EXPECT_TRUE(cfg.is_reachable_insn(four.gadget_site));
+}
+
+TEST(CfgTest, OverlapWindowQueryFindsOwningInstruction) {
+  const auto four = make_four_verdicts();
+  const auto cfg = analysis::build_cfg(four.program.image, four.program.base,
+                                       four.program.entry);
+  const auto overlapping =
+      cfg.insns_overlapping_window(four.overlap_site, analysis::kRewriteWindow);
+  ASSERT_EQ(overlapping.size(), 1u);
+  EXPECT_EQ(overlapping[0], four.overlap_insn);
+  // A clean site has no overlapping reachable instruction.
+  EXPECT_TRUE(cfg.insns_overlapping_window(four.safe_site,
+                                           analysis::kRewriteWindow)
+                  .empty());
+}
+
+// --- verdict lattice ---------------------------------------------------------
+
+TEST(AnalyzerTest, FourVerdictsClassifiedExactly) {
+  const auto four = make_four_verdicts();
+  const auto result = analyze(four.program);
+
+  const auto* safe = result.find_site(four.safe_site);
+  ASSERT_NE(safe, nullptr);
+  EXPECT_EQ(safe->verdict, analysis::Verdict::kSafe);
+
+  const auto* overlap = result.find_site(four.overlap_site);
+  ASSERT_NE(overlap, nullptr);
+  EXPECT_EQ(overlap->verdict, analysis::Verdict::kUnsafeOverlap);
+  ASSERT_FALSE(overlap->evidence.empty());
+  EXPECT_EQ(overlap->evidence[0], four.overlap_insn);
+
+  const auto* island = result.find_site(four.island_site);
+  ASSERT_NE(island, nullptr);
+  EXPECT_EQ(island->verdict, analysis::Verdict::kUnknown);
+
+  const auto* hidden = result.find_site(four.hidden_site);
+  ASSERT_NE(hidden, nullptr);
+  EXPECT_EQ(hidden->verdict, analysis::Verdict::kUnknown);
+
+  const auto* gadget = result.find_site(four.gadget_site);
+  ASSERT_NE(gadget, nullptr);
+  EXPECT_EQ(gadget->verdict, analysis::Verdict::kUnsafeJumpIntoWindow);
+  ASSERT_FALSE(gadget->evidence.empty());
+  EXPECT_EQ(gadget->evidence[0], four.gadget_site + 1);
+}
+
+TEST(AnalyzerTest, StraightLineSyscallsAreSafe) {
+  const auto program = testutil::make_getpid_once();
+  const auto result = analyze(program);
+  EXPECT_EQ(result.count(analysis::Verdict::kSafe), 2u);
+  EXPECT_EQ(result.sites.size(), 2u);
+  const auto acc = analysis::evaluate(result, program);
+  EXPECT_TRUE(acc.sound());
+  EXPECT_EQ(acc.safe_true.size(), 2u);
+  EXPECT_TRUE(acc.not_eager.empty());
+}
+
+TEST(AnalyzerTest, EvaluateSeparatesDeferredFromLost) {
+  const auto four = make_four_verdicts();
+  const auto acc = analysis::evaluate(analyze(four.program), four.program);
+  EXPECT_TRUE(acc.sound());
+  // The hidden (desync-header) syscall is genuine but UNKNOWN: deferred.
+  EXPECT_NE(std::find(acc.not_eager.begin(), acc.not_eager.end(),
+                      four.hidden_site),
+            acc.not_eager.end());
+}
+
+TEST(AnalyzerTest, ReportsRenderAllSites) {
+  const auto four = make_four_verdicts();
+  const auto result = analyze(four.program);
+  const std::string json = analysis::json_report(result, "four-verdicts");
+  EXPECT_NE(json.find("UNSAFE_OVERLAP"), std::string::npos);
+  EXPECT_NE(json.find("UNSAFE_JUMP_INTO_WINDOW"), std::string::npos);
+  const std::string listing =
+      analysis::annotated_listing(result, four.program.image);
+  EXPECT_NE(listing.find("<- SAFE"), std::string::npos);
+  EXPECT_NE(listing.find("UNKNOWN"), std::string::npos);
+  EXPECT_FALSE(analysis::verdict_summary(result).empty());
+}
+
+// --- randomized soundness ----------------------------------------------------
+
+class AnalysisSoundnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisSoundnessTest, NoSafeFalsePositivesOnAdversarialPrograms) {
+  Xoshiro256 seeder(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const std::uint64_t seed = seeder.next();
+    const isa::Program program = analysis::make_adversarial_program(seed);
+    const auto result = analyze(program);
+    const auto acc = analysis::evaluate(result, program);
+    ASSERT_TRUE(acc.sound())
+        << "seed " << seed << ": " << acc.safe_false.size()
+        << " SAFE window(s) that are not genuine syscall instructions";
+    // Candidates cover every genuine site by construction (raw-scan
+    // superset): nothing is lost, only deferred.
+    ASSERT_EQ(acc.safe_true.size() + acc.not_eager.size(),
+              program.true_syscall_addresses().size())
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisSoundnessTest,
+                         ::testing::Values(7, 99, 1234, 0xC0FFEE));
+
+// --- verified-eager lazypoline differential ---------------------------------
+
+struct LazyRun {
+  int exit_code = -1;
+  std::uint64_t interposed = 0;
+  std::uint64_t slow = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t eager_rewritten = 0;
+  std::uint64_t safe_disagreements = 0;
+};
+
+LazyRun run_lazypoline(const isa::Program& program, bool eager) {
+  LazyRun out;
+  kern::Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(program);
+  auto tid = machine.load(program);
+  EXPECT_TRUE(tid.is_ok());
+  if (!tid.is_ok()) return out;
+
+  core::LazypolineConfig config;
+  config.eager_verified_rewrite = eager;
+  auto runtime = core::Lazypoline::create(machine, config);
+  auto checker = std::make_shared<analysis::CrossChecker>();
+  checker->add_region(analyze(program));
+  runtime->set_cross_checker(checker);
+  EXPECT_TRUE(runtime
+                  ->install(machine, tid.value(),
+                            std::make_shared<interpose::DummyHandler>())
+                  .is_ok());
+  const auto stats = machine.run();
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  const kern::Task* task = machine.find_task(tid.value());
+  out.exit_code = task->exit_code;
+  out.interposed = runtime->stats().entry_invocations;
+  out.slow = runtime->stats().slow_path_hits;
+  out.dispatched = task->syscalls_dispatched;
+  out.eager_rewritten = runtime->stats().eager_sites_rewritten;
+  out.safe_disagreements = checker->safe_disagreements();
+  return out;
+}
+
+TEST(VerifiedEagerTest, InterposesExactlyWhatLazyModeDoes) {
+  Xoshiro256 seeder(0xE5E5);
+  for (int round = 0; round < 10; ++round) {
+    const std::uint64_t seed = seeder.next();
+    const isa::Program program = analysis::make_adversarial_program(seed);
+    const LazyRun lazy = run_lazypoline(program, /*eager=*/false);
+    const LazyRun eager = run_lazypoline(program, /*eager=*/true);
+    ASSERT_EQ(lazy.exit_code, eager.exit_code) << "seed " << seed;
+    ASSERT_EQ(lazy.interposed, eager.interposed) << "seed " << seed;
+    // Each lazy discovery costs one extra kernel entry (the SUD-blocked
+    // attempt); eager mode dispatches only the interposer-performed syscalls.
+    ASSERT_EQ(lazy.dispatched, eager.dispatched + lazy.slow) << "seed " << seed;
+    // Every *executed* site in these programs is provably SAFE, so eager
+    // mode removes the slow path entirely.
+    ASSERT_EQ(eager.slow, 0u) << "seed " << seed;
+    ASSERT_EQ(eager.safe_disagreements, 0u) << "seed " << seed;
+    ASSERT_EQ(lazy.safe_disagreements, 0u) << "seed " << seed;
+    if (lazy.interposed > 0) {
+      ASSERT_GT(eager.eager_rewritten, 0u) << "seed " << seed;
+    }
+  }
+}
+
+TEST(VerifiedEagerTest, SyscallLoopSavesAllDiscoveries) {
+  const auto program = testutil::make_syscall_loop(kern::kSysGetpid, 100);
+  const LazyRun lazy = run_lazypoline(program, /*eager=*/false);
+  const LazyRun eager = run_lazypoline(program, /*eager=*/true);
+  EXPECT_EQ(lazy.interposed, eager.interposed);
+  EXPECT_GT(lazy.slow, 0u);
+  EXPECT_EQ(eager.slow, 0u);
+  EXPECT_EQ(eager.eager_rewritten, 2u);  // loop syscall + exit syscall
+}
+
+// --- verified-only zpoline ---------------------------------------------------
+
+TEST(VerifiedZpolineTest, PatchesOnlySafeSitesAndStillRuns) {
+  const auto four = make_four_verdicts();
+  const auto result = analyze(four.program);
+  kern::Machine machine;
+  machine.mmap_min_addr = 0;
+  machine.register_program(four.program);
+  auto tid = machine.load(four.program);
+  ASSERT_TRUE(tid.is_ok());
+  zpoline::ZpolineOptions options;
+  options.verified_only = true;
+  zpoline::ZpolineMechanism mechanism(options);
+  ASSERT_TRUE(mechanism
+                  .install(machine, tid.value(),
+                           std::make_shared<interpose::DummyHandler>())
+                  .is_ok());
+  EXPECT_EQ(mechanism.stats().sites_rewritten,
+            result.count(analysis::Verdict::kSafe));
+  EXPECT_EQ(mechanism.stats().sites_skipped_unknown,
+            result.count(analysis::Verdict::kUnknown));
+  EXPECT_EQ(mechanism.stats().sites_skipped_unsafe,
+            result.count(analysis::Verdict::kUnsafeOverlap) +
+                result.count(analysis::Verdict::kUnsafeJumpIntoWindow));
+  const auto stats = machine.run();
+  ASSERT_TRUE(stats.all_exited) << machine.last_fatal();
+  EXPECT_EQ(machine.find_task(tid.value())->exit_code, 0);
+}
+
+// --- runtime cross-checker ---------------------------------------------------
+
+class CrossCheckerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    four_ = make_four_verdicts();
+    machine_.mmap_min_addr = 0;
+    machine_.register_program(four_.program);
+    auto tid = machine_.load(four_.program);
+    ASSERT_TRUE(tid.is_ok());
+    task_ = machine_.find_task(tid.value());
+    ASSERT_NE(task_, nullptr);
+    checker_.add_region(analyze(four_.program));
+  }
+
+  FourVerdicts four_;
+  kern::Machine machine_;
+  kern::Task* task_ = nullptr;
+  analysis::CrossChecker checker_;
+};
+
+TEST_F(CrossCheckerTest, ClassifiesKernelVerifiedSitesByVerdict) {
+  using analysis::CrosscheckOutcome;
+  checker_.observe_kernel_verified(machine_, *task_, four_.safe_site);
+  checker_.observe_kernel_verified(machine_, *task_, four_.island_site);
+  checker_.observe_kernel_verified(machine_, *task_, four_.overlap_site);
+  checker_.observe_kernel_verified(machine_, *task_, four_.gadget_site);
+  checker_.observe_kernel_verified(machine_, *task_, 0xDEAD'0000ULL);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kAgreeSafe), 1u);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kConfirmedUnknown), 1u);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kOverlapExecuted), 1u);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kJumpWindowExecuted), 1u);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kUnanalyzedRegion), 1u);
+  EXPECT_EQ(checker_.kernel_verified_total(), 5u);
+  EXPECT_EQ(checker_.safe_disagreements(), 0u);
+}
+
+TEST_F(CrossCheckerTest, FlagsSoundnessViolations) {
+  using analysis::CrosscheckOutcome;
+  // Kernel-verified execution strictly inside a SAFE window.
+  checker_.observe_kernel_verified(machine_, *task_, four_.safe_site + 1);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kSafeWindowViolation),
+            1u);
+  // Fast-path entry from a site that was never verified and is not SAFE.
+  checker_.observe_fast_entry(machine_, *task_, four_.island_site);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kEagerUnsafeFast), 1u);
+  EXPECT_EQ(checker_.safe_disagreements(), 2u);
+  EXPECT_NE(checker_.json().find("safe_disagreements"), std::string::npos);
+  EXPECT_FALSE(checker_.summary().empty());
+}
+
+TEST_F(CrossCheckerTest, SafeFastEntriesAreNotViolations) {
+  using analysis::CrosscheckOutcome;
+  checker_.observe_fast_entry(machine_, *task_, four_.safe_site);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kEagerUnsafeFast), 0u);
+  // A lazily-rewritten non-SAFE site (kernel verified first) is fine too.
+  checker_.observe_kernel_verified(machine_, *task_, four_.island_site);
+  checker_.observe_fast_entry(machine_, *task_, four_.island_site);
+  EXPECT_EQ(checker_.outcome_count(CrosscheckOutcome::kEagerUnsafeFast), 0u);
+  EXPECT_EQ(checker_.safe_disagreements(), 0u);
+}
+
+}  // namespace
+}  // namespace lzp

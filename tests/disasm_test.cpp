@@ -147,5 +147,60 @@ TEST(ScannerTest, ListingRendersInstructionsAndData) {
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
 }
 
+// A program whose raw scan and linear sweep report different (overlapping)
+// site sets: a mov immediate containing 0F 05 plus data islands the sweep
+// resynchronizes through.
+isa::Program disagreeing_program() {
+  Assembler a;
+  auto entry = a.new_label();
+  auto over = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, 39);
+  a.syscall_();
+  a.mov(Gpr::rcx, 0x050FULL);  // raw-scan-only candidate in the immediate
+  a.jmp(over);
+  a.db({0xEE, 0x0F, 0x05, 0xEE});  // island candidate, found by both
+  a.bind(over);
+  a.syscall_();
+  a.hlt();
+  return isa::make_program("disagreeing", a, entry).value();
+}
+
+TEST(ScannerTest, SitesAreSortedAndUniqueForEveryStrategy) {
+  const isa::Program program = disagreeing_program();
+  for (Strategy strategy :
+       {Strategy::kRawBytes, Strategy::kLinearSweep, Strategy::kUnion}) {
+    const ScanResult result = scan(program.image, program.base, strategy);
+    EXPECT_TRUE(std::is_sorted(result.syscall_sites.begin(),
+                               result.syscall_sites.end()))
+        << "strategy " << static_cast<int>(strategy);
+    EXPECT_EQ(std::adjacent_find(result.syscall_sites.begin(),
+                                 result.syscall_sites.end()),
+              result.syscall_sites.end())
+        << "strategy " << static_cast<int>(strategy);
+  }
+}
+
+TEST(ScannerTest, UnionIsExactlyTheMergeOfBothStrategies) {
+  const isa::Program program = disagreeing_program();
+  const ScanResult raw = scan(program.image, program.base, Strategy::kRawBytes);
+  const ScanResult sweep =
+      scan(program.image, program.base, Strategy::kLinearSweep);
+  const ScanResult both = scan(program.image, program.base, Strategy::kUnion);
+
+  std::vector<std::uint64_t> merged = raw.syscall_sites;
+  merged.insert(merged.end(), sweep.syscall_sites.begin(),
+                sweep.syscall_sites.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  EXPECT_EQ(both.syscall_sites, merged);
+  // The two strategies genuinely disagree on this program, so the union is
+  // strictly larger than at least one of them.
+  EXPECT_GT(both.syscall_sites.size(), sweep.syscall_sites.size());
+  // Decode statistics come from the sweep half.
+  EXPECT_EQ(both.decode_errors, sweep.decode_errors);
+  EXPECT_EQ(both.insns_decoded, sweep.insns_decoded);
+}
+
 }  // namespace
 }  // namespace lzp::disasm
