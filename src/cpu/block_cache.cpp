@@ -126,6 +126,12 @@ BlockRun run_block(CpuContext& ctx, mem::AddressSpace& mem,
                    const DecodedBlock& block, std::uint64_t budget,
                    DataTlb* tlb) {
   BlockRun run;
+  // Snapshot the address space's code generation: a store inside this block
+  // can rewrite a *later* instruction of the same block (WX self-modifying
+  // code), and the per-instruction reference path would refetch and see the
+  // new bytes. Ending the run at the first generation bump forces a relookup,
+  // which invalidates and rebuilds from the freshly written page.
+  const std::uint64_t code_gen_at_entry = mem.code_gen();
   for (const isa::Instruction& insn : block.insns) {
     if (run.executed >= budget) break;
     const std::uint64_t insn_addr = ctx.rip;
@@ -150,6 +156,10 @@ BlockRun run_block(CpuContext& ctx, mem::AddressSpace& mem,
     // only the last instruction of a block can be a terminator, and any
     // fault stops execution with rip still at the faulting instruction.
     if (result.kind != ExecKind::kContinue) return run;
+    if (mem.code_gen() != code_gen_at_entry) {
+      run.last = nullptr;
+      return run;
+    }
   }
   run.kind = ExecKind::kContinue;
   run.last = nullptr;

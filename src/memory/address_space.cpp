@@ -24,8 +24,10 @@ std::string MemFault::to_string() const {
 }
 
 std::uint64_t AddressSpace::next_asid() noexcept {
-  static std::uint64_t counter = 0;
-  return ++counter;
+  // Atomic: address spaces are constructed from concurrent clone() handlers
+  // when CLONE_VM siblings run on different simulated CPUs.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 std::shared_ptr<AddressSpace> AddressSpace::clone() const {
@@ -34,8 +36,8 @@ std::shared_ptr<AddressSpace> AddressSpace::clone() const {
   // The copy keeps the generation counters (so per-page gens stay monotone
   // within the lineage) but gets its own asid from the default constructor:
   // decode caches keyed by asid treat the child as a brand-new code space.
-  copy->code_gen_ = code_gen_;
-  copy->layout_gen_ = layout_gen_;
+  copy->code_gen_.store(code_gen(), std::memory_order_relaxed);
+  copy->layout_gen_.store(layout_gen(), std::memory_order_relaxed);
   return copy;
 }
 
@@ -50,7 +52,7 @@ Page* AddressSpace::page_at_mut(std::uint64_t page_base) noexcept {
 }
 
 void AddressSpace::touch_page_gen(Page& page) noexcept {
-  page.gen = ++code_gen_;
+  page.gen = bump_code_gen();
   ++stats_.exec_invalidations;
 }
 
@@ -98,14 +100,14 @@ Result<std::uint64_t> AddressSpace::map(std::uint64_t addr, std::uint64_t length
     }
   }
 
-  ++layout_gen_;
+  bump_layout_gen();
   for (std::uint64_t i = 0; i < num_pages; ++i) {
     Page page;
     page.prot = prot;
     // Fresh pages start at the current global code generation: any cached
     // decode of a previously unmapped-then-remapped page at this address
     // recorded a strictly older generation (unmap bumps the counter).
-    page.gen = code_gen_;
+    page.gen = code_gen();
     page.bytes.assign(kPageSize, 0);
     pages_.emplace(base + i * kPageSize, std::move(page));
   }
@@ -118,14 +120,14 @@ Status AddressSpace::unmap(std::uint64_t addr, std::uint64_t length) {
     return make_error(StatusCode::kInvalidArgument, "munmap: unaligned address");
   }
   const std::uint64_t end = page_ceil(addr + length);
-  ++layout_gen_;
+  bump_layout_gen();
   for (std::uint64_t page = addr; page < end; page += kPageSize) {
     auto it = pages_.find(page);
     if (it == pages_.end()) continue;  // munmap on unmapped succeeds, like Linux
     if ((it->second.prot & kProtExec) != 0) {
       // Retire the exec page's generation so a later mapping at the same
       // address can never satisfy a stale cached decode.
-      ++code_gen_;
+      (void)bump_code_gen();
       ++stats_.exec_invalidations;
     }
     pages_.erase(it);

@@ -12,6 +12,7 @@
 // MemFault that the kernel turns into the appropriate signal (SIGSEGV).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -164,11 +165,18 @@ class AddressSpace {
 
   // Monotone counter bumped whenever any mutation may invalidate a cached
   // decode of executable bytes anywhere in this address space. Per-page
-  // `Page::gen` values are allocated from it.
-  [[nodiscard]] std::uint64_t code_gen() const noexcept { return code_gen_; }
+  // `Page::gen` values are allocated from it. Atomic so a CLONE_VM sibling
+  // on another simulated CPU observes the bump and can shoot down its own
+  // decode/block/data-TLB state; relaxed ordering suffices because readers
+  // re-validate through the live Page before trusting any cached bytes.
+  [[nodiscard]] std::uint64_t code_gen() const noexcept {
+    return code_gen_.load(std::memory_order_relaxed);
+  }
   // Monotone counter bumped by map()/unmap(): raw Page pointers obtained
   // while it was stable remain valid while it stays unchanged.
-  [[nodiscard]] std::uint64_t layout_gen() const noexcept { return layout_gen_; }
+  [[nodiscard]] std::uint64_t layout_gen() const noexcept {
+    return layout_gen_.load(std::memory_order_relaxed);
+  }
   // Process-global unique id of this address space instance. clone() and a
   // fresh construction both produce a new id, so a decode cache keyed by it
   // can never leak entries across fork or execve.
@@ -185,10 +193,17 @@ class AddressSpace {
 
   static std::uint64_t next_asid() noexcept;
 
+  [[nodiscard]] std::uint64_t bump_code_gen() noexcept {
+    return code_gen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void bump_layout_gen() noexcept {
+    layout_gen_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Keyed by page base address.
   std::map<std::uint64_t, Page> pages_;
-  std::uint64_t code_gen_ = 0;
-  std::uint64_t layout_gen_ = 0;
+  std::atomic<std::uint64_t> code_gen_{0};
+  std::atomic<std::uint64_t> layout_gen_{0};
   std::uint64_t asid_ = next_asid();
   mutable AddressSpaceStats stats_;
 };
