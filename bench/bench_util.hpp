@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "apps/minilibc.hpp"
+#include "base/thread_pool.hpp"
 #include "core/lazypoline.hpp"
 #include "isa/assemble.hpp"
 #include "kernel/machine.hpp"
@@ -23,6 +24,35 @@ namespace lzp::bench {
 inline void die(const std::string& message) {
   std::fprintf(stderr, "bench: fatal: %s\n", message.c_str());
   std::exit(1);
+}
+
+// Uniform CLI contract for every bench binary: `--cpus=N` selects the
+// simulated CPU count (1 = the classic single-threaded machine) and is
+// stripped before positional arguments, so all benches parse it identically
+// and their BENCH_*.json artifacts stay comparable across CPU counts.
+struct CliArgs {
+  unsigned cpus = 1;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] std::string positional_or(std::size_t index,
+                                          const std::string& fallback) const {
+    return index < positional.size() ? positional[index] : fallback;
+  }
+};
+
+inline CliArgs parse_cli(int argc, char** argv) {
+  CliArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--cpus=", 0) == 0) {
+      out.cpus = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + sizeof("--cpus=") - 1, nullptr, 10));
+      if (out.cpus == 0) out.cpus = 1;
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
 }
 
 template <typename T>
@@ -40,9 +70,12 @@ inline void check(const Status& status, const char* what) {
 // rows, so every artifact the CI gates parse shares one escaper.
 inline void write_json_report(const std::string& path,
                               const std::string& benchmark,
-                              const std::vector<std::string>& result_objects) {
+                              const std::vector<std::string>& result_objects,
+                              unsigned cpus = 1) {
   metrics::JsonObject root;
   root.add("benchmark", benchmark);
+  root.add("cpus", static_cast<std::uint64_t>(cpus));
+  root.add("host_cores", static_cast<std::uint64_t>(ThreadPool::host_cores()));
   root.add_raw("results", metrics::json_array(result_objects));
   std::ofstream out(path);
   out << root.render() << "\n";

@@ -137,7 +137,8 @@ std::string result_json(const std::string& workload, const std::string& config,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_block_exec.json";
+  const bench::CliArgs cli = bench::parse_cli(argc, argv);
+  const std::string json_path = cli.positional_or(0, "BENCH_block_exec.json");
   std::vector<std::string> results;
 
   // --- straight-line throughput + gate --------------------------------------
@@ -201,7 +202,8 @@ int main(int argc, char** argv) {
       "==\n%s\n",
       static_cast<unsigned long long>(kStraightLineIters), kUnroll, kReps,
       table.render().c_str());
-  bench::write_json_report(json_path, "block_exec", results);
+  // Single-task microbenchmark: --cpus tags the artifact for comparability.
+  bench::write_json_report(json_path, "block_exec", results, cli.cpus);
 
   if (speedup < kSpeedupGate) {
     std::fprintf(stderr,

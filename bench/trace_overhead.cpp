@@ -79,8 +79,9 @@ const char* mode_name(Mode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::CliArgs cli = bench::parse_cli(argc, argv);
   const std::string json_path =
-      argc > 1 ? argv[1] : "BENCH_trace_overhead.json";
+      cli.positional_or(0, "BENCH_trace_overhead.json");
 
   const RunResult off = run_mode(Mode::kOff);
   const RunResult disabled = run_mode(Mode::kDisabled);
@@ -128,7 +129,9 @@ int main(int argc, char** argv) {
               "min of %d) ==\n%s\n",
               static_cast<unsigned long long>(kIterations), kReps,
               table.render().c_str());
-  bench::write_json_report(json_path, "trace_overhead", results);
+  // The micro loop is single-task, so --cpus only tags the artifact (keeps
+  // the JSON schema uniform with the SMP-capable benches).
+  bench::write_json_report(json_path, "trace_overhead", results, cli.cpus);
 
   // Claim 2: wall-time gates.
   if (disabled_x > kDisabledGate) {

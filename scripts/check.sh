@@ -18,7 +18,15 @@
 # decode-cache baseline on straight-line code or perturbs simulated
 # cycles/steps on any workload), then the analysis-accuracy bench (emits
 # BENCH_analysis.json and fails on any SAFE false positive or if the analyzer
-# is not strictly more precise than the raw byte scan).
+# is not strictly more precise than the raw byte scan), then the SMP bench
+# (fig5_webservers --cpus=8, emits BENCH_smp.json; its >=2x host-speedup
+# gate self-skips on hosts with <8 cores).
+#
+# The sanitizer pass also includes a TSan leg (LZP_SANITIZE=thread) running
+# the concurrency-relevant suites — the SMP scheduler, the shared-AS
+# invalidation tests, and the threaded webserver — so every data race the
+# parallel substrate could introduce is caught by the race detector, not by
+# flaky output.
 #
 #   scripts/check.sh [--no-sanitize] [--no-bench] [--regen-tidy-baseline]
 set -euo pipefail
@@ -54,6 +62,20 @@ if [[ "${run_sanitize}" == 1 ]]; then
     -DLZP_WERROR=ON >/dev/null
   cmake --build build-noblock -j"$(nproc)"
   ctest --test-dir build-noblock -j"$(nproc)" --output-on-failure
+
+  echo "== thread-sanitizer build (LZP_SANITIZE=thread, SMP suites) =="
+  cmake -B build-tsan -S . -DLZP_SANITIZE=thread -DLZP_WERROR=ON >/dev/null
+  cmake --build build-tsan -j"$(nproc)" --target \
+    smp_test shared_as_invalidation_test threaded_server_test fig5_webservers
+  ./build-tsan/tests/smp_test
+  ./build-tsan/tests/shared_as_invalidation_test
+  ./build-tsan/tests/threaded_server_test
+  # A short 4-CPU webserver differential under TSan: the parallel scheduler
+  # end to end, with real host threads racing on the kernel tables. The
+  # artifact goes to a scratch path so the real BENCH_smp.json below stays
+  # the 8-CPU sweep.
+  ./build-tsan/bench/fig5_webservers --cpus=4 build-tsan/BENCH_smp.json \
+    >/dev/null
 fi
 
 # clang-tidy leg: compare normalized findings (<file>:<check>) against the
@@ -116,6 +138,9 @@ if [[ "${run_bench}" == 1 ]]; then
 
   echo "== analysis-accuracy bench =="
   ./build/bench/analysis_accuracy BENCH_analysis.json
+
+  echo "== SMP scale-out bench (fig5 --cpus=8 -> BENCH_smp.json) =="
+  ./build/bench/fig5_webservers --cpus=8
 fi
 
 echo "check.sh: all gates passed"

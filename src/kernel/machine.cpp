@@ -32,6 +32,13 @@ std::string Machine::host_name(std::uint64_t addr) const {
 }
 
 Machine::HostBinding* Machine::find_host_binding(std::uint64_t addr) noexcept {
+  // The last-hit cache is one shared slot, so SMP lanes bypass it and pay the
+  // map lookup: host_fns_ is insert-only and never mutated during run_smp
+  // (bind_host during a run is unsupported), so lock-free lookups are safe.
+  if (smp_active_) {
+    auto it = host_fns_.find(addr);
+    return it == host_fns_.end() ? nullptr : &it->second;
+  }
   if (addr == host_cache_addr_) return host_cache_;
   auto it = host_fns_.find(addr);
   if (it == host_fns_.end()) return nullptr;  // misses are not cached
@@ -116,6 +123,7 @@ Task* Machine::find_task(Tid tid) {
 
 Task* Machine::find_task_any(Tid tid) {
   if (Task* task = find_task(tid)) return task;
+  std::lock_guard<std::mutex> lock(nursery_mu_);
   for (auto& task : nursery_) {
     if (task->tid == tid) return task.get();
   }
@@ -157,6 +165,7 @@ Status Machine::post_signal(Tid tid, SigInfo info) {
 // ---------------------------------------------------------------------------
 
 void Machine::merge_nursery() {
+  std::lock_guard<std::mutex> lock(nursery_mu_);
   for (auto& task : nursery_) {
     Tid tid = task->tid;
     tasks_.emplace(tid, std::move(task));
@@ -217,24 +226,33 @@ RunStats Machine::run(std::uint64_t max_total_insns) {
 }
 
 void Machine::run_slice(Task& task, std::uint64_t max_insns) {
-  // The budget is in steps: the slice ends after max_insns total_steps_
+  // The single-threaded entry point counts against the machine-global step
+  // counter; SMP lanes call run_slice_counted with a per-CPU counter instead,
+  // which is what keeps this path bit-identical to the seed engine (replay
+  // reads total_steps_ mid-slice through observer callbacks).
+  run_slice_counted(task, max_insns, total_steps_);
+}
+
+void Machine::run_slice_counted(Task& task, std::uint64_t max_insns,
+                                std::uint64_t& steps) {
+  // The budget is in steps: the slice ends after max_insns step-counter
   // advances (or when the task stops running). The block path consumes
   // exactly as many steps as a per-instruction run of the same instructions
   // would, so slice boundaries are identical with the engine on or off.
-  const std::uint64_t start = total_steps_;
-  while (total_steps_ - start < max_insns) {
+  const std::uint64_t start = steps;
+  while (steps - start < max_insns) {
 #ifndef LZP_BLOCK_EXEC_DISABLED
     if (can_batch_execute(task)) {
       if (const cpu::DecodedBlock* block =
               task.bcache.lookup_or_build(*task.mem, task.ctx.rip)) {
-        if (!block_step(task, *block, max_insns - (total_steps_ - start))) {
+        if (!block_step(task, *block, max_insns - (steps - start), steps)) {
           return;
         }
         continue;
       }
     }
 #endif
-    if (!step_once(task)) return;
+    if (!step_once(task, steps)) return;
   }
 }
 
@@ -258,16 +276,16 @@ bool Machine::can_batch_execute(const Task& task) const noexcept {
 }
 
 bool Machine::block_step(Task& task, const cpu::DecodedBlock& block,
-                         std::uint64_t budget) {
+                         std::uint64_t budget, std::uint64_t& steps) {
   const cpu::BlockRun run =
       cpu::run_block(task.ctx, *task.mem, block, budget, &task.dtlb);
 
   // Batched accounting. Identical totals to per-instruction stepping: cost
   // is linear in (retired, nops), the counters are plain sums, and every
   // executed instruction is one machine step whether it retired or not.
-  total_steps_ += run.executed;
+  steps += run.executed;
   if (run.retired > 0) {
-    total_insns_ += run.retired;
+    if (!smp_active_) total_insns_ += run.retired;
     task.insns_retired += run.retired;
     charge(task, (run.retired - run.nops) * costs_.insn +
                      run.nops * costs_.insn_nop);
@@ -326,9 +344,9 @@ bool Machine::block_step(Task& task, const cpu::DecodedBlock& block,
 }
 #endif  // LZP_BLOCK_EXEC_DISABLED
 
-bool Machine::step_once(Task& task) {
+bool Machine::step_once(Task& task, std::uint64_t& steps) {
   if (!task.runnable()) return false;
-  ++total_steps_;
+  ++steps;
 
   // Deliver one pending, unblocked signal before resuming user code. The
   // deliverable_signal_pending pre-check makes this skip-free for a task
@@ -376,7 +394,7 @@ bool Machine::step_once(Task& task) {
       charge(task, result.insn && result.insn->op == isa::Op::kNop
                        ? costs_.insn_nop
                        : costs_.insn);
-      ++total_insns_;
+      if (!smp_active_) ++total_insns_;
       ++task.insns_retired;
       if (!insn_observers_.empty() && result.insn) {
         insn_observers_.notify(task, *result.insn);
@@ -673,7 +691,11 @@ std::uint64_t Machine::dispatch(Task& task, std::uint64_t nr,
 
 void Machine::charge(Task& task, std::uint64_t cycles) noexcept {
   task.cycles += cycles;
-  total_cycles_ += cycles;
+  // The machine-global counter is SMP-stale between barriers: lanes charge
+  // only their own tasks, and run_smp recomputes the total from task sums at
+  // every barrier. Writes from multiple lanes would race; per-task sums are
+  // the ground truth either way.
+  if (!smp_active_) total_cycles_ += cycles;
 }
 
 cpu::DecodeCacheStats Machine::decode_cache_totals() const {
@@ -734,7 +756,14 @@ void Machine::detach_tracer(Tid tid) {
 void Machine::kill_process(Process& process, int exit_code,
                            const std::string& reason) {
   LZP_LOG_DEBUG << "kill_process pid=" << process.pid << ": " << reason;
-  last_fatal_ = reason;
+  {
+    // Two SMP lanes can each kill their own process concurrently; the shared
+    // diagnostic slot needs the lock (last writer wins, as in a real kernel
+    // log). Everything else here touches only this process's tasks, which
+    // gang placement keeps on the calling CPU.
+    std::lock_guard<std::mutex> lock(fatal_mu_);
+    last_fatal_ = reason;
+  }
   process.exited = true;
   process.exit_code = exit_code;
   for (auto& [tid, task] : tasks_) {
@@ -743,6 +772,7 @@ void Machine::kill_process(Process& process, int exit_code,
       task->exit_code = exit_code;
     }
   }
+  std::lock_guard<std::mutex> lock(nursery_mu_);
   for (auto& task : nursery_) {
     if (task->process.get() == &process) {
       task->state = TaskState::kExited;
@@ -752,7 +782,10 @@ void Machine::kill_process(Process& process, int exit_code,
 }
 
 void Machine::register_program(const isa::Program& program) {
-  programs_[program.name] = program;
+  {
+    std::lock_guard<std::mutex> lock(programs_mu_);
+    programs_[program.name] = program;
+  }
   // Install the on-disk image too (LZPF): execve can load it from the VFS
   // and file-oriented tools (static rewriters) can scan it like a binary.
   (void)vfs_.put_file(isa::program_path(program.name),
@@ -760,8 +793,14 @@ void Machine::register_program(const isa::Program& program) {
 }
 
 const isa::Program* Machine::find_program(const std::string& name) const {
-  auto it = programs_.find(name);
-  if (it != programs_.end()) return &it->second;
+  // The map is insert-only and std::map nodes are address-stable, so the
+  // returned pointer outlives the lock; the lock serializes concurrent
+  // execve image-cache fills from different SMP lanes.
+  {
+    std::lock_guard<std::mutex> lock(programs_mu_);
+    auto it = programs_.find(name);
+    if (it != programs_.end()) return &it->second;
+  }
   // Fall back to an LZPF image in the VFS (installed without registration).
   const std::string path = isa::program_path(name);
   if (!vfs_.exists(path)) return nullptr;
@@ -771,12 +810,14 @@ const isa::Program* Machine::find_program(const std::string& name) const {
   if (!vfs_.read(path, 0, meta.value().size, &bytes).is_ok()) return nullptr;
   auto parsed = isa::parse_program(bytes);
   if (!parsed.is_ok()) return nullptr;
+  std::lock_guard<std::mutex> lock(programs_mu_);
   auto [inserted, ok] = programs_.emplace(name, std::move(parsed).value());
   return &inserted->second;
 }
 
 void Machine::adopt_task(std::unique_ptr<Task> task) {
   attach_dcache_probe(*task);
+  std::lock_guard<std::mutex> lock(nursery_mu_);
   nursery_.push_back(std::move(task));
 }
 
@@ -809,7 +850,17 @@ void Machine::note_task_switch(const Task& task) {
 #endif
 }
 
-Tid Machine::allocate_tid() { return next_tid_++; }
-Pid Machine::allocate_pid() { return next_pid_++; }
+// In SMP mode each simulated CPU allocates from its own disjoint range
+// (1'000'000 * (cpu + 1) + n), so concurrent clones on different CPUs get
+// reproducible ids without synchronization. The single-threaded 100+ range
+// stays untouched, keeping legacy runs bit-identical.
+Tid Machine::allocate_tid(unsigned cpu) {
+  if (smp_active_) return smp_next_tid_[cpu]++;
+  return next_tid_++;
+}
+Pid Machine::allocate_pid(unsigned cpu) {
+  if (smp_active_) return smp_next_pid_[cpu]++;
+  return next_pid_++;
+}
 
 }  // namespace lzp::kern

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "isa/assemble.hpp"
 #include "kernel/costs.hpp"
 #include "kernel/net.hpp"
+#include "kernel/smp.hpp"
 #include "kernel/syscalls.hpp"
 #include "kernel/task.hpp"
 #include "kernel/trace_sink.hpp"
@@ -154,6 +156,18 @@ class Machine {
   // Round-robin over runnable tasks until all exit or the instruction budget
   // is exhausted.
   RunStats run(std::uint64_t max_total_insns = kDefaultInsnBudget);
+  // Multi-CPU execution (kernel/smp.hpp, implemented in smp.cpp): places
+  // tasks onto config.cpus simulated CPUs and runs their queues on a host
+  // thread pool between deterministic barriers. config.cpus <= 1 delegates
+  // to run() — bit-identical to the single-threaded engine by construction.
+  // Replay (schedule hook / slice observers) and insn observers are
+  // incompatible with batching across CPUs and must not be armed.
+  SmpStats run_smp(const SmpConfig& config,
+                   std::uint64_t max_total_steps = kDefaultInsnBudget);
+  // True while run_smp's parallel phases may be executing: kernel paths use
+  // it to route cross-CPU effects through deterministic channels (signal
+  // mailbox, per-CPU tid ranges, per-task entropy).
+  [[nodiscard]] bool smp_active() const noexcept { return smp_active_; }
   // Executes at most `max_insns` machine steps (see total_steps()) on one
   // task.
   void run_slice(Task& task, std::uint64_t max_insns);
@@ -283,10 +297,12 @@ class Machine {
   void register_program(const isa::Program& program);
   [[nodiscard]] const isa::Program* find_program(const std::string& name) const;
 
-  // Internal services used by the clone/fork implementation.
+  // Internal services used by the clone/fork implementation. In SMP mode
+  // tids/pids come from disjoint per-CPU ranges so concurrent clones are
+  // deterministic; `cpu` is ignored otherwise.
   void adopt_task(std::unique_ptr<Task> task);
-  Tid allocate_tid();
-  Pid allocate_pid();
+  Tid allocate_tid(unsigned cpu = 0);
+  Pid allocate_pid(unsigned cpu = 0);
 
   // --- services used by HostFrame and the interposer runtimes -------------------
   std::uint64_t syscall_from_host(Task& task, std::uint64_t nr,
@@ -313,8 +329,13 @@ class Machine {
   friend struct HostFrame;
 
   // One scheduling step: host call or one instruction. Returns false when
-  // the task can no longer run.
-  bool step_once(Task& task);
+  // the task can no longer run. `steps` is the step counter this execution
+  // lane advances: total_steps_ on the single-threaded path, a per-CPU lane
+  // counter under run_smp (merged into total_steps_ at barriers).
+  bool step_once(Task& task, std::uint64_t& steps);
+  // run_slice against an explicit lane counter (the SMP per-CPU path).
+  void run_slice_counted(Task& task, std::uint64_t max_insns,
+                         std::uint64_t& steps);
 
   // True when a pending signal exists that the task's sigmask does not
   // block — the only case where the delivery scan in step_once can do
@@ -327,10 +348,11 @@ class Machine {
   // without observable divergence from per-instruction stepping.
   [[nodiscard]] bool can_batch_execute(const Task& task) const noexcept;
   // Executes one block (bounded by `budget` steps), batch-charges
-  // cost/counters and total_steps_, and handles the block's exit exactly as
-  // step_once would. Returns false when the task can no longer run.
+  // cost/counters and the lane's step counter, and handles the block's exit
+  // exactly as step_once would. Returns false when the task can no longer
+  // run.
   bool block_step(Task& task, const cpu::DecodedBlock& block,
-                  std::uint64_t budget);
+                  std::uint64_t budget, std::uint64_t& steps);
 #endif
 
   // Figure 1: the syscall kernel entry path for a SYSCALL instruction
@@ -447,6 +469,36 @@ class Machine {
   void notify_nondet(const Task& task, std::uint64_t nr, NondetSource source) {
     nondet_observers_.notify(task, nr, source);
   }
+
+  // --- SMP substrate (smp.cpp) ------------------------------------------------
+  // True only while run_smp's parallel phases may be running. Guards the
+  // machine-global counters (stale between barriers, recomputed from task
+  // sums at each one), routes cross-CPU signals through the mailbox, switches
+  // tid/pid allocation to per-CPU ranges, and disables the single-entry
+  // host-binding cache (shared mutable state).
+  bool smp_active_ = false;
+  std::uint64_t smp_seed_ = 0;
+  // Per-CPU tid/pid allocators: CPU c hands out 1'000'000 * (c + 1) + n,
+  // disjoint from the single-threaded 100+ range and from every other CPU.
+  std::vector<Tid> smp_next_tid_;
+  std::vector<Pid> smp_next_pid_;
+  // Cross-CPU signal send (kill/tgkill targeting a task on another simulated
+  // CPU): queued here and applied at the next barrier in (target, sender,
+  // seq) order — the deterministic IPI model.
+  struct RemoteSignal {
+    Tid target = 0;
+    Tid sender = 0;
+    std::uint64_t seq = 0;
+    SigInfo info;
+  };
+  std::vector<RemoteSignal> signal_mailbox_;
+  std::mutex mailbox_mu_;
+  void smp_post_remote_signal(Task& sender, Tid target, const SigInfo& info);
+  // Locks for machine tables a parallel phase can touch from several lanes.
+  // Lock order (see DESIGN.md §10): none of these nest within each other.
+  std::mutex nursery_mu_;           // nursery_ (clone/fork vs. liveness scans)
+  std::mutex fatal_mu_;             // last_fatal_
+  mutable std::mutex programs_mu_;  // programs_ (execve image cache)
 };
 
 }  // namespace lzp::kern

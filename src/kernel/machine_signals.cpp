@@ -112,8 +112,11 @@ void Machine::exit_task(Task& task, int code) {
   for (auto& [tid, other] : tasks_) {
     if (other->process == task.process && other->runnable()) any_left = true;
   }
-  for (auto& other : nursery_) {
-    if (other->process == task.process && other->runnable()) any_left = true;
+  {
+    std::lock_guard<std::mutex> lock(nursery_mu_);
+    for (auto& other : nursery_) {
+      if (other->process == task.process && other->runnable()) any_left = true;
+    }
   }
   if (!any_left) {
     task.process->exited = true;
@@ -134,6 +137,7 @@ void Machine::exit_process(Task& task, int code) {
       other->exit_code = code;
     }
   }
+  std::lock_guard<std::mutex> lock(nursery_mu_);
   for (auto& other : nursery_) {
     if (other->process == task.process) {
       other->state = TaskState::kExited;

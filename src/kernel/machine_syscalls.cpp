@@ -544,7 +544,13 @@ std::uint64_t Machine::sys_dispatch_table(Task& task, std::uint64_t nr,
         if (match && other->runnable()) {
           SigInfo info;
           info.signo = sig;
-          other->pending_signals.push_back(info);
+          if (smp_active_ && other->cpu != task.cpu) {
+            // Cross-CPU send: a deterministic IPI through the barrier mailbox
+            // rather than a racy push into a task another lane is executing.
+            smp_post_remote_signal(task, other->tid, info);
+          } else {
+            other->pending_signals.push_back(info);
+          }
           return 0;
         }
       }
@@ -636,7 +642,10 @@ std::uint64_t Machine::sys_dispatch_table(Task& task, std::uint64_t nr,
       notify_nondet(task, kSysGetrandom, NondetSource::kRng);
       std::vector<std::uint8_t> data(len);
       for (std::size_t i = 0; i < data.size(); i += 8) {
-        const std::uint64_t word = rng_.next();
+        // SMP lanes draw from per-task streams: the machine-global stream
+        // would both race and make results depend on cross-CPU interleaving.
+        const std::uint64_t word =
+            smp_active_ ? task.smp_rng.next() : rng_.next();
         for (std::size_t j = 0; j < 8 && i + j < data.size(); ++j) {
           data[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
         }
@@ -683,9 +692,14 @@ std::uint64_t Machine::do_clone(Task& parent, std::uint64_t flags,
   charge(parent, costs_.fork_base);
 
   auto child = std::make_unique<Task>();
-  child->tid = allocate_tid();
+  child->tid = allocate_tid(parent.cpu);
   child->ctx = parent.ctx;  // rip already past the syscall instruction
   child->ctx.set_syscall_result(0);
+  // SMP: children are born on the parent's CPU (the barrier may rebalance
+  // them later) with their own tid-derived entropy stream.
+  child->cpu = parent.cpu;
+  child->smp_rng = Xoshiro256{smp_seed_ ^ (0x9E3779B97F4A7C15ULL *
+                                           static_cast<std::uint64_t>(child->tid))};
 
   if ((flags & kCloneVm) != 0) {
     child->mem = parent.mem;
@@ -696,7 +710,7 @@ std::uint64_t Machine::do_clone(Task& parent, std::uint64_t flags,
   if ((flags & kCloneThread) != 0) {
     child->process = parent.process;
   } else {
-    child->process = parent.process->fork_copy(allocate_pid());
+    child->process = parent.process->fork_copy(allocate_pid(parent.cpu));
   }
   if (stack != 0) child->ctx.set_rsp(stack);
 

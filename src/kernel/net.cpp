@@ -3,6 +3,7 @@
 namespace lzp::kern {
 
 int Net::create_listener(ClientWorkload workload) {
+  std::lock_guard<std::mutex> lock(mu_);
   const int id = next_id_++;
   Listener listener;
   listener.workload = workload;
@@ -21,6 +22,7 @@ int Net::create_listener(ClientWorkload workload) {
 }
 
 Net::Event Net::poll_for(int listener_id, const std::set<int>& owned) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = listeners_.find(listener_id);
   if (it == listeners_.end()) return {EventKind::kFinished, -1};
   Listener& listener = it->second;
@@ -43,6 +45,7 @@ Net::Event Net::poll_for(int listener_id, const std::set<int>& owned) {
 }
 
 Net::Event Net::poll(int listener_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = listeners_.find(listener_id);
   if (it == listeners_.end()) return {EventKind::kFinished, -1};
   Listener& listener = it->second;
@@ -69,6 +72,7 @@ Net::Event Net::poll(int listener_id) {
 }
 
 Result<int> Net::accept(int listener_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = listeners_.find(listener_id);
   if (it == listeners_.end()) {
     return make_error(StatusCode::kNotFound, "accept: bad listener");
@@ -89,6 +93,7 @@ Result<int> Net::accept(int listener_id) {
 }
 
 Result<std::uint64_t> Net::recv(int conn_id, std::uint64_t buffer_size) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = conns_.find(conn_id);
   if (it == conns_.end() || it->second.closed) {
     return make_error(StatusCode::kNotFound, "recv: bad conn");
@@ -108,6 +113,7 @@ Result<std::uint64_t> Net::recv(int conn_id, std::uint64_t buffer_size) {
 }
 
 Result<std::uint64_t> Net::send(int conn_id, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = conns_.find(conn_id);
   if (it == conns_.end() || it->second.closed) {
     return make_error(StatusCode::kNotFound, "send: bad conn");
@@ -132,6 +138,7 @@ Result<std::uint64_t> Net::send(int conn_id, std::uint64_t bytes) {
 }
 
 Status Net::close_conn(int conn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) {
     return make_error(StatusCode::kNotFound, "close: bad conn");
@@ -141,11 +148,13 @@ Status Net::close_conn(int conn_id) {
 }
 
 std::uint64_t Net::completed_requests(int listener_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = listeners_.find(listener_id);
   return it == listeners_.end() ? 0 : it->second.completed;
 }
 
 bool Net::workload_done(int listener_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = listeners_.find(listener_id);
   if (it == listeners_.end()) return true;
   const Listener& listener = it->second;

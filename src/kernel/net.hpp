@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -79,6 +80,13 @@ class Net {
     std::uint64_t completed = 0;
   };
 
+  // One lock over both tables (SMP): each public method is a single critical
+  // section and no method calls another, so the coarse lock cannot deadlock.
+  // Leaf lock in the kernel order (DESIGN.md §10). Operations on *disjoint*
+  // listeners are order-independent, which is what makes per-worker-listener
+  // SMP benchmarks deterministic; sharing one listener across CPUs is safe
+  // but its accept/recv interleaving follows host timing.
+  mutable std::mutex mu_;
   std::map<int, Listener> listeners_;
   std::map<int, Conn> conns_;
   int next_id_ = 1;

@@ -5,12 +5,14 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "base/rng.hpp"
 #include "bpf/bpf.hpp"
 #include "cpu/block_cache.hpp"
 #include "cpu/context.hpp"
@@ -83,7 +85,11 @@ struct Process {
 
 struct Task {
   Tid tid = 0;
-  TaskState state = TaskState::kRunnable;
+  // Atomic because SMP-mode kernel paths on one simulated CPU read another
+  // CPU's task state (thread-group exit scans, liveness checks). Writes stay
+  // CPU-local under gang placement; the atomic makes the cross-CPU reads
+  // well-defined. std::atomic's implicit conversions keep call sites plain.
+  std::atomic<TaskState> state{TaskState::kRunnable};
   std::shared_ptr<Process> process;
   std::shared_ptr<mem::AddressSpace> mem;
   cpu::CpuContext ctx;
@@ -121,6 +127,22 @@ struct Task {
   // set_tid_address bookkeeping (glibc pthread init uses it).
   std::uint64_t clear_child_tid = 0;
   std::uint64_t robust_list_head = 0;
+
+  // --- SMP substrate (kernel/smp.hpp) ---------------------------------------
+  // Simulated CPU this task is placed on; 0 outside run_smp.
+  unsigned cpu = 0;
+  // Per-task entropy stream used for sys_getrandom while run_smp is active,
+  // so concurrent draws never contend on (or nondeterministically interleave
+  // through) the machine-global stream. Seeded from the SMP seed and the tid.
+  Xoshiro256 smp_rng{0};
+  // Per-sender sequence number for cross-CPU signal sends, giving the
+  // barrier's mailbox drain a deterministic total order.
+  std::uint64_t smp_sig_seq = 0;
+  // Generation epochs this CPU has observed for the task's address space;
+  // the barrier's shootdown pass compares them against the live counters and
+  // flushes the task's TLBs when a remote CPU moved them (IPI model).
+  std::uint64_t smp_seen_code_gen = 0;
+  std::uint64_t smp_seen_layout_gen = 0;
 
   // Accounting.
   std::uint64_t cycles = 0;

@@ -5,6 +5,7 @@
 namespace lzp::kern {
 
 Status Vfs::put_file(const std::string& path, std::vector<std::uint8_t> contents) {
+  std::lock_guard<std::mutex> lock(mu_);
   Node node;
   node.meta.size = contents.size();
   node.meta.is_dir = false;
@@ -22,6 +23,7 @@ Status Vfs::put_file_of_size(const std::string& path, std::uint64_t size) {
 }
 
 Status Vfs::mkdir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (nodes_.count(path) != 0) {
     return make_error(StatusCode::kAlreadyExists, "mkdir: " + path);
   }
@@ -33,6 +35,7 @@ Status Vfs::mkdir(const std::string& path) {
 }
 
 Status Vfs::unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (nodes_.erase(path) == 0) {
     return make_error(StatusCode::kNotFound, "unlink: " + path);
   }
@@ -40,6 +43,7 @@ Status Vfs::unlink(const std::string& path) {
 }
 
 Status Vfs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(from);
   if (it == nodes_.end()) {
     return make_error(StatusCode::kNotFound, "rename: " + from);
@@ -50,6 +54,7 @@ Status Vfs::rename(const std::string& from, const std::string& to) {
 }
 
 Status Vfs::chmod(const std::string& path, std::uint32_t mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) {
     return make_error(StatusCode::kNotFound, "chmod: " + path);
@@ -58,9 +63,13 @@ Status Vfs::chmod(const std::string& path, std::uint32_t mode) {
   return Status::ok();
 }
 
-bool Vfs::exists(const std::string& path) const { return nodes_.count(path) != 0; }
+bool Vfs::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.count(path) != 0;
+}
 
 Result<FileStat> Vfs::stat(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) {
     return make_error(StatusCode::kNotFound, "stat: " + path);
@@ -71,6 +80,7 @@ Result<FileStat> Vfs::stat(const std::string& path) const {
 Result<std::uint64_t> Vfs::read(const std::string& path, std::uint64_t offset,
                                 std::uint64_t length,
                                 std::vector<std::uint8_t>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(path);
   if (it == nodes_.end()) {
     return make_error(StatusCode::kNotFound, "read: " + path);
@@ -87,6 +97,7 @@ Result<std::uint64_t> Vfs::read(const std::string& path, std::uint64_t offset,
 
 Result<std::uint64_t> Vfs::write(const std::string& path, std::uint64_t offset,
                                  const std::vector<std::uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& node = nodes_[path];  // creates on first write, like O_CREAT
   node.meta.is_dir = false;
   if (node.contents.size() < offset + data.size()) {
@@ -99,6 +110,7 @@ Result<std::uint64_t> Vfs::write(const std::string& path, std::uint64_t offset,
 }
 
 std::vector<std::string> Vfs::list(const std::string& dir_path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   const std::string prefix = dir_path.empty() || dir_path.back() == '/'
                                  ? dir_path

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,10 @@ class Vfs {
     FileStat meta;
     std::vector<std::uint8_t> contents;
   };
+  // One lock over the whole table (SMP: every public method is a critical
+  // section, coarse enough to be obviously deadlock-free — no method calls
+  // another under the lock). Leaf lock in the kernel order (DESIGN.md §10).
+  mutable std::mutex mu_;
   std::map<std::string, Node> nodes_;
 };
 

@@ -58,7 +58,12 @@ struct Event {
   EventType type = EventType::kTaskSwitch;
   kern::InterposeMechanism mech = kern::InterposeMechanism::kNone;
   kern::Tid tid = 0;
-  std::uint64_t cycles = 0;  // Machine::total_cycles() at emission
+  // Simulated CPU the event happened on (Task::cpu at emission; always 0
+  // outside run_smp). The Perfetto exporter renders one track per CPU.
+  unsigned cpu = 0;
+  // Machine::total_cycles() at emission — or the task's own cycle counter in
+  // a concurrent (SMP) tracer, where the global counter is barrier-stale.
+  std::uint64_t cycles = 0;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;

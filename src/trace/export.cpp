@@ -82,7 +82,9 @@ std::string export_chrome_json(const FlightRecorder& ring,
           .add("ph", "X")
           .add("ts", event.cycles - event.c)
           .add("dur", event.c)
-          .add("pid", 1)
+          // One Perfetto "process" lane per simulated CPU (cpu 0 -> pid 1,
+          // so single-CPU traces render exactly as before).
+          .add("pid", static_cast<std::uint64_t>(event.cpu) + 1)
           .add("tid", static_cast<std::uint64_t>(event.tid));
       obj.add_raw("args", JsonObject()
                               .add("nr", event.a)
@@ -98,7 +100,7 @@ std::string export_chrome_json(const FlightRecorder& ring,
                           : kern::to_string(event.mech))
           .add("ph", "i")
           .add("ts", event.cycles)
-          .add("pid", 1)
+          .add("pid", static_cast<std::uint64_t>(event.cpu) + 1)
           .add("tid", static_cast<std::uint64_t>(event.tid))
           .add("s", "t");  // thread-scoped instant
       obj.add_raw("args", instant_args(event));

@@ -62,13 +62,18 @@ std::vector<Tracer::OpenFrame>& Tracer::open_frames(kern::Tid tid) {
 
 void Tracer::push_event(const kern::Task& task, Event event) {
   event.tid = task.tid;
-  event.cycles = now();
+  event.cpu = task.cpu;
+  // Concurrent (SMP) tracers stamp with the task's own cycles: the
+  // machine-global counter is reconciled only at barriers, and per-task
+  // time is what a per-CPU track renders anyway.
+  event.cycles = concurrent_ ? task.cycles : now();
   ring_.push(event);
 }
 
 void Tracer::on_interpose_enter(const kern::Task& task, std::uint64_t nr,
                                 kern::InterposeMechanism mech) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   open_frames(task.tid).push_back(OpenFrame{nr, mech, task.cycles, now()});
   Event event;
   event.type = EventType::kSyscallEnter;
@@ -81,6 +86,7 @@ void Tracer::on_interpose_exit(const kern::Task& task, std::uint64_t nr,
                                kern::InterposeMechanism mech,
                                std::uint64_t result) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   std::uint64_t latency = 0;
   std::vector<OpenFrame>& frames = open_frames(task.tid);
   if (!frames.empty()) {
@@ -117,6 +123,7 @@ void Tracer::on_interpose_exit(const kern::Task& task, std::uint64_t nr,
 
 void Tracer::on_selector_flip(const kern::Task& task, std::uint8_t value) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   ++cached_counter(selector_flip_slot_, "sud.selector_flips");
   Event event;
   event.type = EventType::kSelectorFlip;
@@ -126,6 +133,7 @@ void Tracer::on_selector_flip(const kern::Task& task, std::uint8_t value) {
 
 void Tracer::on_site_rewrite(const kern::Task& task, std::uint64_t site_addr) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   metrics_.bump("zpoline.site_rewrites");
   Event event;
   event.type = EventType::kSiteRewrite;
@@ -136,6 +144,7 @@ void Tracer::on_site_rewrite(const kern::Task& task, std::uint64_t site_addr) {
 void Tracer::on_signal_delivery(const kern::Task& task,
                                 const kern::SigInfo& info) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   ++cached_counter(signals_delivered_slot_, "signals.delivered");
   if (info.signo == kern::kSigsys) {
     ++cached_counter(sigsys_slot_, "signals.sigsys");
@@ -151,6 +160,7 @@ void Tracer::on_signal_delivery(const kern::Task& task,
 void Tracer::on_seccomp_decision(const kern::Task& task, std::uint64_t nr,
                                  std::uint32_t action) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   ++cached_counter(seccomp_decision_slot_, "seccomp.decisions");
   Event event;
   event.type = EventType::kSeccompDecision;
@@ -162,6 +172,7 @@ void Tracer::on_seccomp_decision(const kern::Task& task, std::uint64_t nr,
 
 void Tracer::on_decode_invalidation(const kern::Task& task, std::uint64_t rip) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   metrics_.bump("dcache.invalidations");
   Event event;
   event.type = EventType::kDecodeInvalidation;
@@ -171,6 +182,7 @@ void Tracer::on_decode_invalidation(const kern::Task& task, std::uint64_t rip) {
 
 void Tracer::on_block_invalidation(const kern::Task& task, std::uint64_t rip) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   metrics_.bump("bcache.invalidations");
   Event event;
   event.type = EventType::kBlockInvalidation;
@@ -181,6 +193,7 @@ void Tracer::on_block_invalidation(const kern::Task& task, std::uint64_t rip) {
 void Tracer::on_mechanism_install(const kern::Task& task,
                                   kern::InterposeMechanism mech) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   metrics_.bump(mech_counter("installs", mech));
   Event event;
   event.type = EventType::kMechanismInstall;
@@ -191,6 +204,7 @@ void Tracer::on_mechanism_install(const kern::Task& task,
 void Tracer::on_crosscheck(const kern::Task& task, std::uint64_t site,
                            std::uint8_t verdict, std::uint8_t outcome) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   metrics_.bump("crosscheck." +
                 std::string(to_string(
                     static_cast<analysis::CrosscheckOutcome>(outcome))));
@@ -205,6 +219,7 @@ void Tracer::on_crosscheck(const kern::Task& task, std::uint64_t site,
 void Tracer::on_task_event(const kern::Task& task, TaskEvent te,
                            std::uint64_t detail) {
   if (!enabled()) return;
+  auto lock = maybe_lock();
   Event event;
   switch (te) {
     case TaskEvent::kStart:

@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "kernel/machine.hpp"
@@ -42,6 +43,15 @@ class Tracer final : public kern::TraceSink {
   [[nodiscard]] const FlightRecorder& ring() const noexcept { return ring_; }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
   void clear();
+
+  // SMP mode: probes fire from several host threads at once, so a concurrent
+  // tracer serializes each probe through an internal mutex and timestamps
+  // events with the task's own cycle counter (the machine-global counter is
+  // stale between barriers). Off by default — the single-threaded hot path
+  // (gated by bench/trace_overhead) stays lock-free. Flip only while no run
+  // is in progress.
+  void set_concurrent(bool on) noexcept { concurrent_ = on; }
+  [[nodiscard]] bool concurrent() const noexcept { return concurrent_; }
 
   // TraceSink probes.
   void on_interpose_enter(const kern::Task& task, std::uint64_t nr,
@@ -74,12 +84,20 @@ class Tracer final : public kern::TraceSink {
 
   void push_event(const kern::Task& task, Event event);
   [[nodiscard]] std::uint64_t now() const noexcept;
+  // Held for the whole probe when concurrent; a released (empty) lock
+  // otherwise, so the single-threaded path pays one branch and no atomic.
+  [[nodiscard]] std::unique_lock<std::mutex> maybe_lock() {
+    return concurrent_ ? std::unique_lock<std::mutex>(mu_)
+                       : std::unique_lock<std::mutex>();
+  }
   [[nodiscard]] std::vector<OpenFrame>& open_frames(kern::Tid tid);
   [[nodiscard]] std::uint64_t& cached_counter(std::uint64_t*& slot,
                                               const char* name);
   void reset_slot_caches() noexcept;
 
   kern::Machine* machine_ = nullptr;
+  bool concurrent_ = false;
+  std::mutex mu_;
   FlightRecorder ring_;
   MetricsRegistry metrics_;
   std::map<kern::Tid, std::vector<OpenFrame>> open_;
