@@ -162,7 +162,8 @@ BENCHMARK(BM_MachineStraightLineBlock);
 void BM_BpfMonitoringFilter(benchmark::State& state) {
   const std::uint32_t trapped[] = {101};
   const auto program =
-      bpf::SeccompFilterBuilder::trap_syscalls(trapped, bpf::SECCOMP_RET_TRAP);
+      bpf::SeccompFilterBuilder::trap_syscalls(trapped, bpf::SECCOMP_RET_TRAP)
+          .value();
   bpf::SeccompData data;
   data.nr = 39;
   const auto bytes = data.serialize();

@@ -1,0 +1,327 @@
+// Syscall-flow-integrity enforcement overhead gate.
+//
+// Three claims, one artifact (BENCH_policy.json):
+//
+//   1. OVERHEAD — the §V-B micro loop runs under each mechanism twice:
+//      baseline (dummy handler) and enforced (PolicyEnforcer over the loop's
+//      own statically extracted automaton, deny verdict, dummy inner). Wall
+//      times are min-of-N; the gate is enforced/baseline <= 1.15x under
+//      lazypoline. Enforcement must also charge ZERO simulated cycles: the
+//      policy check is host-side bookkeeping, invisible to every other bench.
+//
+//   2. HIT-RATE — per mechanism, the fraction of checked transitions decided
+//      by a concrete per-state seccomp-BPF filter (as opposed to the
+//      wildcard allow-all or the exit always-allow): the policy must
+//      actually be doing set-membership work, not degrading to allow-all.
+//
+//   3. PRECISION — the headline static-vs-dynamic table on the webserver:
+//      edge/state counts of the statically extracted automaton vs the
+//      dynamically learned one, and the static ⊇ dynamic containment the
+//      soundness argument rests on. Enforcing the static automaton on the
+//      webserver itself must produce zero violations on all four mechanisms.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/strings.hpp"
+#include "bench_util.hpp"
+#include "apps/webserver.hpp"
+#include "mechanisms/ptrace_tool.hpp"
+#include "metrics/report.hpp"
+#include "policy/enforce.hpp"
+#include "policy/extract.hpp"
+
+namespace {
+using namespace lzp;
+
+constexpr std::uint64_t kIterations = 20'000;
+constexpr int kReps = 7;
+constexpr double kLazypolineGate = 1.15;
+constexpr std::uint64_t kWebSeed = 0x1A5F'9E37ULL;
+
+const std::vector<std::string> kMechanisms = {"ptrace", "sud", "zpoline",
+                                              "lazypoline"};
+
+bench::Setup setup_for(const std::string& mechanism,
+                       const isa::Program& program,
+                       std::shared_ptr<interpose::SyscallHandler> handler) {
+  if (mechanism == "ptrace") {
+    return [handler](kern::Machine& machine, kern::Tid tid) {
+      bench::check(mechanisms::PtraceMechanism().install(machine, tid, handler),
+                   "ptrace install");
+    };
+  }
+  if (mechanism == "sud") return bench::setup_sud(handler);
+  if (mechanism == "zpoline") return bench::setup_zpoline(program, handler);
+  return bench::setup_lazypoline(program, handler, core::XstateMode::kFull,
+                                 /*sud=*/true);
+}
+
+struct MicroResult {
+  double wall_base_ms = 1e18;
+  double wall_enforced_ms = 1e18;
+  std::uint64_t cycles_base = 0;
+  std::uint64_t cycles_enforced = 0;
+  policy::EnforcerStats stats;  // from the last enforced rep
+};
+
+double hit_rate(const policy::EnforcerStats& stats) {
+  if (stats.transitions_checked == 0) return 0.0;
+  const std::uint64_t concrete = stats.transitions_checked -
+                                 stats.wildcard_allows - stats.always_allows;
+  return 100.0 * static_cast<double>(concrete) /
+         static_cast<double>(stats.transitions_checked);
+}
+
+MicroResult run_micro(const std::string& mechanism,
+                      const isa::Program& program,
+                      const policy::Automaton& automaton) {
+  MicroResult out;
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Baseline leg.
+    {
+      auto dummy = std::make_shared<interpose::DummyHandler>();
+      const auto start = std::chrono::steady_clock::now();
+      const std::uint64_t cycles =
+          bench::run_cycles(program, setup_for(mechanism, program, dummy));
+      const auto end = std::chrono::steady_clock::now();
+      out.wall_base_ms = std::min(
+          out.wall_base_ms,
+          std::chrono::duration<double, std::milli>(end - start).count());
+      if (out.cycles_base != 0 && out.cycles_base != cycles) {
+        bench::die("baseline cycles varied between repetitions");
+      }
+      out.cycles_base = cycles;
+    }
+    // Enforced leg: a fresh enforcer per rep (per-task automaton state).
+    {
+      auto enforcer = bench::unwrap(
+          policy::PolicyEnforcer::create(automaton, {}), "create enforcer");
+      const auto start = std::chrono::steady_clock::now();
+      const std::uint64_t cycles =
+          bench::run_cycles(program, setup_for(mechanism, program, enforcer));
+      const auto end = std::chrono::steady_clock::now();
+      out.wall_enforced_ms = std::min(
+          out.wall_enforced_ms,
+          std::chrono::duration<double, std::milli>(end - start).count());
+      if (out.cycles_enforced != 0 && out.cycles_enforced != cycles) {
+        bench::die("enforced cycles varied between repetitions");
+      }
+      out.cycles_enforced = cycles;
+      out.stats = enforcer->stats();
+      if (out.stats.violations != 0) {
+        bench::die("micro loop violated its own automaton under " + mechanism);
+      }
+    }
+  }
+  return out;
+}
+
+// --- webserver leg -----------------------------------------------------------
+
+struct WebSetup {
+  isa::Program program;
+  std::vector<kern::Tid> tids;
+};
+
+void setup_webserver(kern::Machine& machine, WebSetup* out) {
+  machine.mmap_min_addr = 0;
+  machine.reseed_rng(kWebSeed);
+  const apps::ServerProfile profile = apps::nginx_profile();
+  constexpr std::uint64_t kFileSize = 1024;
+  bench::check(machine.vfs().put_file_of_size("index.html", kFileSize),
+               "put index.html");
+  kern::ClientWorkload client;
+  client.connections = 4;
+  client.total_requests = 60;
+  client.response_bytes = profile.header_bytes + kFileSize;
+  const int listener = machine.net().create_listener(client);
+  out->program = bench::unwrap(
+      apps::make_webserver(machine, profile, "index.html"), "make webserver");
+  machine.register_program(out->program);
+  for (int worker = 0; worker < 2; ++worker) {
+    const kern::Tid tid =
+        bench::unwrap(machine.load(out->program), "load worker");
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid)->process->install_fd_at(apps::kListenerFd, entry);
+    out->tids.push_back(tid);
+  }
+}
+
+policy::EnforcerStats run_web_enforced(const std::string& mechanism,
+                                       const policy::Automaton& automaton) {
+  kern::Machine machine;
+  WebSetup setup;
+  setup_webserver(machine, &setup);
+  auto enforcer = bench::unwrap(policy::PolicyEnforcer::create(automaton, {}),
+                                "create enforcer");
+  for (const kern::Tid tid : setup.tids) {
+    if (mechanism == "ptrace") {
+      bench::check(
+          mechanisms::PtraceMechanism().install(machine, tid, enforcer),
+          "ptrace install");
+    } else if (mechanism == "sud") {
+      bench::check(mechanisms::SudMechanism().install(machine, tid, enforcer),
+                   "sud install");
+    } else if (mechanism == "zpoline") {
+      bench::check(zpoline::ZpolineMechanism().install(machine, tid, enforcer),
+                   "zpoline install");
+    } else {
+      auto runtime = core::Lazypoline::create(machine, {});
+      bench::check(runtime->install(machine, tid, enforcer),
+                   "lazypoline install");
+    }
+  }
+  const auto stats = machine.run(400'000'000ULL);
+  if (!stats.all_exited) bench::die("webserver hung under " + mechanism);
+  return enforcer->stats();
+}
+
+std::vector<std::pair<kern::Tid, std::uint64_t>> run_web_traced() {
+  kern::Machine machine;
+  WebSetup setup;
+  setup_webserver(machine, &setup);
+  auto tracer = std::make_shared<interpose::TracingHandler>();
+  for (const kern::Tid tid : setup.tids) {
+    auto runtime = core::Lazypoline::create(machine, {});
+    bench::check(runtime->install(machine, tid, tracer), "lazypoline install");
+  }
+  const auto stats = machine.run(400'000'000ULL);
+  if (!stats.all_exited) bench::die("traced webserver hung");
+  std::vector<std::pair<kern::Tid, std::uint64_t>> stream;
+  stream.reserve(tracer->trace().size());
+  for (const interpose::TraceRecord& record : tracer->trace()) {
+    stream.emplace_back(record.tid, record.nr);
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::CliArgs cli = bench::parse_cli(argc, argv);
+  const std::string json_path = cli.positional_or(0, "BENCH_policy.json");
+  std::vector<std::string> results;
+
+  // --- 1 + 2: micro-loop overhead and hit-rate per mechanism ---------------
+  const isa::Program micro = bench::make_micro_loop(kIterations);
+  const policy::StaticExtraction micro_ex = policy::extract_static(micro);
+  double lazypoline_x = 0.0;
+  metrics::Table micro_table({"mechanism", "base ms", "enforced ms",
+                              "x base", "transitions", "hit-rate"});
+  for (const std::string& mechanism : kMechanisms) {
+    const MicroResult r = run_micro(mechanism, micro, micro_ex.automaton);
+    if (r.cycles_enforced != r.cycles_base) {
+      std::fprintf(stderr,
+                   "FAIL: enforcement perturbed simulated cycles under %s "
+                   "(base=%llu enforced=%llu)\n",
+                   mechanism.c_str(),
+                   static_cast<unsigned long long>(r.cycles_base),
+                   static_cast<unsigned long long>(r.cycles_enforced));
+      return 1;
+    }
+    const double x = r.wall_enforced_ms / r.wall_base_ms;
+    if (mechanism == "lazypoline") lazypoline_x = x;
+    micro_table.add_row(
+        {mechanism, format_double(r.wall_base_ms, 3),
+         format_double(r.wall_enforced_ms, 3), metrics::ratio(x),
+         std::to_string(r.stats.transitions_checked),
+         format_double(hit_rate(r.stats), 1) + "%"});
+    results.push_back(metrics::JsonObject()
+                          .add("kind", "micro")
+                          .add("mechanism", mechanism)
+                          .add("wall_ms_base", r.wall_base_ms)
+                          .add("wall_ms_enforced", r.wall_enforced_ms)
+                          .add("x_enforced", x)
+                          .add("sim_cycles", r.cycles_base)
+                          .add("transitions", r.stats.transitions_checked)
+                          .add("violations", r.stats.violations)
+                          .add("hit_rate", hit_rate(r.stats))
+                          .add("bpf_insns", r.stats.bpf_insns_executed)
+                          .render());
+  }
+  std::printf("== Policy enforcement overhead (micro loop, %llu syscalls, "
+              "min of %d) ==\n%s\n",
+              static_cast<unsigned long long>(kIterations), kReps,
+              micro_table.render().c_str());
+
+  // --- 3: webserver precision + zero-false-violation sweep -----------------
+  kern::Machine extract_machine;
+  WebSetup web;
+  setup_webserver(extract_machine, &web);
+  const policy::StaticExtraction web_static = policy::extract_static(web.program);
+  const policy::Automaton web_dynamic =
+      policy::learn_from_sequence(run_web_traced(), "webserver");
+  const bool contained = web_static.automaton.contains(web_dynamic);
+
+  metrics::Table web_table({"mechanism", "transitions", "violations",
+                            "hit-rate"});
+  bool web_clean = true;
+  for (const std::string& mechanism : kMechanisms) {
+    const policy::EnforcerStats stats =
+        run_web_enforced(mechanism, web_static.automaton);
+    if (stats.violations != 0) web_clean = false;
+    web_table.add_row({mechanism, std::to_string(stats.transitions_checked),
+                       std::to_string(stats.violations),
+                       format_double(hit_rate(stats), 1) + "%"});
+    results.push_back(metrics::JsonObject()
+                          .add("kind", "webserver")
+                          .add("mechanism", mechanism)
+                          .add("transitions", stats.transitions_checked)
+                          .add("violations", stats.violations)
+                          .add("hit_rate", hit_rate(stats))
+                          .render());
+  }
+  std::printf("== Webserver under its extracted policy ==\n%s\n",
+              web_table.render().c_str());
+
+  metrics::Table precision({"automaton", "states", "edges"});
+  precision.add_row({"static (CFG walk)",
+                     std::to_string(web_static.automaton.state_count()),
+                     std::to_string(web_static.automaton.edge_count())});
+  precision.add_row({"dynamic (learned)",
+                     std::to_string(web_dynamic.state_count()),
+                     std::to_string(web_dynamic.edge_count())});
+  std::printf("== Static vs dynamic precision (webserver) ==\n%s"
+              "containment (static ⊇ dynamic): %s; %zu/%zu sites statically "
+              "resolved\n\n",
+              precision.render().c_str(), contained ? "yes" : "NO",
+              web_static.sites_resolved, web_static.sites_total);
+  results.push_back(metrics::JsonObject()
+                        .add("kind", "precision")
+                        .add("static_edges", web_static.automaton.edge_count())
+                        .add("static_states",
+                             web_static.automaton.state_count())
+                        .add("dynamic_edges", web_dynamic.edge_count())
+                        .add("dynamic_states", web_dynamic.state_count())
+                        .add("contains_dynamic", contained)
+                        .add("sites_total", web_static.sites_total)
+                        .add("sites_resolved", web_static.sites_resolved)
+                        .render());
+
+  // The workloads are single-CPU; --cpus only tags the artifact for schema
+  // uniformity with the SMP-capable benches.
+  bench::write_json_report(json_path, "policy_overhead", results, cli.cpus);
+
+  // --- gates ----------------------------------------------------------------
+  if (lazypoline_x > kLazypolineGate) {
+    std::fprintf(stderr, "FAIL: lazypoline enforcement costs %.3fx (> %.2fx)\n",
+                 lazypoline_x, kLazypolineGate);
+    return 1;
+  }
+  if (!web_clean) {
+    std::fprintf(stderr, "FAIL: false violations on the webserver\n");
+    return 1;
+  }
+  if (!contained) {
+    std::fprintf(stderr, "FAIL: static automaton does not contain dynamic\n");
+    return 1;
+  }
+  std::printf("PASS: lazypoline enforcement %.3fx <= %.2fx, zero false "
+              "violations on all mechanisms, static contains dynamic\n",
+              lazypoline_x, kLazypolineGate);
+  return 0;
+}

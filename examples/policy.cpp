@@ -1,0 +1,544 @@
+// policy — the syscall-flow-integrity pipeline, end to end:
+//
+//   extraction (static CFG walk / dynamic trace learning)
+//     -> lowering (per-state seccomp-BPF allowlists + SUD config)
+//       -> enforcement (PolicyEnforcer under any of the four mechanisms).
+//
+//   ./build/examples/policy extract [workload]
+//       Print the statically extracted automaton, the dynamically learned
+//       one (webserver/getpid-loop run under lazypoline with a tracing
+//       handler), and the containment/precision comparison.
+//   ./build/examples/policy compile [workload]
+//       Lower the static automaton: per-state filter sizes and the
+//       SUD/lazypoline allowlist config.
+//   ./build/examples/policy enforce [mechanism] [workload] [--verdict=V]
+//       Run the workload under its own extracted policy on one mechanism
+//       (V: deny | log | kill; default deny) and print enforcer stats.
+//   ./build/examples/policy gate [--json]
+//       Acceptance gate (scripts/check.sh): the webserver must run
+//       violation-free under its extracted policy on all four mechanisms,
+//       every adversarial-corpus program must be caught on all four, and
+//       verdicts must agree across mechanisms.
+//
+//       workload:  webserver (default) | getpid-loop
+//       mechanism: lazypoline (default) | sud | zpoline | ptrace
+//
+// Build & run:  cmake --build build && ./build/examples/policy gate
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/fuzz_programs.hpp"
+#include "apps/minilibc.hpp"
+#include "apps/webserver.hpp"
+#include "bpf/seccomp_filter.hpp"
+#include "core/lazypoline.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/machine.hpp"
+#include "kernel/syscalls.hpp"
+#include "mechanisms/ptrace_tool.hpp"
+#include "mechanisms/sud_tool.hpp"
+#include "policy/compile.hpp"
+#include "policy/enforce.hpp"
+#include "policy/extract.hpp"
+#include "zpoline/zpoline.hpp"
+
+using namespace lzp;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x1A5F'9E37ULL;
+constexpr std::uint64_t kStepLimit = 400'000'000ULL;
+const std::vector<std::string> kMechanisms = {"ptrace", "sud", "zpoline",
+                                              "lazypoline"};
+
+bool install(kern::Machine& machine, kern::Tid tid,
+             const std::shared_ptr<interpose::SyscallHandler>& handler,
+             const std::string& mechanism) {
+  Status status;
+  if (mechanism == "ptrace") {
+    status = mechanisms::PtraceMechanism().install(machine, tid, handler);
+  } else if (mechanism == "sud") {
+    status = mechanisms::SudMechanism().install(machine, tid, handler);
+  } else if (mechanism == "zpoline") {
+    status = zpoline::ZpolineMechanism().install(machine, tid, handler);
+  } else if (mechanism == "lazypoline") {
+    auto runtime = core::Lazypoline::create(machine, {});
+    status = runtime->install(machine, tid, handler);
+  } else {
+    std::fprintf(stderr, "unknown mechanism '%s'\n", mechanism.c_str());
+    return false;
+  }
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "install %s: %s\n", mechanism.c_str(),
+                 status.to_string().c_str());
+    return false;
+  }
+  return true;
+}
+
+isa::Program make_getpid_loop() {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto loop = a.new_label();
+  const auto done = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, 50);
+  a.bind(loop);
+  a.cmp(isa::Gpr::rbx, 0);
+  a.jz(done);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.syscall_();
+  a.sub(isa::Gpr::rbx, 1);
+  a.jmp(loop);
+  a.bind(done);
+  apps::emit_exit(a, 0);
+  return std::move(isa::make_program("getpid-loop", a, entry)).value();
+}
+
+// Prepares `machine` for `workload` and returns the loaded program plus the
+// tids to install a mechanism on. The caller owns the machine so it can also
+// attach tracers/sinks before running.
+struct Setup {
+  isa::Program program;
+  std::vector<kern::Tid> tids;
+};
+
+bool setup_workload(kern::Machine& machine, const std::string& workload,
+                    Setup* out) {
+  machine.mmap_min_addr = 0;
+  machine.reseed_rng(kSeed);
+  if (workload == "getpid-loop") {
+    out->program = make_getpid_loop();
+    machine.register_program(out->program);
+    auto tid = machine.load(out->program);
+    if (!tid.is_ok()) return false;
+    out->tids.push_back(tid.value());
+    return true;
+  }
+  if (workload != "webserver") {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return false;
+  }
+  const apps::ServerProfile profile = apps::nginx_profile();
+  constexpr std::uint64_t kFileSize = 1024;
+  if (!machine.vfs().put_file_of_size("index.html", kFileSize).is_ok()) {
+    return false;
+  }
+  kern::ClientWorkload client;
+  client.connections = 4;
+  client.total_requests = 60;
+  client.response_bytes = profile.header_bytes + kFileSize;
+  const int listener = machine.net().create_listener(client);
+
+  auto program = apps::make_webserver(machine, profile, "index.html");
+  if (!program.is_ok()) {
+    std::fprintf(stderr, "webserver: %s\n",
+                 program.status().to_string().c_str());
+    return false;
+  }
+  out->program = std::move(program).value();
+  machine.register_program(out->program);
+  for (int worker = 0; worker < 2; ++worker) {
+    auto tid = machine.load(out->program);
+    if (!tid.is_ok()) return false;
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid.value())->process->install_fd_at(apps::kListenerFd,
+                                                           entry);
+    out->tids.push_back(tid.value());
+  }
+  return true;
+}
+
+bool setup_adversarial(kern::Machine& machine, std::uint64_t seed,
+                       Setup* out) {
+  machine.mmap_min_addr = 0;
+  machine.reseed_rng(kSeed);
+  out->program = analysis::make_adversarial_program(seed);
+  machine.register_program(out->program);
+  auto tid = machine.load(out->program);
+  if (!tid.is_ok()) return false;
+  out->tids.push_back(tid.value());
+  return true;
+}
+
+// One traced (un-enforced) run: the dynamic-learning and profiling primitive.
+struct TracedRun {
+  bool completed = false;
+  std::vector<std::pair<kern::Tid, std::uint64_t>> stream;
+};
+
+TracedRun run_traced(const std::string& workload_or_seed,
+                     const std::string& mechanism,
+                     std::uint64_t adversarial_seed = 0,
+                     bool adversarial = false) {
+  TracedRun out;
+  kern::Machine machine;
+  Setup setup;
+  const bool ok = adversarial
+                      ? setup_adversarial(machine, adversarial_seed, &setup)
+                      : setup_workload(machine, workload_or_seed, &setup);
+  if (!ok) return out;
+  auto tracer = std::make_shared<interpose::TracingHandler>();
+  for (const kern::Tid tid : setup.tids) {
+    if (!install(machine, tid, tracer, mechanism)) return out;
+  }
+  const auto stats = machine.run(kStepLimit);
+  out.completed = stats.all_exited;
+  out.stream.reserve(tracer->trace().size());
+  for (const interpose::TraceRecord& record : tracer->trace()) {
+    out.stream.emplace_back(record.tid, record.nr);
+  }
+  return out;
+}
+
+struct EnforcedRun {
+  bool completed = false;
+  policy::EnforcerStats stats;
+};
+
+EnforcedRun run_enforced(const std::string& workload,
+                         const std::string& mechanism,
+                         const policy::Automaton& automaton,
+                         policy::EnforcerOptions options,
+                         std::uint64_t adversarial_seed = 0,
+                         bool adversarial = false) {
+  EnforcedRun out;
+  kern::Machine machine;
+  Setup setup;
+  const bool ok = adversarial
+                      ? setup_adversarial(machine, adversarial_seed, &setup)
+                      : setup_workload(machine, workload, &setup);
+  if (!ok) return out;
+  auto enforcer = policy::PolicyEnforcer::create(automaton, options);
+  if (!enforcer.is_ok()) {
+    std::fprintf(stderr, "enforcer: %s\n",
+                 enforcer.status().to_string().c_str());
+    return out;
+  }
+  for (const kern::Tid tid : setup.tids) {
+    if (!install(machine, tid, enforcer.value(), mechanism)) return out;
+  }
+  const auto stats = machine.run(kStepLimit);
+  out.completed = stats.all_exited;
+  out.stats = enforcer.value()->stats();
+  return out;
+}
+
+void print_automaton(const char* heading, const policy::Automaton& automaton) {
+  std::printf("--- %s: %zu states, %zu edges%s ---\n%s", heading,
+              automaton.state_count(), automaton.edge_count(),
+              automaton.has_wildcard() ? " (has wildcard)" : "",
+              automaton.serialize().c_str());
+}
+
+struct Extracted {
+  policy::StaticExtraction static_ex;
+  policy::Automaton dynamic;
+  bool dynamic_complete = false;
+};
+
+bool extract_both(const std::string& workload, Extracted* out) {
+  {
+    kern::Machine machine;
+    Setup setup;
+    if (!setup_workload(machine, workload, &setup)) return false;
+    out->static_ex = policy::extract_static(setup.program);
+  }
+  TracedRun traced = run_traced(workload, "lazypoline");
+  if (!traced.completed) {
+    std::fprintf(stderr, "dynamic-learning run did not complete\n");
+    return false;
+  }
+  out->dynamic = policy::learn_from_sequence(traced.stream, workload);
+  out->dynamic_complete = true;
+  return true;
+}
+
+int cmd_extract(const std::string& workload) {
+  Extracted ex;
+  if (!extract_both(workload, &ex)) return 1;
+  std::printf("static extraction: %zu blocks, %zu syscall sites (%zu with a "
+              "statically resolved number)\n\n",
+              ex.static_ex.blocks, ex.static_ex.sites_total,
+              ex.static_ex.sites_resolved);
+  print_automaton("static", ex.static_ex.automaton);
+  std::printf("\n");
+  print_automaton("dynamic", ex.dynamic);
+  const bool contained = ex.static_ex.automaton.contains(ex.dynamic);
+  std::printf("\nstatic contains dynamic: %s\n", contained ? "yes" : "NO");
+  std::printf("precision: static %zu edges vs dynamic %zu edges (%zu "
+              "over-approximated)\n",
+              ex.static_ex.automaton.edge_count(), ex.dynamic.edge_count(),
+              ex.static_ex.automaton.edge_count() >= ex.dynamic.edge_count()
+                  ? ex.static_ex.automaton.edge_count() -
+                        ex.dynamic.edge_count()
+                  : 0);
+  return contained ? 0 : 1;
+}
+
+int cmd_compile(const std::string& workload) {
+  Extracted ex;
+  if (!extract_both(workload, &ex)) return 1;
+  auto compiled = policy::compile_to_seccomp(
+      ex.static_ex.automaton,
+      bpf::SECCOMP_RET_ERRNO | static_cast<std::uint32_t>(kern::kEPERM));
+  if (!compiled.is_ok()) {
+    std::fprintf(stderr, "compile: %s\n",
+                 compiled.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%zu per-state seccomp-BPF filters, %zu cBPF instructions "
+              "total\n\n",
+              compiled.value().states.size(),
+              compiled.value().total_filter_insns());
+  std::printf("%-24s %8s %9s %s\n", "state", "allowed", "wildcard",
+              "filter insns");
+  for (const auto& [state, sp] : compiled.value().states) {
+    const std::string label =
+        state == policy::kEntryState
+            ? "entry"
+            : std::string(kern::syscall_name(state));
+    std::printf("%-24s %8zu %9s %zu\n", label.c_str(), sp.allowed.size(),
+                sp.wildcard ? "yes" : "no", sp.filter.size());
+  }
+  std::printf("\n--- SUD / lazypoline allowlist config ---\n%s",
+              policy::sud_allowlist_config(ex.static_ex.automaton).c_str());
+  return 0;
+}
+
+policy::EnforcerOptions options_for(const std::string& verdict) {
+  policy::EnforcerOptions options;
+  if (verdict == "log") {
+    options.verdict = policy::Verdict::kLogOnly;
+  } else if (verdict == "kill") {
+    options.verdict = policy::Verdict::kKill;
+  } else {
+    options.verdict = policy::Verdict::kDenyErrno;
+  }
+  return options;
+}
+
+void print_stats(const policy::EnforcerStats& stats) {
+  std::printf("transitions checked: %llu\n",
+              static_cast<unsigned long long>(stats.transitions_checked));
+  std::printf("violations:          %llu (denied %llu, killed %llu, logged "
+              "%llu)\n",
+              static_cast<unsigned long long>(stats.violations),
+              static_cast<unsigned long long>(stats.denied),
+              static_cast<unsigned long long>(stats.killed),
+              static_cast<unsigned long long>(stats.logged));
+  std::printf("wildcard allows:     %llu\n",
+              static_cast<unsigned long long>(stats.wildcard_allows));
+  std::printf("always-allow (exit): %llu\n",
+              static_cast<unsigned long long>(stats.always_allows));
+  std::printf("cBPF insns executed: %llu\n",
+              static_cast<unsigned long long>(stats.bpf_insns_executed));
+}
+
+int cmd_enforce(const std::string& mechanism, const std::string& workload,
+                const std::string& verdict) {
+  Extracted ex;
+  if (!extract_both(workload, &ex)) return 1;
+  const EnforcedRun run = run_enforced(workload, mechanism,
+                                       ex.static_ex.automaton,
+                                       options_for(verdict));
+  std::printf("%s under %s, verdict %s:\n", workload.c_str(),
+              mechanism.c_str(), verdict.c_str());
+  std::printf("completed: %s\n", run.completed ? "yes" : "NO");
+  print_stats(run.stats);
+  return run.completed && run.stats.violations == 0 ? 0 : 1;
+}
+
+// --- the acceptance gate -----------------------------------------------------
+
+int cmd_gate(bool json) {
+  bool ok = true;
+  std::string failures;
+  auto fail = [&](const std::string& what) {
+    ok = false;
+    failures += "  FAIL: " + what + "\n";
+  };
+
+  // 1. Extraction + containment: the sound static automaton must contain
+  //    everything the webserver actually did.
+  Extracted ex;
+  if (!extract_both("webserver", &ex)) return 2;
+  if (!ex.static_ex.automaton.contains(ex.dynamic)) {
+    fail("static automaton does not contain the dynamically learned one");
+  }
+
+  // 2. The webserver must run violation-free under its own extracted policy
+  //    (deny verdict — a single false violation would break the workload)
+  //    on all four mechanisms.
+  std::map<std::string, policy::EnforcerStats> self_stats;
+  for (const std::string& mechanism : kMechanisms) {
+    const EnforcedRun run =
+        run_enforced("webserver", mechanism, ex.static_ex.automaton,
+                     options_for("deny"));
+    self_stats[mechanism] = run.stats;
+    if (!run.completed) fail("webserver hung under " + mechanism);
+    if (run.stats.violations != 0) {
+      fail("false violations under " + mechanism + " (" +
+           std::to_string(run.stats.violations) + ")");
+    }
+    if (run.stats.transitions_checked == 0) {
+      fail("enforcer saw no syscalls under " + mechanism);
+    }
+  }
+
+  // 3. Adversarial corpus: profile seeds until 8 qualify — the program must
+  //    complete with an identical syscall stream under all four mechanisms
+  //    (so enforcement verdicts are comparable) and actually reach an
+  //    off-policy syscall (getpid).
+  std::vector<std::uint64_t> corpus;
+  for (std::uint64_t seed = 1; seed <= 64 && corpus.size() < 8; ++seed) {
+    TracedRun reference;
+    bool qualified = true;
+    for (const std::string& mechanism : kMechanisms) {
+      TracedRun traced = run_traced("", mechanism, seed, /*adversarial=*/true);
+      if (!traced.completed) {
+        qualified = false;
+        break;
+      }
+      if (mechanism == kMechanisms.front()) {
+        reference = std::move(traced);
+      } else if (traced.stream != reference.stream) {
+        qualified = false;
+        break;
+      }
+    }
+    if (!qualified) continue;
+    bool has_getpid = false;
+    for (const auto& [tid, nr] : reference.stream) {
+      if (nr == kern::kSysGetpid) has_getpid = true;
+    }
+    if (has_getpid) corpus.push_back(seed);
+  }
+  if (corpus.size() < 8) {
+    fail("adversarial corpus: only " + std::to_string(corpus.size()) +
+         " of 8 seeds qualified");
+  }
+
+  // 4. Every corpus program must be caught — at least one violation — under
+  //    every mechanism, with identical violation counts across mechanisms.
+  std::size_t caught = 0;
+  for (const std::uint64_t seed : corpus) {
+    std::uint64_t reference_violations = 0;
+    bool first = true;
+    bool seed_ok = true;
+    for (const std::string& mechanism : kMechanisms) {
+      const EnforcedRun run =
+          run_enforced("", mechanism, ex.static_ex.automaton,
+                       options_for("deny"), seed, /*adversarial=*/true);
+      if (!run.completed) {
+        fail("adversarial seed " + std::to_string(seed) + " hung under " +
+             mechanism);
+        seed_ok = false;
+        continue;
+      }
+      if (run.stats.violations == 0) {
+        fail("adversarial seed " + std::to_string(seed) +
+             " escaped the policy under " + mechanism);
+        seed_ok = false;
+      }
+      if (first) {
+        reference_violations = run.stats.violations;
+        first = false;
+      } else if (run.stats.violations != reference_violations) {
+        fail("verdict mismatch for seed " + std::to_string(seed) + " under " +
+             mechanism + ": " + std::to_string(run.stats.violations) +
+             " violations vs " + std::to_string(reference_violations));
+        seed_ok = false;
+      }
+    }
+    if (seed_ok) ++caught;
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"ok\": %s,\n", ok ? "true" : "false");
+    std::printf("  \"static_edges\": %zu,\n",
+                ex.static_ex.automaton.edge_count());
+    std::printf("  \"static_states\": %zu,\n",
+                ex.static_ex.automaton.state_count());
+    std::printf("  \"dynamic_edges\": %zu,\n", ex.dynamic.edge_count());
+    std::printf("  \"dynamic_states\": %zu,\n", ex.dynamic.state_count());
+    std::printf("  \"sites_total\": %zu,\n", ex.static_ex.sites_total);
+    std::printf("  \"sites_resolved\": %zu,\n", ex.static_ex.sites_resolved);
+    std::printf("  \"contains_dynamic\": %s,\n",
+                ex.static_ex.automaton.contains(ex.dynamic) ? "true"
+                                                            : "false");
+    std::printf("  \"corpus_size\": %zu,\n", corpus.size());
+    std::printf("  \"corpus_caught\": %zu,\n", caught);
+    std::printf("  \"mechanisms\": {");
+    bool first_mech = true;
+    for (const auto& [mechanism, stats] : self_stats) {
+      std::printf("%s\n    \"%s\": {\"transitions\": %llu, \"violations\": "
+                  "%llu}",
+                  first_mech ? "" : ",", mechanism.c_str(),
+                  static_cast<unsigned long long>(stats.transitions_checked),
+                  static_cast<unsigned long long>(stats.violations));
+      first_mech = false;
+    }
+    std::printf("\n  }\n}\n");
+  } else {
+    std::printf("webserver: static %zu edges / %zu states, dynamic %zu "
+                "edges / %zu states, containment %s\n",
+                ex.static_ex.automaton.edge_count(),
+                ex.static_ex.automaton.state_count(),
+                ex.dynamic.edge_count(), ex.dynamic.state_count(),
+                ex.static_ex.automaton.contains(ex.dynamic) ? "ok" : "BROKEN");
+    for (const auto& [mechanism, stats] : self_stats) {
+      std::printf("  %-10s %llu transitions, %llu violations\n",
+                  mechanism.c_str(),
+                  static_cast<unsigned long long>(stats.transitions_checked),
+                  static_cast<unsigned long long>(stats.violations));
+    }
+    std::printf("adversarial corpus: %zu programs, %zu caught under all four "
+                "mechanisms with matching verdicts\n",
+                corpus.size(), caught);
+    if (!ok) std::printf("%s", failures.c_str());
+    std::printf("policy gate: %s\n", ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  bool json = false;
+  std::string verdict = "deny";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--verdict=", 0) == 0) {
+      verdict = arg.substr(10);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string mode = positional.empty() ? "gate" : positional[0];
+  if (mode == "extract") {
+    return cmd_extract(positional.size() > 1 ? positional[1] : "webserver");
+  }
+  if (mode == "compile") {
+    return cmd_compile(positional.size() > 1 ? positional[1] : "webserver");
+  }
+  if (mode == "enforce") {
+    return cmd_enforce(positional.size() > 1 ? positional[1] : "lazypoline",
+                       positional.size() > 2 ? positional[2] : "webserver",
+                       verdict);
+  }
+  if (mode == "gate") return cmd_gate(json);
+  std::fprintf(stderr,
+               "usage: policy [extract|compile|enforce|gate] ... (see header "
+               "comment)\n");
+  return 2;
+}

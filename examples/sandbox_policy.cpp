@@ -5,6 +5,14 @@
 // misses one syscall is bypassable (paper §VI), which is why the policy runs
 // under lazypoline rather than a static rewriter.
 //
+// The path check composes with the syscall-flow-integrity layer
+// (src/policy): the guest's automaton is extracted statically from its code
+// and a PolicyEnforcer wraps the path handler, so a syscall must BOTH be a
+// legal next step of the program's own syscall digraph AND pass the deep
+// path inspection. Layered defenses: the automaton stops code-reuse that
+// strays off the program's syscall order, the path check stops in-order
+// calls with hostile arguments.
+//
 // Build & run:  cmake --build build && ./build/examples/sandbox_policy
 #include <cstdio>
 
@@ -12,6 +20,8 @@
 #include "core/lazypoline.hpp"
 #include "kernel/machine.hpp"
 #include "mechanisms/seccomp_bpf_tool.hpp"
+#include "policy/enforce.hpp"
+#include "policy/extract.hpp"
 
 using namespace lzp;
 
@@ -55,9 +65,28 @@ int main() {
   std::printf("seccomp-bpf install of the path policy: %s\n",
               bpf_attempt.to_string().c_str());
 
-  // Now install it under lazypoline.
+  // Layer the guest's own syscall-flow automaton over the path check: the
+  // enforcer consults the automaton first, then hands allowed syscalls to
+  // the path handler.
+  const policy::StaticExtraction extraction =
+      policy::extract_static(program.value());
+  std::printf("\nextracted flow automaton (%zu states, %zu edges):\n%s\n",
+              extraction.automaton.state_count(),
+              extraction.automaton.edge_count(),
+              extraction.automaton.serialize().c_str());
+  auto enforcer =
+      policy::PolicyEnforcer::create(extraction.automaton, {}, handler);
+  if (!enforcer.is_ok()) {
+    std::fprintf(stderr, "enforcer: %s\n",
+                 enforcer.status().to_string().c_str());
+    return 1;
+  }
+
+  // Now install the composed policy under lazypoline.
   auto lazypoline = core::Lazypoline::create(machine, {});
-  if (!lazypoline->install(machine, tid.value(), handler).is_ok()) return 1;
+  if (!lazypoline->install(machine, tid.value(), enforcer.value()).is_ok()) {
+    return 1;
+  }
 
   const auto stats = machine.run();
   if (!stats.all_exited) return 1;
@@ -65,7 +94,15 @@ int main() {
   const int successful_opens = machine.find_task(tid.value())->exit_code;
   std::printf("\nguest managed %d of 2 opens (the protected one was denied)\n",
               successful_opens);
-  std::printf("policy denials: %llu\n",
+  std::printf("path-policy denials: %llu\n",
               static_cast<unsigned long long>(handler->denials()));
-  return successful_opens == 1 && handler->denials() == 1 ? 0 : 1;
+  const policy::EnforcerStats flow = enforcer.value()->stats();
+  std::printf("flow-integrity: %llu transitions checked, %llu violations "
+              "(the guest stayed on its own automaton)\n",
+              static_cast<unsigned long long>(flow.transitions_checked),
+              static_cast<unsigned long long>(flow.violations));
+  return successful_opens == 1 && handler->denials() == 1 &&
+                 flow.transitions_checked > 0 && flow.violations == 0
+             ? 0
+             : 1;
 }

@@ -6,15 +6,21 @@
 // mechanism as its category, instants for site rewrites, SIGSYS deliveries,
 // and selector flips.
 //
-//   ./build/examples/trace_dump [mechanism] [workload] [out.json]
+//   ./build/examples/trace_dump [mechanism] [workload] [out.json] [--policy]
 //       mechanism: lazypoline (default) | sud | zpoline | ptrace
 //       workload:  webserver (default)  | getpid-loop
+//       --policy:  enforce the workload's statically extracted syscall-flow
+//                  automaton (src/policy) during the run — the summary then
+//                  shows the per-state policy counter table, and after the
+//                  run the flight-recorder ring is fed back into the dynamic
+//                  learner to compare against the static automaton.
 //
 // Build & run:  cmake --build build && ./build/examples/trace_dump
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/minilibc.hpp"
 #include "apps/webserver.hpp"
@@ -24,6 +30,9 @@
 #include "kernel/syscalls.hpp"
 #include "mechanisms/ptrace_tool.hpp"
 #include "mechanisms/sud_tool.hpp"
+#include "policy/enforce.hpp"
+#include "policy/extract.hpp"
+#include "policy/from_flight_recorder.hpp"
 #include "trace/export.hpp"
 #include "trace/tracer.hpp"
 #include "zpoline/zpoline.hpp"
@@ -78,17 +87,25 @@ isa::Program make_getpid_loop() {
   return std::move(isa::make_program("getpid-loop", a, entry)).value();
 }
 
+// Prepares the machine and loads the workload; installation happens in main
+// so the handler can be wrapped (e.g. in a PolicyEnforcer) once the loaded
+// program — the automaton-extraction input — is known.
+struct Setup {
+  isa::Program program;
+  std::vector<kern::Tid> tids;
+};
+
 bool setup_workload(kern::Machine& machine, const std::string& workload,
-                    const std::string& mechanism,
-                    const std::shared_ptr<interpose::SyscallHandler>& handler) {
+                    Setup* out) {
   machine.mmap_min_addr = 0;
   machine.reseed_rng(kSeed);
   if (workload == "getpid-loop") {
-    const auto program = make_getpid_loop();
-    machine.register_program(program);
-    auto tid = machine.load(program);
+    out->program = make_getpid_loop();
+    machine.register_program(out->program);
+    auto tid = machine.load(out->program);
     if (!tid.is_ok()) return false;
-    return install(machine, tid.value(), handler, mechanism);
+    out->tids.push_back(tid.value());
+    return true;
   }
   if (workload != "webserver") {
     std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
@@ -111,16 +128,17 @@ bool setup_workload(kern::Machine& machine, const std::string& workload,
     std::fprintf(stderr, "webserver: %s\n", program.status().to_string().c_str());
     return false;
   }
-  machine.register_program(program.value());
+  out->program = std::move(program).value();
+  machine.register_program(out->program);
   for (int worker = 0; worker < 2; ++worker) {
-    auto tid = machine.load(program.value());
+    auto tid = machine.load(out->program);
     if (!tid.is_ok()) return false;
     kern::FdEntry entry;
     entry.kind = kern::FdEntry::Kind::kListener;
     entry.net_id = listener;
     machine.find_task(tid.value())->process->install_fd_at(apps::kListenerFd,
                                                            entry);
-    if (!install(machine, tid.value(), handler, mechanism)) return false;
+    out->tids.push_back(tid.value());
   }
   return true;
 }
@@ -128,9 +146,18 @@ bool setup_workload(kern::Machine& machine, const std::string& workload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string mechanism = argc > 1 ? argv[1] : "lazypoline";
-  const std::string workload = argc > 2 ? argv[2] : "webserver";
-  const std::string out_path = argc > 3 ? argv[3] : "trace.json";
+  std::vector<std::string> positional;
+  bool policy_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--policy") {
+      policy_mode = true;
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  const std::string mechanism = positional.size() > 0 ? positional[0] : "lazypoline";
+  const std::string workload = positional.size() > 1 ? positional[1] : "webserver";
+  const std::string out_path = positional.size() > 2 ? positional[2] : "trace.json";
 
   trace::Tracer tracer;
   kern::Machine machine;
@@ -138,8 +165,28 @@ int main(int argc, char** argv) {
   // rewrites) lands in the trace too.
   tracer.attach(machine);
 
-  auto handler = std::make_shared<interpose::DummyHandler>();
-  if (!setup_workload(machine, workload, mechanism, handler)) return 1;
+  Setup setup;
+  if (!setup_workload(machine, workload, &setup)) return 1;
+
+  std::shared_ptr<interpose::SyscallHandler> handler =
+      std::make_shared<interpose::DummyHandler>();
+  policy::StaticExtraction extraction;
+  std::shared_ptr<policy::PolicyEnforcer> enforcer;
+  if (policy_mode) {
+    extraction = policy::extract_static(setup.program);
+    auto created =
+        policy::PolicyEnforcer::create(extraction.automaton, {}, handler);
+    if (!created.is_ok()) {
+      std::fprintf(stderr, "policy enforcer: %s\n",
+                   created.status().to_string().c_str());
+      return 1;
+    }
+    enforcer = created.value();
+    handler = enforcer;
+  }
+  for (const kern::Tid tid : setup.tids) {
+    if (!install(machine, tid, handler, mechanism)) return 1;
+  }
 
   const auto stats = machine.run(400'000'000ULL);
   if (!stats.all_exited) {
@@ -150,6 +197,28 @@ int main(int argc, char** argv) {
   std::printf("%s under %s: %llu machine steps\n\n", workload.c_str(),
               mechanism.c_str(), static_cast<unsigned long long>(stats.insns));
   std::printf("%s", trace::render_summary(tracer).c_str());
+
+  if (policy_mode) {
+    // Close the loop: the ring the tracer just filled is itself a dynamic
+    // policy source. Learn from it and compare with the enforced (static)
+    // automaton.
+    const policy::Automaton learned =
+        policy::learn_from_flight_recorder(tracer.ring(), workload);
+    const policy::EnforcerStats pstats = enforcer->stats();
+    std::printf("\n== policy pipeline ==\n");
+    std::printf("enforced (static):  %zu states, %zu edges\n",
+                extraction.automaton.state_count(),
+                extraction.automaton.edge_count());
+    std::printf("learned from ring:  %zu states, %zu edges (%llu events "
+                "dropped by the ring)\n",
+                learned.state_count(), learned.edge_count(),
+                static_cast<unsigned long long>(tracer.ring().dropped()));
+    std::printf("static contains learned: %s\n",
+                extraction.automaton.contains(learned) ? "yes" : "NO");
+    std::printf("enforcer: %llu transitions, %llu violations\n",
+                static_cast<unsigned long long>(pstats.transitions_checked),
+                static_cast<unsigned long long>(pstats.violations));
+  }
 
   std::ofstream out(out_path);
   out << trace::export_chrome_json(tracer);

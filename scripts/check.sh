@@ -8,7 +8,11 @@
 # static-analysis gate (examples/analyze --gate on the webserver workload:
 # fails if any verified-eager-rewritten site was not statically SAFE, or if
 # the runtime cross-checker observed a kernel-verified syscall disagreeing
-# with a SAFE verdict), then the record-overhead bench (emits
+# with a SAFE verdict), then the syscall-flow policy gate (examples/policy
+# gate: the webserver must run violation-free under its own extracted
+# automaton on all four mechanisms, and every adversarial corpus program
+# must trip at least one violation with identical counts across mechanisms),
+# then the record-overhead bench (emits
 # BENCH_record_overhead.json at the repo root and fails if lazypoline-based
 # recording is not cheaper than ptrace's), then the trace-overhead bench
 # (emits BENCH_trace_overhead.json and fails if an attached-but-disabled
@@ -18,7 +22,11 @@
 # decode-cache baseline on straight-line code or perturbs simulated
 # cycles/steps on any workload), then the analysis-accuracy bench (emits
 # BENCH_analysis.json and fails on any SAFE false positive or if the analyzer
-# is not strictly more precise than the raw byte scan), then the SMP bench
+# is not strictly more precise than the raw byte scan), then the policy
+# enforcement bench (emits BENCH_policy.json and fails if lazypoline-based
+# enforcement costs >1.15x wall time, perturbs simulated cycles, or the
+# static automaton does not contain the dynamically learned one), then the
+# SMP bench
 # (fig5_webservers --cpus=8, emits BENCH_smp.json; its >=2x host-speedup
 # gate self-skips on hosts with <8 cores).
 #
@@ -118,6 +126,9 @@ fi
 echo "== static-analysis gate (examples/analyze --gate webserver) =="
 ./build/examples/analyze --workload=webserver --gate
 
+echo "== syscall-flow policy gate (examples/policy gate) =="
+./build/examples/policy gate
+
 if [[ "${run_bench}" == 1 ]]; then
   echo "== record-overhead bench =="
   ./build/bench/record_overhead BENCH_record_overhead.json
@@ -138,6 +149,9 @@ if [[ "${run_bench}" == 1 ]]; then
 
   echo "== analysis-accuracy bench =="
   ./build/bench/analysis_accuracy BENCH_analysis.json
+
+  echo "== policy-overhead bench =="
+  ./build/bench/policy_overhead BENCH_policy.json
 
   echo "== SMP scale-out bench (fig5 --cpus=8 -> BENCH_smp.json) =="
   ./build/bench/fig5_webservers --cpus=8

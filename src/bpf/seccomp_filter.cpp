@@ -1,32 +1,54 @@
 #include "bpf/seccomp_filter.hpp"
 
 #include <cstring>
+#include <string>
 
 namespace lzp::bpf {
 
 std::vector<std::uint8_t> SeccompData::serialize() const {
   std::vector<std::uint8_t> out(kSize);
+  serialize_into(std::span<std::uint8_t, kSize>(out.data(), kSize));
+  return out;
+}
+
+void SeccompData::serialize_into(std::span<std::uint8_t, kSize> out) const {
   std::memcpy(out.data() + kOffNr, &nr, 4);
   std::memcpy(out.data() + kOffArch, &arch, 4);
   std::memcpy(out.data() + kOffIpLow, &instruction_pointer, 8);
   for (std::size_t i = 0; i < 6; ++i) {
     std::memcpy(out.data() + off_arg_low(i), &args[i], 8);
   }
-  return out;
 }
+
+namespace {
+
+// A linear JEQ chain over `n` members needs a first-compare jump offset of
+// exactly `n` (skip the n-1 remaining compares plus the fall-through
+// return). Offsets are uint8_t, so n > 255 is unencodable.
+Status check_set_size(std::size_t n, const char* builder) {
+  if (n <= SeccompFilterBuilder::kMaxSetMembers) return Status::ok();
+  return make_error(
+      StatusCode::kOutOfRange,
+      std::string(builder) + ": " + std::to_string(n) +
+          " syscalls need a jump offset of " + std::to_string(n) +
+          ", but cBPF jump offsets are 8-bit (max 255); split the set or use "
+          "a jump tree");
+}
+
+}  // namespace
 
 std::vector<Insn> SeccompFilterBuilder::return_constant(std::uint32_t action) {
   return {stmt(BPF_RET | BPF_K, action)};
 }
 
-std::vector<Insn> SeccompFilterBuilder::trap_syscalls(
+Result<std::vector<Insn>> SeccompFilterBuilder::trap_syscalls(
     std::span<const std::uint32_t> trapped, std::uint32_t trap_action) {
+  LZP_RETURN_IF_ERROR(check_set_size(trapped.size(), "trap_syscalls"));
   std::vector<Insn> program;
   program.push_back(stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr));
-  // One JEQ per trapped number; fall through to ALLOW. With >255 entries a
-  // real filter would use a jump tree, but interposition filters are short.
+  // One JEQ per trapped number; fall through to ALLOW. On match, jump over
+  // the remaining compares and the ALLOW to the TRAP.
   for (std::size_t i = 0; i < trapped.size(); ++i) {
-    // On match, jump over the remaining compares and the ALLOW to the TRAP.
     const auto remaining = static_cast<std::uint8_t>(trapped.size() - 1 - i + 1);
     program.push_back(jump(BPF_JMP | BPF_JEQ | BPF_K, trapped[i], remaining, 0));
   }
@@ -65,8 +87,9 @@ std::vector<Insn> SeccompFilterBuilder::trap_unless_ip_in_range(
   return program;
 }
 
-std::vector<Insn> SeccompFilterBuilder::allowlist(
+Result<std::vector<Insn>> SeccompFilterBuilder::allowlist(
     std::span<const std::uint32_t> allowed, std::uint32_t default_action) {
+  LZP_RETURN_IF_ERROR(check_set_size(allowed.size(), "allowlist"));
   std::vector<Insn> program;
   program.push_back(stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr));
   for (std::size_t i = 0; i < allowed.size(); ++i) {

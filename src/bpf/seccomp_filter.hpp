@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "base/status.hpp"
 #include "bpf/bpf.hpp"
 
 namespace lzp::bpf {
@@ -22,6 +23,9 @@ struct SeccompData {
 
   static constexpr std::size_t kSize = 4 + 4 + 8 + 6 * 8;
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  // Allocation-free variant for per-syscall hot paths (policy enforcement
+  // runs one filter per interposed syscall).
+  void serialize_into(std::span<std::uint8_t, kSize> out) const;
 
   // Byte offsets for BPF_ABS loads.
   static constexpr std::uint32_t kOffNr = 0;
@@ -51,15 +55,27 @@ inline constexpr std::uint32_t SECCOMP_RET_DATA = 0x0000ffff;
 inline constexpr std::uint32_t kAuditArchX86_64 = 0xC000003E;
 
 // Builds common seccomp filter programs.
+//
+// The set-membership builders (trap_syscalls / allowlist) emit one JEQ per
+// listed syscall whose on-match jump skips every remaining compare. cBPF
+// jump offsets are 8-bit, so a list longer than kMaxSetMembers needs a jump
+// offset > 255 and cannot be encoded this way; those builders return a clear
+// Status instead of silently truncating the offset (which would produce a
+// filter that *validates* but matches the wrong instruction).
 class SeccompFilterBuilder {
  public:
+  // Largest syscall list a linear JEQ chain can encode: the first compare's
+  // on-match jump must skip the remaining (n - 1) compares plus the
+  // fall-through return, i.e. jt = n <= 255.
+  static constexpr std::size_t kMaxSetMembers = 255;
+
   // Every syscall -> `action`.
   static std::vector<Insn> return_constant(std::uint32_t action);
 
   // `trapped` syscalls -> `trap_action`; everything else -> ALLOW.
   // This is the classic interposition filter (seccomp-user in Table I).
-  static std::vector<Insn> trap_syscalls(std::span<const std::uint32_t> trapped,
-                                         std::uint32_t trap_action);
+  static Result<std::vector<Insn>> trap_syscalls(
+      std::span<const std::uint32_t> trapped, std::uint32_t trap_action);
 
   // Trap *all* syscalls except those whose instruction pointer lies in
   // [allow_start, allow_start + allow_len): the "filter on the code address
@@ -70,8 +86,8 @@ class SeccompFilterBuilder {
                                                    std::uint32_t trap_action);
 
   // Allowlist: listed syscalls ALLOW, everything else -> `default_action`.
-  static std::vector<Insn> allowlist(std::span<const std::uint32_t> allowed,
-                                     std::uint32_t default_action);
+  static Result<std::vector<Insn>> allowlist(
+      std::span<const std::uint32_t> allowed, std::uint32_t default_action);
 };
 
 }  // namespace lzp::bpf

@@ -53,6 +53,38 @@ inline constexpr std::size_t kNumMechanisms = 8;
   return "?";
 }
 
+// Sentinel automaton states for the on_policy_decision probe. Mirrored by
+// src/policy (which links the kernel anyway); defined here so the probe's
+// contract — "state ~0 means the pre-first-syscall entry state" — lives with
+// the probe and sinks like src/trace's Tracer can render it without
+// depending on the policy library.
+inline constexpr std::uint64_t kPolicyEntryState = ~0ULL;
+inline constexpr std::uint64_t kPolicyAnySyscall = ~0ULL - 1;
+
+// Outcome of one syscall-flow-integrity check (policy/enforce.hpp), passed
+// to on_policy_decision as a raw byte so the probe layer stays independent
+// of the policy library.
+enum class PolicyDecision : std::uint8_t {
+  kAllow = 0,         // transition permitted by the automaton
+  kAlwaysAllow,       // on the enforcer's unconditional allowlist (exit etc.)
+  kWildcardAllow,     // state compiled to a wildcard filter (unknowable set)
+  kViolationLogged,   // off-automaton, log-only verdict: executed anyway
+  kViolationDenied,   // off-automaton, denied with an errno, not executed
+  kViolationKilled,   // off-automaton, process killed
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PolicyDecision d) noexcept {
+  switch (d) {
+    case PolicyDecision::kAllow: return "allow";
+    case PolicyDecision::kAlwaysAllow: return "always-allow";
+    case PolicyDecision::kWildcardAllow: return "wildcard-allow";
+    case PolicyDecision::kViolationLogged: return "violation-logged";
+    case PolicyDecision::kViolationDenied: return "violation-denied";
+    case PolicyDecision::kViolationKilled: return "violation-killed";
+  }
+  return "?";
+}
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -104,6 +136,13 @@ class TraceSink {
   virtual void on_crosscheck(const Task&, std::uint64_t /*site*/,
                              std::uint8_t /*verdict*/,
                              std::uint8_t /*outcome*/) {}
+  // A syscall-flow-integrity enforcer (policy/enforce.hpp) checked syscall
+  // `nr` against the per-task automaton state `from_state` (a syscall
+  // number, or kPolicyEntryState before the first syscall) and reached
+  // `decision` (a PolicyDecision).
+  virtual void on_policy_decision(const Task&, std::uint64_t /*nr*/,
+                                  std::uint64_t /*from_state*/,
+                                  PolicyDecision /*decision*/) {}
   // Task lifecycle: start/switch/clone/execve/exit.
   virtual void on_task_event(const Task&, TaskEvent, std::uint64_t /*detail*/) {}
 

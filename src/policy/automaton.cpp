@@ -1,0 +1,163 @@
+#include "policy/automaton.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "kernel/syscalls.hpp"
+
+namespace lzp::policy {
+namespace {
+
+// States and successors print as "entry", "*" or the bare syscall number
+// (names go in a trailing comment: numbers are the stable key, names are
+// for humans).
+std::string token(std::uint64_t id) {
+  if (id == kEntryState) return "entry";
+  if (id == kAnySyscall) return "*";
+  return std::to_string(id);
+}
+
+Result<std::uint64_t> parse_token(const std::string& tok) {
+  if (tok == "entry") return kEntryState;
+  if (tok == "*") return kAnySyscall;
+  std::uint64_t value = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') {
+      return make_error(StatusCode::kInvalidArgument,
+                        "automaton: bad state token '" + tok + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (tok.empty() || value > kern::kMaxSyscallNumber) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "automaton: syscall number out of range: '" + tok + "'");
+  }
+  return value;
+}
+
+std::string comment_name(std::uint64_t id) {
+  if (id == kEntryState || id == kAnySyscall) return {};
+  return std::string(kern::syscall_name(id));
+}
+
+}  // namespace
+
+std::set<std::uint64_t> Automaton::syscalls() const {
+  std::set<std::uint64_t> out;
+  auto note = [&out](std::uint64_t id) {
+    if (id != kEntryState && id != kAnySyscall) out.insert(id);
+  };
+  for (const auto& [from, tos] : edges_) {
+    note(from);
+    for (const std::uint64_t to : tos) note(to);
+  }
+  for (const std::uint64_t to : from_any_) note(to);
+  return out;
+}
+
+bool Automaton::contains(const Automaton& other) const {
+  for (const std::uint64_t to : other.from_any_) {
+    // A global rule in `other` must be global here too: a per-state edge
+    // would permit strictly fewer transitions.
+    if (from_any_.count(to) == 0) return false;
+  }
+  for (const auto& [from, tos] : other.edges_) {
+    for (const std::uint64_t to : tos) {
+      if (to == kAnySyscall) {
+        // other allows everything from `from`; we must too.
+        const auto it = edges_.find(from);
+        if (it != edges_.end() && it->second.count(kAnySyscall) == 0) {
+          return false;
+        }
+        continue;
+      }
+      if (!allows(from, to)) return false;
+    }
+  }
+  return true;
+}
+
+void Automaton::merge(const Automaton& other) {
+  for (const auto& [from, tos] : other.edges_) {
+    edges_[from].insert(tos.begin(), tos.end());
+  }
+  from_any_.insert(other.from_any_.begin(), other.from_any_.end());
+  if (source != other.source) source = "merged";
+}
+
+std::string Automaton::serialize() const {
+  std::ostringstream out;
+  out << "# lazypoline policy automaton v1\n";
+  out << "name " << (name.empty() ? "-" : name) << "\n";
+  out << "source " << (source.empty() ? "-" : source) << "\n";
+  if (!from_any_.empty()) {
+    out << "from_any";
+    for (const std::uint64_t to : from_any_) out << " " << token(to);
+    out << "\n";
+  }
+  for (const auto& [from, tos] : edges_) {
+    out << "state " << token(from) << " ->";
+    for (const std::uint64_t to : tos) out << " " << token(to);
+    const std::string comment = comment_name(from);
+    if (!comment.empty()) out << "  # " << comment;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Automaton> Automaton::parse(const std::string& text) {
+  Automaton out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;  // blank / comment-only line
+    auto fail = [&lineno](const std::string& why) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "automaton line " + std::to_string(lineno) + ": " + why);
+    };
+    if (keyword == "name" || keyword == "source") {
+      std::string value;
+      if (!(fields >> value)) return fail("missing value after " + keyword);
+      if (value == "-") value.clear();
+      (keyword == "name" ? out.name : out.source) = value;
+    } else if (keyword == "from_any") {
+      std::string tok;
+      while (fields >> tok) {
+        auto id = parse_token(tok);
+        if (!id.is_ok()) return fail(id.status().to_string());
+        out.add_from_any(id.value());
+      }
+    } else if (keyword == "state") {
+      std::string from_tok;
+      std::string arrow;
+      if (!(fields >> from_tok >> arrow) || arrow != "->") {
+        return fail("expected 'state <from> -> <to>...'");
+      }
+      auto from = parse_token(from_tok);
+      if (!from.is_ok()) return fail(from.status().to_string());
+      if (from.value() == kAnySyscall) {
+        return fail("'*' is only valid as a successor");
+      }
+      // Materialize the state even with no successors (an explicit
+      // deny-everything-after state).
+      out.edges_[from.value()];
+      std::string tok;
+      while (fields >> tok) {
+        auto to = parse_token(tok);
+        if (!to.is_ok()) return fail(to.status().to_string());
+        out.add_edge(from.value(), to.value());
+      }
+    } else {
+      return fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace lzp::policy

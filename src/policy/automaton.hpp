@@ -1,0 +1,109 @@
+// The syscall-transition automaton: the portable policy artifact of the
+// syscall-flow-integrity pipeline (SFIP-style coarse-grained sequence
+// enforcement).
+//
+// States are syscall numbers plus one synthetic entry state; an edge
+// (from -> to) means "after observing syscall `from`, syscall `to` is
+// permitted next". Two escape hatches keep static extraction sound without
+// giving up the whole policy:
+//
+//   * kAnySyscall as a *successor* marks a state whose follower set is
+//     statically unknowable (a computed transfer between the two sites):
+//     that one state degrades to allow-all, the rest stay exact.
+//
+//   * from_any holds syscalls permitted from *every* state: the successors
+//     of a syscall site whose own number could not be resolved statically
+//     (the monitor cannot know which state that site put the task in).
+//
+// The text serialization is the interchange format between the extractor
+// CLI and the enforcer, and doubles as the SUD/lazypoline allowlist config.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "base/status.hpp"
+#include "kernel/trace_sink.hpp"
+
+namespace lzp::policy {
+
+// Mirrors the kernel probe layer's sentinels (kernel/trace_sink.hpp) so a
+// state id can flow into on_policy_decision unchanged.
+inline constexpr std::uint64_t kEntryState = kern::kPolicyEntryState;
+inline constexpr std::uint64_t kAnySyscall = kern::kPolicyAnySyscall;
+
+class Automaton {
+ public:
+  std::string name;    // workload label
+  std::string source;  // "static" | "dynamic" | "merged" | free-form
+
+  void add_edge(std::uint64_t from, std::uint64_t to) { edges_[from].insert(to); }
+  void add_from_any(std::uint64_t to) { from_any_.insert(to); }
+
+  // Enforcement semantics, exactly as the enforcer applies them: `nr` is
+  // permitted in `state` if it is globally allowed, if the state's follower
+  // set contains it or the wildcard — or if the automaton has never seen the
+  // state at all (a state only reachable through from_any/wildcard edges has
+  // no recorded followers; refusing everything there would turn a sound
+  // over-approximation into false violations, so unknown states allow-all).
+  [[nodiscard]] bool allows(std::uint64_t state, std::uint64_t nr) const {
+    if (from_any_.count(nr) != 0 || from_any_.count(kAnySyscall) != 0) {
+      return true;
+    }
+    const auto it = edges_.find(state);
+    if (it == edges_.end()) return true;
+    return it->second.count(kAnySyscall) != 0 || it->second.count(nr) != 0;
+  }
+
+  [[nodiscard]] const std::map<std::uint64_t, std::set<std::uint64_t>>& edges()
+      const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::set<std::uint64_t>& from_any() const noexcept {
+    return from_any_;
+  }
+
+  // Number of distinct (state -> successor) pairs, counting each from_any
+  // member once (it is one rule, however many states it spans).
+  [[nodiscard]] std::size_t edge_count() const {
+    std::size_t n = from_any_.size();
+    for (const auto& [from, tos] : edges_) n += tos.size();
+    return n;
+  }
+  [[nodiscard]] std::size_t state_count() const { return edges_.size(); }
+  [[nodiscard]] bool has_wildcard() const {
+    for (const auto& [from, tos] : edges_) {
+      if (tos.count(kAnySyscall) != 0) return true;
+    }
+    return false;
+  }
+
+  // Every concrete syscall number the automaton mentions (states and
+  // successors; sentinels excluded).
+  [[nodiscard]] std::set<std::uint64_t> syscalls() const;
+
+  // True if every transition `other` permits is also permitted here — the
+  // static ⊇ dynamic containment check. Concrete edges and from_any members
+  // of `other` must be allowed by *this* under allows(); a wildcard
+  // successor in `other` requires the matching state here to be wildcard
+  // (or unknown) too.
+  [[nodiscard]] bool contains(const Automaton& other) const;
+
+  // Union of transitions; wildcard and from_any are merged as-is.
+  void merge(const Automaton& other);
+
+  // Deterministic text round trip: serialize() output parses back to an
+  // automaton that compares equal (tests/policy_test.cpp pins this).
+  [[nodiscard]] std::string serialize() const;
+  static Result<Automaton> parse(const std::string& text);
+
+  friend bool operator==(const Automaton&, const Automaton&) = default;
+
+ private:
+  std::map<std::uint64_t, std::set<std::uint64_t>> edges_;
+  std::set<std::uint64_t> from_any_;
+};
+
+}  // namespace lzp::policy

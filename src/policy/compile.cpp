@@ -1,0 +1,90 @@
+#include "policy/compile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bpf/seccomp_filter.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::policy {
+namespace {
+
+std::string state_label(std::uint64_t state) {
+  if (state == kEntryState) return "entry";
+  return std::string(kern::syscall_name(state)) + "(" + std::to_string(state) +
+         ")";
+}
+
+}  // namespace
+
+Result<CompiledPolicy> compile_to_seccomp(const Automaton& automaton,
+                                          std::uint32_t violation_action) {
+  CompiledPolicy out;
+  out.violation_action = violation_action;
+
+  // Every state the monitor can be in: the entry state, every edge source,
+  // and every concrete syscall the automaton mentions (a successor-only
+  // syscall is still a state the task will reach).
+  std::set<std::uint64_t> states = automaton.syscalls();
+  states.insert(kEntryState);
+  for (const auto& [from, tos] : automaton.edges()) states.insert(from);
+
+  for (const std::uint64_t state : states) {
+    StatePolicy sp;
+    sp.state = state;
+
+    const auto it = automaton.edges().find(state);
+    const bool unknown_state = it == automaton.edges().end();
+    const bool wildcard_successor =
+        !unknown_state && it->second.count(kAnySyscall) != 0;
+    sp.wildcard = unknown_state || wildcard_successor ||
+                  automaton.from_any().count(kAnySyscall) != 0;
+
+    if (sp.wildcard) {
+      sp.filter =
+          bpf::SeccompFilterBuilder::return_constant(bpf::SECCOMP_RET_ALLOW);
+    } else {
+      std::set<std::uint64_t> members = automaton.from_any();
+      members.insert(it->second.begin(), it->second.end());
+      sp.allowed.reserve(members.size());
+      for (const std::uint64_t nr : members) {
+        sp.allowed.push_back(static_cast<std::uint32_t>(nr));
+      }
+      auto program =
+          bpf::SeccompFilterBuilder::allowlist(sp.allowed, violation_action);
+      if (!program.is_ok()) {
+        return make_error(program.status().code(),
+                          "state " + state_label(state) + ": " +
+                              program.status().message());
+      }
+      sp.filter = std::move(program).value();
+    }
+
+    const Status valid =
+        bpf::validate(sp.filter, bpf::SeccompData::kSize);
+    if (!valid.is_ok()) {
+      return make_error(StatusCode::kInternal,
+                        "state " + state_label(state) +
+                            ": generated filter failed validation: " +
+                            valid.to_string());
+    }
+    out.states.emplace(state, std::move(sp));
+  }
+  return out;
+}
+
+std::string sud_allowlist_config(const Automaton& automaton) {
+  std::ostringstream out;
+  out << "# SUD / lazypoline per-state syscall allowlist\n";
+  out << "# (selector-based runtimes track the state in the monitor and\n";
+  out << "#  consult the active state's set on every SIGSYS / fast-path\n";
+  out << "#  entry; '*' means the state is allow-all)\n";
+  out << automaton.serialize();
+  out << "# legend:\n";
+  for (const std::uint64_t nr : automaton.syscalls()) {
+    out << "#   " << nr << " = " << kern::syscall_name(nr) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lzp::policy

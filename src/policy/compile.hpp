@@ -1,0 +1,72 @@
+// Lowering: automaton -> enforceable artifacts.
+//
+// The seccomp-BPF artifact is one set-membership allowlist *per automaton
+// state*, assembled with bpf::SeccompFilterBuilder::allowlist and validated
+// by bpf::validate — real classic-BPF programs a kernel could attach, with
+// the monitor tracking which state's filter is active (SFIP's model: the
+// kernel cannot track sequence state in one stateless cBPF program, so the
+// supervisor swaps filters as the automaton advances). The enforcer
+// (policy/enforce.hpp) reaches its verdicts honestly, by *running* these
+// programs over a synthesized seccomp_data, never by consulting the
+// automaton behind the filter's back.
+//
+// The SUD/lazypoline artifact is the textual allowlist config the
+// selector-based runtimes consume: same per-state sets, rendered as the
+// automaton serialization plus a syscall-name legend.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "bpf/bpf.hpp"
+#include "policy/automaton.hpp"
+
+namespace lzp::policy {
+
+// One automaton state, lowered.
+struct StatePolicy {
+  std::uint64_t state = kEntryState;
+  // Sorted successor numbers the filter allows (empty when wildcard).
+  std::vector<std::uint32_t> allowed;
+  // State degraded to allow-all (wildcard successor / state the automaton
+  // never recorded followers for).
+  bool wildcard = false;
+  // The validated cBPF program: ALLOW for members, `violation_action` else.
+  std::vector<bpf::Insn> filter;
+};
+
+struct CompiledPolicy {
+  std::uint32_t violation_action = 0;
+  // Keyed by automaton state; kEntryState is always present.
+  std::map<std::uint64_t, StatePolicy> states;
+
+  // nullptr for states the automaton never mentioned (enforcer treats those
+  // as wildcard-allow, matching Automaton::allows).
+  [[nodiscard]] const StatePolicy* find(std::uint64_t state) const {
+    const auto it = states.find(state);
+    return it == states.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t total_filter_insns() const {
+    std::size_t n = 0;
+    for (const auto& [state, sp] : states) n += sp.filter.size();
+    return n;
+  }
+};
+
+// Lowers every state of `automaton` (edge sources, plus every syscall that
+// appears only as a successor, plus the entry state) to a validated
+// allowlist filter returning `violation_action` for off-automaton syscalls.
+// Fails with a clear Status if any per-state set exceeds what a linear cBPF
+// membership chain can encode (SeccompFilterBuilder's 255-offset limit) or
+// if a generated program does not validate.
+[[nodiscard]] Result<CompiledPolicy> compile_to_seccomp(
+    const Automaton& automaton, std::uint32_t violation_action);
+
+// The SUD/lazypoline allowlist config: the automaton text plus a
+// human-readable per-state legend with syscall names.
+[[nodiscard]] std::string sud_allowlist_config(const Automaton& automaton);
+
+}  // namespace lzp::policy

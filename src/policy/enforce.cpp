@@ -1,0 +1,190 @@
+#include "policy/enforce.hpp"
+
+#include <array>
+
+#include "bpf/seccomp_filter.hpp"
+#include "kernel/signals.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::policy {
+namespace {
+
+std::uint32_t violation_action_for(const EnforcerOptions& options) {
+  switch (options.verdict) {
+    case Verdict::kLogOnly:
+      return bpf::SECCOMP_RET_LOG;
+    case Verdict::kDenyErrno:
+      return bpf::SECCOMP_RET_ERRNO |
+             (static_cast<std::uint32_t>(options.deny_errno) &
+              bpf::SECCOMP_RET_DATA);
+    case Verdict::kKill:
+      return bpf::SECCOMP_RET_KILL_PROCESS;
+  }
+  return bpf::SECCOMP_RET_KILL_PROCESS;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<PolicyEnforcer>> PolicyEnforcer::create(
+    const Automaton& automaton, EnforcerOptions options,
+    std::shared_ptr<interpose::SyscallHandler> inner) {
+  auto compiled = compile_to_seccomp(automaton, violation_action_for(options));
+  if (!compiled.is_ok()) return compiled.status();
+  return std::shared_ptr<PolicyEnforcer>(
+      new PolicyEnforcer(automaton, std::move(compiled).value(), options,
+                         std::move(inner)));
+}
+
+PolicyEnforcer::Decision PolicyEnforcer::decide(
+    kern::Tid tid, std::uint64_t nr, std::uint64_t site,
+    const std::array<std::uint64_t, 6>& args) {
+  // The filter runs over a synthesized seccomp_data, exactly what a kernel
+  // would hand an attached program. Built before taking the lock.
+  bpf::SeccompData data;
+  data.nr = static_cast<std::int32_t>(nr);
+  data.arch = bpf::kAuditArchX86_64;
+  data.instruction_pointer = site;
+  for (std::size_t i = 0; i < 6; ++i) data.args[i] = args[i];
+  std::array<std::uint8_t, bpf::SeccompData::kSize> bytes{};
+  data.serialize_into(bytes);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision decision;
+  const auto state_it = task_state_.find(tid);
+  decision.from_state =
+      state_it == task_state_.end() ? kEntryState : state_it->second;
+
+  ++stats_.transitions_checked;
+  ++stats_.state_checks[decision.from_state];
+
+  bool advance = true;
+  if (options_.always_allow.count(nr) != 0) {
+    decision.kind = kern::PolicyDecision::kAlwaysAllow;
+    ++stats_.always_allows;
+  } else if (const StatePolicy* sp = compiled_.find(decision.from_state);
+             sp == nullptr || sp->wildcard) {
+    // State the automaton never constrained (or constrained to allow-all):
+    // the lowered filter is return_constant(ALLOW), no membership test runs.
+    decision.kind = kern::PolicyDecision::kWildcardAllow;
+    ++stats_.wildcard_allows;
+  } else {
+    const auto run = bpf::run(sp->filter, bytes);
+    // The filter validated at compile time, so run cannot fail; if it
+    // somehow does, fail closed.
+    const std::uint32_t action =
+        run.is_ok() ? run.value().value : compiled_.violation_action;
+    if (run.is_ok()) stats_.bpf_insns_executed += run.value().insns_executed;
+    if (action == bpf::SECCOMP_RET_ALLOW) {
+      decision.kind = kern::PolicyDecision::kAllow;
+    } else {
+      ++stats_.violations;
+      ++stats_.state_violations[decision.from_state];
+      switch (options_.verdict) {
+        case Verdict::kLogOnly:
+          decision.kind = kern::PolicyDecision::kViolationLogged;
+          ++stats_.logged;
+          break;
+        case Verdict::kDenyErrno:
+          decision.kind = kern::PolicyDecision::kViolationDenied;
+          ++stats_.denied;
+          // The denied syscall never executes: the task stays in its
+          // pre-violation state.
+          advance = false;
+          break;
+        case Verdict::kKill:
+          decision.kind = kern::PolicyDecision::kViolationKilled;
+          ++stats_.killed;
+          advance = false;
+          break;
+      }
+    }
+  }
+  if (advance) task_state_[tid] = nr;
+  return decision;
+}
+
+void PolicyEnforcer::emit_probe(interpose::InterposeContext& ctx,
+                                std::uint64_t nr, const Decision& decision) {
+  if (auto* sink = ctx.machine().trace_sink()) {
+    sink->on_policy_decision(ctx.task(), nr, decision.from_state,
+                             decision.kind);
+  }
+}
+
+std::uint64_t PolicyEnforcer::apply_verdict(interpose::InterposeContext& ctx,
+                                            const Decision& decision) {
+  if (decision.kind == kern::PolicyDecision::kViolationKilled) {
+    ctx.machine().kill_process(
+        *ctx.task().process, 128 + kern::kSigsys,
+        "policy violation: " +
+            std::string(kern::syscall_name(ctx.request().nr)) +
+            " not allowed from state " +
+            (decision.from_state == kEntryState
+                 ? std::string("entry")
+                 : std::string(kern::syscall_name(decision.from_state))));
+  }
+  return kern::errno_result(options_.deny_errno);
+}
+
+std::uint64_t PolicyEnforcer::handle(interpose::InterposeContext& ctx) {
+  const kern::Tid tid = ctx.task().tid;
+  const std::uint64_t nr = ctx.request().nr;
+
+  {
+    // ptrace path: this syscall was already checked (and passed) at the
+    // entry stop; don't advance the automaton twice.
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = pre_checked_.find(tid);
+    if (it != pre_checked_.end() && it->second == nr) {
+      pre_checked_.erase(it);
+      return inner_->handle(ctx);
+    }
+  }
+
+  const Decision decision =
+      decide(tid, nr, ctx.request().site, ctx.request().args);
+  emit_probe(ctx, nr, decision);
+  if (decision.kind == kern::PolicyDecision::kViolationDenied ||
+      decision.kind == kern::PolicyDecision::kViolationKilled) {
+    return apply_verdict(ctx, decision);
+  }
+  return inner_->handle(ctx);
+}
+
+bool PolicyEnforcer::pre_execute(interpose::InterposeContext& ctx,
+                                 std::uint64_t* result) {
+  const std::uint64_t nr = ctx.request().nr;
+  // The ptrace tool runs handle() for exit/exit_group at the entry stop
+  // (there is no exit stop for them) and still consults pre_execute; the
+  // check already happened there.
+  if (nr == kern::kSysExit || nr == kern::kSysExitGroup) return false;
+
+  const kern::Tid tid = ctx.task().tid;
+  const Decision decision =
+      decide(tid, nr, ctx.request().site, ctx.request().args);
+  emit_probe(ctx, nr, decision);
+  if (decision.kind == kern::PolicyDecision::kViolationDenied ||
+      decision.kind == kern::PolicyDecision::kViolationKilled) {
+    *result = apply_verdict(ctx, decision);
+    return true;  // suppress execution; handle() will not be called
+  }
+  // Allowed (or log-only): let it run, and tell the exit-stop handle() call
+  // that this one is already accounted for.
+  std::lock_guard<std::mutex> lock(mu_);
+  pre_checked_[tid] = nr;
+  return false;
+}
+
+EnforcerStats PolicyEnforcer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PolicyEnforcer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  task_state_.clear();
+  pre_checked_.clear();
+  stats_ = EnforcerStats{};
+}
+
+}  // namespace lzp::policy

@@ -1,0 +1,142 @@
+// Enforcement: the PolicyEnforcer SyscallHandler decorator.
+//
+// Same composition pattern as replay::Recorder — wrap any inner handler and
+// install the enforcer as the mechanism's handler — so one policy runs
+// unchanged under all four mechanisms (ptrace, SUD, zpoline, lazypoline).
+// Each decision is made by *running* the compiled per-state seccomp-BPF
+// filter (bpf::run over a synthesized seccomp_data), so what is enforced is
+// exactly what the lowered artifact encodes.
+//
+// Mechanism-ordering detail (ptrace): ptrace stops the tracee BEFORE the
+// kernel executes the syscall, so the check runs in pre_execute — a denial
+// suppresses execution entirely (the orig_rax = -1 injection pattern) rather
+// than failing the syscall after the fact. The exit-stop handle() call then
+// skips the already-checked syscall and only delegates to the inner handler.
+// exit/exit_group are the exception: the ptrace tool runs handle() for them
+// at the entry stop (there is no exit stop), so pre_execute ignores them.
+//
+// SMP: the enforcer's mutex is a leaf lock — taken around state/counter
+// updates only, never while calling the machine, the inner handler, or the
+// trace sink (DESIGN.md §11 lock ordering).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "interpose/handler.hpp"
+#include "kernel/syscalls.hpp"
+#include "policy/compile.hpp"
+
+namespace lzp::policy {
+
+// What to do with an off-automaton syscall.
+enum class Verdict : std::uint8_t {
+  kLogOnly,    // count + probe, then execute normally
+  kDenyErrno,  // refuse with an errno; the task keeps running
+  kKill,       // kill the offending process (seccomp RET_KILL semantics)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kLogOnly: return "log-only";
+    case Verdict::kDenyErrno: return "deny-errno";
+    case Verdict::kKill: return "kill";
+  }
+  return "?";
+}
+
+struct EnforcerOptions {
+  Verdict verdict = Verdict::kDenyErrno;
+  std::int64_t deny_errno = kern::kEPERM;
+  // Unconditionally permitted, whatever the automaton says: a deny-mode
+  // policy must never wedge a task that is trying to exit.
+  std::set<std::uint64_t> always_allow = {kern::kSysExit, kern::kSysExitGroup};
+};
+
+struct EnforcerStats {
+  std::uint64_t transitions_checked = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t killed = 0;
+  std::uint64_t logged = 0;
+  std::uint64_t wildcard_allows = 0;
+  std::uint64_t always_allows = 0;
+  std::uint64_t bpf_insns_executed = 0;
+  std::map<std::uint64_t, std::uint64_t> state_checks;      // per-state hits
+  std::map<std::uint64_t, std::uint64_t> state_violations;
+};
+
+class PolicyEnforcer final : public interpose::SyscallHandler {
+ public:
+  // Compiles `automaton` (deny verdicts lower to SECCOMP_RET_ERRNO, kill to
+  // SECCOMP_RET_KILL_PROCESS, log-only to SECCOMP_RET_LOG) and wraps
+  // `inner`. Fails if the automaton cannot be lowered (oversized per-state
+  // set, bpf validation).
+  static Result<std::shared_ptr<PolicyEnforcer>> create(
+      const Automaton& automaton, EnforcerOptions options,
+      std::shared_ptr<interpose::SyscallHandler> inner =
+          std::make_shared<interpose::DummyHandler>());
+
+  std::uint64_t handle(interpose::InterposeContext& ctx) override;
+  bool pre_execute(interpose::InterposeContext& ctx,
+                   std::uint64_t* result) override;
+  [[nodiscard]] std::string name() const override {
+    return "policy(" + inner_->name() + ")";
+  }
+
+  [[nodiscard]] EnforcerStats stats() const;
+  [[nodiscard]] const CompiledPolicy& compiled() const noexcept {
+    return compiled_;
+  }
+  [[nodiscard]] const Automaton& automaton() const noexcept {
+    return automaton_;
+  }
+  // Drops all per-task automaton state (fresh run on a reused enforcer).
+  void reset();
+
+ private:
+  PolicyEnforcer(Automaton automaton, CompiledPolicy compiled,
+                 EnforcerOptions options,
+                 std::shared_ptr<interpose::SyscallHandler> inner)
+      : automaton_(std::move(automaton)),
+        compiled_(std::move(compiled)),
+        options_(options),
+        inner_(std::move(inner)) {}
+
+  struct Decision {
+    kern::PolicyDecision kind = kern::PolicyDecision::kAllow;
+    std::uint64_t from_state = kEntryState;
+    [[nodiscard]] bool violation() const noexcept {
+      return kind == kern::PolicyDecision::kViolationLogged ||
+             kind == kern::PolicyDecision::kViolationDenied ||
+             kind == kern::PolicyDecision::kViolationKilled;
+    }
+  };
+
+  // Checks `nr` against the task's current state, updates state + counters
+  // under the mutex, and returns the decision. Probe emission happens in the
+  // caller, outside the lock.
+  Decision decide(kern::Tid tid, std::uint64_t nr, std::uint64_t site,
+                  const std::array<std::uint64_t, 6>& args);
+  void emit_probe(interpose::InterposeContext& ctx, std::uint64_t nr,
+                  const Decision& decision);
+  std::uint64_t apply_verdict(interpose::InterposeContext& ctx,
+                              const Decision& decision);
+
+  Automaton automaton_;
+  CompiledPolicy compiled_;
+  EnforcerOptions options_;
+  std::shared_ptr<interpose::SyscallHandler> inner_;
+
+  mutable std::mutex mu_;
+  std::map<kern::Tid, std::uint64_t> task_state_;
+  // ptrace coordination: nr checked at the entry stop, to be skipped by the
+  // exit-stop handle() call. Keyed per tid (several tracees may be between
+  // stops at once).
+  std::map<kern::Tid, std::uint64_t> pre_checked_;
+  EnforcerStats stats_;
+};
+
+}  // namespace lzp::policy

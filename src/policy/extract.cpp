@@ -1,0 +1,226 @@
+#include "policy/extract.hpp"
+
+#include <map>
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp::policy {
+namespace {
+
+// Does `insn` write rax? reg_effects covers the data-flow writers (including
+// the SYSCALL return-value clobber); HOSTCALL transfers to native code whose
+// register effects are unknowable, so it is treated as a clobber.
+bool writes_rax(const isa::Instruction& insn) {
+  if (insn.op == isa::Op::kHostCall) return true;
+  const isa::RegEffects fx = isa::reg_effects(insn);
+  for (std::uint8_t i = 0; i < fx.num_writes; ++i) {
+    if (fx.writes[i].cls == isa::RegClass::kGpr && fx.writes[i].index == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// One reachable SYSCALL/SYSENTER site: its resolved number, or kAnySyscall.
+struct Site {
+  std::uint64_t addr = 0;
+  std::uint64_t nr = kAnySyscall;
+};
+
+// Block-local backward scan from the site to the last rax writer.
+std::uint64_t resolve_site_nr(const analysis::Cfg& cfg,
+                              const analysis::BasicBlock& block,
+                              std::size_t site_index) {
+  for (std::size_t i = site_index; i-- > 0;) {
+    const isa::Instruction& insn = cfg.reachable.at(block.insns[i]).insn;
+    if (!writes_rax(insn)) continue;
+    if (insn.op == isa::Op::kMovRI && insn.r1 == isa::Gpr::rax &&
+        insn.imm >= 0 &&
+        static_cast<std::uint64_t>(insn.imm) <= kern::kMaxSyscallNumber) {
+      return static_cast<std::uint64_t>(insn.imm);
+    }
+    return kAnySyscall;  // some other writer: value unknown statically
+  }
+  return kAnySyscall;  // no writer in this block: set by a predecessor
+}
+
+}  // namespace
+
+StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
+                                std::uint64_t base, std::uint64_t entry,
+                                std::string workload_name) {
+  StaticExtraction out;
+  out.automaton.name = std::move(workload_name);
+  out.automaton.source = "static";
+
+  const analysis::Cfg cfg = analysis::build_cfg(bytes, base, entry);
+  out.blocks = cfg.blocks.size();
+  if (cfg.blocks.empty()) return out;
+
+  std::map<std::uint64_t, std::size_t> block_index;  // leader -> index
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    block_index[cfg.blocks[i].start] = i;
+  }
+
+  // Per-block syscall sites, in execution order.
+  std::vector<std::vector<Site>> sites(cfg.blocks.size());
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const analysis::BasicBlock& block = cfg.blocks[b];
+    for (std::size_t i = 0; i < block.insns.size(); ++i) {
+      const isa::Instruction& insn = cfg.reachable.at(block.insns[i]).insn;
+      if (insn.op != isa::Op::kSyscall && insn.op != isa::Op::kSysenter) {
+        continue;
+      }
+      Site site;
+      site.addr = block.insns[i];
+      site.nr = resolve_site_nr(cfg, block, i);
+      ++out.sites_total;
+      if (site.nr != kAnySyscall) ++out.sites_resolved;
+      sites[b].push_back(site);
+    }
+  }
+
+  // Call discipline: a RET-terminated block continues at some call's
+  // fallthrough. With no call-strings, the sound over-approximation is the
+  // union of every call fallthrough in the program.
+  std::vector<std::size_t> ret_successors;
+  std::vector<bool> ends_in_ret(cfg.blocks.size(), false);
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const analysis::BasicBlock& block = cfg.blocks[b];
+    if (block.insns.empty()) continue;
+    const std::uint64_t last_addr = block.insns.back();
+    const isa::Instruction& last = cfg.reachable.at(last_addr).insn;
+    if (last.op == isa::Op::kRet) ends_in_ret[b] = true;
+    if (last.op == isa::Op::kCallRel) {
+      const auto it = block_index.find(last_addr + last.length);
+      if (it != block_index.end()) ret_successors.push_back(it->second);
+    }
+  }
+
+  // Effective successor indices for first-syscall propagation.
+  auto successors_of = [&](std::size_t b) {
+    std::vector<std::size_t> succs;
+    for (const std::uint64_t leader : cfg.blocks[b].succs) {
+      const auto it = block_index.find(leader);
+      if (it != block_index.end()) succs.push_back(it->second);
+    }
+    if (ends_in_ret[b]) {
+      succs.insert(succs.end(), ret_successors.begin(), ret_successors.end());
+    }
+    return succs;
+  };
+
+  // F(b): the set of possible *first* syscall numbers on any path starting
+  // at block b's leader (kAnySyscall = statically unknowable). Monotone
+  // under set union, so iterate to the (small) fixpoint.
+  std::vector<std::set<std::uint64_t>> first(cfg.blocks.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      std::set<std::uint64_t> next;
+      if (!sites[b].empty()) {
+        next.insert(sites[b].front().nr);
+      } else {
+        if (cfg.blocks[b].computed_successor) next.insert(kAnySyscall);
+        for (const std::size_t s : successors_of(b)) {
+          next.insert(first[s].begin(), first[s].end());
+        }
+      }
+      if (next != first[b]) {
+        first[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+
+  // The followers of the *last* site in block b: the first syscalls of its
+  // successor blocks (plus the wildcard if the block's transfer is computed).
+  auto block_exit_followers = [&](std::size_t b) {
+    std::set<std::uint64_t> followers;
+    if (cfg.blocks[b].computed_successor) followers.insert(kAnySyscall);
+    for (const std::size_t s : successors_of(b)) {
+      followers.insert(first[s].begin(), first[s].end());
+    }
+    return followers;
+  };
+
+  auto add_transition = [&](std::uint64_t from, std::uint64_t to) {
+    if (from == kAnySyscall) {
+      // Unknown-number site: the monitor cannot know which state it left
+      // the task in, so its followers must be allowed from every state.
+      out.automaton.add_from_any(to);
+    } else {
+      out.automaton.add_edge(from, to);
+    }
+    if (to == kAnySyscall) out.used_wildcard = true;
+  };
+
+  // Entry edges: the first syscalls reachable from the program entry.
+  const analysis::BasicBlock* entry_block = cfg.block_containing(entry);
+  if (entry_block != nullptr) {
+    const std::size_t b = block_index.at(entry_block->start);
+    for (const std::uint64_t nr : first[b]) {
+      add_transition(kEntryState, nr);
+    }
+  }
+
+  // Site edges.
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    for (std::size_t i = 0; i < sites[b].size(); ++i) {
+      const Site& site = sites[b][i];
+      std::set<std::uint64_t> followers;
+      if (i + 1 < sites[b].size()) {
+        followers.insert(sites[b][i + 1].nr);
+      } else {
+        followers = block_exit_followers(b);
+      }
+      for (const std::uint64_t to : followers) {
+        add_transition(site.nr, to);
+      }
+    }
+  }
+
+  if (out.automaton.has_wildcard() ||
+      out.automaton.from_any().count(kAnySyscall) != 0) {
+    out.used_wildcard = true;
+  }
+  return out;
+}
+
+Automaton learn_from_sequence(
+    std::span<const std::pair<kern::Tid, std::uint64_t>> stream,
+    std::string workload_name, bool complete) {
+  Automaton out;
+  out.name = std::move(workload_name);
+  out.source = "dynamic";
+  std::map<kern::Tid, std::uint64_t> state;
+  for (const auto& [tid, nr] : stream) {
+    const auto it = state.find(tid);
+    if (it == state.end()) {
+      if (complete) out.add_edge(kEntryState, nr);
+      state.emplace(tid, nr);
+    } else {
+      out.add_edge(it->second, nr);
+      it->second = nr;
+    }
+  }
+  return out;
+}
+
+Automaton learn_from_trace(const replay::Trace& trace) {
+  std::vector<std::pair<kern::Tid, std::uint64_t>> stream;
+  stream.reserve(trace.events.size());
+  for (const replay::Event& event : trace.events) {
+    if (const auto* syscall = std::get_if<replay::SyscallEvent>(&event)) {
+      stream.emplace_back(syscall->tid, syscall->nr);
+    }
+  }
+  return learn_from_sequence(
+      stream,
+      trace.header.workload.empty() ? "trace" : trace.header.workload);
+}
+
+}  // namespace lzp::policy

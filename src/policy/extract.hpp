@@ -1,0 +1,67 @@
+// Automaton extraction: the two policy sources.
+//
+// STATIC extraction walks the analysis::Cfg reachable from the program entry
+// and collects the syscall digraph: for every SYSCALL/SYSENTER site, which
+// syscall numbers can be the *next* one invoked on any direct-control-flow
+// path. Soundness posture (mirrors the rewrite-safety analyzer's):
+//
+//   * a site's number is resolved by a block-local backward scan for the
+//     last rax write (`mov rax, imm` — the invariant minilibc's
+//     emit_syscall provides); any other rax writer, or a scan that leaves
+//     the block, makes the site's number unknown and routes its successors
+//     into the automaton's from_any set;
+//   * computed transfers (JMP_REG / CALL_RAX) between two sites make the
+//     first site's follower set unknowable: it gets the kAnySyscall
+//     wildcard successor;
+//   * RET follows call discipline: when the program contains calls, every
+//     ret-terminated path continues at the union of all call fallthroughs
+//     (call-strings of length zero — over-approximate, never unsound).
+//
+// The result over-approximates anything the program can do, so the learned
+// DYNAMIC automaton — per-tid syscall sequences out of a replay::Trace or
+// the trace subsystem's flight-recorder ring — must be contained in it
+// (tests/policy_test.cpp gates static ⊇ dynamic on the webserver).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/assemble.hpp"
+#include "policy/automaton.hpp"
+#include "replay/trace.hpp"
+
+namespace lzp::policy {
+
+struct StaticExtraction {
+  Automaton automaton;
+  std::size_t sites_total = 0;     // reachable SYSCALL/SYSENTER sites
+  std::size_t sites_resolved = 0;  // sites with a statically known number
+  std::size_t blocks = 0;          // CFG basic blocks visited
+  bool used_wildcard = false;      // any state degraded to allow-all
+};
+
+[[nodiscard]] StaticExtraction extract_static(
+    std::span<const std::uint8_t> bytes, std::uint64_t base,
+    std::uint64_t entry, std::string workload_name);
+
+[[nodiscard]] inline StaticExtraction extract_static(
+    const isa::Program& program) {
+  return extract_static(program.image, program.base, program.entry,
+                        program.name);
+}
+
+// Dynamic learning core: an observed per-task syscall stream, in program
+// order. Each task contributes entry -> first edges (when `complete` — a
+// truncated stream, e.g. a flight-recorder ring that dropped its oldest
+// events, no longer knows the true first syscall) and prev -> next edges.
+[[nodiscard]] Automaton learn_from_sequence(
+    std::span<const std::pair<kern::Tid, std::uint64_t>> stream,
+    std::string workload_name, bool complete = true);
+
+// Dynamic learning from a record/replay trace (replay::Recorder output).
+[[nodiscard]] Automaton learn_from_trace(const replay::Trace& trace);
+
+}  // namespace lzp::policy

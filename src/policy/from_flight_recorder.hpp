@@ -1,0 +1,35 @@
+// Dynamic automaton learning from the trace subsystem's flight recorder.
+//
+// Header-only adapter: the FlightRecorder ring and its events are
+// header-only, so this compiles whether or not the lzp_trace *library* is
+// built — lzp_policy itself never links it. A ring that overwrote its
+// oldest events (dropped() > 0) no longer knows each task's true first
+// syscall, so learning from it drops the entry -> first edges rather than
+// invent wrong ones.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "policy/extract.hpp"
+#include "trace/events.hpp"
+#include "trace/flight_recorder.hpp"
+
+namespace lzp::policy {
+
+[[nodiscard]] inline Automaton learn_from_flight_recorder(
+    const trace::FlightRecorder& ring, std::string workload_name) {
+  std::vector<std::pair<kern::Tid, std::uint64_t>> stream;
+  stream.reserve(ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const trace::Event& event = ring.at(i);
+    if (event.type == trace::EventType::kSyscallEnter) {
+      stream.emplace_back(event.tid, event.a);
+    }
+  }
+  return learn_from_sequence(stream, std::move(workload_name),
+                             /*complete=*/ring.dropped() == 0);
+}
+
+}  // namespace lzp::policy

@@ -26,6 +26,7 @@ enum class EventType : std::uint8_t {
   kBlockInvalidation,   // a = rip whose cached superblock went stale
   kMechanismInstall,    // mech = the mechanism that finished arming
   kCrosscheck,          // a = site, b = static verdict, c = outcome
+  kPolicyDecision,      // a = nr, b = from-state, c = kern::PolicyDecision
   kTaskStart,           // a = entry rip
   kTaskSwitch,
   kClone,               // a = child tid
@@ -45,6 +46,7 @@ enum class EventType : std::uint8_t {
     case EventType::kBlockInvalidation: return "block-invalidation";
     case EventType::kMechanismInstall: return "mechanism-install";
     case EventType::kCrosscheck: return "crosscheck";
+    case EventType::kPolicyDecision: return "policy-decision";
     case EventType::kTaskStart: return "task-start";
     case EventType::kTaskSwitch: return "task-switch";
     case EventType::kClone: return "clone";

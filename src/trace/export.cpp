@@ -23,9 +23,17 @@ std::string event_name(const Event& event) {
       return "signal " + std::string(kern::signal_name(static_cast<int>(event.a)));
     case EventType::kSeccompDecision:
       return "seccomp " + std::string(kern::syscall_name(event.a));
+    case EventType::kPolicyDecision:
+      return "policy " + std::string(kern::syscall_name(event.a));
     default:
       return std::string(to_string(event.type));
   }
+}
+
+std::string policy_state_name(std::uint64_t state) {
+  return state == kern::kPolicyEntryState
+             ? std::string("entry")
+             : std::string(kern::syscall_name(state));
 }
 
 std::string instant_args(const Event& event) {
@@ -44,6 +52,12 @@ std::string instant_args(const Event& event) {
       break;
     case EventType::kSeccompDecision:
       args.add("nr", event.a).add("action", event.b);
+      break;
+    case EventType::kPolicyDecision:
+      args.add("nr", event.a)
+          .add("from_state", policy_state_name(event.b))
+          .add("decision",
+               to_string(static_cast<kern::PolicyDecision>(event.c)));
       break;
     case EventType::kCrosscheck:
       args.add("site", hex_u64(event.a))
@@ -132,6 +146,46 @@ std::string render_summary(const MetricsRegistry& registry,
   counters.emplace_back("ring.events", ring.size());
   counters.emplace_back("ring.dropped", ring.dropped());
   out += metrics::counters_table(counters);
+
+  // Policy activity: rendered only when a PolicyEnforcer reported into this
+  // registry (the "policy.*" counters exist). Per-state hit-rate is that
+  // state's share of all transition checks — together the rows account for
+  // every syscall the enforcer saw.
+  const auto& counters_map = registry.counters();
+  const auto transitions_it = counters_map.find("policy.transitions");
+  if (transitions_it != counters_map.end() && transitions_it->second != 0) {
+    const double total = static_cast<double>(transitions_it->second);
+    const auto violations_it = counters_map.find("policy.violations");
+    const std::uint64_t violations =
+        violations_it == counters_map.end() ? 0 : violations_it->second;
+    out += "\n== policy (syscall-flow integrity) ==\n";
+    out += "transitions checked: " + std::to_string(transitions_it->second) +
+           ", violations: " + std::to_string(violations) + "\n";
+    metrics::Table table({"state", "checks", "violations", "hit-rate"});
+    const std::string prefix = "policy.state.";
+    const std::string checks_suffix = ".checks";
+    for (const auto& [name, value] : counters_map) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      if (name.size() < checks_suffix.size() ||
+          name.compare(name.size() - checks_suffix.size(),
+                       checks_suffix.size(), checks_suffix) != 0) {
+        continue;
+      }
+      const std::string state =
+          name.substr(prefix.size(),
+                      name.size() - prefix.size() - checks_suffix.size());
+      const auto viol_it =
+          counters_map.find(prefix + state + ".violations");
+      const std::uint64_t state_violations =
+          viol_it == counters_map.end() ? 0 : viol_it->second;
+      table.add_row({state, std::to_string(value),
+                     std::to_string(state_violations),
+                     format_double(100.0 * static_cast<double>(value) / total,
+                                   1) +
+                         "%"});
+    }
+    out += table.render();
+  }
 
   out += "\n== interposition latency (cycles) ==\n";
   metrics::Table table(

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "analysis/crosscheck.hpp"
+#include "kernel/syscalls.hpp"
 
 namespace lzp::trace {
 namespace {
@@ -32,6 +33,9 @@ void Tracer::clear() {
 
 void Tracer::reset_slot_caches() noexcept {
   syscall_count_slots_.fill(nullptr);
+  policy_transitions_slot_ = nullptr;
+  policy_violations_slot_ = nullptr;
+  policy_state_slots_.clear();
   selector_flip_slot_ = nullptr;
   signals_delivered_slot_ = nullptr;
   sigsys_slot_ = nullptr;
@@ -213,6 +217,49 @@ void Tracer::on_crosscheck(const kern::Task& task, std::uint64_t site,
   event.a = site;
   event.b = verdict;
   event.c = outcome;
+  push_event(task, event);
+}
+
+std::pair<std::uint64_t*, std::uint64_t*>& Tracer::policy_state_slots(
+    std::uint64_t state) {
+  auto it = policy_state_slots_.find(state);
+  if (it == policy_state_slots_.end()) {
+    const std::string label =
+        state == kern::kPolicyEntryState
+            ? std::string("entry")
+            : std::string(kern::syscall_name(state));
+    it = policy_state_slots_
+             .emplace(state,
+                      std::make_pair(
+                          &metrics_.counter_slot("policy.state." + label +
+                                                 ".checks"),
+                          &metrics_.counter_slot("policy.state." + label +
+                                                 ".violations")))
+             .first;
+  }
+  return it->second;
+}
+
+void Tracer::on_policy_decision(const kern::Task& task, std::uint64_t nr,
+                                std::uint64_t from_state,
+                                kern::PolicyDecision decision) {
+  if (!enabled()) return;
+  auto lock = maybe_lock();
+  ++cached_counter(policy_transitions_slot_, "policy.transitions");
+  auto& [checks, violations] = policy_state_slots(from_state);
+  ++*checks;
+  const bool violation = decision == kern::PolicyDecision::kViolationLogged ||
+                         decision == kern::PolicyDecision::kViolationDenied ||
+                         decision == kern::PolicyDecision::kViolationKilled;
+  if (violation) {
+    ++cached_counter(policy_violations_slot_, "policy.violations");
+    ++*violations;
+  }
+  Event event;
+  event.type = EventType::kPolicyDecision;
+  event.a = nr;
+  event.b = from_state;
+  event.c = static_cast<std::uint64_t>(decision);
   push_event(task, event);
 }
 

@@ -71,6 +71,9 @@ class Tracer final : public kern::TraceSink {
                             kern::InterposeMechanism mech) override;
   void on_crosscheck(const kern::Task& task, std::uint64_t site,
                      std::uint8_t verdict, std::uint8_t outcome) override;
+  void on_policy_decision(const kern::Task& task, std::uint64_t nr,
+                          std::uint64_t from_state,
+                          kern::PolicyDecision decision) override;
   void on_task_event(const kern::Task& task, TaskEvent event,
                      std::uint64_t detail) override;
 
@@ -94,6 +97,8 @@ class Tracer final : public kern::TraceSink {
   [[nodiscard]] std::uint64_t& cached_counter(std::uint64_t*& slot,
                                               const char* name);
   void reset_slot_caches() noexcept;
+  [[nodiscard]] std::pair<std::uint64_t*, std::uint64_t*>& policy_state_slots(
+      std::uint64_t state);
 
   kern::Machine* machine_ = nullptr;
   bool concurrent_ = false;
@@ -106,6 +111,13 @@ class Tracer final : public kern::TraceSink {
   // clear()). The per-event cost is what bench/trace_overhead.cpp gates, so
   // the common probes must not do a string-keyed map lookup per event.
   std::array<std::uint64_t*, kern::kNumMechanisms> syscall_count_slots_{};
+  std::uint64_t* policy_transitions_slot_ = nullptr;
+  std::uint64_t* policy_violations_slot_ = nullptr;
+  // Per-automaton-state check/violation slots ("policy.state.<name>.*"):
+  // policies have a handful of states, so one map lookup keyed by the raw
+  // state id (no string formatting) amortizes to a cheap hit.
+  std::map<std::uint64_t, std::pair<std::uint64_t*, std::uint64_t*>>
+      policy_state_slots_;
   std::uint64_t* selector_flip_slot_ = nullptr;
   std::uint64_t* signals_delivered_slot_ = nullptr;
   std::uint64_t* sigsys_slot_ = nullptr;

@@ -175,7 +175,8 @@ TEST(SeccompFilterTest, SerializeLayout) {
 
 TEST(SeccompFilterTest, TrapSyscallsFilter) {
   const std::uint32_t trapped[] = {39, 57};
-  auto program = SeccompFilterBuilder::trap_syscalls(trapped, SECCOMP_RET_TRAP);
+  auto program =
+      SeccompFilterBuilder::trap_syscalls(trapped, SECCOMP_RET_TRAP).value();
   SeccompData data;
   data.nr = 39;
   EXPECT_EQ(run_on(program, data), SECCOMP_RET_TRAP);
@@ -187,12 +188,49 @@ TEST(SeccompFilterTest, TrapSyscallsFilter) {
 
 TEST(SeccompFilterTest, AllowlistFilter) {
   const std::uint32_t allowed[] = {0, 1, 60};
-  auto program = SeccompFilterBuilder::allowlist(
-      allowed, SECCOMP_RET_ERRNO | 1);
+  auto program =
+      SeccompFilterBuilder::allowlist(allowed, SECCOMP_RET_ERRNO | 1).value();
   SeccompData data;
   data.nr = 1;
   EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
   data.nr = 2;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ERRNO | 1);
+}
+
+// Regression: a set-membership list needing a jump offset > 255 must be
+// rejected with a clear Status. The old builder silently truncated the
+// offset through a uint8_t cast, producing a filter that still *validated*
+// (all jumps in bounds) but matched the wrong instruction.
+TEST(SeccompFilterTest, RejectsSetsBeyondJumpOffsetLimit) {
+  std::vector<std::uint32_t> nrs(SeccompFilterBuilder::kMaxSetMembers + 1);
+  for (std::size_t i = 0; i < nrs.size(); ++i) {
+    nrs[i] = static_cast<std::uint32_t>(i);
+  }
+
+  const auto too_big_allow =
+      SeccompFilterBuilder::allowlist(nrs, SECCOMP_RET_ERRNO | 1);
+  ASSERT_FALSE(too_big_allow.is_ok());
+  EXPECT_EQ(too_big_allow.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(too_big_allow.status().message().find("255"), std::string::npos);
+
+  const auto too_big_trap =
+      SeccompFilterBuilder::trap_syscalls(nrs, SECCOMP_RET_TRAP);
+  ASSERT_FALSE(too_big_trap.is_ok());
+  EXPECT_EQ(too_big_trap.status().code(), StatusCode::kOutOfRange);
+
+  // Exactly at the limit still encodes, validates, and decides correctly at
+  // both ends of the chain (the first compare carries the largest offset).
+  nrs.pop_back();
+  ASSERT_EQ(nrs.size(), SeccompFilterBuilder::kMaxSetMembers);
+  auto program =
+      SeccompFilterBuilder::allowlist(nrs, SECCOMP_RET_ERRNO | 1).value();
+  ASSERT_TRUE(validate(program, SeccompData::kSize).is_ok());
+  SeccompData data;
+  data.nr = 0;
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
+  data.nr = static_cast<std::int32_t>(nrs.size() - 1);
+  EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
+  data.nr = static_cast<std::int32_t>(nrs.size());
   EXPECT_EQ(run_on(program, data), SECCOMP_RET_ERRNO | 1);
 }
 

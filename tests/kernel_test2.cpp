@@ -265,8 +265,10 @@ TEST(Machine2Test, SeccompKillThreadOnlyKillsOneThread) {
   // exist yet, so attach to the parent and rely on inheritance; the parent
   // must avoid getpid (it does).
   const std::uint32_t trapped[] = {kSysGetpid};
-  auto filter = bpf::SeccompFilterBuilder::trap_syscalls(
-      trapped, bpf::SECCOMP_RET_KILL_THREAD);
+  auto filter =
+      bpf::SeccompFilterBuilder::trap_syscalls(trapped,
+                                               bpf::SECCOMP_RET_KILL_THREAD)
+          .value();
   machine.find_task(tid)->seccomp.push_back(
       std::make_shared<const std::vector<bpf::Insn>>(std::move(filter)));
 

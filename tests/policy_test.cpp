@@ -1,0 +1,482 @@
+// Tests for the syscall-flow-integrity policy subsystem (src/policy):
+// automaton format round trips, extraction (static CFG walk and dynamic
+// learning), the static ⊇ dynamic containment on the webserver, lowering to
+// per-state seccomp-BPF filters (including the oversized-set rejection), and
+// enforcement semantics — deny/kill verdicts, state non-advance on denial,
+// and identical violation verdicts under all four mechanisms.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/minilibc.hpp"
+#include "apps/webserver.hpp"
+#include "bpf/seccomp_filter.hpp"
+#include "core/lazypoline.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/machine.hpp"
+#include "kernel/syscalls.hpp"
+#include "mechanisms/ptrace_tool.hpp"
+#include "mechanisms/sud_tool.hpp"
+#include "policy/compile.hpp"
+#include "policy/enforce.hpp"
+#include "policy/extract.hpp"
+#include "policy/from_flight_recorder.hpp"
+#include "sim_test_util.hpp"
+#include "zpoline/zpoline.hpp"
+
+namespace {
+using namespace lzp;
+using kern::Machine;
+using kern::Tid;
+
+enum class Mech { kPtrace, kSud, kZpoline, kLazypoline };
+
+void install_mechanism(Machine& machine, Tid tid,
+                       std::shared_ptr<interpose::SyscallHandler> handler,
+                       Mech mech) {
+  switch (mech) {
+    case Mech::kPtrace: {
+      mechanisms::PtraceMechanism mechanism;
+      ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+      break;
+    }
+    case Mech::kSud: {
+      mechanisms::SudMechanism mechanism;
+      ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+      break;
+    }
+    case Mech::kZpoline: {
+      zpoline::ZpolineMechanism mechanism;
+      ASSERT_TRUE(mechanism.install(machine, tid, handler).is_ok());
+      break;
+    }
+    case Mech::kLazypoline: {
+      auto runtime = core::Lazypoline::create(machine, {});
+      ASSERT_TRUE(runtime->install(machine, tid, handler).is_ok());
+      break;
+    }
+  }
+}
+
+// --- automaton format --------------------------------------------------------
+
+policy::Automaton make_sample_automaton() {
+  policy::Automaton automaton;
+  automaton.name = "sample";
+  automaton.source = "static";
+  automaton.add_edge(policy::kEntryState, kern::kSysGetpid);
+  automaton.add_edge(kern::kSysGetpid, kern::kSysGetpid);
+  automaton.add_edge(kern::kSysGetpid, kern::kSysExitGroup);
+  automaton.add_edge(kern::kSysWrite, policy::kAnySyscall);
+  automaton.add_from_any(kern::kSysClose);
+  return automaton;
+}
+
+TEST(PolicyAutomatonTest, SerializeParseRoundTrip) {
+  const policy::Automaton automaton = make_sample_automaton();
+  const std::string text = automaton.serialize();
+  auto parsed = policy::Automaton::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), automaton);
+  // And the round trip is a fixpoint.
+  EXPECT_EQ(parsed.value().serialize(), text);
+}
+
+TEST(PolicyAutomatonTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(policy::Automaton::parse("bogus keyword").is_ok());
+  // '*' cannot be a state source: the monitor is never "in" the wildcard.
+  EXPECT_FALSE(policy::Automaton::parse("state * -> 1").is_ok());
+  // Syscall numbers beyond the table are rejected.
+  EXPECT_FALSE(policy::Automaton::parse("state 1 -> 99999").is_ok());
+}
+
+TEST(PolicyAutomatonTest, AllowsSemantics) {
+  const policy::Automaton automaton = make_sample_automaton();
+  // Concrete edge.
+  EXPECT_TRUE(automaton.allows(kern::kSysGetpid, kern::kSysExitGroup));
+  EXPECT_FALSE(automaton.allows(kern::kSysGetpid, kern::kSysOpen));
+  // from_any members are allowed from every state.
+  EXPECT_TRUE(automaton.allows(kern::kSysGetpid, kern::kSysClose));
+  EXPECT_TRUE(automaton.allows(policy::kEntryState, kern::kSysClose));
+  // Wildcard successor: anything goes from that state.
+  EXPECT_TRUE(automaton.allows(kern::kSysWrite, kern::kSysOpen));
+  // States the automaton never mentions are unconstrained.
+  EXPECT_TRUE(automaton.allows(kern::kSysMmap, kern::kSysOpen));
+}
+
+TEST(PolicyAutomatonTest, ContainmentAndMerge) {
+  const policy::Automaton big = make_sample_automaton();
+  policy::Automaton small;
+  small.add_edge(policy::kEntryState, kern::kSysGetpid);
+  small.add_edge(kern::kSysGetpid, kern::kSysExitGroup);
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+
+  policy::Automaton extra = small;
+  extra.add_edge(kern::kSysGetpid, kern::kSysOpen);
+  EXPECT_FALSE(big.contains(extra));
+
+  policy::Automaton merged = small;
+  merged.merge(extra);
+  EXPECT_TRUE(merged.contains(small));
+  EXPECT_TRUE(merged.contains(extra));
+}
+
+// --- extraction --------------------------------------------------------------
+
+TEST(PolicyExtractTest, StaticGetpidLoop) {
+  const isa::Program program =
+      testutil::make_syscall_loop(kern::kSysGetpid, 10);
+  const policy::StaticExtraction extraction = policy::extract_static(program);
+  EXPECT_EQ(extraction.sites_total, 2u);
+  EXPECT_EQ(extraction.sites_resolved, 2u);
+  EXPECT_FALSE(extraction.used_wildcard);
+  const policy::Automaton& automaton = extraction.automaton;
+  EXPECT_TRUE(automaton.allows(policy::kEntryState, kern::kSysGetpid));
+  EXPECT_TRUE(automaton.allows(kern::kSysGetpid, kern::kSysGetpid));
+  EXPECT_TRUE(automaton.allows(kern::kSysGetpid, kern::kSysExitGroup));
+  EXPECT_FALSE(automaton.allows(kern::kSysGetpid, kern::kSysOpen));
+  // The zero-iteration path reaches exit_group without ever calling getpid,
+  // so the sound static automaton must keep entry -> exit_group.
+  EXPECT_TRUE(automaton.allows(policy::kEntryState, kern::kSysExitGroup));
+  EXPECT_FALSE(automaton.allows(policy::kEntryState, kern::kSysOpen));
+}
+
+TEST(PolicyExtractTest, UnresolvableSiteNumberRoutesToFromAny) {
+  // rax comes from a register, not an immediate: the site's number is
+  // statically unknowable, so its follower must be allowed from every state
+  // and the entry successor set degrades to the wildcard.
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rbx, kern::kSysGetpid);
+  a.mov(isa::Gpr::rax, isa::Gpr::rbx);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const isa::Program program =
+      std::move(isa::make_program("reg-nr", a, entry)).value();
+
+  const policy::StaticExtraction extraction = policy::extract_static(program);
+  EXPECT_EQ(extraction.sites_total, 2u);
+  EXPECT_EQ(extraction.sites_resolved, 1u);  // only the exit_group
+  EXPECT_TRUE(extraction.used_wildcard);
+  // exit_group follows the unknown site: allowed from anywhere.
+  EXPECT_TRUE(extraction.automaton.from_any().count(kern::kSysExitGroup) > 0);
+}
+
+TEST(PolicyExtractTest, DynamicLearning) {
+  std::vector<std::pair<Tid, std::uint64_t>> stream = {
+      {1, kern::kSysGetpid}, {2, kern::kSysOpen},  {1, kern::kSysWrite},
+      {2, kern::kSysClose},  {1, kern::kSysWrite},
+  };
+  const policy::Automaton automaton =
+      policy::learn_from_sequence(stream, "two-tasks");
+  // Per-tid chains: tid 1 getpid->write->write, tid 2 open->close.
+  EXPECT_TRUE(automaton.allows(policy::kEntryState, kern::kSysGetpid));
+  EXPECT_TRUE(automaton.allows(policy::kEntryState, kern::kSysOpen));
+  EXPECT_TRUE(automaton.allows(kern::kSysGetpid, kern::kSysWrite));
+  EXPECT_TRUE(automaton.allows(kern::kSysWrite, kern::kSysWrite));
+  EXPECT_TRUE(automaton.allows(kern::kSysOpen, kern::kSysClose));
+  // Cross-task pollution must not happen.
+  EXPECT_FALSE(automaton.allows(kern::kSysGetpid, kern::kSysClose));
+
+  // An incomplete stream (truncated ring) contributes no entry edges: the
+  // entry state is left unconstrained (absent) rather than wrongly claiming
+  // the truncated stream's first event as the task's first syscall.
+  const policy::Automaton truncated =
+      policy::learn_from_sequence(stream, "truncated", /*complete=*/false);
+  EXPECT_EQ(truncated.edges().count(policy::kEntryState), 0u);
+  EXPECT_TRUE(truncated.allows(kern::kSysGetpid, kern::kSysWrite));
+}
+
+TEST(PolicyExtractTest, FlightRecorderLearning) {
+  trace::FlightRecorder ring(8);
+  auto push_enter = [&](Tid tid, std::uint64_t nr) {
+    trace::Event event;
+    event.type = trace::EventType::kSyscallEnter;
+    event.tid = tid;
+    event.a = nr;
+    ring.push(event);
+  };
+  push_enter(1, kern::kSysGetpid);
+  push_enter(1, kern::kSysWrite);
+  push_enter(1, kern::kSysExitGroup);
+  const policy::Automaton automaton =
+      policy::learn_from_flight_recorder(ring, "ring");
+  EXPECT_TRUE(automaton.allows(policy::kEntryState, kern::kSysGetpid));
+  EXPECT_TRUE(automaton.allows(kern::kSysGetpid, kern::kSysWrite));
+  EXPECT_TRUE(automaton.allows(kern::kSysWrite, kern::kSysExitGroup));
+
+  // Overflow the ring: learning must drop the (now unreliable) entry edges.
+  trace::FlightRecorder tiny(2);
+  auto push_tiny = [&](Tid tid, std::uint64_t nr) {
+    trace::Event event;
+    event.type = trace::EventType::kSyscallEnter;
+    event.tid = tid;
+    event.a = nr;
+    tiny.push(event);
+  };
+  push_tiny(1, kern::kSysGetpid);
+  push_tiny(1, kern::kSysWrite);
+  push_tiny(1, kern::kSysExitGroup);
+  ASSERT_GT(tiny.dropped(), 0u);
+  const policy::Automaton truncated =
+      policy::learn_from_flight_recorder(tiny, "tiny");
+  EXPECT_EQ(truncated.edges().count(policy::kEntryState), 0u);
+  EXPECT_TRUE(truncated.allows(kern::kSysWrite, kern::kSysExitGroup));
+}
+
+// --- webserver containment ---------------------------------------------------
+
+struct WebSetup {
+  isa::Program program;
+  std::vector<Tid> tids;
+};
+
+void setup_webserver(Machine& machine, WebSetup* out) {
+  machine.mmap_min_addr = 0;
+  machine.reseed_rng(0x1A5F'9E37ULL);
+  const apps::ServerProfile profile = apps::nginx_profile();
+  constexpr std::uint64_t kFileSize = 1024;
+  ASSERT_TRUE(machine.vfs().put_file_of_size("index.html", kFileSize).is_ok());
+  kern::ClientWorkload client;
+  client.connections = 4;
+  client.total_requests = 60;
+  client.response_bytes = profile.header_bytes + kFileSize;
+  const int listener = machine.net().create_listener(client);
+  auto program = apps::make_webserver(machine, profile, "index.html");
+  ASSERT_TRUE(program.is_ok()) << program.status().to_string();
+  out->program = std::move(program).value();
+  machine.register_program(out->program);
+  for (int worker = 0; worker < 2; ++worker) {
+    auto tid = machine.load(out->program);
+    ASSERT_TRUE(tid.is_ok());
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid.value())->process->install_fd_at(apps::kListenerFd,
+                                                           entry);
+    out->tids.push_back(tid.value());
+  }
+}
+
+TEST(PolicyWebserverTest, StaticContainsDynamic) {
+  Machine machine;
+  WebSetup setup;
+  setup_webserver(machine, &setup);
+  const policy::StaticExtraction extraction =
+      policy::extract_static(setup.program);
+  EXPECT_FALSE(extraction.automaton.has_wildcard());
+  EXPECT_EQ(extraction.sites_resolved, extraction.sites_total);
+
+  auto tracer = std::make_shared<interpose::TracingHandler>();
+  for (const Tid tid : setup.tids) {
+    install_mechanism(machine, tid, tracer, Mech::kLazypoline);
+  }
+  ASSERT_TRUE(machine.run(400'000'000ULL).all_exited);
+
+  std::vector<std::pair<Tid, std::uint64_t>> stream;
+  for (const interpose::TraceRecord& record : tracer->trace()) {
+    stream.emplace_back(record.tid, record.nr);
+  }
+  ASSERT_FALSE(stream.empty());
+  const policy::Automaton dynamic =
+      policy::learn_from_sequence(stream, "webserver");
+  EXPECT_TRUE(extraction.automaton.contains(dynamic));
+  // The static one must be a strict over-approximation or equal, never
+  // smaller.
+  EXPECT_GE(extraction.automaton.edge_count(), dynamic.edge_count());
+}
+
+// --- lowering ----------------------------------------------------------------
+
+TEST(PolicyCompileTest, FiltersMatchAutomatonAllows) {
+  const policy::Automaton automaton = make_sample_automaton();
+  auto compiled = policy::compile_to_seccomp(
+      automaton, bpf::SECCOMP_RET_ERRNO | std::uint32_t{1});
+  ASSERT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+
+  const std::vector<std::uint64_t> probe_nrs = {
+      kern::kSysRead,  kern::kSysWrite,    kern::kSysOpen,
+      kern::kSysClose, kern::kSysGetpid,   kern::kSysMmap,
+      kern::kSysExit,  kern::kSysExitGroup};
+  for (const auto& [state, sp] : compiled.value().states) {
+    for (const std::uint64_t nr : probe_nrs) {
+      bpf::SeccompData data;
+      data.nr = static_cast<std::int32_t>(nr);
+      data.arch = bpf::kAuditArchX86_64;
+      const auto bytes = data.serialize();
+      const auto run = bpf::run(sp.filter, bytes);
+      ASSERT_TRUE(run.is_ok());
+      const bool filter_allows = run.value().value == bpf::SECCOMP_RET_ALLOW;
+      EXPECT_EQ(filter_allows, automaton.allows(state, nr))
+          << "state " << state << " nr " << nr;
+    }
+  }
+}
+
+TEST(PolicyCompileTest, RejectsOversizedStateSets) {
+  policy::Automaton automaton;
+  for (std::uint64_t nr = 0; nr < 300; ++nr) {
+    automaton.add_edge(kern::kSysGetpid, nr);
+  }
+  auto compiled =
+      policy::compile_to_seccomp(automaton, bpf::SECCOMP_RET_KILL_PROCESS);
+  ASSERT_FALSE(compiled.is_ok());
+  EXPECT_NE(compiled.status().message().find("255"), std::string::npos)
+      << compiled.status().message();
+}
+
+// --- enforcement -------------------------------------------------------------
+
+// getpid, then an off-policy write, getpid again, an off-policy nanosleep,
+// getpid, exit. Under an automaton allowing only entry->getpid,
+// getpid->{getpid, exit_group}, the write and the nanosleep are exactly the
+// two violations, and with the deny verdict the guest still terminates.
+isa::Program make_violating_guest() {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  apps::emit_syscall(a, kern::kSysGetpid);
+  a.mov(isa::Gpr::rdi, 1);
+  a.mov(isa::Gpr::rsi, 0);
+  a.mov(isa::Gpr::rdx, 0);
+  apps::emit_syscall(a, kern::kSysWrite);      // violation 1
+  apps::emit_syscall(a, kern::kSysGetpid);
+  a.mov(isa::Gpr::rdi, 0);
+  apps::emit_syscall(a, kern::kSysNanosleep);  // violation 2
+  apps::emit_syscall(a, kern::kSysGetpid);
+  apps::emit_exit(a, 7);
+  return std::move(isa::make_program("violating-guest", a, entry)).value();
+}
+
+policy::Automaton make_getpid_only_automaton() {
+  policy::Automaton automaton;
+  automaton.name = "getpid-only";
+  automaton.add_edge(policy::kEntryState, kern::kSysGetpid);
+  automaton.add_edge(kern::kSysGetpid, kern::kSysGetpid);
+  automaton.add_edge(kern::kSysGetpid, kern::kSysExitGroup);
+  return automaton;
+}
+
+policy::EnforcerStats run_violating_guest(Mech mech, int* exit_code) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  const isa::Program program = make_violating_guest();
+  machine.register_program(program);
+  auto tid = machine.load(program);
+  EXPECT_TRUE(tid.is_ok());
+  auto enforcer =
+      policy::PolicyEnforcer::create(make_getpid_only_automaton(), {});
+  EXPECT_TRUE(enforcer.is_ok());
+  install_mechanism(machine, tid.value(), enforcer.value(), mech);
+  const auto stats = machine.run(100'000'000ULL);
+  EXPECT_TRUE(stats.all_exited) << machine.last_fatal();
+  *exit_code = machine.find_task(tid.value())->exit_code;
+  return enforcer.value()->stats();
+}
+
+void expect_violation_injection(Mech mech) {
+  int exit_code = -1;
+  const policy::EnforcerStats stats = run_violating_guest(mech, &exit_code);
+  // The same verdicts under every mechanism: 6 checked transitions, exactly
+  // the write and the nanosleep denied, and the guest still exits cleanly
+  // because denial returns -EPERM instead of killing.
+  EXPECT_EQ(stats.transitions_checked, 6u);
+  EXPECT_EQ(stats.violations, 2u);
+  EXPECT_EQ(stats.denied, 2u);
+  EXPECT_EQ(stats.killed, 0u);
+  EXPECT_EQ(stats.always_allows, 1u);  // the exit_group
+  EXPECT_EQ(exit_code, 7);
+  // State must NOT advance on a denial: both violations were judged from the
+  // getpid state, so getpid's per-state violation counter carries both.
+  const auto it = stats.state_violations.find(kern::kSysGetpid);
+  ASSERT_NE(it, stats.state_violations.end());
+  EXPECT_EQ(it->second, 2u);
+}
+
+TEST(PolicyEnforceTest, ViolationInjectionPtrace) {
+  expect_violation_injection(Mech::kPtrace);
+}
+TEST(PolicyEnforceTest, ViolationInjectionSud) {
+  expect_violation_injection(Mech::kSud);
+}
+TEST(PolicyEnforceTest, ViolationInjectionZpoline) {
+  expect_violation_injection(Mech::kZpoline);
+}
+TEST(PolicyEnforceTest, ViolationInjectionLazypoline) {
+  expect_violation_injection(Mech::kLazypoline);
+}
+
+TEST(PolicyEnforceTest, LogOnlyVerdictExecutesViolations) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  const isa::Program program = make_violating_guest();
+  machine.register_program(program);
+  auto tid = machine.load(program);
+  ASSERT_TRUE(tid.is_ok());
+  policy::EnforcerOptions options;
+  options.verdict = policy::Verdict::kLogOnly;
+  auto enforcer =
+      policy::PolicyEnforcer::create(make_getpid_only_automaton(), options);
+  ASSERT_TRUE(enforcer.is_ok());
+  install_mechanism(machine, tid.value(), enforcer.value(),
+                    Mech::kLazypoline);
+  ASSERT_TRUE(machine.run(100'000'000ULL).all_exited);
+  const policy::EnforcerStats stats = enforcer.value()->stats();
+  EXPECT_EQ(stats.violations, 2u);
+  EXPECT_EQ(stats.logged, 2u);
+  EXPECT_EQ(stats.denied, 0u);
+}
+
+TEST(PolicyEnforceTest, KillVerdictTerminatesProcess) {
+  Machine machine;
+  machine.mmap_min_addr = 0;
+  const isa::Program program = make_violating_guest();
+  machine.register_program(program);
+  auto tid = machine.load(program);
+  ASSERT_TRUE(tid.is_ok());
+  policy::EnforcerOptions options;
+  options.verdict = policy::Verdict::kKill;
+  auto enforcer =
+      policy::PolicyEnforcer::create(make_getpid_only_automaton(), options);
+  ASSERT_TRUE(enforcer.is_ok());
+  install_mechanism(machine, tid.value(), enforcer.value(),
+                    Mech::kLazypoline);
+  ASSERT_TRUE(machine.run(100'000'000ULL).all_exited);
+  const policy::EnforcerStats stats = enforcer.value()->stats();
+  EXPECT_EQ(stats.killed, 1u);
+  EXPECT_EQ(stats.violations, 1u);  // killed at the first one
+  // SIGSYS-style death, not the guest's own exit(7).
+  EXPECT_EQ(machine.find_task(tid.value())->exit_code, 128 + kern::kSigsys);
+}
+
+TEST(PolicyEnforceTest, WebserverCleanUnderOwnPolicyAllMechanisms) {
+  WebSetup probe;
+  {
+    Machine machine;
+    setup_webserver(machine, &probe);
+  }
+  const policy::Automaton automaton =
+      policy::extract_static(probe.program).automaton;
+  for (const Mech mech :
+       {Mech::kPtrace, Mech::kSud, Mech::kZpoline, Mech::kLazypoline}) {
+    Machine machine;
+    WebSetup setup;
+    setup_webserver(machine, &setup);
+    auto enforcer = policy::PolicyEnforcer::create(automaton, {});
+    ASSERT_TRUE(enforcer.is_ok());
+    for (const Tid tid : setup.tids) {
+      install_mechanism(machine, tid, enforcer.value(), mech);
+    }
+    ASSERT_TRUE(machine.run(400'000'000ULL).all_exited)
+        << machine.last_fatal();
+    const policy::EnforcerStats stats = enforcer.value()->stats();
+    EXPECT_EQ(stats.violations, 0u);
+    EXPECT_GT(stats.transitions_checked, 0u);
+  }
+}
+
+}  // namespace
