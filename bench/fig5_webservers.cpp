@@ -22,6 +22,7 @@
 #include "bench_util.hpp"
 #include "base/strings.hpp"
 #include "metrics/report.hpp"
+#include "trace/metrics_registry.hpp"
 
 namespace {
 using namespace lzp;
@@ -42,6 +43,12 @@ enum class Mech { kBaseline, kZpoline, kLazyNoX, kLazyFull, kSud };
 // decode-cache table is the reference-path story under -DLZP_BLOCK_EXEC=OFF.
 cpu::DecodeCacheStats g_dcache_totals;
 cpu::BlockCacheStats g_bcache_totals;
+
+// SMP scheduler telemetry accumulated across every run_smp via the shared
+// counter surface (trace/metrics_registry.hpp is header-only, so this costs
+// no extra link dependency). Reported at the end of --cpus=N mode — the fix
+// for SmpStats having been accumulated but never surfaced.
+trace::MetricsRegistry g_smp_metrics;
 
 void accumulate_dcache(const kern::Machine& machine) {
   const cpu::DecodeCacheStats totals = machine.decode_cache_totals();
@@ -147,6 +154,8 @@ struct SmpRun {
   double host_ms = 0.0;    // host wall time of machine.run_smp
   std::uint64_t shootdowns = 0;
   std::uint64_t steals = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t mailbox_signals = 0;
 };
 
 SmpRun run_one_smp(const apps::ServerProfile& profile, std::uint64_t file_size,
@@ -218,6 +227,9 @@ SmpRun run_one_smp(const apps::ServerProfile& profile, std::uint64_t file_size,
       std::chrono::duration<double, std::milli>(end - start).count();
   out.shootdowns = stats.shootdowns;
   out.steals = stats.steals;
+  out.barriers = stats.barriers;
+  out.mailbox_signals = stats.mailbox_signals;
+  trace::record_smp_stats(g_smp_metrics, stats);
   return out;
 }
 
@@ -263,6 +275,8 @@ int run_smp_mode(unsigned cpus, const std::string& json_path) {
                          .add("host_ms", r.host_ms)
                          .add("shootdowns", r.shootdowns)
                          .add("steals", r.steals)
+                         .add("barriers", r.barriers)
+                         .add("mailbox_signals", r.mailbox_signals)
                          .render());
     }
     table.add_row(cells);
@@ -298,6 +312,15 @@ int run_smp_mode(unsigned cpus, const std::string& json_path) {
                      .add("host_ms_smp", parallel_ms)
                      .add("host_speedup_x", speedup)
                      .render());
+
+  // Scheduler telemetry summed over every run_smp above (throughput grid +
+  // speedup reps): the previously write-only SmpStats counters, surfaced via
+  // the shared MetricsRegistry counter space.
+  std::printf("-- smp scheduler telemetry (all runs) --\n%s\n",
+              metrics::counters_table(
+                  {g_smp_metrics.counters().begin(),
+                   g_smp_metrics.counters().end()})
+                  .c_str());
 
   bench::write_json_report(json_path, "fig5_smp", rows, cpus);
 

@@ -34,6 +34,11 @@ struct RunResult {
   double wall_ms = 0.0;      // min over kReps
   std::uint64_t sim_cycles = 0;
   std::uint64_t trace_events = 0;
+  // Latency quantiles (simulated cycles) of the hottest per-(syscall, mech)
+  // histogram the tracer recorded — deterministic, so any rep's copy works.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 enum class Mode { kOff, kDisabled, kEnabled };
@@ -63,6 +68,17 @@ RunResult run_mode(Mode mode) {
     }
     result.sim_cycles = cycles;
     result.trace_events = tracer.ring().size() + tracer.ring().dropped();
+    const trace::LatencyHistogram* hottest = nullptr;
+    for (const auto& [key, hist] : tracer.metrics().histograms()) {
+      if (hottest == nullptr || hist.total() > hottest->total()) {
+        hottest = &hist;
+      }
+    }
+    if (hottest != nullptr) {
+      result.p50 = hottest->quantile(0.50);
+      result.p95 = hottest->quantile(0.95);
+      result.p99 = hottest->quantile(0.99);
+    }
   }
   return result;
 }
@@ -104,7 +120,7 @@ int main(int argc, char** argv) {
   const double enabled_x = enabled.wall_ms / off.wall_ms;
 
   metrics::Table table({"config", "wall ms (min)", "x off", "sim cycles",
-                        "trace events"});
+                        "trace events", "p50", "p95", "p99"});
   const struct {
     Mode mode;
     const RunResult* r;
@@ -116,13 +132,18 @@ int main(int argc, char** argv) {
   for (const auto& row : rows) {
     table.add_row({mode_name(row.mode), format_double(row.r->wall_ms, 3),
                    metrics::ratio(row.x), std::to_string(row.r->sim_cycles),
-                   std::to_string(row.r->trace_events)});
+                   std::to_string(row.r->trace_events),
+                   format_double(row.r->p50, 0), format_double(row.r->p95, 0),
+                   format_double(row.r->p99, 0)});
     results.push_back(metrics::JsonObject()
                           .add("config", mode_name(row.mode))
                           .add("wall_ms", row.r->wall_ms)
                           .add("x_off", row.x)
                           .add("sim_cycles", row.r->sim_cycles)
                           .add("trace_events", row.r->trace_events)
+                          .add("p50_cycles", row.r->p50)
+                          .add("p95_cycles", row.r->p95)
+                          .add("p99_cycles", row.r->p99)
                           .render());
   }
   std::printf("== Trace overhead (lazypoline micro loop, %llu syscalls, "

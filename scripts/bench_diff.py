@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Bench-regression tracker: compare BENCH_*.json artifacts against committed
+baselines in bench/baselines/, metric by metric, with per-metric tolerance
+bands.
+
+Every bench binary emits {"benchmark": ..., "cpus": ..., "results": [row...]}
+via bench::write_json_report (one shared escaper — see bench/bench_util.hpp).
+Rows are matched by an identity key (the row's string-valued fields, the
+well-known integer identity fields, and the set of metric names, so rows may
+be reordered but not silently dropped). Matched rows are compared metric by
+metric:
+
+  * Host-dependent metrics (wall times, host core counts, host-speedup
+    ratios) are SKIPPED — they vary run to run and machine to machine.
+  * Simulation-deterministic integers (sim_cycles, steals, trace_events, ...)
+    must match the baseline EXACTLY: the machine is a pure function of
+    (program, seed), so any drift is a real behavior change.
+  * Simulation-deterministic floats (rps, quantiles, hit rates) get a small
+    relative tolerance band (they pass through decimal formatting), with
+    per-metric overrides in TOLERANCES.
+
+Usage:
+  scripts/bench_diff.py [--baseline-dir bench/baselines] FILE.json...
+  scripts/bench_diff.py --regen [--baseline-dir bench/baselines] FILE.json...
+
+Exit status: 0 all within tolerance, 1 regression / schema drift, 2 usage or
+missing baseline (seed with --regen, wired into check.sh as
+--regen-bench-baselines).
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import sys
+
+# Metrics that depend on the host machine or wall clock, never compared.
+SKIP_METRIC = re.compile(
+    r"(^(wall|host)_)|(_ms(_|$))|((^|_)x(_|$))|(^seconds$)|(^mb_per_sec$)"
+)
+
+# Integer fields that identify a row rather than measure it.
+IDENTITY_INTS = {"workers", "cpus", "iterations", "size", "nr"}
+
+# Relative tolerance per metric name (first matching regex wins). Everything
+# integer-valued and unlisted is compared exactly; unlisted floats get
+# DEFAULT_FLOAT_TOL to absorb decimal round-tripping.
+TOLERANCES = [
+    (re.compile(r"^(rps|pct_of_baseline)$"), 1e-6),
+    (re.compile(r"^p(50|95|99)_cycles$"), 1e-6),
+    (re.compile(r"^hit_rate$"), 1e-6),
+]
+DEFAULT_FLOAT_TOL = 1e-6
+
+
+def row_identity(row):
+    """Stable identity for a result row: its string fields, its well-known
+    integer identity fields, and the sorted set of metric names (so rows with
+    the same labels but different shapes — e.g. an accuracy row vs. a perf
+    row for one strategy — stay distinct)."""
+    parts = []
+    metrics = []
+    for key in sorted(row):
+        value = row[key]
+        if isinstance(value, str) or (key in IDENTITY_INTS):
+            parts.append(f"{key}={value}")
+        else:
+            metrics.append(key)
+    parts.append("metrics=" + ",".join(metrics))
+    return "|".join(parts)
+
+
+def tolerance_for(metric):
+    for pattern, tol in TOLERANCES:
+        if pattern.search(metric):
+            return tol
+    return None
+
+
+def compare_value(metric, base, cur):
+    """Returns None if within tolerance, else a human-readable complaint."""
+    if isinstance(base, str) or isinstance(cur, str):
+        return None if base == cur else f"{metric}: '{base}' -> '{cur}'"
+    tol = tolerance_for(metric)
+    if tol is None:
+        if isinstance(base, float) or isinstance(cur, float):
+            tol = DEFAULT_FLOAT_TOL
+        else:
+            # Simulation-deterministic integer: exact or it's a regression.
+            if base != cur:
+                return f"{metric}: {base} -> {cur} (exact match required)"
+            return None
+    denom = max(abs(base), abs(cur), 1e-12)
+    rel = abs(cur - base) / denom
+    if rel > tol:
+        return f"{metric}: {base} -> {cur} (rel {rel:.2e} > tol {tol:.0e})"
+    return None
+
+
+def compare_rows(identity, base_row, cur_row, problems):
+    keys = set(base_row) | set(cur_row)
+    for key in sorted(keys):
+        if isinstance(base_row.get(key), str) and isinstance(
+            cur_row.get(key), str
+        ):
+            continue  # identity field, already matched
+        if key in IDENTITY_INTS or SKIP_METRIC.search(key):
+            continue
+        if key not in base_row:
+            problems.append(f"  [{identity}] new metric '{key}' (re-baseline)")
+            continue
+        if key not in cur_row:
+            problems.append(f"  [{identity}] metric '{key}' disappeared")
+            continue
+        complaint = compare_value(key, base_row[key], cur_row[key])
+        if complaint is not None:
+            problems.append(f"  [{identity}] {complaint}")
+
+
+def compare_file(baseline_path, current_path):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(current_path) as f:
+        cur = json.load(f)
+
+    problems = []
+    for key in ("benchmark", "cpus"):
+        if base.get(key) != cur.get(key):
+            problems.append(
+                f"  top-level '{key}': {base.get(key)!r} -> {cur.get(key)!r}"
+            )
+
+    base_rows = {row_identity(r): r for r in base.get("results", [])}
+    cur_rows = {row_identity(r): r for r in cur.get("results", [])}
+    for identity in sorted(base_rows.keys() - cur_rows.keys()):
+        problems.append(f"  row vanished: [{identity}]")
+    for identity in sorted(cur_rows.keys() - base_rows.keys()):
+        problems.append(f"  row appeared: [{identity}] (re-baseline)")
+    for identity in sorted(base_rows.keys() & cur_rows.keys()):
+        compare_rows(identity, base_rows[identity], cur_rows[identity], problems)
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json artifacts against bench/baselines/"
+    )
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="copy the given artifacts into the baseline dir instead of diffing",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE.json")
+    args = parser.parse_args()
+
+    if args.regen:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        for path in args.files:
+            if not os.path.exists(path):
+                print(f"bench_diff: missing artifact {path}", file=sys.stderr)
+                return 2
+            dest = os.path.join(args.baseline_dir, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"bench_diff: baseline <- {path}")
+        return 0
+
+    failed = False
+    for path in args.files:
+        name = os.path.basename(path)
+        baseline = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(path):
+            print(f"bench_diff: missing artifact {path}", file=sys.stderr)
+            return 2
+        if not os.path.exists(baseline):
+            print(
+                f"bench_diff: no baseline for {name} — seed it with "
+                f"scripts/bench_diff.py --regen {path} (or check.sh "
+                f"--regen-bench-baselines)",
+                file=sys.stderr,
+            )
+            return 2
+        problems = compare_file(baseline, path)
+        if problems:
+            failed = True
+            print(f"bench_diff: {name}: REGRESSION vs {baseline}:")
+            for p in problems:
+                print(p)
+        else:
+            print(f"bench_diff: {name}: ok")
+    if failed:
+        print(
+            "bench_diff: out-of-tolerance changes; if intentional, rerun "
+            "check.sh --regen-bench-baselines",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,13 @@
 # static automaton does not contain the dynamically learned one), then the
 # SMP bench
 # (fig5_webservers --cpus=8, emits BENCH_smp.json; its >=2x host-speedup
-# gate self-skips on hosts with <8 cores).
+# gate self-skips on hosts with <8 cores), then the profiler-overhead bench
+# (emits BENCH_profile_overhead.json and fails if an enabled profiler costs
+# >1.10x wall time, an attached-but-disabled one >1.02x, profiling perturbs
+# simulated cycles, or per-class attribution is not cycle-exact), and
+# finally the bench-regression diff (scripts/bench_diff.py compares every
+# BENCH_*.json emitted above against bench/baselines/ with per-metric
+# tolerance bands; accept intentional changes with --regen-bench-baselines).
 #
 # The sanitizer pass also includes a TSan leg (LZP_SANITIZE=thread) running
 # the concurrency-relevant suites — the SMP scheduler, the shared-AS
@@ -37,6 +43,7 @@
 # flaky output.
 #
 #   scripts/check.sh [--no-sanitize] [--no-bench] [--regen-tidy-baseline]
+#                    [--regen-bench-baselines]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -45,11 +52,13 @@ cd "${repo_root}"
 run_sanitize=1
 run_bench=1
 regen_tidy=0
+regen_bench=0
 for arg in "$@"; do
   case "${arg}" in
     --no-sanitize) run_sanitize=0 ;;
     --no-bench) run_bench=0 ;;
     --regen-tidy-baseline) regen_tidy=1 ;;
+    --regen-bench-baselines) regen_bench=1 ;;
     *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -155,6 +164,24 @@ if [[ "${run_bench}" == 1 ]]; then
 
   echo "== SMP scale-out bench (fig5 --cpus=8 -> BENCH_smp.json) =="
   ./build/bench/fig5_webservers --cpus=8
+
+  echo "== profiler-overhead bench =="
+  ./build/bench/profile_overhead BENCH_profile_overhead.json
+
+  # Bench-regression diff: every artifact the legs above produced, compared
+  # against the committed baselines (host-dependent metrics are skipped by
+  # the tool; simulation-deterministic ones must match within tolerance).
+  bench_artifacts=()
+  for artifact in BENCH_*.json; do
+    [[ -f "${artifact}" ]] && bench_artifacts+=("${artifact}")
+  done
+  if [[ "${regen_bench}" == 1 ]]; then
+    echo "== bench baselines regenerated (bench/baselines/) =="
+    python3 scripts/bench_diff.py --regen "${bench_artifacts[@]}"
+  else
+    echo "== bench-regression diff (baselines: bench/baselines/) =="
+    python3 scripts/bench_diff.py "${bench_artifacts[@]}"
+  fi
 fi
 
 echo "check.sh: all gates passed"

@@ -77,7 +77,8 @@ Result<JitRunnerInfo> make_jit_runner(kern::Machine& machine,
           return;
         }
         frame.ctx.set_reg(Gpr::rax, program.entry_offset);
-      });
+      },
+      kern::CycleClass::kGuest);
 
   isa::Assembler a;
   const auto entry = a.new_label();

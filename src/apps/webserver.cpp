@@ -22,7 +22,8 @@ std::uint64_t bind_applogic(kern::Machine& machine,
   const std::uint64_t compute = profile.app_compute_cycles;
   return machine.bind_host(
       "webserver.applogic." + profile.name,
-      [compute](kern::HostFrame& frame) { frame.charge(compute); });
+      [compute](kern::HostFrame& frame) { frame.charge(compute); },
+      kern::CycleClass::kGuest);
 }
 
 // epfd = epoll_create1(0) -> rbx; epoll_ctl(ADD, listener); prebuild the

@@ -129,7 +129,12 @@ Status Lazypoline::init_task(Task& task, bool install_trampoline) {
   }
 
   // Init-time work (mmap/mprotect/prctl/sigaction calls of a real library).
-  machine_.charge(task, 5 * machine_.costs().raw_nosys_roundtrip());
+  // init_task also runs outside host-frame scopes (install, preload, child
+  // init), so pin the interposer attribution class explicitly.
+  {
+    kern::ScopedCycleClass scope(task, kern::CycleClass::kInterposer);
+    machine_.charge(task, 5 * machine_.costs().raw_nosys_roundtrip());
+  }
 
   // Verified-eager hybrid: patch statically proven-SAFE sites up front so
   // they never take the one-shot SIGSYS path. Runs after the trampoline is
@@ -274,6 +279,8 @@ Status Lazypoline::rewrite_locked(Task& task, std::uint64_t site_addr) {
   assert(!locked);
   locked = true;
   ++stats_.rewrite_lock_acquisitions;
+  // Covers eager/manual rewrites that arrive outside a host-frame scope.
+  kern::ScopedCycleClass scope(task, kern::CycleClass::kInterposer);
   machine_.charge(task, 30);
 
   Status status = Status::ok();

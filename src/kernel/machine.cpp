@@ -15,10 +15,10 @@ Machine::Machine(CostModel costs) : costs_(costs) {}
 // Host function registry
 // ---------------------------------------------------------------------------
 
-std::uint64_t Machine::bind_host(std::string name, HostFn fn) {
+std::uint64_t Machine::bind_host(std::string name, HostFn fn, CycleClass cls) {
   const std::uint64_t addr = next_host_addr_;
   next_host_addr_ += 16;  // host entry points are 16 bytes apart
-  host_fns_.emplace(addr, HostBinding{std::move(name), std::move(fn)});
+  host_fns_.emplace(addr, HostBinding{std::move(name), std::move(fn), cls});
   return addr;
 }
 
@@ -196,6 +196,7 @@ RunStats Machine::run(std::uint64_t max_total_insns) {
       run_slice(*task, slice->max_steps);
     }
     merge_nursery();
+    flush_profile_mirror();
     stats.insns = total_insns_;
     stats.all_exited = live_task_count() == 0;
     return stats;
@@ -220,6 +221,7 @@ RunStats Machine::run(std::uint64_t max_total_insns) {
       any_runnable = true;
     }
   }
+  flush_profile_mirror();
   stats.insns = total_insns_;
   stats.all_exited = live_task_count() == 0 && nursery_.empty();
   return stats;
@@ -287,8 +289,14 @@ bool Machine::block_step(Task& task, const cpu::DecodedBlock& block,
   if (run.retired > 0) {
     if (!smp_active_) total_insns_ += run.retired;
     task.insns_retired += run.retired;
-    charge(task, (run.retired - run.nops) * costs_.insn +
-                     run.nops * costs_.insn_nop);
+    const std::uint64_t batch_cycles = (run.retired - run.nops) * costs_.insn +
+                                       run.nops * costs_.insn_nop;
+    // Site probe first, then the charge: the sink uses the probe to establish
+    // the site/stack context the charge's on_cycles mirror is folded under.
+    if (auto* sink = profile_sink()) {
+      sink->on_guest_block(task, block.start, run.retired, batch_cycles);
+    }
+    charge(task, batch_cycles);
   }
 
   // The block's exit reproduces exactly what step_once would have done for
@@ -300,7 +308,6 @@ bool Machine::block_step(Task& task, const cpu::DecodedBlock& block,
       syscall_entry_from_sim(task);
       return task.runnable();
     case cpu::ExecKind::kHostCall: {
-      charge(task, costs_.insn + costs_.host_glue);
       const std::uint64_t addr =
           kHostRegionBase + 16 * static_cast<std::uint64_t>(run.last->imm);
       HostBinding* binding = find_host_binding(addr);
@@ -308,6 +315,11 @@ bool Machine::block_step(Task& task, const cpu::DecodedBlock& block,
         kill_process(*task.process, 139, "HOSTCALL to unbound index");
         return false;
       }
+      // The dispatch and the native function charge under the binding's
+      // class: interposer trampolines by default, guest for app harnesses
+      // that model application compute as host code.
+      ScopedCycleClass scope(task, binding->cls, addr);
+      charge(task, costs_.insn + costs_.host_glue);
       HostFrame frame{*this, task, task.ctx};
       binding->fn(frame);
       return task.runnable();
@@ -373,8 +385,9 @@ bool Machine::step_once(Task& task, std::uint64_t& steps) {
                    "jump to unbound host address " + std::to_string(task.ctx.rip));
       return false;
     }
-    charge(task, costs_.host_glue);
     const std::uint64_t entry_rip = task.ctx.rip;
+    ScopedCycleClass scope(task, binding->cls, entry_rip);
+    charge(task, costs_.host_glue);
     HostFrame frame{*this, task, task.ctx};
     binding->fn(frame);
     if (!task.runnable()) return false;
@@ -390,10 +403,23 @@ bool Machine::step_once(Task& task, std::uint64_t& steps) {
                 decode_cache_enabled ? &task.dcache : nullptr, &task.dtlb);
   switch (result.kind) {
     case cpu::ExecKind::kContinue:
-    case cpu::ExecKind::kSyscall:
-      charge(task, result.insn && result.insn->op == isa::Op::kNop
-                       ? costs_.insn_nop
-                       : costs_.insn);
+    case cpu::ExecKind::kSyscall: {
+      const std::uint64_t insn_cycles =
+          result.insn && result.insn->op == isa::Op::kNop ? costs_.insn_nop
+                                                          : costs_.insn;
+      // Site probe before the charge (see block_step). Sampled at the
+      // sink's period: cycles accumulate per task and the every-Nth probe
+      // carries the whole batch, so site-map sums stay exact while the
+      // virtual call amortizes (the sink's step-engine overhead knob).
+      if (auto* sink = profile_sink()) {
+        task.insn_probe_cycles += insn_cycles;
+        if (++task.insn_probe_count >= profile_step_period_) {
+          sink->on_guest_insn(task, result.insn_addr, task.insn_probe_cycles);
+          task.insn_probe_cycles = 0;
+          task.insn_probe_count = 0;
+        }
+      }
+      charge(task, insn_cycles);
       if (!smp_active_) ++total_insns_;
       ++task.insns_retired;
       if (!insn_observers_.empty() && result.insn) {
@@ -401,11 +427,11 @@ bool Machine::step_once(Task& task, std::uint64_t& steps) {
       }
       if (result.kind == cpu::ExecKind::kSyscall) syscall_entry_from_sim(task);
       return task.runnable();
+    }
     case cpu::ExecKind::kHostCall: {
       // A HOSTCALL instruction in simulated code: dispatch to the bound
       // native function (rip is already past the instruction; the function
       // may redirect it, e.g. the trampoline's entry performing RET).
-      charge(task, costs_.insn + costs_.host_glue);
       const std::uint64_t addr =
           kHostRegionBase + 16 * static_cast<std::uint64_t>(result.insn->imm);
       HostBinding* binding = find_host_binding(addr);
@@ -413,6 +439,8 @@ bool Machine::step_once(Task& task, std::uint64_t& steps) {
         kill_process(*task.process, 139, "HOSTCALL to unbound index");
         return false;
       }
+      ScopedCycleClass scope(task, binding->cls, addr);
+      charge(task, costs_.insn + costs_.host_glue);
       HostFrame frame{*this, task, task.ctx};
       binding->fn(frame);
       return task.runnable();
@@ -457,6 +485,10 @@ bool Machine::step_once(Task& task, std::uint64_t& steps) {
 
 void Machine::syscall_entry_from_sim(Task& task) {
   ++task.syscalls_entered;
+  const std::uint64_t entry_nr = task.ctx.syscall_number();
+  // Kernel-class scope for the whole entry path; SIGSYS-style interception
+  // re-enters interposer scopes from inside it (nesting restores correctly).
+  ScopedCycleClass scope(task, CycleClass::kKernel, entry_nr);
   charge(task, costs_.kernel_entry);
 
   const std::uint64_t nr = task.ctx.syscall_number();
@@ -498,6 +530,9 @@ std::uint64_t Machine::syscall_from_host(Task& task, std::uint64_t nr,
                                          const std::array<std::uint64_t, 6>& args,
                                          std::uint64_t host_ip) {
   ++task.syscalls_entered;
+  // A host interposer performing a syscall: kernel-class work nested inside
+  // the caller's interposer scope.
+  ScopedCycleClass scope(task, CycleClass::kKernel, nr);
   charge(task, costs_.kernel_entry);
 
   std::uint64_t forced_rax = errno_result(kENOSYS);
@@ -512,6 +547,7 @@ std::uint64_t Machine::syscall_from_host(Task& task, std::uint64_t nr,
 
 std::uint64_t Machine::supervised_dispatch(Task& task, std::uint64_t nr,
                                            const std::array<std::uint64_t, 6>& args) {
+  ScopedCycleClass scope(task, CycleClass::kKernel, nr);
   charge(task, costs_.kernel_entry);
   const std::uint64_t result = dispatch(task, nr, args, SyscallOrigin::kHostCode);
   charge(task, costs_.kernel_exit);
@@ -534,11 +570,15 @@ bool Machine::intercept(Task& task, std::uint64_t nr,
   if (task.ptraced) {
     auto it = tracers_.find(task.tid);
     if (it != tracers_.end() && it->second.on_syscall_entry) {
+      // The tracer round trip is interposer work: context switches into the
+      // host tracer, per-stop ptrace requests, and the tracer's own code.
+      ScopedCycleClass scope(task, CycleClass::kInterposer, kDetailPtraceStop);
       charge(task, 2 * costs_.context_switch +
                        costs_.ptrace_requests_per_stop * costs_.ptrace_request);
       it->second.on_syscall_entry(task, task.ctx);
     }
     if (it != tracers_.end() && it->second.on_syscall_suppress) {
+      ScopedCycleClass scope(task, CycleClass::kInterposer, kDetailPtraceStop);
       std::uint64_t forced = errno_result(kENOSYS);
       if (it->second.on_syscall_suppress(task, task.ctx, nr, args, &forced)) {
         // The tracer rewrote orig_rax to -1: the kernel skips execution and
@@ -615,7 +655,9 @@ bool Machine::intercept(Task& task, std::uint64_t nr,
     }
     if (base == bpf::SECCOMP_RET_USER_NOTIF) {
       if (user_notif_) {
-        // Supervisor round trip: two context switches plus handling.
+        // Supervisor round trip: two context switches plus handling. The
+        // supervisor is interposer-runtime work, not kernel dispatch.
+        ScopedCycleClass scope(task, CycleClass::kInterposer, kDetailUserNotif);
         charge(task, 2 * costs_.context_switch);
         *forced_rax = user_notif_(task, nr, args);
         return false;
@@ -677,6 +719,7 @@ std::uint64_t Machine::dispatch(Task& task, std::uint64_t nr,
   if (task.runnable() && task.ptraced) {
     auto it = tracers_.find(task.tid);
     if (it != tracers_.end() && it->second.on_syscall_exit) {
+      ScopedCycleClass scope(task, CycleClass::kInterposer, kDetailPtraceStop);
       charge(task, 2 * costs_.context_switch +
                        costs_.ptrace_requests_per_stop * costs_.ptrace_request);
       it->second.on_syscall_exit(task, task.ctx, nr, args, result);
@@ -696,6 +739,47 @@ void Machine::charge(Task& task, std::uint64_t cycles) noexcept {
   // every barrier. Writes from multiple lanes would race; per-task sums are
   // the ground truth either way.
   if (!smp_active_) total_cycles_ += cycles;
+  // Every charged cycle is mirrored to the profiling sink — this is what
+  // makes a profiler's per-class sums equal total_cycles() exactly. Runs of
+  // charges sharing one (class, detail) attribution are coalesced into one
+  // on_cycles call (a modeled syscall is many small charges under the same
+  // attribution), so the per-charge mirror cost is two compares and an add.
+  // Flushed on attribution change here and at every run-loop exit.
+  auto* sink = profile_sink();
+  if (sink == nullptr) return;
+  // Same attribution epoch as the pending run: one compare, one add. (The
+  // epoch bumps on every ScopedCycleClass boundary, so equal epochs imply
+  // equal class and detail — all attribution writes go through that scope.)
+  if (task.pending_epoch == task.attr_epoch && task.pending_cycles != 0) {
+    task.pending_cycles += cycles;
+    return;
+  }
+  if (task.pending_cycles != 0 && (task.pending_cls != task.cycle_class ||
+                                   task.pending_detail != task.cycle_detail)) {
+    sink->on_cycles(task, task.pending_cls, task.pending_detail,
+                    task.pending_cycles);
+    task.pending_cycles = 0;
+  }
+  task.pending_cls = task.cycle_class;
+  task.pending_detail = task.cycle_detail;
+  task.pending_epoch = task.attr_epoch;
+  task.pending_cycles += cycles;
+  task.pending_rbp = task.ctx.reg(isa::Gpr::rbp);
+}
+
+void Machine::flush_profile(Task& task) noexcept {
+  if (task.pending_cycles == 0) return;
+  if (auto* sink = profile_sink()) {
+    sink->on_cycles(task, task.pending_cls, task.pending_detail,
+                    task.pending_cycles);
+  }
+  task.pending_cycles = 0;
+}
+
+void Machine::flush_profile_mirror() noexcept {
+  if (profile_sink_ == nullptr) return;
+  for (auto& [tid, task] : tasks_) flush_profile(*task);
+  for (auto& task : nursery_) flush_profile(*task);
 }
 
 cpu::DecodeCacheStats Machine::decode_cache_totals() const {

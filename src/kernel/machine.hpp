@@ -22,6 +22,7 @@
 #include "isa/assemble.hpp"
 #include "kernel/costs.hpp"
 #include "kernel/net.hpp"
+#include "kernel/profile_sink.hpp"
 #include "kernel/smp.hpp"
 #include "kernel/syscalls.hpp"
 #include "kernel/task.hpp"
@@ -121,7 +122,12 @@ class Machine {
   [[nodiscard]] cpu::DataTlbStats data_tlb_totals() const;
 
   // --- host function registry ---------------------------------------------
-  std::uint64_t bind_host(std::string name, HostFn fn);
+  // `cls` is the cycle-attribution class charges take while the bound
+  // function runs (kernel/profile_sink.hpp). Interposer runtimes use the
+  // default; app harnesses modeling *application* compute as host code
+  // (webserver work loop, jitcc compile) bind with CycleClass::kGuest.
+  std::uint64_t bind_host(std::string name, HostFn fn,
+                          CycleClass cls = CycleClass::kInterposer);
   [[nodiscard]] bool is_host_addr(std::uint64_t addr) const noexcept;
   [[nodiscard]] std::string host_name(std::uint64_t addr) const;
   static constexpr std::uint64_t kHostRegionBase = 0xFFFF'8000'0000'0000ULL;
@@ -276,6 +282,31 @@ class Machine {
   void set_trace_sink(TraceSink* sink) noexcept { trace_sink_ = sink; }
 #endif
 
+  // --- profiling probe (kernel/profile_sink.hpp) -------------------------------
+  // The cycle-attribution sink: every charge() is mirrored to it with the
+  // task's current CycleClass, and the execution engines report guest
+  // retirement sites (per block / per instruction). One sink at a time, not
+  // owned; a disabled sink is filtered here exactly like the trace sink.
+  // Probes never charge cycles — attaching one leaves every counter
+  // bit-identical.
+  [[nodiscard]] ProfileSink* profile_sink() const noexcept {
+    return (profile_sink_ != nullptr && profile_sink_->enabled())
+               ? profile_sink_
+               : nullptr;
+  }
+  void set_profile_sink(ProfileSink* sink) noexcept {
+    flush_profile_mirror();  // pending cycles belong to the outgoing sink
+    profile_sink_ = sink;
+    profile_step_period_ =
+        sink != nullptr ? std::max<std::uint64_t>(1, sink->step_sample_period())
+                        : 1;
+  }
+  // Delivers every task's coalesced pending charges to the sink (see
+  // charge()). Called at run-loop exit; a sink's result accessors call it
+  // too, so per-class sums match total_cycles() however the machine was
+  // driven.
+  void flush_profile_mirror() noexcept;
+
   // The machine-owned deterministic entropy stream: every kernel-side random
   // draw (sys_getrandom) comes from here, so "nondeterminism" is a seeded,
   // recordable input rather than ambient host state.
@@ -327,6 +358,9 @@ class Machine {
 
  private:
   friend struct HostFrame;
+
+  // Flushes one task's coalesced profile-mirror charges (charge()).
+  void flush_profile(Task& task) noexcept;
 
   // One scheduling step: host call or one instruction. Returns false when
   // the task can no longer run. `steps` is the step counter this execution
@@ -395,6 +429,7 @@ class Machine {
   struct HostBinding {
     std::string name;
     HostFn fn;
+    CycleClass cls = CycleClass::kInterposer;
   };
   std::map<std::uint64_t, HostBinding> host_fns_;
   std::uint64_t next_host_addr_ = kHostRegionBase;
@@ -447,6 +482,12 @@ class Machine {
   // Last tid handed a slice by run(), for task-switch trace events.
   Tid last_sliced_tid_ = 0;
 #endif
+  // Cycle-attribution sink (see profile_sink() above). Written only while no
+  // run is active; SMP lanes read the invariant pointer lock-free.
+  ProfileSink* profile_sink_ = nullptr;
+  // Cached sink->step_sample_period() (>= 1), read per retired instruction
+  // under the step engine.
+  std::uint64_t profile_step_period_ = 1;
   // Installs the decode- and block-cache invalidation probes on a freshly
   // created task.
   void attach_dcache_probe(Task& task);

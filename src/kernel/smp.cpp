@@ -265,6 +265,10 @@ SmpStats Machine::run_smp(const SmpConfig& config,
   std::vector<Lane> lanes(cpus);
 
   const std::uint64_t deadline = total_steps_ + max_total_steps;
+  // Previous-barrier lane counters, so each timeline sample carries this
+  // round's per-CPU deltas rather than running totals.
+  std::vector<std::uint64_t> prev_steps(cpus, 0);
+  std::vector<std::uint64_t> prev_slices(cpus, 0);
   smp_active_ = true;
   while (total_steps_ < deadline) {
     bool any_runnable = false;
@@ -385,12 +389,39 @@ SmpStats Machine::run_smp(const SmpConfig& config,
     for (auto& queue : queues) {
       std::erase_if(queue, [](const Task* task) { return !task->runnable(); });
     }
+
+    // Telemetry sample for this barrier round — serial phase, so it is a
+    // deterministic function of the schedule. Queue depths are taken after
+    // placement/rebalance/prune: what the next parallel phase starts with.
+    if (out.timeline.size() < SmpStats::kMaxTimelineSamples) {
+      SmpBarrierSample sample;
+      sample.round = out.barriers - 1;
+      sample.total_insns = total_insns_;
+      sample.total_cycles = total_cycles_;
+      sample.steals = out.steals;
+      sample.shootdowns = out.shootdowns;
+      sample.mailbox_signals = out.mailbox_signals;
+      sample.cpu_steps.resize(cpus);
+      sample.cpu_slices.resize(cpus);
+      sample.run_queue.resize(cpus);
+      for (unsigned c = 0; c < cpus; ++c) {
+        sample.cpu_steps[c] = lanes[c].steps - prev_steps[c];
+        sample.cpu_slices[c] = lanes[c].slices - prev_slices[c];
+        sample.run_queue[c] = queues[c].size();
+        prev_steps[c] = lanes[c].steps;
+        prev_slices[c] = lanes[c].slices;
+      }
+      out.timeline.push_back(std::move(sample));
+    } else {
+      out.timeline_truncated = true;
+    }
   }
   smp_active_ = false;
 
   // Final reconciliation covers the last partial round.
   merge_nursery();
   reconcile_counters();
+  flush_profile_mirror();
   {
     std::uint64_t lane_steps = 0;
     for (const Lane& lane : lanes) lane_steps += lane.steps;

@@ -58,6 +58,23 @@ struct CpuStats {
   std::uint64_t tasks = 0;   // tasks resident at the final barrier
 };
 
+// One barrier round's scheduler snapshot, taken in the serial phase (so it
+// is deterministic under gang placement). Per-CPU values are deltas for the
+// parallel phase that just finished; queue depths are post-rebalance, i.e.
+// what the *next* parallel phase starts with. The exporter turns these into
+// Perfetto counter tracks and a per-round span timeline.
+struct SmpBarrierSample {
+  std::uint64_t round = 0;            // barrier index, 0-based
+  std::uint64_t total_insns = 0;      // machine-wide insns at the barrier
+  std::uint64_t total_cycles = 0;     // machine-wide cycles at the barrier
+  std::uint64_t steals = 0;           // cumulative
+  std::uint64_t shootdowns = 0;       // cumulative
+  std::uint64_t mailbox_signals = 0;  // cumulative
+  std::vector<std::uint64_t> cpu_steps;   // this round's steps per CPU
+  std::vector<std::uint64_t> cpu_slices;  // this round's slices per CPU
+  std::vector<std::uint64_t> run_queue;   // post-rebalance depth per CPU
+};
+
 struct SmpStats {
   std::uint64_t insns = 0;  // total_insns() at the end of the run
   bool all_exited = false;
@@ -69,6 +86,12 @@ struct SmpStats {
   // Every placement decision made during the run: (tid, cpu), in decision
   // order. The determinism suite compares this across runs.
   std::vector<std::pair<Tid, unsigned>> placement;
+  // Per-barrier-round telemetry (capped at kMaxTimelineSamples rounds so a
+  // long run cannot grow it unboundedly; the cap drops the tail, and
+  // timeline_truncated records that it happened).
+  static constexpr std::size_t kMaxTimelineSamples = 65536;
+  std::vector<SmpBarrierSample> timeline;
+  bool timeline_truncated = false;
 };
 
 }  // namespace lzp::kern

@@ -18,6 +18,7 @@
 #include "cpu/context.hpp"
 #include "cpu/data_tlb.hpp"
 #include "cpu/decode_cache.hpp"
+#include "kernel/profile_sink.hpp"
 #include "kernel/signals.hpp"
 #include "memory/address_space.hpp"
 
@@ -144,6 +145,39 @@ struct Task {
   std::uint64_t smp_seen_code_gen = 0;
   std::uint64_t smp_seen_layout_gen = 0;
 
+  // --- cycle attribution (kernel/profile_sink.hpp) --------------------------
+  // Class every Machine::charge() against this task is attributed to, plus a
+  // qualifier (syscall nr / host address / sentinel — see kDetail*). Scoped
+  // via ScopedCycleClass; per task so SMP lanes never share attribution
+  // state. Pure observability: no kernel path reads these.
+  CycleClass cycle_class = CycleClass::kGuest;
+  std::uint64_t cycle_detail = kDetailNone;
+  // Bumped by every attribution change (ScopedCycleClass enter/exit), so
+  // charge() can detect "same attribution as the previous charge" with one
+  // integer compare instead of comparing class and detail.
+  std::uint64_t attr_epoch = 0;
+  // Profile-mirror coalescing (Machine::charge): cycles charged under one
+  // (class, detail) attribution accumulate here and reach the sink as a
+  // single on_cycles call when the attribution changes or the run loop
+  // exits. Per task, so SMP lanes — which only ever charge their own tasks —
+  // never share mirror state.
+  CycleClass pending_cls = CycleClass::kGuest;
+  std::uint64_t pending_detail = kDetailNone;
+  std::uint64_t pending_epoch = ~0ULL;  // attr_epoch the pending run was under
+  std::uint64_t pending_cycles = 0;
+  // Guest %rbp at the run's first charge: the frame-walk context the cycles
+  // were charged under. A non-guest run's coalesced on_cycles call fires at
+  // the first charge of the *next* attribution — possibly a guest
+  // instruction later, by which time the frame chain may already be torn
+  // down — so sinks fold non-guest runs under this snapshot. (Plain-guest
+  // runs flush before any register moves; their live ctx is the context.)
+  std::uint64_t pending_rbp = 0;
+  // Step-engine site-probe batching (see step_once): cycles accumulate here
+  // and every Nth retired instruction carries the batch to on_guest_insn,
+  // N = the sink's step_sample_period().
+  std::uint64_t insn_probe_cycles = 0;
+  std::uint64_t insn_probe_count = 0;
+
   // Accounting.
   std::uint64_t cycles = 0;
   std::uint64_t insns_retired = 0;
@@ -155,6 +189,35 @@ struct Task {
   [[nodiscard]] bool runnable() const noexcept {
     return state == TaskState::kRunnable;
   }
+};
+
+// RAII attribution scope: charges against `task` between construction and
+// destruction are attributed to `cls` (qualified by `detail`). Scopes nest —
+// e.g. a host interposer handler (kInterposer) performing a syscall enters a
+// kKernel scope, and charges inside it correctly belong to the kernel.
+class ScopedCycleClass {
+ public:
+  ScopedCycleClass(Task& task, CycleClass cls,
+                   std::uint64_t detail = kDetailNone) noexcept
+      : task_(task),
+        prev_class_(task.cycle_class),
+        prev_detail_(task.cycle_detail) {
+    task.cycle_class = cls;
+    task.cycle_detail = detail;
+    ++task.attr_epoch;
+  }
+  ~ScopedCycleClass() {
+    task_.cycle_class = prev_class_;
+    task_.cycle_detail = prev_detail_;
+    ++task_.attr_epoch;
+  }
+  ScopedCycleClass(const ScopedCycleClass&) = delete;
+  ScopedCycleClass& operator=(const ScopedCycleClass&) = delete;
+
+ private:
+  Task& task_;
+  CycleClass prev_class_;
+  std::uint64_t prev_detail_;
 };
 
 }  // namespace lzp::kern

@@ -185,6 +185,8 @@ std::uint64_t Recorder::handle(interpose::InterposeContext& ctx) {
   std::uint64_t captured_bytes = 0;
   for (const auto& patch : event.patches) captured_bytes += patch.bytes.size();
   const auto& costs = ctx.machine().costs();
+  kern::ScopedCycleClass scope(ctx.task(), kern::CycleClass::kDecorator,
+                               kern::kDetailRecorder);
   ctx.machine().charge(ctx.task(),
                        costs.record_event +
                            (captured_bytes + 7) / 8 * costs.record_capture_qword);

@@ -1,5 +1,6 @@
 #include "trace/export.hpp"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -80,12 +81,75 @@ std::string instant_args(const Event& event) {
   return args.render();
 }
 
-}  // namespace
+// One Perfetto counter-track sample: "ph":"C" with the value in args. Tracks
+// are keyed by (pid, name); successive samples draw the counter's area chart.
+std::string counter_event(std::string_view name, std::uint64_t pid,
+                          std::uint64_t ts, double value) {
+  JsonObject obj;
+  obj.add("name", name).add("ph", "C").add("ts", ts).add("pid", pid);
+  obj.add_raw("args", JsonObject().add("value", value).render());
+  return obj.render();
+}
 
-std::string export_chrome_json(const FlightRecorder& ring,
-                               std::uint64_t dropped) {
-  std::vector<std::string> events;
-  events.reserve(ring.size());
+// Appends the SMP scheduler telemetry events for one finished run_smp.
+void append_smp_events(const kern::SmpStats& smp,
+                       std::vector<std::string>& events) {
+  constexpr std::uint64_t kSchedulerPid = 0;
+  std::uint64_t prev_cycles = 0;
+  for (const kern::SmpBarrierSample& sample : smp.timeline) {
+    const std::uint64_t ts = sample.total_cycles;
+    // Per-barrier-round span on the scheduler lane.
+    {
+      JsonObject obj;
+      obj.add("name", "barrier round " + std::to_string(sample.round))
+          .add("cat", "smp")
+          .add("ph", "X")
+          .add("ts", prev_cycles)
+          .add("dur", ts - prev_cycles)
+          .add("pid", kSchedulerPid)
+          .add("tid", static_cast<std::uint64_t>(0));
+      JsonObject args;
+      args.add("round", sample.round)
+          .add("insns", sample.total_insns)
+          .add("steals", sample.steals)
+          .add("shootdowns", sample.shootdowns)
+          .add("mailbox_signals", sample.mailbox_signals);
+      obj.add_raw("args", args.render());
+      events.push_back(obj.render());
+    }
+    prev_cycles = ts;
+
+    // Scheduler-global cumulative counters.
+    events.push_back(counter_event("smp.steals", kSchedulerPid, ts,
+                                   static_cast<double>(sample.steals)));
+    events.push_back(counter_event("smp.shootdowns", kSchedulerPid, ts,
+                                   static_cast<double>(sample.shootdowns)));
+    events.push_back(counter_event("smp.mailbox_signals", kSchedulerPid, ts,
+                                   static_cast<double>(sample.mailbox_signals)));
+
+    // Per-CPU tracks on the CPU's own lane (pid = cpu + 1, matching the
+    // syscall spans). Utilization is the CPU's share of the busiest lane's
+    // steps this round — 100% means it kept pace with the hottest CPU.
+    std::uint64_t busiest = 1;
+    for (std::uint64_t steps : sample.cpu_steps) {
+      busiest = std::max(busiest, steps);
+    }
+    for (std::size_t c = 0; c < sample.cpu_steps.size(); ++c) {
+      const std::uint64_t pid = c + 1;
+      events.push_back(counter_event("cpu.steps", pid, ts,
+                                     static_cast<double>(sample.cpu_steps[c])));
+      events.push_back(counter_event(
+          "cpu.utilization", pid, ts,
+          100.0 * static_cast<double>(sample.cpu_steps[c]) /
+              static_cast<double>(busiest)));
+      events.push_back(counter_event("cpu.run_queue", pid, ts,
+                                     static_cast<double>(sample.run_queue[c])));
+    }
+  }
+}
+
+void append_ring_events(const FlightRecorder& ring,
+                        std::vector<std::string>& events) {
   for (std::size_t i = 0; i < ring.size(); ++i) {
     const Event& event = ring.at(i);
     JsonObject obj;
@@ -121,7 +185,10 @@ std::string export_chrome_json(const FlightRecorder& ring,
     }
     events.push_back(obj.render());
   }
+}
 
+std::string render_trace_root(const std::vector<std::string>& events,
+                              std::uint64_t dropped) {
   JsonObject root;
   root.add_raw("traceEvents", metrics::json_array(events));
   root.add("displayTimeUnit", "ns");
@@ -132,8 +199,33 @@ std::string export_chrome_json(const FlightRecorder& ring,
   return root.render();
 }
 
+}  // namespace
+
+std::string export_chrome_json(const FlightRecorder& ring,
+                               std::uint64_t dropped) {
+  std::vector<std::string> events;
+  events.reserve(ring.size());
+  append_ring_events(ring, events);
+  return render_trace_root(events, dropped);
+}
+
+std::string export_chrome_json(const FlightRecorder& ring,
+                               std::uint64_t dropped,
+                               const kern::SmpStats& smp) {
+  std::vector<std::string> events;
+  events.reserve(ring.size() + 16 * smp.timeline.size());
+  append_ring_events(ring, events);
+  append_smp_events(smp, events);
+  return render_trace_root(events, dropped);
+}
+
 std::string export_chrome_json(const Tracer& tracer) {
   return export_chrome_json(tracer.ring(), tracer.ring().dropped());
+}
+
+std::string export_chrome_json(const Tracer& tracer,
+                               const kern::SmpStats& smp) {
+  return export_chrome_json(tracer.ring(), tracer.ring().dropped(), smp);
 }
 
 std::string render_summary(const MetricsRegistry& registry,
@@ -188,8 +280,8 @@ std::string render_summary(const MetricsRegistry& registry,
   }
 
   out += "\n== interposition latency (cycles) ==\n";
-  metrics::Table table(
-      {"syscall", "mechanism", "count", "mean", "stddev", "p-bucket"});
+  metrics::Table table({"syscall", "mechanism", "count", "mean", "stddev",
+                        "p50", "p95", "p99", "p-bucket"});
   for (const auto& [key, hist] : registry.histograms()) {
     // The widest populated log2 bucket: "[512, 1024)" style.
     std::size_t top = 0;
@@ -202,6 +294,9 @@ std::string render_summary(const MetricsRegistry& registry,
                    std::to_string(hist.total()),
                    format_double(hist.stats.mean(), 1),
                    format_double(hist.stats.stddev(), 1),
+                   format_double(hist.quantile(0.50), 0),
+                   format_double(hist.quantile(0.95), 0),
+                   format_double(hist.quantile(0.99), 0),
                    "[" + std::to_string(lo) + ", " +
                        std::to_string(1ULL << (top + 1)) + ")"});
   }

@@ -15,6 +15,7 @@
 
 #include <string>
 
+#include "kernel/smp.hpp"
 #include "trace/flight_recorder.hpp"
 #include "trace/metrics_registry.hpp"
 #include "trace/tracer.hpp"
@@ -23,12 +24,23 @@ namespace lzp::trace {
 
 // Chrome trace-event / Perfetto JSON for the ring's surviving events.
 // `dropped` events (ring overflow) are recorded in the top-level metadata.
+// The SmpStats overloads additionally emit the scheduler telemetry: "C"
+// (counter-track) events — per-CPU step throughput / utilization / run-queue
+// depth on each CPU's lane (pid = cpu + 1), cumulative steal / shootdown /
+// mailbox counters on the scheduler lane (pid 0) — plus one "X" span per
+// barrier round on pid 0, all stamped with the barrier's simulated-cycle
+// clock so they align with the syscall spans.
 [[nodiscard]] std::string export_chrome_json(const FlightRecorder& ring,
                                              std::uint64_t dropped);
+[[nodiscard]] std::string export_chrome_json(const FlightRecorder& ring,
+                                             std::uint64_t dropped,
+                                             const kern::SmpStats& smp);
 [[nodiscard]] std::string export_chrome_json(const Tracer& tracer);
+[[nodiscard]] std::string export_chrome_json(const Tracer& tracer,
+                                             const kern::SmpStats& smp);
 
 // Human-readable rollup: counter table plus a per-(syscall, mechanism)
-// latency table with count/mean/stddev/min-bucket/max-bucket columns.
+// latency table with count/mean/stddev/quantile/max-bucket columns.
 [[nodiscard]] std::string render_summary(const MetricsRegistry& metrics,
                                          const FlightRecorder& ring);
 [[nodiscard]] std::string render_summary(const Tracer& tracer);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/stats.hpp"
+#include "kernel/smp.hpp"
 #include "kernel/trace_sink.hpp"
 
 namespace lzp::trace {
@@ -42,6 +43,32 @@ struct LatencyHistogram {
     std::uint64_t sum = 0;
     for (std::uint64_t b : buckets) sum += b;
     return sum;
+  }
+
+  // Quantile estimate from the log2 buckets: find the bucket holding the
+  // q-th sample, then interpolate linearly across the bucket's [2^i, 2^(i+1))
+  // span by the sample's rank within the bucket. Exact to within one bucket
+  // width — plenty for p50/p95/p99 tails spanning orders of magnitude.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    const std::uint64_t n = total();
+    if (n == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target sample, 1-based (q=0 -> first, q=1 -> last).
+    const double rank = 1.0 + q * static_cast<double>(n - 1);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      const double in_bucket = static_cast<double>(buckets[i]);
+      if (rank <= seen + in_bucket) {
+        const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+        const double width = i == 0 ? 2.0 : lo;  // bucket 0 holds {0, 1}
+        const double frac = (rank - seen) / in_bucket;
+        return lo + frac * width;
+      }
+      seen += in_bucket;
+    }
+    return static_cast<double>(1ULL << (kNumBuckets - 1));
   }
 };
 
@@ -109,5 +136,26 @@ class MetricsRegistry {
   std::map<std::string, std::uint64_t> counters_;
   std::map<Key, LatencyHistogram> histograms_;
 };
+
+// Folds a finished run_smp()'s scheduler statistics into registry counters
+// under the "smp." prefix — the bridge that makes the scheduler's steal /
+// barrier / shootdown / mailbox accounting visible through the same counter
+// surface as everything else (fig5_webservers prints it, BENCH_smp.json
+// carries it). Header-only so binaries that only want counters need not link
+// the tracer.
+inline void record_smp_stats(MetricsRegistry& metrics,
+                             const kern::SmpStats& smp) {
+  metrics.bump("smp.barriers", smp.barriers);
+  metrics.bump("smp.steals", smp.steals);
+  metrics.bump("smp.shootdowns", smp.shootdowns);
+  metrics.bump("smp.mailbox_signals", smp.mailbox_signals);
+  metrics.bump("smp.placements", smp.placement.size());
+  for (std::size_t cpu = 0; cpu < smp.cpus.size(); ++cpu) {
+    const std::string prefix = "smp.cpu" + std::to_string(cpu);
+    metrics.bump(prefix + ".steps", smp.cpus[cpu].steps);
+    metrics.bump(prefix + ".slices", smp.cpus[cpu].slices);
+    metrics.bump(prefix + ".tasks", smp.cpus[cpu].tasks);
+  }
+}
 
 }  // namespace lzp::trace

@@ -64,6 +64,9 @@ Status ZpolineMechanism::rewrite_site(kern::Machine& machine, kern::Task& task,
   if (!old_prot.has_value()) {
     return make_error(StatusCode::kNotFound, "rewrite: unmapped site");
   }
+  // Rewrites also run at install/eager-patch time, outside any host-frame
+  // dispatch scope, so pin the attribution class here.
+  kern::ScopedCycleClass scope(task, kern::CycleClass::kInterposer);
   machine.charge(task, 2 * machine.costs().raw_nosys_roundtrip() +
                            2 * machine.costs().mmap_page);
   LZP_RETURN_IF_ERROR(
