@@ -1,22 +1,36 @@
-// Superblock-engine throughput gate.
+// Superblock + trace engine throughput gates.
 //
-// Every workload here runs twice on otherwise-identical machines, differing
-// only in `block_exec_enabled`: the per-instruction reference path (decode
-// cache on — the baseline the speedup is measured against) vs the superblock
-// engine. Two claims are enforced:
+// Every workload here runs on otherwise-identical machines differing only in
+// the execution engine configuration:
+//   reference — per-instruction stepping (decode cache on), the baseline;
+//   block     — the superblock engine (block_exec_enabled);
+//   trace     — superblocks chained into traces (trace_exec_enabled), with
+//               the fused interposer fast path and the all-nop sled superop.
+// Three claims are enforced:
 //   (1) determinism — simulated cycles, retired instructions, machine steps
-//       and exit codes are bit-identical between the two configurations, for
-//       the straight-line workload and for each interposition mechanism's
-//       micro loop (native / SUD / zpoline / lazypoline);
-//   (2) throughput — the engine runs the straight-line workload at least
-//       kSpeedupGate x faster in host wall time (min-of-N to shed scheduler
-//       noise).
+//       and exit codes are bit-identical across all three configurations,
+//       for the straight-line workload, each interposition mechanism's micro
+//       loop (native / SUD / zpoline / lazypoline), and the Figure-5
+//       webserver under the same four mechanisms;
+//   (2) block throughput — the superblock engine runs the straight-line
+//       workload at least kBlockGate x faster than reference in host wall
+//       time (min-of-N to shed scheduler noise);
+//   (3) trace throughput — the trace engine runs the syscall-intensive
+//       webserver at least kTraceGate x faster than the block engine under
+//       zpoline and lazypoline, where each interposed syscall walks the
+//       VA-0 nop sled that the trace engine executes as an O(1) superop.
+// A fourth regression gate holds the SUD selector/stub page split: SUD must
+// not invalidate cached blocks any more than zpoline does (the selector byte
+// used to share the executable stub page, so every flip was an SMC event).
 // Results land in BENCH_block_exec.json for scripts/check.sh.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "apps/webserver.hpp"
 #include "base/strings.hpp"
 #include "bench_util.hpp"
 #include "metrics/report.hpp"
@@ -27,8 +41,28 @@ using namespace lzp;
 constexpr std::uint64_t kStraightLineIters = 20'000;
 constexpr int kUnroll = 24;  // arithmetic ops per loop body → long blocks
 constexpr std::uint64_t kMicroIters = 2'000;
+constexpr std::uint64_t kWebRequests = 2'400;
+constexpr std::uint64_t kWebFileSize = 4'096;
 constexpr int kReps = 7;
-constexpr double kSpeedupGate = 1.5;
+constexpr int kWebReps = 3;
+constexpr double kBlockGate = 1.5;
+constexpr double kTraceGate = 2.0;
+
+constexpr bool kTraceEngineBuilt =
+#ifdef LZP_TRACE_EXEC_DISABLED
+    false;
+#else
+    true;
+#endif
+
+struct EngineCfg {
+  const char* name;
+  bool block;
+  bool trace;
+};
+constexpr EngineCfg kReference{"reference", false, false};
+constexpr EngineCfg kBlock{"block", true, false};
+constexpr EngineCfg kTrace{"trace", true, true};
 
 // The throughput workload: a hot loop whose body is a long straight-line run
 // of arithmetic, so nearly every retired instruction is eligible for batched
@@ -53,22 +87,24 @@ isa::Program make_straight_line(std::uint64_t iterations) {
 }
 
 struct RunResult {
-  double wall_ms = 1e18;  // min over kReps
+  double wall_ms = 1e18;  // min over reps
   std::uint64_t cycles = 0;
   std::uint64_t insns = 0;
   std::uint64_t steps = 0;
   int exit_code = -1;
   cpu::BlockCacheStats bcache;
   cpu::DataTlbStats dtlb;
+  cpu::TraceCacheStats tcache;
 };
 
-RunResult run_config(const isa::Program& program, bool engine_on,
+RunResult run_config(const isa::Program& program, const EngineCfg& cfg,
                      const bench::Setup& setup) {
   RunResult result;
   for (int rep = 0; rep < kReps; ++rep) {
     kern::Machine machine;
     machine.mmap_min_addr = 0;
-    machine.block_exec_enabled = engine_on;
+    machine.block_exec_enabled = cfg.block;
+    machine.trace_exec_enabled = cfg.trace;
     machine.register_program(program);
     const kern::Tid tid = bench::unwrap(machine.load(program), "load");
     if (setup) setup(machine, tid);
@@ -90,28 +126,114 @@ RunResult run_config(const isa::Program& program, bool engine_on,
     result.exit_code = machine.find_task(tid)->exit_code;
     result.bcache = machine.block_cache_totals();
     result.dtlb = machine.data_tlb_totals();
+    result.tcache = machine.trace_cache_totals();
   }
   return result;
 }
 
-// Dies unless the two configurations agree on every simulated observable.
-void require_identical(const std::string& workload, const RunResult& ref,
-                       const RunResult& block) {
-  if (ref.cycles != block.cycles || ref.insns != block.insns ||
-      ref.steps != block.steps || ref.exit_code != block.exit_code) {
-    std::fprintf(stderr,
-                 "FAIL: %s diverged between engines:\n"
-                 "  reference: cycles=%llu insns=%llu steps=%llu exit=%d\n"
-                 "  block:     cycles=%llu insns=%llu steps=%llu exit=%d\n",
-                 workload.c_str(),
-                 static_cast<unsigned long long>(ref.cycles),
-                 static_cast<unsigned long long>(ref.insns),
-                 static_cast<unsigned long long>(ref.steps), ref.exit_code,
-                 static_cast<unsigned long long>(block.cycles),
-                 static_cast<unsigned long long>(block.insns),
-                 static_cast<unsigned long long>(block.steps),
-                 block.exit_code);
-    std::exit(1);
+// The Figure-5 single-worker webserver: 36 keepalive connections, kRequests
+// requests against a static file — the syscall-intensive macro workload the
+// trace gate is measured on.
+enum class Mech { kBaseline, kSud, kZpoline, kLazypoline };
+
+void install_mech(kern::Machine& machine, kern::Tid tid, Mech mech,
+                  const std::shared_ptr<interpose::DummyHandler>& dummy) {
+  switch (mech) {
+    case Mech::kBaseline:
+      break;
+    case Mech::kSud: {
+      mechanisms::SudMechanism mechanism;
+      bench::check(mechanism.install(machine, tid, dummy), "sud");
+      break;
+    }
+    case Mech::kZpoline: {
+      zpoline::ZpolineMechanism mechanism;
+      bench::check(mechanism.install(machine, tid, dummy), "zpoline");
+      break;
+    }
+    case Mech::kLazypoline: {
+      core::LazypolineConfig config;
+      config.xstate = core::XstateMode::kFull;
+      auto runtime = core::Lazypoline::create(machine, config);
+      bench::check(runtime->install(machine, tid, dummy), "lazypoline");
+      break;
+    }
+  }
+}
+
+RunResult run_webserver(Mech mech, const EngineCfg& cfg) {
+  RunResult result;
+  const apps::ServerProfile& profile = apps::nginx_profile();
+  for (int rep = 0; rep < kWebReps; ++rep) {
+    kern::Machine machine;
+    machine.mmap_min_addr = 0;
+    machine.block_exec_enabled = cfg.block;
+    machine.trace_exec_enabled = cfg.trace;
+    bench::check(machine.vfs().put_file_of_size("index.html", kWebFileSize),
+                 "seed file");
+
+    kern::ClientWorkload workload;
+    workload.connections = 36;
+    workload.total_requests = kWebRequests;
+    workload.response_bytes = profile.header_bytes + kWebFileSize;
+    const int listener = machine.net().create_listener(workload);
+
+    const auto program = bench::unwrap(
+        apps::make_webserver(machine, profile, "index.html"), "build server");
+    machine.register_program(program);
+    const kern::Tid tid = bench::unwrap(machine.load(program), "load worker");
+    kern::FdEntry entry;
+    entry.kind = kern::FdEntry::Kind::kListener;
+    entry.net_id = listener;
+    machine.find_task(tid)->process->install_fd_at(apps::kListenerFd, entry);
+    auto dummy = std::make_shared<interpose::DummyHandler>();
+    install_mech(machine, tid, mech, dummy);
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto stats = machine.run(4'000'000'000ULL);
+    const auto end = std::chrono::steady_clock::now();
+    if (!stats.all_exited) bench::die("server hung: " + machine.last_fatal());
+    if (machine.net().completed_requests(listener) != kWebRequests) {
+      bench::die("dropped requests");
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    result.wall_ms = std::min(result.wall_ms, ms);
+    if (rep > 0 && result.cycles != machine.total_cycles()) {
+      bench::die("simulated cycles varied between repetitions");
+    }
+    result.cycles = machine.total_cycles();
+    result.insns = machine.total_insns();
+    result.steps = machine.total_steps();
+    result.exit_code = machine.find_task(tid)->exit_code;
+    result.bcache = machine.block_cache_totals();
+    result.dtlb = machine.data_tlb_totals();
+    result.tcache = machine.trace_cache_totals();
+  }
+  return result;
+}
+
+// Dies unless every configuration agrees on every simulated observable.
+void require_identical(const std::string& workload,
+                       const std::vector<const RunResult*>& runs) {
+  const RunResult& ref = *runs.front();
+  for (const RunResult* run : runs) {
+    if (ref.cycles != run->cycles || ref.insns != run->insns ||
+        ref.steps != run->steps || ref.exit_code != run->exit_code) {
+      std::fprintf(stderr,
+                   "FAIL: %s diverged between engines:\n"
+                   "  reference: cycles=%llu insns=%llu steps=%llu exit=%d\n"
+                   "  other:     cycles=%llu insns=%llu steps=%llu exit=%d\n",
+                   workload.c_str(),
+                   static_cast<unsigned long long>(ref.cycles),
+                   static_cast<unsigned long long>(ref.insns),
+                   static_cast<unsigned long long>(ref.steps), ref.exit_code,
+                   static_cast<unsigned long long>(run->cycles),
+                   static_cast<unsigned long long>(run->insns),
+                   static_cast<unsigned long long>(run->steps),
+                   run->exit_code);
+      std::exit(1);
+    }
   }
 }
 
@@ -131,7 +253,25 @@ std::string result_json(const std::string& workload, const std::string& config,
       .add("bcache_invalidations", r.bcache.invalidations)
       .add("dtlb_read_hits", r.dtlb.read_hits)
       .add("dtlb_write_hits", r.dtlb.write_hits)
+      .add("tcache_hits", r.tcache.hits)
+      .add("tcache_traces_built", r.tcache.traces_built)
+      .add("tcache_chain_follows", r.tcache.chain_follows)
+      .add("tcache_side_exits", r.tcache.side_exits)
+      .add("tcache_completions", r.tcache.completions)
+      .add("tcache_resumes", r.tcache.resumes)
+      .add("tcache_demotions", r.tcache.demotions)
+      .add("tcache_invalidations", r.tcache.invalidations)
+      .add("tcache_fused_fastpaths", r.tcache.fused_fastpaths)
       .render();
+}
+
+void add_row(metrics::Table& table, const std::string& workload,
+             const EngineCfg& cfg, const RunResult& r, double speedup) {
+  table.add_row({workload, cfg.name, format_double(r.wall_ms, 3),
+                 metrics::ratio(speedup), std::to_string(r.cycles),
+                 std::to_string(r.insns),
+                 std::to_string(r.tcache.chain_follows),
+                 std::to_string(r.tcache.fused_fastpaths)});
 }
 
 }  // namespace
@@ -141,34 +281,34 @@ int main(int argc, char** argv) {
   const std::string json_path = cli.positional_or(0, "BENCH_block_exec.json");
   std::vector<std::string> results;
 
-  // --- straight-line throughput + gate --------------------------------------
+  metrics::Table table({"workload", "config", "wall ms (min)", "speedup",
+                        "sim cycles", "insns", "chains", "fused"});
+
+  // --- straight-line throughput + block gate --------------------------------
   const auto program = make_straight_line(kStraightLineIters);
-  const RunResult ref = run_config(program, /*engine_on=*/false, nullptr);
-  const RunResult blk = run_config(program, /*engine_on=*/true, nullptr);
-  require_identical("straight-line", ref, blk);
-  if (blk.bcache.hits == 0) {
+  const RunResult sl_ref = run_config(program, kReference, nullptr);
+  const RunResult sl_blk = run_config(program, kBlock, nullptr);
+  const RunResult sl_trc = run_config(program, kTrace, nullptr);
+  require_identical("straight-line", {&sl_ref, &sl_blk, &sl_trc});
+  if (sl_blk.bcache.hits == 0) {
     std::fprintf(stderr, "FAIL: engine-on run recorded no block-cache hits\n");
     return 1;
   }
-  const double speedup = ref.wall_ms / blk.wall_ms;
-
-  metrics::Table table(
-      {"workload", "config", "wall ms (min)", "speedup", "sim cycles",
-       "insns", "steps", "bcache hits"});
-  table.add_row({"straight-line", "reference", format_double(ref.wall_ms, 3),
-                 metrics::ratio(1.0), std::to_string(ref.cycles),
-                 std::to_string(ref.insns), std::to_string(ref.steps),
-                 std::to_string(ref.bcache.hits)});
-  table.add_row({"straight-line", "block", format_double(blk.wall_ms, 3),
-                 metrics::ratio(speedup), std::to_string(blk.cycles),
-                 std::to_string(blk.insns), std::to_string(blk.steps),
-                 std::to_string(blk.bcache.hits)});
-  results.push_back(result_json("straight-line", "reference", ref, 1.0));
-  results.push_back(result_json("straight-line", "block", blk, speedup));
+  const double block_speedup = sl_ref.wall_ms / sl_blk.wall_ms;
+  add_row(table, "straight-line", kReference, sl_ref, 1.0);
+  add_row(table, "straight-line", kBlock, sl_blk, block_speedup);
+  add_row(table, "straight-line", kTrace, sl_trc,
+          sl_ref.wall_ms / sl_trc.wall_ms);
+  results.push_back(result_json("straight-line", "reference", sl_ref, 1.0));
+  results.push_back(
+      result_json("straight-line", "block", sl_blk, block_speedup));
+  results.push_back(result_json("straight-line", "trace", sl_trc,
+                                sl_ref.wall_ms / sl_trc.wall_ms));
 
   // --- per-mechanism micro-loop determinism ---------------------------------
   // The interposed paths bounce through host code and signals, exercising the
-  // engine's fallback edges; each must be cycle-identical engine on vs off.
+  // engines' fallback edges; each must be cycle-identical across all three
+  // configurations.
   const auto micro = bench::make_micro_loop(kMicroIters);
   auto dummy = std::make_shared<interpose::DummyHandler>();
   const struct {
@@ -182,37 +322,111 @@ int main(int argc, char** argv) {
        bench::setup_lazypoline(micro, dummy, core::XstateMode::kFull, true)},
   };
   for (const auto& mechanism : mechanisms) {
-    const RunResult m_ref =
-        run_config(micro, /*engine_on=*/false, mechanism.setup);
-    const RunResult m_blk =
-        run_config(micro, /*engine_on=*/true, mechanism.setup);
-    require_identical(mechanism.name, m_ref, m_blk);
-    const double mech_speedup = m_ref.wall_ms / m_blk.wall_ms;
-    table.add_row({mechanism.name, "block", format_double(m_blk.wall_ms, 3),
-                   metrics::ratio(mech_speedup), std::to_string(m_blk.cycles),
-                   std::to_string(m_blk.insns), std::to_string(m_blk.steps),
-                   std::to_string(m_blk.bcache.hits)});
+    const RunResult m_ref = run_config(micro, kReference, mechanism.setup);
+    const RunResult m_blk = run_config(micro, kBlock, mechanism.setup);
+    const RunResult m_trc = run_config(micro, kTrace, mechanism.setup);
+    require_identical(mechanism.name, {&m_ref, &m_blk, &m_trc});
+    add_row(table, mechanism.name, kBlock, m_blk,
+            m_ref.wall_ms / m_blk.wall_ms);
+    add_row(table, mechanism.name, kTrace, m_trc,
+            m_ref.wall_ms / m_trc.wall_ms);
     results.push_back(result_json(mechanism.name, "reference", m_ref, 1.0));
-    results.push_back(
-        result_json(mechanism.name, "block", m_blk, mech_speedup));
+    results.push_back(result_json(mechanism.name, "block", m_blk,
+                                  m_ref.wall_ms / m_blk.wall_ms));
+    results.push_back(result_json(mechanism.name, "trace", m_trc,
+                                  m_ref.wall_ms / m_trc.wall_ms));
+  }
+
+  // --- webserver macro workload + trace gate --------------------------------
+  metrics::Table wtable({"workload", "config", "wall ms (min)", "speedup",
+                         "sim cycles", "insns", "chains", "fused"});
+  const struct {
+    const char* name;
+    Mech mech;
+  } web_mechs[] = {{"web-native", Mech::kBaseline},
+                   {"web-sud", Mech::kSud},
+                   {"web-zpoline", Mech::kZpoline},
+                   {"web-lazypoline", Mech::kLazypoline}};
+  double trace_gate_min = 1e18;
+  std::uint64_t sud_invalidations = 0;
+  std::uint64_t zpoline_invalidations = 0;
+  std::uint64_t interposed_fused = 0;
+  for (const auto& wm : web_mechs) {
+    const RunResult w_ref = run_webserver(wm.mech, kReference);
+    const RunResult w_blk = run_webserver(wm.mech, kBlock);
+    const RunResult w_trc = run_webserver(wm.mech, kTrace);
+    require_identical(wm.name, {&w_ref, &w_blk, &w_trc});
+    const double vs_ref = w_ref.wall_ms / w_trc.wall_ms;
+    const double vs_block = w_blk.wall_ms / w_trc.wall_ms;
+    add_row(wtable, wm.name, kReference, w_ref, 1.0);
+    add_row(wtable, wm.name, kBlock, w_blk, w_ref.wall_ms / w_blk.wall_ms);
+    add_row(wtable, wm.name, kTrace, w_trc, vs_ref);
+    results.push_back(result_json(wm.name, "reference", w_ref, 1.0));
+    results.push_back(result_json(wm.name, "block", w_blk,
+                                  w_ref.wall_ms / w_blk.wall_ms));
+    results.push_back(result_json(wm.name, "trace", w_trc, vs_ref));
+    if (wm.mech == Mech::kZpoline || wm.mech == Mech::kLazypoline) {
+      trace_gate_min = std::min(trace_gate_min, vs_block);
+      interposed_fused += w_trc.tcache.fused_fastpaths;
+    }
+    if (wm.mech == Mech::kSud) sud_invalidations = w_blk.bcache.invalidations;
+    if (wm.mech == Mech::kZpoline) {
+      zpoline_invalidations = w_blk.bcache.invalidations;
+    }
   }
 
   std::printf(
-      "== Superblock engine (straight-line %llu iters x %d ops, min of %d) "
+      "== Execution engines (straight-line %llu iters x %d ops, min of %d) "
       "==\n%s\n",
       static_cast<unsigned long long>(kStraightLineIters), kUnroll, kReps,
       table.render().c_str());
+  std::printf(
+      "== Webserver macro workload (nginx, %llu requests, min of %d) ==\n%s\n",
+      static_cast<unsigned long long>(kWebRequests), kWebReps,
+      wtable.render().c_str());
   // Single-task microbenchmark: --cpus tags the artifact for comparability.
   bench::write_json_report(json_path, "block_exec", results, cli.cpus);
 
-  if (speedup < kSpeedupGate) {
-    std::fprintf(stderr,
-                 "FAIL: superblock engine speedup %.3fx < %.2fx gate\n",
-                 speedup, kSpeedupGate);
-    return 1;
+  bool ok = true;
+  if (block_speedup < kBlockGate) {
+    std::fprintf(stderr, "FAIL: superblock engine speedup %.3fx < %.2fx gate\n",
+                 block_speedup, kBlockGate);
+    ok = false;
   }
-  std::printf("PASS: straight-line speedup %.3fx >= %.2fx, all workloads "
-              "cycle/step-identical across engines\n",
-              speedup, kSpeedupGate);
+  // The SUD page-split regression gate: with the selector on its own RW page
+  // a selector flip is no longer an SMC event, so SUD invalidates no more
+  // cached blocks than zpoline (both only pay the install-time rewrites).
+  if (sud_invalidations > zpoline_invalidations + 8) {
+    std::fprintf(stderr,
+                 "FAIL: SUD invalidated %llu cached blocks vs zpoline's %llu "
+                 "(selector byte sharing the stub's executable page?)\n",
+                 static_cast<unsigned long long>(sud_invalidations),
+                 static_cast<unsigned long long>(zpoline_invalidations));
+    ok = false;
+  }
+  if (kTraceEngineBuilt) {
+    if (trace_gate_min < kTraceGate) {
+      std::fprintf(stderr,
+                   "FAIL: trace engine %.3fx over block engine on the "
+                   "interposed webserver < %.2fx gate\n",
+                   trace_gate_min, kTraceGate);
+      ok = false;
+    }
+    if (interposed_fused == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no fused interposer fast paths on the interposed "
+                   "webserver\n");
+      ok = false;
+    }
+  } else {
+    std::printf("SKIP: trace gates (built with -DLZP_TRACE_EXEC=OFF)\n");
+  }
+  if (!ok) return 1;
+  std::printf(
+      "PASS: straight-line block speedup %.3fx >= %.2fx, webserver trace "
+      "speedup %.3fx >= %.2fx over block, SUD invalidations at zpoline "
+      "level, all workloads cycle/step-identical across engines\n",
+      block_speedup, kBlockGate, kTraceEngineBuilt ? trace_gate_min : 0.0,
+      kTraceGate);
   return 0;
 }

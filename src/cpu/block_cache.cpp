@@ -50,6 +50,7 @@ bool BlockCache::build(const mem::AddressSpace& as, std::uint64_t rip,
   block->start = rip;
   block->page_gen = page.gen;
   block->nops = 0;
+  block->length = 0;
   block->insns.clear();
 
   std::uint64_t cursor = rip;
@@ -68,6 +69,7 @@ bool BlockCache::build(const mem::AddressSpace& as, std::uint64_t rip,
     const isa::Instruction& insn = decoded.value();
     block->insns.push_back(insn);
     if (insn.op == isa::Op::kNop) ++block->nops;
+    block->length += insn.length;
     cursor += insn.length;
     if (ends_block(insn.op)) break;
   }
@@ -124,7 +126,7 @@ void BlockCache::flush() noexcept {
 
 BlockRun run_block(CpuContext& ctx, mem::AddressSpace& mem,
                    const DecodedBlock& block, std::uint64_t budget,
-                   DataTlb* tlb) {
+                   DataTlb* tlb, std::size_t first_insn) {
   BlockRun run;
   // Snapshot the address space's code generation: a store inside this block
   // can rewrite a *later* instruction of the same block (WX self-modifying
@@ -132,7 +134,8 @@ BlockRun run_block(CpuContext& ctx, mem::AddressSpace& mem,
   // new bytes. Ending the run at the first generation bump forces a relookup,
   // which invalidates and rebuilds from the freshly written page.
   const std::uint64_t code_gen_at_entry = mem.code_gen();
-  for (const isa::Instruction& insn : block.insns) {
+  for (std::size_t idx = first_insn; idx < block.insns.size(); ++idx) {
+    const isa::Instruction& insn = block.insns[idx];
     if (run.executed >= budget) break;
     const std::uint64_t insn_addr = ctx.rip;
     const ExecResult result = exec_decoded(ctx, mem, insn, tlb);

@@ -141,6 +141,25 @@ ExecResult step(CpuContext& ctx, mem::AddressSpace& mem, DecodeCache* cache,
   return result;
 }
 
+// Dispatch strategy for exec_decoded. On GNU-compatible compilers (GCC and
+// Clang both build this repo) the interpreter uses computed goto: the opcode
+// indexes a static table of handler-label addresses and `goto*` jumps
+// straight to the handler, skipping the switch's bounds check and its
+// default-path bookkeeping. LZP_OP/LZP_BREAK keep a single set of handler
+// bodies serving both modes; any other compiler gets the plain switch.
+#if defined(__GNUC__)
+#define LZP_THREADED_DISPATCH 1
+#endif
+
+#ifdef LZP_THREADED_DISPATCH
+#define LZP_OP(name) op_##name:
+#else
+#define LZP_OP(name) case Op::name:
+#endif
+// Handlers that fall through to the common rip-advance tail exit through
+// this in both modes (a bare `break` has no meaning under a goto* dispatch).
+#define LZP_BREAK goto dispatch_done
+
 ExecResult exec_decoded(CpuContext& ctx, mem::AddressSpace& mem,
                         const Instruction& insn, DataTlb* tlb) {
   ExecResult result;
@@ -153,130 +172,153 @@ ExecResult exec_decoded(CpuContext& ctx, mem::AddressSpace& mem,
     return result;
   };
 
+#ifdef LZP_THREADED_DISPATCH
+  // Label addresses in exact Op declaration order (isa/insn.hpp); the
+  // static_assert ties the table length to the enum so a newly added Op
+  // cannot be silently dispatched off the end of the table.
+  static const void* const kDispatch[] = {
+      &&op_kNop,      &&op_kSyscall,  &&op_kSysenter, &&op_kCallRax,
+      &&op_kCallRel,  &&op_kJmpRel,   &&op_kJmpReg,   &&op_kRet,
+      &&op_kHlt,      &&op_kTrap,     &&op_kMovRI,    &&op_kMovRR,
+      &&op_kLoad,     &&op_kStore,    &&op_kLoad8,    &&op_kStore8,
+      &&op_kLoadGs,   &&op_kStoreGs,  &&op_kLoadGs8,  &&op_kStoreGs8,
+      &&op_kPush,     &&op_kPop,      &&op_kAddRR,    &&op_kSubRR,
+      &&op_kMulRR,    &&op_kDivRR,    &&op_kModRR,    &&op_kAddRI,
+      &&op_kSubRI,    &&op_kCmpRI,    &&op_kCmpRR,    &&op_kJz,
+      &&op_kJnz,      &&op_kJlt,      &&op_kJgt,      &&op_kXmovXI,
+      &&op_kXmovXR,   &&op_kXmovRX,   &&op_kXstore,   &&op_kXload,
+      &&op_kXzero,    &&op_kYmovHiYR, &&op_kYmovRYHi, &&op_kFldI,
+      &&op_kFstpR,    &&op_kFaddP,    &&op_kRdGs,     &&op_kWrGs,
+      &&op_kHostCall,
+  };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == isa::kNumOps);
+  goto* kDispatch[static_cast<std::size_t>(insn.op)];
+#else
   switch (insn.op) {
-    case Op::kNop:
-      break;
-    case Op::kSyscall:
-    case Op::kSysenter:
+#endif
+    LZP_OP(kNop)
+      LZP_BREAK;
+    LZP_OP(kSyscall)
+    LZP_OP(kSysenter)
       ctx.rip = next_rip;  // kernel sees the advanced rip, like x86
       result.kind = ExecKind::kSyscall;
       return result;
-    case Op::kCallRax: {
+    LZP_OP(kCallRax) {
       if (auto fault = push64(ctx, mem, tlb, next_rip)) return mem_fault(*fault);
       ctx.rip = ctx.reg(Gpr::rax);
       return result;
     }
-    case Op::kCallRel: {
+    LZP_OP(kCallRel) {
       if (auto fault = push64(ctx, mem, tlb, next_rip)) return mem_fault(*fault);
       ctx.rip = next_rip + static_cast<std::uint64_t>(insn.imm);
       return result;
     }
-    case Op::kJmpRel:
+    LZP_OP(kJmpRel)
       ctx.rip = next_rip + static_cast<std::uint64_t>(insn.imm);
       return result;
-    case Op::kJmpReg:
+    LZP_OP(kJmpReg)
       ctx.rip = ctx.reg(insn.r1);
       return result;
-    case Op::kRet: {
+    LZP_OP(kRet) {
       std::uint64_t target = 0;
       if (auto fault = pop64(ctx, mem, tlb, target)) return mem_fault(*fault);
       ctx.rip = target;
       return result;
     }
-    case Op::kHlt:
+    LZP_OP(kHlt)
       ctx.rip = next_rip;
       result.kind = ExecKind::kHlt;
       return result;
-    case Op::kTrap:
+    LZP_OP(kTrap)
       ctx.rip = next_rip;
       result.kind = ExecKind::kTrap;
       return result;
-    case Op::kMovRI:
+    LZP_OP(kMovRI)
       ctx.set_reg(insn.r1, static_cast<std::uint64_t>(insn.imm));
-      break;
-    case Op::kMovRR:
+      LZP_BREAK;
+    LZP_OP(kMovRR)
       ctx.set_reg(insn.r1, ctx.reg(insn.r2));
-      break;
-    case Op::kLoad: {
+      LZP_BREAK;
+    LZP_OP(kLoad) {
       const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[8];
       if (auto fault = data_read(mem, tlb, addr, bytes)) return mem_fault(*fault);
       std::uint64_t value = 0;
       std::memcpy(&value, bytes, 8);
       ctx.set_reg(insn.r1, value);
-      break;
+      LZP_BREAK;
     }
-    case Op::kStore: {
+    LZP_OP(kStore) {
       const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
       const std::uint64_t value = ctx.reg(insn.r1);
       std::uint8_t bytes[8];
       std::memcpy(bytes, &value, 8);
       if (auto fault = data_write(mem, tlb, addr, bytes)) return mem_fault(*fault);
-      break;
+      LZP_BREAK;
     }
-    case Op::kLoad8: {
+    LZP_OP(kLoad8) {
       const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t byte = 0;
       if (auto fault = data_read(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
       ctx.set_reg(insn.r1, byte);
-      break;
+      LZP_BREAK;
     }
-    case Op::kStore8: {
+    LZP_OP(kStore8) {
       const std::uint64_t addr = ctx.reg(insn.r2) + static_cast<std::uint64_t>(insn.imm);
       const std::uint8_t byte = static_cast<std::uint8_t>(ctx.reg(insn.r1));
       if (auto fault = data_write(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
-      break;
+      LZP_BREAK;
     }
-    case Op::kLoadGs: {
+    LZP_OP(kLoadGs) {
       const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[8];
       if (auto fault = data_read(mem, tlb, addr, bytes)) return mem_fault(*fault);
       std::uint64_t value = 0;
       std::memcpy(&value, bytes, 8);
       ctx.set_reg(insn.r1, value);
-      break;
+      LZP_BREAK;
     }
-    case Op::kStoreGs: {
+    LZP_OP(kStoreGs) {
       const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
       const std::uint64_t value = ctx.reg(insn.r1);
       std::uint8_t bytes[8];
       std::memcpy(bytes, &value, 8);
       if (auto fault = data_write(mem, tlb, addr, bytes)) return mem_fault(*fault);
-      break;
+      LZP_BREAK;
     }
-    case Op::kLoadGs8: {
+    LZP_OP(kLoadGs8) {
       const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t byte = 0;
       if (auto fault = data_read(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
       ctx.set_reg(insn.r1, byte);
-      break;
+      LZP_BREAK;
     }
-    case Op::kStoreGs8: {
+    LZP_OP(kStoreGs8) {
       const std::uint64_t addr = ctx.gs_base + static_cast<std::uint64_t>(insn.imm);
       const std::uint8_t byte = static_cast<std::uint8_t>(ctx.reg(insn.r1));
       if (auto fault = data_write(mem, tlb, addr, {&byte, 1})) return mem_fault(*fault);
-      break;
+      LZP_BREAK;
     }
-    case Op::kPush:
+    LZP_OP(kPush)
       if (auto fault = push64(ctx, mem, tlb, ctx.reg(insn.r1))) return mem_fault(*fault);
-      break;
-    case Op::kPop: {
+      LZP_BREAK;
+    LZP_OP(kPop) {
       std::uint64_t value = 0;
       if (auto fault = pop64(ctx, mem, tlb, value)) return mem_fault(*fault);
       ctx.set_reg(insn.r1, value);
-      break;
+      LZP_BREAK;
     }
-    case Op::kAddRR:
+    LZP_OP(kAddRR)
       ctx.set_reg(insn.r1, ctx.reg(insn.r1) + ctx.reg(insn.r2));
-      break;
-    case Op::kSubRR:
+      LZP_BREAK;
+    LZP_OP(kSubRR)
       ctx.set_reg(insn.r1, ctx.reg(insn.r1) - ctx.reg(insn.r2));
-      break;
-    case Op::kMulRR:
+      LZP_BREAK;
+    LZP_OP(kMulRR)
       ctx.set_reg(insn.r1, ctx.reg(insn.r1) * ctx.reg(insn.r2));
-      break;
-    case Op::kDivRR:
-    case Op::kModRR: {
+      LZP_BREAK;
+    LZP_OP(kDivRR)
+    LZP_OP(kModRR) {
       const auto lhs = static_cast<std::int64_t>(ctx.reg(insn.r1));
       const auto rhs = static_cast<std::int64_t>(ctx.reg(insn.r2));
       if (rhs == 0) {
@@ -287,105 +329,114 @@ ExecResult exec_decoded(CpuContext& ctx, mem::AddressSpace& mem,
       }
       const std::int64_t value = insn.op == Op::kDivRR ? lhs / rhs : lhs % rhs;
       ctx.set_reg(insn.r1, static_cast<std::uint64_t>(value));
-      break;
+      LZP_BREAK;
     }
-    case Op::kAddRI:
+    LZP_OP(kAddRI)
       ctx.set_reg(insn.r1, ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm));
-      break;
-    case Op::kSubRI:
+      LZP_BREAK;
+    LZP_OP(kSubRI)
       ctx.set_reg(insn.r1, ctx.reg(insn.r1) - static_cast<std::uint64_t>(insn.imm));
-      break;
-    case Op::kCmpRI: {
+      LZP_BREAK;
+    LZP_OP(kCmpRI) {
       const auto lhs = static_cast<std::int64_t>(ctx.reg(insn.r1));
       const auto rhs = static_cast<std::int64_t>(insn.imm);
       ctx.flags = {lhs == rhs, lhs < rhs, lhs > rhs};
-      break;
+      LZP_BREAK;
     }
-    case Op::kCmpRR: {
+    LZP_OP(kCmpRR) {
       const auto lhs = static_cast<std::int64_t>(ctx.reg(insn.r1));
       const auto rhs = static_cast<std::int64_t>(ctx.reg(insn.r2));
       ctx.flags = {lhs == rhs, lhs < rhs, lhs > rhs};
-      break;
+      LZP_BREAK;
     }
-    case Op::kJz:
+    LZP_OP(kJz)
       ctx.rip = ctx.flags.zf ? next_rip + static_cast<std::uint64_t>(insn.imm)
                              : next_rip;
       return result;
-    case Op::kJnz:
+    LZP_OP(kJnz)
       ctx.rip = !ctx.flags.zf ? next_rip + static_cast<std::uint64_t>(insn.imm)
                               : next_rip;
       return result;
-    case Op::kJlt:
+    LZP_OP(kJlt)
       ctx.rip = ctx.flags.lt ? next_rip + static_cast<std::uint64_t>(insn.imm)
                              : next_rip;
       return result;
-    case Op::kJgt:
+    LZP_OP(kJgt)
       ctx.rip = ctx.flags.gt ? next_rip + static_cast<std::uint64_t>(insn.imm)
                              : next_rip;
       return result;
-    case Op::kXmovXI:
+    LZP_OP(kXmovXI)
       ctx.xstate.xmm[insn.xr1] = {static_cast<std::uint64_t>(insn.imm),
                                   static_cast<std::uint64_t>(insn.imm)};
-      break;
-    case Op::kXmovXR: {
+      LZP_BREAK;
+    LZP_OP(kXmovXR) {
       const std::uint64_t value = ctx.reg(insn.r1);
       ctx.xstate.xmm[insn.xr1] = {value, value};
-      break;
+      LZP_BREAK;
     }
-    case Op::kXmovRX:
+    LZP_OP(kXmovRX)
       ctx.set_reg(insn.r1, ctx.xstate.xmm[insn.xr1][0]);
-      break;
-    case Op::kXstore: {
+      LZP_BREAK;
+    LZP_OP(kXstore) {
       const std::uint64_t addr = ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[16];
       std::memcpy(bytes, ctx.xstate.xmm[insn.xr1].data(), 16);
       if (auto fault = data_write(mem, tlb, addr, bytes)) return mem_fault(*fault);
-      break;
+      LZP_BREAK;
     }
-    case Op::kXload: {
+    LZP_OP(kXload) {
       const std::uint64_t addr = ctx.reg(insn.r1) + static_cast<std::uint64_t>(insn.imm);
       std::uint8_t bytes[16];
       if (auto fault = data_read(mem, tlb, addr, bytes)) return mem_fault(*fault);
       std::memcpy(ctx.xstate.xmm[insn.xr1].data(), bytes, 16);
-      break;
+      LZP_BREAK;
     }
-    case Op::kXzero:
+    LZP_OP(kXzero)
       ctx.xstate.xmm[insn.xr1] = {0, 0};
-      break;
-    case Op::kYmovHiYR: {
+      LZP_BREAK;
+    LZP_OP(kYmovHiYR) {
       const std::uint64_t value = ctx.reg(insn.r1);
       ctx.xstate.ymm_hi[insn.xr1] = {value, value};
-      break;
+      LZP_BREAK;
     }
-    case Op::kYmovRYHi:
+    LZP_OP(kYmovRYHi)
       ctx.set_reg(insn.r1, ctx.xstate.ymm_hi[insn.xr1][0]);
-      break;
-    case Op::kFldI:
+      LZP_BREAK;
+    LZP_OP(kFldI)
       ctx.xstate.x87_push(static_cast<std::uint64_t>(insn.imm));
-      break;
-    case Op::kFstpR:
+      LZP_BREAK;
+    LZP_OP(kFstpR)
       ctx.set_reg(insn.r1, ctx.xstate.x87_pop());
-      break;
-    case Op::kFaddP: {
+      LZP_BREAK;
+    LZP_OP(kFaddP) {
       const double st0 = bits_to_double(ctx.xstate.x87_pop());
       const double st1 = bits_to_double(ctx.xstate.x87_pop());
       ctx.xstate.x87_push(double_to_bits(st0 + st1));
-      break;
+      LZP_BREAK;
     }
-    case Op::kHostCall:
+    LZP_OP(kHostCall)
       ctx.rip = next_rip;
       result.kind = ExecKind::kHostCall;
       return result;
-    case Op::kRdGs:
+    LZP_OP(kRdGs)
       ctx.set_reg(insn.r1, ctx.gs_base);
-      break;
-    case Op::kWrGs:
+      LZP_BREAK;
+    LZP_OP(kWrGs)
       ctx.gs_base = ctx.reg(insn.r1);
-      break;
+      LZP_BREAK;
+#ifndef LZP_THREADED_DISPATCH
   }
+#endif
 
+dispatch_done:
   ctx.rip = next_rip;
   return result;
 }
+
+#undef LZP_BREAK
+#undef LZP_OP
+#ifdef LZP_THREADED_DISPATCH
+#undef LZP_THREADED_DISPATCH
+#endif
 
 }  // namespace lzp::cpu

@@ -1,0 +1,333 @@
+#include "cpu/trace_cache.hpp"
+
+#include <algorithm>
+
+namespace lzp::cpu {
+
+bool TraceCache::block_page_fresh(const mem::AddressSpace& as,
+                                  const DecodedBlock& block) noexcept {
+  const mem::Page* page = as.page_at(mem::page_floor(block.start));
+  return page != nullptr && (page->prot & mem::kProtExec) != 0 &&
+         page->gen == block.page_gen;
+}
+
+void TraceCache::drop_entry(Trace& entry, std::uint64_t rip,
+                            bool count_invalidation) {
+  entry.start = kNoAddr;
+  entry.blocks.clear();
+  entry.pages.clear();
+  if (count_invalidation) {
+    ++stats_.invalidations;
+    if (invalidation_listener_) invalidation_listener_(rip);
+  }
+}
+
+void TraceCache::blacklist(std::uint64_t rip) noexcept {
+  HotCounter& hot = hot_[index_of(rip)];
+  hot.addr = rip;
+  hot.count = kBlacklisted;
+}
+
+void TraceCache::add_page_ref(std::uint64_t base, std::uint64_t gen) {
+  for (const Trace::PageRef& ref : rec_.pages) {
+    if (ref.base == base) return;  // first recording of a page wins; a gen
+                                   // change mid-recording aborts before here
+  }
+  rec_.pages.push_back({base, gen});
+}
+
+Trace* TraceCache::find_valid(const mem::AddressSpace& as, std::uint64_t rip) {
+  if (as_id_ != as.asid()) {
+    if (as_id_ != 0) ++stats_.flushes;
+    flush();
+    as_id_ = as.asid();
+  }
+
+  Trace& entry = entries_[index_of(rip)];
+  if (entry.start != rip) return nullptr;
+  for (const Trace::PageRef& ref : entry.pages) {
+    const mem::Page* page = as.page_at(ref.base);
+    if (page == nullptr || (page->prot & mem::kProtExec) == 0 ||
+        page->gen != ref.gen) {
+      drop_entry(entry, rip, /*count_invalidation=*/true);
+      return nullptr;
+    }
+  }
+  return &entry;
+}
+
+Trace* TraceCache::lookup(const mem::AddressSpace& as, std::uint64_t rip) {
+  Trace* trace = find_valid(as, rip);
+  if (trace == nullptr) {
+    ++stats_.misses;
+  } else {
+    ++stats_.hits;
+  }
+  return trace;
+}
+
+Trace* TraceCache::take_resume(const mem::AddressSpace& as, std::uint64_t rip,
+                               std::size_t& block_idx, std::size_t& insn_idx) {
+  if (resume_.head == kNoAddr) return nullptr;
+  const std::uint64_t head = resume_.head;
+  const std::size_t bidx = resume_.block_idx;
+  const std::size_t iidx = resume_.insn_idx;
+  resume_ = ResumePoint{};  // single-shot, whether or not it validates
+
+  Trace* trace = find_valid(as, head);
+  if (trace == nullptr) return nullptr;
+  if (bidx >= trace->blocks.size()) return nullptr;
+  const DecodedBlock& block = trace->blocks[bidx].block;
+  if (iidx >= block.insns.size()) return nullptr;
+  // rip must sit exactly on the parked instruction — computed from the
+  // block's own encodings, so even a trace installed over the slot since the
+  // park (same head, different chain) only resumes where it is bit-valid.
+  std::uint64_t expected = block.start;
+  for (std::size_t k = 0; k < iidx; ++k) expected += block.insns[k].length;
+  if (expected != rip) return nullptr;
+  ++stats_.resumes;
+  block_idx = bidx;
+  insn_idx = iidx;
+  return trace;
+}
+
+std::uint64_t TraceCache::linear_end(const DecodedBlock& block) noexcept {
+  return block.start + block.length;
+}
+
+void TraceCache::on_block_executed(const mem::AddressSpace& as,
+                                   BlockCache& bcache,
+                                   const DecodedBlock& block,
+                                   std::uint64_t next_rip) {
+  // An address-space swap mid-chain (execve inside a recorded syscall exit)
+  // invalidates everything the recording assumed; lookup() flushes the
+  // entries on its next call, the recording dies here.
+  if (as.asid() != as_id_) {
+    abort_recording();
+    return;
+  }
+
+  if (recording_) {
+    record_observe(as, bcache, block, next_rip);
+    return;
+  }
+
+  HotCounter& hot = hot_[index_of(block.start)];
+  if (hot.addr != block.start) {
+    hot.addr = block.start;
+    hot.count = 0;
+  }
+  if (++hot.count < kHotThreshold) return;
+  hot.count = 0;
+  if (!block_page_fresh(as, block)) return;
+
+  // Start recording with this execution's block as the head.
+  recording_ = true;
+  rec_mismatches_ = 0;
+  rec_.start = block.start;
+  rec_.blocks.clear();
+  rec_.pages.clear();
+  rec_.blocks.push_back({block, next_rip});
+  add_page_ref(mem::page_floor(block.start), block.page_gen);
+  rec_expected_next_ = next_rip;
+  if (next_rip == rec_.start) end_recording();  // single-block self-loop
+}
+
+void TraceCache::record_observe(const mem::AddressSpace& as, BlockCache& bcache,
+                                const DecodedBlock& block,
+                                std::uint64_t next_rip) {
+  if (!recording_) return;
+  if (rec_pending_active_) {
+    if (block.start != rec_cursor_) {
+      if (++rec_mismatches_ > kRecordPatience) abort_recording();
+      return;
+    }
+    if (!block_page_fresh(as, block)) {
+      abort_recording();
+      return;
+    }
+    rec_mismatches_ = 0;
+    advance_pending(as, bcache, linear_end(block), next_rip);
+    return;
+  }
+  if (block.start != rec_expected_next_) {
+    // Not the successor the chain is waiting for. This is routine, not an
+    // error: the slice quantum regularly cuts a block mid-run, and the
+    // continuation then executes as differently-aligned blocks until a
+    // control transfer re-syncs — often not until the loop's next iteration
+    // revisits the expected boundary. Wait it out, bounded by kRecordPatience
+    // so a chain whose boundary never comes back (the path truly diverged)
+    // does not pin the recorder forever.
+    if (++rec_mismatches_ > kRecordPatience) abort_recording();
+    return;
+  }
+  if (!block_page_fresh(as, block)) {
+    abort_recording();  // the block's page moved under the recording (SMC)
+    return;
+  }
+  rec_mismatches_ = 0;
+  rec_.blocks.push_back({block, next_rip});
+  add_page_ref(mem::page_floor(block.start), block.page_gen);
+  rec_expected_next_ = next_rip;
+  if (next_rip == rec_.start || rec_.blocks.size() >= kMaxTraceBlocks) {
+    end_recording();  // loop closed on the head, or chain long enough
+  }
+}
+
+void TraceCache::record_cut(const mem::AddressSpace& as, BlockCache& bcache,
+                            const DecodedBlock& block, std::uint64_t cut_rip) {
+  if (!recording_) return;
+  if (rec_pending_active_) {
+    if (block.start != rec_cursor_) {
+      if (++rec_mismatches_ > kRecordPatience) abort_recording();
+      return;
+    }
+    rec_mismatches_ = 0;
+    // No control transfer executed (the run was cut as kContinue), so the
+    // covered bytes fell through linearly and cut_rip is both the coverage
+    // limit and the architectural rip.
+    advance_pending(as, bcache, cut_rip, cut_rip);
+    return;
+  }
+  if (block.start != rec_expected_next_) return;  // unrelated fragment
+  if (!block_page_fresh(as, block)) {
+    abort_recording();
+    return;
+  }
+  rec_mismatches_ = 0;
+  rec_pending_ = block;
+  rec_pending_active_ = true;
+  rec_cursor_ = cut_rip;
+}
+
+void TraceCache::append_pending(std::uint64_t successor) {
+  rec_.blocks.push_back({rec_pending_, successor});
+  add_page_ref(mem::page_floor(rec_pending_.start), rec_pending_.page_gen);
+  rec_expected_next_ = successor;
+  if (successor == rec_.start || rec_.blocks.size() >= kMaxTraceBlocks) {
+    end_recording();
+  }
+}
+
+void TraceCache::advance_pending(const mem::AddressSpace& as,
+                                 BlockCache& bcache, std::uint64_t covered_to,
+                                 std::uint64_t exit_rip) {
+  while (recording_) {
+    const std::uint64_t pending_end = linear_end(rec_pending_);
+    if (covered_to < pending_end) {
+      rec_cursor_ = covered_to;  // still inside; wait for the next fragment
+      return;
+    }
+    if (covered_to == pending_end) {
+      // The fragment's last instruction is the pending block's last
+      // instruction, so exit_rip is a valid observation of its exit (the
+      // branch target, or the fallthrough for a cap-ended block or a cut).
+      rec_pending_active_ = false;
+      append_pending(exit_rip);
+      return;
+    }
+    // Coverage ran past the pending block's cap without a control transfer:
+    // it fell through into the next canonical block. Append it and walk on.
+    append_pending(pending_end);
+    if (!recording_) return;
+    const DecodedBlock* next = bcache.lookup_or_build(as, pending_end);
+    if (next == nullptr || !block_page_fresh(as, *next)) {
+      abort_recording();
+      return;
+    }
+    rec_pending_ = *next;
+  }
+}
+
+void TraceCache::end_recording() {
+  if (!recording_) return;
+  recording_ = false;
+  rec_pending_active_ = false;
+  if (rec_.blocks.size() < 2) {
+    // A chain this short gains nothing over single-block execution; keep the
+    // head from re-heating and re-recording forever.
+    blacklist(rec_.start);
+    ++stats_.recordings_aborted;
+    return;
+  }
+  Trace& slot = entries_[index_of(rec_.start)];
+  if (&slot == pinned_) {
+    // Installing would mutate the trace currently executing (ScopedPin).
+    rec_.blocks.clear();
+    rec_.pages.clear();
+    ++stats_.recordings_aborted;
+    return;
+  }
+  slot.start = rec_.start;
+  slot.blocks = std::move(rec_.blocks);
+  slot.pages = std::move(rec_.pages);
+  slot.executions = 0;
+  slot.side_exits = 0;
+  slot.chains = 0;
+  rec_.blocks.clear();
+  rec_.pages.clear();
+  ++stats_.traces_built;
+}
+
+void TraceCache::abort_recording() noexcept {
+  if (!recording_) return;
+  recording_ = false;
+  rec_pending_active_ = false;
+  rec_.blocks.clear();
+  rec_.pages.clear();
+  ++stats_.recordings_aborted;
+}
+
+void TraceCache::note_side_exit(Trace& trace) {
+  ++stats_.side_exits;
+  ++trace.side_exits;
+  // Low chain yield: the trace usually dies before its second boundary, so
+  // entry overhead outweighs the chaining it delivers. Drop it without
+  // blacklisting — the head may heat up again once the path stabilizes, and
+  // the replacement recording gets judged on the same terms.
+  if (trace.executions >= kDemotionWindow &&
+      trace.chains < trace.executions * 2) {
+    drop_entry(trace, trace.start, /*count_invalidation=*/false);
+    ++stats_.demotions;
+  }
+}
+
+void TraceCache::invalidate_stale(const mem::AddressSpace& as) {
+  if (as_id_ != as.asid()) return;  // lookup() will flush wholesale anyway
+  for (Trace& entry : entries_) {
+    if (entry.start == kNoAddr || entry.blocks.empty()) continue;
+    for (const Trace::PageRef& ref : entry.pages) {
+      const mem::Page* page = as.page_at(ref.base);
+      if (page == nullptr || (page->prot & mem::kProtExec) == 0 ||
+          page->gen != ref.gen) {
+        drop_entry(entry, entry.start, /*count_invalidation=*/true);
+        break;
+      }
+    }
+  }
+}
+
+void TraceCache::flush() noexcept {
+  for (Trace& entry : entries_) {
+    entry.start = kNoAddr;
+    entry.blocks.clear();
+    entry.pages.clear();
+    entry.executions = 0;
+    entry.side_exits = 0;
+    entry.chains = 0;
+  }
+  for (HotCounter& hot : hot_) {
+    hot.addr = kNoAddr;
+    hot.count = 0;
+  }
+  if (recording_) {
+    recording_ = false;
+    rec_.blocks.clear();
+    rec_.pages.clear();
+  }
+  rec_pending_active_ = false;
+  resume_ = ResumePoint{};
+  as_id_ = 0;
+}
+
+}  // namespace lzp::cpu

@@ -1,0 +1,304 @@
+// Trace cache: chained superblocks for the hot-path execution engine.
+//
+// The superblock engine (cpu/block_cache.hpp) removed per-instruction
+// dispatch within a straight-line run, but still pays a full dispatcher
+// round trip — batchability check, cache lookup, exit handling — at every
+// control transfer. A Trace is the classic DBT answer: a recorded chain of
+// DecodedBlocks glued across direct jumps, calls, returns, and even syscall
+// and host-call exits, executed back to back by Machine::trace_step so the
+// dispatcher is consulted once per chain instead of once per block.
+//
+// Formation is recording-based. Every completed block execution bumps a
+// hotness counter for the block's start address; at kHotThreshold the cache
+// starts recording: each subsequent block that begins exactly where the
+// previous one ended is appended (with the page generation it was decoded
+// under), until the chain closes on its own head, reaches kMaxTraceBlocks,
+// or the kernel reports that batched execution must stop. Chains of at
+// least two blocks are installed; shorter recordings blacklist their head
+// (a single-block self-loop gains nothing from tracing).
+//
+// Recording is phase-robust. The scheduler's slice quantum routinely cuts
+// the expected canonical block mid-run, after which the continuation
+// executes as differently-aligned fragments; for loop bodies longer than
+// the quantum the canonical boundary may *never* come back as a single
+// full-clean execution (with an even iteration length the cut offset's
+// parity is invariant, so half the alignments are unreachable). When the
+// kernel reports a budget cut at the expected boundary (record_cut), the
+// recorder instead walks a linear cursor through the pending canonical
+// block: fragment executions advance the cursor, and each canonical
+// boundary the fragments cover appends that canonical block to the chain —
+// a control transfer always coincides with a canonical block end (both
+// decodes stop at the first transfer in the same bytes), so linear coverage
+// of the pending block is proof it executed.
+//
+// Validation is per embedded page: a trace may span many pages (the zpoline
+// trampoline chains the application's text page into the VA-0 sled page),
+// and lookup() revalidates every PageRef — present, executable, generation
+// unchanged — so a self-modifying write or an SMP shootdown invalidates
+// exactly the traces that embed the touched page and no others.
+// invalidate_stale() applies the same per-page test eagerly; the SMP
+// barrier's shootdown pass uses it instead of a wholesale flush.
+//
+// Demotion: Machine::trace_step reports chain follows, side exits, and
+// completions back here, per trace. A trace that keeps side-exiting without
+// chaining — fewer than two followed boundaries per entry on average over
+// kDemotionWindow runs — is removed: its entry overhead (per-page
+// revalidation) buys nothing, so churn (e.g. a branch whose direction keeps
+// flipping right after the head) falls back to single-block execution. The
+// head is not blacklisted; if it heats up again and the recorded path has
+// stabilized, the replacement trace earns its keep or demotes again.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "cpu/block_cache.hpp"
+#include "memory/address_space.hpp"
+
+namespace lzp::cpu {
+
+struct TraceCacheStats {
+  std::uint64_t hits = 0;            // lookup found a fully valid trace
+  std::uint64_t misses = 0;          // no trace at rip (or invalidated now)
+  std::uint64_t invalidations = 0;   // entry matched rip but a page went stale
+  std::uint64_t flushes = 0;         // whole-cache flushes (execve / AS swap)
+  std::uint64_t traces_built = 0;    // recordings that installed a trace
+  std::uint64_t recordings_aborted = 0;
+  std::uint64_t chain_follows = 0;   // block boundaries crossed inside traces
+  std::uint64_t side_exits = 0;      // traces left before their recorded end
+  std::uint64_t completions = 0;     // traces run through their last block
+  std::uint64_t resumes = 0;         // mid-trace re-entries across slice ends
+  std::uint64_t demotions = 0;       // churny traces demoted to single blocks
+  std::uint64_t fused_fastpaths = 0; // host-call handler dispatches fused
+                                     // into a trace (the lazypoline superop)
+};
+
+// One link of a trace: an owned copy of the decoded block (stable across
+// BlockCache evictions and rebuilds) plus the rip that followed it when the
+// trace was recorded. `next` of the last block is the trace's exit target
+// (== the head for a closed loop).
+struct TraceBlock {
+  DecodedBlock block;
+  std::uint64_t next = 0;
+};
+
+struct Trace {
+  // == blocks.front().block.start when occupied; ~0 marks an empty slot
+  // (0 is a real code address: the zpoline trampoline lives at VA 0).
+  std::uint64_t start = ~0ULL;
+  std::vector<TraceBlock> blocks;
+  // Every page the embedded blocks decode from, at the generation they were
+  // recorded under. Deduplicated; validation cost is O(pages), not O(blocks).
+  struct PageRef {
+    std::uint64_t base = 0;
+    std::uint64_t gen = 0;
+  };
+  std::vector<PageRef> pages;
+  // Churn accounting for demotion (see note_side_exit).
+  std::uint64_t executions = 0;
+  std::uint64_t side_exits = 0;
+  std::uint64_t chains = 0;  // boundaries followed across all executions
+};
+
+class TraceCache {
+ public:
+  // Sized to the BlockCache: a busy loop (webserver request handling plus
+  // the interposer sleds) keeps several hundred blocks hot, and a smaller
+  // direct-mapped hot table thrashes before any head reaches the threshold.
+  static constexpr std::size_t kNumEntries = 1024;  // power of two
+  static constexpr std::size_t kMaxTraceBlocks = 64;
+  // Completed executions of a block before recording starts at it.
+  static constexpr std::int32_t kHotThreshold = 16;
+  // Executions a trace must accumulate before churn can demote it, and the
+  // churn test itself: fewer than two followed boundaries per entry on
+  // average (the trace side-exits before paying for its own entry).
+  static constexpr std::uint64_t kDemotionWindow = 32;
+  // Block completions a suspended recording tolerates while waiting for its
+  // expected successor to be revisited (the slice quantum routinely cuts a
+  // block mid-run, desynchronizing block starts until the next loop
+  // iteration) before concluding the path diverged and aborting.
+  static constexpr std::uint64_t kRecordPatience = 4096;
+
+  TraceCache() : entries_(kNumEntries), hot_(kNumEntries) {}
+
+  // Returns the trace starting at `rip` if every embedded page is still
+  // present, executable, and at its recorded generation; nullptr otherwise
+  // (a stale entry is dropped — the SMC invalidation path). The pointer is
+  // valid until the next lookup()/on_block_executed()/flush().
+  [[nodiscard]] Trace* lookup(const mem::AddressSpace& as, std::uint64_t rip);
+
+  // Called by the kernel after a block ran to completion with a chainable
+  // exit and the next step is batchable. `next_rip` is the architectural rip
+  // after the block's exit was fully handled (past any syscall or host-call
+  // side effects). Drives hotness counting and trace recording. `bcache` is
+  // the task's block cache, consulted for canonical decodes when fragment
+  // coverage crosses a canonical boundary (see record_cut).
+  void on_block_executed(const mem::AddressSpace& as, BlockCache& bcache,
+                         const DecodedBlock& block, std::uint64_t next_rip);
+
+  // Recording-only variant of on_block_executed (no hotness counting):
+  // trace_step feeds fully-executed chained blocks through here so an
+  // in-progress recording keeps extending even when its expected successor
+  // now executes inside an installed trace — otherwise steady-state tiling
+  // would starve every new recording whose path crosses an existing one.
+  // A no-op unless a recording is active.
+  void record_observe(const mem::AddressSpace& as, BlockCache& bcache,
+                      const DecodedBlock& block, std::uint64_t next_rip);
+
+  // Called by the kernel when the slice budget cut `block` mid-run (no
+  // control transfer executed; `cut_rip` is the architectural rip of the
+  // first unexecuted instruction). A cut at the recording's expected
+  // boundary arms the linear cursor over that canonical block; a cut at the
+  // cursor advances it. A no-op unless a recording is active.
+  void record_cut(const mem::AddressSpace& as, BlockCache& bcache,
+                  const DecodedBlock& block, std::uint64_t cut_rip);
+
+  // Finalizes an in-progress recording: installs the chain if it has at
+  // least two blocks, otherwise blacklists the head. The kernel calls this
+  // when the chain ends for control-flow reasons (the next step cannot be
+  // batched); a no-op when nothing is being recorded.
+  void end_recording();
+  // Discards an in-progress recording (incomplete block run, mid-recording
+  // SMC, address-space swap). A no-op when nothing is being recorded.
+  void abort_recording() noexcept;
+  [[nodiscard]] bool recording() const noexcept { return recording_; }
+
+  // Execution feedback from Machine::trace_step.
+  void note_entered(Trace& trace) noexcept { ++trace.executions; }
+  void note_chain_follow(Trace& trace) noexcept {
+    ++stats_.chain_follows;
+    ++trace.chains;
+  }
+  void note_fused_fastpath() noexcept { ++stats_.fused_fastpaths; }
+  void note_completion() noexcept { ++stats_.completions; }
+  // Records a side exit and demotes the trace when churn dominates; the
+  // caller must not touch `trace` afterwards.
+  void note_side_exit(Trace& trace);
+
+  // Slice continuation. The scheduler's step quantum (64) is far shorter
+  // than a sled-heavy trace (up to kMaxTraceBlocks full blocks), so when the
+  // budget expires — at a block boundary (insn_idx 0) or mid-block —
+  // trace_step parks its position here and the next slice re-enters
+  // mid-trace. take_resume() is single-shot and re-runs the full validity
+  // check (address space, per-page generations, and that `rip` sits exactly
+  // on instruction `insn_idx` of block `block_idx`), so a demotion,
+  // shootdown, or signal-diverted rip between slices simply drops the
+  // continuation.
+  void set_resume(std::uint64_t head, std::size_t block_idx,
+                  std::size_t insn_idx) noexcept {
+    resume_.head = head;
+    resume_.block_idx = block_idx;
+    resume_.insn_idx = insn_idx;
+  }
+  [[nodiscard]] Trace* take_resume(const mem::AddressSpace& as,
+                                   std::uint64_t rip, std::size_t& block_idx,
+                                   std::size_t& insn_idx);
+
+  // Drops exactly the traces embedding a page that is gone, non-executable,
+  // or past its recorded generation — the per-page SMP shootdown. Counts
+  // each drop as an invalidation.
+  void invalidate_stale(const mem::AddressSpace& as);
+
+  void flush() noexcept;
+
+  // RAII pin held by Machine::trace_step around a trace execution:
+  // record_observe() can finalize a recording mid-run, and end_recording()
+  // must not install into (and thereby mutate) the slot of the trace
+  // currently being executed. A recording whose head hashes to the pinned
+  // slot is discarded instead — a rare collision, and the head just reheats.
+  class ScopedPin {
+   public:
+    ScopedPin(TraceCache& cache, Trace* trace) noexcept : cache_(cache) {
+      cache_.pinned_ = trace;
+    }
+    ~ScopedPin() { cache_.pinned_ = nullptr; }
+    ScopedPin(const ScopedPin&) = delete;
+    ScopedPin& operator=(const ScopedPin&) = delete;
+
+   private:
+    TraceCache& cache_;
+  };
+
+  [[nodiscard]] const TraceCacheStats& stats() const noexcept { return stats_; }
+
+  // Fires when a trace is dropped because an embedded page went stale (both
+  // the lazy lookup path and invalidate_stale), with the trace's head rip —
+  // the same contract as BlockCache::set_invalidation_listener.
+  void set_invalidation_listener(std::function<void(std::uint64_t rip)> fn) {
+    invalidation_listener_ = std::move(fn);
+  }
+
+ private:
+  static constexpr std::uint64_t kNoAddr = ~0ULL;
+  // A demoted head sits far below zero so kHotThreshold is unreachable for
+  // any realistic run length; conflict eviction can still recycle the slot.
+  static constexpr std::int32_t kBlacklisted =
+      std::numeric_limits<std::int32_t>::min() / 2;
+
+  struct HotCounter {
+    std::uint64_t addr = kNoAddr;
+    std::int32_t count = 0;
+  };
+
+  [[nodiscard]] static std::size_t index_of(std::uint64_t rip) noexcept {
+    return static_cast<std::size_t>((rip ^ (rip >> 12)) & (kNumEntries - 1));
+  }
+
+  // True when the page backing `block` still matches the generation the
+  // block was decoded under (recording must never capture stale bytes).
+  [[nodiscard]] static bool block_page_fresh(const mem::AddressSpace& as,
+                                             const DecodedBlock& block) noexcept;
+
+  // rip one past the block's last instruction byte — the fallthrough
+  // successor of a cap-ended block.
+  [[nodiscard]] static std::uint64_t linear_end(const DecodedBlock& block) noexcept;
+
+  // Appends the pending canonical block to the chain with `successor` as its
+  // recorded exit; may finalize the recording (closure on the head, length
+  // cap).
+  void append_pending(std::uint64_t successor);
+  // Fragment coverage reached `covered_to`; `exit_rip` is the architectural
+  // rip after the covering run (== covered_to for fallthroughs and cuts, the
+  // target when the run ended on the pending block's final transfer). Walks
+  // the cursor, appending every canonical block the coverage completed.
+  void advance_pending(const mem::AddressSpace& as, BlockCache& bcache,
+                       std::uint64_t covered_to, std::uint64_t exit_rip);
+
+  void drop_entry(Trace& entry, std::uint64_t rip, bool count_invalidation);
+  void blacklist(std::uint64_t rip) noexcept;
+  void add_page_ref(std::uint64_t base, std::uint64_t gen);
+  // Shared validity walk behind lookup()/take_resume(): handles the
+  // address-space flush, the entry match, and per-page revalidation (dropping
+  // a stale entry), without touching the hit/miss counters.
+  [[nodiscard]] Trace* find_valid(const mem::AddressSpace& as,
+                                  std::uint64_t rip);
+
+  struct ResumePoint {
+    std::uint64_t head = kNoAddr;
+    std::size_t block_idx = 0;
+    std::size_t insn_idx = 0;
+  };
+
+  std::vector<Trace> entries_;  // start == kNoAddr marks empty
+  std::vector<HotCounter> hot_;
+  std::uint64_t as_id_ = 0;
+  ResumePoint resume_;
+  Trace* pinned_ = nullptr;  // see ScopedPin
+
+  bool recording_ = false;
+  Trace rec_;
+  std::uint64_t rec_expected_next_ = 0;
+  std::uint64_t rec_mismatches_ = 0;
+  // Linear-cursor state for recording across slice cuts: the canonical block
+  // being completed piecewise and the next uncovered rip inside it.
+  bool rec_pending_active_ = false;
+  DecodedBlock rec_pending_;
+  std::uint64_t rec_cursor_ = 0;
+
+  TraceCacheStats stats_;
+  std::function<void(std::uint64_t rip)> invalidation_listener_;
+};
+
+}  // namespace lzp::cpu

@@ -91,6 +91,12 @@ enum class Op : std::uint8_t {
                // stands in for a jmp into an interposer's native code page)
 };
 
+// Number of opcodes (kHostCall is last). Dispatch tables — notably the
+// threaded interpreter in cpu/execute.cpp — are sized and static_asserted
+// against this, so appending an Op without updating them fails to compile.
+inline constexpr std::size_t kNumOps =
+    static_cast<std::size_t>(Op::kHostCall) + 1;
+
 [[nodiscard]] std::string_view op_name(Op op) noexcept;
 
 // Raw encoding bytes that other modules must agree on.

@@ -18,6 +18,7 @@
 #include "cpu/context.hpp"
 #include "cpu/data_tlb.hpp"
 #include "cpu/decode_cache.hpp"
+#include "cpu/trace_cache.hpp"
 #include "kernel/profile_sink.hpp"
 #include "kernel/signals.hpp"
 #include "memory/address_space.hpp"
@@ -109,6 +110,11 @@ struct Task {
   // cpu/data_tlb.hpp).
   cpu::BlockCache bcache;
   cpu::DataTlb dtlb;
+
+  // Trace cache for the chained-superblock engine (cpu/trace_cache.hpp).
+  // Per-task like bcache; invalidates per embedded page through the shared
+  // page generations, flushes via asid on execve/fork.
+  cpu::TraceCache tcache;
 
   SudState sud;
   // seccomp filters attached to this task (newest last, all run, most

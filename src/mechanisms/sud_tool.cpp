@@ -6,16 +6,18 @@
 namespace lzp::mechanisms {
 namespace {
 
-// Layout of the runtime page this mechanism maps into the target:
-//   +0   selector byte
-//   +16  sigreturn stub: mov rax, NR_rt_sigreturn ; syscall
-constexpr std::uint64_t kSelectorOffset = 0;
-constexpr std::uint64_t kStubOffset = 16;
-
+// Runtime layout: the mutable selector byte and the executable sigreturn
+// stub live on *separate* pages. Co-locating them on one RWX page — the
+// original layout — made every selector flip a write into an executable
+// page, bumping its generation and invalidating every cached decode, block,
+// and trace built from the stub: thousands of spurious invalidations per
+// run, a churn zpoline never pays. With the split, selector writes touch a
+// data-only page and the stub page stays at generation 0 forever.
 struct Runtime {
-  std::uint64_t page = 0;
-  [[nodiscard]] std::uint64_t selector_addr() const { return page + kSelectorOffset; }
-  [[nodiscard]] std::uint64_t stub_addr() const { return page + kStubOffset; }
+  std::uint64_t selector_page = 0;  // RW: selector byte at +0
+  std::uint64_t stub_page = 0;      // R+X after setup: sigreturn stub at +0
+  [[nodiscard]] std::uint64_t selector_addr() const { return selector_page; }
+  [[nodiscard]] std::uint64_t stub_addr() const { return stub_page; }
 };
 
 void set_selector(kern::Machine& machine, kern::Task& task,
@@ -34,14 +36,19 @@ Status SudMechanism::install(kern::Machine& machine, kern::Tid tid,
     return make_error(StatusCode::kNotFound, "sud: no such task");
   }
 
-  // Map the runtime page (selector + allowlisted sigreturn stub). A real
-  // deployment maps this from its preloaded library; RWX because it holds
-  // both the mutable selector and the executable stub.
-  auto page = task->mem->map(0, mem::kPageSize,
-                             mem::kProtRead | mem::kProtWrite | mem::kProtExec,
-                             /*fixed=*/false);
-  if (!page) return page.status();
-  Runtime runtime{page.value()};
+  // Map the runtime pages (selector, then the allowlisted sigreturn stub).
+  // A real deployment maps these from its preloaded library; see the Runtime
+  // comment for why the mutable selector must not share the stub's
+  // executable page.
+  auto selector_page = task->mem->map(0, mem::kPageSize,
+                                      mem::kProtRead | mem::kProtWrite,
+                                      /*fixed=*/false);
+  if (!selector_page) return selector_page.status();
+  auto stub_page = task->mem->map(0, mem::kPageSize,
+                                  mem::kProtRead | mem::kProtWrite,
+                                  /*fixed=*/false);
+  if (!stub_page) return stub_page.status();
+  Runtime runtime{selector_page.value(), stub_page.value()};
 
   {
     isa::Assembler assembler;
@@ -51,6 +58,9 @@ Status SudMechanism::install(kern::Machine& machine, kern::Tid tid,
     if (!stub) return stub.status();
     LZP_RETURN_IF_ERROR(
         task->mem->write_force(runtime.stub_addr(), stub.value()));
+    // W^X: the stub page is never written again once armed.
+    LZP_RETURN_IF_ERROR(task->mem->protect(runtime.stub_page, mem::kPageSize,
+                                           mem::kProtRead | mem::kProtExec));
   }
 
   // The SIGSYS handler, running as native code in the target.

@@ -42,6 +42,9 @@ class Tracer final : public kern::TraceSink {
 
   [[nodiscard]] const FlightRecorder& ring() const noexcept { return ring_; }
   [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  // Mutable view, for folding in end-of-run aggregates that have no per-event
+  // probe (record_smp_stats, record_trace_cache_stats).
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
   void clear();
 
   // SMP mode: probes fire from several host threads at once, so a concurrent
@@ -67,6 +70,7 @@ class Tracer final : public kern::TraceSink {
                            std::uint32_t action) override;
   void on_decode_invalidation(const kern::Task& task, std::uint64_t rip) override;
   void on_block_invalidation(const kern::Task& task, std::uint64_t rip) override;
+  void on_trace_invalidation(const kern::Task& task, std::uint64_t rip) override;
   void on_mechanism_install(const kern::Task& task,
                             kern::InterposeMechanism mech) override;
   void on_crosscheck(const kern::Task& task, std::uint64_t site,

@@ -258,9 +258,11 @@ isa::Program make_random_program(std::uint64_t seed) {
       .value();
 }
 
-MachineOutcome run_native(const isa::Program& program, bool engine_on) {
+MachineOutcome run_native(const isa::Program& program, bool block_on,
+                          bool trace_on) {
   kern::Machine machine;
-  machine.block_exec_enabled = engine_on;
+  machine.block_exec_enabled = block_on;
+  machine.trace_exec_enabled = trace_on;
   kern::Tid tid = 0;
   MachineOutcome out;
   out.exit_code = testutil::load_and_run(machine, program, &tid);
@@ -281,13 +283,18 @@ TEST_P(BlockExecFuzzTest, RandomProgramsMatchReferencePathExactly) {
   for (int round = 0; round < 20; ++round) {
     const std::uint64_t seed = seeder.next();
     const isa::Program program = make_random_program(seed);
-    const MachineOutcome on = run_native(program, /*engine_on=*/true);
-    const MachineOutcome off = run_native(program, /*engine_on=*/false);
-    ASSERT_EQ(on.exit_code, off.exit_code) << "seed " << seed;
-    ASSERT_EQ(on.cycles, off.cycles) << "seed " << seed;
-    ASSERT_EQ(on.insns, off.insns) << "seed " << seed;
-    ASSERT_EQ(on.steps, off.steps) << "seed " << seed;
-    ASSERT_EQ(on.data, off.data) << "seed " << seed;
+    // Three-way: per-instruction reference, superblock engine, and the
+    // chained-trace engine on top must agree bit-for-bit.
+    const MachineOutcome ref = run_native(program, false, false);
+    const MachineOutcome block = run_native(program, true, false);
+    const MachineOutcome trace = run_native(program, true, true);
+    for (const MachineOutcome* out : {&block, &trace}) {
+      ASSERT_EQ(out->exit_code, ref.exit_code) << "seed " << seed;
+      ASSERT_EQ(out->cycles, ref.cycles) << "seed " << seed;
+      ASSERT_EQ(out->insns, ref.insns) << "seed " << seed;
+      ASSERT_EQ(out->steps, ref.steps) << "seed " << seed;
+      ASSERT_EQ(out->data, ref.data) << "seed " << seed;
+    }
   }
 }
 
@@ -344,9 +351,10 @@ TEST(BlockExecDifferentialTest, WebserverMatchesReferencePath) {
   constexpr int kWorkers = 2;
   const apps::ServerProfile profile = apps::nginx_profile();
 
-  auto run_with = [&](bool engine_on, std::string* metrics_out) {
+  auto run_with = [&](bool block_on, bool trace_on, std::string* metrics_out) {
     kern::Machine machine;
-    machine.block_exec_enabled = engine_on;
+    machine.block_exec_enabled = block_on;
+    machine.trace_exec_enabled = trace_on;
     machine.mmap_min_addr = 0;
 #ifndef LZP_TRACE_DISABLED
     trace::Tracer tracer;
@@ -399,6 +407,7 @@ TEST(BlockExecDifferentialTest, WebserverMatchesReferencePath) {
       while (std::getline(in, line)) {
         if (line.find("bcache.") != std::string::npos ||
             line.find("dcache.") != std::string::npos ||
+            line.find("tcache.") != std::string::npos ||
             line.find("ring.events") != std::string::npos) {
           continue;
         }
@@ -412,24 +421,30 @@ TEST(BlockExecDifferentialTest, WebserverMatchesReferencePath) {
     return out;
   };
 
-  std::string metrics_on;
-  std::string metrics_off;
-  const MachineOutcome on = run_with(true, &metrics_on);
-  const MachineOutcome off = run_with(false, &metrics_off);
-  EXPECT_EQ(on.cycles, off.cycles);
-  EXPECT_EQ(on.insns, off.insns);
-  EXPECT_EQ(on.steps, off.steps);
-  EXPECT_EQ(on.data, off.data);
-  EXPECT_EQ(metrics_on, metrics_off);
+  std::string metrics_ref;
+  std::string metrics_block;
+  std::string metrics_trace;
+  const MachineOutcome ref = run_with(false, false, &metrics_ref);
+  const MachineOutcome block = run_with(true, false, &metrics_block);
+  const MachineOutcome trace = run_with(true, true, &metrics_trace);
+  for (const MachineOutcome* out : {&block, &trace}) {
+    EXPECT_EQ(out->cycles, ref.cycles);
+    EXPECT_EQ(out->insns, ref.insns);
+    EXPECT_EQ(out->steps, ref.steps);
+    EXPECT_EQ(out->data, ref.data);
+  }
+  EXPECT_EQ(metrics_block, metrics_ref);
+  EXPECT_EQ(metrics_trace, metrics_ref);
 }
 
 // --- record/replay neutrality ------------------------------------------------
 
-replay::Trace record_loop(bool engine_on) {
+replay::Trace record_loop(bool block_on, bool trace_on) {
   const auto program = testutil::make_syscall_loop(kern::kSysGetpid, 40);
   auto recorder = std::make_shared<replay::Recorder>();
   kern::Machine machine;
-  machine.block_exec_enabled = engine_on;
+  machine.block_exec_enabled = block_on;
+  machine.trace_exec_enabled = trace_on;
   machine.mmap_min_addr = 0;
   machine.register_program(program);
   recorder->attach(machine, /*rng_seed=*/42, "sud", "loop");
@@ -441,10 +456,12 @@ replay::Trace record_loop(bool engine_on) {
   return recorder->take_trace();
 }
 
-TEST(BlockExecReplayTest, RecordedTracesAreIdenticalOnAndOff) {
-  const replay::Trace on = record_loop(/*engine_on=*/true);
-  const replay::Trace off = record_loop(/*engine_on=*/false);
-  EXPECT_EQ(on, off);
+TEST(BlockExecReplayTest, RecordedTracesAreIdenticalAcrossEngines) {
+  const replay::Trace ref = record_loop(false, false);
+  const replay::Trace block = record_loop(true, false);
+  const replay::Trace trace = record_loop(true, true);
+  EXPECT_EQ(block, ref);
+  EXPECT_EQ(trace, ref);
 }
 
 TEST(BlockExecReplayTest, ExternalKillRoundTripsWithEngineEnabled) {

@@ -88,11 +88,13 @@ struct RunOutcome {
 };
 
 // One serial run of the getpid loop under `mech`, optionally profiled.
-RunOutcome run_serial(Mech mech, bool profiled, bool block_engine) {
+RunOutcome run_serial(Mech mech, bool profiled, bool block_engine,
+                      bool trace_engine = false) {
   profile::Profiler profiler;
   kern::Machine machine;
   machine.mmap_min_addr = 0;
   machine.block_exec_enabled = block_engine;
+  machine.trace_exec_enabled = trace_engine;
   machine.reseed_rng(kSeed);
   if (profiled) profiler.attach(machine);
 
@@ -154,11 +156,19 @@ RunOutcome run_smp(bool profiled) {
 // The per-class sums equal the machine's retired-cycle counter exactly, for
 // every mechanism, under both execution engines.
 TEST(ProfilerTest, ClassSumsMatchMachineCyclesExactly) {
+  struct Engine {
+    bool block;
+    bool trace;
+    const char* name;
+  };
+  constexpr Engine kEngines[] = {
+      {false, false, " step"}, {true, false, " block"}, {true, true, " trace"}};
   for (const Mech mech : kAllMechs) {
-    for (const bool block_engine : {true, false}) {
-      const RunOutcome run = run_serial(mech, /*profiled=*/true, block_engine);
+    for (const Engine& engine : kEngines) {
+      const RunOutcome run =
+          run_serial(mech, /*profiled=*/true, engine.block, engine.trace);
       EXPECT_EQ(run.profiler_cycles, run.machine_cycles)
-          << mech_name(mech) << (block_engine ? " block" : " step");
+          << mech_name(mech) << engine.name;
       EXPECT_GT(run.profiler_cycles, 0u);
     }
   }
