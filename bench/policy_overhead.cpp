@@ -27,8 +27,10 @@
 #include "base/strings.hpp"
 #include "bench_util.hpp"
 #include "apps/webserver.hpp"
+#include "bpf/seccomp_filter.hpp"
 #include "mechanisms/ptrace_tool.hpp"
 #include "metrics/report.hpp"
+#include "policy/compile.hpp"
 #include "policy/enforce.hpp"
 #include "policy/extract.hpp"
 
@@ -278,6 +280,23 @@ int main(int argc, char** argv) {
   std::printf("== Webserver under its extracted policy ==\n%s\n",
               web_table.render().c_str());
 
+  // Lowering precision: the per-state cBPF artifact before and after
+  // automaton minimization + equivalent-state sharing.
+  policy::CompileOptions unshared;
+  unshared.share_equivalent_states = false;
+  const auto compiled_baseline = bench::unwrap(
+      policy::compile_to_seccomp(web_static.automaton,
+                                 bpf::SECCOMP_RET_KILL_PROCESS, unshared),
+      "compile unminimized");
+  const policy::MinimizeResult minimized =
+      policy::minimize(web_static.automaton);
+  const auto compiled_min = bench::unwrap(
+      policy::compile_to_seccomp(minimized.automaton,
+                                 bpf::SECCOMP_RET_KILL_PROCESS, {}),
+      "compile minimized");
+  const std::size_t insns_unmin = compiled_baseline.total_filter_insns();
+  const std::size_t insns_min = compiled_min.total_filter_insns();
+
   metrics::Table precision({"automaton", "states", "edges"});
   precision.add_row({"static (CFG walk)",
                      std::to_string(web_static.automaton.state_count()),
@@ -287,9 +306,16 @@ int main(int argc, char** argv) {
                      std::to_string(web_dynamic.edge_count())});
   std::printf("== Static vs dynamic precision (webserver) ==\n%s"
               "containment (static ⊇ dynamic): %s; %zu/%zu sites statically "
-              "resolved\n\n",
+              "resolved (%zu block-local + %zu value-flow), %zu predicated "
+              "edges\nlowering: %zu cBPF insns minimized (%zu states, %zu "
+              "filters) vs %zu unminimized\n\n",
               precision.render().c_str(), contained ? "yes" : "NO",
-              web_static.sites_resolved, web_static.sites_total);
+              web_static.sites_resolved, web_static.sites_total,
+              web_static.sites_resolved_blocklocal,
+              web_static.sites_resolved_dataflow,
+              web_static.automaton.predicated_edge_count(),
+              insns_min, minimized.automaton.state_count(),
+              compiled_min.class_count(), insns_unmin);
   results.push_back(metrics::JsonObject()
                         .add("kind", "precision")
                         .add("static_edges", web_static.automaton.edge_count())
@@ -300,6 +326,16 @@ int main(int argc, char** argv) {
                         .add("contains_dynamic", contained)
                         .add("sites_total", web_static.sites_total)
                         .add("sites_resolved", web_static.sites_resolved)
+                        .add("sites_resolved_blocklocal",
+                             web_static.sites_resolved_blocklocal)
+                        .add("sites_resolved_dataflow",
+                             web_static.sites_resolved_dataflow)
+                        .add("predicated_edges",
+                             web_static.automaton.predicated_edge_count())
+                        .add("insns_unminimized",
+                             static_cast<std::uint64_t>(insns_unmin))
+                        .add("insns_minimized",
+                             static_cast<std::uint64_t>(insns_min))
                         .render());
 
   // The workloads are single-CPU; --cpus only tags the artifact for schema
@@ -318,6 +354,12 @@ int main(int argc, char** argv) {
   }
   if (!contained) {
     std::fprintf(stderr, "FAIL: static automaton does not contain dynamic\n");
+    return 1;
+  }
+  if (insns_min > insns_unmin) {
+    std::fprintf(stderr,
+                 "FAIL: minimization grew the cBPF lowering (%zu > %zu)\n",
+                 insns_min, insns_unmin);
     return 1;
   }
   std::printf("PASS: lazypoline enforcement %.3fx <= %.2fx, zero false "

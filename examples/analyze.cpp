@@ -27,7 +27,9 @@
 
 #include "analysis/analyzer.hpp"
 #include "analysis/crosscheck.hpp"
+#include "analysis/dataflow.hpp"
 #include "analysis/report.hpp"
+#include "policy/extract.hpp"
 #include "apps/minilibc.hpp"
 #include "apps/webserver.hpp"
 #include "core/lazypoline.hpp"
@@ -300,6 +302,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool want_listing = false;
   bool want_gate = false;
+  bool use_dataflow = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workload=", 0) == 0) {
@@ -310,10 +313,14 @@ int main(int argc, char** argv) {
       want_listing = true;
     } else if (arg == "--gate") {
       want_gate = true;
+    } else if (arg == "--dataflow") {
+      use_dataflow = true;
+    } else if (arg == "--no-dataflow") {
+      use_dataflow = false;
     } else {
       die("unknown flag '" + arg +
           "' (usage: analyze [--workload=NAME] [--json=PATH] [--listing] "
-          "[--gate])");
+          "[--gate] [--dataflow|--no-dataflow])");
     }
   }
 
@@ -332,6 +339,27 @@ int main(int argc, char** argv) {
               result.cfg.reachable.size(), result.cfg.blocks.size(),
               result.cfg.computed_transfers.size());
   print_accuracy_table(program, result);
+
+  // Syscall-number/argument resolution: the two-tier pipeline feeding the
+  // policy subsystem (block-local idiom scan, then the interprocedural
+  // value-flow analysis when --dataflow, the default).
+  policy::ExtractOptions ex_opts;
+  ex_opts.dataflow = use_dataflow;
+  const policy::StaticExtraction ex = policy::extract_static(program, ex_opts);
+  std::printf("\nsite resolution (%s): %zu/%zu sites resolved "
+              "(%zu block-local + %zu value-flow), %zu predicated, "
+              "wildcard=%s\n",
+              use_dataflow ? "dataflow on" : "block-local only",
+              ex.sites_resolved, ex.sites_total,
+              ex.sites_resolved_blocklocal, ex.sites_resolved_dataflow,
+              ex.predicated_sites, ex.used_wildcard ? "yes" : "no");
+  if (use_dataflow) {
+    const analysis::DataflowResult df =
+        analysis::analyze_dataflow(result.cfg, program.entry);
+    std::printf("dataflow: %zu block passes, %zu callee summaries "
+                "(%zu conservative)\n",
+                df.block_passes, df.callee_summaries, df.conservative_calls);
+  }
 
   if (want_listing) {
     std::printf("\n%s", analysis::annotated_listing(result, program.image).c_str());

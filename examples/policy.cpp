@@ -18,10 +18,18 @@
 //       Acceptance gate (scripts/check.sh): the webserver must run
 //       violation-free under its extracted policy on all four mechanisms,
 //       every adversarial-corpus program must be caught on all four, and
-//       verdicts must agree across mechanisms.
+//       verdicts must agree across mechanisms. With dataflow on it also
+//       gates full site resolution + zero wildcard edges, and with
+//       minimization on it gates language preservation (contains both
+//       ways) + minimized filter size <= the unminimized baseline.
 //
 //       workload:  webserver (default) | getpid-loop
 //       mechanism: lazypoline (default) | sud | zpoline | ptrace
+//
+// Pipeline flags (all modes; every feature defaults ON):
+//   --dataflow / --no-dataflow      value-flow site resolution (extract)
+//   --predicates / --no-predicates  argument predicates on edges
+//   --minimize / --no-minimize      automaton minimization before lowering
 //
 // Build & run:  cmake --build build && ./build/examples/policy gate
 #include <cstdio>
@@ -53,6 +61,24 @@ constexpr std::uint64_t kSeed = 0x1A5F'9E37ULL;
 constexpr std::uint64_t kStepLimit = 400'000'000ULL;
 const std::vector<std::string> kMechanisms = {"ptrace", "sud", "zpoline",
                                               "lazypoline"};
+
+// The value-flow / predicate / minimization knobs, threaded through every
+// mode so the gate can also exercise the degraded configurations.
+struct PipelineOptions {
+  policy::ExtractOptions extract;
+  bool minimize = true;
+};
+
+// States whose follower set degraded to allow-all (plus the global
+// from_any wildcard): the imprecision the value-flow analysis exists to
+// eliminate on the webserver.
+std::size_t wildcard_edge_count(const policy::Automaton& automaton) {
+  std::size_t n = automaton.from_any().count(policy::kAnySyscall);
+  for (const auto& [from, tos] : automaton.edges()) {
+    n += tos.count(policy::kAnySyscall);
+  }
+  return n;
+}
 
 bool install(kern::Machine& machine, kern::Tid tid,
              const std::shared_ptr<interpose::SyscallHandler>& handler,
@@ -242,12 +268,13 @@ struct Extracted {
   bool dynamic_complete = false;
 };
 
-bool extract_both(const std::string& workload, Extracted* out) {
+bool extract_both(const std::string& workload, const PipelineOptions& opts,
+                  Extracted* out) {
   {
     kern::Machine machine;
     Setup setup;
     if (!setup_workload(machine, workload, &setup)) return false;
-    out->static_ex = policy::extract_static(setup.program);
+    out->static_ex = policy::extract_static(setup.program, opts.extract);
   }
   TracedRun traced = run_traced(workload, "lazypoline");
   if (!traced.completed) {
@@ -259,14 +286,29 @@ bool extract_both(const std::string& workload, Extracted* out) {
   return true;
 }
 
-int cmd_extract(const std::string& workload) {
+int cmd_extract(const std::string& workload, const PipelineOptions& opts) {
   Extracted ex;
-  if (!extract_both(workload, &ex)) return 1;
-  std::printf("static extraction: %zu blocks, %zu syscall sites (%zu with a "
-              "statically resolved number)\n\n",
+  if (!extract_both(workload, opts, &ex)) return 1;
+  std::printf("static extraction: %zu blocks, %zu syscall sites (%zu "
+              "resolved: %zu block-local + %zu dataflow; %zu with argument "
+              "constraints)\n",
               ex.static_ex.blocks, ex.static_ex.sites_total,
-              ex.static_ex.sites_resolved);
+              ex.static_ex.sites_resolved,
+              ex.static_ex.sites_resolved_blocklocal,
+              ex.static_ex.sites_resolved_dataflow,
+              ex.static_ex.predicated_sites);
+  std::printf("wildcard edges: %zu, predicated edges: %zu\n\n",
+              wildcard_edge_count(ex.static_ex.automaton),
+              ex.static_ex.automaton.predicated_edge_count());
   print_automaton("static", ex.static_ex.automaton);
+  if (opts.minimize) {
+    const policy::MinimizeResult min =
+        policy::minimize(ex.static_ex.automaton);
+    std::printf("\nminimized: %zu -> %zu states (%zu behavior classes, %zu "
+                "redundant edges dropped)\n",
+                min.states_before, min.states_after, min.classes,
+                min.edges_dropped);
+  }
   std::printf("\n");
   print_automaton("dynamic", ex.dynamic);
   const bool contained = ex.static_ex.automaton.contains(ex.dynamic);
@@ -281,33 +323,59 @@ int cmd_extract(const std::string& workload) {
   return contained ? 0 : 1;
 }
 
-int cmd_compile(const std::string& workload) {
+int cmd_compile(const std::string& workload, const PipelineOptions& opts) {
   Extracted ex;
-  if (!extract_both(workload, &ex)) return 1;
-  auto compiled = policy::compile_to_seccomp(
-      ex.static_ex.automaton,
-      bpf::SECCOMP_RET_ERRNO | static_cast<std::uint32_t>(kern::kEPERM));
+  if (!extract_both(workload, opts, &ex)) return 1;
+  const std::uint32_t action =
+      bpf::SECCOMP_RET_ERRNO | static_cast<std::uint32_t>(kern::kEPERM);
+
+  // Unminimized baseline: the raw automaton, one program per state.
+  policy::CompileOptions baseline_opts;
+  baseline_opts.share_equivalent_states = false;
+  baseline_opts.arg_predicates = opts.extract.arg_predicates;
+  auto baseline = policy::compile_to_seccomp(ex.static_ex.automaton, action,
+                                             baseline_opts);
+
+  policy::Automaton lowered = ex.static_ex.automaton;
+  if (opts.minimize) {
+    const policy::MinimizeResult min = policy::minimize(lowered);
+    lowered = min.automaton;
+    std::printf("minimized %zu -> %zu states (%zu behavior classes, %zu "
+                "redundant edges dropped)\n",
+                min.states_before, min.states_after, min.classes,
+                min.edges_dropped);
+  }
+  policy::CompileOptions compile_opts;
+  compile_opts.share_equivalent_states = opts.minimize;
+  compile_opts.arg_predicates = opts.extract.arg_predicates;
+  auto compiled = policy::compile_to_seccomp(lowered, action, compile_opts);
   if (!compiled.is_ok()) {
     std::fprintf(stderr, "compile: %s\n",
                  compiled.status().to_string().c_str());
     return 1;
   }
-  std::printf("%zu per-state seccomp-BPF filters, %zu cBPF instructions "
-              "total\n\n",
-              compiled.value().states.size(),
+  std::printf("%zu states in %zu shared seccomp-BPF programs, %zu cBPF "
+              "instructions total",
+              compiled.value().state_count(), compiled.value().class_count(),
               compiled.value().total_filter_insns());
-  std::printf("%-24s %8s %9s %s\n", "state", "allowed", "wildcard",
-              "filter insns");
-  for (const auto& [state, sp] : compiled.value().states) {
+  if (baseline.is_ok()) {
+    std::printf(" (unminimized baseline: %zu programs, %zu instructions)",
+                baseline.value().class_count(),
+                baseline.value().total_filter_insns());
+  }
+  std::printf("\n\n%-24s %7s %8s %10s %9s %s\n", "class", "members",
+              "allowed", "predicated", "wildcard", "filter insns");
+  for (const policy::StatePolicy& sp : compiled.value().classes) {
     const std::string label =
-        state == policy::kEntryState
+        sp.state == policy::kEntryState
             ? "entry"
-            : std::string(kern::syscall_name(state));
-    std::printf("%-24s %8zu %9s %zu\n", label.c_str(), sp.allowed.size(),
+            : std::string(kern::syscall_name(sp.state));
+    std::printf("%-24s %7zu %8zu %10zu %9s %zu\n", label.c_str(),
+                sp.members.size(), sp.allowed.size(), sp.predicated.size(),
                 sp.wildcard ? "yes" : "no", sp.filter.size());
   }
   std::printf("\n--- SUD / lazypoline allowlist config ---\n%s",
-              policy::sud_allowlist_config(ex.static_ex.automaton).c_str());
+              policy::sud_allowlist_config(lowered).c_str());
   return 0;
 }
 
@@ -341,12 +409,16 @@ void print_stats(const policy::EnforcerStats& stats) {
 }
 
 int cmd_enforce(const std::string& mechanism, const std::string& workload,
-                const std::string& verdict) {
+                const std::string& verdict, const PipelineOptions& opts) {
   Extracted ex;
-  if (!extract_both(workload, &ex)) return 1;
-  const EnforcedRun run = run_enforced(workload, mechanism,
-                                       ex.static_ex.automaton,
-                                       options_for(verdict));
+  if (!extract_both(workload, opts, &ex)) return 1;
+  policy::Automaton enforced = ex.static_ex.automaton;
+  if (opts.minimize) enforced = policy::minimize(enforced).automaton;
+  policy::EnforcerOptions enforcer_opts = options_for(verdict);
+  enforcer_opts.compile.share_equivalent_states = opts.minimize;
+  enforcer_opts.compile.arg_predicates = opts.extract.arg_predicates;
+  const EnforcedRun run =
+      run_enforced(workload, mechanism, enforced, enforcer_opts);
   std::printf("%s under %s, verdict %s:\n", workload.c_str(),
               mechanism.c_str(), verdict.c_str());
   std::printf("completed: %s\n", run.completed ? "yes" : "NO");
@@ -356,7 +428,7 @@ int cmd_enforce(const std::string& mechanism, const std::string& workload,
 
 // --- the acceptance gate -----------------------------------------------------
 
-int cmd_gate(bool json) {
+int cmd_gate(bool json, const PipelineOptions& opts) {
   bool ok = true;
   std::string failures;
   auto fail = [&](const std::string& what) {
@@ -367,19 +439,84 @@ int cmd_gate(bool json) {
   // 1. Extraction + containment: the sound static automaton must contain
   //    everything the webserver actually did.
   Extracted ex;
-  if (!extract_both("webserver", &ex)) return 2;
+  if (!extract_both("webserver", opts, &ex)) return 2;
   if (!ex.static_ex.automaton.contains(ex.dynamic)) {
     fail("static automaton does not contain the dynamically learned one");
   }
 
+  // 1a. Precision gates (dataflow on): every webserver site must resolve —
+  //     the value-flow analysis picks up what the block-local scan cannot —
+  //     which leaves the automaton with zero wildcard edges.
+  const std::size_t wildcard_edges =
+      wildcard_edge_count(ex.static_ex.automaton);
+  if (opts.extract.dataflow) {
+    if (ex.static_ex.sites_resolved != ex.static_ex.sites_total) {
+      fail("webserver: only " +
+           std::to_string(ex.static_ex.sites_resolved) + " of " +
+           std::to_string(ex.static_ex.sites_total) + " sites resolved");
+    }
+    if (wildcard_edges != 0) {
+      fail("webserver automaton has " + std::to_string(wildcard_edges) +
+           " wildcard edges (expected 0 with dataflow on)");
+    }
+  }
+
+  // 1b. Minimization gates: the minimized automaton must accept exactly the
+  //     same language (contains in both directions) and must lower to no
+  //     more cBPF instructions than the unminimized one-program-per-state
+  //     baseline.
+  const std::uint32_t action =
+      bpf::SECCOMP_RET_ERRNO | static_cast<std::uint32_t>(kern::kEPERM);
+  policy::CompileOptions baseline_opts;
+  baseline_opts.share_equivalent_states = false;
+  baseline_opts.arg_predicates = opts.extract.arg_predicates;
+  auto baseline =
+      policy::compile_to_seccomp(ex.static_ex.automaton, action,
+                                 baseline_opts);
+  std::size_t insns_unminimized = 0;
+  if (baseline.is_ok()) {
+    insns_unminimized = baseline.value().total_filter_insns();
+  } else {
+    fail("unminimized compile failed: " + baseline.status().to_string());
+  }
+  policy::Automaton enforced = ex.static_ex.automaton;
+  policy::MinimizeResult min;
+  std::size_t insns_minimized = insns_unminimized;
+  if (opts.minimize) {
+    min = policy::minimize(ex.static_ex.automaton);
+    if (!min.automaton.contains(ex.static_ex.automaton) ||
+        !ex.static_ex.automaton.contains(min.automaton)) {
+      fail("minimization changed the accepted language");
+    }
+    policy::CompileOptions min_opts;
+    min_opts.arg_predicates = opts.extract.arg_predicates;
+    auto min_compiled =
+        policy::compile_to_seccomp(min.automaton, action, min_opts);
+    if (!min_compiled.is_ok()) {
+      fail("minimized compile failed: " + min_compiled.status().to_string());
+    } else {
+      insns_minimized = min_compiled.value().total_filter_insns();
+      if (baseline.is_ok() && insns_minimized > insns_unminimized) {
+        fail("minimized policy larger than baseline: " +
+             std::to_string(insns_minimized) + " > " +
+             std::to_string(insns_unminimized) + " cBPF instructions");
+      }
+    }
+    enforced = min.automaton;
+  }
+  policy::EnforcerOptions enforcer_opts = options_for("deny");
+  enforcer_opts.compile.share_equivalent_states = opts.minimize;
+  enforcer_opts.compile.arg_predicates = opts.extract.arg_predicates;
+
   // 2. The webserver must run violation-free under its own extracted policy
   //    (deny verdict — a single false violation would break the workload)
-  //    on all four mechanisms.
+  //    on all four mechanisms. Enforcement runs the minimized, predicated
+  //    policy, so a false argument constraint or an over-merged state would
+  //    surface right here as a violation.
   std::map<std::string, policy::EnforcerStats> self_stats;
   for (const std::string& mechanism : kMechanisms) {
     const EnforcedRun run =
-        run_enforced("webserver", mechanism, ex.static_ex.automaton,
-                     options_for("deny"));
+        run_enforced("webserver", mechanism, enforced, enforcer_opts);
     self_stats[mechanism] = run.stats;
     if (!run.completed) fail("webserver hung under " + mechanism);
     if (run.stats.violations != 0) {
@@ -432,9 +569,9 @@ int cmd_gate(bool json) {
     bool first = true;
     bool seed_ok = true;
     for (const std::string& mechanism : kMechanisms) {
-      const EnforcedRun run =
-          run_enforced("", mechanism, ex.static_ex.automaton,
-                       options_for("deny"), seed, /*adversarial=*/true);
+      const EnforcedRun run = run_enforced("", mechanism, enforced,
+                                           enforcer_opts, seed,
+                                           /*adversarial=*/true);
       if (!run.completed) {
         fail("adversarial seed " + std::to_string(seed) + " hung under " +
              mechanism);
@@ -470,6 +607,18 @@ int cmd_gate(bool json) {
     std::printf("  \"dynamic_states\": %zu,\n", ex.dynamic.state_count());
     std::printf("  \"sites_total\": %zu,\n", ex.static_ex.sites_total);
     std::printf("  \"sites_resolved\": %zu,\n", ex.static_ex.sites_resolved);
+    std::printf("  \"sites_resolved_blocklocal\": %zu,\n",
+                ex.static_ex.sites_resolved_blocklocal);
+    std::printf("  \"sites_resolved_dataflow\": %zu,\n",
+                ex.static_ex.sites_resolved_dataflow);
+    std::printf("  \"predicated_edges\": %zu,\n",
+                ex.static_ex.automaton.predicated_edge_count());
+    std::printf("  \"wildcard_edges\": %zu,\n", wildcard_edges);
+    std::printf("  \"minimized_states\": %zu,\n",
+                opts.minimize ? min.states_after
+                              : ex.static_ex.automaton.state_count());
+    std::printf("  \"insns_unminimized\": %zu,\n", insns_unminimized);
+    std::printf("  \"insns_minimized\": %zu,\n", insns_minimized);
     std::printf("  \"contains_dynamic\": %s,\n",
                 ex.static_ex.automaton.contains(ex.dynamic) ? "true"
                                                             : "false");
@@ -493,6 +642,14 @@ int cmd_gate(bool json) {
                 ex.static_ex.automaton.state_count(),
                 ex.dynamic.edge_count(), ex.dynamic.state_count(),
                 ex.static_ex.automaton.contains(ex.dynamic) ? "ok" : "BROKEN");
+    std::printf("sites: %zu/%zu resolved (%zu block-local + %zu dataflow), "
+                "%zu wildcard edges, %zu predicated edges\n",
+                ex.static_ex.sites_resolved, ex.static_ex.sites_total,
+                ex.static_ex.sites_resolved_blocklocal,
+                ex.static_ex.sites_resolved_dataflow, wildcard_edges,
+                ex.static_ex.automaton.predicated_edge_count());
+    std::printf("lowering: %zu cBPF insns minimized vs %zu unminimized\n",
+                insns_minimized, insns_unminimized);
     for (const auto& [mechanism, stats] : self_stats) {
       std::printf("  %-10s %llu transitions, %llu violations\n",
                   mechanism.c_str(),
@@ -514,29 +671,44 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   bool json = false;
   std::string verdict = "deny";
+  PipelineOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
     } else if (arg.rfind("--verdict=", 0) == 0) {
       verdict = arg.substr(10);
+    } else if (arg == "--dataflow") {
+      opts.extract.dataflow = true;
+    } else if (arg == "--no-dataflow") {
+      opts.extract.dataflow = false;
+    } else if (arg == "--predicates") {
+      opts.extract.arg_predicates = true;
+    } else if (arg == "--no-predicates") {
+      opts.extract.arg_predicates = false;
+    } else if (arg == "--minimize") {
+      opts.minimize = true;
+    } else if (arg == "--no-minimize") {
+      opts.minimize = false;
     } else {
       positional.push_back(arg);
     }
   }
   const std::string mode = positional.empty() ? "gate" : positional[0];
   if (mode == "extract") {
-    return cmd_extract(positional.size() > 1 ? positional[1] : "webserver");
+    return cmd_extract(positional.size() > 1 ? positional[1] : "webserver",
+                       opts);
   }
   if (mode == "compile") {
-    return cmd_compile(positional.size() > 1 ? positional[1] : "webserver");
+    return cmd_compile(positional.size() > 1 ? positional[1] : "webserver",
+                       opts);
   }
   if (mode == "enforce") {
     return cmd_enforce(positional.size() > 1 ? positional[1] : "lazypoline",
                        positional.size() > 2 ? positional[2] : "webserver",
-                       verdict);
+                       verdict, opts);
   }
-  if (mode == "gate") return cmd_gate(json);
+  if (mode == "gate") return cmd_gate(json, opts);
   std::fprintf(stderr,
                "usage: policy [extract|compile|enforce|gate] ... (see header "
                "comment)\n");

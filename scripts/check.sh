@@ -151,6 +151,26 @@ echo "== static-analysis gate (examples/analyze --gate webserver) =="
 echo "== syscall-flow policy gate (examples/policy gate) =="
 ./build/examples/policy gate
 
+# Value-flow precision leg: the full pipeline (dataflow resolution, argument
+# predicates, automaton minimization) must fully resolve the webserver —
+# zero wildcard edges — and minimization must not grow the cBPF lowering.
+echo "== policy precision gate (dataflow + predicates + minimization) =="
+policy_json="$(./build/examples/policy gate --dataflow --predicates --minimize --json)"
+grep -q '"wildcard_edges": 0,' <<<"${policy_json}" || {
+  echo "policy precision gate: webserver has wildcard edges" >&2
+  echo "${policy_json}" >&2
+  exit 1
+}
+insns_unmin="$(sed -n 's/.*"insns_unminimized": \([0-9]*\).*/\1/p' <<<"${policy_json}")"
+insns_min="$(sed -n 's/.*"insns_minimized": \([0-9]*\).*/\1/p' <<<"${policy_json}")"
+if [[ -z "${insns_min}" || -z "${insns_unmin}" || "${insns_min}" -gt "${insns_unmin}" ]]; then
+  echo "policy precision gate: minimized lowering ${insns_min:-?} insns" \
+       "exceeds unminimized ${insns_unmin:-?}" >&2
+  exit 1
+fi
+echo "policy precision gate: 0 wildcard edges," \
+     "${insns_min}/${insns_unmin} cBPF insns after minimization"
+
 if [[ "${run_bench}" == 1 ]]; then
   echo "== record-overhead bench =="
   ./build/bench/record_overhead BENCH_record_overhead.json

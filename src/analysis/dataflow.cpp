@@ -1,0 +1,457 @@
+#include "analysis/dataflow.hpp"
+
+#include <algorithm>
+
+namespace lzp::analysis {
+
+bool ValueSet::join(const ValueSet& other) {
+  if (other.is_bottom() || is_top()) return false;
+  if (other.is_top()) {
+    *this = top();
+    return true;
+  }
+  if (is_bottom()) {
+    *this = other;
+    return true;
+  }
+  bool changed = false;
+  for (std::uint64_t v : other.values_) changed |= values_.insert(v).second;
+  if (values_.size() > kMaxValues) {
+    *this = top();
+    return true;
+  }
+  return changed;
+}
+
+const ValueSet& InsnValues::reg(isa::Gpr which) const {
+  for (std::size_t i = 0; i < kDataflowRegs.size(); ++i) {
+    if (kDataflowRegs[i] == which) return regs[i];
+  }
+  static const ValueSet kTop = ValueSet::top();
+  return kTop;
+}
+
+ValueSet DataflowResult::value_at(std::uint64_t addr, isa::Gpr reg) const {
+  const auto it = at.find(addr);
+  if (it == at.end()) return ValueSet::top();
+  return it->second.reg(reg);
+}
+
+namespace {
+
+using isa::Gpr;
+using isa::Op;
+
+// Abstract push/pop stacks deeper than this are dropped (one-way to
+// "invalid"); keeps the lattice finite under loops that push net-positive.
+constexpr std::size_t kMaxStackDepth = 64;
+
+// Abstract machine state at a program point.
+struct RegState {
+  std::array<ValueSet, isa::kNumGprs> regs;
+  std::vector<ValueSet> stack;  // top of stack at back()
+  bool stack_valid = true;
+  bool reachable = false;
+
+  static RegState entry_top() {
+    RegState s;
+    s.reachable = true;
+    for (auto& r : s.regs) r = ValueSet::top();
+    return s;
+  }
+
+  [[nodiscard]] const ValueSet& reg(Gpr g) const {
+    return regs[static_cast<std::size_t>(g)];
+  }
+
+  void invalidate_stack() {
+    stack_valid = false;
+    stack.clear();
+  }
+
+  void set_reg(Gpr g, ValueSet v) {
+    if (g == Gpr::rsp) {
+      // rsp's value is never tracked; repointing it orphans the abstract
+      // stack.
+      invalidate_stack();
+      regs[static_cast<std::size_t>(g)] = ValueSet::top();
+      return;
+    }
+    regs[static_cast<std::size_t>(g)] = std::move(v);
+  }
+
+  void clobber_all() {
+    for (auto& r : regs) r = ValueSet::top();
+    invalidate_stack();
+  }
+
+  // Lattice join (in place); returns true on change.
+  bool join(const RegState& other) {
+    if (!other.reachable) return false;
+    if (!reachable) {
+      *this = other;
+      return true;
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < regs.size(); ++i) {
+      changed |= regs[i].join(other.regs[i]);
+    }
+    if (stack_valid) {
+      if (!other.stack_valid || other.stack.size() != stack.size()) {
+        invalidate_stack();
+        changed = true;
+      } else {
+        for (std::size_t i = 0; i < stack.size(); ++i) {
+          changed |= stack[i].join(other.stack[i]);
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+// What a direct callee may do to the caller's registers (entry = all-⊤, so
+// the summary over-approximates every calling context).
+struct Summary {
+  std::array<bool, isa::kNumGprs> writes{};
+  std::array<ValueSet, isa::kNumGprs> exit;  // meaningful where writes[i]
+  bool conservative = false;
+};
+
+Summary conservative_summary() {
+  Summary s;
+  s.conservative = true;
+  s.writes.fill(true);
+  s.exit.fill(ValueSet::top());
+  return s;
+}
+
+class Engine {
+ public:
+  explicit Engine(const Cfg& cfg) : cfg_(cfg) {
+    for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+      block_by_leader_[cfg.blocks[i].start] = i;
+    }
+  }
+
+  DataflowResult run(std::uint64_t entry) {
+    DataflowResult result;
+    const auto bit = block_by_leader_.find(entry);
+    if (bit == block_by_leader_.end()) return result;
+    std::map<std::size_t, RegState> in_states;
+    in_states[bit->second] = RegState::entry_top();
+    std::set<std::size_t> worklist{bit->second};
+    run_fixpoint(nullptr, in_states, worklist, /*interprocedural=*/true,
+                 nullptr);
+
+    // Recording pass: replay each block once from its fixpoint in-state and
+    // snapshot the reported registers at every instruction entry.
+    for (const auto& [b, in_state] : in_states) {
+      if (!in_state.reachable) continue;
+      RegState s = in_state;
+      for (std::uint64_t addr : cfg_.blocks[b].insns) {
+        const isa::Instruction* insn = insn_at(addr);
+        if (insn == nullptr) break;
+        InsnValues iv;
+        for (std::size_t k = 0; k < kDataflowRegs.size(); ++k) {
+          iv.regs[k] = s.reg(kDataflowRegs[k]);
+        }
+        result.at.emplace(addr, std::move(iv));
+        transfer(addr, *insn, s);
+      }
+    }
+    result.block_passes = block_passes_;
+    result.callee_summaries = summaries_.size();
+    result.conservative_calls = static_cast<std::size_t>(std::count_if(
+        summaries_.begin(), summaries_.end(),
+        [](const auto& kv) { return kv.second.conservative; }));
+    return result;
+  }
+
+ private:
+  [[nodiscard]] const isa::Instruction* insn_at(std::uint64_t addr) const {
+    const auto it = cfg_.reachable.find(addr);
+    return it == cfg_.reachable.end() ? nullptr : &it->second.insn;
+  }
+
+  // Worklist fixpoint over `extent` (nullptr = whole CFG). When
+  // `interprocedural`, call-site states are joined into callee entry blocks
+  // so instructions inside callees see the union of their calling contexts.
+  // Terminates because both joins are monotone over finite-height lattices
+  // and blocks are only re-enqueued when their in-state strictly grows.
+  void run_fixpoint(const std::set<std::size_t>* extent,
+                    std::map<std::size_t, RegState>& in_states,
+                    std::set<std::size_t>& worklist, bool interprocedural,
+                    RegState* ret_join) {
+    const auto in_extent = [&](std::size_t b) {
+      return extent == nullptr || extent->count(b) != 0;
+    };
+    while (!worklist.empty()) {
+      const std::size_t b = *worklist.begin();
+      worklist.erase(worklist.begin());
+      RegState s = in_states[b];
+      if (!s.reachable) continue;
+      ++block_passes_;
+      const BasicBlock& block = cfg_.blocks[b];
+      const isa::Instruction* last = nullptr;
+      for (std::uint64_t addr : block.insns) {
+        const isa::Instruction* insn = insn_at(addr);
+        if (insn == nullptr) break;
+        last = insn;
+        if (interprocedural && insn->op == Op::kCallRel) {
+          const std::uint64_t target =
+              addr + insn->length + static_cast<std::uint64_t>(insn->imm);
+          const auto it = block_by_leader_.find(target);
+          if (it != block_by_leader_.end() && in_extent(it->second)) {
+            RegState contrib = s;
+            contrib.invalidate_stack();  // callee frame discipline unknown
+            if (in_states[it->second].join(contrib)) {
+              worklist.insert(it->second);
+            }
+          }
+        }
+        transfer(addr, *insn, s);
+      }
+      if (ret_join != nullptr && last != nullptr && last->op == Op::kRet) {
+        ret_join->join(s);
+      }
+      for (std::uint64_t succ : block.succs) {
+        const auto it = block_by_leader_.find(succ);
+        if (it == block_by_leader_.end() || !in_extent(it->second)) continue;
+        if (in_states[it->second].join(s)) worklist.insert(it->second);
+      }
+    }
+  }
+
+  // Transfer function for one instruction.
+  void transfer(std::uint64_t addr, const isa::Instruction& insn, RegState& s) {
+    const Gpr r1 = insn.r1;
+    const Gpr r2 = insn.r2;
+    const auto wrap_add = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+    const auto wrap_sub = [](std::uint64_t a, std::uint64_t b) { return a - b; };
+    switch (insn.op) {
+      case Op::kMovRI:
+      case Op::kMovRI32:
+        // kMovRI32's imm is already the zero-extended 32-bit value.
+        s.set_reg(r1, ValueSet::constant(static_cast<std::uint64_t>(insn.imm)));
+        break;
+      case Op::kMovRR:
+        s.set_reg(r1, s.reg(r2));
+        break;
+      case Op::kXorRR:
+        if (r1 == r2) {
+          s.set_reg(r1, ValueSet::constant(0));
+        } else {
+          s.set_reg(r1, ValueSet::binop(
+                            s.reg(r1), s.reg(r2),
+                            [](std::uint64_t a, std::uint64_t b) { return a ^ b; }));
+        }
+        break;
+      case Op::kSubRR:
+        if (r1 == r2) {
+          s.set_reg(r1, ValueSet::constant(0));
+        } else {
+          s.set_reg(r1, ValueSet::binop(s.reg(r1), s.reg(r2), wrap_sub));
+        }
+        break;
+      case Op::kAddRR:
+        s.set_reg(r1, ValueSet::binop(s.reg(r1), s.reg(r2), wrap_add));
+        break;
+      case Op::kMulRR:
+        s.set_reg(r1, ValueSet::binop(
+                          s.reg(r1), s.reg(r2),
+                          [](std::uint64_t a, std::uint64_t b) { return a * b; }));
+        break;
+      case Op::kDivRR:
+      case Op::kModRR:
+        // Signed divide with trapping corner cases; not worth modeling.
+        s.set_reg(r1, ValueSet::top());
+        break;
+      case Op::kAddRI:
+        s.set_reg(r1, ValueSet::binop(
+                          s.reg(r1),
+                          ValueSet::constant(static_cast<std::uint64_t>(insn.imm)),
+                          wrap_add));
+        break;
+      case Op::kSubRI:
+        s.set_reg(r1, ValueSet::binop(
+                          s.reg(r1),
+                          ValueSet::constant(static_cast<std::uint64_t>(insn.imm)),
+                          wrap_sub));
+        break;
+      case Op::kLoad:
+      case Op::kLoad8:
+      case Op::kLoadGs:
+      case Op::kLoadGs8:
+      case Op::kXmovRX:
+      case Op::kYmovRYHi:
+      case Op::kFstpR:
+      case Op::kRdGs:
+        s.set_reg(r1, ValueSet::top());
+        break;
+      case Op::kPush:
+        if (s.stack_valid) {
+          if (s.stack.size() >= kMaxStackDepth) {
+            s.invalidate_stack();
+          } else {
+            s.stack.push_back(s.reg(r1));
+          }
+        }
+        break;
+      case Op::kPop:
+        if (s.stack_valid && !s.stack.empty()) {
+          ValueSet v = s.stack.back();
+          s.stack.pop_back();
+          s.set_reg(r1, std::move(v));
+        } else {
+          // Popping beyond the tracked frame (or with an invalid stack):
+          // the slot's content is unknown.
+          s.set_reg(r1, ValueSet::top());
+        }
+        break;
+      case Op::kStore:
+      case Op::kStore8:
+      case Op::kStoreGs:
+      case Op::kStoreGs8:
+      case Op::kXstore:
+        // Any store may alias a tracked stack slot (gs may point anywhere).
+        s.invalidate_stack();
+        break;
+      case Op::kSyscall:
+      case Op::kSysenter:
+        s.set_reg(Gpr::rax, ValueSet::top());
+        s.set_reg(Gpr::rcx, ValueSet::top());
+        s.set_reg(Gpr::r11, ValueSet::top());
+        // The kernel may write user memory (e.g. read(2) into a stack
+        // buffer), so tracked stack slots are stale too.
+        s.invalidate_stack();
+        break;
+      case Op::kCallRel: {
+        const std::uint64_t target =
+            addr + insn.length + static_cast<std::uint64_t>(insn.imm);
+        const Summary& sum = summarize(target);
+        for (std::size_t i = 0; i < isa::kNumGprs; ++i) {
+          if (sum.writes[i]) s.set_reg(static_cast<Gpr>(i), sum.exit[i]);
+        }
+        s.invalidate_stack();
+        break;
+      }
+      case Op::kCallRax:
+      case Op::kHostCall:
+        // Computed call / native interposer code: anything may happen.
+        s.clobber_all();
+        break;
+      default:
+        // Compares, branches, x87/xmm-only writes, wrgs, nop, ret, hlt,
+        // trap: no GPR writes.
+        break;
+    }
+  }
+
+  // Blocks reachable from `entry_block` via direct block successors: the
+  // callee's extent. Fallthrough splicing can over-include neighbouring
+  // code, which only makes the summary more conservative.
+  [[nodiscard]] std::set<std::size_t> extent_of(std::size_t entry_block) const {
+    std::set<std::size_t> extent;
+    std::vector<std::size_t> work{entry_block};
+    while (!work.empty()) {
+      const std::size_t b = work.back();
+      work.pop_back();
+      if (!extent.insert(b).second) continue;
+      for (std::uint64_t succ : cfg_.blocks[b].succs) {
+        const auto it = block_by_leader_.find(succ);
+        if (it != block_by_leader_.end() && extent.count(it->second) == 0) {
+          work.push_back(it->second);
+        }
+      }
+    }
+    return extent;
+  }
+
+  const Summary& summarize(std::uint64_t leader) {
+    if (const auto it = summaries_.find(leader); it != summaries_.end()) {
+      return it->second;
+    }
+    if (summarizing_.count(leader) != 0) {
+      // Recursive call chain: the in-flight frame answers conservatively;
+      // the outer frame's memoized summary subsumes this.
+      static const Summary kRecursive = conservative_summary();
+      return kRecursive;
+    }
+    const auto bit = block_by_leader_.find(leader);
+    if (bit == block_by_leader_.end()) {
+      // Target is not a decoded block leader (outside the region, or inside
+      // another instruction): nothing is provable about it.
+      return summaries_.emplace(leader, conservative_summary()).first->second;
+    }
+    summarizing_.insert(leader);
+    const std::set<std::size_t> extent = extent_of(bit->second);
+
+    Summary s;
+    // Pass 1: syntactic may-write set (transitive through nested callees).
+    for (const std::size_t b : extent) {
+      for (std::uint64_t addr : cfg_.blocks[b].insns) {
+        const isa::Instruction* insn = insn_at(addr);
+        if (insn == nullptr) continue;
+        if (insn->op == Op::kCallRel) {
+          const std::uint64_t target =
+              addr + insn->length + static_cast<std::uint64_t>(insn->imm);
+          const Summary& nested = summarize(target);
+          if (nested.conservative) {
+            s.conservative = true;
+          } else {
+            for (std::size_t i = 0; i < isa::kNumGprs; ++i) {
+              s.writes[i] = s.writes[i] || nested.writes[i];
+            }
+          }
+        } else if (insn->op == Op::kCallRax || insn->op == Op::kHostCall ||
+                   insn->op == Op::kJmpReg) {
+          s.conservative = true;
+        } else {
+          const isa::RegEffects fx = isa::reg_effects(*insn);
+          for (std::uint8_t w = 0; w < fx.num_writes; ++w) {
+            if (fx.writes[w].cls == isa::RegClass::kGpr) {
+              s.writes[fx.writes[w].index] = true;
+            }
+          }
+        }
+        if (s.conservative) break;
+      }
+      if (s.conservative) break;
+    }
+
+    if (s.conservative) {
+      s = conservative_summary();
+    } else {
+      // Pass 2: exit value sets from an all-⊤ entry (over-approximates
+      // every calling context), joined over the callee's RET blocks.
+      std::map<std::size_t, RegState> in_states;
+      in_states[bit->second] = RegState::entry_top();
+      std::set<std::size_t> worklist{bit->second};
+      RegState ret_join;
+      run_fixpoint(&extent, in_states, worklist, /*interprocedural=*/false,
+                   &ret_join);
+      for (std::size_t i = 0; i < isa::kNumGprs; ++i) {
+        if (!s.writes[i]) continue;
+        s.exit[i] =
+            ret_join.reachable ? ret_join.regs[i] : ValueSet::top();
+      }
+    }
+    summarizing_.erase(leader);
+    return summaries_.emplace(leader, std::move(s)).first->second;
+  }
+
+  const Cfg& cfg_;
+  std::map<std::uint64_t, std::size_t> block_by_leader_;
+  std::map<std::uint64_t, Summary> summaries_;
+  std::set<std::uint64_t> summarizing_;
+  std::size_t block_passes_ = 0;
+};
+
+}  // namespace
+
+DataflowResult analyze_dataflow(const Cfg& cfg, std::uint64_t entry) {
+  return Engine(cfg).run(entry);
+}
+
+}  // namespace lzp::analysis

@@ -1,0 +1,150 @@
+// Interprocedural value-flow analysis over the recursive-descent CFG.
+//
+// A forward abstract interpretation computing, per reachable instruction, a
+// value-set lattice for the syscall-relevant registers:
+//
+//         ⊤  (any value)
+//         |
+//   {c0..ck}  constant sets, |set| <= kMaxValues
+//         |
+//         ⊥  (unreachable / no value yet)
+//
+// The pass tracks all 16 GPRs internally (a copy from an untracked register
+// would otherwise lose precision) and reports the five the SFIP pipeline
+// cares about: rax (the syscall number) and the first four argument
+// registers rdi/rsi/rdx/r10. It models the ISA's constant-producing idioms
+// (mov ri / mov ri32 / xor-self / sub-self), register copies, wrapping
+// add/sub/mul/xor arithmetic, and a bounded abstract stack for push/pop
+// pairs. Loads, gs reads, x87/xmm moves and divisions conservatively
+// produce ⊤.
+//
+// INTERPROCEDURAL MODEL — callee summaries (documented choice, vs inlining
+// one level): direct calls (CALL rel32) are handled with memoized per-callee
+// summaries computed over the callee's block extent with an all-⊤ entry
+// state. A summary records which GPRs the callee may write and the joined
+// value sets those registers hold at its RET instructions; registers the
+// callee provably never writes keep the caller's values across the call.
+// Because a summary is computed from a ⊤ entry, it over-approximates every
+// calling context, so applying it at any call site is sound. In addition,
+// the whole-program fixpoint joins each call site's state into the callee's
+// entry block, so instructions *inside* callees see the union of their
+// actual calling contexts (call-strings of length zero). Recursion,
+// computed transfers (JMP reg / CALL rax) and host-call escapes degrade the
+// affected summary to clobber-everything, never to unsoundness.
+//
+// Soundness posture matches the analyzer's: every concrete execution value
+// is a member of the reported set, or the set is ⊤. Consumers may act on a
+// constant set only in ways that stay safe if the program never runs the
+// instruction (⊥ means "not proven reachable with a value").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "isa/insn.hpp"
+
+namespace lzp::analysis {
+
+// Bounded constant-set lattice element.
+class ValueSet {
+ public:
+  // Widening threshold: a set that would exceed this many members becomes ⊤.
+  static constexpr std::size_t kMaxValues = 8;
+
+  ValueSet() = default;  // ⊥
+  [[nodiscard]] static ValueSet bottom() { return ValueSet{}; }
+  [[nodiscard]] static ValueSet top() {
+    ValueSet v;
+    v.kind_ = Kind::kTop;
+    return v;
+  }
+  [[nodiscard]] static ValueSet constant(std::uint64_t value) {
+    ValueSet v;
+    v.kind_ = Kind::kConsts;
+    v.values_.insert(value);
+    return v;
+  }
+  [[nodiscard]] static ValueSet from_values(std::set<std::uint64_t> values) {
+    if (values.empty()) return bottom();
+    if (values.size() > kMaxValues) return top();
+    ValueSet v;
+    v.kind_ = Kind::kConsts;
+    v.values_ = std::move(values);
+    return v;
+  }
+
+  [[nodiscard]] bool is_bottom() const { return kind_ == Kind::kBottom; }
+  [[nodiscard]] bool is_top() const { return kind_ == Kind::kTop; }
+  [[nodiscard]] bool is_constant_set() const { return kind_ == Kind::kConsts; }
+  // Valid only when is_constant_set().
+  [[nodiscard]] const std::set<std::uint64_t>& values() const {
+    return values_;
+  }
+
+  // Lattice join (in place); returns true if this element changed.
+  bool join(const ValueSet& other);
+
+  // Pointwise binary operation over two constant sets with widening; ⊤ or ⊥
+  // operands propagate (⊥ wins: the result is unreachable).
+  template <typename Fn>
+  [[nodiscard]] static ValueSet binop(const ValueSet& a, const ValueSet& b,
+                                      Fn&& fn) {
+    if (a.is_bottom() || b.is_bottom()) return bottom();
+    if (a.is_top() || b.is_top()) return top();
+    std::set<std::uint64_t> out;
+    for (std::uint64_t x : a.values_) {
+      for (std::uint64_t y : b.values_) {
+        out.insert(fn(x, y));
+        if (out.size() > kMaxValues) return top();
+      }
+    }
+    return from_values(std::move(out));
+  }
+
+  friend bool operator==(const ValueSet&, const ValueSet&) = default;
+
+ private:
+  enum class Kind : std::uint8_t { kBottom, kConsts, kTop };
+  Kind kind_ = Kind::kBottom;
+  std::set<std::uint64_t> values_;
+};
+
+// Registers reported per instruction: syscall number + first four args
+// (the argument subset the policy layer can turn into cBPF predicates).
+inline constexpr std::array<isa::Gpr, 5> kDataflowRegs = {
+    isa::Gpr::rax, isa::Gpr::rdi, isa::Gpr::rsi, isa::Gpr::rdx,
+    isa::Gpr::r10};
+
+// Value sets at an instruction's *entry* (before it executes), indexed like
+// kDataflowRegs.
+struct InsnValues {
+  std::array<ValueSet, kDataflowRegs.size()> regs;
+
+  [[nodiscard]] const ValueSet& reg(isa::Gpr which) const;
+};
+
+struct DataflowResult {
+  // Keyed by absolute instruction address; instructions never reached by
+  // the fixpoint (e.g. only reachable through a computed transfer) are
+  // absent — callers must treat absent as all-⊤.
+  std::map<std::uint64_t, InsnValues> at;
+
+  // Diagnostics.
+  std::size_t block_passes = 0;       // total block transfers until fixpoint
+  std::size_t callee_summaries = 0;   // distinct direct-call summaries
+  std::size_t conservative_calls = 0; // summaries degraded to clobber-all
+
+  // ⊤ when the instruction was not recorded.
+  [[nodiscard]] ValueSet value_at(std::uint64_t addr, isa::Gpr reg) const;
+};
+
+// Runs the fixpoint over `cfg` starting at `entry` (the program entry; it
+// must be a block leader, which build_cfg guarantees for its entry point).
+[[nodiscard]] DataflowResult analyze_dataflow(const Cfg& cfg,
+                                              std::uint64_t entry);
+
+}  // namespace lzp::analysis

@@ -108,4 +108,122 @@ inline isa::Program make_adversarial_program(std::uint64_t seed) {
   return isa::make_program("advfuzz-" + std::to_string(seed), a, entry).value();
 }
 
+// --- extraction-precision corpus ---------------------------------------------
+//
+// Three families of runnable programs where the syscall number (or its
+// arguments) are only resolvable ACROSS basic blocks — the block-local idiom
+// scan must fail and the interprocedural value-flow analysis must succeed.
+// Every syscall invoked is side-effect-free (getpid / sched_yield), so the
+// dynamically observed (site, nr, args) tuples falsify — or confirm — the
+// static resolutions.
+
+namespace detail {
+
+// Seed-dependent benign syscall number.
+inline std::uint64_t benign_nr(Xoshiro256& rng) {
+  return rng.next_below(2) == 0 ? std::uint64_t{kern::kSysGetpid}
+                                : std::uint64_t{kern::kSysSchedYield};
+}
+
+// Register-only filler that never touches rax or the argument registers the
+// dataflow reports (rdi/rsi/rdx/r10), so planted constants survive it.
+inline void neutral_filler(isa::Assembler& a, Xoshiro256& rng,
+                           std::uint64_t count) {
+  using isa::Gpr;
+  const Gpr pool[] = {Gpr::rbx, Gpr::rbp, Gpr::r8, Gpr::r12, Gpr::r13,
+                      Gpr::r14, Gpr::r15};
+  auto reg = [&] { return pool[rng.next_below(std::size(pool))]; };
+  for (std::uint64_t i = 0; i < count; ++i) {
+    switch (rng.next_below(4)) {
+      case 0: a.mov(reg(), rng.next_below(1 << 16)); break;
+      case 1: a.add(reg(), reg()); break;
+      case 2: a.sub(reg(), reg()); break;
+      case 3: {
+        const Gpr r = reg();
+        a.push(r);
+        a.pop(r);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+// The number is materialized in one block (through a copy, so even a
+// cross-block idiom scan would not see it) and the SYSCALL sits in another,
+// reached by an unconditional jump. Block-local resolution fails; the
+// value-flow analysis proves rax = {nr}.
+inline isa::Program make_cross_block_constant_program(std::uint64_t seed) {
+  using isa::Gpr;
+  Xoshiro256 rng(seed);
+  const std::uint64_t nr = detail::benign_nr(rng);
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto invoke = a.new_label();
+  a.bind(entry);
+  detail::neutral_filler(a, rng, 4 + rng.next_below(8));
+  a.mov(Gpr::rbx, nr);
+  a.mov(Gpr::rax, Gpr::rbx);  // copy defeats the idiom scan
+  a.jmp(invoke);
+  a.bind(invoke);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  return isa::make_program("xblock-" + std::to_string(seed), a, entry).value();
+}
+
+// Two arms assign DIFFERENT numbers and merge on one shared SYSCALL: the
+// value-flow join yields the two-member set {nr1, nr2}, one edge per member.
+// Which arm executes depends on the seed; either way the observed number is
+// a member of the static set.
+inline isa::Program make_join_point_conflict_program(std::uint64_t seed) {
+  using isa::Gpr;
+  Xoshiro256 rng(seed);
+  const std::uint64_t take_second = rng.next_below(2);
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto arm2 = a.new_label();
+  const auto invoke = a.new_label();
+  a.bind(entry);
+  detail::neutral_filler(a, rng, 2 + rng.next_below(6));
+  a.mov(Gpr::rbx, take_second);
+  a.cmp(Gpr::rbx, 1);
+  a.jz(arm2);
+  a.mov(Gpr::rax, std::uint64_t{kern::kSysGetpid});
+  a.jmp(invoke);
+  a.bind(arm2);
+  a.mov(Gpr::rax, std::uint64_t{kern::kSysSchedYield});
+  a.bind(invoke);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  return isa::make_program("joinpt-" + std::to_string(seed), a, entry).value();
+}
+
+// Number AND argument registers are pinned to constants in the entry block;
+// the SYSCALL lives across a jump. The analysis must both resolve the number
+// and attach an argument-constraint clause (getpid ignores its registers, so
+// the planted values are observable but harmless).
+inline isa::Program make_arg_constant_program(std::uint64_t seed) {
+  using isa::Gpr;
+  Xoshiro256 rng(seed);
+  const std::uint64_t rdi = rng.next_below(1 << 12);
+  const std::uint64_t rsi = rng.next_below(1 << 12);
+  const std::uint64_t rdx = rng.next_below(1 << 12);
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto invoke = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, std::uint64_t{kern::kSysGetpid});
+  a.mov(Gpr::rdi, rdi);
+  a.mov(Gpr::rsi, rsi);
+  a.mov(Gpr::rdx, rdx);
+  detail::neutral_filler(a, rng, 2 + rng.next_below(6));
+  a.jmp(invoke);
+  a.bind(invoke);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  return isa::make_program("argconst-" + std::to_string(seed), a, entry)
+      .value();
+}
+
 }  // namespace lzp::analysis

@@ -1,5 +1,6 @@
 #include "bpf/seccomp_filter.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -89,15 +90,35 @@ std::vector<Insn> SeccompFilterBuilder::trap_unless_ip_in_range(
 
 Result<std::vector<Insn>> SeccompFilterBuilder::allowlist(
     std::span<const std::uint32_t> allowed, std::uint32_t default_action) {
-  LZP_RETURN_IF_ERROR(check_set_size(allowed.size(), "allowlist"));
+  // Sets beyond the 8-bit-offset reach are emitted as a sequence of
+  // segments: each segment's JEQs jump (short, <= kAllowlistChunk) to the
+  // segment-local `ret ALLOW`, and non-matches hop over it with an
+  // unconditional BPF_JA (32-bit offset). One program, any set size the
+  // kernel's 4096-instruction cap admits.
+  const std::size_t chunks =
+      allowed.empty() ? 0 : (allowed.size() + kAllowlistChunk - 1) / kAllowlistChunk;
+  const std::size_t total = 1 + allowed.size() + 2 * chunks + 1;
+  if (total > kMaxProgramLength) {
+    return make_error(StatusCode::kOutOfRange,
+                      "allowlist: " + std::to_string(allowed.size()) +
+                          " syscalls need " + std::to_string(total) +
+                          " instructions, over the BPF_MAXINSNS cap of " +
+                          std::to_string(kMaxProgramLength));
+  }
   std::vector<Insn> program;
   program.push_back(stmt(BPF_LD | BPF_W | BPF_ABS, SeccompData::kOffNr));
-  for (std::size_t i = 0; i < allowed.size(); ++i) {
-    const auto remaining = static_cast<std::uint8_t>(allowed.size() - 1 - i + 1);
-    program.push_back(jump(BPF_JMP | BPF_JEQ | BPF_K, allowed[i], remaining, 0));
+  for (std::size_t base = 0; base < allowed.size(); base += kAllowlistChunk) {
+    const std::size_t k = std::min(kAllowlistChunk, allowed.size() - base);
+    // i-th compare sits k-i instructions before the segment's ALLOW.
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto to_allow = static_cast<std::uint8_t>(k - i);
+      program.push_back(
+          jump(BPF_JMP | BPF_JEQ | BPF_K, allowed[base + i], to_allow, 0));
+    }
+    program.push_back(jump(BPF_JMP | BPF_JA, 1, 0, 0));  // skip the ALLOW
+    program.push_back(stmt(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
   }
   program.push_back(stmt(BPF_RET | BPF_K, default_action));
-  program.push_back(stmt(BPF_RET | BPF_K, SECCOMP_RET_ALLOW));
   return program;
 }
 

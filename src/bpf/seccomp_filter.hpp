@@ -56,18 +56,24 @@ inline constexpr std::uint32_t kAuditArchX86_64 = 0xC000003E;
 
 // Builds common seccomp filter programs.
 //
-// The set-membership builders (trap_syscalls / allowlist) emit one JEQ per
-// listed syscall whose on-match jump skips every remaining compare. cBPF
-// jump offsets are 8-bit, so a list longer than kMaxSetMembers needs a jump
-// offset > 255 and cannot be encoded this way; those builders return a clear
-// Status instead of silently truncating the offset (which would produce a
-// filter that *validates* but matches the wrong instruction).
+// The set-membership builders emit one JEQ per listed syscall. cBPF
+// conditional jump offsets are 8-bit, so a single linear chain is limited
+// to kMaxSetMembers; `allowlist` sidesteps the limit by segmenting the
+// chain (each segment owns a local `ret ALLOW` reached by short jumps,
+// with 32-bit BPF_JA hops between segments), so it accepts any set the
+// kernel's 4096-instruction program cap admits. `trap_syscalls` keeps the
+// single-chain shape and returns a clear Status beyond kMaxSetMembers
+// instead of silently truncating the offset (which would produce a filter
+// that *validates* but matches the wrong instruction).
 class SeccompFilterBuilder {
  public:
-  // Largest syscall list a linear JEQ chain can encode: the first compare's
-  // on-match jump must skip the remaining (n - 1) compares plus the
-  // fall-through return, i.e. jt = n <= 255.
+  // Largest syscall list a single linear JEQ chain can encode: the first
+  // compare's on-match jump must skip the remaining (n - 1) compares plus
+  // the fall-through return, i.e. jt = n <= 255.
   static constexpr std::size_t kMaxSetMembers = 255;
+  // Segment size for the chained allowlist form (the longest short jump a
+  // segment needs is `chunk`, which must stay <= 255).
+  static constexpr std::size_t kAllowlistChunk = 254;
 
   // Every syscall -> `action`.
   static std::vector<Insn> return_constant(std::uint32_t action);
@@ -86,6 +92,8 @@ class SeccompFilterBuilder {
                                                    std::uint32_t trap_action);
 
   // Allowlist: listed syscalls ALLOW, everything else -> `default_action`.
+  // Emits the segmented/chained form, so the set may exceed kMaxSetMembers;
+  // fails only past the kernel's 4096-instruction cap.
   static Result<std::vector<Insn>> allowlist(
       std::span<const std::uint32_t> allowed, std::uint32_t default_action);
 };

@@ -189,7 +189,7 @@ ExecResult exec_decoded(CpuContext& ctx, mem::AddressSpace& mem,
       &&op_kXmovXR,   &&op_kXmovRX,   &&op_kXstore,   &&op_kXload,
       &&op_kXzero,    &&op_kYmovHiYR, &&op_kYmovRYHi, &&op_kFldI,
       &&op_kFstpR,    &&op_kFaddP,    &&op_kRdGs,     &&op_kWrGs,
-      &&op_kHostCall,
+      &&op_kXorRR,    &&op_kMovRI32,  &&op_kHostCall,
   };
   static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) == isa::kNumOps);
   goto* kDispatch[static_cast<std::size_t>(insn.op)];
@@ -423,6 +423,13 @@ ExecResult exec_decoded(CpuContext& ctx, mem::AddressSpace& mem,
       LZP_BREAK;
     LZP_OP(kWrGs)
       ctx.gs_base = ctx.reg(insn.r1);
+      LZP_BREAK;
+    LZP_OP(kXorRR)
+      ctx.set_reg(insn.r1, ctx.reg(insn.r1) ^ ctx.reg(insn.r2));
+      LZP_BREAK;
+    LZP_OP(kMovRI32)
+      // Zero-extend: decode already stores the unsigned 32-bit value.
+      ctx.set_reg(insn.r1, static_cast<std::uint64_t>(insn.imm));
       LZP_BREAK;
 #ifndef LZP_THREADED_DISPATCH
   }

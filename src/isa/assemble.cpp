@@ -173,6 +173,16 @@ void Assembler::cmp(Gpr a, Gpr b) {
   emit_op(Op::kCmpRR, {{0x39, reg_byte(a), reg_byte(b)}});
 }
 
+void Assembler::xor_(Gpr dst, Gpr src) {
+  emit_op(Op::kXorRR, {{0x31, reg_byte(dst), reg_byte(src)}});
+}
+
+void Assembler::mov32(Gpr dst, std::uint32_t imm) {
+  std::vector<std::uint8_t> bytes{0xC7, reg_byte(dst)};
+  append_i32(bytes, static_cast<std::int32_t>(imm));
+  emit_op(Op::kMovRI32, bytes);
+}
+
 void Assembler::xmov(std::uint8_t xmm, std::uint64_t imm_both_lanes) {
   std::vector<std::uint8_t> bytes{0xA0, xmm};
   append_u64(bytes, imm_both_lanes);

@@ -54,6 +54,8 @@ class Assembler {
   void trap();
   void mov(Gpr dst, std::uint64_t imm);
   void mov(Gpr dst, Gpr src);
+  // mov r32, imm32 — zero-extends into the full register (x86-64 rule).
+  void mov32(Gpr dst, std::uint32_t imm);
   void load(Gpr dst, Gpr base, std::int32_t disp);
   void store(Gpr base, std::int32_t disp, Gpr src);
   void load8(Gpr dst, Gpr base, std::int32_t disp);
@@ -73,6 +75,7 @@ class Assembler {
   void sub(Gpr dst, std::int32_t imm);
   void cmp(Gpr reg, std::int32_t imm);
   void cmp(Gpr a, Gpr b);
+  void xor_(Gpr dst, Gpr src);
   void xmov(std::uint8_t xmm, std::uint64_t imm_both_lanes);
   void xmov_from_gpr(std::uint8_t xmm, Gpr src);
   void xmov_to_gpr(Gpr dst, std::uint8_t xmm);

@@ -186,6 +186,7 @@ Result<Instruction> decode(std::span<const std::uint8_t> bytes) {
     case 0x58: return reg_form(Op::kPop);
     case 0x01: return reg_reg_form(Op::kAddRR);
     case 0x29: return reg_reg_form(Op::kSubRR);
+    case 0x31: return reg_reg_form(Op::kXorRR);
     case 0x6B: return reg_reg_form(Op::kMulRR);
     case 0x6C: return reg_reg_form(Op::kDivRR);
     case 0x6D: return reg_reg_form(Op::kModRR);
@@ -215,6 +216,18 @@ Result<Instruction> decode(std::span<const std::uint8_t> bytes) {
       if (!need(9)) return truncated();
       insn.op = Op::kFldI; insn.length = 9;
       insn.imm = read_imm64(bytes.data() + 1);
+      return insn;
+    }
+    case 0xC7: {
+      // mov r32, imm32: zero-extends into the full register (x86-64 rule),
+      // so the stored imm is the unsigned 32-bit value, not sign-extended.
+      if (!need(6)) return truncated();
+      auto r = reg_operand(bytes[1]);
+      if (!r) return r.status();
+      std::uint32_t value = 0;
+      std::memcpy(&value, bytes.data() + 2, sizeof(value));
+      insn.op = Op::kMovRI32; insn.length = 6; insn.r1 = r.value();
+      insn.imm = static_cast<std::int64_t>(value);
       return insn;
     }
     case 0xA9: return reg_form(Op::kFstpR);

@@ -62,6 +62,8 @@ std::string_view op_name(Op op) noexcept {
     case Op::kFaddP: return "faddp";
     case Op::kRdGs: return "rdgsbase";
     case Op::kWrGs: return "wrgsbase";
+    case Op::kXorRR: return "xor rr";
+    case Op::kMovRI32: return "mov ri32";
     case Op::kHostCall: return "hostcall";
   }
   return "?";
@@ -71,6 +73,7 @@ std::string Instruction::to_string() const {
   std::string out{op_name(op)};
   switch (op) {
     case Op::kMovRI:
+    case Op::kMovRI32:
     case Op::kAddRI:
     case Op::kSubRI:
     case Op::kCmpRI:
@@ -86,6 +89,7 @@ std::string Instruction::to_string() const {
     case Op::kDivRR:
     case Op::kModRR:
     case Op::kCmpRR:
+    case Op::kXorRR:
       out += " ";
       out += gpr_name(r1);
       out += ", ";
@@ -136,6 +140,7 @@ RegEffects reg_effects(const Instruction& insn) noexcept {
       fx.add_read(RegClass::kGpr, r1);
       break;
     case Op::kMovRI:
+    case Op::kMovRI32:
       fx.add_write(RegClass::kGpr, r1);
       break;
     case Op::kMovRR:
@@ -171,6 +176,7 @@ RegEffects reg_effects(const Instruction& insn) noexcept {
     case Op::kMulRR:
     case Op::kDivRR:
     case Op::kModRR:
+    case Op::kXorRR:
       fx.add_read(RegClass::kGpr, r1);
       fx.add_read(RegClass::kGpr, r2);
       fx.add_write(RegClass::kGpr, r1);

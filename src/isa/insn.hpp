@@ -87,6 +87,9 @@ enum class Op : std::uint8_t {
   kFaddP,      // st1 += st0; pop
   kRdGs,       // gpr = gs base
   kWrGs,       // gs base = gpr
+  kXorRR,      // r1 ^= r2 (xor reg,reg is the canonical zeroing idiom)
+  kMovRI32,    // reg = zero-extended imm32 (the 32-bit `mov eax, imm32` form
+               // compilers emit for syscall numbers; zero-extends like x86-64)
   kHostCall,   // transfer to host-bound native code #imm (modeling primitive:
                // stands in for a jmp into an interposer's native code page)
 };

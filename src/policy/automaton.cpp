@@ -1,5 +1,7 @@
 #include "policy/automaton.hpp"
 
+#include <algorithm>
+#include <array>
 #include <sstream>
 #include <vector>
 
@@ -35,12 +37,131 @@ Result<std::uint64_t> parse_token(const std::string& tok) {
   return value;
 }
 
+// Predicate argument registers by ABI position (SeccompData args 0..3).
+constexpr std::array<std::string_view, kNumPredArgs> kArgNames = {
+    "rdi", "rsi", "rdx", "r10"};
+
+// Full-u64 decimal (predicate values are argument values, not syscall
+// numbers, so no range check applies).
+Result<std::uint64_t> parse_u64(const std::string& tok) {
+  if (tok.empty()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "automaton: empty predicate value");
+  }
+  std::uint64_t value = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') {
+      return make_error(StatusCode::kInvalidArgument,
+                        "automaton: bad predicate value '" + tok + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::string clause_text(const PredClause& clause) {
+  std::string out;
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    if (i != 0) out += "&";
+    out += kArgNames[clause[i].arg];
+    out += "=";
+    bool first = true;
+    for (const std::uint64_t v : clause[i].values) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(v);
+    }
+  }
+  return out;
+}
+
+std::string predicate_text(const std::vector<PredClause>& clauses) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (i != 0) out += ";";
+    out += clause_text(clauses[i]);
+  }
+  out += "]";
+  return out;
+}
+
+// Sort constraints by arg and intersect duplicate-arg constraints.
+// Returns false if the clause became unsatisfiable (empty intersection).
+bool normalize_clause(PredClause& clause) {
+  std::sort(clause.begin(), clause.end(),
+            [](const ArgConstraint& a, const ArgConstraint& b) {
+              return a.arg < b.arg;
+            });
+  PredClause out;
+  for (ArgConstraint& c : clause) {
+    if (c.values.empty() || c.arg >= kNumPredArgs) return false;
+    if (!out.empty() && out.back().arg == c.arg) {
+      std::set<std::uint64_t> both;
+      std::set_intersection(out.back().values.begin(), out.back().values.end(),
+                            c.values.begin(), c.values.end(),
+                            std::inserter(both, both.begin()));
+      if (both.empty()) return false;
+      out.back().values = std::move(both);
+    } else {
+      out.push_back(std::move(c));
+    }
+  }
+  clause = std::move(out);
+  return true;
+}
+
+bool clause_holds(const PredClause& clause, const std::uint64_t* args) {
+  for (const ArgConstraint& c : clause) {
+    if (c.values.count(args[c.arg]) == 0) return false;
+  }
+  return true;
+}
+
 std::string comment_name(std::uint64_t id) {
   if (id == kEntryState || id == kAnySyscall) return {};
   return std::string(kern::syscall_name(id));
 }
 
 }  // namespace
+
+void Automaton::add_edge(std::uint64_t from, std::uint64_t to,
+                         const PredClause& clause) {
+  PredClause normalized = clause;
+  if (to == kAnySyscall || normalized.empty() ||
+      !normalize_clause(normalized)) {
+    // Wildcard successors and degenerate clauses carry no constraint (an
+    // unsatisfiable clause widens rather than silently denying: predicates
+    // may only restrict what nr-granularity reasoning already allows).
+    add_edge(from, to);
+    return;
+  }
+  const bool existed = edges_[from].count(to) != 0;
+  edges_[from].insert(to);
+  const std::pair<std::uint64_t, std::uint64_t> key{from, to};
+  if (existed && predicates_.count(key) == 0) return;  // stays unconstrained
+  auto& clauses = predicates_[key];
+  if (std::find(clauses.begin(), clauses.end(), normalized) == clauses.end()) {
+    clauses.push_back(std::move(normalized));
+    std::sort(clauses.begin(), clauses.end());
+  }
+}
+
+bool Automaton::allows(std::uint64_t state, std::uint64_t nr,
+                       const std::uint64_t* args) const {
+  if (from_any_.count(nr) != 0 || from_any_.count(kAnySyscall) != 0) {
+    return true;
+  }
+  const auto it = edges_.find(state);
+  if (it == edges_.end()) return true;
+  if (it->second.count(kAnySyscall) != 0) return true;
+  if (it->second.count(nr) == 0) return false;
+  const auto pit = predicates_.find({state, nr});
+  if (pit == predicates_.end()) return true;
+  for (const PredClause& clause : pit->second) {
+    if (clause_holds(clause, args)) return true;
+  }
+  return false;
+}
 
 std::set<std::uint64_t> Automaton::syscalls() const {
   std::set<std::uint64_t> out;
@@ -79,15 +200,45 @@ bool Automaton::contains(const Automaton& other) const {
 
 void Automaton::merge(const Automaton& other) {
   for (const auto& [from, tos] : other.edges_) {
-    edges_[from].insert(tos.begin(), tos.end());
+    for (const std::uint64_t to : tos) {
+      const auto* pred = other.predicate(from, to);
+      if (pred == nullptr) {
+        add_edge(from, to);
+      } else {
+        for (const PredClause& clause : *pred) add_edge(from, to, clause);
+      }
+    }
   }
   from_any_.insert(other.from_any_.begin(), other.from_any_.end());
   if (source != other.source) source = "merged";
 }
 
+std::string Automaton::behavior_signature(std::uint64_t state) const {
+  if (from_any_.count(kAnySyscall) != 0) return "*";
+  const auto it = edges_.find(state);
+  if (it == edges_.end() || it->second.count(kAnySyscall) != 0) return "*";
+  // Effective constraint per allowed nr: from_any members are always
+  // unconstrained (allows() consults from_any first), per-state members
+  // carry their predicate if any.
+  std::map<std::uint64_t, std::string> effective;
+  for (const std::uint64_t to : from_any_) effective[to] = "";
+  for (const std::uint64_t to : it->second) {
+    if (effective.count(to) != 0) continue;  // from_any wins (unconstrained)
+    const auto* pred = predicate(state, to);
+    effective[to] = pred == nullptr ? "" : predicate_text(*pred);
+  }
+  std::string sig;
+  for (const auto& [nr, pred] : effective) {
+    sig += std::to_string(nr);
+    sig += pred;
+    sig += " ";
+  }
+  return sig;
+}
+
 std::string Automaton::serialize() const {
   std::ostringstream out;
-  out << "# lazypoline policy automaton v1\n";
+  out << "# lazypoline policy automaton v2\n";
   out << "name " << (name.empty() ? "-" : name) << "\n";
   out << "source " << (source.empty() ? "-" : source) << "\n";
   if (!from_any_.empty()) {
@@ -97,7 +248,11 @@ std::string Automaton::serialize() const {
   }
   for (const auto& [from, tos] : edges_) {
     out << "state " << token(from) << " ->";
-    for (const std::uint64_t to : tos) out << " " << token(to);
+    for (const std::uint64_t to : tos) {
+      out << " " << token(to);
+      const auto* pred = predicate(from, to);
+      if (pred != nullptr) out << predicate_text(*pred);
+    }
     const std::string comment = comment_name(from);
     if (!comment.empty()) out << "  # " << comment;
     out << "\n";
@@ -149,15 +304,124 @@ Result<Automaton> Automaton::parse(const std::string& text) {
       out.edges_[from.value()];
       std::string tok;
       while (fields >> tok) {
+        // Optional predicate suffix: to[rdi=1,2&rsi=0;rdx=7].
+        std::vector<PredClause> clauses;
+        const auto bracket = tok.find('[');
+        if (bracket != std::string::npos) {
+          if (tok.back() != ']') return fail("unterminated predicate in '" + tok + "'");
+          std::string body = tok.substr(bracket + 1,
+                                        tok.size() - bracket - 2);
+          tok.resize(bracket);
+          if (body.empty()) return fail("empty predicate");
+          std::istringstream clause_in(body);
+          std::string clause_tok;
+          while (std::getline(clause_in, clause_tok, ';')) {
+            PredClause clause;
+            std::istringstream con_in(clause_tok);
+            std::string con_tok;
+            while (std::getline(con_in, con_tok, '&')) {
+              const auto eq = con_tok.find('=');
+              if (eq == std::string::npos) {
+                return fail("bad predicate constraint '" + con_tok + "'");
+              }
+              const std::string arg_name = con_tok.substr(0, eq);
+              ArgConstraint constraint;
+              bool known = false;
+              for (std::size_t i = 0; i < kArgNames.size(); ++i) {
+                if (arg_name == kArgNames[i]) {
+                  constraint.arg = static_cast<std::uint8_t>(i);
+                  known = true;
+                  break;
+                }
+              }
+              if (!known) {
+                return fail("unknown predicate register '" + arg_name + "'");
+              }
+              std::istringstream val_in(con_tok.substr(eq + 1));
+              std::string val_tok;
+              while (std::getline(val_in, val_tok, ',')) {
+                auto value = parse_u64(val_tok);
+                if (!value.is_ok()) return fail(value.status().to_string());
+                constraint.values.insert(value.value());
+              }
+              if (constraint.values.empty()) {
+                return fail("empty value set in predicate");
+              }
+              clause.push_back(std::move(constraint));
+            }
+            if (clause.empty()) return fail("empty predicate clause");
+            clauses.push_back(std::move(clause));
+          }
+        }
         auto to = parse_token(tok);
         if (!to.is_ok()) return fail(to.status().to_string());
-        out.add_edge(from.value(), to.value());
+        if (clauses.empty()) {
+          out.add_edge(from.value(), to.value());
+        } else {
+          for (const PredClause& clause : clauses) {
+            out.add_edge(from.value(), to.value(), clause);
+          }
+        }
       }
     } else {
       return fail("unknown keyword '" + keyword + "'");
     }
   }
   return out;
+}
+
+MinimizeResult minimize(const Automaton& automaton) {
+  MinimizeResult result;
+  result.states_before = automaton.state_count();
+  Automaton& out = result.automaton;
+  out.name = automaton.name;
+  out.source = automaton.source;
+  for (const std::uint64_t to : automaton.from_any()) out.add_from_any(to);
+
+  if (automaton.from_any().count(kAnySyscall) != 0) {
+    // Globally allow-all: every per-state rule is shadowed.
+    for (const auto& [from, tos] : automaton.edges()) {
+      result.edges_dropped += tos.size();
+    }
+    return result;
+  }
+
+  std::set<std::string> signatures;
+  for (const auto& [from, tos] : automaton.edges()) {
+    if (tos.count(kAnySyscall) != 0) {
+      // A wildcard state behaves exactly like an unknown state (allow-all
+      // under allows()); dropping it preserves the language and removes a
+      // whole filter from the compiled set.
+      result.edges_dropped += tos.size();
+      continue;
+    }
+    // Keep the state (an explicit empty state is deny-all-but-from_any,
+    // which is NOT the same as unknown, so it must survive).
+    ++result.states_after;
+    signatures.insert(automaton.behavior_signature(from));
+    bool any_kept = false;
+    for (const std::uint64_t to : tos) {
+      if (automaton.from_any().count(to) != 0) {
+        // from_any already allows `to` unconditionally from every state;
+        // the per-state member (predicated or not) is redundant.
+        ++result.edges_dropped;
+        continue;
+      }
+      any_kept = true;
+      const auto* pred = automaton.predicate(from, to);
+      if (pred == nullptr) {
+        out.add_edge(from, to);
+      } else {
+        for (const PredClause& clause : *pred) out.add_edge(from, to, clause);
+      }
+    }
+    if (!any_kept) {
+      // Materialize the (now empty) state explicitly.
+      out.add_state(from);
+    }
+  }
+  result.classes = signatures.size();
+  return result;
 }
 
 }  // namespace lzp::policy

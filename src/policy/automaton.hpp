@@ -15,6 +15,14 @@
 //     of a syscall site whose own number could not be resolved statically
 //     (the monitor cannot know which state that site put the task in).
 //
+// Edges may additionally carry ARGUMENT PREDICATES: a disjunction of
+// clauses, each a conjunction of small-set constraints on the first four
+// syscall argument registers (rdi rsi rdx r10), produced by the value-flow
+// analysis (analysis/dataflow.hpp). An edge without a predicate is
+// unconstrained; predicates only ever *restrict* an edge, so nr-granularity
+// reasoning (contains(), edge_count()) stays sound and argument-level
+// precision is validated dynamically by the enforcement gates.
+//
 // The text serialization is the interchange format between the extractor
 // CLI and the enforcer, and doubles as the SUD/lazypoline allowlist config.
 #pragma once
@@ -23,6 +31,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/status.hpp"
 #include "kernel/trace_sink.hpp"
@@ -34,20 +44,48 @@ namespace lzp::policy {
 inline constexpr std::uint64_t kEntryState = kern::kPolicyEntryState;
 inline constexpr std::uint64_t kAnySyscall = kern::kPolicyAnySyscall;
 
+// Number of argument registers predicates may constrain (rdi rsi rdx r10,
+// indices 0..3 — matching SeccompData's args array).
+inline constexpr std::size_t kNumPredArgs = 4;
+
+// "arg ∈ values" — one conjunct of a predicate clause.
+struct ArgConstraint {
+  std::uint8_t arg = 0;             // 0..kNumPredArgs-1
+  std::set<std::uint64_t> values;   // non-empty
+  friend auto operator<=>(const ArgConstraint&, const ArgConstraint&) = default;
+};
+
+// Conjunction of constraints, normalized: sorted by arg, one entry per arg.
+using PredClause = std::vector<ArgConstraint>;
+
 class Automaton {
  public:
   std::string name;    // workload label
   std::string source;  // "static" | "dynamic" | "merged" | free-form
 
-  void add_edge(std::uint64_t from, std::uint64_t to) { edges_[from].insert(to); }
+  // Unconstrained edge; widens away any predicate previously on (from, to).
+  void add_edge(std::uint64_t from, std::uint64_t to) {
+    edges_[from].insert(to);
+    predicates_.erase({from, to});
+  }
+  // Predicated edge: permitted when the clause holds (disjunction with any
+  // clauses already present). If the edge already exists unconstrained, it
+  // stays unconstrained; an empty/degenerate clause means unconstrained.
+  void add_edge(std::uint64_t from, std::uint64_t to, const PredClause& clause);
   void add_from_any(std::uint64_t to) { from_any_.insert(to); }
+  // Materialize `from` as an explicit state, possibly with no successors
+  // (an explicit empty state denies everything beyond from_any, unlike an
+  // unknown state which allows all).
+  void add_state(std::uint64_t from) { edges_[from]; }
 
-  // Enforcement semantics, exactly as the enforcer applies them: `nr` is
-  // permitted in `state` if it is globally allowed, if the state's follower
-  // set contains it or the wildcard — or if the automaton has never seen the
-  // state at all (a state only reachable through from_any/wildcard edges has
-  // no recorded followers; refusing everything there would turn a sound
-  // over-approximation into false violations, so unknown states allow-all).
+  // Enforcement semantics at nr granularity, exactly as the enforcer applies
+  // them: `nr` is permitted in `state` if it is globally allowed, if the
+  // state's follower set contains it or the wildcard — or if the automaton
+  // has never seen the state at all (a state only reachable through
+  // from_any/wildcard edges has no recorded followers; refusing everything
+  // there would turn a sound over-approximation into false violations, so
+  // unknown states allow-all). Predicates are ignored: an edge counts as
+  // present whether or not it is constrained.
   [[nodiscard]] bool allows(std::uint64_t state, std::uint64_t nr) const {
     if (from_any_.count(nr) != 0 || from_any_.count(kAnySyscall) != 0) {
       return true;
@@ -57,12 +95,25 @@ class Automaton {
     return it->second.count(kAnySyscall) != 0 || it->second.count(nr) != 0;
   }
 
+  // Argument-aware variant: like allows(state, nr) but a predicated edge
+  // additionally requires some clause to hold on `args` (the first
+  // kNumPredArgs syscall arguments). Unconstrained paths (from_any, unknown
+  // state, wildcard) never consult args.
+  [[nodiscard]] bool allows(std::uint64_t state, std::uint64_t nr,
+                            const std::uint64_t* args) const;
+
   [[nodiscard]] const std::map<std::uint64_t, std::set<std::uint64_t>>& edges()
       const noexcept {
     return edges_;
   }
   [[nodiscard]] const std::set<std::uint64_t>& from_any() const noexcept {
     return from_any_;
+  }
+  // nullptr = unconstrained; otherwise the clause disjunction on the edge.
+  [[nodiscard]] const std::vector<PredClause>* predicate(
+      std::uint64_t from, std::uint64_t to) const {
+    const auto it = predicates_.find({from, to});
+    return it == predicates_.end() ? nullptr : &it->second;
   }
 
   // Number of distinct (state -> successor) pairs, counting each from_any
@@ -73,6 +124,9 @@ class Automaton {
     return n;
   }
   [[nodiscard]] std::size_t state_count() const { return edges_.size(); }
+  [[nodiscard]] std::size_t predicated_edge_count() const {
+    return predicates_.size();
+  }
   [[nodiscard]] bool has_wildcard() const {
     for (const auto& [from, tos] : edges_) {
       if (tos.count(kAnySyscall) != 0) return true;
@@ -88,11 +142,27 @@ class Automaton {
   // static ⊇ dynamic containment check. Concrete edges and from_any members
   // of `other` must be allowed by *this* under allows(); a wildcard
   // successor in `other` requires the matching state here to be wildcard
-  // (or unknown) too.
+  // (or unknown) too. Deliberately nr-granular (predicate-blind): a
+  // dynamically learned automaton records no arguments, so argument
+  // predicates are validated by running the workload violation-free under
+  // the predicated policy, not by containment.
   [[nodiscard]] bool contains(const Automaton& other) const;
 
-  // Union of transitions; wildcard and from_any are merged as-is.
+  // Union of transitions; wildcard and from_any are merged as-is. An edge
+  // unconstrained on either side is unconstrained in the union; two
+  // predicated edges keep both clause sets (disjunction).
   void merge(const Automaton& other);
+
+  // Canonical description of this state's effective allow behavior under
+  // allows(state, nr, args): "*" for allow-all states, otherwise the sorted
+  // list of allowed nrs with their effective predicates (from_any members
+  // are always unconstrained). Two states with equal signatures accept the
+  // same language — and because the successor state of an accepted symbol
+  // is the symbol itself regardless of the source state, one-step
+  // equivalence IS full equivalence: the Hopcroft-style partition
+  // refinement over these signatures converges in a single round. Used by
+  // compile_to_seccomp to share one cBPF program across equivalent states.
+  [[nodiscard]] std::string behavior_signature(std::uint64_t state) const;
 
   // Deterministic text round trip: serialize() output parses back to an
   // automaton that compares equal (tests/policy_test.cpp pins this).
@@ -104,6 +174,25 @@ class Automaton {
  private:
   std::map<std::uint64_t, std::set<std::uint64_t>> edges_;
   std::set<std::uint64_t> from_any_;
+  // Keyed by (from, to); invariant: the edge exists in edges_, the clause
+  // list is non-empty, normalized and sorted. Absence = unconstrained.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<PredClause>>
+      predicates_;
 };
+
+// Language-preserving simplification: drops allow-all states (a state with
+// a wildcard successor behaves exactly like an unknown state) and per-state
+// successors already covered by from_any (which is unconstrained, so it
+// subsumes any predicate on the same nr). The result accepts exactly the
+// same set of traces — tests pin `contains` in both directions — while
+// shrinking the serialized form and the compiled filter set.
+struct MinimizeResult {
+  Automaton automaton;
+  std::size_t states_before = 0;  // explicit states in the input
+  std::size_t states_after = 0;   // explicit states kept
+  std::size_t classes = 0;        // distinct behavior classes among kept
+  std::size_t edges_dropped = 0;  // redundant (state -> nr) pairs removed
+};
+[[nodiscard]] MinimizeResult minimize(const Automaton& automaton);
 
 }  // namespace lzp::policy

@@ -1,6 +1,7 @@
 #include "policy/compile.hpp"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "bpf/seccomp_filter.hpp"
@@ -15,10 +16,127 @@ std::string state_label(std::uint64_t state) {
          ")";
 }
 
+// What one behavior class must allow.
+struct ClassSpec {
+  bool wildcard = false;
+  std::set<std::uint64_t> plain;  // unconstrained members
+  // Predicated members: nr -> clause disjunction (non-null).
+  std::map<std::uint64_t, const std::vector<PredClause>*> pred;
+};
+
+// cBPF emitter with forward-label fixups for the unconditional BPF_JA hops
+// (conditional jumps only ever use small fixed offsets here).
+class FilterEmitter {
+ public:
+  void stmt(std::uint16_t code, std::uint32_t k) {
+    program_.push_back(bpf::stmt(code, k));
+  }
+  void jump(std::uint16_t code, std::uint32_t k, std::uint8_t jt,
+            std::uint8_t jf) {
+    program_.push_back(bpf::jump(code, k, jt, jf));
+  }
+  // Unconditional jump to a label bound later.
+  void ja(int label) {
+    fixups_.emplace_back(program_.size(), label);
+    program_.push_back(bpf::jump(bpf::BPF_JMP | bpf::BPF_JA, 0, 0, 0));
+  }
+  int new_label() { return next_label_++; }
+  void bind(int label) { bound_[label] = program_.size(); }
+  [[nodiscard]] std::size_t size() const { return program_.size(); }
+
+  std::vector<bpf::Insn> finish() {
+    for (const auto& [index, label] : fixups_) {
+      // All jumps are forward; bind() ran after the ja() that targets it.
+      program_[index].k =
+          static_cast<std::uint32_t>(bound_.at(label) - index - 1);
+    }
+    return std::move(program_);
+  }
+
+ private:
+  std::vector<bpf::Insn> program_;
+  std::vector<std::pair<std::size_t, int>> fixups_;
+  std::map<int, std::size_t> bound_;
+  int next_label_ = 0;
+};
+
+// Membership chain for the unconstrained members, segmented like
+// SeccompFilterBuilder::allowlist but inlined so a non-match falls through
+// to the predicate segments instead of a final return.
+void emit_plain_members(FilterEmitter& em, const std::set<std::uint64_t>& plain) {
+  std::vector<std::uint32_t> members;
+  members.reserve(plain.size());
+  for (const std::uint64_t nr : plain) {
+    members.push_back(static_cast<std::uint32_t>(nr));
+  }
+  constexpr std::size_t kChunk = bpf::SeccompFilterBuilder::kAllowlistChunk;
+  for (std::size_t base = 0; base < members.size(); base += kChunk) {
+    const std::size_t k = std::min(kChunk, members.size() - base);
+    for (std::size_t i = 0; i < k; ++i) {
+      em.jump(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K, members[base + i],
+              static_cast<std::uint8_t>(k - i), 0);
+    }
+    em.jump(bpf::BPF_JMP | bpf::BPF_JA, 1, 0, 0);  // skip the segment ALLOW
+    em.stmt(bpf::BPF_RET | bpf::BPF_K, bpf::SECCOMP_RET_ALLOW);
+  }
+}
+
+// One predicated successor: if nr matches, some clause must hold on the
+// argument words or the verdict is the violation action.
+void emit_pred_segment(FilterEmitter& em, std::uint64_t to,
+                       const std::vector<PredClause>& clauses, int violation) {
+  const int next_segment = em.new_label();
+  // nr match: hop over the ja into the clause code; mismatch: next segment.
+  em.jump(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K,
+          static_cast<std::uint32_t>(to), 1, 0);
+  em.ja(next_segment);
+  for (std::size_t c = 0; c < clauses.size(); ++c) {
+    const int clause_fail = c + 1 < clauses.size() ? em.new_label() : violation;
+    for (const ArgConstraint& constraint : clauses[c]) {
+      const int constraint_ok = em.new_label();
+      const std::uint32_t off_low =
+          bpf::SeccompData::off_arg_low(constraint.arg);
+      const std::uint32_t off_high =
+          bpf::SeccompData::off_arg_high(constraint.arg);
+      for (const std::uint64_t value : constraint.values) {
+        // 64-bit equality in the 32-bit cBPF machine: low word, then high
+        // word; any mismatch short-jumps to the next candidate value.
+        em.stmt(bpf::BPF_LD | bpf::BPF_W | bpf::BPF_ABS, off_low);
+        em.jump(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K,
+                static_cast<std::uint32_t>(value), 0, 3);
+        em.stmt(bpf::BPF_LD | bpf::BPF_W | bpf::BPF_ABS, off_high);
+        em.jump(bpf::BPF_JMP | bpf::BPF_JEQ | bpf::BPF_K,
+                static_cast<std::uint32_t>(value >> 32), 0, 1);
+        em.ja(constraint_ok);
+      }
+      em.ja(clause_fail);  // no value matched: conjunction failed
+      em.bind(constraint_ok);
+    }
+    em.stmt(bpf::BPF_RET | bpf::BPF_K, bpf::SECCOMP_RET_ALLOW);
+    if (c + 1 < clauses.size()) em.bind(clause_fail);
+  }
+  em.bind(next_segment);
+}
+
+std::vector<bpf::Insn> build_class_filter(const ClassSpec& spec,
+                                          std::uint32_t violation_action) {
+  FilterEmitter em;
+  const int violation = em.new_label();
+  em.stmt(bpf::BPF_LD | bpf::BPF_W | bpf::BPF_ABS, bpf::SeccompData::kOffNr);
+  emit_plain_members(em, spec.plain);
+  for (const auto& [to, clauses] : spec.pred) {
+    emit_pred_segment(em, to, *clauses, violation);
+  }
+  em.bind(violation);
+  em.stmt(bpf::BPF_RET | bpf::BPF_K, violation_action);
+  return em.finish();
+}
+
 }  // namespace
 
 Result<CompiledPolicy> compile_to_seccomp(const Automaton& automaton,
-                                          std::uint32_t violation_action) {
+                                          std::uint32_t violation_action,
+                                          const CompileOptions& options) {
   CompiledPolicy out;
   out.violation_action = violation_action;
 
@@ -29,9 +147,30 @@ Result<CompiledPolicy> compile_to_seccomp(const Automaton& automaton,
   states.insert(kEntryState);
   for (const auto& [from, tos] : automaton.edges()) states.insert(from);
 
+  // Group behavior-equivalent states (one-step equivalence is full
+  // equivalence for this automaton class; see behavior_signature). With
+  // sharing off every state is its own class — the unminimized baseline.
+  std::map<std::string, std::vector<std::uint64_t>> groups;
   for (const std::uint64_t state : states) {
+    std::string key = options.share_equivalent_states
+                          ? automaton.behavior_signature(state)
+                          : "#" + std::to_string(state);
+    groups[key].push_back(state);
+  }
+  std::vector<std::vector<std::uint64_t>*> ordered;
+  ordered.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    std::sort(members.begin(), members.end());
+    ordered.push_back(&members);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->front() < b->front(); });
+
+  for (const auto* members : ordered) {
+    const std::uint64_t state = members->front();  // representative
     StatePolicy sp;
     sp.state = state;
+    sp.members = *members;
 
     const auto it = automaton.edges().find(state);
     const bool unknown_state = it == automaton.edges().end();
@@ -44,31 +183,58 @@ Result<CompiledPolicy> compile_to_seccomp(const Automaton& automaton,
       sp.filter =
           bpf::SeccompFilterBuilder::return_constant(bpf::SECCOMP_RET_ALLOW);
     } else {
-      std::set<std::uint64_t> members = automaton.from_any();
-      members.insert(it->second.begin(), it->second.end());
-      sp.allowed.reserve(members.size());
-      for (const std::uint64_t nr : members) {
+      ClassSpec spec;
+      spec.plain = automaton.from_any();
+      for (const std::uint64_t to : it->second) {
+        const std::vector<PredClause>* pred = automaton.predicate(state, to);
+        if (options.arg_predicates && pred != nullptr &&
+            spec.plain.count(to) == 0) {
+          spec.pred[to] = pred;
+        } else {
+          if (pred != nullptr) ++out.predicates_dropped;
+          spec.plain.insert(to);
+        }
+      }
+      std::vector<bpf::Insn> program = build_class_filter(spec, violation_action);
+      if (program.size() > bpf::kMaxProgramLength && !spec.pred.empty()) {
+        // Predicates only restrict: dropping them back to plain membership
+        // is sound and usually brings the program under the cap.
+        out.predicates_dropped += spec.pred.size();
+        for (const auto& [to, clauses] : spec.pred) spec.plain.insert(to);
+        spec.pred.clear();
+        program = build_class_filter(spec, violation_action);
+      }
+      if (program.size() > bpf::kMaxProgramLength) {
+        return make_error(StatusCode::kOutOfRange,
+                          "state " + state_label(state) + ": " +
+                              std::to_string(program.size()) +
+                              " instructions exceed the BPF_MAXINSNS cap of " +
+                              std::to_string(bpf::kMaxProgramLength));
+      }
+      sp.allowed.reserve(spec.plain.size() + spec.pred.size());
+      for (const std::uint64_t nr : spec.plain) {
         sp.allowed.push_back(static_cast<std::uint32_t>(nr));
       }
-      auto program =
-          bpf::SeccompFilterBuilder::allowlist(sp.allowed, violation_action);
-      if (!program.is_ok()) {
-        return make_error(program.status().code(),
-                          "state " + state_label(state) + ": " +
-                              program.status().message());
+      for (const auto& [to, clauses] : spec.pred) {
+        sp.allowed.push_back(static_cast<std::uint32_t>(to));
+        sp.predicated.push_back(static_cast<std::uint32_t>(to));
       }
-      sp.filter = std::move(program).value();
+      std::sort(sp.allowed.begin(), sp.allowed.end());
+      sp.filter = std::move(program);
     }
 
-    const Status valid =
-        bpf::validate(sp.filter, bpf::SeccompData::kSize);
+    const Status valid = bpf::validate(sp.filter, bpf::SeccompData::kSize);
     if (!valid.is_ok()) {
       return make_error(StatusCode::kInternal,
                         "state " + state_label(state) +
                             ": generated filter failed validation: " +
                             valid.to_string());
     }
-    out.states.emplace(state, std::move(sp));
+    const std::size_t class_index = out.classes.size();
+    for (const std::uint64_t member : sp.members) {
+      out.state_to_class.emplace(member, class_index);
+    }
+    out.classes.push_back(std::move(sp));
   }
   return out;
 }

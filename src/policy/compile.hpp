@@ -1,14 +1,29 @@
 // Lowering: automaton -> enforceable artifacts.
 //
 // The seccomp-BPF artifact is one set-membership allowlist *per automaton
-// state*, assembled with bpf::SeccompFilterBuilder::allowlist and validated
-// by bpf::validate — real classic-BPF programs a kernel could attach, with
+// state*, assembled with bpf::SeccompFilterBuilder and validated by
+// bpf::validate — real classic-BPF programs a kernel could attach, with
 // the monitor tracking which state's filter is active (SFIP's model: the
 // kernel cannot track sequence state in one stateless cBPF program, so the
 // supervisor swaps filters as the automaton advances). The enforcer
 // (policy/enforce.hpp) reaches its verdicts honestly, by *running* these
 // programs over a synthesized seccomp_data, never by consulting the
 // automaton behind the filter's back.
+//
+// Two refinements over the naive one-filter-per-state lowering:
+//
+//   * STATE MERGING (Hopcroft-style): states with equal behavior
+//     signatures (Automaton::behavior_signature — one-step equivalence is
+//     full equivalence for this last-syscall automaton class) share a
+//     single compiled program. CompiledPolicy maps every state to its
+//     class; total_filter_insns() counts each shared program once.
+//
+//   * ARGUMENT PREDICATES: an edge constrained by the value-flow analysis
+//     lowers to per-argument 64-bit compares (SeccompData carries full
+//     args) guarding that successor's ALLOW; unconstrained members keep
+//     the plain membership chain. A state whose predicates would blow the
+//     kernel's 4096-instruction cap falls back to the unconstrained form
+//     (sound: predicates only ever restrict).
 //
 // The SUD/lazypoline artifact is the textual allowlist config the
 // selector-based runtimes consume: same per-state sets, rendered as the
@@ -26,32 +41,57 @@
 
 namespace lzp::policy {
 
-// One automaton state, lowered.
+// One behavior class of automaton states, lowered to a shared program.
 struct StatePolicy {
+  // Representative state (the smallest member id).
   std::uint64_t state = kEntryState;
-  // Sorted successor numbers the filter allows (empty when wildcard).
+  // Every automaton state sharing this program, sorted.
+  std::vector<std::uint64_t> members;
+  // Sorted successor numbers the filter can allow (empty when wildcard).
   std::vector<std::uint32_t> allowed;
-  // State degraded to allow-all (wildcard successor / state the automaton
+  // Subset of `allowed` guarded by argument predicates in the program.
+  std::vector<std::uint32_t> predicated;
+  // Class degraded to allow-all (wildcard successor / states the automaton
   // never recorded followers for).
   bool wildcard = false;
-  // The validated cBPF program: ALLOW for members, `violation_action` else.
+  // The validated cBPF program: ALLOW for members (with any argument
+  // checks), `violation_action` otherwise.
   std::vector<bpf::Insn> filter;
+};
+
+struct CompileOptions {
+  // Share one program among behavior-equivalent states (semantics
+  // preserving; off = one program per state, the unminimized baseline for
+  // the before/after filter-size metric).
+  bool share_equivalent_states = true;
+  // Lower argument predicates into the programs (off = nr-only membership,
+  // predicate edges degrade to unconstrained).
+  bool arg_predicates = true;
 };
 
 struct CompiledPolicy {
   std::uint32_t violation_action = 0;
-  // Keyed by automaton state; kEntryState is always present.
-  std::map<std::uint64_t, StatePolicy> states;
+  // Behavior classes; every state the automaton mentions (plus kEntryState)
+  // maps to exactly one class.
+  std::vector<StatePolicy> classes;
+  std::map<std::uint64_t, std::size_t> state_to_class;
+  // Predicated edges that fell back to unconstrained membership because
+  // their checks would not fit the program cap.
+  std::size_t predicates_dropped = 0;
 
   // nullptr for states the automaton never mentioned (enforcer treats those
   // as wildcard-allow, matching Automaton::allows).
   [[nodiscard]] const StatePolicy* find(std::uint64_t state) const {
-    const auto it = states.find(state);
-    return it == states.end() ? nullptr : &it->second;
+    const auto it = state_to_class.find(state);
+    return it == state_to_class.end() ? nullptr : &classes[it->second];
   }
+  [[nodiscard]] std::size_t state_count() const { return state_to_class.size(); }
+  [[nodiscard]] std::size_t class_count() const { return classes.size(); }
+  // Instructions across distinct programs (a shared program counts once —
+  // the artifact the monitor must actually hold).
   [[nodiscard]] std::size_t total_filter_insns() const {
     std::size_t n = 0;
-    for (const auto& [state, sp] : states) n += sp.filter.size();
+    for (const StatePolicy& sp : classes) n += sp.filter.size();
     return n;
   }
 };
@@ -59,11 +99,12 @@ struct CompiledPolicy {
 // Lowers every state of `automaton` (edge sources, plus every syscall that
 // appears only as a successor, plus the entry state) to a validated
 // allowlist filter returning `violation_action` for off-automaton syscalls.
-// Fails with a clear Status if any per-state set exceeds what a linear cBPF
-// membership chain can encode (SeccompFilterBuilder's 255-offset limit) or
-// if a generated program does not validate.
+// Fails with a clear Status if a generated program cannot be encoded
+// (beyond the kernel's 4096-instruction cap even after predicate fallback)
+// or does not validate.
 [[nodiscard]] Result<CompiledPolicy> compile_to_seccomp(
-    const Automaton& automaton, std::uint32_t violation_action);
+    const Automaton& automaton, std::uint32_t violation_action,
+    const CompileOptions& options = {});
 
 // The SUD/lazypoline allowlist config: the automaton text plus a
 // human-readable per-state legend with syscall names.

@@ -28,7 +28,8 @@ std::uint32_t violation_action_for(const EnforcerOptions& options) {
 Result<std::shared_ptr<PolicyEnforcer>> PolicyEnforcer::create(
     const Automaton& automaton, EnforcerOptions options,
     std::shared_ptr<interpose::SyscallHandler> inner) {
-  auto compiled = compile_to_seccomp(automaton, violation_action_for(options));
+  auto compiled = compile_to_seccomp(automaton, violation_action_for(options),
+                                     options.compile);
   if (!compiled.is_ok()) return compiled.status();
   return std::shared_ptr<PolicyEnforcer>(
       new PolicyEnforcer(automaton, std::move(compiled).value(), options,

@@ -53,6 +53,9 @@ struct EnforcerOptions {
   // Unconditionally permitted, whatever the automaton says: a deny-mode
   // policy must never wedge a task that is trying to exit.
   std::set<std::uint64_t> always_allow = {kern::kSysExit, kern::kSysExitGroup};
+  // Lowering knobs (state merging on, predicate edges on by default; both
+  // are semantics-preserving, so decisions are identical either way).
+  CompileOptions compile;
 };
 
 struct EnforcerStats {

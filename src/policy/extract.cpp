@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
 #include "kernel/syscalls.hpp"
 
 namespace lzp::policy {
@@ -23,34 +24,59 @@ bool writes_rax(const isa::Instruction& insn) {
   return false;
 }
 
-// One reachable SYSCALL/SYSENTER site: its resolved number, or kAnySyscall.
+// One reachable SYSCALL/SYSENTER site: the set of numbers it can invoke
+// ({kAnySyscall} when statically unknown) plus any argument constraints the
+// value-flow analysis proved for the invocation.
 struct Site {
   std::uint64_t addr = 0;
-  std::uint64_t nr = kAnySyscall;
+  std::set<std::uint64_t> nrs;
+  PredClause clause;
+  SiteResolution::How how = SiteResolution::How::kUnresolved;
+  [[nodiscard]] bool resolved() const { return nrs.count(kAnySyscall) == 0; }
 };
 
-// Block-local backward scan from the site to the last rax writer.
+// Block-local backward scan from the site to the last rax writer,
+// recognizing the constant-producing idioms compilers emit for syscall
+// numbers: `mov rax, imm`, the 32-bit `mov eax, imm32` form (zero-extends,
+// so the decoded imm is the value), and the canonical `xor eax, eax`
+// zeroing for nr 0. Any other writer leaves the number unknown.
 std::uint64_t resolve_site_nr(const analysis::Cfg& cfg,
                               const analysis::BasicBlock& block,
                               std::size_t site_index) {
   for (std::size_t i = site_index; i-- > 0;) {
     const isa::Instruction& insn = cfg.reachable.at(block.insns[i]).insn;
     if (!writes_rax(insn)) continue;
-    if (insn.op == isa::Op::kMovRI && insn.r1 == isa::Gpr::rax &&
-        insn.imm >= 0 &&
+    if ((insn.op == isa::Op::kMovRI || insn.op == isa::Op::kMovRI32) &&
+        insn.r1 == isa::Gpr::rax && insn.imm >= 0 &&
         static_cast<std::uint64_t>(insn.imm) <= kern::kMaxSyscallNumber) {
       return static_cast<std::uint64_t>(insn.imm);
+    }
+    if (insn.op == isa::Op::kXorRR && insn.r1 == isa::Gpr::rax &&
+        insn.r2 == isa::Gpr::rax) {
+      return 0;  // xor-self zeroes regardless of the prior value
     }
     return kAnySyscall;  // some other writer: value unknown statically
   }
   return kAnySyscall;  // no writer in this block: set by a predecessor
 }
 
+// A constant set qualifies as a resolved syscall-number set only when every
+// member is an encodable syscall number (the serializer/parser and the
+// automaton's state space are bounded by kMaxSyscallNumber).
+bool in_range_nr_set(const analysis::ValueSet& v) {
+  if (!v.is_constant_set()) return false;
+  for (const std::uint64_t nr : v.values()) {
+    if (nr > kern::kMaxSyscallNumber) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
                                 std::uint64_t base, std::uint64_t entry,
-                                std::string workload_name) {
+                                std::string workload_name,
+                                const ExtractOptions& options) {
   StaticExtraction out;
   out.automaton.name = std::move(workload_name);
   out.automaton.source = "static";
@@ -59,13 +85,20 @@ StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
   out.blocks = cfg.blocks.size();
   if (cfg.blocks.empty()) return out;
 
+  analysis::DataflowResult df;
+  if (options.dataflow) df = analysis::analyze_dataflow(cfg, entry);
+
   std::map<std::uint64_t, std::size_t> block_index;  // leader -> index
   for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
     block_index[cfg.blocks[i].start] = i;
   }
 
-  // Per-block syscall sites, in execution order.
-  std::vector<std::vector<Site>> sites(cfg.blocks.size());
+  // All sites, plus per-block site ids in execution order. Resolution is
+  // two-tier: the block-local idiom scan first, then the value-flow
+  // analysis for whatever the local scan could not see (cross-block
+  // constants, copies, arithmetic, call-preserved values).
+  std::vector<Site> all_sites;
+  std::vector<std::vector<std::size_t>> sites(cfg.blocks.size());
   for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
     const analysis::BasicBlock& block = cfg.blocks[b];
     for (std::size_t i = 0; i < block.insns.size(); ++i) {
@@ -75,10 +108,37 @@ StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
       }
       Site site;
       site.addr = block.insns[i];
-      site.nr = resolve_site_nr(cfg, block, i);
+      const std::uint64_t local = resolve_site_nr(cfg, block, i);
+      if (local != kAnySyscall) {
+        site.nrs = {local};
+        site.how = SiteResolution::How::kBlockLocal;
+        ++out.sites_resolved_blocklocal;
+      } else if (options.dataflow) {
+        const analysis::ValueSet rax = df.value_at(site.addr, isa::Gpr::rax);
+        if (in_range_nr_set(rax)) {
+          site.nrs = rax.values();
+          site.how = SiteResolution::How::kDataflow;
+          ++out.sites_resolved_dataflow;
+        }
+      }
+      if (site.nrs.empty()) site.nrs = {kAnySyscall};
+      if (site.resolved() && options.dataflow && options.arg_predicates) {
+        // Constraints for the argument registers the dataflow pinned down.
+        // Predicates attach to edges INTO the site, so an unresolved site
+        // (whose incoming edges land in from_any) never carries one.
+        for (std::size_t a = 0; a + 1 < analysis::kDataflowRegs.size(); ++a) {
+          const analysis::ValueSet v =
+              df.value_at(site.addr, analysis::kDataflowRegs[a + 1]);
+          if (v.is_constant_set()) {
+            site.clause.push_back({static_cast<std::uint8_t>(a), v.values()});
+          }
+        }
+        if (!site.clause.empty()) ++out.predicated_sites;
+      }
       ++out.sites_total;
-      if (site.nr != kAnySyscall) ++out.sites_resolved;
-      sites[b].push_back(site);
+      if (site.resolved()) ++out.sites_resolved;
+      sites[b].push_back(all_sites.size());
+      all_sites.push_back(std::move(site));
     }
   }
 
@@ -99,7 +159,7 @@ StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
     }
   }
 
-  // Effective successor indices for first-syscall propagation.
+  // Effective successor indices for first-site propagation.
   auto successors_of = [&](std::size_t b) {
     std::vector<std::size_t> succs;
     for (const std::uint64_t leader : cfg.blocks[b].succs) {
@@ -112,19 +172,22 @@ StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
     return succs;
   };
 
-  // F(b): the set of possible *first* syscall numbers on any path starting
-  // at block b's leader (kAnySyscall = statically unknowable). Monotone
-  // under set union, so iterate to the (small) fixpoint.
-  std::vector<std::set<std::uint64_t>> first(cfg.blocks.size());
+  // F(b): the set of possible *first* syscall SITES on any path starting at
+  // block b's leader (kWildcardSite = a path whose next site is statically
+  // unknowable). Propagating site ids — not numbers — keeps each site's
+  // argument clause attached to the edges that reach it. Monotone under set
+  // union, so iterate to the (small) fixpoint.
+  constexpr std::size_t kWildcardSite = static_cast<std::size_t>(-1);
+  std::vector<std::set<std::size_t>> first(cfg.blocks.size());
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
-      std::set<std::uint64_t> next;
+      std::set<std::size_t> next;
       if (!sites[b].empty()) {
-        next.insert(sites[b].front().nr);
+        next.insert(sites[b].front());
       } else {
-        if (cfg.blocks[b].computed_successor) next.insert(kAnySyscall);
+        if (cfg.blocks[b].computed_successor) next.insert(kWildcardSite);
         for (const std::size_t s : successors_of(b)) {
           next.insert(first[s].begin(), first[s].end());
         }
@@ -136,49 +199,65 @@ StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
     }
   }
 
-  // The followers of the *last* site in block b: the first syscalls of its
-  // successor blocks (plus the wildcard if the block's transfer is computed).
+  // The follower sites of the *last* site in block b: the first sites of
+  // its successor blocks (plus the wildcard if the transfer is computed).
   auto block_exit_followers = [&](std::size_t b) {
-    std::set<std::uint64_t> followers;
-    if (cfg.blocks[b].computed_successor) followers.insert(kAnySyscall);
+    std::set<std::size_t> followers;
+    if (cfg.blocks[b].computed_successor) followers.insert(kWildcardSite);
     for (const std::size_t s : successors_of(b)) {
       followers.insert(first[s].begin(), first[s].end());
     }
     return followers;
   };
 
-  auto add_transition = [&](std::uint64_t from, std::uint64_t to) {
+  auto add_transition = [&](std::uint64_t from, std::uint64_t to,
+                            const PredClause* clause) {
     if (from == kAnySyscall) {
       // Unknown-number site: the monitor cannot know which state it left
       // the task in, so its followers must be allowed from every state.
+      // from_any is unconstrained by construction — dropping the clause
+      // only widens, never unsoundly narrows.
       out.automaton.add_from_any(to);
+    } else if (clause != nullptr && !clause->empty()) {
+      out.automaton.add_edge(from, to, *clause);
     } else {
       out.automaton.add_edge(from, to);
     }
     if (to == kAnySyscall) out.used_wildcard = true;
   };
 
-  // Entry edges: the first syscalls reachable from the program entry.
+  // One source state (`from`) reaching one follower site: an edge per
+  // member of the follower's number set, carrying the follower's clause.
+  auto link = [&](std::uint64_t from, std::size_t to_id) {
+    if (to_id == kWildcardSite) {
+      add_transition(from, kAnySyscall, nullptr);
+      return;
+    }
+    const Site& target = all_sites[to_id];
+    for (const std::uint64_t nr : target.nrs) {
+      add_transition(from, nr, &target.clause);
+    }
+  };
+
+  // Entry edges: the first sites reachable from the program entry.
   const analysis::BasicBlock* entry_block = cfg.block_containing(entry);
   if (entry_block != nullptr) {
     const std::size_t b = block_index.at(entry_block->start);
-    for (const std::uint64_t nr : first[b]) {
-      add_transition(kEntryState, nr);
-    }
+    for (const std::size_t id : first[b]) link(kEntryState, id);
   }
 
-  // Site edges.
+  // Site edges: each member of a site's number set is a source state.
   for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
     for (std::size_t i = 0; i < sites[b].size(); ++i) {
-      const Site& site = sites[b][i];
-      std::set<std::uint64_t> followers;
+      const Site& site = all_sites[sites[b][i]];
+      std::set<std::size_t> followers;
       if (i + 1 < sites[b].size()) {
-        followers.insert(sites[b][i + 1].nr);
+        followers.insert(sites[b][i + 1]);
       } else {
         followers = block_exit_followers(b);
       }
-      for (const std::uint64_t to : followers) {
-        add_transition(site.nr, to);
+      for (const std::uint64_t from : site.nrs) {
+        for (const std::size_t id : followers) link(from, id);
       }
     }
   }
@@ -186,6 +265,10 @@ StaticExtraction extract_static(std::span<const std::uint8_t> bytes,
   if (out.automaton.has_wildcard() ||
       out.automaton.from_any().count(kAnySyscall) != 0) {
     out.used_wildcard = true;
+  }
+  out.sites.reserve(all_sites.size());
+  for (const Site& site : all_sites) {
+    out.sites.push_back({site.addr, site.nrs, site.clause, site.how});
   }
   return out;
 }

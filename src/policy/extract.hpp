@@ -3,13 +3,26 @@
 // STATIC extraction walks the analysis::Cfg reachable from the program entry
 // and collects the syscall digraph: for every SYSCALL/SYSENTER site, which
 // syscall numbers can be the *next* one invoked on any direct-control-flow
-// path. Soundness posture (mirrors the rewrite-safety analyzer's):
+// path. Site numbers are resolved in two tiers:
 //
-//   * a site's number is resolved by a block-local backward scan for the
-//     last rax write (`mov rax, imm` — the invariant minilibc's
-//     emit_syscall provides); any other rax writer, or a scan that leaves
-//     the block, makes the site's number unknown and routes its successors
-//     into the automaton's from_any set;
+//   * a BLOCK-LOCAL backward scan to the last rax writer, recognizing the
+//     constant-producing idioms compilers emit for syscall numbers
+//     (`mov rax, imm`, the 32-bit `mov eax, imm32` form, and the
+//     `xor eax, eax` zeroing idiom). Any other writer, or a scan that
+//     leaves the block, makes the number block-locally unknown;
+//   * the INTERPROCEDURAL VALUE-FLOW analysis (analysis/dataflow.hpp, on by
+//     default — ExtractOptions::dataflow): a site the local scan cannot
+//     resolve is resolved when the abstract rax value at the site is a
+//     constant set of in-range numbers (a multi-member set contributes one
+//     edge per member). The same analysis supplies argument predicates:
+//     constant sets for rdi/rsi/rdx/r10 at a resolved site become an
+//     ArgConstraint clause on every edge INTO that site's numbers.
+//
+// Soundness posture (mirrors the rewrite-safety analyzer's):
+//
+//   * a still-unresolved site routes its successors into the automaton's
+//     from_any set (the monitor cannot know which state the site left the
+//     task in);
 //   * computed transfers (JMP_REG / CALL_RAX) between two sites make the
 //     first site's follower set unknowable: it gets the kAnySyscall
 //     wildcard successor;
@@ -24,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <span>
 #include <string>
 #include <utility>
@@ -35,22 +49,54 @@
 
 namespace lzp::policy {
 
+struct ExtractOptions {
+  // Run the interprocedural value-flow analysis and use it to resolve sites
+  // the block-local scan cannot, and (with arg_predicates) to constrain
+  // edges by argument values. Off = the block-local-only scan.
+  bool dataflow = true;
+  // Attach argument predicates to edges into resolved sites whose
+  // rdi/rsi/rdx/r10 are constant sets. Requires dataflow; predicates only
+  // restrict, so turning this off only widens the policy.
+  bool arg_predicates = true;
+};
+
+// Per-site extraction record: what the analysis claims about one reachable
+// SYSCALL/SYSENTER instruction. Dynamic falsification (bench/
+// analysis_accuracy) checks every observed invocation at `addr` against
+// `nrs` and `clause` — a mismatch is a static misresolution.
+struct SiteResolution {
+  enum class How { kUnresolved, kBlockLocal, kDataflow };
+  std::uint64_t addr = 0;
+  std::set<std::uint64_t> nrs;  // {kAnySyscall} when unresolved
+  PredClause clause;            // empty = no argument constraints
+  How how = How::kUnresolved;
+  [[nodiscard]] bool resolved() const { return how != How::kUnresolved; }
+};
+
 struct StaticExtraction {
   Automaton automaton;
+  std::vector<SiteResolution> sites;  // one per reachable site, in CFG order
   std::size_t sites_total = 0;     // reachable SYSCALL/SYSENTER sites
   std::size_t sites_resolved = 0;  // sites with a statically known number
+  // How each resolved site got its number: the block-local idiom scan, or
+  // the value-flow analysis picking up what the local scan could not.
+  std::size_t sites_resolved_blocklocal = 0;
+  std::size_t sites_resolved_dataflow = 0;
+  // Resolved sites carrying at least one argument constraint.
+  std::size_t predicated_sites = 0;
   std::size_t blocks = 0;          // CFG basic blocks visited
   bool used_wildcard = false;      // any state degraded to allow-all
 };
 
 [[nodiscard]] StaticExtraction extract_static(
     std::span<const std::uint8_t> bytes, std::uint64_t base,
-    std::uint64_t entry, std::string workload_name);
+    std::uint64_t entry, std::string workload_name,
+    const ExtractOptions& options = {});
 
 [[nodiscard]] inline StaticExtraction extract_static(
-    const isa::Program& program) {
+    const isa::Program& program, const ExtractOptions& options = {}) {
   return extract_static(program.image, program.base, program.entry,
-                        program.name);
+                        program.name, options);
 }
 
 // Dynamic learning core: an observed per-task syscall stream, in program

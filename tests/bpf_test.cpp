@@ -197,26 +197,21 @@ TEST(SeccompFilterTest, AllowlistFilter) {
   EXPECT_EQ(run_on(program, data), SECCOMP_RET_ERRNO | 1);
 }
 
-// Regression: a set-membership list needing a jump offset > 255 must be
-// rejected with a clear Status. The old builder silently truncated the
-// offset through a uint8_t cast, producing a filter that still *validated*
-// (all jumps in bounds) but matched the wrong instruction.
-TEST(SeccompFilterTest, RejectsSetsBeyondJumpOffsetLimit) {
+// trap_syscalls keeps the single-chain encoding, so a set needing a jump
+// offset > 255 must still be rejected with a clear Status. (The old builder
+// silently truncated the offset through a uint8_t cast, producing a filter
+// that still *validated* — all jumps in bounds — but matched the wrong
+// instruction.)
+TEST(SeccompFilterTest, TrapSyscallsRejectsSetsBeyondJumpOffsetLimit) {
   std::vector<std::uint32_t> nrs(SeccompFilterBuilder::kMaxSetMembers + 1);
   for (std::size_t i = 0; i < nrs.size(); ++i) {
     nrs[i] = static_cast<std::uint32_t>(i);
   }
-
-  const auto too_big_allow =
-      SeccompFilterBuilder::allowlist(nrs, SECCOMP_RET_ERRNO | 1);
-  ASSERT_FALSE(too_big_allow.is_ok());
-  EXPECT_EQ(too_big_allow.status().code(), StatusCode::kOutOfRange);
-  EXPECT_NE(too_big_allow.status().message().find("255"), std::string::npos);
-
   const auto too_big_trap =
       SeccompFilterBuilder::trap_syscalls(nrs, SECCOMP_RET_TRAP);
   ASSERT_FALSE(too_big_trap.is_ok());
   EXPECT_EQ(too_big_trap.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(too_big_trap.status().message().find("255"), std::string::npos);
 
   // Exactly at the limit still encodes, validates, and decides correctly at
   // both ends of the chain (the first compare carries the largest offset).
@@ -232,6 +227,37 @@ TEST(SeccompFilterTest, RejectsSetsBeyondJumpOffsetLimit) {
   EXPECT_EQ(run_on(program, data), SECCOMP_RET_ALLOW);
   data.nr = static_cast<std::int32_t>(nrs.size());
   EXPECT_EQ(run_on(program, data), SECCOMP_RET_ERRNO | 1);
+}
+
+// The allowlist builder segments larger sets: short JEQ hits inside each
+// chunk, 32-bit BPF_JA hops between chunks. Probe exactly at the first
+// unencodable-single-chain size (256) and past it (300), covering both
+// chunk boundaries and the default action.
+TEST(SeccompFilterTest, AllowlistSegmentsSetsBeyondJumpOffsetLimit) {
+  for (const std::size_t n : {std::size_t{256}, std::size_t{300}}) {
+    std::vector<std::uint32_t> nrs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nrs[i] = static_cast<std::uint32_t>(2 * i);  // gaps to probe misses
+    }
+    auto result = SeccompFilterBuilder::allowlist(nrs, SECCOMP_RET_ERRNO | 1);
+    ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+    const auto& program = result.value();
+    ASSERT_TRUE(validate(program, SeccompData::kSize).is_ok());
+    SeccompData data;
+    // Every member must hit, in every chunk.
+    for (const std::uint32_t nr : nrs) {
+      data.nr = static_cast<std::int32_t>(nr);
+      ASSERT_EQ(run_on(program, data), SECCOMP_RET_ALLOW)
+          << "n=" << n << " nr=" << nr;
+    }
+    // Gap values and values past the end must take the default action.
+    for (const std::uint32_t nr :
+         {1u, 255u, 509u, static_cast<std::uint32_t>(2 * n), 100'000u}) {
+      data.nr = static_cast<std::int32_t>(nr);
+      ASSERT_EQ(run_on(program, data), SECCOMP_RET_ERRNO | 1)
+          << "n=" << n << " nr=" << nr;
+    }
+  }
 }
 
 TEST(SeccompFilterTest, IpRangeFilter) {

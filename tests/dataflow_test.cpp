@@ -1,0 +1,336 @@
+// The interprocedural value-flow analysis (analysis/dataflow.hpp): lattice
+// mechanics, the constant-producing transfer functions, joins at merge
+// points, the bounded abstract stack, syscall clobbers, and the
+// callee-summary interprocedural model (write sets, return-value flow,
+// recursion and computed-transfer degradation).
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "apps/minilibc.hpp"
+#include "isa/assemble.hpp"
+#include "kernel/syscalls.hpp"
+
+namespace lzp {
+namespace {
+
+using analysis::ValueSet;
+using isa::Gpr;
+
+constexpr std::uint64_t kBase = 0x40'0000;
+
+struct Analyzed {
+  isa::Program program;
+  analysis::Cfg cfg;
+  analysis::DataflowResult df;
+};
+
+Analyzed analyze(isa::Assembler& a, isa::Assembler::Label entry,
+                 const char* name) {
+  Analyzed out;
+  out.program = std::move(isa::make_program(name, a, entry)).value();
+  out.cfg = analysis::build_cfg(out.program.image, out.program.base,
+                                out.program.entry);
+  out.df = analysis::analyze_dataflow(out.cfg, out.program.entry);
+  return out;
+}
+
+// --- lattice -----------------------------------------------------------------
+
+TEST(ValueSetTest, LatticeBasics) {
+  ValueSet v;  // ⊥
+  EXPECT_TRUE(v.is_bottom());
+  EXPECT_TRUE(v.join(ValueSet::constant(3)));
+  EXPECT_TRUE(v.is_constant_set());
+  EXPECT_FALSE(v.join(ValueSet::constant(3)));  // no change
+  EXPECT_TRUE(v.join(ValueSet::constant(4)));
+  EXPECT_EQ(v.values().size(), 2u);
+  EXPECT_TRUE(v.join(ValueSet::top()));
+  EXPECT_TRUE(v.is_top());
+  EXPECT_FALSE(v.join(ValueSet::constant(9)));  // ⊤ absorbs
+
+  // ⊥ never changes the other side.
+  ValueSet c = ValueSet::constant(1);
+  EXPECT_FALSE(c.join(ValueSet::bottom()));
+}
+
+TEST(ValueSetTest, WideningAtThreshold) {
+  std::set<std::uint64_t> many;
+  for (std::uint64_t i = 0; i <= ValueSet::kMaxValues; ++i) many.insert(i);
+  EXPECT_TRUE(ValueSet::from_values(many).is_top());
+  many.erase(0);
+  EXPECT_TRUE(ValueSet::from_values(many).is_constant_set());
+
+  // Cross-product binop widens too: 3 x 3 = 9 sums > kMaxValues when
+  // distinct.
+  const ValueSet a = ValueSet::from_values({1, 10, 100});
+  const ValueSet b = ValueSet::from_values({1000, 10000, 100000});
+  const ValueSet sum = ValueSet::binop(
+      a, b, [](std::uint64_t x, std::uint64_t y) { return x + y; });
+  EXPECT_TRUE(sum.is_top());
+  // ⊥ wins over ⊤ (unreachable is stronger information).
+  EXPECT_TRUE(ValueSet::binop(ValueSet::bottom(), ValueSet::top(),
+                              [](std::uint64_t x, std::uint64_t) { return x; })
+                  .is_bottom());
+}
+
+// --- straight-line transfer functions ---------------------------------------
+
+TEST(DataflowTest, StraightLineConstants) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, 39);
+  a.mov(Gpr::rbx, 7);
+  a.mov(Gpr::rdi, Gpr::rbx);       // copy through an unreported register
+  a.mov32(Gpr::rsi, 0x8000'0001u); // must zero-extend, not sign-extend
+  a.xor_(Gpr::rdx, Gpr::rdx);      // xor-self zeroing idiom
+  a.mov(Gpr::r10, 5);
+  a.add(Gpr::r10, 3);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const Analyzed an = analyze(a, entry, "straight-line");
+
+  const ValueSet rax = an.df.value_at(site, Gpr::rax);
+  ASSERT_TRUE(rax.is_constant_set());
+  EXPECT_EQ(rax.values(), std::set<std::uint64_t>{39});
+  EXPECT_EQ(an.df.value_at(site, Gpr::rdi).values(),
+            std::set<std::uint64_t>{7});
+  EXPECT_EQ(an.df.value_at(site, Gpr::rsi).values(),
+            std::set<std::uint64_t>{0x8000'0001});
+  EXPECT_EQ(an.df.value_at(site, Gpr::rdx).values(),
+            std::set<std::uint64_t>{0});
+  EXPECT_EQ(an.df.value_at(site, Gpr::r10).values(),
+            std::set<std::uint64_t>{8});
+}
+
+TEST(DataflowTest, MulPreciseDivTop) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rdi, 6);
+  a.mov(Gpr::rbx, 7);
+  a.mul(Gpr::rdi, Gpr::rbx);
+  a.mov(Gpr::rsi, 10);
+  a.div(Gpr::rsi, Gpr::rbx);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const Analyzed an = analyze(a, entry, "mul-div");
+  EXPECT_EQ(an.df.value_at(site, Gpr::rdi).values(),
+            std::set<std::uint64_t>{42});
+  EXPECT_TRUE(an.df.value_at(site, Gpr::rsi).is_top());
+}
+
+TEST(DataflowTest, LoadsProduceTop) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rdi, 5);
+  a.load(Gpr::rdi, Gpr::rsp, 0);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const Analyzed an = analyze(a, entry, "loads");
+  EXPECT_TRUE(an.df.value_at(site, Gpr::rdi).is_top());
+}
+
+// --- joins -------------------------------------------------------------------
+
+TEST(DataflowTest, JoinAtMergePoint) {
+  // Two arms assign different constants; the merged site sees both.
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto other = a.new_label();
+  const auto merge = a.new_label();
+  a.bind(entry);
+  a.cmp(Gpr::rbx, 0);
+  a.jz(other);
+  a.mov(Gpr::rdi, 1);
+  a.jmp(merge);
+  a.bind(other);
+  a.mov(Gpr::rdi, 2);
+  a.bind(merge);
+  a.mov(Gpr::rax, kern::kSysGetpid);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const Analyzed an = analyze(a, entry, "merge");
+  const ValueSet rdi = an.df.value_at(site, Gpr::rdi);
+  ASSERT_TRUE(rdi.is_constant_set());
+  EXPECT_EQ(rdi.values(), (std::set<std::uint64_t>{1, 2}));
+  EXPECT_EQ(an.df.value_at(site, Gpr::rax).values(),
+            std::set<std::uint64_t>{static_cast<std::uint64_t>(
+                kern::kSysGetpid)});
+}
+
+// --- abstract stack ----------------------------------------------------------
+
+TEST(DataflowTest, PushPopRoundTripAndStoreInvalidation) {
+  {
+    isa::Assembler a;
+    const auto entry = a.new_label();
+    a.bind(entry);
+    a.mov(Gpr::rdi, 7);
+    a.push(Gpr::rdi);
+    a.mov(Gpr::rdi, 9);
+    a.pop(Gpr::rdi);  // restores the saved 7
+    const std::uint64_t site = kBase + a.offset();
+    a.syscall_();
+    apps::emit_exit(a, 0);
+    const Analyzed an = analyze(a, entry, "push-pop");
+    EXPECT_EQ(an.df.value_at(site, Gpr::rdi).values(),
+              std::set<std::uint64_t>{7});
+  }
+  {
+    // An intervening store may alias the slot: the pop must go to ⊤.
+    isa::Assembler a;
+    const auto entry = a.new_label();
+    a.bind(entry);
+    a.mov(Gpr::rdi, 7);
+    a.push(Gpr::rdi);
+    a.store(Gpr::rsp, 0, Gpr::rbx);
+    a.pop(Gpr::rdi);
+    const std::uint64_t site = kBase + a.offset();
+    a.syscall_();
+    apps::emit_exit(a, 0);
+    const Analyzed an = analyze(a, entry, "store-aliases-stack");
+    EXPECT_TRUE(an.df.value_at(site, Gpr::rdi).is_top());
+  }
+}
+
+// --- syscall clobbers --------------------------------------------------------
+
+TEST(DataflowTest, SyscallClobbersRaxPreservesArgs) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, kern::kSysGetpid);
+  a.mov(Gpr::rdi, 5);
+  a.syscall_();
+  const std::uint64_t second = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const Analyzed an = analyze(a, entry, "syscall-clobber");
+  // rax holds the kernel's return value, not the old number.
+  EXPECT_TRUE(an.df.value_at(second, Gpr::rax).is_top());
+  // Argument registers are preserved across the syscall.
+  EXPECT_EQ(an.df.value_at(second, Gpr::rdi).values(),
+            std::set<std::uint64_t>{5});
+}
+
+// --- interprocedural ---------------------------------------------------------
+
+TEST(DataflowTest, CalleeSummaryPreservesUntouchedRegisters) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto fn = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, 39);
+  a.mov(Gpr::rdi, 5);
+  a.call(fn);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  a.bind(fn);
+  a.mov(Gpr::rbx, 1);  // only rbx is written
+  a.ret();
+  const Analyzed an = analyze(a, entry, "callee-preserves");
+  EXPECT_EQ(an.df.value_at(site, Gpr::rax).values(),
+            std::set<std::uint64_t>{39});
+  EXPECT_EQ(an.df.value_at(site, Gpr::rdi).values(),
+            std::set<std::uint64_t>{5});
+  EXPECT_GE(an.df.callee_summaries, 1u);
+  EXPECT_EQ(an.df.conservative_calls, 0u);
+}
+
+TEST(DataflowTest, CalleeReturnValueFlowsToCaller) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto fn = a.new_label();
+  a.bind(entry);
+  a.call(fn);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  a.bind(fn);
+  a.mov(Gpr::rax, kern::kSysGetpid);
+  a.ret();
+  const Analyzed an = analyze(a, entry, "callee-returns");
+  EXPECT_EQ(an.df.value_at(site, Gpr::rax).values(),
+            std::set<std::uint64_t>{static_cast<std::uint64_t>(
+                kern::kSysGetpid)});
+}
+
+TEST(DataflowTest, CallSiteContextFlowsIntoCallee) {
+  // The whole-program fixpoint joins caller state into the callee's entry,
+  // so a site INSIDE the callee sees the caller's constants (call-strings of
+  // length zero).
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto fn = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rax, kern::kSysGetpid);
+  a.call(fn);
+  apps::emit_exit(a, 0);
+  a.ret();  // terminate the exit block: otherwise it falls through into fn
+            // (the CFG cannot know exit_group never returns) and joins ⊤
+  a.bind(fn);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  a.ret();
+  const Analyzed an = analyze(a, entry, "context-into-callee");
+  EXPECT_EQ(an.df.value_at(site, Gpr::rax).values(),
+            std::set<std::uint64_t>{static_cast<std::uint64_t>(
+                kern::kSysGetpid)});
+}
+
+TEST(DataflowTest, ComputedCallClobbersEverything) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rdi, 5);
+  a.mov(Gpr::rax, kBase);
+  a.call_rax();
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const Analyzed an = analyze(a, entry, "computed-call");
+  EXPECT_TRUE(an.df.value_at(site, Gpr::rdi).is_top());
+  EXPECT_TRUE(an.df.value_at(site, Gpr::rax).is_top());
+}
+
+TEST(DataflowTest, RecursionDegradesConservatively) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto fn = a.new_label();
+  a.bind(entry);
+  a.mov(Gpr::rdi, 5);
+  a.call(fn);
+  const std::uint64_t site = kBase + a.offset();
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  a.bind(fn);
+  a.sub(Gpr::rbx, 1);
+  a.cmp(Gpr::rbx, 0);
+  a.jnz(fn);  // loop, plus a self-call to force the recursion path
+  a.call(fn);
+  a.ret();
+  const Analyzed an = analyze(a, entry, "recursion");
+  // The self-call makes the summary conservative: everything post-call ⊤.
+  EXPECT_TRUE(an.df.value_at(site, Gpr::rdi).is_top());
+  EXPECT_GE(an.df.conservative_calls, 1u);
+}
+
+TEST(DataflowTest, AbsentAddressReportsTop) {
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  apps::emit_exit(a, 0);
+  const Analyzed an = analyze(a, entry, "absent");
+  EXPECT_TRUE(an.df.value_at(0xdead'beef, Gpr::rax).is_top());
+}
+
+}  // namespace
+}  // namespace lzp

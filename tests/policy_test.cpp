@@ -1,7 +1,9 @@
 // Tests for the syscall-flow-integrity policy subsystem (src/policy):
-// automaton format round trips, extraction (static CFG walk and dynamic
-// learning), the static ⊇ dynamic containment on the webserver, lowering to
-// per-state seccomp-BPF filters (including the oversized-set rejection), and
+// automaton format round trips (including predicate edges), extraction
+// (block-local idioms, value-flow cross-block resolution, dynamic learning),
+// the static ⊇ dynamic containment on the webserver, minimization (language
+// preservation both ways), lowering to shared per-class seccomp-BPF filters
+// (including segmented >255-member sets and argument-predicate checks), and
 // enforcement semantics — deny/kill verdicts, state non-advance on denial,
 // and identical violation verdicts under all four mechanisms.
 #include <gtest/gtest.h>
@@ -106,6 +108,87 @@ TEST(PolicyAutomatonTest, AllowsSemantics) {
   EXPECT_TRUE(automaton.allows(kern::kSysMmap, kern::kSysOpen));
 }
 
+policy::Automaton make_predicated_automaton() {
+  policy::Automaton automaton;
+  automaton.name = "predicated";
+  automaton.source = "static";
+  automaton.add_edge(policy::kEntryState, kern::kSysOpen);
+  // write allowed after open when (rdi in {1,2} && rsi == 0) or (rdx == 7).
+  automaton.add_edge(kern::kSysOpen, kern::kSysWrite,
+                     policy::PredClause{{0, {1, 2}}, {1, {0}}});
+  automaton.add_edge(kern::kSysOpen, kern::kSysWrite,
+                     policy::PredClause{{2, {7}}});
+  automaton.add_edge(kern::kSysWrite, kern::kSysExitGroup);
+  automaton.add_from_any(kern::kSysClose);
+  return automaton;
+}
+
+TEST(PolicyAutomatonTest, PredicateRoundTripAndSemantics) {
+  const policy::Automaton automaton = make_predicated_automaton();
+  EXPECT_EQ(automaton.predicated_edge_count(), 1u);
+  const std::string text = automaton.serialize();
+  auto parsed = policy::Automaton::parse(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), automaton);
+  EXPECT_EQ(parsed.value().serialize(), text);
+
+  const std::uint64_t by_clause1[4] = {2, 0, 99, 0};
+  const std::uint64_t by_clause2[4] = {9, 9, 7, 0};
+  const std::uint64_t neither[4] = {9, 9, 9, 0};
+  EXPECT_TRUE(automaton.allows(kern::kSysOpen, kern::kSysWrite, by_clause1));
+  EXPECT_TRUE(automaton.allows(kern::kSysOpen, kern::kSysWrite, by_clause2));
+  EXPECT_FALSE(automaton.allows(kern::kSysOpen, kern::kSysWrite, neither));
+  // Unpredicated paths never consult args.
+  EXPECT_TRUE(automaton.allows(kern::kSysOpen, kern::kSysClose, neither));
+  EXPECT_TRUE(
+      automaton.allows(kern::kSysWrite, kern::kSysExitGroup, neither));
+  // nr-granular allows stays predicate-blind.
+  EXPECT_TRUE(automaton.allows(kern::kSysOpen, kern::kSysWrite));
+
+  // Re-adding the edge unconstrained widens away the predicate.
+  policy::Automaton widened = automaton;
+  widened.add_edge(kern::kSysOpen, kern::kSysWrite);
+  EXPECT_EQ(widened.predicated_edge_count(), 0u);
+  EXPECT_TRUE(widened.allows(kern::kSysOpen, kern::kSysWrite, neither));
+}
+
+TEST(PolicyAutomatonTest, MinimizePreservesLanguage) {
+  policy::Automaton automaton = make_sample_automaton();
+  // A state whose only successor is from_any-covered: prunable to an
+  // explicit empty state.
+  automaton.add_edge(kern::kSysRead, kern::kSysClose);
+  const policy::MinimizeResult min = policy::minimize(automaton);
+  EXPECT_TRUE(min.automaton.contains(automaton));
+  EXPECT_TRUE(automaton.contains(min.automaton));
+  EXPECT_LE(min.states_after, min.states_before);
+  EXPECT_GT(min.edges_dropped, 0u);
+  // The wildcard state (write -> *) behaves like an unknown state; dropping
+  // it changes nothing observable.
+  EXPECT_EQ(min.automaton.edges().count(kern::kSysWrite), 0u);
+  EXPECT_TRUE(min.automaton.allows(kern::kSysWrite, kern::kSysOpen));
+  // read's successor was subsumed by from_any; the state stays explicit so
+  // it still denies everything else.
+  EXPECT_TRUE(min.automaton.allows(kern::kSysRead, kern::kSysClose));
+  EXPECT_FALSE(min.automaton.allows(kern::kSysRead, kern::kSysOpen));
+  // The minimized form round-trips through the text format too.
+  auto parsed = policy::Automaton::parse(min.automaton.serialize());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), min.automaton);
+}
+
+TEST(PolicyAutomatonTest, MinimizeDropsSubsumedPredicates) {
+  // A predicated edge whose nr is also globally allowed is redundant: the
+  // unconstrained from_any rule already admits every argument vector.
+  policy::Automaton automaton = make_predicated_automaton();
+  automaton.add_from_any(kern::kSysWrite);
+  const policy::MinimizeResult min = policy::minimize(automaton);
+  EXPECT_TRUE(min.automaton.contains(automaton));
+  EXPECT_TRUE(automaton.contains(min.automaton));
+  EXPECT_EQ(min.automaton.predicated_edge_count(), 0u);
+  const std::uint64_t neither[4] = {9, 9, 9, 0};
+  EXPECT_TRUE(min.automaton.allows(kern::kSysOpen, kern::kSysWrite, neither));
+}
+
 TEST(PolicyAutomatonTest, ContainmentAndMerge) {
   const policy::Automaton big = make_sample_automaton();
   policy::Automaton small;
@@ -145,9 +228,11 @@ TEST(PolicyExtractTest, StaticGetpidLoop) {
 }
 
 TEST(PolicyExtractTest, UnresolvableSiteNumberRoutesToFromAny) {
-  // rax comes from a register, not an immediate: the site's number is
-  // statically unknowable, so its follower must be allowed from every state
-  // and the entry successor set degrades to the wildcard.
+  // rax comes from a register copy. The block-local scan cannot resolve
+  // that, so with dataflow off the site's number is unknowable: its
+  // follower must be allowed from every state and the entry successor set
+  // degrades to the wildcard. The value-flow analysis tracks the copy and
+  // recovers full precision.
   isa::Assembler a;
   const auto entry = a.new_label();
   a.bind(entry);
@@ -158,12 +243,130 @@ TEST(PolicyExtractTest, UnresolvableSiteNumberRoutesToFromAny) {
   const isa::Program program =
       std::move(isa::make_program("reg-nr", a, entry)).value();
 
-  const policy::StaticExtraction extraction = policy::extract_static(program);
+  policy::ExtractOptions local_only;
+  local_only.dataflow = false;
+  const policy::StaticExtraction extraction =
+      policy::extract_static(program, local_only);
   EXPECT_EQ(extraction.sites_total, 2u);
   EXPECT_EQ(extraction.sites_resolved, 1u);  // only the exit_group
   EXPECT_TRUE(extraction.used_wildcard);
   // exit_group follows the unknown site: allowed from anywhere.
   EXPECT_TRUE(extraction.automaton.from_any().count(kern::kSysExitGroup) > 0);
+
+  const policy::StaticExtraction dataflow = policy::extract_static(program);
+  EXPECT_EQ(dataflow.sites_resolved, 2u);
+  EXPECT_EQ(dataflow.sites_resolved_dataflow, 1u);
+  EXPECT_FALSE(dataflow.used_wildcard);
+  EXPECT_TRUE(dataflow.automaton.from_any().empty());
+  EXPECT_TRUE(
+      dataflow.automaton.allows(policy::kEntryState, kern::kSysGetpid));
+  EXPECT_FALSE(dataflow.automaton.allows(policy::kEntryState, kern::kSysOpen));
+  EXPECT_TRUE(
+      dataflow.automaton.allows(kern::kSysGetpid, kern::kSysExitGroup));
+}
+
+TEST(PolicyExtractTest, BlockLocalResolvesXorAndMov32Idioms) {
+  // The two compiler idioms the block-local fallback must recognize even
+  // with dataflow off: xor eax,eax (read = nr 0) and the 32-bit
+  // mov eax, imm32 encoding.
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.xor_(isa::Gpr::rax, isa::Gpr::rax);
+  a.mov(isa::Gpr::rdi, 0);
+  a.mov(isa::Gpr::rsi, 0);
+  a.mov(isa::Gpr::rdx, 0);
+  a.syscall_();  // read
+  a.mov32(isa::Gpr::rax, static_cast<std::uint32_t>(kern::kSysGetpid));
+  a.syscall_();  // getpid
+  apps::emit_exit(a, 0);
+  const isa::Program program =
+      std::move(isa::make_program("idioms", a, entry)).value();
+
+  policy::ExtractOptions local_only;
+  local_only.dataflow = false;
+  const policy::StaticExtraction extraction =
+      policy::extract_static(program, local_only);
+  EXPECT_EQ(extraction.sites_total, 3u);
+  EXPECT_EQ(extraction.sites_resolved, 3u);
+  EXPECT_EQ(extraction.sites_resolved_blocklocal, 3u);
+  EXPECT_FALSE(extraction.used_wildcard);
+  EXPECT_TRUE(extraction.automaton.allows(policy::kEntryState,
+                                          kern::kSysRead));
+  EXPECT_TRUE(extraction.automaton.allows(kern::kSysRead, kern::kSysGetpid));
+  EXPECT_TRUE(
+      extraction.automaton.allows(kern::kSysGetpid, kern::kSysExitGroup));
+  EXPECT_FALSE(extraction.automaton.allows(kern::kSysRead, kern::kSysOpen));
+}
+
+TEST(PolicyExtractTest, DataflowResolvesCrossBlockConstant) {
+  // The number is loaded in one block and the syscall sits in another: the
+  // block-local scan gives up, the cross-block value flow does not.
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  const auto invoke = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rax, kern::kSysGetpid);
+  a.jmp(invoke);
+  a.bind(invoke);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const isa::Program program =
+      std::move(isa::make_program("cross-block", a, entry)).value();
+
+  policy::ExtractOptions local_only;
+  local_only.dataflow = false;
+  const policy::StaticExtraction local =
+      policy::extract_static(program, local_only);
+  EXPECT_EQ(local.sites_resolved, 1u);  // exit_group only
+  EXPECT_TRUE(local.used_wildcard);
+
+  const policy::StaticExtraction dataflow = policy::extract_static(program);
+  EXPECT_EQ(dataflow.sites_resolved, 2u);
+  EXPECT_EQ(dataflow.sites_resolved_blocklocal, 1u);
+  EXPECT_EQ(dataflow.sites_resolved_dataflow, 1u);
+  EXPECT_FALSE(dataflow.used_wildcard);
+}
+
+TEST(PolicyExtractTest, ArgumentPredicatesFromDataflow) {
+  // write(1, 0, 0): the constant argument registers become constraints on
+  // the edges into the write state.
+  isa::Assembler a;
+  const auto entry = a.new_label();
+  a.bind(entry);
+  a.mov(isa::Gpr::rdi, 1);
+  a.mov(isa::Gpr::rsi, 0);
+  a.mov(isa::Gpr::rdx, 0);
+  a.mov(isa::Gpr::rax, kern::kSysWrite);
+  a.syscall_();
+  apps::emit_exit(a, 0);
+  const isa::Program program =
+      std::move(isa::make_program("write-const-args", a, entry)).value();
+
+  const policy::StaticExtraction extraction = policy::extract_static(program);
+  EXPECT_GE(extraction.predicated_sites, 1u);
+  const auto* pred =
+      extraction.automaton.predicate(policy::kEntryState, kern::kSysWrite);
+  ASSERT_NE(pred, nullptr);
+  const std::uint64_t good[4] = {1, 0, 0, 12345};
+  const std::uint64_t bad[4] = {2, 0, 0, 12345};
+  EXPECT_TRUE(
+      extraction.automaton.allows(policy::kEntryState, kern::kSysWrite, good));
+  EXPECT_FALSE(
+      extraction.automaton.allows(policy::kEntryState, kern::kSysWrite, bad));
+  // nr-granular reasoning (containment) stays predicate-blind.
+  EXPECT_TRUE(extraction.automaton.allows(policy::kEntryState,
+                                          kern::kSysWrite));
+
+  // Predicates off: same edges, no constraints.
+  policy::ExtractOptions no_preds;
+  no_preds.arg_predicates = false;
+  const policy::StaticExtraction plain =
+      policy::extract_static(program, no_preds);
+  EXPECT_EQ(plain.automaton.predicated_edge_count(), 0u);
+  EXPECT_EQ(plain.predicated_sites, 0u);
+  EXPECT_TRUE(
+      plain.automaton.allows(policy::kEntryState, kern::kSysWrite, bad));
 }
 
 TEST(PolicyExtractTest, DynamicLearning) {
@@ -302,31 +505,128 @@ TEST(PolicyCompileTest, FiltersMatchAutomatonAllows) {
       kern::kSysRead,  kern::kSysWrite,    kern::kSysOpen,
       kern::kSysClose, kern::kSysGetpid,   kern::kSysMmap,
       kern::kSysExit,  kern::kSysExitGroup};
-  for (const auto& [state, sp] : compiled.value().states) {
-    for (const std::uint64_t nr : probe_nrs) {
-      bpf::SeccompData data;
-      data.nr = static_cast<std::int32_t>(nr);
-      data.arch = bpf::kAuditArchX86_64;
-      const auto bytes = data.serialize();
-      const auto run = bpf::run(sp.filter, bytes);
-      ASSERT_TRUE(run.is_ok());
-      const bool filter_allows = run.value().value == bpf::SECCOMP_RET_ALLOW;
-      EXPECT_EQ(filter_allows, automaton.allows(state, nr))
-          << "state " << state << " nr " << nr;
+  for (const policy::StatePolicy& sp : compiled.value().classes) {
+    for (const std::uint64_t state : sp.members) {
+      for (const std::uint64_t nr : probe_nrs) {
+        bpf::SeccompData data;
+        data.nr = static_cast<std::int32_t>(nr);
+        data.arch = bpf::kAuditArchX86_64;
+        const auto bytes = data.serialize();
+        const auto run = bpf::run(sp.filter, bytes);
+        ASSERT_TRUE(run.is_ok());
+        const bool filter_allows = run.value().value == bpf::SECCOMP_RET_ALLOW;
+        EXPECT_EQ(filter_allows, automaton.allows(state, nr))
+            << "state " << state << " nr " << nr;
+      }
     }
   }
 }
 
-TEST(PolicyCompileTest, RejectsOversizedStateSets) {
+TEST(PolicyCompileTest, EquivalentStatesShareOneProgram) {
+  policy::Automaton automaton;
+  automaton.add_edge(policy::kEntryState, kern::kSysRead);
+  automaton.add_edge(policy::kEntryState, kern::kSysWrite);
+  automaton.add_edge(kern::kSysRead, kern::kSysClose);
+  automaton.add_edge(kern::kSysWrite, kern::kSysClose);  // same behavior
+  policy::CompileOptions baseline_opts;
+  baseline_opts.share_equivalent_states = false;
+  auto shared =
+      policy::compile_to_seccomp(automaton, bpf::SECCOMP_RET_KILL_PROCESS);
+  auto baseline = policy::compile_to_seccomp(
+      automaton, bpf::SECCOMP_RET_KILL_PROCESS, baseline_opts);
+  ASSERT_TRUE(shared.is_ok());
+  ASSERT_TRUE(baseline.is_ok());
+  EXPECT_EQ(shared.value().state_count(), baseline.value().state_count());
+  EXPECT_LT(shared.value().class_count(), baseline.value().class_count());
+  EXPECT_LT(shared.value().total_filter_insns(),
+            baseline.value().total_filter_insns());
+  // read and write resolve to the same shared program.
+  EXPECT_EQ(shared.value().find(kern::kSysRead),
+            shared.value().find(kern::kSysWrite));
+  EXPECT_NE(baseline.value().find(kern::kSysRead),
+            baseline.value().find(kern::kSysWrite));
+}
+
+TEST(PolicyCompileTest, LowersOversizedStateSetsSegmented) {
+  // 300 successors is beyond a single 8-bit-offset JEQ chain; the segmented
+  // lowering must still produce one valid program with exact membership.
   policy::Automaton automaton;
   for (std::uint64_t nr = 0; nr < 300; ++nr) {
     automaton.add_edge(kern::kSysGetpid, nr);
   }
   auto compiled =
       policy::compile_to_seccomp(automaton, bpf::SECCOMP_RET_KILL_PROCESS);
-  ASSERT_FALSE(compiled.is_ok());
-  EXPECT_NE(compiled.status().message().find("255"), std::string::npos)
-      << compiled.status().message();
+  ASSERT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+  const policy::StatePolicy* sp = compiled.value().find(kern::kSysGetpid);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_FALSE(sp->wildcard);
+  EXPECT_EQ(sp->allowed.size(), 300u);
+  for (const std::uint64_t nr : {0ull, 254ull, 255ull, 299ull, 300ull, 400ull}) {
+    bpf::SeccompData data;
+    data.nr = static_cast<std::int32_t>(nr);
+    data.arch = bpf::kAuditArchX86_64;
+    const auto bytes = data.serialize();
+    const auto run = bpf::run(sp->filter, bytes);
+    ASSERT_TRUE(run.is_ok());
+    const bool allowed = run.value().value == bpf::SECCOMP_RET_ALLOW;
+    EXPECT_EQ(allowed, nr < 300) << "nr " << nr;
+  }
+}
+
+TEST(PolicyCompileTest, PredicateFiltersCheckArguments) {
+  policy::Automaton automaton;
+  automaton.add_edge(kern::kSysGetpid, kern::kSysExitGroup);
+  // write allowed when (rdi in {1,2} && rsi == 0), or rdx equals a value
+  // with a non-zero high word (exercises the 64-bit two-word compare).
+  automaton.add_edge(kern::kSysGetpid, kern::kSysWrite,
+                     policy::PredClause{{0, {1, 2}}, {1, {0}}});
+  automaton.add_edge(kern::kSysGetpid, kern::kSysWrite,
+                     policy::PredClause{{2, {(1ULL << 32) | 5}}});
+  auto compiled =
+      policy::compile_to_seccomp(automaton, bpf::SECCOMP_RET_KILL_PROCESS);
+  ASSERT_TRUE(compiled.is_ok()) << compiled.status().to_string();
+  const policy::StatePolicy* sp = compiled.value().find(kern::kSysGetpid);
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(sp->predicated.size(), 1u);
+
+  auto probe = [&](std::uint64_t nr, std::uint64_t rdi, std::uint64_t rsi,
+                   std::uint64_t rdx) {
+    bpf::SeccompData data;
+    data.nr = static_cast<std::int32_t>(nr);
+    data.arch = bpf::kAuditArchX86_64;
+    data.args[0] = rdi;
+    data.args[1] = rsi;
+    data.args[2] = rdx;
+    const auto bytes = data.serialize();
+    const auto run = bpf::run(sp->filter, bytes);
+    EXPECT_TRUE(run.is_ok());
+    return run.value().value == bpf::SECCOMP_RET_ALLOW;
+  };
+  // Unpredicated member: args never consulted.
+  EXPECT_TRUE(probe(kern::kSysExitGroup, 9, 9, 9));
+  // Clause 1.
+  EXPECT_TRUE(probe(kern::kSysWrite, 1, 0, 0));
+  EXPECT_TRUE(probe(kern::kSysWrite, 2, 0, 0));
+  EXPECT_FALSE(probe(kern::kSysWrite, 3, 0, 0));
+  EXPECT_FALSE(probe(kern::kSysWrite, 1, 7, 0));
+  // Clause 2: the full 64-bit value must match, not just the low word.
+  EXPECT_TRUE(probe(kern::kSysWrite, 9, 9, (1ULL << 32) | 5));
+  EXPECT_FALSE(probe(kern::kSysWrite, 9, 9, 5));
+  // Off-automaton nr.
+  EXPECT_FALSE(probe(kern::kSysOpen, 1, 0, 0));
+  // The seccomp artifact agrees with the automaton's own argument-aware
+  // semantics on every probe.
+  for (const auto& [nr, args] :
+       std::vector<std::pair<std::uint64_t, std::array<std::uint64_t, 4>>>{
+           {kern::kSysWrite, {1, 0, 0, 0}},
+           {kern::kSysWrite, {3, 0, 0, 0}},
+           {kern::kSysWrite, {9, 9, (1ULL << 32) | 5, 0}},
+           {kern::kSysExitGroup, {9, 9, 9, 0}}}) {
+    std::array<std::uint64_t, 4> reordered = args;
+    EXPECT_EQ(probe(nr, args[0], args[1], args[2]),
+              automaton.allows(kern::kSysGetpid, nr, reordered.data()))
+        << "nr " << nr;
+  }
 }
 
 // --- enforcement -------------------------------------------------------------
